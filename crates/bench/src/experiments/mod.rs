@@ -1,0 +1,108 @@
+//! Experiment implementations, one module per paper artifact.
+
+pub mod ablations;
+pub mod figs;
+pub mod runtime;
+pub mod table1;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+
+use crate::ReproConfig;
+use cpu_baseline::XeonModel;
+use dpu_kernel::{KernelParams, NwKernel};
+use pim_host::dispatch::DispatchConfig;
+use pim_sim::{PimServer, ServerConfig};
+
+/// The paper's DPU band (adaptive window) — 128 on every dataset.
+pub const DPU_BAND: usize = 128;
+
+/// A PiM server with the given rank count and otherwise paper topology.
+pub fn server(ranks: usize) -> PimServer {
+    PimServer::new(ServerConfig::with_ranks(ranks))
+}
+
+/// A PiM server with explicit DPUs per rank — quick (test) runs shrink the
+/// ranks so the scaled datasets still load every DPU with several jobs.
+pub fn server_sized(ranks: usize, dpus_per_rank: usize) -> PimServer {
+    let mut cfg = ServerConfig::with_ranks(ranks);
+    cfg.dpus_per_rank = dpus_per_rank;
+    PimServer::new(cfg)
+}
+
+/// DPUs per rank for a configuration: the paper's 64, or 8 in quick mode.
+pub fn dpus_per_rank(cfg: &crate::ReproConfig) -> usize {
+    if cfg.quick { 8 } else { 64 }
+}
+
+/// The paper's production host configuration (asm kernel, P=6 T=4).
+pub fn dispatch_config(score_only: bool) -> DispatchConfig {
+    let params = KernelParams { band: DPU_BAND, score_only, ..KernelParams::paper_default() };
+    let mut cfg = DispatchConfig::new(NwKernel::paper_default(), params);
+    // One FIFO round per rank: at simulation scale, extra rounds only add
+    // pool-wave quantization noise to the scaling measurement.
+    cfg.rounds = 1;
+    cfg
+}
+
+/// The two Xeon baselines.
+pub fn xeons() -> (XeonModel, XeonModel) {
+    (XeonModel::xeon_4215(), XeonModel::xeon_4216())
+}
+
+/// A generic result row: label, extrapolated full-scale seconds, speedup
+/// vs the first row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// System label.
+    pub label: String,
+    /// Projected seconds at the paper's full dataset size.
+    pub seconds: f64,
+    /// Speedup vs the table's baseline (first row).
+    pub speedup: f64,
+}
+
+/// Compute speedups relative to the first row.
+pub fn finish_rows(mut rows: Vec<Row>) -> Vec<Row> {
+    if let Some(base) = rows.first().map(|r| r.seconds) {
+        for r in &mut rows {
+            r.speedup = base / r.seconds;
+        }
+    }
+    rows
+}
+
+/// Effective pair count for a scaled synthetic dataset: full count divided
+/// by scale, floored to something that still spreads over the DPUs.
+pub fn scaled_pairs(cfg: &ReproConfig, full: u64, min_pairs: u64) -> usize {
+    (full / cfg.scale).max(min_pairs) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_rows_normalizes_to_first() {
+        let rows = finish_rows(vec![
+            Row { label: "a".into(), seconds: 10.0, speedup: 0.0 },
+            Row { label: "b".into(), seconds: 5.0, speedup: 0.0 },
+        ]);
+        assert_eq!(rows[0].speedup, 1.0);
+        assert_eq!(rows[1].speedup, 2.0);
+    }
+
+    #[test]
+    fn scaled_pairs_floors() {
+        let cfg = ReproConfig { scale: 1000, ..ReproConfig::default() };
+        assert_eq!(scaled_pairs(&cfg, 10_000_000, 64), 10_000);
+        assert_eq!(scaled_pairs(&cfg, 100, 64), 64);
+    }
+
+    #[test]
+    fn server_topology() {
+        assert_eq!(server(10).rank_count(), 10);
+        assert_eq!(server(10).cfg().dpus_per_rank, 64);
+    }
+}

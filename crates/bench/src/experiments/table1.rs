@@ -1,0 +1,188 @@
+//! Table 1 — accuracy of static vs adaptive band heuristics (§5.1).
+//!
+//! For each dataset, the fraction of pairs whose banded score equals the
+//! full-DP optimum (computed with the exact Gotoh aligner, the stand-in for
+//! "minimap2 with the band heuristic disabled"). Sample sizes are small
+//! because the ground truth is quadratic; EXPERIMENTS.md records them.
+
+use crate::tablefmt::Table;
+use crate::ReproConfig;
+use datasets::pacbio::PacbioParams;
+use datasets::sixteen_s::SixteenSParams;
+use datasets::synthetic::{SyntheticParams, SyntheticPreset};
+use datasets::ErrorModel;
+use nw_core::accuracy::{measure_against, Heuristic};
+use nw_core::full::FullAligner;
+use nw_core::seq::DnaSeq;
+use nw_core::{Score, ScoringScheme};
+
+/// Accuracy of one dataset under all measured configurations.
+#[derive(Debug, Clone)]
+pub struct DatasetAccuracy {
+    /// Dataset label.
+    pub name: &'static str,
+    /// Pairs evaluated.
+    pub pairs: usize,
+    /// Static accuracy per band width, in the order of `bands()`.
+    pub static_acc: Vec<f64>,
+    /// Adaptive accuracy at the smallest band.
+    pub adaptive_acc: f64,
+}
+
+/// The full Table 1 result.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Band widths measured for the static heuristic.
+    pub bands: Vec<usize>,
+    /// Adaptive band width.
+    pub adaptive_band: usize,
+    /// Per-dataset rows.
+    pub datasets: Vec<DatasetAccuracy>,
+}
+
+/// Sample pairs from each of the paper's five datasets.
+pub fn sample_pairs(cfg: &ReproConfig) -> Vec<(&'static str, Vec<(DnaSeq, DnaSeq)>)> {
+    let (s1000, s10000, s30000, n16s, npac) = if cfg.quick {
+        (6, 2, 1, 4, 2)
+    } else {
+        (24, 8, 4, 40, 10)
+    };
+    let mut out = Vec::new();
+    out.push((
+        "S1000",
+        SyntheticParams::preset(SyntheticPreset::S1000, cfg.seed).generate(s1000),
+    ));
+    out.push((
+        "S10000",
+        SyntheticParams::preset(SyntheticPreset::S10000, cfg.seed + 1).generate(s10000),
+    ));
+    out.push((
+        "S30000",
+        SyntheticParams::preset(SyntheticPreset::S30000, cfg.seed + 2).generate(s30000),
+    ));
+    // 16S: sample pairs from a generated population (full scale would be
+    // 45M pairs; accuracy only needs a sample).
+    let seqs = SixteenSParams { count: n16s.max(4) * 2, root_len: if cfg.quick { 300 } else { 1542 }, branch_divergence: 0.02, seed: cfg.seed + 3 }
+        .generate();
+    let mut pairs_16s = Vec::new();
+    for k in 0..n16s {
+        let i = (k * 7) % seqs.len();
+        let j = (k * 13 + 1) % seqs.len();
+        if i != j {
+            pairs_16s.push((seqs[i].clone(), seqs[j].clone()));
+        }
+    }
+    out.push(("16S", pairs_16s));
+    // PacBio: pairs from repeat-read sets. Region lengths are capped so the
+    // exact ground-truth DP stays tractable; the error/gap *structure* is
+    // what drives Table 1's shape.
+    let sets = PacbioParams {
+        sets: npac.max(1),
+        region_len: if cfg.quick { (400, 800) } else { (2_000, 5_000) },
+        reads_per_set: (3, 5),
+        error: ErrorModel::pacbio_raw(),
+        seed: cfg.seed + 4,
+    }
+    .generate();
+    let mut pairs_pb = Vec::new();
+    for set in &sets {
+        let mut ps = set.pairs();
+        ps.truncate(3);
+        pairs_pb.extend(ps);
+    }
+    out.push(("Pacbio", pairs_pb));
+    out
+}
+
+/// Run Table 1.
+pub fn run(cfg: &ReproConfig) -> Table1 {
+    let scheme = ScoringScheme::default();
+    let bands = if cfg.quick { vec![32, 64, 128] } else { vec![128, 256, 512] };
+    let adaptive_band = bands[0];
+    let full = FullAligner::affine(scheme);
+    let mut datasets = Vec::new();
+    for (name, pairs) in sample_pairs(cfg) {
+        let optimal: Vec<Score> = pairs.iter().map(|(a, b)| full.score(a, b)).collect();
+        let static_acc: Vec<f64> = bands
+            .iter()
+            .map(|&w| measure_against(scheme, Heuristic::Static(w), &pairs, &optimal).percent())
+            .collect();
+        let adaptive_acc =
+            measure_against(scheme, Heuristic::Adaptive(adaptive_band), &pairs, &optimal).percent();
+        datasets.push(DatasetAccuracy { name, pairs: pairs.len(), static_acc, adaptive_acc });
+    }
+    Table1 { bands, adaptive_band, datasets }
+}
+
+impl Table1 {
+    /// Render with the paper's values side by side.
+    pub fn to_markdown(&self) -> String {
+        let mut header: Vec<String> = vec!["Dataset".into(), "pairs".into()];
+        for b in &self.bands {
+            header.push(format!("static@{b}"));
+        }
+        header.push(format!("adaptive@{}", self.adaptive_band));
+        header.push("paper static@128/256/512".into());
+        header.push("paper adaptive@128".into());
+        let headers: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = Table::new("Table 1 — banded accuracy (%)", &headers);
+        for row in &self.datasets {
+            let paper = crate::paper::TABLE1
+                .iter()
+                .find(|p| p.0 == row.name)
+                .expect("paper row");
+            let fmt_opt = |o: Option<f64>| o.map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into());
+            let mut cells = vec![row.name.to_string(), row.pairs.to_string()];
+            for acc in &row.static_acc {
+                cells.push(format!("{acc:.0}"));
+            }
+            cells.push(format!("{:.0}", row.adaptive_acc));
+            cells.push(format!("{}/{}/{}", fmt_opt(paper.1), fmt_opt(paper.2), fmt_opt(paper.3)));
+            cells.push(format!("{:.0}", paper.4));
+            t.row(&cells);
+        }
+        t.note("Shape check: adaptive at the smallest band should match or beat static at the same band everywhere, and approach static at 4x the band on gap-rich datasets (16S, Pacbio).");
+        t.to_markdown()
+    }
+
+    /// Shape assertions shared by tests and EXPERIMENTS.md.
+    pub fn shape_holds(&self) -> Result<(), String> {
+        for d in &self.datasets {
+            // Static accuracy must be monotone in band width.
+            for w in d.static_acc.windows(2) {
+                if w[1] + 1e-9 < w[0] {
+                    return Err(format!("{}: static accuracy not monotone {:?}", d.name, d.static_acc));
+                }
+            }
+            // Adaptive at the smallest band >= static at the same band.
+            if d.adaptive_acc + 1e-9 < d.static_acc[0] {
+                return Err(format!(
+                    "{}: adaptive {} < static {}",
+                    d.name, d.adaptive_acc, d.static_acc[0]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table1_shape() {
+        let t = run(&ReproConfig::quick());
+        assert_eq!(t.datasets.len(), 5);
+        t.shape_holds().unwrap();
+        for d in &t.datasets {
+            assert!(d.pairs > 0, "{} empty", d.name);
+            for &a in &d.static_acc {
+                assert!((0.0..=100.0).contains(&a));
+            }
+        }
+        let md = t.to_markdown();
+        assert!(md.contains("S30000"));
+        assert!(md.contains("Pacbio"));
+    }
+}

@@ -1,0 +1,122 @@
+//! The paper's published numbers, for side-by-side printing and for shape
+//! assertions (EXPERIMENTS.md records paper vs measured for every table).
+
+/// Table 1 — accuracy (%) per dataset: static@128/256/512, adaptive@128.
+/// `None` = cell not reported (the paper stops doubling at 100 %).
+pub const TABLE1: [(&str, Option<f64>, Option<f64>, Option<f64>, f64); 5] = [
+    ("S1000", Some(100.0), None, None, 100.0),
+    ("S10000", Some(99.0), Some(100.0), None, 100.0),
+    ("S30000", Some(89.0), Some(99.0), Some(100.0), 100.0),
+    ("16S", Some(70.0), Some(81.0), Some(85.0), 86.0),
+    ("Pacbio", Some(29.0), Some(62.0), Some(87.0), 85.0),
+];
+
+/// One runtime-table row: label, seconds, speedup vs the 4215.
+pub type RuntimeRow = (&'static str, f64, f64);
+
+/// Table 2 — S1000 at 100 % accuracy.
+pub const TABLE2: [RuntimeRow; 5] = [
+    ("Minimap2 Intel 4215 (32c)", 294.0, 1.0),
+    ("Minimap2 Intel 4216 (64c)", 242.0, 1.2),
+    ("DPU 10 ranks", 560.0, 0.6),
+    ("DPU 20 ranks", 283.0, 1.0),
+    ("DPU 40 ranks", 146.0, 2.0),
+];
+
+/// Table 3 — S10000.
+pub const TABLE3: [RuntimeRow; 5] = [
+    ("Minimap2 Intel 4215 (32c)", 744.0, 1.0),
+    ("Minimap2 Intel 4216 (64c)", 369.0, 2.0),
+    ("DPU 10 ranks", 502.0, 1.5),
+    ("DPU 20 ranks", 255.0, 2.9),
+    ("DPU 40 ranks", 132.0, 5.6),
+];
+
+/// Table 4 — S30000.
+pub const TABLE4: [RuntimeRow; 5] = [
+    ("Minimap2 Intel 4215 (32c)", 1650.0, 1.0),
+    ("Minimap2 Intel 4216 (64c)", 1265.0, 1.3),
+    ("DPU 10 ranks", 755.0, 2.1),
+    ("DPU 20 ranks", 391.0, 4.2),
+    ("DPU 40 ranks", 200.0, 8.0),
+];
+
+/// Table 5 — 16S all-vs-all (>= 85 % accuracy: minimap2 band 512, DPU 128).
+pub const TABLE5: [RuntimeRow; 5] = [
+    ("Minimap2 Intel 4215 (32c)", 5882.0, 1.0),
+    ("Minimap2 Intel 4216 (64c)", 3538.0, 1.7),
+    ("DPU 10 ranks", 2544.0, 2.3),
+    ("DPU 20 ranks", 1257.0, 4.6),
+    ("DPU 40 ranks", 632.0, 9.3),
+];
+
+/// Table 6 — PacBio sets (>= 85 % accuracy).
+pub const TABLE6: [RuntimeRow; 5] = [
+    ("Minimap2 Intel 4215 (32c)", 4044.0, 1.0),
+    ("Minimap2 Intel 4216 (64c)", 2788.0, 1.4),
+    ("DPU 10 ranks", 1882.0, 2.1),
+    ("DPU 20 ranks", 956.0, 4.2),
+    ("DPU 40 ranks", 505.0, 8.0),
+];
+
+/// Table 7 — pure-C vs asm kernel seconds and speedups per dataset.
+pub const TABLE7: [(&str, f64, f64, f64); 5] = [
+    ("S1000", 247.0, 146.0, 1.69),
+    ("S10000", 207.0, 132.0, 1.57),
+    ("S30000", 316.0, 200.0, 1.58),
+    ("16S", 864.0, 632.0, 1.36),
+    ("Pacbio", 806.0, 505.0, 1.59),
+];
+
+/// Table 8 — energy in kJ on the two real datasets.
+pub const TABLE8: [(&str, f64, f64); 3] = [
+    ("Intel 4215 (kJ)", 1805.0, 1241.0),
+    ("Intel 4216 (kJ)", 1192.0, 939.0),
+    ("UPMEM PiM (kJ)", 484.0, 387.0),
+];
+
+/// §5 text: pipeline utilization at P=6, T=4.
+pub const UTILIZATION_RANGE: (f64, f64) = (0.95, 0.99);
+/// §5 text: MRAM transfer impact.
+pub const MRAM_IMPACT_RANGE: (f64, f64) = (0.01, 0.05);
+/// §5 text: host overhead, S1000 vs S30000.
+pub const HOST_OVERHEAD_S1000: f64 = 0.15;
+pub const HOST_OVERHEAD_S30000: f64 = 0.001;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_speedups_are_self_consistent() {
+        // Each runtime table's speedup column should equal t_4215 / t_row
+        // within the paper's 1-decimal rounding.
+        for table in [&TABLE2, &TABLE3, &TABLE4, &TABLE5, &TABLE6] {
+            let base = table[0].1;
+            for (label, secs, speedup) in table.iter() {
+                let computed = base / secs;
+                assert!(
+                    (computed - speedup).abs() < 0.06 + 0.05 * speedup,
+                    "{label}: paper {speedup} vs computed {computed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table7_speedups_match_times() {
+        for (label, c, asm, speedup) in TABLE7 {
+            let computed = c / asm;
+            assert!((computed - speedup).abs() < 0.02, "{label}");
+        }
+    }
+
+    #[test]
+    fn table8_matches_power_times_time() {
+        // 16S runtimes from Table 5 x the §5.6 wattages (kJ, rounded).
+        let t = TABLE5;
+        assert!((307.0 * t[0].1 / 1000.0 - TABLE8[0].1).abs() < 2.0);
+        assert!((337.0 * t[1].1 / 1000.0 - TABLE8[1].1).abs() < 2.0);
+        assert!((767.0 * t[4].1 / 1000.0 - TABLE8[2].1).abs() < 2.0);
+    }
+}

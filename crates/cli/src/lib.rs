@@ -1,0 +1,345 @@
+#![warn(missing_docs)]
+
+//! Library backing the `upmem-nw` command-line tool.
+//!
+//! Commands (see `main.rs` for flag parsing):
+//!
+//! * `align` — pair up records of two FASTA files and align them, on the
+//!   host CPU (adaptive / static / WFA / exact) or through the simulated
+//!   PiM server; TSV results on stdout.
+//! * `matrix` — all-vs-all score matrix of one FASTA file on the PiM
+//!   server (the 16S workflow).
+//! * `generate` — write any of the paper's five datasets as FASTA.
+//! * `info` — print the simulated server topology.
+
+use datasets::fasta::{self, Record};
+use datasets::pacbio::PacbioParams;
+use datasets::sixteen_s::SixteenSParams;
+use datasets::synthetic::{SyntheticParams, SyntheticPreset};
+use datasets::Scale;
+use dpu_kernel::{KernelParams, NwKernel};
+use nw_core::adaptive::AdaptiveAligner;
+use nw_core::banded::BandedAligner;
+use nw_core::full::FullAligner;
+use nw_core::seq::{DnaSeq, NPolicy};
+use nw_core::wfa::{Penalties, WfaAligner};
+use nw_core::{Alignment, ScoringScheme};
+use pim_host::dispatch::DispatchConfig;
+use pim_host::modes::{align_pairs, all_vs_all};
+use pim_sim::{PimServer, ServerConfig};
+use std::fmt::Write as _;
+
+/// Which aligner the `align` command uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Adaptive banded (the paper's DPU algorithm), host-side.
+    Adaptive,
+    /// Static banded (the KSW2 baseline).
+    Static,
+    /// Gap-affine wavefront (exact).
+    Wfa,
+    /// Full Gotoh DP (exact; quadratic memory with traceback).
+    Exact,
+    /// The full simulated PiM pipeline.
+    Pim,
+}
+
+impl Algo {
+    /// Parse a command-line name.
+    pub fn parse(text: &str) -> Option<Algo> {
+        Some(match text {
+            "adaptive" => Algo::Adaptive,
+            "static" => Algo::Static,
+            "wfa" => Algo::Wfa,
+            "exact" => Algo::Exact,
+            "pim" => Algo::Pim,
+            _ => return None,
+        })
+    }
+}
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// IO problem reading/writing files.
+    Io(std::io::Error),
+    /// FASTA parse problem.
+    Fasta(String),
+    /// Alignment failure (band too small etc.).
+    Align(String),
+    /// Bad usage.
+    Usage(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Io(e) => write!(f, "io: {e}"),
+            CliError::Fasta(e) => write!(f, "fasta: {e}"),
+            CliError::Align(e) => write!(f, "align: {e}"),
+            CliError::Usage(e) => write!(f, "usage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Read a FASTA file with the paper's `N` policy.
+pub fn read_fasta(path: &str) -> Result<Vec<Record>, CliError> {
+    let file = std::fs::File::open(path)?;
+    fasta::read(std::io::BufReader::new(file), NPolicy::RandomSubstitute { seed: 0x4E })
+        .map_err(|e| CliError::Fasta(e.to_string()))
+}
+
+/// Align records of `a_path` with same-index records of `b_path`; returns
+/// TSV lines `name_a name_b score cigar identity`.
+pub fn cmd_align(
+    a_path: &str,
+    b_path: &str,
+    algo: Algo,
+    band: usize,
+    ranks: usize,
+) -> Result<String, CliError> {
+    let a_recs = read_fasta(a_path)?;
+    let b_recs = read_fasta(b_path)?;
+    if a_recs.len() != b_recs.len() {
+        return Err(CliError::Usage(format!(
+            "record count mismatch: {} vs {}",
+            a_recs.len(),
+            b_recs.len()
+        )));
+    }
+    let scheme = ScoringScheme::default();
+    let mut out = String::from("#name_a\tname_b\tscore\tcigar\tidentity\n");
+    let mut emit = |ra: &Record, rb: &Record, aln: &Alignment| {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{:.4}",
+            ra.name,
+            rb.name,
+            aln.score,
+            aln.cigar,
+            aln.identity()
+        );
+    };
+    match algo {
+        Algo::Pim => {
+            let pairs: Vec<(DnaSeq, DnaSeq)> = a_recs
+                .iter()
+                .zip(&b_recs)
+                .map(|(x, y)| (x.seq.clone(), y.seq.clone()))
+                .collect();
+            let mut server = PimServer::new(ServerConfig::with_ranks(ranks.max(1)));
+            let params = KernelParams { band: band.next_multiple_of(16).max(16), scheme, score_only: false };
+            let cfg = DispatchConfig::new(NwKernel::paper_default(), params);
+            let (_report, results) =
+                align_pairs(&mut server, &cfg, &pairs).map_err(|e| CliError::Align(e.to_string()))?;
+            for ((ra, rb), r) in a_recs.iter().zip(&b_recs).zip(results) {
+                let aln = Alignment { score: r.score, cigar: r.cigar };
+                emit(ra, rb, &aln);
+            }
+        }
+        _ => {
+            for (ra, rb) in a_recs.iter().zip(&b_recs) {
+                let aln = match algo {
+                    Algo::Adaptive => AdaptiveAligner::new(scheme, band)
+                        .align(&ra.seq, &rb.seq)
+                        .map_err(|e| CliError::Align(e.to_string()))?,
+                    Algo::Static => BandedAligner::new(scheme, band)
+                        .align(&ra.seq, &rb.seq)
+                        .map_err(|e| CliError::Align(e.to_string()))?,
+                    Algo::Exact => FullAligner::affine(scheme)
+                        .align(&ra.seq, &rb.seq)
+                        .map_err(|e| CliError::Align(e.to_string()))?,
+                    Algo::Wfa => {
+                        let pens = Penalties::from_scheme(&scheme);
+                        let w = WfaAligner::new(pens)
+                            .align(&ra.seq, &rb.seq)
+                            .map_err(|e| CliError::Align(e.to_string()))?;
+                        let score =
+                            pens.penalty_to_score(&scheme, ra.seq.len(), rb.seq.len(), w.penalty);
+                        Alignment { score, cigar: w.cigar }
+                    }
+                    Algo::Pim => unreachable!(),
+                };
+                emit(ra, rb, &aln);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// All-vs-all score matrix on the simulated PiM server; TSV of
+/// `name_i name_j score`.
+pub fn cmd_matrix(path: &str, band: usize, ranks: usize) -> Result<String, CliError> {
+    let recs = read_fasta(path)?;
+    let seqs: Vec<DnaSeq> = recs.iter().map(|r| r.seq.clone()).collect();
+    let mut server = PimServer::new(ServerConfig::with_ranks(ranks.max(1)));
+    let params = KernelParams {
+        band: band.next_multiple_of(16).max(16),
+        scheme: ScoringScheme::default(),
+        score_only: true,
+    };
+    let cfg = DispatchConfig::new(NwKernel::paper_default(), params);
+    let (_report, results) =
+        all_vs_all(&mut server, &cfg, &seqs).map_err(|e| CliError::Align(e.to_string()))?;
+    let mut out = String::from("#name_i\tname_j\tscore\n");
+    let mut idx = 0;
+    for i in 0..recs.len() {
+        for j in (i + 1)..recs.len() {
+            let _ = writeln!(out, "{}\t{}\t{}", recs[i].name, recs[j].name, results[idx].score);
+            idx += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Generate a dataset as FASTA text. For pair datasets the records
+/// alternate `pairK/a`, `pairK/b`; PacBio sets are named `setK/readJ`.
+pub fn cmd_generate(kind: &str, count: usize, seed: u64) -> Result<String, CliError> {
+    let mut records = Vec::new();
+    match kind {
+        "s1000" | "s10000" | "s30000" => {
+            let preset = match kind {
+                "s1000" => SyntheticPreset::S1000,
+                "s10000" => SyntheticPreset::S10000,
+                _ => SyntheticPreset::S30000,
+            };
+            for (k, (a, b)) in SyntheticParams::preset(preset, seed)
+                .generate(count)
+                .into_iter()
+                .enumerate()
+            {
+                records.push(Record { name: format!("pair{k}/a"), seq: a });
+                records.push(Record { name: format!("pair{k}/b"), seq: b });
+            }
+        }
+        "16s" => {
+            let params = SixteenSParams { count, ..SixteenSParams::scaled(Scale::FULL, seed) };
+            for (k, seq) in params.generate().into_iter().enumerate() {
+                records.push(Record { name: format!("rrna{k}"), seq });
+            }
+        }
+        "pacbio" => {
+            let params = PacbioParams { sets: count, ..PacbioParams::scaled(Scale::FULL, seed) };
+            for (k, set) in params.generate().into_iter().enumerate() {
+                for (j, read) in set.reads.into_iter().enumerate() {
+                    records.push(Record { name: format!("set{k}/read{j}"), seq: read });
+                }
+            }
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown dataset {other:?} (expected s1000|s10000|s30000|16s|pacbio)"
+            )))
+        }
+    }
+    Ok(fasta::write_string(&records))
+}
+
+/// Server topology description.
+pub fn cmd_info(ranks: usize) -> String {
+    let server = PimServer::new(ServerConfig::with_ranks(ranks.max(1)));
+    let t = server.topology();
+    format!(
+        "simulated UPMEM PiM server\n\
+         ranks:            {}\n\
+         DPUs per rank:    {}\n\
+         total DPUs:       {}\n\
+         DPU frequency:    {} MHz\n\
+         MRAM per DPU:     {} MB\n\
+         WRAM per DPU:     {} KB\n\
+         aggregate MRAM bandwidth: {:.2} TB/s\n",
+        t.ranks,
+        t.dpus_per_rank,
+        t.total_dpus,
+        t.freq_hz / 1e6,
+        t.mram_per_dpu >> 20,
+        t.wram_per_dpu >> 10,
+        t.aggregate_mram_bandwidth / 1e12
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(format!("upmem-nw-cli-test-{}-{name}", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn align_command_all_algorithms_agree_on_easy_pairs() {
+        let a = write_temp("a.fa", ">r0\nACGTACGTACGTACGT\n>r1\nGATTACAGATTACA\n");
+        let b = write_temp("b.fa", ">s0\nACGTACGGACGTACGT\n>s1\nGATTACAGATTACA\n");
+        let mut scores = Vec::new();
+        for algo in [Algo::Adaptive, Algo::Static, Algo::Wfa, Algo::Exact, Algo::Pim] {
+            let tsv = cmd_align(&a, &b, algo, 16, 1).unwrap();
+            let lines: Vec<&str> = tsv.lines().skip(1).collect();
+            assert_eq!(lines.len(), 2, "{algo:?}");
+            let score: i32 = lines[0].split('\t').nth(2).unwrap().parse().unwrap();
+            scores.push(score);
+            assert!(lines[1].contains("GATTACAGATTACA") || lines[1].contains("28"));
+        }
+        // All five paths find the same optimal score on these easy pairs.
+        assert!(scores.windows(2).all(|w| w[0] == w[1]), "{scores:?}");
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
+    }
+
+    #[test]
+    fn align_command_rejects_count_mismatch() {
+        let a = write_temp("c.fa", ">r0\nACGT\n");
+        let b = write_temp("d.fa", ">s0\nACGT\n>s1\nACGT\n");
+        assert!(matches!(cmd_align(&a, &b, Algo::Exact, 16, 1), Err(CliError::Usage(_))));
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
+    }
+
+    #[test]
+    fn matrix_command_counts_pairs() {
+        let f = write_temp("m.fa", ">x\nACGTACGTAAAA\n>y\nACGTACGTAAAT\n>z\nACGTACGAAAAA\n");
+        let tsv = cmd_matrix(&f, 16, 1).unwrap();
+        assert_eq!(tsv.lines().count(), 1 + 3); // header + C(3,2)
+        assert!(tsv.contains("x\ty\t"));
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn generate_round_trips_through_fasta() {
+        for kind in ["s1000", "16s", "pacbio"] {
+            let text = cmd_generate(kind, 2, 9).unwrap();
+            let recs = fasta::read_str(&text, NPolicy::Reject).unwrap();
+            assert!(!recs.is_empty(), "{kind}");
+        }
+        assert!(cmd_generate("bogus", 1, 0).is_err());
+    }
+
+    #[test]
+    fn generate_is_seeded() {
+        assert_eq!(cmd_generate("s1000", 2, 5).unwrap(), cmd_generate("s1000", 2, 5).unwrap());
+        assert_ne!(cmd_generate("s1000", 2, 5).unwrap(), cmd_generate("s1000", 2, 6).unwrap());
+    }
+
+    #[test]
+    fn info_mentions_topology() {
+        let info = cmd_info(40);
+        assert!(info.contains("2560"));
+        assert!(info.contains("350 MHz"));
+    }
+
+    #[test]
+    fn algo_parsing() {
+        assert_eq!(Algo::parse("wfa"), Some(Algo::Wfa));
+        assert_eq!(Algo::parse("pim"), Some(Algo::Pim));
+        assert_eq!(Algo::parse("nope"), None);
+    }
+}

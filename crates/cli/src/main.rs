@@ -1,0 +1,87 @@
+//! `upmem-nw` — align DNA on a simulated UPMEM PiM server.
+//!
+//! ```text
+//! upmem-nw align  --a reads_a.fa --b reads_b.fa [--algo adaptive|static|wfa|exact|pim]
+//!                 [--band 128] [--ranks 4] [--out results.tsv]
+//! upmem-nw matrix --in seqs.fa [--band 128] [--ranks 4] [--out matrix.tsv]
+//! upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N
+//!                 [--seed S] [--out data.fa]
+//! upmem-nw info   [--ranks 40]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use upmem_nw_cli::{cmd_align, cmd_generate, cmd_info, cmd_matrix, Algo, CliError};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw info [--ranks N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(key) = arg.strip_prefix("--") {
+            let value = it.next().cloned().unwrap_or_else(|| usage());
+            flags.insert(key.to_string(), value);
+        } else {
+            usage();
+        }
+    }
+    flags
+}
+
+fn run() -> Result<String, CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else { usage() };
+    let flags = parse_flags(rest);
+    let get = |k: &str| flags.get(k).cloned();
+    let band: usize = get("band").map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(128);
+    let ranks: usize = get("ranks").map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(4);
+
+    let output = match command.as_str() {
+        "align" => {
+            let a = get("a").unwrap_or_else(|| usage());
+            let b = get("b").unwrap_or_else(|| usage());
+            let algo = get("algo")
+                .map(|v| Algo::parse(&v).unwrap_or_else(|| usage()))
+                .unwrap_or(Algo::Adaptive);
+            cmd_align(&a, &b, algo, band, ranks)?
+        }
+        "matrix" => {
+            let input = get("in").unwrap_or_else(|| usage());
+            cmd_matrix(&input, band, ranks)?
+        }
+        "generate" => {
+            let kind = get("kind").unwrap_or_else(|| usage());
+            let count: usize =
+                get("count").map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or_else(|| usage());
+            let seed: u64 = get("seed").map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(42);
+            cmd_generate(&kind, count, seed)?
+        }
+        "info" => cmd_info(if flags.contains_key("ranks") { ranks } else { 40 }),
+        _ => usage(),
+    };
+    if let Some(path) = get("out") {
+        std::fs::write(path, &output)?;
+        Ok(String::new())
+    } else {
+        Ok(output)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Static banded DP (§3.3): evaluate only the cells within a fixed band of
+//! diagonals around the main diagonal, reducing complexity to O(w·(m+n)).
+//!
+//! This is the heuristic minimap2's KSW2 kernel implements on CPU and the
+//! "Static" column of Table 1. The band is the set of cells whose diagonal
+//! offset `d = j - i` lies in `[d_lo, d_hi]` where
+//! `d_lo = min(0, n-m) - w/2` and `d_hi = max(0, n-m) + w/2`, which always
+//! covers both `(0,0)` and `(m,n)`: a static band *always* produces a score,
+//! but it is the optimal score only when the optimal path stays inside
+//! (Table 1 measures exactly how often that holds).
+
+use crate::error::AlignError;
+use crate::scoring::ScoringScheme;
+use crate::seq::DnaSeq;
+use crate::traceback::{walk, BtCell, BtRow, Origin};
+use crate::{Alignment, Score, NEG_INF};
+
+/// Geometry of a static band for a given pair of lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandGeometry {
+    /// Lowest allowed diagonal offset `j - i`.
+    pub d_lo: i64,
+    /// Highest allowed diagonal offset `j - i`.
+    pub d_hi: i64,
+}
+
+impl BandGeometry {
+    /// Compute the band for band width `w`: diagonals `[-w/2, +w/2]` around
+    /// the main diagonal (Figure 3 A). The end cell `(m, n)` is inside only
+    /// when `|n - m| <= w/2` — as the paper notes, the static band size must
+    /// account for "the difference between the lengths of the 2 sequences",
+    /// and a band that is too small for the length difference is a failure.
+    pub fn new(m: usize, n: usize, w: usize) -> Self {
+        let _ = (m, n); // geometry is independent of the lengths
+        let half = (w / 2) as i64;
+        Self { d_lo: -half, d_hi: half }
+    }
+
+    /// Does this band contain the end cell for lengths `m`, `n`?
+    pub fn reaches_end(&self, m: usize, n: usize) -> bool {
+        self.contains(m, n)
+    }
+
+    /// Number of diagonals in the band (the storage row width).
+    pub fn width(&self) -> usize {
+        (self.d_hi - self.d_lo + 1) as usize
+    }
+
+    /// Is cell `(i, j)` inside the band?
+    #[inline]
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        let d = j as i64 - i as i64;
+        d >= self.d_lo && d <= self.d_hi
+    }
+
+    /// Storage index for `(i, j)`, or `None` when outside.
+    #[inline]
+    pub fn index(&self, i: usize, j: usize) -> Option<usize> {
+        let d = j as i64 - i as i64;
+        if d < self.d_lo || d > self.d_hi {
+            None
+        } else {
+            Some((d - self.d_lo) as usize)
+        }
+    }
+
+    /// The range of valid `j` for row `i` (clamped to `[0, n]`).
+    pub fn j_range(&self, i: usize, n: usize) -> std::ops::RangeInclusive<usize> {
+        let lo = (i as i64 + self.d_lo).max(0) as usize;
+        let hi = ((i as i64 + self.d_hi).min(n as i64)).max(0) as usize;
+        lo..=hi
+    }
+
+    /// Total number of DP cells the band evaluates (the workload actually
+    /// computed; the paper estimates it as `(m + n) * w`, eq. 6).
+    pub fn cells(&self, m: usize, n: usize) -> u64 {
+        (0..=m)
+            .map(|i| {
+                let r = self.j_range(i, n);
+                if r.is_empty() {
+                    0 // row entirely outside the matrix (large |n - m|)
+                } else {
+                    (r.end() - r.start() + 1) as u64
+                }
+            })
+            .sum()
+    }
+}
+
+/// Static banded affine-gap global aligner.
+#[derive(Debug, Clone)]
+pub struct BandedAligner {
+    scheme: ScoringScheme,
+    band: usize,
+}
+
+impl BandedAligner {
+    /// Build an aligner with band width `w` (must be >= 2).
+    pub fn new(scheme: ScoringScheme, band: usize) -> Self {
+        assert!(band >= 2, "band width must be at least 2");
+        Self { scheme, band }
+    }
+
+    /// The configured band width.
+    pub fn band(&self) -> usize {
+        self.band
+    }
+
+    /// The scoring scheme.
+    pub fn scheme(&self) -> &ScoringScheme {
+        &self.scheme
+    }
+
+    /// Band-constrained score only (no traceback storage).
+    pub fn score(&self, a: &DnaSeq, b: &DnaSeq) -> Result<Score, AlignError> {
+        self.run(a, b, false).map(|(s, _)| s)
+    }
+
+    /// Band-constrained alignment with CIGAR.
+    pub fn align(&self, a: &DnaSeq, b: &DnaSeq) -> Result<Alignment, AlignError> {
+        let (score, bt) = self.run(a, b, true)?;
+        let geom = BandGeometry::new(a.len(), b.len(), self.band);
+        let bt = bt.expect("BT requested");
+        let cigar = walk(a.len(), b.len(), self.band, |i, j| {
+            geom.index(i, j).map(|k| bt[i].get(k))
+        })?;
+        Ok(Alignment { score, cigar })
+    }
+
+    /// Row-wise banded Gotoh. Row `i` stores diagonals `d_lo..=d_hi`; cell
+    /// `(i, j)` lives at index `j - i - d_lo`, so:
+    /// * left  `(i, j-1)`  -> same row, index-1
+    /// * up    `(i-1, j)`  -> previous row, index+1
+    /// * diag  `(i-1, j-1)`-> previous row, same index
+    fn run(&self, a: &DnaSeq, b: &DnaSeq, want_bt: bool) -> Result<(Score, Option<Vec<BtRow>>), AlignError> {
+        let (m, n) = (a.len(), b.len());
+        let geom = BandGeometry::new(m, n, self.band);
+        if !geom.reaches_end(m, n) {
+            // The length difference alone exceeds the band: no global path.
+            return Err(AlignError::OutOfBand { band: self.band, m, n });
+        }
+        let width = geom.width();
+        let (go, ge) = (self.scheme.gap_open, self.scheme.gap_extend);
+
+        let mut h_prev = vec![NEG_INF; width];
+        let mut i_prev = vec![NEG_INF; width];
+        let mut h_cur = vec![NEG_INF; width];
+        let mut i_cur = vec![NEG_INF; width];
+        let mut bt: Vec<BtRow> = if want_bt {
+            (0..=m).map(|_| BtRow::new(width)).collect()
+        } else {
+            Vec::new()
+        };
+
+        // Row 0 boundary: H[0][j] = D[0][j] = -(go + j*ge); I[0][j] = -inf.
+        for j in geom.j_range(0, n) {
+            let k = geom.index(0, j).expect("row 0 in band");
+            h_prev[k] = if j == 0 { 0 } else { -go - (j as Score) * ge };
+        }
+
+        for i in 1..=m {
+            h_cur.fill(NEG_INF);
+            i_cur.fill(NEG_INF);
+            let ai = a.get(i - 1);
+            let mut d: Score = NEG_INF;
+            for j in geom.j_range(i, n) {
+                let k = geom.index(i, j).expect("j_range within band");
+                if j == 0 {
+                    // Column 0 boundary: H[i][0] = I[i][0] = -(go + i*ge).
+                    h_cur[k] = -go - (i as Score) * ge;
+                    i_cur[k] = h_cur[k];
+                    d = NEG_INF;
+                    continue;
+                }
+                // Left neighbour (i, j-1): index k-1 when inside the band.
+                let h_left = if k > 0 { h_cur[k - 1] } else { NEG_INF };
+                let d_extend = d != NEG_INF && d - ge >= h_left - go - ge;
+                d = (if d == NEG_INF { NEG_INF } else { d - ge }).max(h_left - go - ge);
+                // Up neighbour (i-1, j): index k+1 in the previous row.
+                let (h_up, i_up) = if k + 1 < width {
+                    (h_prev[k + 1], i_prev[k + 1])
+                } else {
+                    (NEG_INF, NEG_INF)
+                };
+                let i_extend = i_up != NEG_INF && i_up - ge >= h_up - go - ge;
+                let ins = (if i_up == NEG_INF { NEG_INF } else { i_up - ge }).max(h_up - go - ge);
+                i_cur[k] = ins;
+                // Diagonal neighbour (i-1, j-1): same index in previous row.
+                let sub = self.scheme.substitution(ai, b.get(j - 1));
+                let diag = h_prev[k].saturating_add(sub).max(NEG_INF);
+                let best = diag.max(d).max(ins);
+                h_cur[k] = best;
+                if want_bt {
+                    let origin = if best == diag && h_prev[k] > NEG_INF {
+                        if sub > 0 { Origin::DiagMatch } else { Origin::DiagMismatch }
+                    } else if best == ins {
+                        Origin::Ins
+                    } else {
+                        Origin::Del
+                    };
+                    bt[i].set(k, BtCell::new(origin, i_extend, d_extend));
+                }
+            }
+            std::mem::swap(&mut h_prev, &mut h_cur);
+            std::mem::swap(&mut i_prev, &mut i_cur);
+        }
+
+        let k_final = geom
+            .index(m, n)
+            .ok_or(AlignError::OutOfBand { band: self.band, m, n })?;
+        let score = h_prev[k_final];
+        // Reachable scores are bounded by score_bound << |NEG_INF|/2; anything
+        // this low is sentinel arithmetic, not a real path.
+        if score < NEG_INF / 2 {
+            return Err(AlignError::OutOfBand { band: self.band, m, n });
+        }
+        Ok((score, want_bt.then_some(bt)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full::FullAligner;
+
+    fn seq(text: &str) -> DnaSeq {
+        DnaSeq::from_ascii(text.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn geometry_covers_endpoints_when_band_spans_length_difference() {
+        for (m, n, w) in [(10, 10, 4), (10, 12, 4), (20, 10, 24), (0, 1, 2), (100, 97, 8)] {
+            let g = BandGeometry::new(m, n, w);
+            assert!(g.contains(0, 0), "({m},{n},{w}) start");
+            assert!(g.reaches_end(m, n), "({m},{n},{w}) end");
+        }
+    }
+
+    #[test]
+    fn geometry_misses_endpoint_when_length_difference_exceeds_half_band() {
+        for (m, n, w) in [(10, 20, 4), (0, 5, 2), (100, 90, 16)] {
+            let g = BandGeometry::new(m, n, w);
+            assert!(g.contains(0, 0));
+            assert!(!g.reaches_end(m, n), "({m},{n},{w}) should not reach");
+        }
+    }
+
+    #[test]
+    fn geometry_width_is_fixed() {
+        assert_eq!(BandGeometry::new(10, 10, 8).width(), 9); // [-4, 4]
+        assert_eq!(BandGeometry::new(10, 15, 8).width(), 9); // independent of lengths
+    }
+
+    #[test]
+    fn geometry_index_matches_contains() {
+        let g = BandGeometry::new(50, 55, 16);
+        for i in 0..=50usize {
+            for j in 0..=55usize {
+                assert_eq!(g.contains(i, j), g.index(i, j).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn geometry_cells_close_to_eq6() {
+        // The paper's workload estimate (m+n)*w should be within 2x of the
+        // real banded cell count for same-length sequences.
+        let (m, n, w) = (1000usize, 1000usize, 128usize);
+        let cells = BandGeometry::new(m, n, w).cells(m, n);
+        let est = ((m + n) * w) as u64;
+        assert!(cells < est, "band computes fewer cells than the 2w estimate");
+        assert!(cells * 2 > est / 2);
+    }
+
+    #[test]
+    fn wide_band_equals_full_dp() {
+        let pairs = [
+            ("GATTACAGATTACA", "GATTACAGATTACA"),
+            ("ACGTACGTACGT", "ACGTTACGTAGT"),
+            ("AAAAAAAAAA", "AAAATTAAAAAA"),
+            ("GATTACA", "GCTACAT"),
+        ];
+        let scheme = ScoringScheme::default();
+        let full = FullAligner::affine(scheme);
+        for (x, y) in pairs {
+            let (a, b) = (seq(x), seq(y));
+            let banded = BandedAligner::new(scheme, 2 * (a.len() + b.len()).max(2));
+            let aln = banded.align(&a, &b).unwrap();
+            assert_eq!(aln.score, full.score(&a, &b), "{x} vs {y}");
+            aln.cigar.validate(&a, &b).unwrap();
+            assert_eq!(aln.cigar.score(&scheme), aln.score);
+        }
+    }
+
+    #[test]
+    fn narrow_band_may_be_suboptimal_but_valid() {
+        // Equal lengths, but the optimal path bulges away from the diagonal:
+        // an insertion early in A is compensated by a deletion late in A.
+        // Band 4 misses that path but must still return a self-consistent
+        // (suboptimal) alignment because the end cell stays in the band.
+        let core = "ACGTGGTCATCGAT";
+        let a_text = format!("{}TTTTTTTTTT{}", core.repeat(2), core.repeat(2));
+        let b_text = format!("{}{}TTTTTTTTTT", core.repeat(2), core.repeat(2));
+        let (a, b) = (seq(&a_text), seq(&b_text));
+        assert_eq!(a.len(), b.len());
+        let scheme = ScoringScheme::default();
+        let banded = BandedAligner::new(scheme, 4);
+        let full = FullAligner::affine(scheme);
+        let aln = banded.align(&a, &b).unwrap();
+        aln.cigar.validate(&a, &b).unwrap();
+        assert!(aln.score < full.score(&a, &b), "band 4 must be suboptimal here");
+    }
+
+    #[test]
+    fn score_equals_align_score() {
+        let a = seq("ACGTACGGGGTACGTACGT");
+        let b = seq("ACGTACGTACGTAGGT");
+        let banded = BandedAligner::new(ScoringScheme::default(), 8);
+        assert_eq!(banded.score(&a, &b).unwrap(), banded.align(&a, &b).unwrap().score);
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let banded = BandedAligner::new(ScoringScheme::default(), 8);
+        let aln = banded.align(&DnaSeq::new(), &DnaSeq::new()).unwrap();
+        assert_eq!(aln.score, 0);
+        let aln = banded.align(&seq("ACG"), &DnaSeq::new()).unwrap();
+        assert_eq!(aln.cigar.to_string(), "3I");
+        let aln = banded.align(&DnaSeq::new(), &seq("ACG")).unwrap();
+        assert_eq!(aln.cigar.to_string(), "3D");
+    }
+
+    #[test]
+    fn length_difference_beyond_half_band_is_out_of_band() {
+        let a = seq("ACGT");
+        let b = seq("ACGTACGTACGTACGTACGTACGTACGT");
+        let banded = BandedAligner::new(ScoringScheme::default(), 4);
+        let err = banded.align(&a, &b).unwrap_err();
+        assert_eq!(err, AlignError::OutOfBand { band: 4, m: 4, n: 28 });
+        // A band wide enough for the difference succeeds.
+        let banded = BandedAligner::new(ScoringScheme::default(), 64);
+        banded.align(&a, &b).unwrap().cigar.validate(&a, &b).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "band width must be at least 2")]
+    fn tiny_band_rejected() {
+        BandedAligner::new(ScoringScheme::default(), 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type shared by the aligners.
+
+use std::fmt;
+
+/// Errors reported by the alignment routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignError {
+    /// A byte that is not one of `A`, `C`, `G`, `T`, `N` (case-insensitive)
+    /// was found while parsing a sequence.
+    InvalidBase {
+        /// 0-based offset of the offending byte.
+        position: usize,
+        /// The byte found.
+        byte: u8,
+    },
+    /// The optimal path left the band: the final cell `(m, n)` was never
+    /// covered by the band window, so no score can be reported.
+    /// The paper counts such pairs as alignment failures (Table 1 accuracy).
+    OutOfBand {
+        /// Band width in use.
+        band: usize,
+        /// Length of sequence `A`.
+        m: usize,
+        /// Length of sequence `B`.
+        n: usize,
+    },
+    /// Band width must be non-zero (and for the adaptive aligner, >= 2 so a
+    /// window has two extremities to compare).
+    BandTooSmall {
+        /// The rejected band width.
+        band: usize,
+    },
+    /// Both sequences are empty — the alignment is trivial but callers almost
+    /// always indicate a bug upstream, so we surface it.
+    EmptyInput,
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignError::InvalidBase { position, byte } => {
+                write!(f, "invalid base 0x{byte:02x} at position {position}")
+            }
+            AlignError::OutOfBand { band, m, n } => write!(
+                f,
+                "optimal path left the band (width {band}) for sequences of length {m} and {n}"
+            ),
+            AlignError::BandTooSmall { band } => {
+                write!(f, "band width {band} is too small")
+            }
+            AlignError::EmptyInput => write!(f, "both input sequences are empty"),
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = AlignError::InvalidBase { position: 3, byte: b'Z' };
+        assert!(e.to_string().contains("0x5a"));
+        assert!(e.to_string().contains("position 3"));
+        let e = AlignError::OutOfBand { band: 16, m: 100, n: 90 };
+        assert!(e.to_string().contains("width 16"));
+        let e = AlignError::BandTooSmall { band: 1 };
+        assert!(e.to_string().contains('1'));
+        assert!(!AlignError::EmptyInput.to_string().is_empty());
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(AlignError::EmptyInput, AlignError::EmptyInput);
+        assert_ne!(
+            AlignError::BandTooSmall { band: 0 },
+            AlignError::BandTooSmall { band: 1 }
+        );
+    }
+}

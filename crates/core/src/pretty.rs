@@ -1,0 +1,156 @@
+//! Figure-1-style rendering of an alignment: the two sequences padded with
+//! `-` at gaps, and a rail of `|` (match), `*` (mismatch), ` ` (gap).
+
+use crate::cigar::{Cigar, CigarOp};
+use crate::seq::DnaSeq;
+
+/// A rendered alignment: three equal-length ASCII rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rendering {
+    /// Sequence `A` with `-` where `B` has unmatched bases.
+    pub top: String,
+    /// `|`, `*` or ` ` per column.
+    pub rail: String,
+    /// Sequence `B` with `-` where `A` has unmatched bases.
+    pub bottom: String,
+}
+
+impl Rendering {
+    /// Render the alignment of `a` and `b` described by `cigar`.
+    ///
+    /// # Panics
+    /// If the CIGAR consumes more bases than the sequences provide; call
+    /// [`Cigar::validate`] first for untrusted input.
+    pub fn new(a: &DnaSeq, b: &DnaSeq, cigar: &Cigar) -> Rendering {
+        let cols = cigar.alignment_columns();
+        let mut top = String::with_capacity(cols);
+        let mut rail = String::with_capacity(cols);
+        let mut bottom = String::with_capacity(cols);
+        let (mut i, mut j) = (0usize, 0usize);
+        for op in cigar.ops() {
+            match op {
+                CigarOp::Match => {
+                    top.push(a.get(i).to_ascii() as char);
+                    rail.push('|');
+                    bottom.push(b.get(j).to_ascii() as char);
+                    i += 1;
+                    j += 1;
+                }
+                CigarOp::Mismatch => {
+                    top.push(a.get(i).to_ascii() as char);
+                    rail.push('*');
+                    bottom.push(b.get(j).to_ascii() as char);
+                    i += 1;
+                    j += 1;
+                }
+                CigarOp::Insertion => {
+                    top.push(a.get(i).to_ascii() as char);
+                    rail.push(' ');
+                    bottom.push('-');
+                    i += 1;
+                }
+                CigarOp::Deletion => {
+                    top.push('-');
+                    rail.push(' ');
+                    bottom.push(b.get(j).to_ascii() as char);
+                    j += 1;
+                }
+            }
+        }
+        Rendering { top, rail, bottom }
+    }
+
+    /// Format wrapped to `width` columns per block, blocks separated by a
+    /// blank line.
+    pub fn to_wrapped(&self, width: usize) -> String {
+        assert!(width > 0, "wrap width must be positive");
+        let mut out = String::new();
+        let cols = self.top.len();
+        let mut start = 0;
+        while start < cols {
+            let end = (start + width).min(cols);
+            if start > 0 {
+                out.push('\n');
+            }
+            out.push_str(&self.top[start..end]);
+            out.push('\n');
+            out.push_str(&self.rail[start..end]);
+            out.push('\n');
+            out.push_str(&self.bottom[start..end]);
+            out.push('\n');
+            start = end;
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Rendering {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}\n{}\n{}", self.top, self.rail, self.bottom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(text: &str) -> DnaSeq {
+        DnaSeq::from_ascii(text.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn figure1_shape() {
+        // One mismatch, one insertion, one deletion — Figure 1 of the paper.
+        let a = seq("GATTACA");
+        let b = seq("GCTACAT");
+        let cigar = Cigar::parse("1=1X1=1I3=1D").unwrap();
+        cigar.validate(&a, &b).unwrap();
+        let r = Rendering::new(&a, &b, &cigar);
+        assert_eq!(r.top, "GATTACA-");
+        assert_eq!(r.rail, "|*| ||| ");
+        assert_eq!(r.bottom, "GCT-ACAT");
+    }
+
+    #[test]
+    fn rows_have_equal_length() {
+        let a = seq("ACGTACGT");
+        let b = seq("ACGACGTT");
+        let cigar = Cigar::parse("3=1I3=1D1=").unwrap();
+        let r = Rendering::new(&a, &b, &cigar);
+        assert_eq!(r.top.len(), r.rail.len());
+        assert_eq!(r.rail.len(), r.bottom.len());
+        assert_eq!(r.top.len(), cigar.alignment_columns());
+    }
+
+    #[test]
+    fn wrapping_splits_blocks() {
+        let a = seq("ACGTACGTAC");
+        let b = seq("ACGTACGTAC");
+        let cigar = Cigar::parse("10=").unwrap();
+        let r = Rendering::new(&a, &b, &cigar);
+        let wrapped = r.to_wrapped(4);
+        let lines: Vec<&str> = wrapped.lines().collect();
+        // 3 blocks of 3 rows + 2 separators = 11 lines.
+        assert_eq!(lines.len(), 11);
+        assert_eq!(lines[0], "ACGT");
+        assert_eq!(lines[1], "||||");
+        assert_eq!(lines[4], "ACGT");
+        assert_eq!(lines[8], "AC");
+    }
+
+    #[test]
+    fn display_is_three_lines() {
+        let a = seq("AC");
+        let b = seq("AC");
+        let r = Rendering::new(&a, &b, &Cigar::parse("2=").unwrap());
+        assert_eq!(r.to_string(), "AC\n||\nAC");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrap width must be positive")]
+    fn zero_wrap_width_panics() {
+        let a = seq("A");
+        let r = Rendering::new(&a, &a, &Cigar::parse("1=").unwrap());
+        r.to_wrapped(0);
+    }
+}

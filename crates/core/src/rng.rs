@@ -1,0 +1,98 @@
+//! A tiny deterministic RNG (SplitMix64) used for the ambiguous-base (`N`)
+//! substitution policy.
+//!
+//! `nw-core` deliberately has no external dependencies; the only randomness it
+//! needs is the paper's §4.1.1 policy of replacing `N` by a random nucleotide
+//! (as metaFlye does), which must be reproducible from a seed. Dataset
+//! generation uses the real `rand` crate in the `datasets` crate.
+
+/// SplitMix64: tiny, fast, passes BigCrush, and perfectly adequate for
+/// choosing substitution nucleotides deterministically.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Equal seeds produce equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    /// Uses the widening-multiply trick; the modulo bias is negligible for
+    /// the tiny bounds (4) used here but we debias anyway for correctness.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be non-zero");
+        // Lemire's nearly-divisionless method.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SplitMix64::new(7);
+        for bound in [1u64, 2, 3, 4, 5, 17, 255] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_covers_all_residues() {
+        let mut rng = SplitMix64::new(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.below(4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 4 nucleotides should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be non-zero")]
+    fn below_zero_bound_panics() {
+        SplitMix64::new(0).below(0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Scoring schemes for the maximizing N&W recursion (paper eqs. 1–5).
+//!
+//! The paper uses the affine model of Gotoh: a substitution score
+//! `sub(a, b)` (positive for a match, negative for a mismatch) plus separate
+//! `gap_open` and `gap_extend` penalties. A gap of length `k` costs
+//! `gap_open + k * gap_extend`.
+
+use crate::seq::Base;
+use crate::Score;
+
+/// An affine-gap scoring scheme.
+///
+/// Penalties are stored as *positive magnitudes* and subtracted by the
+/// recursion, matching the paper's `−gap_open − gap_ext` notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScoringScheme {
+    /// Score added for a match (`> 0`).
+    pub match_score: Score,
+    /// Penalty subtracted for a mismatch (`>= 0`).
+    pub mismatch_penalty: Score,
+    /// Penalty for opening a gap (`>= 0`).
+    pub gap_open: Score,
+    /// Penalty for each gapped base, including the first (`> 0`).
+    pub gap_extend: Score,
+}
+
+impl Default for ScoringScheme {
+    /// minimap2's defaults for map-ont style alignment: `A=2, B=4, q=4, e=2`.
+    /// These are the parameters under which the paper's KSW2 baseline runs.
+    fn default() -> Self {
+        Self { match_score: 2, mismatch_penalty: 4, gap_open: 4, gap_extend: 2 }
+    }
+}
+
+impl ScoringScheme {
+    /// Build a scheme, validating the invariants the banded DP relies on.
+    ///
+    /// # Panics
+    /// When `match_score <= 0`, `gap_extend <= 0`, or any magnitude is
+    /// negative — such schemes make the adaptive band drift heuristic
+    /// meaningless.
+    pub fn new(match_score: Score, mismatch_penalty: Score, gap_open: Score, gap_extend: Score) -> Self {
+        assert!(match_score > 0, "match score must be positive");
+        assert!(mismatch_penalty >= 0, "mismatch penalty must be non-negative");
+        assert!(gap_open >= 0, "gap open penalty must be non-negative");
+        assert!(gap_extend > 0, "gap extend penalty must be positive");
+        Self { match_score, mismatch_penalty, gap_open, gap_extend }
+    }
+
+    /// Unit edit-distance-like scheme, handy for tests: match +1,
+    /// mismatch −1, open −1, extend −1.
+    pub fn unit() -> Self {
+        Self { match_score: 1, mismatch_penalty: 1, gap_open: 1, gap_extend: 1 }
+    }
+
+    /// `sub(a, b)` from eq. 1: positive on match, negative on mismatch.
+    #[inline(always)]
+    pub fn substitution(&self, a: Base, b: Base) -> Score {
+        if a == b {
+            self.match_score
+        } else {
+            -self.mismatch_penalty
+        }
+    }
+
+    /// Total penalty of a gap of `len` bases: `gap_open + len * gap_extend`
+    /// (returned as a non-negative magnitude).
+    #[inline]
+    pub fn gap_cost(&self, len: usize) -> Score {
+        if len == 0 {
+            0
+        } else {
+            self.gap_open + (len as Score) * self.gap_extend
+        }
+    }
+
+    /// Score of a perfect alignment of `len` matching bases.
+    #[inline]
+    pub fn perfect(&self, len: usize) -> Score {
+        self.match_score * len as Score
+    }
+
+    /// Upper bound on |score| for sequences of length `m`, `n` — used to
+    /// size fixed-point representations and to check for overflow headroom.
+    pub fn score_bound(&self, m: usize, n: usize) -> Score {
+        let max_len = m.max(n) as Score;
+        let worst = self
+            .mismatch_penalty
+            .max(self.gap_extend)
+            .max(self.match_score);
+        self.gap_open + worst * (max_len + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_minimap2_like() {
+        let s = ScoringScheme::default();
+        assert_eq!((s.match_score, s.mismatch_penalty, s.gap_open, s.gap_extend), (2, 4, 4, 2));
+    }
+
+    #[test]
+    fn substitution_sign() {
+        let s = ScoringScheme::default();
+        assert_eq!(s.substitution(Base::A, Base::A), 2);
+        assert_eq!(s.substitution(Base::A, Base::C), -4);
+    }
+
+    #[test]
+    fn gap_cost_is_affine() {
+        let s = ScoringScheme::default();
+        assert_eq!(s.gap_cost(0), 0);
+        assert_eq!(s.gap_cost(1), 6);
+        assert_eq!(s.gap_cost(10), 24);
+        // A long gap is cheaper than repeated 1-gaps: the point of Gotoh.
+        assert!(s.gap_cost(10) < 10 * s.gap_cost(1));
+    }
+
+    #[test]
+    fn perfect_score() {
+        assert_eq!(ScoringScheme::default().perfect(100), 200);
+        assert_eq!(ScoringScheme::unit().perfect(3), 3);
+    }
+
+    #[test]
+    fn score_bound_dominates_real_scores() {
+        let s = ScoringScheme::default();
+        assert!(s.score_bound(100, 90) >= s.perfect(100));
+        assert!(s.score_bound(100, 90) >= s.gap_cost(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "match score must be positive")]
+    fn zero_match_rejected() {
+        ScoringScheme::new(0, 1, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gap extend penalty must be positive")]
+    fn zero_extend_rejected() {
+        ScoringScheme::new(1, 1, 1, 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based tests for the alignment core.
+//!
+//! These check the algebraic invariants the rest of the system (DPU kernel,
+//! host pipeline, benchmarks) relies on: banded aligners never beat the
+//! exact DP, wide bands are exact, CIGARs always reconstruct their inputs,
+//! and the 2-bit packing is lossless.
+
+use nw_core::adaptive::AdaptiveAligner;
+use nw_core::banded::BandedAligner;
+use nw_core::cigar::Cigar;
+use nw_core::full::{FullAligner, GapModel};
+use nw_core::seq::{Base, DnaSeq};
+use nw_core::traceback::{BtCell, BtRow};
+use nw_core::wfa::{Penalties, WfaAligner};
+use nw_core::ScoringScheme;
+use proptest::prelude::*;
+
+fn arb_seq(max_len: usize) -> impl Strategy<Value = DnaSeq> {
+    prop::collection::vec(0u8..4, 0..=max_len)
+        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+}
+
+fn arb_scheme() -> impl Strategy<Value = ScoringScheme> {
+    (1i32..=4, 0i32..=6, 0i32..=8, 1i32..=4)
+        .prop_map(|(m, x, go, ge)| ScoringScheme::new(m, x, go, ge))
+}
+
+/// A pair of related sequences: `b` derives from `a` through point mutations
+/// and short indels, like reads from the same genomic region.
+fn arb_related_pair() -> impl Strategy<Value = (DnaSeq, DnaSeq)> {
+    (arb_seq(60), prop::collection::vec((0usize..60, 0u8..6, 0u8..4), 0..8)).prop_map(
+        |(a, edits)| {
+            let mut b: Vec<Base> = a.as_slice().to_vec();
+            for (pos, kind, code) in edits {
+                if b.is_empty() {
+                    break;
+                }
+                let pos = pos % b.len();
+                match kind {
+                    0 | 1 | 2 => b[pos] = Base::from_code(code), // substitution
+                    3 | 4 => b.insert(pos, Base::from_code(code)), // insertion
+                    _ => {
+                        b.remove(pos);
+                    }
+                }
+            }
+            (a, DnaSeq::from_bases(b))
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn packing_round_trips(seq in arb_seq(300)) {
+        let packed = seq.pack();
+        prop_assert_eq!(packed.unpack(), seq.clone());
+        prop_assert_eq!(packed.len(), seq.len());
+        prop_assert_eq!(packed.byte_len(), seq.len().div_ceil(4));
+    }
+
+    #[test]
+    fn reverse_complement_involution(seq in arb_seq(200)) {
+        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+
+    #[test]
+    fn full_align_score_matches_score_only(
+        (a, b) in arb_related_pair(),
+        scheme in arb_scheme(),
+    ) {
+        let full = FullAligner::affine(scheme);
+        let aln = full.align(&a, &b).unwrap();
+        prop_assert_eq!(aln.score, full.score(&a, &b));
+        prop_assert!(aln.cigar.validate(&a, &b).is_ok());
+        prop_assert_eq!(aln.cigar.score(&scheme), aln.score);
+    }
+
+    #[test]
+    fn linear_align_is_consistent((a, b) in arb_related_pair()) {
+        let full = FullAligner::new(ScoringScheme::unit(), GapModel::Linear);
+        let aln = full.align(&a, &b).unwrap();
+        prop_assert_eq!(aln.score, full.score(&a, &b));
+        prop_assert!(aln.cigar.validate(&a, &b).is_ok());
+    }
+
+    #[test]
+    fn score_is_symmetric((a, b) in arb_related_pair(), scheme in arb_scheme()) {
+        let full = FullAligner::affine(scheme);
+        prop_assert_eq!(full.score(&a, &b), full.score(&b, &a));
+    }
+
+    #[test]
+    fn self_alignment_is_perfect(a in arb_seq(80), scheme in arb_scheme()) {
+        let full = FullAligner::affine(scheme);
+        prop_assert_eq!(full.score(&a, &a), scheme.perfect(a.len()));
+    }
+
+    #[test]
+    fn wide_adaptive_band_is_exact((a, b) in arb_related_pair(), scheme in arb_scheme()) {
+        let w = 2 * (a.len() + b.len()) + 4;
+        let adaptive = AdaptiveAligner::new(scheme, w);
+        let full = FullAligner::affine(scheme);
+        let aln = adaptive.align(&a, &b).unwrap();
+        prop_assert_eq!(aln.score, full.score(&a, &b));
+        prop_assert!(aln.cigar.validate(&a, &b).is_ok());
+        prop_assert_eq!(aln.cigar.score(&scheme), aln.score);
+    }
+
+    #[test]
+    fn wide_static_band_is_exact((a, b) in arb_related_pair(), scheme in arb_scheme()) {
+        let w = 2 * (a.len() + b.len()) + 4;
+        let banded = BandedAligner::new(scheme, w);
+        let full = FullAligner::affine(scheme);
+        let aln = banded.align(&a, &b).unwrap();
+        prop_assert_eq!(aln.score, full.score(&a, &b));
+        prop_assert!(aln.cigar.validate(&a, &b).is_ok());
+    }
+
+    #[test]
+    fn banded_never_beats_optimal((a, b) in arb_related_pair()) {
+        let scheme = ScoringScheme::default();
+        let optimal = FullAligner::affine(scheme).score(&a, &b);
+        for w in [4usize, 8, 16, 32] {
+            if let Ok(s) = BandedAligner::new(scheme, w).score(&a, &b) {
+                prop_assert!(s <= optimal, "static w={} score {} > optimal {}", w, s, optimal);
+            }
+            if let Ok(s) = AdaptiveAligner::new(scheme, w).score(&a, &b) {
+                prop_assert!(s <= optimal, "adaptive w={} score {} > optimal {}", w, s, optimal);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_cigar_consistent_at_any_width((a, b) in arb_related_pair(), w in 4usize..40) {
+        let scheme = ScoringScheme::default();
+        if let Ok(aln) = AdaptiveAligner::new(scheme, w).align(&a, &b) {
+            prop_assert!(aln.cigar.validate(&a, &b).is_ok());
+            prop_assert_eq!(aln.cigar.score(&scheme), aln.score);
+        }
+    }
+
+    #[test]
+    fn static_cigar_consistent_at_any_width((a, b) in arb_related_pair(), w in 4usize..40) {
+        let scheme = ScoringScheme::default();
+        if let Ok(aln) = BandedAligner::new(scheme, w).align(&a, &b) {
+            prop_assert!(aln.cigar.validate(&a, &b).is_ok());
+            prop_assert_eq!(aln.cigar.score(&scheme), aln.score);
+        }
+    }
+
+    #[test]
+    fn adaptive_window_always_covers_final_cell((a, b) in arb_related_pair(), w in 8usize..48) {
+        if let Ok(out) = AdaptiveAligner::new(ScoringScheme::default(), w).align_traced(&a, &b) {
+            let o_final = *out.trace.origins.last().unwrap();
+            let k = a.len() as i64 - o_final;
+            prop_assert!((0..w as i64).contains(&k));
+            // Down-shift count equals total origin movement.
+            prop_assert_eq!(
+                out.trace.downs() as i64,
+                o_final - out.trace.origins[0]
+            );
+        }
+    }
+
+    #[test]
+    fn cigar_text_round_trips((a, b) in arb_related_pair()) {
+        let aln = FullAligner::affine(ScoringScheme::default()).align(&a, &b).unwrap();
+        let text = aln.cigar.to_string();
+        if text.is_empty() {
+            prop_assert_eq!(a.len() + b.len(), 0);
+        } else {
+            prop_assert_eq!(Cigar::parse(&text).unwrap(), aln.cigar);
+        }
+    }
+
+    #[test]
+    fn bt_row_round_trips(cells in prop::collection::vec(0u8..16, 1..128)) {
+        let mut row = BtRow::new(cells.len());
+        for (i, &c) in cells.iter().enumerate() {
+            row.set(i, BtCell(c));
+        }
+        for (i, &c) in cells.iter().enumerate() {
+            prop_assert_eq!(row.get(i).bits(), c & 0x0F);
+        }
+        let rebuilt = BtRow::from_bytes(row.as_bytes().to_vec(), cells.len()).unwrap();
+        for (i, &c) in cells.iter().enumerate() {
+            prop_assert_eq!(rebuilt.get(i).bits(), c & 0x0F);
+        }
+    }
+
+    #[test]
+    fn wfa_agrees_with_gotoh_through_the_transform((a, b) in arb_related_pair()) {
+        let scheme = ScoringScheme::default();
+        let pens = Penalties::from_scheme(&scheme);
+        let wfa = WfaAligner::new(pens);
+        let aln = wfa.align(&a, &b).unwrap();
+        prop_assert!(aln.cigar.validate(&a, &b).is_ok());
+        let score = pens.penalty_to_score(&scheme, a.len(), b.len(), aln.penalty);
+        let full = FullAligner::affine(scheme);
+        prop_assert_eq!(score, full.score(&a, &b));
+        // The CIGAR rescored under the maximizing scheme reaches the same
+        // optimum (WFA and Gotoh agree on the alignment, not just the value).
+        prop_assert_eq!(aln.cigar.score(&scheme), score);
+    }
+
+    #[test]
+    fn wfa_penalty_is_metric_like((a, b) in arb_related_pair()) {
+        let wfa = WfaAligner::new(Penalties::default());
+        let p_ab = wfa.penalty(&a, &b).unwrap();
+        let p_ba = wfa.penalty(&b, &a).unwrap();
+        prop_assert_eq!(p_ab, p_ba, "symmetry");
+        prop_assert_eq!(wfa.penalty(&a, &a).unwrap(), 0, "identity");
+    }
+
+    #[test]
+    fn identity_is_bounded((a, b) in arb_related_pair()) {
+        let aln = FullAligner::affine(ScoringScheme::default()).align(&a, &b).unwrap();
+        let id = aln.identity();
+        prop_assert!((0.0..=1.0).contains(&id));
+    }
+}

@@ -1,0 +1,275 @@
+//! A KSW2-style static banded affine aligner.
+//!
+//! Same algorithm and band geometry as [`nw_core::banded::BandedAligner`]
+//! (results are bit-identical), restructured the way KSW2 structures it for
+//! speed on a CPU:
+//!
+//! * a **query profile**: for each of the four nucleotides, the per-column
+//!   substitution scores against `B` are precomputed into a flat array, so
+//!   the inner loop indexes a slice instead of branching on base equality —
+//!   the "query sequence profile, a branchless programming strategy" of
+//!   §5.1;
+//! * flat rolling arrays indexed by diagonal, with the row's in-band span
+//!   hoisted out of the loop;
+//! * a score-only fast path with no `BT` writes at all.
+
+use nw_core::banded::BandGeometry;
+use nw_core::error::AlignError;
+use nw_core::seq::{Base, DnaSeq};
+use nw_core::traceback::{walk, BtCell, BtRow, Origin};
+use nw_core::{Alignment, Score, ScoringScheme, NEG_INF};
+
+/// KSW2-style banded aligner.
+#[derive(Debug, Clone)]
+pub struct Ksw2Aligner {
+    scheme: ScoringScheme,
+    band: usize,
+}
+
+/// Per-reference query profile: `profile[c * (n + 1) + j]` is
+/// `sub(c, b[j-1])` for nucleotide code `c` (j is 1-based like the DP).
+fn build_profile(scheme: &ScoringScheme, b: &DnaSeq) -> Vec<Score> {
+    let n = b.len();
+    let mut profile = vec![0; 4 * (n + 1)];
+    for c in 0..4u8 {
+        let base = Base::from_code(c);
+        let row = &mut profile[(c as usize) * (n + 1)..(c as usize + 1) * (n + 1)];
+        for (j, slot) in row.iter_mut().enumerate().skip(1) {
+            *slot = scheme.substitution(base, b.get(j - 1));
+        }
+    }
+    profile
+}
+
+impl Ksw2Aligner {
+    /// Build an aligner with band width `band` (>= 2).
+    pub fn new(scheme: ScoringScheme, band: usize) -> Self {
+        assert!(band >= 2, "band width must be at least 2");
+        Self { scheme, band }
+    }
+
+    /// Band width.
+    pub fn band(&self) -> usize {
+        self.band
+    }
+
+    /// Scoring scheme.
+    pub fn scheme(&self) -> &ScoringScheme {
+        &self.scheme
+    }
+
+    /// Number of DP cells the banded sweep evaluates for lengths `(m, n)` —
+    /// the workload measure used by the runtime model.
+    pub fn cells(&self, m: usize, n: usize) -> u64 {
+        BandGeometry::new(m, n, self.band).cells(m, n)
+    }
+
+    /// Score-only alignment (fast path).
+    pub fn score(&self, a: &DnaSeq, b: &DnaSeq) -> Result<Score, AlignError> {
+        self.run::<false>(a, b).map(|(s, _)| s)
+    }
+
+    /// Alignment with CIGAR.
+    pub fn align(&self, a: &DnaSeq, b: &DnaSeq) -> Result<Alignment, AlignError> {
+        let (m, n) = (a.len(), b.len());
+        let (score, bt) = self.run::<true>(a, b)?;
+        let geom = BandGeometry::new(m, n, self.band);
+        let bt = bt.expect("BT requested");
+        let cigar = walk(m, n, self.band, |i, j| geom.index(i, j).map(|k| bt[i].get(k)))?;
+        Ok(Alignment { score, cigar })
+    }
+
+    /// The banded sweep. `WANT_BT` selects traceback recording at compile
+    /// time so the score-only path carries zero per-cell overhead.
+    fn run<const WANT_BT: bool>(
+        &self,
+        a: &DnaSeq,
+        b: &DnaSeq,
+    ) -> Result<(Score, Option<Vec<BtRow>>), AlignError> {
+        let (m, n) = (a.len(), b.len());
+        let geom = BandGeometry::new(m, n, self.band);
+        if !geom.reaches_end(m, n) {
+            return Err(AlignError::OutOfBand { band: self.band, m, n });
+        }
+        let width = geom.width();
+        let (go, ge) = (self.scheme.gap_open, self.scheme.gap_extend);
+        let profile = build_profile(&self.scheme, b);
+        let np1 = n + 1;
+
+        let mut h_prev = vec![NEG_INF; width];
+        let mut i_prev = vec![NEG_INF; width];
+        let mut h_cur = vec![NEG_INF; width];
+        let mut i_cur = vec![NEG_INF; width];
+        let mut bt: Vec<BtRow> = if WANT_BT {
+            (0..=m).map(|_| BtRow::new(width)).collect()
+        } else {
+            Vec::new()
+        };
+
+        for j in geom.j_range(0, n) {
+            let k = geom.index(0, j).expect("row 0 in band");
+            h_prev[k] = if j == 0 { 0 } else { -go - (j as Score) * ge };
+        }
+
+        for i in 1..=m {
+            h_cur.fill(NEG_INF);
+            i_cur.fill(NEG_INF);
+            let code = a.get(i - 1).code() as usize;
+            let prof = &profile[code * np1..(code + 1) * np1];
+            let jr = geom.j_range(i, n);
+            let (j_lo, j_hi) = (*jr.start(), *jr.end());
+            let mut d: Score = NEG_INF;
+            // Hoist the j == 0 boundary out of the hot loop.
+            let mut j = j_lo;
+            if j == 0 {
+                let k = geom.index(i, 0).expect("in band");
+                h_cur[k] = -go - (i as Score) * ge;
+                i_cur[k] = h_cur[k];
+                j = 1;
+            }
+            let k0 = geom.index(i, j).expect("in band");
+            let mut k = k0;
+            while j <= j_hi {
+                let h_left = if k > 0 { h_cur[k - 1] } else { NEG_INF };
+                let open_d = h_left - go - ge;
+                let ext_d = d - ge;
+                let d_extend = ext_d >= open_d;
+                d = if d_extend { ext_d } else { open_d };
+                let (h_up, i_up) = if k + 1 < width {
+                    (h_prev[k + 1], i_prev[k + 1])
+                } else {
+                    (NEG_INF, NEG_INF)
+                };
+                let open_i = h_up - go - ge;
+                let ext_i = i_up - ge;
+                let i_extend = ext_i >= open_i;
+                let ins = if i_extend { ext_i } else { open_i };
+                i_cur[k] = ins;
+                let sub = prof[j];
+                let diag_h = h_prev[k];
+                let diag = diag_h.saturating_add(sub).max(NEG_INF);
+                let best = diag.max(d).max(ins);
+                h_cur[k] = best;
+                if WANT_BT {
+                    let origin = if best == diag && diag_h > NEG_INF / 2 {
+                        if sub > 0 { Origin::DiagMatch } else { Origin::DiagMismatch }
+                    } else if best == ins {
+                        Origin::Ins
+                    } else {
+                        Origin::Del
+                    };
+                    bt[i].set(k, BtCell::new(origin, i_extend, d_extend));
+                }
+                j += 1;
+                k += 1;
+            }
+            std::mem::swap(&mut h_prev, &mut h_cur);
+            std::mem::swap(&mut i_prev, &mut i_cur);
+        }
+
+        let k_final = geom
+            .index(m, n)
+            .ok_or(AlignError::OutOfBand { band: self.band, m, n })?;
+        let score = h_prev[k_final];
+        if score < NEG_INF / 2 {
+            return Err(AlignError::OutOfBand { band: self.band, m, n });
+        }
+        Ok((score, WANT_BT.then_some(bt)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nw_core::banded::BandedAligner;
+    use nw_core::full::FullAligner;
+
+    fn seq(text: &str) -> DnaSeq {
+        DnaSeq::from_ascii(text.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn profile_matches_substitution() {
+        let scheme = ScoringScheme::default();
+        let b = seq("ACGTAC");
+        let p = build_profile(&scheme, &b);
+        for c in 0..4u8 {
+            for j in 1..=b.len() {
+                assert_eq!(
+                    p[c as usize * (b.len() + 1) + j],
+                    scheme.substitution(Base::from_code(c), b.get(j - 1))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_to_reference_banded_aligner() {
+        let pairs = [
+            ("GATTACAGATTACA", "GATTACAGATTACA"),
+            ("ACGTACGTACGT", "ACGTTACGTAGT"),
+            ("ACGTGGTCATCGATTACA", "ACGTGGTCATCGATTACA"),
+            ("AAAATTTTCCCCGGGG", "AAAATTTTGCCCGGG"),
+        ];
+        let scheme = ScoringScheme::default();
+        for w in [4usize, 8, 16, 64] {
+            let ksw = Ksw2Aligner::new(scheme, w);
+            let reference = BandedAligner::new(scheme, w);
+            for (x, y) in pairs {
+                let (a, b) = (seq(x), seq(y));
+                match (ksw.align(&a, &b), reference.align(&a, &b)) {
+                    (Ok(k), Ok(r)) => {
+                        assert_eq!(k.score, r.score, "{x} vs {y} w={w}");
+                        assert_eq!(k.cigar, r.cigar, "{x} vs {y} w={w}");
+                    }
+                    (Err(ke), Err(re)) => assert_eq!(ke, re),
+                    (k, r) => panic!("divergence on {x} vs {y} w={w}: {k:?} vs {r:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_band_is_optimal() {
+        let a = seq("ACGTACGGGGTACGTACGT");
+        let b = seq("ACGTACGTACGTAGGT");
+        let scheme = ScoringScheme::default();
+        let ksw = Ksw2Aligner::new(scheme, 2 * (a.len() + b.len()));
+        let aln = ksw.align(&a, &b).unwrap();
+        assert_eq!(aln.score, FullAligner::affine(scheme).score(&a, &b));
+        aln.cigar.validate(&a, &b).unwrap();
+    }
+
+    #[test]
+    fn score_matches_align() {
+        let a = seq(&"ACGGTTCA".repeat(20));
+        let b = seq(&"ACGTTTCA".repeat(20));
+        let ksw = Ksw2Aligner::new(ScoringScheme::default(), 32);
+        assert_eq!(ksw.score(&a, &b).unwrap(), ksw.align(&a, &b).unwrap().score);
+    }
+
+    #[test]
+    fn out_of_band_on_large_length_difference() {
+        let a = seq("ACGT");
+        let b = seq(&"ACGT".repeat(20));
+        let ksw = Ksw2Aligner::new(ScoringScheme::default(), 8);
+        assert!(matches!(ksw.score(&a, &b), Err(AlignError::OutOfBand { .. })));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let ksw = Ksw2Aligner::new(ScoringScheme::default(), 8);
+        let e = DnaSeq::new();
+        assert_eq!(ksw.score(&e, &e).unwrap(), 0);
+        let aln = ksw.align(&seq("ACG"), &e).unwrap();
+        assert_eq!(aln.cigar.to_string(), "3I");
+    }
+
+    #[test]
+    fn cells_counts_band_area() {
+        let ksw = Ksw2Aligner::new(ScoringScheme::default(), 128);
+        let cells = ksw.cells(1000, 1000);
+        // ~ (w+1) * m for same-length sequences.
+        assert!(cells > 100_000 && cells < 140_000, "cells {cells}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Minimal FASTA serialization: the interchange format of the paper's
+//! pipeline ("each character of the DNA sequence is encoded on one byte
+//! (ASCII character), as it comes from a human-readable text file on disk",
+//! §4.1.1 — the host's 2-bit encoding starts from exactly this).
+
+use nw_core::error::AlignError;
+use nw_core::seq::{DnaSeq, NPolicy};
+use std::io::{self, BufRead, Write};
+
+/// A named FASTA record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Header line without the leading `>`.
+    pub name: String,
+    /// The sequence.
+    pub seq: DnaSeq,
+}
+
+/// Errors from FASTA parsing.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// Sequence data before any `>` header.
+    MissingHeader {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A sequence byte the alphabet (plus the `N` policy) rejects.
+    BadSequence {
+        /// Name of the offending record.
+        record: String,
+        /// The underlying alphabet error.
+        source: AlignError,
+    },
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "io error: {e}"),
+            FastaError::MissingHeader { line } => {
+                write!(f, "line {line}: sequence data before any '>' header")
+            }
+            FastaError::BadSequence { record, source } => {
+                write!(f, "record {record:?}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+/// Parse FASTA from a reader. Lower-case bases are accepted; `N` handling
+/// follows `policy`.
+pub fn read<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<Record>, FastaError> {
+    let mut records: Vec<Record> = Vec::new();
+    let mut current: Option<(String, Vec<u8>)> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('>') {
+            if let Some((name, bytes)) = current.take() {
+                records.push(finish(name, &bytes, policy)?);
+            }
+            current = Some((name.trim().to_string(), Vec::new()));
+        } else {
+            match &mut current {
+                Some((_, bytes)) => bytes.extend_from_slice(line.as_bytes()),
+                None => return Err(FastaError::MissingHeader { line: lineno + 1 }),
+            }
+        }
+    }
+    if let Some((name, bytes)) = current.take() {
+        records.push(finish(name, &bytes, policy)?);
+    }
+    Ok(records)
+}
+
+fn finish(name: String, bytes: &[u8], policy: NPolicy) -> Result<Record, FastaError> {
+    match DnaSeq::from_ascii_with(bytes, policy) {
+        Ok(seq) => Ok(Record { name, seq }),
+        Err(source) => Err(FastaError::BadSequence { record: name, source }),
+    }
+}
+
+/// Write records as FASTA with 70-column wrapping.
+pub fn write<W: Write>(mut writer: W, records: &[Record]) -> io::Result<()> {
+    for r in records {
+        writeln!(writer, ">{}", r.name)?;
+        let ascii = r.seq.to_ascii();
+        for chunk in ascii.chunks(70) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+/// Parse FASTA from a string.
+pub fn read_str(text: &str, policy: NPolicy) -> Result<Vec<Record>, FastaError> {
+    read(text.as_bytes(), policy)
+}
+
+/// Serialize records to a string.
+pub fn write_string(records: &[Record]) -> String {
+    let mut out = Vec::new();
+    write(&mut out, records).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("FASTA is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let records = vec![
+            Record { name: "read1".into(), seq: DnaSeq::from_ascii(b"ACGTACGT").unwrap() },
+            Record {
+                name: "read2 extra info".into(),
+                seq: DnaSeq::from_ascii(&b"ACGT".repeat(40)).unwrap(),
+            },
+        ];
+        let text = write_string(&records);
+        assert!(text.starts_with(">read1\nACGTACGT\n"));
+        let parsed = read_str(&text, NPolicy::Reject).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn long_sequences_wrap_at_70() {
+        let records = vec![Record {
+            name: "long".into(),
+            seq: DnaSeq::from_ascii(&b"A".repeat(150)).unwrap(),
+        }];
+        let text = write_string(&records);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 70 + 70 + 10
+        assert_eq!(lines[1].len(), 70);
+        assert_eq!(lines[3].len(), 10);
+    }
+
+    #[test]
+    fn multiline_records_are_joined() {
+        let text = ">r\nACGT\nACGT\n\n>s\nTT\n";
+        let parsed = read_str(text, NPolicy::Reject).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].seq.to_ascii(), b"ACGTACGT");
+        assert_eq!(parsed[1].name, "s");
+    }
+
+    #[test]
+    fn sequence_before_header_is_an_error() {
+        let err = read_str("ACGT\n>r\nAC\n", NPolicy::Reject).unwrap_err();
+        assert!(matches!(err, FastaError::MissingHeader { line: 1 }));
+    }
+
+    #[test]
+    fn n_policy_is_applied() {
+        let text = ">r\nACNGT\n";
+        assert!(read_str(text, NPolicy::Reject).is_err());
+        let parsed = read_str(text, NPolicy::RandomSubstitute { seed: 1 }).unwrap();
+        assert_eq!(parsed[0].seq.len(), 5);
+    }
+
+    #[test]
+    fn lowercase_accepted() {
+        let parsed = read_str(">r\nacgt\n", NPolicy::Reject).unwrap();
+        assert_eq!(parsed[0].seq.to_ascii(), b"ACGT");
+    }
+
+    #[test]
+    fn bad_bytes_name_the_record() {
+        let err = read_str(">weird\nACGQ\n", NPolicy::Reject).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("weird"), "{msg}");
+    }
+}

@@ -1,0 +1,92 @@
+#![warn(missing_docs)]
+
+//! # datasets — workload generators and sequence IO
+//!
+//! The paper evaluates on five datasets (§5). Three are synthetic and two
+//! are real; we do not have the real ones (NCBI 16S dump from August 2022,
+//! proprietary PacBio runs), so seeded generators reproduce their
+//! *documented statistics* — lengths, divergence, gap structure, set sizes:
+//!
+//! * [`synthetic`] — WFA-generator-style pairs: S1000 / S10000 / S30000
+//!   (10 M / 1 M / 500 k pairs of ~1 kb / 10 kb / 30 kb reads).
+//! * [`sixteen_s`] — 16S rRNA-like sequences (~1.5 kb) evolved along a
+//!   random phylogeny, for the all-vs-all comparison of §5.3.
+//! * [`pacbio`] — sets of 10–30 noisy long reads of one genomic region with
+//!   occasional structural gaps > 100 bp, for the consensus step of §5.4.
+//! * [`mutate`] — the shared error model (substitutions + indels with
+//!   geometric lengths + rare long structural gaps).
+//! * [`fasta`] — FASTA serialization so datasets can be exported/imported.
+//!
+//! Every generator takes an explicit seed: equal seeds, equal datasets.
+
+pub mod fasta;
+pub mod mutate;
+pub mod pacbio;
+pub mod sixteen_s;
+pub mod synthetic;
+
+use nw_core::seq::{Base, DnaSeq};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub use mutate::{ErrorModel, MutationStats};
+pub use pacbio::{PacbioParams, ReadSet};
+pub use sixteen_s::SixteenSParams;
+pub use synthetic::{SyntheticParams, SyntheticPreset};
+
+/// A uniformly random DNA sequence of length `len`.
+pub fn random_seq(rng: &mut StdRng, len: usize) -> DnaSeq {
+    (0..len).map(|_| Base::from_code(rng.random_range(0..4u8))).collect()
+}
+
+/// Deterministic RNG from a seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Scale factor applied to dataset sizes: the paper's full datasets (10 M
+/// pairs of reads and the like) are divided by this for tractable runs;
+/// totals are extrapolated back linearly (documented in EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale(pub u64);
+
+impl Scale {
+    /// The paper's full size.
+    pub const FULL: Scale = Scale(1);
+
+    /// Scale a count, keeping at least 1.
+    pub fn apply(&self, count: u64) -> u64 {
+        (count / self.0).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_seq_is_seed_deterministic() {
+        let a = random_seq(&mut rng(7), 100);
+        let b = random_seq(&mut rng(7), 100);
+        assert_eq!(a, b);
+        let c = random_seq(&mut rng(8), 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_seq_uses_all_bases() {
+        let s = random_seq(&mut rng(1), 1000);
+        let mut seen = [false; 4];
+        for b in s.as_slice() {
+            seen[b.code() as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn scale_divides_and_floors_at_one() {
+        assert_eq!(Scale(1000).apply(10_000_000), 10_000);
+        assert_eq!(Scale(1000).apply(500), 1);
+        assert_eq!(Scale::FULL.apply(42), 42);
+    }
+}

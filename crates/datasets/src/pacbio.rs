@@ -1,0 +1,171 @@
+//! PacBio-like repeat-read sets for the consensus experiment (§5.4).
+//!
+//! The paper's second real dataset: "38,512 sets of PacBio raw reads. Each
+//! set is composed of 10 to 30 repeated reads of the same region,
+//! characterized by a high error rate and the presence of significant gaps
+//! (exceeding 100 bp). Within each set, an all-against-all alignment is
+//! performed." We reproduce the statistics: per set, one random template
+//! region and 10–30 noisy reads of it under the [`ErrorModel::pacbio_raw`]
+//! model.
+
+use crate::mutate::{mutate, ErrorModel};
+use crate::{random_seq, rng, Scale};
+use nw_core::seq::DnaSeq;
+use rand::Rng;
+
+/// One set of repeated reads over the same region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadSet {
+    /// The (hidden) template region — kept for validation, never shipped to
+    /// the aligners.
+    pub template: DnaSeq,
+    /// The noisy reads.
+    pub reads: Vec<DnaSeq>,
+}
+
+impl ReadSet {
+    /// All unordered read pairs of the set (the all-against-all alignment
+    /// the consensus step performs).
+    pub fn pairs(&self) -> Vec<(DnaSeq, DnaSeq)> {
+        let mut out = Vec::with_capacity(self.reads.len() * (self.reads.len() - 1) / 2);
+        for i in 0..self.reads.len() {
+            for j in (i + 1)..self.reads.len() {
+                out.push((self.reads[i].clone(), self.reads[j].clone()));
+            }
+        }
+        out
+    }
+
+    /// Number of alignments the set induces.
+    pub fn pair_count(&self) -> u64 {
+        let n = self.reads.len() as u64;
+        n * (n - 1) / 2
+    }
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacbioParams {
+    /// Number of sets (38 512 at full scale).
+    pub sets: usize,
+    /// Template region length range.
+    pub region_len: (usize, usize),
+    /// Reads per set range (paper: 10 to 30).
+    pub reads_per_set: (usize, usize),
+    /// Error model.
+    pub error: ErrorModel,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl PacbioParams {
+    /// Full-scale set count used by the paper.
+    pub const FULL_SETS: usize = 38_512;
+
+    /// Paper-like parameters at a given scale. Region lengths follow the
+    /// long-read regime the paper's workload implies (multi-kb).
+    pub fn scaled(scale: Scale, seed: u64) -> Self {
+        Self {
+            sets: scale.apply(Self::FULL_SETS as u64) as usize,
+            region_len: (3_000, 12_000),
+            reads_per_set: (10, 30),
+            error: ErrorModel::pacbio_raw(),
+            seed,
+        }
+    }
+
+    /// Generate the sets.
+    pub fn generate(&self) -> Vec<ReadSet> {
+        let mut r = rng(self.seed);
+        (0..self.sets)
+            .map(|_| {
+                let len = r.random_range(self.region_len.0..=self.region_len.1);
+                let template = random_seq(&mut r, len);
+                let n_reads = r.random_range(self.reads_per_set.0..=self.reads_per_set.1);
+                let reads = (0..n_reads)
+                    .map(|_| mutate(&template, &self.error, &mut r).0)
+                    .collect();
+                ReadSet { template, reads }
+            })
+            .collect()
+    }
+
+    /// Total alignments across all sets (quadratic per set — the property
+    /// that makes this workload compute-heavy relative to its transfers,
+    /// §5.2).
+    pub fn total_pairs(sets: &[ReadSet]) -> u64 {
+        sets.iter().map(|s| s.pair_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PacbioParams {
+        PacbioParams {
+            sets: 4,
+            region_len: (800, 1200),
+            reads_per_set: (4, 8),
+            error: ErrorModel::pacbio_raw(),
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn set_shape_matches_parameters() {
+        let sets = tiny().generate();
+        assert_eq!(sets.len(), 4);
+        for s in &sets {
+            assert!((800..=1200).contains(&s.template.len()));
+            assert!((4..=8).contains(&s.reads.len()));
+            for read in &s.reads {
+                // High error keeps reads near template length but not equal.
+                let ratio = read.len() as f64 / s.template.len() as f64;
+                assert!((0.7..1.3).contains(&ratio), "ratio {ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_are_all_unordered_combinations() {
+        let sets = tiny().generate();
+        let s = &sets[0];
+        let n = s.reads.len();
+        assert_eq!(s.pairs().len(), n * (n - 1) / 2);
+        assert_eq!(s.pair_count() as usize, s.pairs().len());
+    }
+
+    #[test]
+    fn total_pairs_sums_sets() {
+        let sets = tiny().generate();
+        let expect: u64 = sets.iter().map(|s| s.pair_count()).sum();
+        assert_eq!(PacbioParams::total_pairs(&sets), expect);
+        assert!(expect > 0);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        assert_eq!(tiny().generate(), tiny().generate());
+        let other = PacbioParams { seed: 18, ..tiny() };
+        assert_ne!(tiny().generate(), other.generate());
+    }
+
+    #[test]
+    fn scaled_counts() {
+        let p = PacbioParams::scaled(Scale(1000), 3);
+        assert_eq!(p.sets, 38);
+        assert_eq!(PacbioParams::scaled(Scale::FULL, 3).sets, 38_512);
+    }
+
+    #[test]
+    fn reads_differ_from_each_other() {
+        let sets = tiny().generate();
+        let reads = &sets[0].reads;
+        for i in 0..reads.len() {
+            for j in (i + 1)..reads.len() {
+                assert_ne!(reads[i], reads[j], "independent noise must differ");
+            }
+        }
+    }
+}

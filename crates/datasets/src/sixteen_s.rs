@@ -1,0 +1,167 @@
+//! A 16S ribosomal RNA-like dataset for the phylogeny experiment (§5.3).
+//!
+//! The paper uses 9 557 curated complete 16S sequences from NCBI (August
+//! 2022). 16S rRNA is ~1.5 kb, highly conserved, with species diverging a
+//! few percent up to ~20 %. We reproduce that structure by evolving a root
+//! sequence down a random binary phylogeny: each branch applies a small
+//! amount of divergence, so pairwise distances accumulate with tree depth —
+//! exactly the all-vs-all comparison profile the experiment measures.
+
+use crate::mutate::{mutate, ErrorModel};
+use crate::{random_seq, rng, Scale};
+use nw_core::seq::DnaSeq;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SixteenSParams {
+    /// Number of sequences (9 557 at full scale).
+    pub count: usize,
+    /// Root sequence length (16S is ~1 542 bp in E. coli).
+    pub root_len: usize,
+    /// Divergence applied per tree branch.
+    pub branch_divergence: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl SixteenSParams {
+    /// Full-scale count used by the paper.
+    pub const FULL_COUNT: usize = 9_557;
+
+    /// Paper-like parameters at a given scale.
+    pub fn scaled(scale: Scale, seed: u64) -> Self {
+        Self {
+            count: scale.apply(Self::FULL_COUNT as u64) as usize,
+            root_len: 1_542,
+            branch_divergence: 0.02,
+            seed,
+        }
+    }
+
+    /// Generate the sequence set by splitting lineages until `count` leaves
+    /// exist, then applying one final branch of divergence to each leaf.
+    pub fn generate(&self) -> Vec<DnaSeq> {
+        let mut r = rng(self.seed);
+        let model = branch_model(self.branch_divergence);
+        let root = random_seq(&mut r, self.root_len);
+        let mut population = vec![root];
+        while population.len() < self.count {
+            // Pick a random lineage, split it into two diverged children.
+            let idx = r.random_range(0..population.len());
+            let parent = population.swap_remove(idx);
+            population.push(evolve(&parent, &model, &mut r));
+            population.push(evolve(&parent, &model, &mut r));
+        }
+        population.truncate(self.count);
+        for seq in &mut population {
+            *seq = evolve(seq, &model, &mut r);
+        }
+        population
+    }
+
+    /// Number of pairwise alignments in the all-vs-all comparison.
+    pub fn all_vs_all_pairs(&self) -> u64 {
+        let n = self.count as u64;
+        n * (n - 1) / 2
+    }
+}
+
+fn branch_model(divergence: f64) -> ErrorModel {
+    // 16S divergence is mostly substitutions, but the nine hyper-variable
+    // regions (V1-V9) insert and delete whole stretches between species —
+    // that is what makes deep pairwise alignments drift off the diagonal
+    // and is why the paper's static band needs 512 diagonals for 85%
+    // accuracy. Model: frequent short indels plus rare variable-region
+    // events of 20-80 bp per branch.
+    ErrorModel {
+        substitution: divergence * 0.80,
+        insertion: divergence * 0.09,
+        deletion: divergence * 0.09,
+        mean_indel_len: 1.8,
+        structural_gap: divergence * 0.008,
+        structural_len: (15, 60),
+    }
+}
+
+fn evolve(parent: &DnaSeq, model: &ErrorModel, rng: &mut StdRng) -> DnaSeq {
+    mutate(parent, model, rng).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nw_core::full::FullAligner;
+    use nw_core::ScoringScheme;
+
+    fn tiny() -> SixteenSParams {
+        SixteenSParams { count: 12, root_len: 400, branch_divergence: 0.012, seed: 5 }
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let seqs = tiny().generate();
+        assert_eq!(seqs.len(), 12);
+        for s in &seqs {
+            // Lengths stay near the root length (indels are rare and short).
+            assert!((280..=520).contains(&s.len()), "{}", s.len());
+        }
+    }
+
+    #[test]
+    fn sequences_are_related_but_distinct() {
+        let seqs = tiny().generate();
+        let full = FullAligner::affine(ScoringScheme::default());
+        let mut identical = 0;
+        for i in 0..seqs.len() {
+            for j in (i + 1)..seqs.len() {
+                if seqs[i] == seqs[j] {
+                    identical += 1;
+                }
+                let aln = full.align(&seqs[i], &seqs[j]).unwrap();
+                // Related: identity well above random (~25%).
+                assert!(aln.identity() > 0.5, "pair ({i},{j}) identity {}", aln.identity());
+            }
+        }
+        assert_eq!(identical, 0, "no two leaves should be byte-identical");
+    }
+
+    #[test]
+    fn divergence_varies_across_pairs() {
+        // A phylogeny produces a *spread* of distances, not a constant.
+        let seqs = tiny().generate();
+        let full = FullAligner::affine(ScoringScheme::default());
+        let mut identities: Vec<f64> = Vec::new();
+        for i in 0..seqs.len() {
+            for j in (i + 1)..seqs.len() {
+                identities.push(full.align(&seqs[i], &seqs[j]).unwrap().identity());
+            }
+        }
+        let min = identities.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = identities.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 0.01, "spread {min}..{max} too narrow");
+    }
+
+    #[test]
+    fn scaled_parameters() {
+        let p = SixteenSParams::scaled(Scale(100), 1);
+        assert_eq!(p.count, 95);
+        assert_eq!(p.root_len, 1542);
+        let full = SixteenSParams::scaled(Scale::FULL, 1);
+        assert_eq!(full.count, 9557);
+    }
+
+    #[test]
+    fn all_vs_all_pair_count() {
+        let p = SixteenSParams { count: 10, ..tiny() };
+        assert_eq!(p.all_vs_all_pairs(), 45);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(tiny().generate(), tiny().generate());
+        let other = SixteenSParams { seed: 6, ..tiny() };
+        assert_ne!(tiny().generate(), other.generate());
+    }
+}

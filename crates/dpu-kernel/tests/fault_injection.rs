@@ -1,0 +1,128 @@
+//! Failure-injection tests for the DPU kernel: every contract between host
+//! and kernel (magic word, band rules, WRAM capacity, MRAM footprint) must
+//! fail loudly, never corrupt results silently.
+
+use dpu_kernel::layout::{JobBatchBuilder, KernelParams, SeqRef, MAGIC};
+use dpu_kernel::{KernelVariant, NwKernel, PoolConfig};
+use nw_core::seq::DnaSeq;
+use pim_sim::dpu::Kernel;
+use pim_sim::{Dpu, DpuConfig, SimError};
+
+fn seq(text: &str) -> DnaSeq {
+    DnaSeq::from_ascii(text.as_bytes()).unwrap()
+}
+
+fn params16() -> KernelParams {
+    KernelParams { band: 16, ..KernelParams::paper_default() }
+}
+
+#[test]
+fn zeroed_mram_is_rejected() {
+    let mut dpu = Dpu::new(DpuConfig::default());
+    // Nothing written at all: magic is 0.
+    let err = NwKernel::paper_default().run(&mut dpu).unwrap_err();
+    assert!(matches!(err, SimError::KernelFault { code: 0, .. }));
+}
+
+#[test]
+fn corrupted_magic_is_rejected() {
+    let mut builder = JobBatchBuilder::new(params16(), 6);
+    builder.add_pair(seq("ACGTACGT").pack(), seq("ACGTACGT").pack());
+    let mut dpu = Dpu::new(DpuConfig::default());
+    let batch = builder.build(dpu.cfg.mram_size).unwrap();
+    let mut image = batch.image.clone();
+    image[0] ^= 0xFF; // flip a magic byte
+    dpu.mram.host_write(0, &image).unwrap();
+    let err = NwKernel::paper_default().run(&mut dpu).unwrap_err();
+    match err {
+        SimError::KernelFault { code, .. } => assert_ne!(code, MAGIC),
+        other => panic!("expected KernelFault, got {other}"),
+    }
+}
+
+#[test]
+fn truncated_sequence_descriptor_reads_zeros_not_garbage() {
+    // A descriptor claiming more bases than the image holds: the DMA reads
+    // zero-fill (uncommitted MRAM reads as zero), so the kernel aligns a
+    // deterministic all-A tail rather than faulting — and the result is
+    // still a valid CIGAR for the *claimed* lengths.
+    let mut builder = JobBatchBuilder::new(params16(), 6);
+    builder.add_pair_external(SeqRef { off: 1 << 20, len: 64 }, SeqRef { off: 2 << 20, len: 64 });
+    let mut dpu = Dpu::new(DpuConfig::default());
+    let batch = builder.build(dpu.cfg.mram_size).unwrap();
+    dpu.mram.host_write(0, &batch.image).unwrap();
+    NwKernel::paper_default().run(&mut dpu).unwrap();
+    let results = batch.read_results(&dpu.mram).unwrap();
+    assert_eq!(results.len(), 1);
+    // All-zero packed bytes decode to all-A on both sides: perfect match.
+    assert_eq!(results[0].cigar.to_string(), "64=");
+}
+
+#[test]
+fn wram_exhaustion_reports_requested_bytes() {
+    // 8 pools at band 384 need ~8 * 9 KiB of WRAM > the 64 KiB scratchpad.
+    let mut builder = JobBatchBuilder::new(
+        KernelParams { band: 384, ..KernelParams::paper_default() },
+        8,
+    );
+    builder.add_pair(seq("ACGTACGT").pack(), seq("ACGTACGT").pack());
+    let mut dpu = Dpu::new(DpuConfig::default());
+    let batch = builder.build(dpu.cfg.mram_size).unwrap();
+    dpu.mram.host_write(0, &batch.image).unwrap();
+    let kernel = NwKernel::new(PoolConfig { pools: 8, tasklets: 2 }, KernelVariant::Asm);
+    let err = kernel.run(&mut dpu).unwrap_err();
+    match err {
+        SimError::WramExhausted { requested, available } => {
+            assert!(requested > available);
+        }
+        other => panic!("expected WramExhausted, got {other}"),
+    }
+}
+
+#[test]
+fn tiny_mram_rejects_batches_at_build_time() {
+    // The host-side builder is the first line of defence.
+    let mut builder = JobBatchBuilder::new(params16(), 6);
+    for _ in 0..4 {
+        builder.add_pair(seq(&"ACGT".repeat(64)).pack(), seq(&"ACGT".repeat(64)).pack());
+    }
+    let err = builder.build(16 * 1024).unwrap_err();
+    assert!(matches!(err, SimError::MramOutOfBounds { .. }));
+}
+
+#[test]
+fn relaunching_after_a_fault_recovers() {
+    // A fault must not poison the DPU: after writing a good image the same
+    // DPU runs normally.
+    let mut dpu = Dpu::new(DpuConfig::default());
+    assert!(NwKernel::paper_default().run(&mut dpu).is_err());
+
+    let mut builder = JobBatchBuilder::new(params16(), 6);
+    let a = seq("ACGTGGTCATACGTGGTCAT");
+    builder.add_pair(a.pack(), a.pack());
+    let batch = builder.build(dpu.cfg.mram_size).unwrap();
+    dpu.reset_for_launch();
+    dpu.mram.host_write(0, &batch.image).unwrap();
+    NwKernel::paper_default().run(&mut dpu).unwrap();
+    let results = batch.read_results(&dpu.mram).unwrap();
+    assert_eq!(results[0].cigar.to_string(), "20=");
+}
+
+#[test]
+fn score_only_and_cigar_kernels_agree_on_scores() {
+    let a = seq(&"ACGTGGTCAT".repeat(8));
+    let mut btext = "ACGTGGTCAT".repeat(8);
+    btext.insert_str(11, "GG");
+    let b = seq(&btext);
+    let run = |score_only: bool| -> i32 {
+        let params = KernelParams { band: 32, score_only, ..KernelParams::paper_default() };
+        let mut builder = JobBatchBuilder::new(params, 6);
+        builder.add_pair(a.pack(), b.pack());
+        let mut dpu = Dpu::new(DpuConfig::default());
+        let batch = builder.build(dpu.cfg.mram_size).unwrap();
+        dpu.mram.host_write(0, &batch.image).unwrap();
+        NwKernel::paper_default().run(&mut dpu).unwrap();
+        batch.read_results(&dpu.mram).unwrap()[0].score
+    };
+    assert_eq!(run(true), run(false));
+}

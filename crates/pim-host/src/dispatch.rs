@@ -1,0 +1,358 @@
+//! Batch planning, the rank FIFO, and launch execution (§4.1).
+//!
+//! The host's main loop — "dispatch batches of pairs of sequences to the
+//! DPUs, launch, wait, collect" — becomes:
+//!
+//! 1. **Plan**: jobs are grouped into `rounds × ranks` batches; within a
+//!    batch the LPT heuristic spreads jobs over the rank's 64 DPUs; each
+//!    DPU gets a serialized MRAM image.
+//! 2. **Execute**: per round, every rank runs in its own OS thread (ranks
+//!    are independent once loaded — the SDK's rank-parallel transfer
+//!    threads). Simulated time is tracked per rank: transfer-in + rank
+//!    barrier + collect, accumulated round after round (the FIFO of
+//!    §4.1.2).
+//! 3. **Collect**: results come back tagged with the caller's job ids.
+
+use crate::balance::lpt_assign;
+use dpu_kernel::layout::{JobBatch, JobBatchBuilder, JobResult, KernelParams};
+use dpu_kernel::NwKernel;
+use nw_core::seq::PackedSeq;
+use pim_sim::stats::AggregateStats;
+use pim_sim::{PimServer, SimError};
+
+/// Host configuration.
+#[derive(Debug, Clone)]
+pub struct DispatchConfig {
+    /// The kernel to load on the DPUs.
+    pub kernel: NwKernel,
+    /// Launch parameters (band, scheme, score-only).
+    pub params: KernelParams,
+    /// FIFO depth: how many batches each rank processes.
+    pub rounds: usize,
+    /// Host-side 2-bit encode throughput, bytes of ASCII per second
+    /// (measured ~2 GB/s per core on commodity hardware; the cost is
+    /// "minimal", §4.1.1).
+    pub encode_rate: f64,
+}
+
+impl DispatchConfig {
+    /// Paper-like defaults for a kernel + params.
+    pub fn new(kernel: NwKernel, params: KernelParams) -> Self {
+        Self { kernel, params, rounds: 2, encode_rate: 2.0e9 }
+    }
+}
+
+/// A prepared per-DPU batch plus the mapping from builder order back to
+/// caller job ids.
+#[derive(Debug)]
+pub struct DpuPlan {
+    /// Caller ids, in the order jobs were added to the builder.
+    pub job_ids: Vec<usize>,
+    /// The built batch.
+    pub batch: JobBatch,
+}
+
+/// Plans for one rank launch (one entry per DPU; `None` = idle DPU).
+#[derive(Debug, Default)]
+pub struct RankPlan {
+    /// Per-DPU plans.
+    pub dpus: Vec<Option<DpuPlan>>,
+}
+
+/// Accumulated outcome of executing all rounds.
+#[derive(Debug, Default)]
+pub struct DispatchOutcome {
+    /// `(caller id, result)` for every job.
+    pub results: Vec<(usize, JobResult)>,
+    /// Per-rank accumulated busy seconds (transfer + execute + collect).
+    pub rank_seconds: Vec<f64>,
+    /// Total modeled transfer seconds (both directions, all ranks).
+    pub transfer_seconds: f64,
+    /// Bytes host -> MRAM.
+    pub bytes_in: u64,
+    /// Bytes MRAM -> host.
+    pub bytes_out: u64,
+    /// Max accumulated DPU barrier seconds over ranks.
+    pub dpu_seconds: f64,
+    /// Merged DPU statistics.
+    pub stats: AggregateStats,
+    /// Mean intra-rank imbalance across launches.
+    pub mean_rank_imbalance: f64,
+    /// Total eq.-6 workload.
+    pub workload: u64,
+}
+
+/// Build a rank plan: LPT the given jobs over `dpus` DPUs.
+///
+/// `jobs[i]` are packed pairs; `ids[i]` the caller's job ids.
+pub fn plan_rank(
+    jobs: &[(PackedSeq, PackedSeq)],
+    ids: &[usize],
+    dpus: usize,
+    params: KernelParams,
+    pools: usize,
+    mram_size: usize,
+) -> Result<RankPlan, SimError> {
+    assert_eq!(jobs.len(), ids.len());
+    let band = params.band;
+    let workloads: Vec<u64> = jobs
+        .iter()
+        .map(|(a, b)| crate::balance::workload(a.len(), b.len(), band))
+        .collect();
+    let assignment = lpt_assign(&workloads, dpus);
+    let mut plans = Vec::with_capacity(dpus);
+    for bin in assignment {
+        if bin.is_empty() {
+            plans.push(None);
+            continue;
+        }
+        let mut builder = JobBatchBuilder::new(params, pools);
+        let mut job_ids = Vec::with_capacity(bin.len());
+        for &i in &bin {
+            builder.add_pair(jobs[i].0.clone(), jobs[i].1.clone());
+            job_ids.push(ids[i]);
+        }
+        plans.push(Some(DpuPlan { job_ids, batch: builder.build(mram_size)? }));
+    }
+    Ok(RankPlan { dpus: plans })
+}
+
+/// Execute rounds of rank plans. `rounds[k][r]` is rank `r`'s batch in
+/// round `k`. Ranks run on real threads; the simulated clock per rank is
+/// the sum of its rounds' transfer + barrier + collect times.
+pub fn execute_rounds(
+    server: &mut PimServer,
+    kernel: &NwKernel,
+    rounds: Vec<Vec<RankPlan>>,
+) -> Result<DispatchOutcome, SimError> {
+    let n_ranks = server.rank_count();
+    let host_bw = server.cfg().host_bandwidth;
+    let freq = server.cfg().dpu.freq_hz;
+    let mut out = DispatchOutcome { rank_seconds: vec![0.0; n_ranks], ..Default::default() };
+    let mut dpu_busy = vec![0.0f64; n_ranks];
+    let mut imbalances: Vec<f64> = Vec::new();
+
+    for round in rounds {
+        assert_eq!(round.len(), n_ranks, "one plan per rank per round");
+        // Each rank executes its plan on its own thread.
+        type RankResult = Result<(usize, Vec<(usize, JobResult)>, f64, f64, u64, u64, AggregateStats, f64, u64), SimError>;
+        let ranks = server.ranks_mut();
+        let outcomes: Vec<RankResult> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n_ranks);
+            for (r, (rank, plan)) in ranks.iter_mut().zip(round).enumerate() {
+                handles.push(scope.spawn(move |_| -> RankResult {
+                    let mut bytes_in = 0u64;
+                    let mut workload = 0u64;
+                    let mut active = false;
+                    for (d, dpu_plan) in plan.dpus.iter().enumerate() {
+                        if let Some(p) = dpu_plan {
+                            rank.dpu_mut(d)?.mram.host_write(0, &p.batch.image)?;
+                            bytes_in += p.batch.transfer_bytes();
+                            workload += p.batch.workload;
+                            active = true;
+                        }
+                    }
+                    if !active {
+                        return Ok((r, Vec::new(), 0.0, 0.0, 0, 0, AggregateStats::default(), 0.0, 0));
+                    }
+                    // Idle DPUs of an active rank still get a valid (empty)
+                    // image: the launch is rank-granular (§2.1), so every
+                    // DPU boots the kernel.
+                    for (d, dpu_plan) in plan.dpus.iter().enumerate() {
+                        if dpu_plan.is_none() {
+                            let builder = JobBatchBuilder::new(p_params(&plan), 1);
+                            let batch = builder.build(rank.dpu(d)?.mram.size())?;
+                            rank.dpu_mut(d)?.mram.host_write(0, &batch.image)?;
+                            bytes_in += batch.transfer_bytes();
+                        }
+                    }
+                    let run = rank.launch(kernel)?;
+                    let mut results = Vec::new();
+                    let mut bytes_out = 0u64;
+                    for (d, dpu_plan) in plan.dpus.iter().enumerate() {
+                        if let Some(p) = dpu_plan {
+                            let dpu = rank.dpu(d)?;
+                            let rs = p.batch.read_results(&dpu.mram)?;
+                            bytes_out += rs
+                                .iter()
+                                .map(|jr| 16 + 4 * jr.cigar.runs().len() as u64)
+                                .sum::<u64>();
+                            results.extend(p.job_ids.iter().copied().zip(rs));
+                        }
+                    }
+                    let barrier_s = run.barrier_cycles as f64 / freq;
+                    let xfer_s = (bytes_in + bytes_out) as f64 / host_bw;
+                    Ok((r, results, barrier_s, xfer_s, bytes_in, bytes_out, run.stats, run.stats.imbalance(), workload))
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        })
+        .expect("scope panicked");
+
+        for oc in outcomes {
+            let (r, results, barrier_s, xfer_s, b_in, b_out, stats, imb, wl) = oc?;
+            out.results.extend(results);
+            out.rank_seconds[r] += barrier_s + xfer_s;
+            dpu_busy[r] += barrier_s;
+            out.transfer_seconds += xfer_s;
+            out.bytes_in += b_in;
+            out.bytes_out += b_out;
+            out.workload += wl;
+            if stats.dpus > 0 {
+                imbalances.push(imb);
+                merge_aggregate(&mut out.stats, &stats);
+            }
+        }
+    }
+    out.dpu_seconds = dpu_busy.iter().cloned().fold(0.0, f64::max);
+    out.mean_rank_imbalance = if imbalances.is_empty() {
+        0.0
+    } else {
+        imbalances.iter().sum::<f64>() / imbalances.len() as f64
+    };
+    Ok(out)
+}
+
+fn merge_aggregate(dst: &mut AggregateStats, src: &AggregateStats) {
+    dst.total.merge(&src.total);
+    if dst.dpus == 0 {
+        dst.min_cycles = src.min_cycles;
+        dst.max_cycles = src.max_cycles;
+    } else {
+        dst.min_cycles = dst.min_cycles.min(src.min_cycles);
+        dst.max_cycles = dst.max_cycles.max(src.max_cycles);
+    }
+    dst.dpus += src.dpus;
+}
+
+/// Kernel params for a plan (taken from any populated DPU; idle-only ranks
+/// never call this).
+fn p_params(plan: &RankPlan) -> KernelParams {
+    plan.dpus
+        .iter()
+        .flatten()
+        .map(|p| p.batch.params)
+        .next()
+        .expect("plan has at least one populated DPU")
+}
+
+/// Group job indices into `groups` balanced batches: sort by workload
+/// descending, deal in serpentine (boustrophedon) order so every batch
+/// gets a comparable mix — what "distributed equally in N batches" needs.
+pub fn group_jobs(workloads: &[u64], groups: usize) -> Vec<Vec<usize>> {
+    assert!(groups > 0);
+    let mut order: Vec<usize> = (0..workloads.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(workloads[i]));
+    let mut out = vec![Vec::new(); groups];
+    for (pos, idx) in order.into_iter().enumerate() {
+        let lap = pos / groups;
+        let slot = pos % groups;
+        let g = if lap % 2 == 0 { slot } else { groups - 1 - slot };
+        out[g].push(idx);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_kernel::{KernelVariant, PoolConfig};
+    use nw_core::seq::DnaSeq;
+    use nw_core::ScoringScheme;
+    use pim_sim::ServerConfig;
+
+    fn seq(text: &str) -> DnaSeq {
+        DnaSeq::from_ascii(text.as_bytes()).unwrap()
+    }
+
+    fn params() -> KernelParams {
+        KernelParams { band: 16, scheme: ScoringScheme::default(), score_only: false }
+    }
+
+    fn small_server(ranks: usize, dpus: usize) -> PimServer {
+        let mut cfg = ServerConfig::with_ranks(ranks);
+        cfg.dpus_per_rank = dpus;
+        PimServer::new(cfg)
+    }
+
+    fn packed_pairs(n: usize) -> Vec<(PackedSeq, PackedSeq)> {
+        (0..n)
+            .map(|k| {
+                let a = seq(&"ACGTGGTCAT".repeat(4 + k % 3));
+                let mut btext = "ACGTGGTCAT".repeat(4 + k % 3);
+                btext.insert_str(7, "AC");
+                (a.pack(), seq(&btext).pack())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plan_rank_covers_all_jobs() {
+        let jobs = packed_pairs(11);
+        let ids: Vec<usize> = (100..111).collect();
+        let plan = plan_rank(&jobs, &ids, 4, params(), 6, 64 << 20).unwrap();
+        let mut seen: Vec<usize> = plan
+            .dpus
+            .iter()
+            .flatten()
+            .flat_map(|p| p.job_ids.iter().copied())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, ids);
+    }
+
+    #[test]
+    fn execute_rounds_returns_every_result() {
+        let mut server = small_server(2, 3);
+        let kernel = NwKernel::new(PoolConfig { pools: 2, tasklets: 4 }, KernelVariant::Asm);
+        let jobs = packed_pairs(14);
+        let ids: Vec<usize> = (0..14).collect();
+        // Split jobs between the two ranks over two rounds.
+        let mut rounds = Vec::new();
+        for round in 0..2 {
+            let mut plans = Vec::new();
+            for rank in 0..2 {
+                let lo = (round * 2 + rank) * 14 / 4;
+                let hi = (round * 2 + rank + 1) * 14 / 4;
+                plans.push(
+                    plan_rank(&jobs[lo..hi], &ids[lo..hi], 3, params(), 2, 64 << 20).unwrap(),
+                );
+            }
+            rounds.push(plans);
+        }
+        let out = execute_rounds(&mut server, &kernel, rounds).unwrap();
+        assert_eq!(out.results.len(), 14);
+        let mut ids_seen: Vec<usize> = out.results.iter().map(|(i, _)| *i).collect();
+        ids_seen.sort_unstable();
+        assert_eq!(ids_seen, ids);
+        assert!(out.dpu_seconds > 0.0);
+        assert!(out.transfer_seconds > 0.0);
+        assert!(out.bytes_in > 0);
+        assert_eq!(out.rank_seconds.len(), 2);
+        assert!(out.stats.dpus > 0);
+    }
+
+    #[test]
+    fn group_jobs_balances_counts() {
+        let w: Vec<u64> = (0..10).map(|i| i * 10).collect();
+        let groups = group_jobs(&w, 3);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| (3..=4).contains(&s)));
+        // Heaviest jobs spread across groups, not clumped in one.
+        let loads: Vec<u64> = groups.iter().map(|g| g.iter().map(|&i| w[i]).sum()).collect();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        assert!(max - min <= 30, "loads {loads:?}");
+    }
+
+    #[test]
+    fn empty_round_is_ok() {
+        let mut server = small_server(1, 2);
+        let kernel = NwKernel::new(PoolConfig { pools: 1, tasklets: 4 }, KernelVariant::Asm);
+        let plan = RankPlan { dpus: vec![None, None] };
+        let out = execute_rounds(&mut server, &kernel, vec![vec![plan]]).unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.dpu_seconds, 0.0);
+    }
+}

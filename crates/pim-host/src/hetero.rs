@@ -1,0 +1,255 @@
+//! Heterogeneous CPU + PiM execution — the paper's stated future work
+//! (§5.6: "during PiM operations, most of the cores are free to be working
+//! on other tasks. Looking ahead, future study could explore heterogeneous
+//! computation using both PiM and CPU simultaneously").
+//!
+//! The host splits the pair list between the PiM server and a CPU worker
+//! pool proportionally to their estimated throughputs (eq.-6 workload per
+//! unit time), runs both sides, and merges the results. Because the CPU is
+//! otherwise idle while DPUs execute, the combined wall time is
+//! `max(cpu_share_time, pim_share_time)` — minimized when the split matches
+//! the true throughput ratio.
+
+use crate::dispatch::DispatchConfig;
+use crate::modes::align_pairs;
+use crate::report::ExecutionReport;
+use cpu_baseline::CpuBaseline;
+use dpu_kernel::layout::{JobResult, JobStatus};
+use nw_core::cigar::Cigar;
+use nw_core::error::AlignError;
+use nw_core::seq::DnaSeq;
+use pim_sim::{PimServer, SimError};
+
+/// Configuration for a heterogeneous run.
+#[derive(Debug, Clone)]
+pub struct HeteroConfig {
+    /// PiM-side dispatch configuration.
+    pub dispatch: DispatchConfig,
+    /// CPU worker threads.
+    pub cpu_threads: usize,
+    /// CPU static band (the CPU runs the KSW2 baseline, which needs a wider
+    /// band than the adaptive DPU kernel for equal accuracy — Table 1).
+    pub cpu_band: usize,
+    /// Estimated PiM throughput in eq.-6 workload units per second (used
+    /// only to pick the split; measured results are what's reported).
+    pub pim_workload_per_second: f64,
+    /// Estimated CPU throughput in workload units per second.
+    pub cpu_workload_per_second: f64,
+}
+
+/// Outcome of a heterogeneous run.
+#[derive(Debug)]
+pub struct HeteroOutcome {
+    /// Per-pair results in input order (CPU failures surface as
+    /// `JobStatus::OutOfBand`).
+    pub results: Vec<JobResult>,
+    /// The PiM-side report for its share.
+    pub pim_report: ExecutionReport,
+    /// Simulated/modeled wall time of the PiM share.
+    pub pim_seconds: f64,
+    /// Measured wall time of the CPU share (on this machine).
+    pub cpu_seconds: f64,
+    /// Pairs routed to the PiM server.
+    pub pim_pairs: usize,
+    /// Pairs routed to the CPU.
+    pub cpu_pairs: usize,
+}
+
+impl HeteroOutcome {
+    /// Combined wall time: both sides run concurrently.
+    pub fn combined_seconds(&self) -> f64 {
+        self.pim_seconds.max(self.cpu_seconds)
+    }
+}
+
+/// Split `pairs` by workload so each side's share matches its estimated
+/// throughput, run the PiM share on `server` and the CPU share on a local
+/// thread pool, and merge.
+pub fn align_pairs_hetero(
+    server: &mut PimServer,
+    cfg: &HeteroConfig,
+    pairs: &[(DnaSeq, DnaSeq)],
+) -> Result<HeteroOutcome, SimError> {
+    let band = cfg.dispatch.params.band;
+    let workloads: Vec<u64> = pairs
+        .iter()
+        .map(|(a, b)| crate::balance::workload(a.len(), b.len(), band))
+        .collect();
+    let total: u64 = workloads.iter().sum();
+    let pim_fraction = cfg.pim_workload_per_second
+        / (cfg.pim_workload_per_second + cfg.cpu_workload_per_second).max(f64::MIN_POSITIVE);
+    let pim_budget = (total as f64 * pim_fraction) as u64;
+
+    // Longest-first fill of the PiM budget: big jobs suit the DPUs (their
+    // fixed per-job overheads amortize), stragglers suit the CPU.
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(workloads[i]));
+    let mut pim_ids = Vec::new();
+    let mut cpu_ids = Vec::new();
+    let mut acc = 0u64;
+    for i in order {
+        if acc + workloads[i] <= pim_budget || cpu_ids.len() * 4 > pairs.len() * 3 {
+            acc += workloads[i];
+            pim_ids.push(i);
+        } else {
+            cpu_ids.push(i);
+        }
+    }
+
+    // PiM share.
+    let pim_pairs_vec: Vec<(DnaSeq, DnaSeq)> =
+        pim_ids.iter().map(|&i| pairs[i].clone()).collect();
+    let (pim_report, pim_results) = align_pairs(server, &cfg.dispatch, &pim_pairs_vec)?;
+    let pim_seconds = pim_report.total_seconds();
+
+    // CPU share (measured for real on this machine).
+    let cpu_pairs_vec: Vec<(DnaSeq, DnaSeq)> =
+        cpu_ids.iter().map(|&i| pairs[i].clone()).collect();
+    let cpu = CpuBaseline::new(cfg.dispatch.params.scheme, cfg.cpu_band, cfg.cpu_threads);
+    let cpu_outcome = cpu.align_all(&cpu_pairs_vec);
+
+    // Merge in input order.
+    let mut slots: Vec<Option<JobResult>> = (0..pairs.len()).map(|_| None).collect();
+    for (&id, result) in pim_ids.iter().zip(pim_results) {
+        slots[id] = Some(result);
+    }
+    for (&id, result) in cpu_ids.iter().zip(cpu_outcome.results) {
+        slots[id] = Some(match result {
+            Ok(aln) => JobResult { status: JobStatus::Ok, score: aln.score, cigar: aln.cigar },
+            Err(AlignError::OutOfBand { .. }) => {
+                JobResult { status: JobStatus::OutOfBand, score: 0, cigar: Cigar::new() }
+            }
+            Err(_) => JobResult { status: JobStatus::OutOfBand, score: 0, cigar: Cigar::new() },
+        });
+    }
+    Ok(HeteroOutcome {
+        results: slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.unwrap_or_else(|| panic!("pair {i} unassigned")))
+            .collect(),
+        pim_report,
+        pim_seconds,
+        cpu_seconds: cpu_outcome.elapsed.as_secs_f64(),
+        pim_pairs: pim_ids.len(),
+        cpu_pairs: cpu_ids.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_kernel::{KernelParams, NwKernel};
+    use nw_core::adaptive::AdaptiveAligner;
+    use nw_core::banded::BandedAligner;
+    use nw_core::ScoringScheme;
+    use pim_sim::ServerConfig;
+
+    fn seq(text: &str) -> DnaSeq {
+        DnaSeq::from_ascii(text.as_bytes()).unwrap()
+    }
+
+    fn pairs(n: usize) -> Vec<(DnaSeq, DnaSeq)> {
+        (0..n)
+            .map(|k| {
+                let a = "ACGTGGTCAT".repeat(5 + k % 4);
+                let mut b = a.clone();
+                b.insert_str(4 + k % 6, "TT");
+                (seq(&a), seq(&b))
+            })
+            .collect()
+    }
+
+    fn config() -> HeteroConfig {
+        let params = KernelParams { band: 32, scheme: ScoringScheme::default(), score_only: false };
+        HeteroConfig {
+            dispatch: DispatchConfig::new(NwKernel::paper_default(), params),
+            cpu_threads: 2,
+            cpu_band: 32,
+            pim_workload_per_second: 3.0,
+            cpu_workload_per_second: 1.0,
+        }
+    }
+
+    #[test]
+    fn hetero_run_covers_every_pair_correctly() {
+        let ps = pairs(24);
+        let cfg = config();
+        let mut server = PimServer::new({
+            let mut c = ServerConfig::with_ranks(1);
+            c.dpus_per_rank = 2;
+            c
+        });
+        let out = align_pairs_hetero(&mut server, &cfg, &ps).unwrap();
+        assert_eq!(out.results.len(), 24);
+        assert!(out.pim_pairs > 0, "PiM got a share");
+        assert!(out.cpu_pairs > 0, "CPU got a share");
+        assert_eq!(out.pim_pairs + out.cpu_pairs, 24);
+
+        // Every result is a *correct* alignment for its pair: PiM results
+        // match the adaptive aligner, CPU results the static baseline; both
+        // must rescore consistently.
+        let scheme = ScoringScheme::default();
+        let adaptive = AdaptiveAligner::new(scheme, 32);
+        let static_b = BandedAligner::new(scheme, 32);
+        for (r, (a, b)) in out.results.iter().zip(&ps) {
+            assert_eq!(r.status, JobStatus::Ok);
+            r.cigar.validate(a, b).unwrap();
+            let ad = adaptive.align(a, b).unwrap();
+            let st = static_b.align(a, b).unwrap();
+            assert!(
+                r.score == ad.score || r.score == st.score,
+                "score {} is neither adaptive {} nor static {}",
+                r.score,
+                ad.score,
+                st.score
+            );
+        }
+    }
+
+    #[test]
+    fn split_follows_throughput_ratio() {
+        let ps = pairs(40);
+        let mut cfg = config();
+        cfg.pim_workload_per_second = 9.0;
+        cfg.cpu_workload_per_second = 1.0;
+        let mut server = PimServer::new({
+            let mut c = ServerConfig::with_ranks(1);
+            c.dpus_per_rank = 2;
+            c
+        });
+        let out = align_pairs_hetero(&mut server, &cfg, &ps).unwrap();
+        // ~90% of the workload should land on the PiM side.
+        assert!(
+            out.pim_pairs > out.cpu_pairs * 3,
+            "pim {} vs cpu {}",
+            out.pim_pairs,
+            out.cpu_pairs
+        );
+    }
+
+    #[test]
+    fn combined_time_is_the_max_of_both_sides() {
+        let out = HeteroOutcome {
+            results: Vec::new(),
+            pim_report: ExecutionReport::default(),
+            pim_seconds: 2.5,
+            cpu_seconds: 1.0,
+            pim_pairs: 0,
+            cpu_pairs: 0,
+        };
+        assert_eq!(out.combined_seconds(), 2.5);
+    }
+
+    #[test]
+    fn empty_input() {
+        let cfg = config();
+        let mut server = PimServer::new({
+            let mut c = ServerConfig::with_ranks(1);
+            c.dpus_per_rank = 1;
+            c
+        });
+        let out = align_pairs_hetero(&mut server, &cfg, &[]).unwrap();
+        assert!(out.results.is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # pim-host — the host program (§4.1)
+//!
+//! Everything the x86 host does around the DPUs:
+//!
+//! * [`encode`] — on-the-fly 2-bit encoding of ASCII reads (§4.1.1): divides
+//!   the transfer volume by 4; the encode cost is modeled at a calibrated
+//!   bytes/second rate and reported separately.
+//! * [`balance`] — the load-balancing heuristics of §4.1.2: workload
+//!   estimation via eq. 6 (`(m + n) × w`), the LPT greedy ("sort the pairs
+//!   by decreasing workload, keep assigning the largest to the least loaded
+//!   DPU") and a naive round-robin for the ablation bench.
+//! * [`dispatch`] — batch construction, the rank FIFO, rank-parallel
+//!   launches (real threads — ranks are independent once loaded) and the
+//!   virtual-clock accounting that turns simulated DPU cycles plus modeled
+//!   transfers into end-to-end runtimes.
+//! * [`modes`] — the three experiment shapes: pair alignment (S-datasets,
+//!   Tables 2–4), broadcast all-vs-all score-only (16S, Table 5), and
+//!   read-set alignment with per-set locality (PacBio, Table 6).
+//! * [`report`] — the [`report::ExecutionReport`] every mode produces:
+//!   transfer/encode/compute breakdown, per-rank busy times, aggregate DPU
+//!   statistics, pipeline utilization and load imbalance.
+
+pub mod balance;
+pub mod dispatch;
+pub mod encode;
+pub mod hetero;
+pub mod modes;
+pub mod report;
+
+pub use balance::{lpt_assign, round_robin_assign};
+pub use dispatch::DispatchConfig;
+pub use hetero::{align_pairs_hetero, HeteroConfig, HeteroOutcome};
+pub use modes::{align_pairs, align_sets, all_vs_all};
+pub use report::ExecutionReport;

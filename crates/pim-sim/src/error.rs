@@ -1,0 +1,130 @@
+//! Simulator error type: every rule the real hardware or SDK enforces that a
+//! kernel could violate is surfaced as a typed error, never a silent clamp.
+
+use std::fmt;
+
+/// Errors raised by the PiM simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// WRAM access beyond the 64 KB scratchpad.
+    WramOutOfBounds {
+        /// Byte offset of the access.
+        offset: usize,
+        /// Length of the access.
+        len: usize,
+        /// Scratchpad capacity.
+        wram_size: usize,
+    },
+    /// MRAM access beyond the 64 MB bank.
+    MramOutOfBounds {
+        /// Byte offset of the access.
+        offset: usize,
+        /// Length of the access.
+        len: usize,
+        /// Bank capacity (or configured footprint limit).
+        mram_size: usize,
+    },
+    /// DMA transfer size outside the hardware's 8..=2048 byte window or not
+    /// a multiple of 8.
+    DmaBadSize {
+        /// The rejected length.
+        len: usize,
+    },
+    /// DMA address not 8-byte aligned (MRAM side).
+    DmaMisaligned {
+        /// The misaligned MRAM offset.
+        offset: usize,
+    },
+    /// The WRAM allocator ran out of scratchpad space — the paper's reason
+    /// for the P×T pool design instead of one alignment per tasklet (§4.2.3).
+    WramExhausted {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes still available.
+        available: usize,
+    },
+    /// Tasklet id outside the configured count.
+    BadTasklet {
+        /// The offending tasklet count/index.
+        tasklet: usize,
+        /// Hardware maximum.
+        max: usize,
+    },
+    /// Kernel-reported failure (e.g. band too small for the job), with the
+    /// kernel's own status code.
+    KernelFault {
+        /// Kernel status code.
+        code: u32,
+        /// Human-readable context.
+        message: String,
+    },
+    /// ISA-level fault from the interpreter.
+    Isa(crate::isa::IsaError),
+    /// A rank/DPU index out of range.
+    BadTopology {
+        /// What kind of index ("rank" or "dpu").
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Number of valid indices.
+        max: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::WramOutOfBounds { offset, len, wram_size } => write!(
+                f,
+                "WRAM access [{offset}, {offset}+{len}) outside {wram_size}-byte scratchpad"
+            ),
+            SimError::MramOutOfBounds { offset, len, mram_size } => write!(
+                f,
+                "MRAM access [{offset}, {offset}+{len}) outside {mram_size}-byte bank"
+            ),
+            SimError::DmaBadSize { len } => {
+                write!(f, "DMA size {len} not in 8..=2048 or not a multiple of 8")
+            }
+            SimError::DmaMisaligned { offset } => {
+                write!(f, "DMA MRAM offset {offset} not 8-byte aligned")
+            }
+            SimError::WramExhausted { requested, available } => {
+                write!(f, "WRAM allocator: requested {requested} bytes, {available} available")
+            }
+            SimError::BadTasklet { tasklet, max } => {
+                write!(f, "tasklet {tasklet} out of range (DPU has {max})")
+            }
+            SimError::KernelFault { code, message } => {
+                write!(f, "kernel fault {code}: {message}")
+            }
+            SimError::Isa(e) => write!(f, "ISA fault: {e}"),
+            SimError::BadTopology { what, index, max } => {
+                write!(f, "{what} index {index} out of range (max {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<crate::isa::IsaError> for SimError {
+    fn from(e: crate::isa::IsaError) -> Self {
+        SimError::Isa(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_fields() {
+        let e = SimError::DmaBadSize { len: 3 };
+        assert!(e.to_string().contains('3'));
+        let e = SimError::WramExhausted { requested: 100, available: 10 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("10"));
+        let e = SimError::BadTopology { what: "rank", index: 41, max: 40 };
+        assert!(e.to_string().contains("rank"));
+    }
+}

@@ -1,0 +1,387 @@
+//! A small assembler for the mini DPU ISA, so the Table-7 kernels can be
+//! written as readable assembly text instead of instruction literals.
+//!
+//! Syntax, one instruction per line (`;` or `//` start a comment):
+//!
+//! ```text
+//! label:
+//!   move r1, 10            ; rd, imm|reg
+//!   add  r1, r1, -1, jnz label   ; triadic + optional fused jump
+//!   cmpb4 r2, r3, r4
+//!   lsr  r2, r2, 8, jeven skip
+//!   lw   r5, r6, 12        ; rd, base, offset
+//!   sb   r5, r6, 3
+//!   jmp  label
+//!   jlt  r1, r2, label     ; compare-and-jump
+//!   halt
+//! ```
+//!
+//! Fused jump suffixes: `jz jnz jltz jgez jeven jodd`.
+
+use super::inst::{AluOp, FuseCond, Inst, JumpCond, Operand, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly errors, with the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+/// Assemble a program; labels may be used before definition.
+pub fn assemble(source: &str) -> Result<Vec<Inst>, AsmError> {
+    // Pass 1: collect labels and raw instruction lines.
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let mut text = raw;
+        if let Some(i) = text.find(';') {
+            text = &text[..i];
+        }
+        if let Some(i) = text.find("//") {
+            text = &text[..i];
+        }
+        let mut text = text.trim();
+        // Possibly "label:" or "label: inst".
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(err(lineno, format!("bad label {label:?}")));
+            }
+            if labels.insert(label.to_string(), lines.len()).is_some() {
+                return Err(err(lineno, format!("duplicate label {label:?}")));
+            }
+            text = rest[1..].trim();
+        }
+        if !text.is_empty() {
+            lines.push((lineno, text.to_string()));
+        }
+    }
+
+    // Pass 2: parse instructions.
+    let lookup = |line: usize, name: &str| -> Result<usize, AsmError> {
+        labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(line, format!("unknown label {name:?}")))
+    };
+    let mut program = Vec::with_capacity(lines.len());
+    for (lineno, text) in &lines {
+        let lineno = *lineno;
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text.as_str(), ""),
+        };
+        let args: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let inst = parse_inst(lineno, mnemonic, &args, &lookup)?;
+        program.push(inst);
+    }
+    // Validate fused/jump targets now that program length is known.
+    for (idx, inst) in program.iter().enumerate() {
+        let target = match inst {
+            Inst::Alu { fuse: Some((_, t)), .. } => Some(*t),
+            Inst::Jmp { target } => Some(*target),
+            Inst::Jcc { target, .. } => Some(*target),
+            _ => None,
+        };
+        if let Some(t) = target {
+            if t > program.len() {
+                return Err(err(lines[idx].0, format!("target {t} beyond program end")));
+            }
+        }
+    }
+    Ok(program)
+}
+
+fn parse_reg(line: usize, s: &str) -> Result<Reg, AsmError> {
+    let rest = s
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected register, got {s:?}")))?;
+    let idx: u8 = rest
+        .parse()
+        .map_err(|_| err(line, format!("bad register {s:?}")))?;
+    Reg::new(idx).ok_or_else(|| err(line, format!("register {s:?} out of range")))
+}
+
+fn parse_operand(line: usize, s: &str) -> Result<Operand, AsmError> {
+    if s.starts_with('r') && s[1..].chars().all(|c| c.is_ascii_digit()) {
+        return Ok(Operand::Reg(parse_reg(line, s)?));
+    }
+    let v = if let Some(hex) = s.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad immediate {s:?}")))?
+    } else if let Some(hex) = s.strip_prefix("-0x") {
+        -i64::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad immediate {s:?}")))?
+    } else {
+        s.parse::<i64>().map_err(|_| err(line, format!("bad immediate {s:?}")))?
+    };
+    if v < i32::MIN as i64 || v > u32::MAX as i64 {
+        return Err(err(line, format!("immediate {s} out of 32-bit range")));
+    }
+    Ok(Operand::Imm(v as i32))
+}
+
+fn parse_imm(line: usize, s: &str) -> Result<i32, AsmError> {
+    match parse_operand(line, s)? {
+        Operand::Imm(i) => Ok(i),
+        Operand::Reg(_) => Err(err(line, format!("expected immediate, got register {s:?}"))),
+    }
+}
+
+fn parse_fuse(line: usize, s: &str) -> Result<FuseCond, AsmError> {
+    match s {
+        "jz" => Ok(FuseCond::Z),
+        "jnz" => Ok(FuseCond::Nz),
+        "jltz" => Ok(FuseCond::Ltz),
+        "jgez" => Ok(FuseCond::Gez),
+        "jeven" => Ok(FuseCond::Even),
+        "jodd" => Ok(FuseCond::Odd),
+        _ => Err(err(line, format!("unknown fused condition {s:?}"))),
+    }
+}
+
+fn alu_op(mnemonic: &str) -> Option<AluOp> {
+    Some(match mnemonic {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "lsl" => AluOp::Lsl,
+        "lsr" => AluOp::Lsr,
+        "asr" => AluOp::Asr,
+        "max" => AluOp::Max,
+        "cmpb4" => AluOp::Cmpb4,
+        _ => return None,
+    })
+}
+
+fn parse_inst(
+    line: usize,
+    mnemonic: &str,
+    args: &[&str],
+    lookup: &dyn Fn(usize, &str) -> Result<usize, AsmError>,
+) -> Result<Inst, AsmError> {
+    let need = |n: usize, also: usize| -> Result<(), AsmError> {
+        if args.len() == n || args.len() == also {
+            Ok(())
+        } else {
+            Err(err(line, format!("{mnemonic}: expected {n} (or {also}) operands, got {}", args.len())))
+        }
+    };
+    // A fused jump is written as a final "<cond> <label>" operand, e.g.
+    // `add r1, r1, -1, jnz loop`.
+    let parse_fuse_arg = |s: &str| -> Result<(FuseCond, usize), AsmError> {
+        let (cond, label) = s
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err(line, "fused jump needs both condition and label"))?;
+        Ok((parse_fuse(line, cond)?, lookup(line, label.trim())?))
+    };
+    if let Some(op) = alu_op(mnemonic) {
+        need(3, 4)?;
+        let rd = parse_reg(line, args[0])?;
+        let ra = parse_reg(line, args[1])?;
+        let b = parse_operand(line, args[2])?;
+        let fuse = if args.len() == 4 { Some(parse_fuse_arg(args[3])?) } else { None };
+        return Ok(Inst::Alu { op, rd, ra, b, fuse });
+    }
+    match mnemonic {
+        "move" => {
+            need(2, 3)?;
+            let rd = parse_reg(line, args[0])?;
+            let b = parse_operand(line, args[1])?;
+            let fuse = if args.len() == 3 { Some(parse_fuse_arg(args[2])?) } else { None };
+            Ok(Inst::Alu { op: AluOp::Move, rd, ra: Reg(0), b, fuse })
+        }
+        "lw" | "lbu" => {
+            need(3, 3)?;
+            let rd = parse_reg(line, args[0])?;
+            let base = parse_reg(line, args[1])?;
+            let off = parse_imm(line, args[2])?;
+            Ok(if mnemonic == "lw" {
+                Inst::Lw { rd, base, off }
+            } else {
+                Inst::Lbu { rd, base, off }
+            })
+        }
+        "sw" | "sb" => {
+            need(3, 3)?;
+            let rs = parse_reg(line, args[0])?;
+            let base = parse_reg(line, args[1])?;
+            let off = parse_imm(line, args[2])?;
+            Ok(if mnemonic == "sw" {
+                Inst::Sw { rs, base, off }
+            } else {
+                Inst::Sb { rs, base, off }
+            })
+        }
+        "jmp" => {
+            need(1, 1)?;
+            Ok(Inst::Jmp { target: lookup(line, args[0])? })
+        }
+        "jeq" | "jne" | "jlt" | "jle" | "jgt" | "jge" => {
+            need(3, 3)?;
+            let cond = match mnemonic {
+                "jeq" => JumpCond::Eq,
+                "jne" => JumpCond::Ne,
+                "jlt" => JumpCond::Lt,
+                "jle" => JumpCond::Le,
+                "jgt" => JumpCond::Gt,
+                _ => JumpCond::Ge,
+            };
+            let ra = parse_reg(line, args[0])?;
+            let b = parse_operand(line, args[1])?;
+            Ok(Inst::Jcc { cond, ra, b, target: lookup(line, args[2])? })
+        }
+        "halt" => {
+            need(0, 0)?;
+            Ok(Inst::Halt)
+        }
+        _ => Err(err(line, format!("unknown mnemonic {mnemonic:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::interp::Machine;
+
+    #[test]
+    fn assembles_and_runs_a_countdown() {
+        let prog = assemble(
+            "
+            move r1, 5
+            loop:
+              sub r1, r1, 1, jnz loop
+            halt
+            ",
+        )
+        .unwrap();
+        let mut m = Machine::new();
+        let stats = m.run(&prog, &mut [], 100).unwrap();
+        assert_eq!(m.regs[1], 0);
+        assert_eq!(stats.instructions, 1 + 5 + 1);
+    }
+
+    #[test]
+    fn labels_can_be_forward_references() {
+        let prog = assemble(
+            "
+            jmp end
+            move r1, 99
+            end: halt
+            ",
+        )
+        .unwrap();
+        let mut m = Machine::new();
+        m.run(&prog, &mut [], 10).unwrap();
+        assert_eq!(m.regs[1], 0, "move skipped");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let prog = assemble(
+            "
+            ; full-line comment
+            move r2, 3   // trailing comment
+            halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 2);
+    }
+
+    #[test]
+    fn memory_and_compare_jumps() {
+        let prog = assemble(
+            "
+            move r1, 8
+            move r2, 0xAB
+            sb r2, r1, 0
+            lbu r3, r1, 0
+            jeq r3, 0xAB, good
+            move r4, 1
+            good: halt
+            ",
+        )
+        .unwrap();
+        let mut wram = vec![0u8; 16];
+        let mut m = Machine::new();
+        m.run(&prog, &mut wram, 100).unwrap();
+        assert_eq!(wram[8], 0xAB);
+        assert_eq!(m.regs[4], 0, "jeq taken");
+    }
+
+    #[test]
+    fn error_reporting_has_line_numbers() {
+        let e = assemble("move r99, 1").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("r99"));
+
+        let e = assemble("\nbogus r1, r2").unwrap_err();
+        assert_eq!(e.line, 2);
+
+        let e = assemble("jmp nowhere").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+
+        let e = assemble("add r1, r2").unwrap_err();
+        assert!(e.message.contains("expected 3"));
+
+        let e = assemble("x: halt\nx: halt").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn negative_and_hex_immediates() {
+        let prog = assemble("move r1, -2\nmove r2, 0x10\nhalt").unwrap();
+        let mut m = Machine::new();
+        m.run(&prog, &mut [], 10).unwrap();
+        assert_eq!(m.regs[1] as i32, -2);
+        assert_eq!(m.regs[2], 16);
+    }
+
+    #[test]
+    fn cmpb4_assembles() {
+        let prog = assemble(
+            "
+            move r1, 0x41424344
+            move r2, 0x41004300
+            cmpb4 r3, r1, r2
+            halt
+            ",
+        )
+        .unwrap();
+        let mut m = Machine::new();
+        m.run(&prog, &mut [], 10).unwrap();
+        // bytes (LE): 44vs00, 43vs43, 42vs00, 41vs41 -> 0x01000100
+        assert_eq!(m.regs[3], 0x0100_0100);
+    }
+
+    #[test]
+    fn label_on_same_line_as_instruction() {
+        let prog = assemble("start: move r1, 1\njmp start").unwrap();
+        assert_eq!(prog.len(), 2);
+        // Runaway by construction; just checking the label resolved to 0.
+        assert!(matches!(prog[1], Inst::Jmp { target: 0 }));
+    }
+}

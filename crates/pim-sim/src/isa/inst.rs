@@ -1,0 +1,292 @@
+//! Instruction definitions for the mini DPU ISA.
+
+/// Number of general-purpose 32-bit registers (the DPU has 24).
+pub const NUM_REGS: usize = 24;
+
+/// A register index `r0..r23`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Validate the index.
+    pub fn new(idx: u8) -> Option<Reg> {
+        ((idx as usize) < NUM_REGS).then_some(Reg(idx))
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Second ALU operand: register or immediate (the triadic formats rri/rrr).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Register operand.
+    Reg(Reg),
+    /// Immediate operand.
+    Imm(i32),
+}
+
+/// ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (by `b & 31`).
+    Lsl,
+    /// Logical shift right.
+    Lsr,
+    /// Arithmetic shift right.
+    Asr,
+    /// Signed maximum — the DPU compiles `max` to a compare+select; we give
+    /// it one slot, which both kernel variants use equally.
+    Max,
+    /// SIMD byte compare: result byte `i` is `0x01` when byte `i` of the two
+    /// operands are equal, else `0x00` (the `cmpb4` instruction).
+    Cmpb4,
+    /// Copy of the `b` operand (`move`).
+    Move,
+}
+
+/// Condition for a *fused* jump: evaluated on the ALU result in the same
+/// cycle (§2.1 "cycle-free jumps before or after most instructions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuseCond {
+    /// Result is zero.
+    Z,
+    /// Result is non-zero.
+    Nz,
+    /// Result is negative (as i32).
+    Ltz,
+    /// Result is non-negative.
+    Gez,
+    /// Low bit clear — "jump on parity", pairs with `lsr` to walk `cmpb4`
+    /// result bytes.
+    Even,
+    /// Low bit set.
+    Odd,
+}
+
+impl FuseCond {
+    /// Evaluate against an ALU result.
+    pub fn holds(self, result: u32) -> bool {
+        match self {
+            FuseCond::Z => result == 0,
+            FuseCond::Nz => result != 0,
+            FuseCond::Ltz => (result as i32) < 0,
+            FuseCond::Gez => (result as i32) >= 0,
+            FuseCond::Even => result & 1 == 0,
+            FuseCond::Odd => result & 1 == 1,
+        }
+    }
+}
+
+/// Condition for a compare-and-jump instruction (also single-cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JumpCond {
+    /// `a == b`.
+    Eq,
+    /// `a != b`.
+    Ne,
+    /// `a < b` signed.
+    Lt,
+    /// `a <= b` signed.
+    Le,
+    /// `a > b` signed.
+    Gt,
+    /// `a >= b` signed.
+    Ge,
+}
+
+impl JumpCond {
+    /// Evaluate on signed values.
+    pub fn holds(self, a: i32, b: i32) -> bool {
+        match self {
+            JumpCond::Eq => a == b,
+            JumpCond::Ne => a != b,
+            JumpCond::Lt => a < b,
+            JumpCond::Le => a <= b,
+            JumpCond::Gt => a > b,
+            JumpCond::Ge => a >= b,
+        }
+    }
+}
+
+/// One instruction. `Label`s are already resolved to instruction indices by
+/// the assembler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inst {
+    /// Triadic ALU op with an optional fused jump on the result.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        ra: Reg,
+        /// Second source.
+        b: Operand,
+        /// Fused jump: `(condition, target)`.
+        fuse: Option<(FuseCond, usize)>,
+    },
+    /// Load 32-bit word from WRAM at `base + off`.
+    Lw {
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        base: Reg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// Store 32-bit word.
+    Sw {
+        /// Source register.
+        rs: Reg,
+        /// Base register.
+        base: Reg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// Load unsigned byte.
+    Lbu {
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        base: Reg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// Store byte.
+    Sb {
+        /// Source register.
+        rs: Reg,
+        /// Base register.
+        base: Reg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Compare-and-jump.
+    Jcc {
+        /// Condition.
+        cond: JumpCond,
+        /// Left operand register.
+        ra: Reg,
+        /// Right operand.
+        b: Operand,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Stop execution.
+    Halt,
+}
+
+/// ALU semantics shared by the interpreter and tests.
+pub fn alu_eval(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Lsl => a.wrapping_shl(b & 31),
+        AluOp::Lsr => a.wrapping_shr(b & 31),
+        AluOp::Asr => ((a as i32).wrapping_shr(b & 31)) as u32,
+        AluOp::Max => (a as i32).max(b as i32) as u32,
+        AluOp::Cmpb4 => {
+            let mut r = 0u32;
+            for byte in 0..4 {
+                let sh = byte * 8;
+                if (a >> sh) & 0xFF == (b >> sh) & 0xFF {
+                    r |= 0x01 << sh;
+                }
+            }
+            r
+        }
+        AluOp::Move => b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_validation() {
+        assert!(Reg::new(0).is_some());
+        assert!(Reg::new(23).is_some());
+        assert!(Reg::new(24).is_none());
+        assert_eq!(Reg(5).to_string(), "r5");
+    }
+
+    #[test]
+    fn alu_basics() {
+        assert_eq!(alu_eval(AluOp::Add, 2, 3), 5);
+        assert_eq!(alu_eval(AluOp::Add, u32::MAX, 1), 0);
+        assert_eq!(alu_eval(AluOp::Sub, 2, 3), u32::MAX);
+        assert_eq!(alu_eval(AluOp::And, 0b1100, 0b1010), 0b1000);
+        assert_eq!(alu_eval(AluOp::Or, 0b1100, 0b1010), 0b1110);
+        assert_eq!(alu_eval(AluOp::Xor, 0b1100, 0b1010), 0b0110);
+        assert_eq!(alu_eval(AluOp::Move, 7, 9), 9);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(alu_eval(AluOp::Lsl, 1, 4), 16);
+        assert_eq!(alu_eval(AluOp::Lsr, 0x8000_0000, 31), 1);
+        assert_eq!(alu_eval(AluOp::Asr, (-8i32) as u32, 2), (-2i32) as u32);
+        // Shift amounts wrap at 32 like the hardware.
+        assert_eq!(alu_eval(AluOp::Lsl, 1, 33), 2);
+    }
+
+    #[test]
+    fn max_is_signed() {
+        assert_eq!(alu_eval(AluOp::Max, (-5i32) as u32, 3), 3);
+        assert_eq!(alu_eval(AluOp::Max, (-5i32) as u32, (-9i32) as u32), (-5i32) as u32);
+    }
+
+    #[test]
+    fn cmpb4_compares_each_byte() {
+        let a = u32::from_le_bytes([1, 2, 3, 4]);
+        let b = u32::from_le_bytes([1, 9, 3, 7]);
+        let r = alu_eval(AluOp::Cmpb4, a, b);
+        assert_eq!(r.to_le_bytes(), [1, 0, 1, 0]);
+        assert_eq!(alu_eval(AluOp::Cmpb4, a, a), u32::from_le_bytes([1, 1, 1, 1]));
+        assert_eq!(alu_eval(AluOp::Cmpb4, a, !a), 0);
+    }
+
+    #[test]
+    fn fuse_conditions() {
+        assert!(FuseCond::Z.holds(0));
+        assert!(!FuseCond::Z.holds(1));
+        assert!(FuseCond::Nz.holds(2));
+        assert!(FuseCond::Ltz.holds((-1i32) as u32));
+        assert!(FuseCond::Gez.holds(0));
+        assert!(FuseCond::Even.holds(4));
+        assert!(FuseCond::Odd.holds(5));
+    }
+
+    #[test]
+    fn jump_conditions() {
+        assert!(JumpCond::Eq.holds(3, 3));
+        assert!(JumpCond::Ne.holds(3, 4));
+        assert!(JumpCond::Lt.holds(-2, 0));
+        assert!(JumpCond::Le.holds(0, 0));
+        assert!(JumpCond::Gt.holds(5, -5));
+        assert!(JumpCond::Ge.holds(5, 5));
+    }
+}

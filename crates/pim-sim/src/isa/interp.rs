@@ -1,0 +1,324 @@
+//! The ISA interpreter: executes a resolved program against a WRAM buffer,
+//! counting instructions. One instruction = one issue slot; converting issue
+//! slots to wall cycles is the pipeline model's job ([`crate::pipeline`]).
+
+use super::inst::{alu_eval, Inst, Operand, Reg, NUM_REGS};
+use std::fmt;
+
+/// Faults the interpreter can hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// Memory access outside the provided WRAM buffer.
+    MemOutOfBounds {
+        /// Byte address of the access.
+        addr: usize,
+        /// Access width in bytes.
+        len: usize,
+        /// WRAM buffer size.
+        size: usize,
+    },
+    /// Unaligned word access.
+    Misaligned {
+        /// The misaligned address.
+        addr: usize,
+    },
+    /// Jump target outside the program.
+    BadTarget {
+        /// The offending instruction index.
+        target: usize,
+        /// Program length.
+        len: usize,
+    },
+    /// The step budget was exhausted (runaway loop).
+    MaxSteps {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::MemOutOfBounds { addr, len, size } => {
+                write!(f, "memory access [{addr}, {addr}+{len}) outside {size}-byte WRAM")
+            }
+            IsaError::Misaligned { addr } => write!(f, "unaligned word access at {addr}"),
+            IsaError::BadTarget { target, len } => {
+                write!(f, "jump target {target} outside program of {len} instructions")
+            }
+            IsaError::MaxSteps { limit } => write!(f, "exceeded step limit {limit}"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Of which loads/stores (WRAM traffic, for sanity checks).
+    pub mem_ops: u64,
+    /// Of which taken jumps (fused or explicit).
+    pub taken_jumps: u64,
+}
+
+/// Machine state: 24 registers and a program counter.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Register file.
+    pub regs: [u32; NUM_REGS],
+    /// Program counter (instruction index).
+    pub pc: usize,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Machine {
+    /// Zeroed machine.
+    pub fn new() -> Self {
+        Self { regs: [0; NUM_REGS], pc: 0 }
+    }
+
+    /// Read register.
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.0 as usize]
+    }
+
+    /// Write register.
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        self.regs[r.0 as usize] = v;
+    }
+
+    fn operand(&self, b: Operand) -> u32 {
+        match b {
+            Operand::Reg(r) => self.reg(r),
+            Operand::Imm(i) => i as u32,
+        }
+    }
+
+    /// Run `program` until `Halt` (or fault), with `wram` as data memory.
+    /// `max_steps` bounds runaway loops.
+    pub fn run(
+        &mut self,
+        program: &[Inst],
+        wram: &mut [u8],
+        max_steps: u64,
+    ) -> Result<RunStats, IsaError> {
+        let mut stats = RunStats::default();
+        let check_target = |t: usize| -> Result<usize, IsaError> {
+            if t >= program.len() {
+                Err(IsaError::BadTarget { target: t, len: program.len() })
+            } else {
+                Ok(t)
+            }
+        };
+        loop {
+            if stats.instructions >= max_steps {
+                return Err(IsaError::MaxSteps { limit: max_steps });
+            }
+            let inst = *program
+                .get(self.pc)
+                .ok_or(IsaError::BadTarget { target: self.pc, len: program.len() })?;
+            stats.instructions += 1;
+            match inst {
+                Inst::Halt => return Ok(stats),
+                Inst::Alu { op, rd, ra, b, fuse } => {
+                    let result = alu_eval(op, self.reg(ra), self.operand(b));
+                    self.set_reg(rd, result);
+                    match fuse {
+                        Some((cond, target)) if cond.holds(result) => {
+                            stats.taken_jumps += 1;
+                            self.pc = check_target(target)?;
+                        }
+                        _ => self.pc += 1,
+                    }
+                }
+                Inst::Lw { rd, base, off } => {
+                    let addr = self.addr(base, off, 4, wram.len())?;
+                    if addr % 4 != 0 {
+                        return Err(IsaError::Misaligned { addr });
+                    }
+                    let v = u32::from_le_bytes(wram[addr..addr + 4].try_into().expect("4 bytes"));
+                    self.set_reg(rd, v);
+                    stats.mem_ops += 1;
+                    self.pc += 1;
+                }
+                Inst::Sw { rs, base, off } => {
+                    let addr = self.addr(base, off, 4, wram.len())?;
+                    if addr % 4 != 0 {
+                        return Err(IsaError::Misaligned { addr });
+                    }
+                    wram[addr..addr + 4].copy_from_slice(&self.reg(rs).to_le_bytes());
+                    stats.mem_ops += 1;
+                    self.pc += 1;
+                }
+                Inst::Lbu { rd, base, off } => {
+                    let addr = self.addr(base, off, 1, wram.len())?;
+                    self.set_reg(rd, wram[addr] as u32);
+                    stats.mem_ops += 1;
+                    self.pc += 1;
+                }
+                Inst::Sb { rs, base, off } => {
+                    let addr = self.addr(base, off, 1, wram.len())?;
+                    wram[addr] = self.reg(rs) as u8;
+                    stats.mem_ops += 1;
+                    self.pc += 1;
+                }
+                Inst::Jmp { target } => {
+                    stats.taken_jumps += 1;
+                    self.pc = check_target(target)?;
+                }
+                Inst::Jcc { cond, ra, b, target } => {
+                    let a = self.reg(ra) as i32;
+                    let bv = self.operand(b) as i32;
+                    if cond.holds(a, bv) {
+                        stats.taken_jumps += 1;
+                        self.pc = check_target(target)?;
+                    } else {
+                        self.pc += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn addr(&self, base: Reg, off: i32, len: usize, size: usize) -> Result<usize, IsaError> {
+        let addr = (self.reg(base) as i64 + off as i64) as usize;
+        if addr.checked_add(len).is_none_or(|end| end > size) {
+            return Err(IsaError::MemOutOfBounds { addr, len, size });
+        }
+        Ok(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::inst::{AluOp, FuseCond, JumpCond};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i).unwrap()
+    }
+
+    #[test]
+    fn straight_line_add() {
+        let prog = [
+            Inst::Alu { op: AluOp::Move, rd: r(1), ra: r(0), b: Operand::Imm(40), fuse: None },
+            Inst::Alu { op: AluOp::Add, rd: r(1), ra: r(1), b: Operand::Imm(2), fuse: None },
+            Inst::Halt,
+        ];
+        let mut m = Machine::new();
+        let stats = m.run(&prog, &mut [], 100).unwrap();
+        assert_eq!(m.reg(r(1)), 42);
+        assert_eq!(stats.instructions, 3);
+        assert_eq!(stats.taken_jumps, 0);
+    }
+
+    #[test]
+    fn fused_loop_counts_once_per_iteration() {
+        // r1 = 10; loop { r1 -= 1 } while r1 != 0; — 1 instruction per
+        // iteration thanks to the fused jump.
+        let prog = [
+            Inst::Alu { op: AluOp::Move, rd: r(1), ra: r(0), b: Operand::Imm(10), fuse: None },
+            Inst::Alu { op: AluOp::Sub, rd: r(1), ra: r(1), b: Operand::Imm(1), fuse: Some((FuseCond::Nz, 1)) },
+            Inst::Halt,
+        ];
+        let mut m = Machine::new();
+        let stats = m.run(&prog, &mut [], 100).unwrap();
+        assert_eq!(m.reg(r(1)), 0);
+        // 1 move + 10 subs + 1 halt.
+        assert_eq!(stats.instructions, 12);
+        assert_eq!(stats.taken_jumps, 9);
+    }
+
+    #[test]
+    fn unfused_loop_needs_an_extra_compare() {
+        // Same loop without fusion: sub + jcc per iteration.
+        let prog = [
+            Inst::Alu { op: AluOp::Move, rd: r(1), ra: r(0), b: Operand::Imm(10), fuse: None },
+            Inst::Alu { op: AluOp::Sub, rd: r(1), ra: r(1), b: Operand::Imm(1), fuse: None },
+            Inst::Jcc { cond: JumpCond::Ne, ra: r(1), b: Operand::Imm(0), target: 1 },
+            Inst::Halt,
+        ];
+        let mut m = Machine::new();
+        let stats = m.run(&prog, &mut [], 100).unwrap();
+        // 1 move + 10 * (sub + jcc) + halt = 22: fusion saves ~45% here,
+        // the mechanism behind Table 7.
+        assert_eq!(stats.instructions, 22);
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let prog = [
+            Inst::Alu { op: AluOp::Move, rd: r(2), ra: r(0), b: Operand::Imm(0x1234), fuse: None },
+            Inst::Sw { rs: r(2), base: r(0), off: 8 },
+            Inst::Lw { rd: r(3), base: r(0), off: 8 },
+            Inst::Lbu { rd: r(4), base: r(0), off: 8 },
+            Inst::Halt,
+        ];
+        let mut wram = vec![0u8; 16];
+        let mut m = Machine::new();
+        let stats = m.run(&prog, &mut wram, 100).unwrap();
+        assert_eq!(m.reg(r(3)), 0x1234);
+        assert_eq!(m.reg(r(4)), 0x34);
+        assert_eq!(stats.mem_ops, 3);
+    }
+
+    #[test]
+    fn faults_are_reported() {
+        let mut m = Machine::new();
+        // Out-of-bounds store.
+        let prog = [Inst::Sw { rs: r(0), base: r(0), off: 100 }, Inst::Halt];
+        assert!(matches!(m.run(&prog, &mut [0u8; 8], 10), Err(IsaError::MemOutOfBounds { .. })));
+        // Misaligned word.
+        let mut m = Machine::new();
+        let prog = [Inst::Lw { rd: r(1), base: r(0), off: 2 }, Inst::Halt];
+        assert!(matches!(m.run(&prog, &mut [0u8; 8], 10), Err(IsaError::Misaligned { addr: 2 })));
+        // Runaway loop.
+        let mut m = Machine::new();
+        let prog = [Inst::Jmp { target: 0 }];
+        assert!(matches!(m.run(&prog, &mut [], 1000), Err(IsaError::MaxSteps { limit: 1000 })));
+        // Bad target.
+        let mut m = Machine::new();
+        let prog = [Inst::Jmp { target: 7 }];
+        assert!(matches!(m.run(&prog, &mut [], 10), Err(IsaError::BadTarget { .. })));
+    }
+
+    #[test]
+    fn cmpb4_plus_parity_walk() {
+        // The paper's trick: cmpb4 then shift+jump-on-odd to test each byte.
+        // Compare "ACGT" with "ACCT" -> bytes equal at 0,1,3.
+        let a = u32::from_le_bytes(*b"ACGT");
+        let b = u32::from_le_bytes(*b"ACCT");
+        let prog = [
+            // r1 = cmpb4(a, b)
+            Inst::Alu { op: AluOp::Move, rd: r(2), ra: r(0), b: Operand::Imm(a as i32), fuse: None },
+            Inst::Alu { op: AluOp::Cmpb4, rd: r(1), ra: r(2), b: Operand::Imm(b as i32), fuse: None },
+            // count matches in r3 by shifting out bytes, fused parity jumps.
+            // byte 0
+            Inst::Alu { op: AluOp::And, rd: r(4), ra: r(1), b: Operand::Imm(1), fuse: Some((FuseCond::Z, 4)) },
+            Inst::Alu { op: AluOp::Add, rd: r(3), ra: r(3), b: Operand::Imm(1), fuse: None },
+            // byte 1
+            Inst::Alu { op: AluOp::Lsr, rd: r(1), ra: r(1), b: Operand::Imm(8), fuse: Some((FuseCond::Even, 6)) },
+            Inst::Alu { op: AluOp::Add, rd: r(3), ra: r(3), b: Operand::Imm(1), fuse: None },
+            // byte 2
+            Inst::Alu { op: AluOp::Lsr, rd: r(1), ra: r(1), b: Operand::Imm(8), fuse: Some((FuseCond::Even, 8)) },
+            Inst::Alu { op: AluOp::Add, rd: r(3), ra: r(3), b: Operand::Imm(1), fuse: None },
+            // byte 3
+            Inst::Alu { op: AluOp::Lsr, rd: r(1), ra: r(1), b: Operand::Imm(8), fuse: Some((FuseCond::Even, 10)) },
+            Inst::Alu { op: AluOp::Add, rd: r(3), ra: r(3), b: Operand::Imm(1), fuse: None },
+            Inst::Halt,
+        ];
+        let mut m = Machine::new();
+        m.run(&prog, &mut [], 100).unwrap();
+        assert_eq!(m.reg(r(3)), 3, "three of four bases match");
+    }
+}

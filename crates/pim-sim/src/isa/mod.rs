@@ -1,0 +1,24 @@
+//! A miniature model of the DPU's proprietary triadic ISA (§2.1, §4.2.4).
+//!
+//! The two features the paper's hand optimization exploits are modeled
+//! faithfully:
+//!
+//! * **`cmpb4`** — the ISA's only SIMD instruction: compares 4 bytes of two
+//!   registers in one cycle, used to compare 4 DNA base pairs at once.
+//! * **Fused jumps** — any ALU instruction can branch on its own result in
+//!   the same cycle (the pipeline's re-entry restriction makes this free),
+//!   including the "right shift fused with a jump on parity" the paper uses
+//!   to consume `cmpb4` results.
+//!
+//! The interpreter executes programs against a WRAM buffer and counts
+//! instructions. `dpu-kernel` uses it to *measure* instructions/cell for
+//! the compiler-style and hand-optimized inner loops (Table 7) rather than
+//! hard-coding a speedup factor.
+
+mod asm;
+mod inst;
+mod interp;
+
+pub use asm::{assemble, AsmError};
+pub use inst::{AluOp, FuseCond, Inst, JumpCond, Operand, Reg, NUM_REGS};
+pub use interp::{IsaError, Machine, RunStats};

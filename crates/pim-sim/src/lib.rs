@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! # pim-sim — a functional + timing simulator of the UPMEM PiM architecture
+//!
+//! The paper (§2) evaluates on real UPMEM DIMMs; this crate is the
+//! substitution substrate: it models the architectural features the paper's
+//! performance analysis actually depends on, and it moves *real bytes*
+//! through simulated memories so kernels are functionally checked, not just
+//! costed.
+//!
+//! Modeled (see DESIGN.md §6 for the approximations):
+//! * **Memory hierarchy** — per-DPU 64 MB MRAM (the DRAM bank) and 64 KB
+//!   WRAM (the scratchpad), with the DMA engine's alignment/size rules
+//!   (8-byte aligned, 8..=2048 bytes, 2 B/cycle) enforced on every transfer.
+//! * **Pipeline timing** — the 14-stage pipeline with its 11-cycle tasklet
+//!   re-entry restriction: a tasklet issues at most one instruction every
+//!   `max(11, active_tasklets)` cycles, so ≥11 tasklets are needed for the
+//!   1-instruction/cycle peak (§2.1).
+//! * **Tasklets** — per-tasklet cycle accounting with barrier-delimited
+//!   phases (the granularity at which the paper's pools synchronize, §4.2.3).
+//! * **Topology** — DIMMs of 2 ranks × 64 DPUs; rank-granular launch and
+//!   collect with the rank barrier of §4.1.2; host↔MRAM transfers at the
+//!   measured 60 GB/s aggregate (§4.1.1).
+//! * **ISA** — a mini triadic instruction set with the `cmpb4` SIMD byte
+//!   compare and fused jump instructions (§2.1, §4.2.4), plus an assembler
+//!   and interpreter used to *measure* instructions/cell for the Table 7
+//!   kernels instead of guessing constants.
+//! * **Power** — the component-level power model of §5.6 (Falevoz–Legriel).
+
+pub mod config;
+pub mod dpu;
+pub mod error;
+pub mod isa;
+pub mod memory;
+pub mod pipeline;
+pub mod power;
+pub mod rank;
+pub mod server;
+pub mod stats;
+
+pub use config::{DpuConfig, ServerConfig};
+pub use dpu::Dpu;
+pub use error::SimError;
+pub use memory::{Mram, Wram};
+pub use pipeline::{phase_cycles, PhaseCost};
+pub use rank::Rank;
+pub use server::PimServer;
+pub use stats::DpuStats;
+
+/// Cycle counter type.
+pub type Cycles = u64;
+
+/// Convert DPU cycles to seconds at the given frequency.
+pub fn cycles_to_seconds(cycles: Cycles, freq_hz: f64) -> f64 {
+    cycles as f64 / freq_hz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_to_seconds_at_350mhz() {
+        let s = cycles_to_seconds(350_000_000, 350.0e6);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(cycles_to_seconds(0, 350.0e6), 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! The power/energy model of §5.6, following the methodology of Falevoz &
+//! Legriel: sum component power from specifications (CPU, DIMMs, chassis,
+//! fans, PSU) and multiply by execution time.
+
+/// Power envelope of a machine, in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Total system power during execution (W).
+    pub watts: f64,
+    /// Human-readable label for reports.
+    pub label: &'static str,
+}
+
+impl PowerModel {
+    /// The paper's Intel Xeon 4215 (32c) server: 307 W.
+    pub fn intel_4215() -> Self {
+        Self { watts: 307.0, label: "Intel 4215" }
+    }
+
+    /// The paper's Intel Xeon 4216 (64c) server: 337 W.
+    pub fn intel_4216() -> Self {
+        Self { watts: 337.0, label: "Intel 4216" }
+    }
+
+    /// The UPMEM PiM server: the 4215 host plus 20 PiM DIMMs at an
+    /// additional 460 W -> 767 W.
+    pub fn upmem_pim() -> Self {
+        Self { watts: 767.0, label: "UPMEM PiM" }
+    }
+
+    /// The additional power of the 20 PiM DIMMs alone (460 W, i.e. 23 W per
+    /// DIMM).
+    pub fn pim_dimms_only() -> Self {
+        Self { watts: 460.0, label: "20 PiM DIMMs" }
+    }
+
+    /// Energy for an execution of `seconds`, in kilojoules — the unit of
+    /// Table 8.
+    pub fn energy_kj(&self, seconds: f64) -> f64 {
+        self.watts * seconds / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_wattages() {
+        assert_eq!(PowerModel::intel_4215().watts, 307.0);
+        assert_eq!(PowerModel::intel_4216().watts, 337.0);
+        assert_eq!(PowerModel::upmem_pim().watts, 767.0);
+        // PiM = 4215 host + DIMMs.
+        assert_eq!(
+            PowerModel::intel_4215().watts + PowerModel::pim_dimms_only().watts,
+            PowerModel::upmem_pim().watts
+        );
+    }
+
+    #[test]
+    fn table8_reference_point() {
+        // Table 8: Intel 4215 on 16S runs 5882 s at 307 W = 1805 kJ.
+        let kj = PowerModel::intel_4215().energy_kj(5882.0);
+        assert!((kj - 1805.8).abs() < 1.0);
+        // UPMEM PiM on 16S: 632 s at 767 W = 484 kJ.
+        let kj = PowerModel::upmem_pim().energy_kj(632.0);
+        assert!((kj - 484.7).abs() < 1.0);
+    }
+
+    #[test]
+    fn energy_is_linear_in_time() {
+        let p = PowerModel::upmem_pim();
+        assert_eq!(p.energy_kj(0.0), 0.0);
+        assert!((p.energy_kj(10.0) - 2.0 * p.energy_kj(5.0)).abs() < 1e-12);
+    }
+}

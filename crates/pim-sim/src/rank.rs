@@ -1,0 +1,130 @@
+//! A rank: 64 DPUs that launch and synchronize together.
+//!
+//! The rank is the granularity of access on the real system (§2.1): launch,
+//! transfer and collect operate on all 64 DPUs of a rank at once, and the
+//! results of a rank cannot be read before *every* DPU of the rank has
+//! finished — the barrier that makes intra-rank load balancing critical
+//! (§4.1.2).
+
+use crate::config::DpuConfig;
+use crate::dpu::{Dpu, Kernel};
+use crate::error::SimError;
+use crate::stats::AggregateStats;
+use crate::Cycles;
+
+/// A rank of DPUs.
+#[derive(Debug)]
+pub struct Rank {
+    dpus: Vec<Dpu>,
+}
+
+impl Rank {
+    /// Build a rank of `n` DPUs.
+    pub fn new(cfg: DpuConfig, n: usize) -> Self {
+        Self { dpus: (0..n).map(|_| Dpu::new(cfg)).collect() }
+    }
+
+    /// Number of DPUs.
+    pub fn len(&self) -> usize {
+        self.dpus.len()
+    }
+
+    /// True when the rank has no DPUs (never the case on real hardware).
+    pub fn is_empty(&self) -> bool {
+        self.dpus.is_empty()
+    }
+
+    /// Access one DPU (host-side, between launches).
+    pub fn dpu(&self, idx: usize) -> Result<&Dpu, SimError> {
+        self.dpus.get(idx).ok_or(SimError::BadTopology {
+            what: "dpu",
+            index: idx,
+            max: self.dpus.len(),
+        })
+    }
+
+    /// Mutable access to one DPU (host-side, between launches).
+    pub fn dpu_mut(&mut self, idx: usize) -> Result<&mut Dpu, SimError> {
+        let max = self.dpus.len();
+        self.dpus.get_mut(idx).ok_or(SimError::BadTopology { what: "dpu", index: idx, max })
+    }
+
+    /// Iterate DPUs.
+    pub fn dpus(&self) -> impl Iterator<Item = &Dpu> {
+        self.dpus.iter()
+    }
+
+    /// Launch the kernel on every DPU of the rank (the broadcast boot
+    /// command) and wait for all of them: returns the rank barrier time —
+    /// the *maximum* DPU cycle count — plus per-DPU aggregates.
+    pub fn launch(&mut self, kernel: &dyn Kernel) -> Result<RankRun, SimError> {
+        let mut agg = AggregateStats::default();
+        for dpu in &mut self.dpus {
+            dpu.reset_for_launch();
+            kernel.run(dpu)?;
+            agg.add(&dpu.stats);
+        }
+        Ok(RankRun { barrier_cycles: agg.max_cycles, stats: agg })
+    }
+}
+
+/// Outcome of one rank launch.
+#[derive(Debug, Clone, Copy)]
+pub struct RankRun {
+    /// Cycles until the rank barrier releases (slowest DPU).
+    pub barrier_cycles: Cycles,
+    /// Aggregated per-DPU statistics.
+    pub stats: AggregateStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PhaseCost;
+    use crate::dpu::Timeline;
+
+    /// Kernel that spins for a per-DPU number of instructions read from the
+    /// first MRAM word — exercising the barrier semantics.
+    struct SpinKernel;
+
+    impl Kernel for SpinKernel {
+        fn run(&self, dpu: &mut Dpu) -> Result<(), SimError> {
+            let n = u64::from(dpu.mram.host_read(0, 1)?[0]);
+            let mut t = Timeline::default();
+            t.sequential(&dpu.cfg, 1, PhaseCost { instructions: n * 100, dma_cycles: 0 });
+            dpu.record_timelines(&[t]);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn barrier_waits_for_the_slowest_dpu() {
+        let mut rank = Rank::new(DpuConfig::default(), 4);
+        for (i, load) in [1u8, 5, 2, 3].iter().enumerate() {
+            rank.dpu_mut(i).unwrap().mram.host_write(0, &[*load]).unwrap();
+        }
+        let run = rank.launch(&SpinKernel).unwrap();
+        // Slowest: 5*100 instructions at 11 cycles each.
+        assert_eq!(run.barrier_cycles, 5 * 100 * 11);
+        assert_eq!(run.stats.dpus, 4);
+        assert_eq!(run.stats.min_cycles, 100 * 11);
+        assert!(run.stats.imbalance() > 0.5);
+    }
+
+    #[test]
+    fn dpu_index_bounds() {
+        let mut rank = Rank::new(DpuConfig::default(), 2);
+        assert!(rank.dpu(1).is_ok());
+        assert!(matches!(rank.dpu(2), Err(SimError::BadTopology { .. })));
+        assert!(rank.dpu_mut(2).is_err());
+    }
+
+    #[test]
+    fn relaunch_resets_counters() {
+        let mut rank = Rank::new(DpuConfig::default(), 1);
+        rank.dpu_mut(0).unwrap().mram.host_write(0, &[4]).unwrap();
+        let first = rank.launch(&SpinKernel).unwrap();
+        let second = rank.launch(&SpinKernel).unwrap();
+        assert_eq!(first.barrier_cycles, second.barrier_cycles);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the mini DPU ISA: assembler/interpreter agreement,
+//! determinism, and semantic identities the Table-7 measurement relies on.
+
+use pim_sim::isa::{assemble, AluOp, FuseCond, Inst, Machine, Operand, Reg};
+use proptest::prelude::*;
+
+fn reg(i: u8) -> Reg {
+    Reg::new(i).expect("valid register")
+}
+
+/// Run a straight-line ALU program built from `(op, rd, ra, imm)` tuples.
+fn run_straight_line(ops: &[(AluOp, u8, u8, i32)], init: &[u32]) -> [u32; 24] {
+    let mut prog: Vec<Inst> = ops
+        .iter()
+        .map(|&(op, rd, ra, imm)| Inst::Alu {
+            op,
+            rd: reg(rd),
+            ra: reg(ra),
+            b: Operand::Imm(imm),
+            fuse: None,
+        })
+        .collect();
+    prog.push(Inst::Halt);
+    let mut m = Machine::new();
+    m.regs[..init.len().min(24)].copy_from_slice(&init[..init.len().min(24)]);
+    m.run(&prog, &mut [], 10_000).expect("straight line cannot fault");
+    m.regs
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(vec![
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Lsl,
+        AluOp::Lsr,
+        AluOp::Asr,
+        AluOp::Max,
+        AluOp::Cmpb4,
+        AluOp::Move,
+    ])
+}
+
+proptest! {
+    #[test]
+    fn interpreter_is_deterministic(
+        ops in prop::collection::vec((arb_alu_op(), 0u8..24, 0u8..24, -1000i32..1000), 0..40),
+        init in prop::collection::vec(any::<u32>(), 24),
+    ) {
+        let a = run_straight_line(&ops, &init);
+        let b = run_straight_line(&ops, &init);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn instruction_count_equals_program_length_for_straight_line(
+        ops in prop::collection::vec((arb_alu_op(), 0u8..24, 0u8..24, -50i32..50), 0..60),
+    ) {
+        let mut prog: Vec<Inst> = ops
+            .iter()
+            .map(|&(op, rd, ra, imm)| Inst::Alu {
+                op,
+                rd: reg(rd),
+                ra: reg(ra),
+                b: Operand::Imm(imm),
+                fuse: None,
+            })
+            .collect();
+        prog.push(Inst::Halt);
+        let mut m = Machine::new();
+        let stats = m.run(&prog, &mut [], 10_000).unwrap();
+        prop_assert_eq!(stats.instructions, prog.len() as u64);
+        prop_assert_eq!(stats.taken_jumps, 0);
+    }
+
+    #[test]
+    fn cmpb4_matches_bytewise_equality(a in any::<u32>(), b in any::<u32>()) {
+        let prog = [
+            Inst::Alu { op: AluOp::Move, rd: reg(1), ra: reg(0), b: Operand::Imm(a as i32), fuse: None },
+            Inst::Alu { op: AluOp::Move, rd: reg(2), ra: reg(0), b: Operand::Imm(b as i32), fuse: None },
+            Inst::Alu { op: AluOp::Cmpb4, rd: reg(3), ra: reg(1), b: Operand::Reg(reg(2)), fuse: None },
+            Inst::Halt,
+        ];
+        let mut m = Machine::new();
+        m.run(&prog, &mut [], 10).unwrap();
+        let result = m.regs[3].to_le_bytes();
+        for (i, (&x, &y)) in a.to_le_bytes().iter().zip(b.to_le_bytes().iter()).enumerate() {
+            prop_assert_eq!(result[i], u8::from(x == y), "byte {}", i);
+        }
+    }
+
+    #[test]
+    fn fused_jump_equals_unfused_pair(v in -100i64..100, dec in 1i64..10) {
+        // A fused-decrement loop and its unfused compare-and-branch twin
+        // must compute the same final register value.
+        let v = v.unsigned_abs() as i64 + dec; // ensure positive start
+        let fused = assemble(&format!(
+            "move r1, {v}\nloop:\n  sub r1, r1, {dec}, jgez loop\nhalt"
+        )).unwrap();
+        let unfused = assemble(&format!(
+            "move r1, {v}\nloop:\n  sub r1, r1, {dec}\n  jge r1, 0, loop\nhalt"
+        )).unwrap();
+        let mut m1 = Machine::new();
+        let s1 = m1.run(&fused, &mut [], 100_000).unwrap();
+        let mut m2 = Machine::new();
+        let s2 = m2.run(&unfused, &mut [], 100_000).unwrap();
+        prop_assert_eq!(m1.regs[1], m2.regs[1]);
+        // And fusion saves exactly one instruction per taken iteration.
+        prop_assert!(s1.instructions < s2.instructions);
+    }
+
+    #[test]
+    fn memory_round_trip_via_isa(vals in prop::collection::vec(any::<u32>(), 1..16)) {
+        // Store all values then load them back, through the interpreter.
+        let mut src = String::new();
+        for (i, v) in vals.iter().enumerate() {
+            src.push_str(&format!("move r1, {}\nsw r1, r0, {}\n", *v as i32, i * 4));
+        }
+        for (i, _) in vals.iter().enumerate() {
+            src.push_str(&format!("lw r{}, r0, {}\n", 2 + i % 20, i * 4));
+        }
+        src.push_str("halt\n");
+        let prog = assemble(&src).unwrap();
+        let mut wram = vec![0u8; vals.len() * 4 + 8];
+        let mut m = Machine::new();
+        m.run(&prog, &mut wram, 100_000).unwrap();
+        for (i, v) in vals.iter().enumerate() {
+            let got = u32::from_le_bytes(wram[i * 4..i * 4 + 4].try_into().unwrap());
+            prop_assert_eq!(got, *v);
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_unknown_registers(idx in 24u8..60) {
+        let src = format!("move r{idx}, 1\nhalt");
+        prop_assert!(assemble(&src).is_err());
+    }
+
+    #[test]
+    fn fuse_conditions_partition(v in any::<u32>()) {
+        prop_assert_ne!(FuseCond::Z.holds(v), FuseCond::Nz.holds(v));
+        prop_assert_ne!(FuseCond::Ltz.holds(v), FuseCond::Gez.holds(v));
+        prop_assert_ne!(FuseCond::Even.holds(v), FuseCond::Odd.holds(v));
+    }
+}

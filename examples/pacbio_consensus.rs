@@ -1,0 +1,97 @@
+//! The PacBio consensus workflow (§5.4): sets of noisy long reads of the
+//! same region are aligned all-against-all on the simulated PiM server;
+//! the CIGARs then drive a simple majority-vote consensus whose accuracy we
+//! can check against the (normally hidden) template.
+//!
+//! Run with: `cargo run --release --example pacbio_consensus`
+
+use upmem_nw::datasets::pacbio::PacbioParams;
+use upmem_nw::datasets::{ErrorModel, Scale};
+use upmem_nw::nw_core::cigar::CigarOp;
+use upmem_nw::nw_core::seq::{Base, DnaSeq};
+use upmem_nw::pim_host::modes::align_sets;
+use upmem_nw::prelude::*;
+
+fn main() {
+    let _ = Scale::FULL; // full runs use datasets::Scale; this demo is tiny
+    let params = PacbioParams {
+        sets: 3,
+        region_len: (600, 1000),
+        reads_per_set: (6, 9),
+        error: ErrorModel::pacbio_raw(),
+        seed: 7,
+    };
+    let sets = params.generate();
+    println!(
+        "generated {} read sets ({} alignments)",
+        sets.len(),
+        PacbioParams::total_pairs(&sets)
+    );
+
+    let mut server = PimServer::new({
+        let mut cfg = ServerConfig::with_ranks(2);
+        cfg.dpus_per_rank = 4;
+        cfg
+    });
+    let kp = KernelParams { band: 128, scheme: ScoringScheme::default(), score_only: false };
+    let dispatch = DispatchConfig::new(NwKernel::paper_default(), kp);
+    let read_sets: Vec<Vec<DnaSeq>> = sets.iter().map(|s| s.reads.clone()).collect();
+    let (report, grouped) = align_sets(&mut server, &dispatch, &read_sets).unwrap();
+    println!("{}", report.summary());
+
+    for (s, set) in sets.iter().enumerate() {
+        // Use read 0 as the backbone; project every other read onto it via
+        // the pairwise CIGARs, then majority-vote per backbone column.
+        let backbone = &set.reads[0];
+        let mut votes: Vec<[u32; 4]> = vec![[0; 4]; backbone.len()];
+        for (i, base) in backbone.as_slice().iter().enumerate() {
+            votes[i][base.code() as usize] += 1;
+        }
+        // grouped[s] pairs are in (i, j), i < j order; pairs (0, j) come
+        // first while i == 0.
+        let mut pair_idx = 0;
+        for j in 1..set.reads.len() {
+            let result = &grouped[s][pair_idx];
+            pair_idx += 1;
+            if result.cigar.runs().is_empty() {
+                continue;
+            }
+            // Walk the CIGAR: backbone is sequence A, the other read is B.
+            let (mut bi, mut ri) = (0usize, 0usize);
+            for op in result.cigar.ops() {
+                match op {
+                    CigarOp::Match | CigarOp::Mismatch => {
+                        votes[bi][set.reads[j].get(ri).code() as usize] += 1;
+                        bi += 1;
+                        ri += 1;
+                    }
+                    CigarOp::Insertion => bi += 1, // backbone-only base
+                    CigarOp::Deletion => ri += 1,  // read-only base
+                }
+            }
+        }
+        let consensus: DnaSeq = votes
+            .iter()
+            .map(|v| {
+                let best = (0..4).max_by_key(|&c| v[c]).unwrap();
+                Base::from_code(best as u8)
+            })
+            .collect();
+
+        // Score the consensus against the hidden template.
+        let scheme = ScoringScheme::default();
+        let full = FullAligner::affine(scheme);
+        let raw_id = full.align(backbone, &set.template).unwrap().identity();
+        let cons_id = full.align(&consensus, &set.template).unwrap().identity();
+        println!(
+            "set {s}: {} reads, backbone identity {:.2}% -> consensus identity {:.2}%",
+            set.reads.len(),
+            100.0 * raw_id,
+            100.0 * cons_id
+        );
+        assert!(
+            cons_id >= raw_id - 0.005,
+            "consensus should not be worse than a raw read"
+        );
+    }
+}

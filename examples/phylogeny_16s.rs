@@ -1,0 +1,91 @@
+//! The 16S phylogeny workflow (§5.3): all-against-all score-only comparison
+//! of ribosomal RNA sequences on the simulated PiM server, then a
+//! neighbour-joining-style sketch of the relationships from the score
+//! matrix.
+//!
+//! Run with: `cargo run --release --example phylogeny_16s`
+
+use upmem_nw::datasets::sixteen_s::SixteenSParams;
+use upmem_nw::pim_host::modes::all_vs_all;
+use upmem_nw::prelude::*;
+
+fn main() {
+    // A small bacterial-like population evolved along a random phylogeny.
+    let params = SixteenSParams { count: 32, root_len: 800, branch_divergence: 0.012, seed: 42 };
+    let seqs = params.generate();
+    println!("generated {} 16S-like sequences (~{} bp)", seqs.len(), seqs[0].len());
+
+    // Broadcast + static split on a 2-rank server, score-only.
+    let mut server = PimServer::new({
+        let mut cfg = ServerConfig::with_ranks(2);
+        cfg.dpus_per_rank = 8;
+        cfg
+    });
+    let kp = KernelParams { band: 64, scheme: ScoringScheme::default(), score_only: true };
+    let dispatch = DispatchConfig::new(NwKernel::paper_default(), kp);
+    let (report, results) = all_vs_all(&mut server, &dispatch, &seqs).unwrap();
+    println!("{}", report.summary());
+    assert_eq!(results.len(), seqs.len() * (seqs.len() - 1) / 2);
+
+    // Distance = 1 - score / perfect(min_len): a crude but monotone metric.
+    let n = seqs.len();
+    let scheme = ScoringScheme::default();
+    let mut dist = vec![vec![0.0f64; n]; n];
+    let mut idx = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let perfect = scheme.perfect(seqs[i].len().min(seqs[j].len())) as f64;
+            let d = 1.0 - (results[idx].score as f64 / perfect).clamp(-1.0, 1.0);
+            dist[i][j] = d;
+            dist[j][i] = d;
+            idx += 1;
+        }
+    }
+
+    // Closest and farthest pairs.
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pairs.push((i, j));
+        }
+    }
+    pairs.sort_by(|&(a, b), &(c, d)| dist[a][b].partial_cmp(&dist[c][d]).unwrap());
+    println!("\nclosest relatives:");
+    for &(i, j) in pairs.iter().take(3) {
+        println!("  seq{i:>3} ~ seq{j:<3}  distance {:.4}", dist[i][j]);
+    }
+    println!("most diverged:");
+    for &(i, j) in pairs.iter().rev().take(3) {
+        println!("  seq{i:>3} ~ seq{j:<3}  distance {:.4}", dist[i][j]);
+    }
+
+    // Single-linkage clustering sketch at a distance threshold.
+    let threshold = pairs[pairs.len() / 3].0; // index only for determinism
+    let _ = threshold;
+    let cut = dist[pairs[pairs.len() / 3].0][pairs[pairs.len() / 3].1];
+    let mut cluster: Vec<usize> = (0..n).collect();
+    fn find(c: &mut Vec<usize>, x: usize) -> usize {
+        if c[x] != x {
+            let r = find(c, c[x]);
+            c[x] = r;
+        }
+        c[x]
+    }
+    for &(i, j) in &pairs {
+        if dist[i][j] <= cut {
+            let (ri, rj) = (find(&mut cluster, i), find(&mut cluster, j));
+            if ri != rj {
+                cluster[ri] = rj;
+            }
+        }
+    }
+    let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for x in 0..n {
+        let r = find(&mut cluster, x);
+        groups.entry(r).or_default().push(x);
+    }
+    println!("\nsingle-linkage clusters at distance <= {cut:.4}:");
+    for (k, members) in groups {
+        println!("  cluster@{k}: {members:?}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Miniature versions of the paper's headline claims, asserted as shapes.
+//! The full-size reproductions live in `crates/bench` (`repro all`); these
+//! run in seconds and guard the properties the tables depend on.
+
+use upmem_nw::datasets::mutate::{mutate, ErrorModel};
+use upmem_nw::datasets::{random_seq, rng};
+use upmem_nw::dpu_kernel::KernelVariant;
+use upmem_nw::nw_core::accuracy::{measure, Heuristic};
+use upmem_nw::nw_core::seq::DnaSeq;
+use upmem_nw::pim_host::modes::align_pairs;
+use upmem_nw::pim_sim::power::PowerModel;
+use upmem_nw::prelude::*;
+
+fn server(ranks: usize, dpus: usize) -> PimServer {
+    let mut cfg = ServerConfig::with_ranks(ranks);
+    cfg.dpus_per_rank = dpus;
+    PimServer::new(cfg)
+}
+
+/// Pairs with occasional long gaps (PacBio-flavoured).
+fn gapped_pairs(n: usize, len: usize, gap: usize, seed: u64) -> Vec<(DnaSeq, DnaSeq)> {
+    let mut r = rng(seed);
+    let model = ErrorModel::uniform(0.03);
+    (0..n)
+        .map(|k| {
+            let a = random_seq(&mut r, len);
+            let (mut b, _) = mutate(&a, &model, &mut r);
+            if k % 2 == 0 {
+                // Insert a long gap mid-sequence on half the pairs.
+                let mut bases = b.as_slice().to_vec();
+                for g in 0..gap {
+                    bases.insert(len / 2, upmem_nw::nw_core::seq::Base::from_code((g % 4) as u8));
+                }
+                b = DnaSeq::from_bases(bases);
+            }
+            (a, b)
+        })
+        .collect()
+}
+
+#[test]
+fn table1_shape_adaptive_matches_static_at_4x_band() {
+    // The headline of §5.1: the adaptive band at w matches the static band
+    // at ~4w on gap-rich data.
+    let pairs = gapped_pairs(10, 400, 20, 11);
+    let scheme = ScoringScheme::default();
+    let adaptive_small = measure(scheme, Heuristic::Adaptive(32), &pairs);
+    let static_small = measure(scheme, Heuristic::Static(32), &pairs);
+    let static_big = measure(scheme, Heuristic::Static(128), &pairs);
+    assert!(
+        adaptive_small.percent() > static_small.percent(),
+        "adaptive@32 {}% !> static@32 {}%",
+        adaptive_small.percent(),
+        static_small.percent()
+    );
+    assert!(
+        adaptive_small.percent() + 10.0 >= static_big.percent(),
+        "adaptive@32 {}% should approach static@128 {}%",
+        adaptive_small.percent(),
+        static_big.percent()
+    );
+}
+
+#[test]
+fn tables_2_to_4_shape_rank_scaling_is_near_linear() {
+    let mut r = rng(12);
+    let model = ErrorModel::uniform(0.02);
+    let pairs: Vec<(DnaSeq, DnaSeq)> = (0..128)
+        .map(|_| {
+            let a = random_seq(&mut r, 500);
+            let (b, _) = mutate(&a, &model, &mut r);
+            (a, b)
+        })
+        .collect();
+    let params = KernelParams { band: 32, scheme: ScoringScheme::default(), score_only: false };
+    let cfg = DispatchConfig::new(NwKernel::paper_default(), params);
+    let mut times = Vec::new();
+    // Thin 1-DPU ranks: 128 pairs give 64/32/16 pool-waves per DPU, the
+    // many-jobs regime where the paper's near-linear scaling lives.
+    for ranks in [2usize, 4, 8] {
+        let mut srv = server(ranks, 1);
+        let (report, _) = align_pairs(&mut srv, &cfg, &pairs).unwrap();
+        times.push(report.total_seconds());
+    }
+    for pair in times.windows(2) {
+        let ratio = pair[0] / pair[1];
+        assert!(
+            (1.5..=2.5).contains(&ratio),
+            "rank doubling speedup {ratio:.2} outside near-linear band: {times:?}"
+        );
+    }
+}
+
+#[test]
+fn table7_shape_asm_kernel_beats_pure_c() {
+    let mut r = rng(13);
+    let model = ErrorModel::uniform(0.02);
+    let pairs: Vec<(DnaSeq, DnaSeq)> = (0..24)
+        .map(|_| {
+            let a = random_seq(&mut r, 400);
+            let (b, _) = mutate(&a, &model, &mut r);
+            (a, b)
+        })
+        .collect();
+    let mut time = |variant: KernelVariant| {
+        let params = KernelParams { band: 32, scheme: ScoringScheme::default(), score_only: false };
+        let kernel = NwKernel::new(PoolConfig::default(), variant);
+        let cfg = DispatchConfig::new(kernel, params);
+        let mut srv = server(2, 4);
+        let (report, _) = align_pairs(&mut srv, &cfg, &pairs).unwrap();
+        report.dpu_seconds
+    };
+    let speedup = time(KernelVariant::PureC) / time(KernelVariant::Asm);
+    assert!(
+        (1.2..=2.1).contains(&speedup),
+        "asm speedup {speedup:.2} outside the paper's 1.36-1.69 neighbourhood"
+    );
+}
+
+#[test]
+fn table8_shape_pim_wins_energy_despite_higher_power() {
+    // If the PiM server is >2.5x faster, it wins energy even at 767 W vs
+    // 307 W — the §5.6 arithmetic.
+    let pim = PowerModel::upmem_pim();
+    let xeon = PowerModel::intel_4215();
+    let xeon_time = 1000.0;
+    let pim_time = xeon_time / 9.3; // the paper's 16S speedup
+    assert!(pim.energy_kj(pim_time) < xeon.energy_kj(xeon_time));
+    // And the crossover is at 767/307 = 2.5x.
+    let crossover = pim.watts / xeon.watts;
+    assert!((2.4..2.6).contains(&crossover));
+}
+
+#[test]
+fn host_overhead_shrinks_with_read_length() {
+    // §5 text: 15% on S1000, <0.1% on S30000 — transfers amortize as reads
+    // grow because compute is linear in (m+n) * w but so is data, yet the
+    // constant per-job overheads and per-batch latencies do not grow.
+    let mut r = rng(14);
+    let model = ErrorModel::uniform(0.02);
+    let mut overhead = Vec::new();
+    for len in [200usize, 1600] {
+        let pairs: Vec<(DnaSeq, DnaSeq)> = (0..32)
+            .map(|_| {
+                let a = random_seq(&mut r, len);
+                let (b, _) = mutate(&a, &model, &mut r);
+                (a, b)
+            })
+            .collect();
+        let params = KernelParams { band: 32, scheme: ScoringScheme::default(), score_only: false };
+        let cfg = DispatchConfig::new(NwKernel::paper_default(), params);
+        let mut srv = server(2, 4);
+        let (report, _) = align_pairs(&mut srv, &cfg, &pairs).unwrap();
+        overhead.push(report.host_overhead_fraction());
+    }
+    assert!(
+        overhead[1] < overhead[0],
+        "host overhead should shrink with read length: {overhead:?}"
+    );
+}
