@@ -1,18 +1,17 @@
-//! Criterion microbenchmarks of the alignment kernels themselves: cells per
-//! second of the exact, static banded (KSW2-style) and adaptive banded
-//! aligners — the per-cell costs behind Tables 2–6.
+//! Microbenchmarks of the alignment kernels themselves: cells per second of
+//! the exact, static banded (KSW2-style) and adaptive banded aligners — the
+//! per-cell costs behind Tables 2–6.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::harness::Harness;
 use cpu_baseline::Ksw2Aligner;
 use datasets::mutate::{mutate, ErrorModel};
 use datasets::{random_seq, rng};
 use nw_core::adaptive::AdaptiveAligner;
 use nw_core::banded::BandedAligner;
 use nw_core::full::FullAligner;
-use nw_core::wfa::{Penalties, WfaAligner};
 use nw_core::seq::DnaSeq;
+use nw_core::wfa::{Penalties, WfaAligner};
 use nw_core::ScoringScheme;
-use std::hint::black_box;
 
 fn pair(len: usize, seed: u64) -> (DnaSeq, DnaSeq) {
     let mut r = rng(seed);
@@ -21,62 +20,42 @@ fn pair(len: usize, seed: u64) -> (DnaSeq, DnaSeq) {
     (a, b)
 }
 
-fn bench_aligners(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env();
     let scheme = ScoringScheme::default();
     let band = 128usize;
-    let mut group = c.benchmark_group("score_per_cell");
-    group.sample_size(10);
+
+    let mut group = h.group("score_per_cell");
     for len in [1_000usize, 4_000] {
         let (a, b) = pair(len, 42);
         let banded_cells = BandedAligner::new(scheme, band)
             .score(&a, &b)
             .map(|_| ((a.len() + b.len()) / 2) as u64 * (band as u64 + 1))
             .unwrap_or(0);
-        group.throughput(Throughput::Elements(banded_cells));
-        group.bench_with_input(BenchmarkId::new("static_banded", len), &len, |bench, _| {
-            let al = BandedAligner::new(scheme, band);
-            bench.iter(|| black_box(al.score(&a, &b).unwrap()));
+        group.throughput_elements(banded_cells);
+        let al = BandedAligner::new(scheme, band);
+        group.bench(&format!("static_banded/{len}"), || {
+            al.score(&a, &b).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("ksw2_profile", len), &len, |bench, _| {
-            let al = Ksw2Aligner::new(scheme, band);
-            bench.iter(|| black_box(al.score(&a, &b).unwrap()));
-        });
-        group.bench_with_input(BenchmarkId::new("adaptive", len), &len, |bench, _| {
-            let al = AdaptiveAligner::new(scheme, band);
-            bench.iter(|| black_box(al.score(&a, &b).unwrap()));
-        });
-        group.bench_with_input(BenchmarkId::new("wfa", len), &len, |bench, _| {
-            let al = WfaAligner::new(Penalties::from_scheme(&scheme));
-            bench.iter(|| black_box(al.penalty(&a, &b).unwrap()));
-        });
+        let al = Ksw2Aligner::new(scheme, band);
+        group.bench(&format!("ksw2_profile/{len}"), || al.score(&a, &b).unwrap());
+        let al = AdaptiveAligner::new(scheme, band);
+        group.bench(&format!("adaptive/{len}"), || al.score(&a, &b).unwrap());
+        let al = WfaAligner::new(Penalties::from_scheme(&scheme));
+        group.bench(&format!("wfa/{len}"), || al.penalty(&a, &b).unwrap());
     }
-    group.finish();
 
     // The exact DP only at a modest size (quadratic).
-    let mut group = c.benchmark_group("exact_dp");
-    group.sample_size(10);
+    let mut group = h.group("exact_dp");
     let (a, b) = pair(1_000, 7);
-    group.throughput(Throughput::Elements((a.len() * b.len()) as u64));
-    group.bench_function("full_gotoh_score", |bench| {
-        let al = FullAligner::affine(scheme);
-        bench.iter(|| black_box(al.score(&a, &b)));
-    });
-    group.finish();
+    group.throughput_elements((a.len() * b.len()) as u64);
+    let al = FullAligner::affine(scheme);
+    group.bench("full_gotoh_score", || al.score(&a, &b));
 
     // Traceback cost on top of scoring.
-    let mut group = c.benchmark_group("traceback");
-    group.sample_size(10);
+    let mut group = h.group("traceback");
     let (a, b) = pair(2_000, 9);
-    group.bench_function("adaptive_score_only", |bench| {
-        let al = AdaptiveAligner::new(scheme, band);
-        bench.iter(|| black_box(al.score(&a, &b).unwrap()));
-    });
-    group.bench_function("adaptive_with_cigar", |bench| {
-        let al = AdaptiveAligner::new(scheme, band);
-        bench.iter(|| black_box(al.align(&a, &b).unwrap().score));
-    });
-    group.finish();
+    let al = AdaptiveAligner::new(scheme, band);
+    group.bench("adaptive_score_only", || al.score(&a, &b).unwrap());
+    group.bench("adaptive_with_cigar", || al.align(&a, &b).unwrap().score);
 }
-
-criterion_group!(benches, bench_aligners);
-criterion_main!(benches);

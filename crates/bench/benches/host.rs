@@ -1,65 +1,55 @@
-//! Criterion benchmarks of the host-side machinery: 2-bit encoding
-//! throughput (§4.1.1), LPT balancing (§4.1.2), and batch-image
-//! construction — the "host overhead" components of §5.
+//! Benchmarks of the host-side machinery: 2-bit encoding throughput
+//! (§4.1.1), LPT balancing (§4.1.2), and batch-image construction — the
+//! "host overhead" components of §5.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::harness::Harness;
 use datasets::{random_seq, rng};
 use dpu_kernel::{JobBatchBuilder, KernelParams};
 use nw_core::seq::DnaSeq;
 use pim_host::balance::{lpt_assign, round_robin_assign};
 use pim_host::encode::Encoder;
-use std::hint::black_box;
 
-fn bench_host(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env();
+
     // --- Encoding ---
     let mut r = rng(1);
     let seq = random_seq(&mut r, 100_000);
     let ascii = seq.to_ascii();
-    let mut group = c.benchmark_group("encode");
-    group.throughput(Throughput::Bytes(ascii.len() as u64));
-    group.bench_function("ascii_to_2bit", |bench| {
-        bench.iter(|| {
-            let mut enc = Encoder::new(0);
-            black_box(enc.encode_ascii(&ascii).unwrap().byte_len())
-        });
+    let mut group = h.group("encode");
+    group.throughput_bytes(ascii.len() as u64);
+    group.bench("ascii_to_2bit", || {
+        let mut enc = Encoder::new(0);
+        enc.encode_ascii(&ascii).unwrap().byte_len()
     });
-    group.bench_function("parse_then_pack", |bench| {
-        bench.iter(|| black_box(DnaSeq::from_ascii(&ascii).unwrap().pack().byte_len()));
+    group.bench("parse_then_pack", || {
+        DnaSeq::from_ascii(&ascii).unwrap().pack().byte_len()
     });
-    group.finish();
 
     // --- Load balancing ---
     let workloads: Vec<u64> = (0..10_000u64).map(|i| (i * 7919) % 4000 + 100).collect();
-    let mut group = c.benchmark_group("balance");
-    group.throughput(Throughput::Elements(workloads.len() as u64));
+    let mut group = h.group("balance");
+    group.throughput_elements(workloads.len() as u64);
     for bins in [64usize, 2560] {
-        group.bench_with_input(BenchmarkId::new("lpt", bins), &bins, |bench, &bins| {
-            bench.iter(|| black_box(lpt_assign(&workloads, bins).len()));
+        group.bench(&format!("lpt/{bins}"), || {
+            lpt_assign(&workloads, bins).len()
         });
-        group.bench_with_input(BenchmarkId::new("round_robin", bins), &bins, |bench, &bins| {
-            bench.iter(|| black_box(round_robin_assign(workloads.len(), bins).len()));
+        group.bench(&format!("round_robin/{bins}"), || {
+            round_robin_assign(workloads.len(), bins).len()
         });
     }
-    group.finish();
 
     // --- Batch image construction ---
     let mut r = rng(2);
     let pairs: Vec<(DnaSeq, DnaSeq)> = (0..32)
         .map(|_| (random_seq(&mut r, 1000), random_seq(&mut r, 1000)))
         .collect();
-    let mut group = c.benchmark_group("batch_build");
-    group.sample_size(20);
-    group.bench_function("32x1kb_pairs", |bench| {
-        bench.iter(|| {
-            let mut b = JobBatchBuilder::new(KernelParams::paper_default(), 6);
-            for (x, y) in &pairs {
-                b.add_pair(x.pack(), y.pack());
-            }
-            black_box(b.build(64 << 20).unwrap().image.len())
-        });
+    let mut group = h.group("batch_build");
+    group.bench("32x1kb_pairs", || {
+        let mut b = JobBatchBuilder::new(KernelParams::paper_default(), 6);
+        for (x, y) in &pairs {
+            b.add_pair(x.pack(), y.pack());
+        }
+        b.build(64 << 20).unwrap().image.len()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_host);
-criterion_main!(benches);

@@ -1,14 +1,15 @@
-//! Criterion benchmarks of the mini DPU ISA interpreter: how fast the
-//! Table 7 instruction-count measurements run, and the relative cost of the
-//! two inner-loop variants in interpreted instructions.
+//! Benchmarks of the mini DPU ISA interpreter: how fast the Table 7
+//! instruction-count measurements run, and the relative cost of the two
+//! inner-loop variants in interpreted instructions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::harness::Harness;
 use dpu_kernel::isa_loops::{measure, program};
 use dpu_kernel::KernelVariant;
 use pim_sim::isa::{assemble, Machine};
-use std::hint::black_box;
 
-fn bench_isa(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env();
+
     // Raw interpreter throughput on a tight counted loop.
     let countdown = assemble(
         "
@@ -19,44 +20,32 @@ fn bench_isa(c: &mut Criterion) {
         ",
     )
     .unwrap();
-    let mut group = c.benchmark_group("interpreter");
-    group.throughput(Throughput::Elements(100_002));
-    group.bench_function("fused_countdown_100k", |bench| {
-        bench.iter(|| {
-            let mut m = Machine::new();
-            black_box(m.run(&countdown, &mut [], 1_000_000).unwrap().instructions)
-        });
+    let mut group = h.group("interpreter");
+    group.throughput_elements(100_002);
+    group.bench("fused_countdown_100k", || {
+        let mut m = Machine::new();
+        m.run(&countdown, &mut [], 1_000_000).unwrap().instructions
     });
-    group.finish();
 
     // The Table 7 inner loops, end to end (assemble + run + divide).
-    let mut group = c.benchmark_group("table7_measurement");
-    group.sample_size(20);
+    let mut group = h.group("table7_measurement");
     for variant in [KernelVariant::PureC, KernelVariant::Asm] {
         for with_bt in [false, true] {
-            let label = format!("{variant:?}_bt{with_bt}");
-            group.bench_with_input(BenchmarkId::new("measure", label), &(variant, with_bt), |bench, &(v, bt)| {
-                bench.iter(|| black_box(measure(v, bt).instr_per_cell));
+            group.bench(&format!("measure/{variant:?}_bt{with_bt}"), || {
+                measure(variant, with_bt).instr_per_cell
             });
         }
     }
-    group.finish();
 
     // Program sizes (static property, bench the assembler).
-    let mut group = c.benchmark_group("assembler");
-    group.bench_function("assemble_inner_loops", |bench| {
-        bench.iter(|| {
-            let mut total = 0usize;
-            for v in [KernelVariant::PureC, KernelVariant::Asm] {
-                for bt in [false, true] {
-                    total += program(v, bt).len();
-                }
+    let mut group = h.group("assembler");
+    group.bench("assemble_inner_loops", || {
+        let mut total = 0usize;
+        for v in [KernelVariant::PureC, KernelVariant::Asm] {
+            for bt in [false, true] {
+                total += program(v, bt).len();
             }
-            black_box(total)
-        });
+        }
+        total
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_isa);
-criterion_main!(benches);

@@ -1,17 +1,20 @@
-//! Criterion benchmarks of the simulated DPU kernel: simulation throughput
-//! for the two kernel variants and the two output modes — the machinery
-//! behind Tables 2–7.
+//! Benchmarks of the simulated DPU kernel: simulation throughput for the
+//! two kernel variants and the two output modes — the machinery behind
+//! Tables 2–7.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::harness::Harness;
 use datasets::mutate::{mutate, ErrorModel};
 use datasets::{random_seq, rng};
 use dpu_kernel::{JobBatchBuilder, KernelParams, KernelVariant, NwKernel, PoolConfig};
 use nw_core::seq::DnaSeq;
 use pim_sim::dpu::Kernel;
 use pim_sim::{Dpu, DpuConfig};
-use std::hint::black_box;
 
-fn loaded_dpu(pairs: &[(DnaSeq, DnaSeq)], params: KernelParams, pools: usize) -> (Dpu, dpu_kernel::JobBatch) {
+fn loaded_dpu(
+    pairs: &[(DnaSeq, DnaSeq)],
+    params: KernelParams,
+    pools: usize,
+) -> (Dpu, dpu_kernel::JobBatch) {
     let mut builder = JobBatchBuilder::new(params, pools);
     for (a, b) in pairs {
         builder.add_pair(a.pack(), b.pack());
@@ -22,7 +25,8 @@ fn loaded_dpu(pairs: &[(DnaSeq, DnaSeq)], params: KernelParams, pools: usize) ->
     (dpu, batch)
 }
 
-fn bench_kernel(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env();
     let mut r = rng(3);
     let model = ErrorModel::uniform(0.02);
     let pairs: Vec<(DnaSeq, DnaSeq)> = (0..6)
@@ -32,57 +36,56 @@ fn bench_kernel(c: &mut Criterion) {
             (a, b)
         })
         .collect();
-    let workload: u64 = pairs.iter().map(|(a, b)| ((a.len() + b.len()) * 128) as u64).sum();
+    let workload: u64 = pairs
+        .iter()
+        .map(|(a, b)| ((a.len() + b.len()) * 128) as u64)
+        .sum();
 
-    let mut group = c.benchmark_group("dpu_kernel");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(workload));
+    let mut group = h.group("dpu_kernel");
+    group.throughput_elements(workload);
     for variant in [KernelVariant::Asm, KernelVariant::PureC] {
         for score_only in [false, true] {
             let label = format!(
                 "{}_{}",
-                if variant == KernelVariant::Asm { "asm" } else { "c" },
+                if variant == KernelVariant::Asm {
+                    "asm"
+                } else {
+                    "c"
+                },
                 if score_only { "score" } else { "cigar" }
             );
-            let params = KernelParams { band: 128, score_only, ..KernelParams::paper_default() };
-            group.bench_with_input(BenchmarkId::new("variant", label), &variant, |bench, &v| {
-                let kernel = NwKernel::new(PoolConfig::default(), v);
-                bench.iter_batched(
-                    || loaded_dpu(&pairs, params, kernel.pool_cfg.pools),
-                    |(mut dpu, _batch)| {
-                        kernel.run(&mut dpu).unwrap();
-                        black_box(dpu.stats.cycles)
-                    },
-                    criterion::BatchSize::LargeInput,
-                );
-            });
+            let params = KernelParams {
+                band: 128,
+                score_only,
+                ..KernelParams::paper_default()
+            };
+            let kernel = NwKernel::new(PoolConfig::default(), variant);
+            group.bench_batched(
+                &format!("variant/{label}"),
+                || loaded_dpu(&pairs, params, kernel.pool_cfg.pools),
+                |(mut dpu, _batch)| {
+                    kernel.run(&mut dpu).unwrap();
+                    dpu.stats.cycles
+                },
+            );
         }
     }
-    group.finish();
 
     // Pool-configuration sensitivity (the P x T ablation's kernel-side cost).
-    let mut group = c.benchmark_group("pool_config");
-    group.sample_size(10);
-    let params = KernelParams { band: 128, ..KernelParams::paper_default() };
+    let mut group = h.group("pool_config");
+    let params = KernelParams {
+        band: 128,
+        ..KernelParams::paper_default()
+    };
     for (pools, tasklets) in [(6usize, 4usize), (1, 16), (8, 1)] {
         let kernel = NwKernel::new(PoolConfig { pools, tasklets }, KernelVariant::Asm);
-        group.bench_with_input(
-            BenchmarkId::new("pt", format!("{pools}x{tasklets}")),
-            &kernel,
-            |bench, kernel| {
-                bench.iter_batched(
-                    || loaded_dpu(&pairs, params, kernel.pool_cfg.pools),
-                    |(mut dpu, _)| {
-                        kernel.run(&mut dpu).unwrap();
-                        black_box(dpu.stats.cycles)
-                    },
-                    criterion::BatchSize::LargeInput,
-                );
+        group.bench_batched(
+            &format!("pt/{pools}x{tasklets}"),
+            || loaded_dpu(&pairs, params, kernel.pool_cfg.pools),
+            |(mut dpu, _)| {
+                kernel.run(&mut dpu).unwrap();
+                dpu.stats.cycles
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_kernel);
-criterion_main!(benches);

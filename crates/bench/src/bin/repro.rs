@@ -42,7 +42,10 @@ fn main() -> ExitCode {
                 }
             }
             "--seed" => {
-                cfg.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--quick" => cfg.quick = true,
             "--help" | "-h" => usage(),

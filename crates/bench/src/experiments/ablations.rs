@@ -10,8 +10,8 @@
 use super::{server_sized, DPU_BAND};
 use crate::tablefmt::{pct, secs, Table};
 use crate::ReproConfig;
-use datasets::synthetic::{SyntheticParams, SyntheticPreset};
 use datasets::pacbio::PacbioParams;
+use datasets::synthetic::{SyntheticParams, SyntheticPreset};
 use datasets::ErrorModel;
 use dpu_kernel::{KernelParams, KernelVariant, NwKernel, PoolConfig};
 use nw_core::seq::DnaSeq;
@@ -45,11 +45,23 @@ pub fn pt_sweep(cfg: &ReproConfig) -> Vec<PtRow> {
     // Always the paper's band: at small bands the fixed per-anti-diagonal
     // overheads dominate and the P x T comparison loses its meaning.
     let band = DPU_BAND;
-    let configs = [(1usize, 16usize), (2, 8), (3, 8), (4, 4), (6, 4), (8, 2), (8, 1), (6, 2)];
+    let configs = [
+        (1usize, 16usize),
+        (2, 8),
+        (3, 8),
+        (4, 4),
+        (6, 4),
+        (8, 2),
+        (8, 1),
+        (6, 2),
+    ];
     let mut rows = Vec::new();
     for (pools, tasklets) in configs {
         let kernel = NwKernel::new(PoolConfig { pools, tasklets }, KernelVariant::Asm);
-        let kp = KernelParams { band, ..KernelParams::paper_default() };
+        let kp = KernelParams {
+            band,
+            ..KernelParams::paper_default()
+        };
         let dcfg = DispatchConfig::new(kernel, kp);
         // A deliberately small server so every DPU runs several jobs
         // concurrently across its pools — the regime the P x T choice
@@ -62,7 +74,12 @@ pub fn pt_sweep(cfg: &ReproConfig) -> Vec<PtRow> {
                 dpu_seconds: Some(report.dpu_seconds),
                 utilization: report.pipeline_utilization(),
             }),
-            Err(_) => rows.push(PtRow { pools, tasklets, dpu_seconds: None, utilization: 0.0 }),
+            Err(_) => rows.push(PtRow {
+                pools,
+                tasklets,
+                dpu_seconds: None,
+                utilization: 0.0,
+            }),
         }
     }
     rows
@@ -76,7 +93,14 @@ pub fn pt_markdown(rows: &[PtRow]) -> String {
         .fold(f64::INFINITY, f64::min);
     let mut t = Table::new(
         "Ablation — tasklet organization P pools x T tasklets (paper picks 6x4)",
-        &["P", "T", "total tasklets", "DPU time (s)", "vs best", "utilization"],
+        &[
+            "P",
+            "T",
+            "total tasklets",
+            "DPU time (s)",
+            "vs best",
+            "utilization",
+        ],
     );
     for r in rows {
         let (time, rel) = match r.dpu_seconds {
@@ -114,7 +138,11 @@ pub struct BalanceAblation {
 pub fn balance(cfg: &ReproConfig) -> BalanceAblation {
     let p = PacbioParams {
         sets: if cfg.quick { 6 } else { 40 },
-        region_len: if cfg.quick { (200, 2_000) } else { (2_000, 12_000) },
+        region_len: if cfg.quick {
+            (200, 2_000)
+        } else {
+            (2_000, 12_000)
+        },
         reads_per_set: (4, 10),
         error: ErrorModel::pacbio_raw(),
         seed: cfg.seed + 81,
@@ -144,10 +172,22 @@ pub fn balance(cfg: &ReproConfig) -> BalanceAblation {
 pub fn balance_markdown(b: &BalanceAblation) -> String {
     let mut t = Table::new(
         "Ablation — LPT vs round-robin intra-rank load balancing",
-        &["Strategy", "imbalance (max-min)/max", "makespan (workload units)"],
+        &[
+            "Strategy",
+            "imbalance (max-min)/max",
+            "makespan (workload units)",
+        ],
     );
-    t.row(&["LPT (paper)".into(), pct(100.0 * b.lpt_imbalance), b.lpt_makespan.to_string()]);
-    t.row(&["Round-robin".into(), pct(100.0 * b.rr_imbalance), b.rr_makespan.to_string()]);
+    t.row(&[
+        "LPT (paper)".into(),
+        pct(100.0 * b.lpt_imbalance),
+        b.lpt_makespan.to_string(),
+    ]);
+    t.row(&[
+        "Round-robin".into(),
+        pct(100.0 * b.rr_imbalance),
+        b.rr_makespan.to_string(),
+    ]);
     t.note("The rank barrier waits for the slowest DPU, so makespan is what the host pays (paper sec 4.1.2).");
     t.to_markdown()
 }
@@ -178,7 +218,10 @@ pub fn encode(cfg: &ReproConfig) -> EncodeAblation {
     let pairs: Vec<(DnaSeq, DnaSeq)> = params.generate(count);
     let dcfg = DispatchConfig::new(
         NwKernel::paper_default(),
-        KernelParams { band: if cfg.quick { 32 } else { DPU_BAND }, ..KernelParams::paper_default() },
+        KernelParams {
+            band: if cfg.quick { 32 } else { DPU_BAND },
+            ..KernelParams::paper_default()
+        },
     );
     let mut srv = server_sized(2, if cfg.quick { 8 } else { 64 });
     let (report, _) = align_pairs(&mut srv, &dcfg, &pairs).expect("encode ablation run");
@@ -186,7 +229,10 @@ pub fn encode(cfg: &ReproConfig) -> EncodeAblation {
     let bw = srv.cfg().host_bandwidth;
     // The packed volume includes headers/job tables; ASCII shipping would
     // carry the same metadata plus 4x the sequence payload.
-    let seq_packed: u64 = pairs.iter().map(|(a, b)| (a.len().div_ceil(4) + b.len().div_ceil(4)) as u64).sum();
+    let seq_packed: u64 = pairs
+        .iter()
+        .map(|(a, b)| (a.len().div_ceil(4) + b.len().div_ceil(4)) as u64)
+        .sum();
     let overhead = report.transfer_in_bytes.saturating_sub(seq_packed);
     let ascii_total = ascii_bytes + overhead;
     EncodeAblation {
@@ -205,8 +251,16 @@ pub fn encode_markdown(e: &EncodeAblation) -> String {
         "Ablation — on-the-fly 2-bit encoding vs ASCII transfers",
         &["Encoding", "bytes to DPUs", "transfer time (s)"],
     );
-    t.row(&["2-bit (paper)".into(), e.packed_bytes.to_string(), format!("{:.6}", e.packed_seconds)]);
-    t.row(&["ASCII".into(), e.ascii_bytes.to_string(), format!("{:.6}", e.ascii_seconds)]);
+    t.row(&[
+        "2-bit (paper)".into(),
+        e.packed_bytes.to_string(),
+        format!("{:.6}", e.packed_seconds),
+    ]);
+    t.row(&[
+        "ASCII".into(),
+        e.ascii_bytes.to_string(),
+        format!("{:.6}", e.ascii_seconds),
+    ]);
     t.note(format!(
         "packed transfers are {:.2}% of end-to-end time (paper: <=15% on S1000, negligible on long reads); ASCII would be ~{:.1}x larger",
         100.0 * e.packed_fraction_of_total,
@@ -214,7 +268,6 @@ pub fn encode_markdown(e: &EncodeAblation) -> String {
     ));
     t.to_markdown()
 }
-
 
 /// Heterogeneous CPU + PiM ablation — the paper's future-work direction
 /// (§5.6): run the same batch PiM-only and split CPU+PiM, compare wall
@@ -272,7 +325,12 @@ pub fn hetero(cfg: &ReproConfig) -> HeteroAblation {
 pub fn hetero_markdown(h: &HeteroAblation) -> String {
     let mut t = Table::new(
         "Ablation — heterogeneous CPU + PiM execution (paper's future work, sec 5.6)",
-        &["Configuration", "PiM-side time (s)", "pairs on PiM", "pairs on CPU"],
+        &[
+            "Configuration",
+            "PiM-side time (s)",
+            "pairs on PiM",
+            "pairs on CPU",
+        ],
     );
     t.row(&[
         "PiM only".into(),
@@ -280,7 +338,12 @@ pub fn hetero_markdown(h: &HeteroAblation) -> String {
         (h.pim_pairs + h.cpu_pairs).to_string(),
         "0".into(),
     ]);
-    t.row(&["CPU + PiM".into(), secs(h.hetero_seconds), h.pim_pairs.to_string(), h.cpu_pairs.to_string()]);
+    t.row(&[
+        "CPU + PiM".into(),
+        secs(h.hetero_seconds),
+        h.pim_pairs.to_string(),
+        h.cpu_pairs.to_string(),
+    ]);
     t.note(format!(
         "offloading {} of {} pairs to otherwise-idle CPU cores shrinks the PiM-side critical path by {:.0}%",
         h.cpu_pairs,
@@ -301,7 +364,9 @@ mod tests {
     fn pt_sweep_prefers_saturating_configs() {
         let rows = pt_sweep(&ReproConfig::quick());
         let get = |p: usize, t: usize| -> &PtRow {
-            rows.iter().find(|r| r.pools == p && r.tasklets == t).expect("config present")
+            rows.iter()
+                .find(|r| r.pools == p && r.tasklets == t)
+                .expect("config present")
         };
         let best = get(6, 4).dpu_seconds.expect("6x4 fits");
         // 8x1 = 8 tasklets < 11: cannot saturate the pipeline.

@@ -21,7 +21,9 @@ use pim_sim::PimServer;
 pub fn figure1() -> String {
     let a = DnaSeq::from_ascii(b"GATTACAGATTACA").unwrap();
     let b = DnaSeq::from_ascii(b"GCTTACAAGATTAC").unwrap();
-    let aln = FullAligner::affine(ScoringScheme::default()).align(&a, &b).unwrap();
+    let aln = FullAligner::affine(ScoringScheme::default())
+        .align(&a, &b)
+        .unwrap();
     let r = Rendering::new(&a, &b, &aln.cigar);
     format!(
         "Figure 1 — two sequences aligned (|: match, *: mismatch, -: gap)\n\n{r}\n\nCIGAR: {}   score: {}\n",
@@ -36,13 +38,37 @@ pub fn figure2() -> String {
         "Figure 2 — UPMEM PiM server topology",
         &["Property", "Value", "Paper"],
     );
-    t.row(&["PiM DIMMs".into(), format!("{}", topo.ranks / 2), "20".into()]);
+    t.row(&[
+        "PiM DIMMs".into(),
+        format!("{}", topo.ranks / 2),
+        "20".into(),
+    ]);
     t.row(&["Ranks".into(), topo.ranks.to_string(), "40 (2/DIMM)".into()]);
-    t.row(&["DPUs per rank".into(), topo.dpus_per_rank.to_string(), "64".into()]);
-    t.row(&["Total DPUs".into(), topo.total_dpus.to_string(), "2560".into()]);
-    t.row(&["DPU frequency".into(), format!("{} MHz", topo.freq_hz / 1e6), "350 MHz".into()]);
-    t.row(&["MRAM per DPU".into(), format!("{} MB", topo.mram_per_dpu >> 20), "64 MB".into()]);
-    t.row(&["WRAM per DPU".into(), format!("{} KB", topo.wram_per_dpu >> 10), "64 KB".into()]);
+    t.row(&[
+        "DPUs per rank".into(),
+        topo.dpus_per_rank.to_string(),
+        "64".into(),
+    ]);
+    t.row(&[
+        "Total DPUs".into(),
+        topo.total_dpus.to_string(),
+        "2560".into(),
+    ]);
+    t.row(&[
+        "DPU frequency".into(),
+        format!("{} MHz", topo.freq_hz / 1e6),
+        "350 MHz".into(),
+    ]);
+    t.row(&[
+        "MRAM per DPU".into(),
+        format!("{} MB", topo.mram_per_dpu >> 20),
+        "64 MB".into(),
+    ]);
+    t.row(&[
+        "WRAM per DPU".into(),
+        format!("{} KB", topo.wram_per_dpu >> 10),
+        "64 KB".into(),
+    ]);
     t.row(&[
         "Aggregate MRAM bandwidth".into(),
         format!("{:.1} TB/s", topo.aggregate_mram_bandwidth / 1e12),
@@ -77,7 +103,9 @@ pub fn figure3(band: usize) -> Fig3Data {
     btext.insert_str(88, &"G".repeat(band / 2 + 8));
     let b = DnaSeq::from_ascii(btext.as_bytes()).unwrap();
     let scheme = ScoringScheme::default();
-    let outcome = AdaptiveAligner::new(scheme, band).align_traced(&a, &b).expect("traced run");
+    let outcome = AdaptiveAligner::new(scheme, band)
+        .align_traced(&a, &b)
+        .expect("traced run");
     let optimal = FullAligner::affine(scheme).score(&a, &b);
     let geom = BandGeometry::new(a.len(), b.len(), band);
     Fig3Data {

@@ -33,12 +33,20 @@ pub fn server_sized(ranks: usize, dpus_per_rank: usize) -> PimServer {
 
 /// DPUs per rank for a configuration: the paper's 64, or 8 in quick mode.
 pub fn dpus_per_rank(cfg: &crate::ReproConfig) -> usize {
-    if cfg.quick { 8 } else { 64 }
+    if cfg.quick {
+        8
+    } else {
+        64
+    }
 }
 
 /// The paper's production host configuration (asm kernel, P=6 T=4).
 pub fn dispatch_config(score_only: bool) -> DispatchConfig {
-    let params = KernelParams { band: DPU_BAND, score_only, ..KernelParams::paper_default() };
+    let params = KernelParams {
+        band: DPU_BAND,
+        score_only,
+        ..KernelParams::paper_default()
+    };
     let mut cfg = DispatchConfig::new(NwKernel::paper_default(), params);
     // One FIFO round per rank: at simulation scale, extra rounds only add
     // pool-wave quantization noise to the scaling measurement.
@@ -86,8 +94,16 @@ mod tests {
     #[test]
     fn finish_rows_normalizes_to_first() {
         let rows = finish_rows(vec![
-            Row { label: "a".into(), seconds: 10.0, speedup: 0.0 },
-            Row { label: "b".into(), seconds: 5.0, speedup: 0.0 },
+            Row {
+                label: "a".into(),
+                seconds: 10.0,
+                speedup: 0.0,
+            },
+            Row {
+                label: "b".into(),
+                seconds: 5.0,
+                speedup: 0.0,
+            },
         ]);
         assert_eq!(rows[0].speedup, 1.0);
         assert_eq!(rows[1].speedup, 2.0);
@@ -95,7 +111,10 @@ mod tests {
 
     #[test]
     fn scaled_pairs_floors() {
-        let cfg = ReproConfig { scale: 1000, ..ReproConfig::default() };
+        let cfg = ReproConfig {
+            scale: 1000,
+            ..ReproConfig::default()
+        };
         assert_eq!(scaled_pairs(&cfg, 10_000_000, 64), 10_000);
         assert_eq!(scaled_pairs(&cfg, 100, 64), 64);
     }

@@ -69,7 +69,11 @@ pub fn sim_dpus_per_rank(cfg: &ReproConfig, preset: SyntheticPreset) -> usize {
 /// Run one synthetic dataset's runtime comparison.
 pub fn run(cfg: &ReproConfig, preset: SyntheticPreset) -> RuntimeTable {
     let dpus = sim_dpus_per_rank(cfg, preset);
-    let max_ranks: usize = if cfg.quick { 4 } else { *RANK_COUNTS.last().unwrap() };
+    let max_ranks: usize = if cfg.quick {
+        4
+    } else {
+        *RANK_COUNTS.last().unwrap()
+    };
     // >= 2 pool-loads per DPU of the largest simulated server so the
     // rank-scaling shape is measurable (P = 6 pools per DPU).
     let min_pairs = (12 * max_ranks * dpus) as u64;
@@ -92,8 +96,16 @@ pub fn run(cfg: &ReproConfig, preset: SyntheticPreset) -> RuntimeTable {
     let full_cells = (sim_cells as f64 * pairs_factor) as u64;
     let (x4215, x4216) = xeons();
     let mut rows = vec![
-        Row { label: x4215.label.into(), seconds: x4215.seconds(full_cells, cal, true), speedup: 1.0 },
-        Row { label: x4216.label.into(), seconds: x4216.seconds(full_cells, cal, true), speedup: 1.0 },
+        Row {
+            label: x4215.label.into(),
+            seconds: x4215.seconds(full_cells, cal, true),
+            speedup: 1.0,
+        },
+        Row {
+            label: x4216.label.into(),
+            seconds: x4216.seconds(full_cells, cal, true),
+            speedup: 1.0,
+        },
     ];
 
     // --- DPU rows: full simulated pipeline at 10/20/40 ranks. ---
@@ -101,8 +113,11 @@ pub fn run(cfg: &ReproConfig, preset: SyntheticPreset) -> RuntimeTable {
     let mut reports = Vec::new();
     let mut host_overhead = 0.0;
     let mut utilization = 0.0;
-    let rank_counts: Vec<usize> =
-        if cfg.quick { vec![2, 4] } else { RANK_COUNTS.to_vec() };
+    let rank_counts: Vec<usize> = if cfg.quick {
+        vec![2, 4]
+    } else {
+        RANK_COUNTS.to_vec()
+    };
     for &ranks in &rank_counts {
         let mut srv = server_sized(ranks, dpus);
         let (report, _results) = align_pairs(&mut srv, &dcfg, &pairs).expect("pipeline run");
@@ -157,7 +172,13 @@ impl RuntimeTable {
         );
         let mut t = Table::new(
             title,
-            &["System", "Time (s)", "Speedup", "Paper time (s)", "Paper speedup"],
+            &[
+                "System",
+                "Time (s)",
+                "Speedup",
+                "Paper time (s)",
+                "Paper speedup",
+            ],
         );
         let paper = self.paper_rows();
         for (i, row) in self.rows.iter().enumerate() {
@@ -182,8 +203,11 @@ impl RuntimeTable {
     /// Shape checks: DPU scales ~linearly with ranks; more ranks never
     /// slower; the largest server beats the 4215 baseline on long reads.
     pub fn shape_holds(&self) -> Result<(), String> {
-        let dpu_rows: Vec<&Row> =
-            self.rows.iter().filter(|r| r.label.starts_with("DPU")).collect();
+        let dpu_rows: Vec<&Row> = self
+            .rows
+            .iter()
+            .filter(|r| r.label.starts_with("DPU"))
+            .collect();
         for pair in dpu_rows.windows(2) {
             if pair[1].seconds > pair[0].seconds * 1.05 {
                 return Err(format!(

@@ -62,8 +62,13 @@ pub fn sample_pairs(cfg: &ReproConfig) -> Vec<(&'static str, Vec<(DnaSeq, DnaSeq
     ));
     // 16S: sample pairs from a generated population (full scale would be
     // 45M pairs; accuracy only needs a sample).
-    let seqs = SixteenSParams { count: n16s.max(4) * 2, root_len: if cfg.quick { 300 } else { 1542 }, branch_divergence: 0.02, seed: cfg.seed + 3 }
-        .generate();
+    let seqs = SixteenSParams {
+        count: n16s.max(4) * 2,
+        root_len: if cfg.quick { 300 } else { 1542 },
+        branch_divergence: 0.02,
+        seed: cfg.seed + 3,
+    }
+    .generate();
     let mut pairs_16s = Vec::new();
     for k in 0..n16s {
         let i = (k * 7) % seqs.len();
@@ -78,7 +83,11 @@ pub fn sample_pairs(cfg: &ReproConfig) -> Vec<(&'static str, Vec<(DnaSeq, DnaSeq
     // what drives Table 1's shape.
     let sets = PacbioParams {
         sets: npac.max(1),
-        region_len: if cfg.quick { (400, 800) } else { (2_000, 5_000) },
+        region_len: if cfg.quick {
+            (400, 800)
+        } else {
+            (2_000, 5_000)
+        },
         reads_per_set: (3, 5),
         error: ErrorModel::pacbio_raw(),
         seed: cfg.seed + 4,
@@ -97,7 +106,11 @@ pub fn sample_pairs(cfg: &ReproConfig) -> Vec<(&'static str, Vec<(DnaSeq, DnaSeq
 /// Run Table 1.
 pub fn run(cfg: &ReproConfig) -> Table1 {
     let scheme = ScoringScheme::default();
-    let bands = if cfg.quick { vec![32, 64, 128] } else { vec![128, 256, 512] };
+    let bands = if cfg.quick {
+        vec![32, 64, 128]
+    } else {
+        vec![128, 256, 512]
+    };
     let adaptive_band = bands[0];
     let full = FullAligner::affine(scheme);
     let mut datasets = Vec::new();
@@ -109,9 +122,18 @@ pub fn run(cfg: &ReproConfig) -> Table1 {
             .collect();
         let adaptive_acc =
             measure_against(scheme, Heuristic::Adaptive(adaptive_band), &pairs, &optimal).percent();
-        datasets.push(DatasetAccuracy { name, pairs: pairs.len(), static_acc, adaptive_acc });
+        datasets.push(DatasetAccuracy {
+            name,
+            pairs: pairs.len(),
+            static_acc,
+            adaptive_acc,
+        });
     }
-    Table1 { bands, adaptive_band, datasets }
+    Table1 {
+        bands,
+        adaptive_band,
+        datasets,
+    }
 }
 
 impl Table1 {
@@ -131,13 +153,19 @@ impl Table1 {
                 .iter()
                 .find(|p| p.0 == row.name)
                 .expect("paper row");
-            let fmt_opt = |o: Option<f64>| o.map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into());
+            let fmt_opt =
+                |o: Option<f64>| o.map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into());
             let mut cells = vec![row.name.to_string(), row.pairs.to_string()];
             for acc in &row.static_acc {
                 cells.push(format!("{acc:.0}"));
             }
             cells.push(format!("{:.0}", row.adaptive_acc));
-            cells.push(format!("{}/{}/{}", fmt_opt(paper.1), fmt_opt(paper.2), fmt_opt(paper.3)));
+            cells.push(format!(
+                "{}/{}/{}",
+                fmt_opt(paper.1),
+                fmt_opt(paper.2),
+                fmt_opt(paper.3)
+            ));
             cells.push(format!("{:.0}", paper.4));
             t.row(&cells);
         }
@@ -151,7 +179,10 @@ impl Table1 {
             // Static accuracy must be monotone in band width.
             for w in d.static_acc.windows(2) {
                 if w[1] + 1e-9 < w[0] {
-                    return Err(format!("{}: static accuracy not monotone {:?}", d.name, d.static_acc));
+                    return Err(format!(
+                        "{}: static accuracy not monotone {:?}",
+                        d.name, d.static_acc
+                    ));
                 }
             }
             // Adaptive at the smallest band >= static at the same band.

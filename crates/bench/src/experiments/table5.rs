@@ -47,7 +47,11 @@ pub fn sim_seq_count(cfg: &ReproConfig) -> usize {
 
 /// DPUs per simulated rank (thin ranks; see `runtime::sim_dpus_per_rank`).
 pub fn sim_dpus_per_rank(cfg: &ReproConfig) -> usize {
-    if cfg.quick { 2 } else { 8 }
+    if cfg.quick {
+        2
+    } else {
+        8
+    }
 }
 
 /// Run Table 5.
@@ -80,14 +84,26 @@ pub fn run(cfg: &ReproConfig) -> Table5 {
     let full_cells = (sim_cells as f64 * pairs_factor) as u64;
     let (x4215, x4216) = xeons();
     let mut rows = vec![
-        Row { label: x4215.label.into(), seconds: x4215.seconds(full_cells, cal, false), speedup: 1.0 },
-        Row { label: x4216.label.into(), seconds: x4216.seconds(full_cells, cal, false), speedup: 1.0 },
+        Row {
+            label: x4215.label.into(),
+            seconds: x4215.seconds(full_cells, cal, false),
+            speedup: 1.0,
+        },
+        Row {
+            label: x4216.label.into(),
+            seconds: x4216.seconds(full_cells, cal, false),
+            speedup: 1.0,
+        },
     ];
 
     let dcfg = dispatch_config(true);
     let mut reports = Vec::new();
     let mut imbalance = 0.0;
-    let rank_counts: Vec<usize> = if cfg.quick { vec![2, 4] } else { RANK_COUNTS.to_vec() };
+    let rank_counts: Vec<usize> = if cfg.quick {
+        vec![2, 4]
+    } else {
+        RANK_COUNTS.to_vec()
+    };
     for &ranks in &rank_counts {
         let mut srv = server_sized(ranks, dpus);
         let (report, _) = all_vs_all(&mut srv, &dcfg, &seqs).expect("16S run");
@@ -100,7 +116,14 @@ pub fn run(cfg: &ReproConfig) -> Table5 {
         reports.push((ranks, report));
     }
 
-    Table5 { sim_seqs: n, sim_pairs, factor, rows: finish_rows(rows), imbalance, reports }
+    Table5 {
+        sim_seqs: n,
+        sim_pairs,
+        factor,
+        rows: finish_rows(rows),
+        imbalance,
+        reports,
+    }
 }
 
 impl Table5 {
@@ -112,11 +135,19 @@ impl Table5 {
         );
         let mut t = Table::new(
             title,
-            &["System", "Time (s)", "Speedup", "Paper time (s)", "Paper speedup"],
+            &[
+                "System",
+                "Time (s)",
+                "Speedup",
+                "Paper time (s)",
+                "Paper speedup",
+            ],
         );
         for (i, row) in self.rows.iter().enumerate() {
-            let (_, p_secs, p_speed) =
-                crate::paper::TABLE5.get(i).copied().unwrap_or(("-", 0.0, 0.0));
+            let (_, p_secs, p_speed) = crate::paper::TABLE5
+                .get(i)
+                .copied()
+                .unwrap_or(("-", 0.0, 0.0));
             t.row(&[
                 row.label.clone(),
                 secs(row.seconds),
@@ -135,7 +166,11 @@ impl Table5 {
     /// Shape checks: near-linear rank scaling (the paper calls 16S scaling
     /// "linear" thanks to the single broadcast).
     pub fn shape_holds(&self) -> Result<(), String> {
-        let dpu: Vec<&Row> = self.rows.iter().filter(|r| r.label.starts_with("DPU")).collect();
+        let dpu: Vec<&Row> = self
+            .rows
+            .iter()
+            .filter(|r| r.label.starts_with("DPU"))
+            .collect();
         for pair in dpu.windows(2) {
             let ratio = pair[0].seconds / pair[1].seconds;
             if !(1.4..=2.4).contains(&ratio) {
@@ -166,8 +201,16 @@ mod tests {
 
     #[test]
     fn seq_count_scales_with_sqrt() {
-        let a = sim_seq_count(&ReproConfig { scale: 100, quick: false, seed: 0 });
-        let b = sim_seq_count(&ReproConfig { scale: 400, quick: false, seed: 0 });
+        let a = sim_seq_count(&ReproConfig {
+            scale: 100,
+            quick: false,
+            seed: 0,
+        });
+        let b = sim_seq_count(&ReproConfig {
+            scale: 400,
+            quick: false,
+            seed: 0,
+        });
         assert!(a > b);
         assert!(a <= 512 && b >= 64);
     }

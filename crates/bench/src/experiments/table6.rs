@@ -61,7 +61,11 @@ pub fn params(cfg: &ReproConfig) -> PacbioParams {
 /// DPUs per simulated rank (thin ranks; sets are the balancing unit, so
 /// density is counted in sets per DPU).
 pub fn sim_dpus_per_rank(cfg: &ReproConfig) -> usize {
-    if cfg.quick { 4 } else { 1 }
+    if cfg.quick {
+        4
+    } else {
+        1
+    }
 }
 
 /// Run Table 6.
@@ -89,18 +93,29 @@ pub fn run(cfg: &ReproConfig) -> Table6 {
     let full_cells = (sim_cells as f64 * sets_factor) as u64;
     let (x4215, x4216) = xeons();
     let mut rows = vec![
-        Row { label: x4215.label.into(), seconds: x4215.seconds(full_cells, cal, true), speedup: 1.0 },
-        Row { label: x4216.label.into(), seconds: x4216.seconds(full_cells, cal, true), speedup: 1.0 },
+        Row {
+            label: x4215.label.into(),
+            seconds: x4215.seconds(full_cells, cal, true),
+            speedup: 1.0,
+        },
+        Row {
+            label: x4216.label.into(),
+            seconds: x4216.seconds(full_cells, cal, true),
+            speedup: 1.0,
+        },
     ];
 
     let dcfg = dispatch_config(false);
-    let read_sets: Vec<Vec<nw_core::seq::DnaSeq>> =
-        sets.iter().map(|s| s.reads.clone()).collect();
+    let read_sets: Vec<Vec<nw_core::seq::DnaSeq>> = sets.iter().map(|s| s.reads.clone()).collect();
     let mut reports = Vec::new();
     let mut imbalance = 0.0;
     // Sets are the balancing unit: the quick server stays small enough
     // that 12 sets still load every DPU.
-    let rank_counts: Vec<usize> = if cfg.quick { vec![1, 2] } else { RANK_COUNTS.to_vec() };
+    let rank_counts: Vec<usize> = if cfg.quick {
+        vec![1, 2]
+    } else {
+        RANK_COUNTS.to_vec()
+    };
     for &ranks in &rank_counts {
         let mut srv = server_sized(ranks, dpus);
         let (report, _) = align_sets(&mut srv, &dcfg, &read_sets).expect("pacbio run");
@@ -113,7 +128,14 @@ pub fn run(cfg: &ReproConfig) -> Table6 {
         reports.push((ranks, report));
     }
 
-    Table6 { sim_sets, sim_pairs, factor, rows: finish_rows(rows), imbalance, reports }
+    Table6 {
+        sim_sets,
+        sim_pairs,
+        factor,
+        rows: finish_rows(rows),
+        imbalance,
+        reports,
+    }
 }
 
 impl Table6 {
@@ -125,11 +147,19 @@ impl Table6 {
         );
         let mut t = Table::new(
             title,
-            &["System", "Time (s)", "Speedup", "Paper time (s)", "Paper speedup"],
+            &[
+                "System",
+                "Time (s)",
+                "Speedup",
+                "Paper time (s)",
+                "Paper speedup",
+            ],
         );
         for (i, row) in self.rows.iter().enumerate() {
-            let (_, p_secs, p_speed) =
-                crate::paper::TABLE6.get(i).copied().unwrap_or(("-", 0.0, 0.0));
+            let (_, p_secs, p_speed) = crate::paper::TABLE6
+                .get(i)
+                .copied()
+                .unwrap_or(("-", 0.0, 0.0));
             t.row(&[
                 row.label.clone(),
                 secs(row.seconds),
@@ -147,7 +177,11 @@ impl Table6 {
 
     /// Shape checks: scaling with ranks, allowing the paper's 40-rank dip.
     pub fn shape_holds(&self) -> Result<(), String> {
-        let dpu: Vec<&Row> = self.rows.iter().filter(|r| r.label.starts_with("DPU")).collect();
+        let dpu: Vec<&Row> = self
+            .rows
+            .iter()
+            .filter(|r| r.label.starts_with("DPU"))
+            .collect();
         for pair in dpu.windows(2) {
             let ratio = pair[0].seconds / pair[1].seconds;
             if !(1.2..=2.4).contains(&ratio) {
@@ -173,9 +207,17 @@ mod tests {
 
     #[test]
     fn params_scale() {
-        let p = params(&ReproConfig { scale: 200, quick: false, seed: 0 });
+        let p = params(&ReproConfig {
+            scale: 200,
+            quick: false,
+            seed: 0,
+        });
         assert_eq!(p.sets, 192);
-        let p = params(&ReproConfig { scale: 1_000_000, quick: false, seed: 0 });
+        let p = params(&ReproConfig {
+            scale: 1_000_000,
+            quick: false,
+            seed: 0,
+        });
         assert_eq!(p.sets, 120, "clamped at the minimum for set density");
     }
 }

@@ -51,7 +51,11 @@ fn kernel(variant: KernelVariant) -> NwKernel {
 
 fn config(variant: KernelVariant, score_only: bool, quick: bool) -> DispatchConfig {
     let band = if quick { 32 } else { DPU_BAND };
-    let params = KernelParams { band, score_only, ..KernelParams::paper_default() };
+    let params = KernelParams {
+        band,
+        score_only,
+        ..KernelParams::paper_default()
+    };
     DispatchConfig::new(kernel(variant), params)
 }
 
@@ -59,7 +63,11 @@ fn config(variant: KernelVariant, score_only: bool, quick: bool) -> DispatchConf
 pub fn run(cfg: &ReproConfig) -> Table7 {
     let ranks = if cfg.quick { 2 } else { 4 };
     let dpus = dpus_per_rank(cfg);
-    let (n1, n2, n3, n16, npb) = if cfg.quick { (12, 2, 1, 12, 2) } else { (192, 24, 8, 72, 4) };
+    let (n1, n2, n3, n16, npb) = if cfg.quick {
+        (12, 2, 1, 12, 2)
+    } else {
+        (192, 24, 8, 72, 4)
+    };
     let len_cap = if cfg.quick { 400 } else { usize::MAX };
 
     let mut rows = Vec::new();
@@ -109,7 +117,11 @@ pub fn run(cfg: &ReproConfig) -> Table7 {
     {
         let sets = PacbioParams {
             sets: npb,
-            region_len: if cfg.quick { (300, 500) } else { (2_000, 6_000) },
+            region_len: if cfg.quick {
+                (300, 500)
+            } else {
+                (2_000, 6_000)
+            },
             reads_per_set: (4, 8),
             error: ErrorModel::pacbio_raw(),
             seed: cfg.seed + 72,
@@ -148,7 +160,13 @@ impl Table7 {
     pub fn to_markdown(&self) -> String {
         let mut t = Table::new(
             "Table 7 — pure C vs hand-optimized asm kernel",
-            &["Dataset", "Pure C (s)", "Asm (s)", "Speedup", "Paper speedup"],
+            &[
+                "Dataset",
+                "Pure C (s)",
+                "Asm (s)",
+                "Speedup",
+                "Paper speedup",
+            ],
         );
         for row in &self.rows {
             let paper = crate::paper::TABLE7
@@ -180,7 +198,10 @@ impl Table7 {
         for row in &self.rows {
             let s = row.speedup();
             if !(1.1..=2.1).contains(&s) {
-                return Err(format!("{}: speedup {s:.2} outside plausible band", row.name));
+                return Err(format!(
+                    "{}: speedup {s:.2} outside plausible band",
+                    row.name
+                ));
             }
         }
         Ok(())
@@ -197,7 +218,13 @@ mod tests {
         assert_eq!(t.rows.len(), 5);
         t.shape_holds().unwrap();
         for row in &t.rows {
-            assert!(row.pure_c > row.asm, "{}: C {} !> asm {}", row.name, row.pure_c, row.asm);
+            assert!(
+                row.pure_c > row.asm,
+                "{}: C {} !> asm {}",
+                row.name,
+                row.pure_c,
+                row.asm
+            );
         }
         assert!(t.to_markdown().contains("Table 7"));
     }

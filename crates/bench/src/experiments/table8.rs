@@ -36,20 +36,36 @@ pub fn from_tables(t5: &Table5, t6: &Table6) -> Table8 {
             rows.iter()
                 .filter(|r| r.label.starts_with("DPU"))
                 .map(|r| r.seconds)
-                .last()
+                .next_back()
                 .unwrap_or(f64::NAN)
         }
     };
     let systems = [
-        (PowerModel::intel_4215(), find(&t5.rows, "4215"), find(&t6.rows, "4215")),
-        (PowerModel::intel_4216(), find(&t5.rows, "4216"), find(&t6.rows, "4216")),
-        (PowerModel::upmem_pim(), dpu_secs(&t5.rows), dpu_secs(&t6.rows)),
+        (
+            PowerModel::intel_4215(),
+            find(&t5.rows, "4215"),
+            find(&t6.rows, "4215"),
+        ),
+        (
+            PowerModel::intel_4216(),
+            find(&t5.rows, "4216"),
+            find(&t6.rows, "4216"),
+        ),
+        (
+            PowerModel::upmem_pim(),
+            dpu_secs(&t5.rows),
+            dpu_secs(&t6.rows),
+        ),
     ];
     Table8 {
         rows: systems
             .into_iter()
             .map(|(p, s16, spb)| {
-                (format!("{} (kJ)", p.label), p.energy_kj(s16), p.energy_kj(spb))
+                (
+                    format!("{} (kJ)", p.label),
+                    p.energy_kj(s16),
+                    p.energy_kj(spb),
+                )
             })
             .collect(),
     }
@@ -70,7 +86,10 @@ impl Table8 {
             &["System", "16S", "Pacbio", "Paper 16S", "Paper Pacbio"],
         );
         for (i, (label, e16, epb)) in self.rows.iter().enumerate() {
-            let (_, p16, ppb) = crate::paper::TABLE8.get(i).copied().unwrap_or(("-", 0.0, 0.0));
+            let (_, p16, ppb) = crate::paper::TABLE8
+                .get(i)
+                .copied()
+                .unwrap_or(("-", 0.0, 0.0));
             t.row(&[
                 label.clone(),
                 format!("{e16:.0}"),
@@ -110,9 +129,21 @@ mod tests {
             sim_pairs: 45,
             factor: 1.0,
             rows: vec![
-                Row { label: "Minimap2 Intel 4215 (32c)".into(), seconds: 5882.0, speedup: 1.0 },
-                Row { label: "Minimap2 Intel 4216 (64c)".into(), seconds: 3538.0, speedup: 1.7 },
-                Row { label: "DPU 40 ranks".into(), seconds: 632.0, speedup: 9.3 },
+                Row {
+                    label: "Minimap2 Intel 4215 (32c)".into(),
+                    seconds: 5882.0,
+                    speedup: 1.0,
+                },
+                Row {
+                    label: "Minimap2 Intel 4216 (64c)".into(),
+                    seconds: 3538.0,
+                    speedup: 1.7,
+                },
+                Row {
+                    label: "DPU 40 ranks".into(),
+                    seconds: 632.0,
+                    speedup: 9.3,
+                },
             ],
             imbalance: 0.05,
             reports: Vec::new(),
@@ -125,9 +156,21 @@ mod tests {
             sim_pairs: 10,
             factor: 1.0,
             rows: vec![
-                Row { label: "Minimap2 Intel 4215 (32c)".into(), seconds: 4044.0, speedup: 1.0 },
-                Row { label: "Minimap2 Intel 4216 (64c)".into(), seconds: 2788.0, speedup: 1.4 },
-                Row { label: "DPU 40 ranks".into(), seconds: 505.0, speedup: 8.0 },
+                Row {
+                    label: "Minimap2 Intel 4215 (32c)".into(),
+                    seconds: 4044.0,
+                    speedup: 1.0,
+                },
+                Row {
+                    label: "Minimap2 Intel 4216 (64c)".into(),
+                    seconds: 2788.0,
+                    speedup: 1.4,
+                },
+                Row {
+                    label: "DPU 40 ranks".into(),
+                    seconds: 505.0,
+                    speedup: 8.0,
+                },
             ],
             imbalance: 0.08,
             reports: Vec::new(),

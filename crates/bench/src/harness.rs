@@ -1,0 +1,191 @@
+//! A small self-contained timing harness for the `benches/` targets.
+//!
+//! The workspace builds offline, so the benches cannot pull in Criterion;
+//! this module provides the subset they need: named groups, per-benchmark
+//! warmup + repeated samples, median-of-samples reporting, and element /
+//! byte throughput lines. Invoke with `cargo bench`; set `BENCH_MS` to
+//! change the per-benchmark time budget (milliseconds, default 100).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput units attached to a group.
+#[derive(Debug, Clone, Copy)]
+enum Throughput {
+    None,
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level harness: owns the time budget and prints a report.
+#[derive(Debug)]
+pub struct Harness {
+    budget: Duration,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Harness {
+    /// Build a harness from the environment (`BENCH_MS` per-bench budget).
+    pub fn from_env() -> Self {
+        let ms = std::env::var("BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100u64);
+        Self {
+            budget: Duration::from_millis(ms.max(1)),
+        }
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        println!("\n## {name}");
+        Group {
+            harness: self,
+            throughput: Throughput::None,
+        }
+    }
+}
+
+/// A named group; benchmarks registered on it share a throughput setting.
+#[derive(Debug)]
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    throughput: Throughput,
+}
+
+impl Group<'_> {
+    /// Report elements/second for subsequent benchmarks in this group.
+    pub fn throughput_elements(&mut self, n: u64) -> &mut Self {
+        self.throughput = Throughput::Elements(n);
+        self
+    }
+
+    /// Report bytes/second for subsequent benchmarks in this group.
+    pub fn throughput_bytes(&mut self, n: u64) -> &mut Self {
+        self.throughput = Throughput::Bytes(n);
+        self
+    }
+
+    /// Time `work` repeatedly and print the median per-iteration cost.
+    pub fn bench<R>(&mut self, name: &str, mut work: impl FnMut() -> R) {
+        self.bench_batched(name, || (), |()| work());
+    }
+
+    /// Like [`Group::bench`], but re-creates untimed per-iteration state
+    /// with `setup` (the Criterion `iter_batched` pattern).
+    pub fn bench_batched<S, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut work: impl FnMut(S) -> R,
+    ) {
+        // Warmup + calibration: find how many iterations fit one sample.
+        let sample_budget = self.harness.budget / 8;
+        let mut iters = 1u64;
+        loop {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters {
+                let state = setup();
+                let start = Instant::now();
+                black_box(work(state));
+                elapsed += start.elapsed();
+            }
+            if elapsed >= sample_budget || iters >= 1 << 20 {
+                break;
+            }
+            // Grow toward the sample budget, at least doubling.
+            iters *= 2;
+        }
+
+        // Timed samples: median over a handful of equal-sized runs.
+        const SAMPLES: usize = 5;
+        let mut per_iter: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let mut elapsed = Duration::ZERO;
+                for _ in 0..iters {
+                    let state = setup();
+                    let start = Instant::now();
+                    black_box(work(state));
+                    elapsed += start.elapsed();
+                }
+                elapsed.as_secs_f64() / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[SAMPLES / 2];
+
+        let rate = |n: u64| {
+            if median <= 0.0 {
+                return String::from("inf");
+            }
+            si(n as f64 / median)
+        };
+        let extra = match self.throughput {
+            Throughput::None => String::new(),
+            Throughput::Elements(n) => format!("  {} elem/s", rate(n)),
+            Throughput::Bytes(n) => format!("  {}B/s", rate(n)),
+        };
+        println!("  {name:<32} {:>12}/iter{extra}", fmt_time(median));
+    }
+}
+
+/// Format seconds as a human-readable time.
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Format a rate with an SI prefix.
+fn si(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_are_stable() {
+        assert_eq!(fmt_time(2.0), "2.000 s");
+        assert_eq!(fmt_time(2e-3), "2.000 ms");
+        assert_eq!(fmt_time(2e-6), "2.000 us");
+        assert_eq!(fmt_time(2e-9), "2.0 ns");
+        assert_eq!(si(3.2e9), "3.20 G");
+        assert_eq!(si(3.2e6), "3.20 M");
+        assert_eq!(si(3.2e3), "3.20 k");
+        assert_eq!(si(12.0), "12.0 ");
+    }
+
+    #[test]
+    fn bench_runs_and_reports() {
+        // Smoke: a bench on a trivial closure completes within the budget
+        // machinery and does not panic.
+        let mut h = Harness {
+            budget: Duration::from_millis(2),
+        };
+        let mut g = h.group("smoke");
+        g.throughput_elements(10).bench("noop_add", || 1u64 + 1);
+        g.throughput_bytes(10)
+            .bench_batched("batched", || 7u64, |x| x * 2);
+    }
+}

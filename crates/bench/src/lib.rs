@@ -19,6 +19,7 @@
 //! | P×T, balancing, encoding ablations | [`experiments::ablations`] | §4 |
 
 pub mod experiments;
+pub mod harness;
 pub mod paper;
 pub mod tablefmt;
 
@@ -39,14 +40,22 @@ pub struct ReproConfig {
 
 impl Default for ReproConfig {
     fn default() -> Self {
-        Self { scale: 2000, seed: 0xBA5E, quick: false }
+        Self {
+            scale: 2000,
+            seed: 0xBA5E,
+            quick: false,
+        }
     }
 }
 
 impl ReproConfig {
     /// The quick (test) configuration.
     pub fn quick() -> Self {
-        Self { scale: 200_000, seed: 0xBA5E, quick: true }
+        Self {
+            scale: 200_000,
+            seed: 0xBA5E,
+            quick: true,
+        }
     }
 }
 

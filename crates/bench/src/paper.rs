@@ -1,9 +1,13 @@
 //! The paper's published numbers, for side-by-side printing and for shape
 //! assertions (EXPERIMENTS.md records paper vs measured for every table).
 
-/// Table 1 — accuracy (%) per dataset: static@128/256/512, adaptive@128.
-/// `None` = cell not reported (the paper stops doubling at 100 %).
-pub const TABLE1: [(&str, Option<f64>, Option<f64>, Option<f64>, f64); 5] = [
+/// One Table 1 row: dataset, static accuracy at band 128/256/512, adaptive
+/// accuracy at 128. `None` = cell not reported (the paper stops doubling at
+/// 100 %).
+pub type Table1Row = (&'static str, Option<f64>, Option<f64>, Option<f64>, f64);
+
+/// Table 1 — accuracy (%) per dataset.
+pub const TABLE1: [Table1Row; 5] = [
     ("S1000", Some(100.0), None, None, 100.0),
     ("S10000", Some(99.0), Some(100.0), None, 100.0),
     ("S30000", Some(89.0), Some(99.0), Some(100.0), 100.0),

@@ -11,6 +11,9 @@
 //!   server (the 16S workflow).
 //! * `generate` — write any of the paper's five datasets as FASTA.
 //! * `info` — print the simulated server topology.
+//! * `lint` — statically verify the built-in DPU inner-loop kernels
+//!   (control flow, register def-use, WRAM address analysis) and run them
+//!   under the runtime sanitizer; nonzero exit on any error.
 
 use datasets::fasta::{self, Record};
 use datasets::pacbio::PacbioParams;
@@ -69,6 +72,8 @@ pub enum CliError {
     Align(String),
     /// Bad usage.
     Usage(String),
+    /// The lint pass found errors; the payload is the full report.
+    Lint(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -78,6 +83,7 @@ impl std::fmt::Display for CliError {
             CliError::Fasta(e) => write!(f, "fasta: {e}"),
             CliError::Align(e) => write!(f, "align: {e}"),
             CliError::Usage(e) => write!(f, "usage: {e}"),
+            CliError::Lint(report) => write!(f, "lint found errors\n{report}"),
         }
     }
 }
@@ -93,8 +99,11 @@ impl From<std::io::Error> for CliError {
 /// Read a FASTA file with the paper's `N` policy.
 pub fn read_fasta(path: &str) -> Result<Vec<Record>, CliError> {
     let file = std::fs::File::open(path)?;
-    fasta::read(std::io::BufReader::new(file), NPolicy::RandomSubstitute { seed: 0x4E })
-        .map_err(|e| CliError::Fasta(e.to_string()))
+    fasta::read(
+        std::io::BufReader::new(file),
+        NPolicy::RandomSubstitute { seed: 0x4E },
+    )
+    .map_err(|e| CliError::Fasta(e.to_string()))
 }
 
 /// Align records of `a_path` with same-index records of `b_path`; returns
@@ -136,12 +145,19 @@ pub fn cmd_align(
                 .map(|(x, y)| (x.seq.clone(), y.seq.clone()))
                 .collect();
             let mut server = PimServer::new(ServerConfig::with_ranks(ranks.max(1)));
-            let params = KernelParams { band: band.next_multiple_of(16).max(16), scheme, score_only: false };
+            let params = KernelParams {
+                band: band.next_multiple_of(16).max(16),
+                scheme,
+                score_only: false,
+            };
             let cfg = DispatchConfig::new(NwKernel::paper_default(), params);
-            let (_report, results) =
-                align_pairs(&mut server, &cfg, &pairs).map_err(|e| CliError::Align(e.to_string()))?;
+            let (_report, results) = align_pairs(&mut server, &cfg, &pairs)
+                .map_err(|e| CliError::Align(e.to_string()))?;
             for ((ra, rb), r) in a_recs.iter().zip(&b_recs).zip(results) {
-                let aln = Alignment { score: r.score, cigar: r.cigar };
+                let aln = Alignment {
+                    score: r.score,
+                    cigar: r.cigar,
+                };
                 emit(ra, rb, &aln);
             }
         }
@@ -164,7 +180,10 @@ pub fn cmd_align(
                             .map_err(|e| CliError::Align(e.to_string()))?;
                         let score =
                             pens.penalty_to_score(&scheme, ra.seq.len(), rb.seq.len(), w.penalty);
-                        Alignment { score, cigar: w.cigar }
+                        Alignment {
+                            score,
+                            cigar: w.cigar,
+                        }
                     }
                     Algo::Pim => unreachable!(),
                 };
@@ -193,7 +212,11 @@ pub fn cmd_matrix(path: &str, band: usize, ranks: usize) -> Result<String, CliEr
     let mut idx = 0;
     for i in 0..recs.len() {
         for j in (i + 1)..recs.len() {
-            let _ = writeln!(out, "{}\t{}\t{}", recs[i].name, recs[j].name, results[idx].score);
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}",
+                recs[i].name, recs[j].name, results[idx].score
+            );
             idx += 1;
         }
     }
@@ -216,21 +239,39 @@ pub fn cmd_generate(kind: &str, count: usize, seed: u64) -> Result<String, CliEr
                 .into_iter()
                 .enumerate()
             {
-                records.push(Record { name: format!("pair{k}/a"), seq: a });
-                records.push(Record { name: format!("pair{k}/b"), seq: b });
+                records.push(Record {
+                    name: format!("pair{k}/a"),
+                    seq: a,
+                });
+                records.push(Record {
+                    name: format!("pair{k}/b"),
+                    seq: b,
+                });
             }
         }
         "16s" => {
-            let params = SixteenSParams { count, ..SixteenSParams::scaled(Scale::FULL, seed) };
+            let params = SixteenSParams {
+                count,
+                ..SixteenSParams::scaled(Scale::FULL, seed)
+            };
             for (k, seq) in params.generate().into_iter().enumerate() {
-                records.push(Record { name: format!("rrna{k}"), seq });
+                records.push(Record {
+                    name: format!("rrna{k}"),
+                    seq,
+                });
             }
         }
         "pacbio" => {
-            let params = PacbioParams { sets: count, ..PacbioParams::scaled(Scale::FULL, seed) };
+            let params = PacbioParams {
+                sets: count,
+                ..PacbioParams::scaled(Scale::FULL, seed)
+            };
             for (k, set) in params.generate().into_iter().enumerate() {
                 for (j, read) in set.reads.into_iter().enumerate() {
-                    records.push(Record { name: format!("set{k}/read{j}"), seq: read });
+                    records.push(Record {
+                        name: format!("set{k}/read{j}"),
+                        seq: read,
+                    });
                 }
             }
         }
@@ -241,6 +282,80 @@ pub fn cmd_generate(kind: &str, count: usize, seed: u64) -> Result<String, CliEr
         }
     }
     Ok(fasta::write_string(&records))
+}
+
+/// Statically verify every built-in DPU kernel and run each under the
+/// runtime sanitizer. Returns the report; `Err(CliError::Lint)` if any
+/// verifier error or sanitizer fault was found. `verbose` includes info
+/// diagnostics (termination proofs, unproven-access summaries).
+pub fn cmd_lint(verbose: bool) -> Result<String, CliError> {
+    use dpu_kernel::isa_loops;
+    use dpu_kernel::KernelVariant;
+    use pim_sim::isa::{verify_program, Severity};
+
+    let mut out = String::new();
+    let mut kernels = 0usize;
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+    for (variant, vname) in [
+        (KernelVariant::PureC, "pure_c"),
+        (KernelVariant::Asm, "asm"),
+    ] {
+        for with_bt in [false, true] {
+            kernels += 1;
+            let name = format!(
+                "{vname}/{}",
+                if with_bt { "traceback" } else { "score_only" }
+            );
+            let prog = isa_loops::program(variant, with_bt);
+            let spec = isa_loops::verify_spec(variant);
+            let diags = verify_program(&prog, &spec);
+            let errors = diags
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .count();
+            let warnings = diags
+                .iter()
+                .filter(|d| d.severity == Severity::Warning)
+                .count();
+            total_errors += errors;
+            total_warnings += warnings;
+            let _ = writeln!(
+                out,
+                "{name}: {} instructions, {errors} errors, {warnings} warnings",
+                prog.len()
+            );
+            for d in &diags {
+                if verbose || d.severity != Severity::Info {
+                    let _ = writeln!(out, "  {d}");
+                }
+            }
+            match isa_loops::measure_sanitized(variant, with_bt) {
+                Ok(m) => {
+                    if verbose {
+                        let _ = writeln!(
+                            out,
+                            "  sanitizer: clean ({:.1} instr/cell over {} cells)",
+                            m.instr_per_cell, m.cells
+                        );
+                    }
+                }
+                Err(e) => {
+                    total_errors += 1;
+                    let _ = writeln!(out, "  sanitizer: {e}");
+                }
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{kernels} kernels verified: {total_errors} errors, {total_warnings} warnings"
+    );
+    if total_errors > 0 {
+        Err(CliError::Lint(out))
+    } else {
+        Ok(out)
+    }
 }
 
 /// Server topology description.
@@ -271,7 +386,8 @@ mod tests {
     use super::*;
 
     fn write_temp(name: &str, content: &str) -> String {
-        let path = std::env::temp_dir().join(format!("upmem-nw-cli-test-{}-{name}", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("upmem-nw-cli-test-{}-{name}", std::process::id()));
         std::fs::write(&path, content).unwrap();
         path.to_string_lossy().into_owned()
     }
@@ -281,7 +397,13 @@ mod tests {
         let a = write_temp("a.fa", ">r0\nACGTACGTACGTACGT\n>r1\nGATTACAGATTACA\n");
         let b = write_temp("b.fa", ">s0\nACGTACGGACGTACGT\n>s1\nGATTACAGATTACA\n");
         let mut scores = Vec::new();
-        for algo in [Algo::Adaptive, Algo::Static, Algo::Wfa, Algo::Exact, Algo::Pim] {
+        for algo in [
+            Algo::Adaptive,
+            Algo::Static,
+            Algo::Wfa,
+            Algo::Exact,
+            Algo::Pim,
+        ] {
             let tsv = cmd_align(&a, &b, algo, 16, 1).unwrap();
             let lines: Vec<&str> = tsv.lines().skip(1).collect();
             assert_eq!(lines.len(), 2, "{algo:?}");
@@ -299,14 +421,20 @@ mod tests {
     fn align_command_rejects_count_mismatch() {
         let a = write_temp("c.fa", ">r0\nACGT\n");
         let b = write_temp("d.fa", ">s0\nACGT\n>s1\nACGT\n");
-        assert!(matches!(cmd_align(&a, &b, Algo::Exact, 16, 1), Err(CliError::Usage(_))));
+        assert!(matches!(
+            cmd_align(&a, &b, Algo::Exact, 16, 1),
+            Err(CliError::Usage(_))
+        ));
         std::fs::remove_file(a).ok();
         std::fs::remove_file(b).ok();
     }
 
     #[test]
     fn matrix_command_counts_pairs() {
-        let f = write_temp("m.fa", ">x\nACGTACGTAAAA\n>y\nACGTACGTAAAT\n>z\nACGTACGAAAAA\n");
+        let f = write_temp(
+            "m.fa",
+            ">x\nACGTACGTAAAA\n>y\nACGTACGTAAAT\n>z\nACGTACGAAAAA\n",
+        );
         let tsv = cmd_matrix(&f, 16, 1).unwrap();
         assert_eq!(tsv.lines().count(), 1 + 3); // header + C(3,2)
         assert!(tsv.contains("x\ty\t"));
@@ -325,8 +453,14 @@ mod tests {
 
     #[test]
     fn generate_is_seeded() {
-        assert_eq!(cmd_generate("s1000", 2, 5).unwrap(), cmd_generate("s1000", 2, 5).unwrap());
-        assert_ne!(cmd_generate("s1000", 2, 5).unwrap(), cmd_generate("s1000", 2, 6).unwrap());
+        assert_eq!(
+            cmd_generate("s1000", 2, 5).unwrap(),
+            cmd_generate("s1000", 2, 5).unwrap()
+        );
+        assert_ne!(
+            cmd_generate("s1000", 2, 5).unwrap(),
+            cmd_generate("s1000", 2, 6).unwrap()
+        );
     }
 
     #[test]
@@ -334,6 +468,20 @@ mod tests {
         let info = cmd_info(40);
         assert!(info.contains("2560"));
         assert!(info.contains("350 MHz"));
+    }
+
+    #[test]
+    fn lint_passes_on_builtin_kernels() {
+        let report = cmd_lint(false).expect("built-in kernels must lint clean");
+        assert!(
+            report.contains("4 kernels verified: 0 errors, 0 warnings"),
+            "{report}"
+        );
+        // Verbose mode surfaces the analysis facts.
+        let verbose = cmd_lint(true).unwrap();
+        assert!(verbose.contains("sanitizer: clean"), "{verbose}");
+        assert!(verbose.contains("loop-termination"), "{verbose}");
+        assert!(verbose.len() > report.len());
     }
 
     #[test]

@@ -7,15 +7,16 @@
 //! upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N
 //!                 [--seed S] [--out data.fa]
 //! upmem-nw info   [--ranks 40]
+//! upmem-nw lint   [--verbose true]
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
-use upmem_nw_cli::{cmd_align, cmd_generate, cmd_info, cmd_matrix, Algo, CliError};
+use upmem_nw_cli::{cmd_align, cmd_generate, cmd_info, cmd_lint, cmd_matrix, Algo, CliError};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw info [--ranks N]"
+        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true]"
     );
     std::process::exit(2)
 }
@@ -36,11 +37,17 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 
 fn run() -> Result<String, CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((command, rest)) = args.split_first() else { usage() };
+    let Some((command, rest)) = args.split_first() else {
+        usage()
+    };
     let flags = parse_flags(rest);
     let get = |k: &str| flags.get(k).cloned();
-    let band: usize = get("band").map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(128);
-    let ranks: usize = get("ranks").map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(4);
+    let band: usize = get("band")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(128);
+    let ranks: usize = get("ranks")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(4);
 
     let output = match command.as_str() {
         "align" => {
@@ -57,12 +64,20 @@ fn run() -> Result<String, CliError> {
         }
         "generate" => {
             let kind = get("kind").unwrap_or_else(|| usage());
-            let count: usize =
-                get("count").map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or_else(|| usage());
-            let seed: u64 = get("seed").map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(42);
+            let count: usize = get("count")
+                .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or_else(|| usage());
+            let seed: u64 = get("seed")
+                .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or(42);
             cmd_generate(&kind, count, seed)?
         }
-        "info" => cmd_info(if flags.contains_key("ranks") { ranks } else { 40 }),
+        "info" => cmd_info(if flags.contains_key("ranks") {
+            ranks
+        } else {
+            40
+        }),
+        "lint" => cmd_lint(get("verbose").is_some_and(|v| v == "true"))?,
         _ => usage(),
     };
     if let Some(path) = get("out") {

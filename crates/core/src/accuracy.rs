@@ -115,7 +115,11 @@ pub fn min_band_for_accuracy(
     let full = FullAligner::affine(scheme);
     let optimal: Vec<Score> = pairs.iter().map(|(a, b)| full.score(a, b)).collect();
     for &w in candidates {
-        let h = if adaptive { Heuristic::Adaptive(w) } else { Heuristic::Static(w) };
+        let h = if adaptive {
+            Heuristic::Adaptive(w)
+        } else {
+            Heuristic::Static(w)
+        };
         if measure_against(scheme, h, pairs, &optimal).percent() >= target_percent {
             return Some(w);
         }
@@ -168,14 +172,27 @@ mod tests {
         let st = measure(scheme, Heuristic::Static(32), &pairs);
         let ad = measure(scheme, Heuristic::Adaptive(32), &pairs);
         assert_eq!(ad.percent(), 100.0, "adaptive@32 tracks all gaps <= 24");
-        assert!(st.percent() <= 60.0, "static@32 must miss gaps > 16, got {}%", st.percent());
-        assert!(st.failed >= 2, "length differences beyond w/2 fail outright");
+        assert!(
+            st.percent() <= 60.0,
+            "static@32 must miss gaps > 16, got {}%",
+            st.percent()
+        );
+        assert!(
+            st.failed >= 2,
+            "length differences beyond w/2 fail outright"
+        );
     }
 
     #[test]
     fn min_band_search_finds_a_band() {
         let pairs: Vec<_> = (0..3).map(|k| gapped_pair(8 + k)).collect();
-        let w = min_band_for_accuracy(ScoringScheme::default(), true, &pairs, &[4, 8, 16, 32, 64], 100.0);
+        let w = min_band_for_accuracy(
+            ScoringScheme::default(),
+            true,
+            &pairs,
+            &[4, 8, 16, 32, 64],
+            100.0,
+        );
         assert!(w.is_some());
         // And an absurd target over an impossible candidate list fails.
         let none = min_band_for_accuracy(ScoringScheme::default(), false, &pairs, &[2], 100.0);
@@ -184,10 +201,25 @@ mod tests {
 
     #[test]
     fn stats_merge_and_empty_percent() {
-        let mut a = AccuracyStats { total: 2, correct: 1, failed: 1 };
-        let b = AccuracyStats { total: 2, correct: 2, failed: 0 };
+        let mut a = AccuracyStats {
+            total: 2,
+            correct: 1,
+            failed: 1,
+        };
+        let b = AccuracyStats {
+            total: 2,
+            correct: 2,
+            failed: 0,
+        };
         a.merge(&b);
-        assert_eq!(a, AccuracyStats { total: 4, correct: 3, failed: 1 });
+        assert_eq!(
+            a,
+            AccuracyStats {
+                total: 4,
+                correct: 3,
+                failed: 1
+            }
+        );
         assert_eq!(AccuracyStats::default().percent(), 100.0);
         assert_eq!(a.percent(), 75.0);
     }

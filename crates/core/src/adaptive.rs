@@ -177,7 +177,10 @@ impl Engine {
 
     /// Consume the trace (after the run, for [`AdaptiveOutcome`]).
     pub fn into_trace(self) -> BandTrace {
-        BandTrace { origins: self.origins, shifts: self.shifts }
+        BandTrace {
+            origins: self.origins,
+            shifts: self.shifts,
+        }
     }
 
     /// Advance one anti-diagonal. `a` and `b` are the sequences (any
@@ -258,13 +261,18 @@ impl Engine {
             self.i_cur[pk] = i_val;
             if self.want_bt {
                 let origin = if best == diag && diag_h > NEG_INF / 2 {
-                    if sub > 0 { Origin::DiagMatch } else { Origin::DiagMismatch }
+                    if sub > 0 {
+                        Origin::DiagMatch
+                    } else {
+                        Origin::DiagMismatch
+                    }
                 } else if best == i_val {
                     Origin::Ins
                 } else {
                     Origin::Del
                 };
-                self.bt_row.set(k as usize, BtCell::new(origin, i_extend, d_extend));
+                self.bt_row
+                    .set(k as usize, BtCell::new(origin, i_extend, d_extend));
             }
         }
         self.cells += u64::from(valid);
@@ -277,7 +285,12 @@ impl Engine {
         self.o_prev = o_new;
         self.t = t;
 
-        StepOutcome { t, shift, origin: o_new, valid_cells: valid }
+        StepOutcome {
+            t,
+            shift,
+            origin: o_new,
+            valid_cells: valid,
+        }
     }
 
     /// The band-constrained score, available once [`Engine::is_done`].
@@ -325,7 +338,7 @@ impl Engine {
         }
         // Guard 4: if the window's bottom already hangs below the matrix
         // (i > m), moving down adds more dead cells; move right.
-        if o_old + w - 1 >= m as i64 {
+        if o_old + w > m as i64 {
             return Shift::Right;
         }
         // Heuristic: keep the argmax of H centred within the valid span.
@@ -437,7 +450,11 @@ impl AdaptiveAligner {
                 Some(bt[t].get(k as usize))
             }
         })?;
-        Ok(AdaptiveOutcome { alignment: Alignment { score, cigar }, trace, cells })
+        Ok(AdaptiveOutcome {
+            alignment: Alignment { score, cigar },
+            trace,
+            cells,
+        })
     }
 }
 
@@ -507,7 +524,10 @@ mod tests {
         let scheme = ScoringScheme::default();
         let optimal = FullAligner::affine(scheme).score(&a, &b);
 
-        let adaptive_score = AdaptiveAligner::new(scheme, 48).align(&a, &b).unwrap().score;
+        let adaptive_score = AdaptiveAligner::new(scheme, 48)
+            .align(&a, &b)
+            .unwrap()
+            .score;
         assert_eq!(adaptive_score, optimal, "adaptive w=48 finds the gap");
 
         // Static w=16 cannot even reach (m, n): |n - m| = 40 > 8.
@@ -548,7 +568,10 @@ mod tests {
         assert_eq!(out.trace.origins.len(), a.len() + b.len() + 1);
         assert_eq!(out.trace.shifts.len(), a.len() + b.len());
         let downs = out.trace.downs() as i64;
-        assert_eq!(out.trace.origins.last().unwrap() - out.trace.origins[0], downs);
+        assert_eq!(
+            out.trace.origins.last().unwrap() - out.trace.origins[0],
+            downs
+        );
     }
 
     #[test]
@@ -557,8 +580,14 @@ mod tests {
         let a1 = seq(&"ACGTACGT".repeat(16)); // 128
         let a2 = seq(&"ACGTACGT".repeat(32)); // 256
         let w = 16;
-        let c1 = AdaptiveAligner::new(scheme, w).align_traced(&a1, &a1).unwrap().cells;
-        let c2 = AdaptiveAligner::new(scheme, w).align_traced(&a2, &a2).unwrap().cells;
+        let c1 = AdaptiveAligner::new(scheme, w)
+            .align_traced(&a1, &a1)
+            .unwrap()
+            .cells;
+        let c2 = AdaptiveAligner::new(scheme, w)
+            .align_traced(&a2, &a2)
+            .unwrap()
+            .cells;
         // Doubling length should roughly double (not quadruple) the cells.
         assert!(c2 < c1 * 3, "c1={c1} c2={c2}");
         assert!(c2 > c1 * 3 / 2, "c1={c1} c2={c2}");
@@ -584,9 +613,14 @@ mod tests {
         let b = seq(&b_text);
         let scheme = ScoringScheme::default();
         let optimal = FullAligner::affine(scheme).score(&a, &b);
-        let ad = AdaptiveAligner::new(scheme, 32).align(&a, &b).unwrap().score;
+        let ad = AdaptiveAligner::new(scheme, 32)
+            .align(&a, &b)
+            .unwrap()
+            .score;
         assert_eq!(ad, optimal, "adaptive w=32 tracks the 24-gap");
-        assert!(crate::banded::BandedAligner::new(scheme, 32).align(&a, &b).is_err());
+        assert!(crate::banded::BandedAligner::new(scheme, 32)
+            .align(&a, &b)
+            .is_err());
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl BandGeometry {
     pub fn new(m: usize, n: usize, w: usize) -> Self {
         let _ = (m, n); // geometry is independent of the lengths
         let half = (w / 2) as i64;
-        Self { d_lo: -half, d_hi: half }
+        Self {
+            d_lo: -half,
+            d_hi: half,
+        }
     }
 
     /// Does this band contain the end cell for lengths `m`, `n`?
@@ -132,12 +135,21 @@ impl BandedAligner {
     /// * left  `(i, j-1)`  -> same row, index-1
     /// * up    `(i-1, j)`  -> previous row, index+1
     /// * diag  `(i-1, j-1)`-> previous row, same index
-    fn run(&self, a: &DnaSeq, b: &DnaSeq, want_bt: bool) -> Result<(Score, Option<Vec<BtRow>>), AlignError> {
+    fn run(
+        &self,
+        a: &DnaSeq,
+        b: &DnaSeq,
+        want_bt: bool,
+    ) -> Result<(Score, Option<Vec<BtRow>>), AlignError> {
         let (m, n) = (a.len(), b.len());
         let geom = BandGeometry::new(m, n, self.band);
         if !geom.reaches_end(m, n) {
             // The length difference alone exceeds the band: no global path.
-            return Err(AlignError::OutOfBand { band: self.band, m, n });
+            return Err(AlignError::OutOfBand {
+                band: self.band,
+                m,
+                n,
+            });
         }
         let width = geom.width();
         let (go, ge) = (self.scheme.gap_open, self.scheme.gap_extend);
@@ -158,6 +170,9 @@ impl BandedAligner {
             h_prev[k] = if j == 0 { 0 } else { -go - (j as Score) * ge };
         }
 
+        // `i` drives the band geometry, both sequences, and `bt` at once; an
+        // iterator over any single one of them would obscure that.
+        #[allow(clippy::needless_range_loop)]
         for i in 1..=m {
             h_cur.fill(NEG_INF);
             i_cur.fill(NEG_INF);
@@ -192,7 +207,11 @@ impl BandedAligner {
                 h_cur[k] = best;
                 if want_bt {
                     let origin = if best == diag && h_prev[k] > NEG_INF {
-                        if sub > 0 { Origin::DiagMatch } else { Origin::DiagMismatch }
+                        if sub > 0 {
+                            Origin::DiagMatch
+                        } else {
+                            Origin::DiagMismatch
+                        }
                     } else if best == ins {
                         Origin::Ins
                     } else {
@@ -205,14 +224,20 @@ impl BandedAligner {
             std::mem::swap(&mut i_prev, &mut i_cur);
         }
 
-        let k_final = geom
-            .index(m, n)
-            .ok_or(AlignError::OutOfBand { band: self.band, m, n })?;
+        let k_final = geom.index(m, n).ok_or(AlignError::OutOfBand {
+            band: self.band,
+            m,
+            n,
+        })?;
         let score = h_prev[k_final];
         // Reachable scores are bounded by score_bound << |NEG_INF|/2; anything
         // this low is sentinel arithmetic, not a real path.
         if score < NEG_INF / 2 {
-            return Err(AlignError::OutOfBand { band: self.band, m, n });
+            return Err(AlignError::OutOfBand {
+                band: self.band,
+                m,
+                n,
+            });
         }
         Ok((score, want_bt.then_some(bt)))
     }
@@ -229,7 +254,13 @@ mod tests {
 
     #[test]
     fn geometry_covers_endpoints_when_band_spans_length_difference() {
-        for (m, n, w) in [(10, 10, 4), (10, 12, 4), (20, 10, 24), (0, 1, 2), (100, 97, 8)] {
+        for (m, n, w) in [
+            (10, 10, 4),
+            (10, 12, 4),
+            (20, 10, 24),
+            (0, 1, 2),
+            (100, 97, 8),
+        ] {
             let g = BandGeometry::new(m, n, w);
             assert!(g.contains(0, 0), "({m},{n},{w}) start");
             assert!(g.reaches_end(m, n), "({m},{n},{w}) end");
@@ -268,7 +299,10 @@ mod tests {
         let (m, n, w) = (1000usize, 1000usize, 128usize);
         let cells = BandGeometry::new(m, n, w).cells(m, n);
         let est = ((m + n) * w) as u64;
-        assert!(cells < est, "band computes fewer cells than the 2w estimate");
+        assert!(
+            cells < est,
+            "band computes fewer cells than the 2w estimate"
+        );
         assert!(cells * 2 > est / 2);
     }
 
@@ -308,7 +342,10 @@ mod tests {
         let full = FullAligner::affine(scheme);
         let aln = banded.align(&a, &b).unwrap();
         aln.cigar.validate(&a, &b).unwrap();
-        assert!(aln.score < full.score(&a, &b), "band 4 must be suboptimal here");
+        assert!(
+            aln.score < full.score(&a, &b),
+            "band 4 must be suboptimal here"
+        );
     }
 
     #[test]
@@ -316,7 +353,10 @@ mod tests {
         let a = seq("ACGTACGGGGTACGTACGT");
         let b = seq("ACGTACGTACGTAGGT");
         let banded = BandedAligner::new(ScoringScheme::default(), 8);
-        assert_eq!(banded.score(&a, &b).unwrap(), banded.align(&a, &b).unwrap().score);
+        assert_eq!(
+            banded.score(&a, &b).unwrap(),
+            banded.align(&a, &b).unwrap().score
+        );
     }
 
     #[test]
@@ -336,10 +376,22 @@ mod tests {
         let b = seq("ACGTACGTACGTACGTACGTACGTACGT");
         let banded = BandedAligner::new(ScoringScheme::default(), 4);
         let err = banded.align(&a, &b).unwrap_err();
-        assert_eq!(err, AlignError::OutOfBand { band: 4, m: 4, n: 28 });
+        assert_eq!(
+            err,
+            AlignError::OutOfBand {
+                band: 4,
+                m: 4,
+                n: 28
+            }
+        );
         // A band wide enough for the difference succeeds.
         let banded = BandedAligner::new(ScoringScheme::default(), 64);
-        banded.align(&a, &b).unwrap().cigar.validate(&a, &b).unwrap();
+        banded
+            .align(&a, &b)
+            .unwrap()
+            .cigar
+            .validate(&a, &b)
+            .unwrap();
     }
 
     #[test]

@@ -97,7 +97,9 @@ impl Cigar {
 
     /// Iterate ops one by one (expanded).
     pub fn ops(&self) -> impl Iterator<Item = CigarOp> + '_ {
-        self.runs.iter().flat_map(|&(n, op)| std::iter::repeat_n(op, n as usize))
+        self.runs
+            .iter()
+            .flat_map(|&(n, op)| std::iter::repeat_n(op, n as usize))
     }
 
     /// Reverse in place — traceback produces ops end-to-start.
@@ -185,24 +187,36 @@ impl Cigar {
     /// lengths must match and every `=`/`X` column must agree with the bases.
     pub fn validate(&self, a: &DnaSeq, b: &DnaSeq) -> Result<(), String> {
         if self.a_len() != a.len() {
-            return Err(format!("CIGAR consumes {} bases of A but A has {}", self.a_len(), a.len()));
+            return Err(format!(
+                "CIGAR consumes {} bases of A but A has {}",
+                self.a_len(),
+                a.len()
+            ));
         }
         if self.b_len() != b.len() {
-            return Err(format!("CIGAR consumes {} bases of B but B has {}", self.b_len(), b.len()));
+            return Err(format!(
+                "CIGAR consumes {} bases of B but B has {}",
+                self.b_len(),
+                b.len()
+            ));
         }
         let (mut i, mut j) = (0usize, 0usize);
         for (col, op) in self.ops().enumerate() {
             match op {
                 CigarOp::Match => {
                     if a.get(i) != b.get(j) {
-                        return Err(format!("column {col}: '=' on unequal bases at A[{i}], B[{j}]"));
+                        return Err(format!(
+                            "column {col}: '=' on unequal bases at A[{i}], B[{j}]"
+                        ));
                     }
                     i += 1;
                     j += 1;
                 }
                 CigarOp::Mismatch => {
                     if a.get(i) == b.get(j) {
-                        return Err(format!("column {col}: 'X' on equal bases at A[{i}], B[{j}]"));
+                        return Err(format!(
+                            "column {col}: 'X' on equal bases at A[{i}], B[{j}]"
+                        ));
                     }
                     i += 1;
                     j += 1;

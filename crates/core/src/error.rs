@@ -61,10 +61,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = AlignError::InvalidBase { position: 3, byte: b'Z' };
+        let e = AlignError::InvalidBase {
+            position: 3,
+            byte: b'Z',
+        };
         assert!(e.to_string().contains("0x5a"));
         assert!(e.to_string().contains("position 3"));
-        let e = AlignError::OutOfBand { band: 16, m: 100, n: 90 };
+        let e = AlignError::OutOfBand {
+            band: 16,
+            m: 100,
+            n: 90,
+        };
         assert!(e.to_string().contains("width 16"));
         let e = AlignError::BandTooSmall { band: 1 };
         assert!(e.to_string().contains('1'));

@@ -137,7 +137,11 @@ impl FullAligner {
                 let left = cur[j - 1] - gap;
                 let best = diag.max(up).max(left);
                 let origin = if best == diag {
-                    if sub > 0 { Origin::DiagMatch } else { Origin::DiagMismatch }
+                    if sub > 0 {
+                        Origin::DiagMatch
+                    } else {
+                        Origin::DiagMismatch
+                    }
                 } else if best == up {
                     Origin::Ins
                 } else {
@@ -151,7 +155,9 @@ impl FullAligner {
             std::mem::swap(&mut prev, &mut cur);
         }
         let score = prev[n];
-        let cigar = walk(m, n, usize::MAX, |i, j| Some(BtCell(bt[(i - 1) * n + (j - 1)])))?;
+        let cigar = walk(m, n, usize::MAX, |i, j| {
+            Some(BtCell(bt[(i - 1) * n + (j - 1)]))
+        })?;
         Ok(Alignment { score, cigar })
     }
 
@@ -181,7 +187,11 @@ impl FullAligner {
                 let diag = h_prev[j - 1] + sub;
                 let best = diag.max(d).max(ins);
                 let origin = if best == diag {
-                    if sub > 0 { Origin::DiagMatch } else { Origin::DiagMismatch }
+                    if sub > 0 {
+                        Origin::DiagMatch
+                    } else {
+                        Origin::DiagMismatch
+                    }
                 } else if best == ins {
                     Origin::Ins
                 } else {
@@ -194,7 +204,9 @@ impl FullAligner {
             std::mem::swap(&mut i_prev, &mut i_cur);
         }
         let score = h_prev[n];
-        let cigar = walk(m, n, usize::MAX, |i, j| Some(BtCell(bt[(i - 1) * n + (j - 1)])))?;
+        let cigar = walk(m, n, usize::MAX, |i, j| {
+            Some(BtCell(bt[(i - 1) * n + (j - 1)]))
+        })?;
         Ok(Alignment { score, cigar })
     }
 }
@@ -292,7 +304,11 @@ mod tests {
         ];
         for (x, y) in pairs {
             let (a, b) = (seq(x), seq(y));
-            for aligner in [affine(), linear(), FullAligner::new(ScoringScheme::unit(), GapModel::Affine)] {
+            for aligner in [
+                affine(),
+                linear(),
+                FullAligner::new(ScoringScheme::unit(), GapModel::Affine),
+            ] {
                 let aln = aligner.align(&a, &b).unwrap();
                 assert_eq!(aln.score, aligner.score(&a, &b), "{x} vs {y}");
                 aln.cigar.validate(&a, &b).unwrap();

@@ -1,10 +1,10 @@
-//! A tiny deterministic RNG (SplitMix64) used for the ambiguous-base (`N`)
-//! substitution policy.
+//! A tiny deterministic RNG (SplitMix64) shared by the whole workspace.
 //!
-//! `nw-core` deliberately has no external dependencies; the only randomness it
-//! needs is the paper's §4.1.1 policy of replacing `N` by a random nucleotide
-//! (as metaFlye does), which must be reproducible from a seed. Dataset
-//! generation uses the real `rand` crate in the `datasets` crate.
+//! `nw-core` deliberately has no external dependencies; this generator covers
+//! the paper's §4.1.1 policy of replacing `N` by a random nucleotide (as
+//! metaFlye does) *and* the dataset generators in the `datasets` crate, which
+//! must all be reproducible from a seed. Keeping randomness in-tree also
+//! keeps the workspace building with an empty cargo registry (offline CI).
 
 /// SplitMix64: tiny, fast, passes BigCrush, and perfectly adequate for
 /// choosing substitution nucleotides deterministically.
@@ -46,6 +46,28 @@ impl SplitMix64 {
             }
         }
         (m >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive on both ends).
+    pub fn between(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "between: lo {lo} > hi {hi}");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < p
     }
 }
 
@@ -94,5 +116,42 @@ mod tests {
     #[should_panic(expected = "bound must be non-zero")]
     fn below_zero_bound_panics() {
         SplitMix64::new(0).below(0);
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let mut rng = SplitMix64::new(3);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..500 {
+            let v = rng.between(10, 13);
+            assert!((10..=13).contains(&v));
+            saw_lo |= v == 10;
+            saw_hi |= v == 13;
+        }
+        assert!(saw_lo && saw_hi);
+        assert_eq!(rng.between(7, 7), 7);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(11);
+        let mut sum = 0.0;
+        for _ in 0..2000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 2000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut rng = SplitMix64::new(17);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        let hits = (0..4000).filter(|_| rng.chance(0.25)).count();
+        assert!((800..1200).contains(&hits), "hits {hits}");
     }
 }

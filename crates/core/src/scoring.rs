@@ -28,7 +28,12 @@ impl Default for ScoringScheme {
     /// minimap2's defaults for map-ont style alignment: `A=2, B=4, q=4, e=2`.
     /// These are the parameters under which the paper's KSW2 baseline runs.
     fn default() -> Self {
-        Self { match_score: 2, mismatch_penalty: 4, gap_open: 4, gap_extend: 2 }
+        Self {
+            match_score: 2,
+            mismatch_penalty: 4,
+            gap_open: 4,
+            gap_extend: 2,
+        }
     }
 }
 
@@ -39,18 +44,36 @@ impl ScoringScheme {
     /// When `match_score <= 0`, `gap_extend <= 0`, or any magnitude is
     /// negative — such schemes make the adaptive band drift heuristic
     /// meaningless.
-    pub fn new(match_score: Score, mismatch_penalty: Score, gap_open: Score, gap_extend: Score) -> Self {
+    pub fn new(
+        match_score: Score,
+        mismatch_penalty: Score,
+        gap_open: Score,
+        gap_extend: Score,
+    ) -> Self {
         assert!(match_score > 0, "match score must be positive");
-        assert!(mismatch_penalty >= 0, "mismatch penalty must be non-negative");
+        assert!(
+            mismatch_penalty >= 0,
+            "mismatch penalty must be non-negative"
+        );
         assert!(gap_open >= 0, "gap open penalty must be non-negative");
         assert!(gap_extend > 0, "gap extend penalty must be positive");
-        Self { match_score, mismatch_penalty, gap_open, gap_extend }
+        Self {
+            match_score,
+            mismatch_penalty,
+            gap_open,
+            gap_extend,
+        }
     }
 
     /// Unit edit-distance-like scheme, handy for tests: match +1,
     /// mismatch −1, open −1, extend −1.
     pub fn unit() -> Self {
-        Self { match_score: 1, mismatch_penalty: 1, gap_open: 1, gap_extend: 1 }
+        Self {
+            match_score: 1,
+            mismatch_penalty: 1,
+            gap_open: 1,
+            gap_extend: 1,
+        }
     }
 
     /// `sub(a, b)` from eq. 1: positive on match, negative on mismatch.
@@ -99,7 +122,10 @@ mod tests {
     #[test]
     fn default_is_minimap2_like() {
         let s = ScoringScheme::default();
-        assert_eq!((s.match_score, s.mismatch_penalty, s.gap_open, s.gap_extend), (2, 4, 4, 2));
+        assert_eq!(
+            (s.match_score, s.mismatch_penalty, s.gap_open, s.gap_extend),
+            (2, 4, 4, 2)
+        );
     }
 
     #[test]

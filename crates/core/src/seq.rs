@@ -167,7 +167,8 @@ impl DnaSeq {
                     NPolicy::RandomSubstitute { seed } => {
                         // Mix the position in so that runs of N don't repeat
                         // one nucleotide, while staying reproducible.
-                        let mut rng = SplitMix64::new(seed ^ (position as u64).wrapping_mul(0x9E37_79B9));
+                        let mut rng =
+                            SplitMix64::new(seed ^ (position as u64).wrapping_mul(0x9E37_79B9));
                         bases.push(Base::from_code(rng.below(4) as u8));
                     }
                     NPolicy::FixedSubstitute(b) => bases.push(b),
@@ -236,7 +237,9 @@ impl std::fmt::Display for DnaSeq {
 
 impl FromIterator<Base> for DnaSeq {
     fn from_iter<T: IntoIterator<Item = Base>>(iter: T) -> Self {
-        Self { bases: iter.into_iter().collect() }
+        Self {
+            bases: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -259,7 +262,10 @@ impl PackedSeq {
         for (i, b) in bases.iter().enumerate() {
             data[i / 4] |= b.code() << ((i % 4) * 2);
         }
-        Self { data, len: bases.len() }
+        Self {
+            data,
+            len: bases.len(),
+        }
     }
 
     /// Reconstruct from raw packed bytes and an explicit length.
@@ -299,7 +305,11 @@ impl PackedSeq {
     /// Base at `index` — a shift and a mask, mirroring the DPU's unpacking.
     #[inline]
     pub fn get(&self, index: usize) -> Base {
-        assert!(index < self.len, "base index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "base index {index} out of range {}",
+            self.len
+        );
         let byte = self.data[index / 4];
         Base::from_code(byte >> ((index % 4) * 2))
     }
@@ -336,13 +346,25 @@ mod tests {
     #[test]
     fn parse_rejects_bad_bytes() {
         let err = DnaSeq::from_ascii(b"ACGX").unwrap_err();
-        assert_eq!(err, AlignError::InvalidBase { position: 3, byte: b'X' });
+        assert_eq!(
+            err,
+            AlignError::InvalidBase {
+                position: 3,
+                byte: b'X'
+            }
+        );
     }
 
     #[test]
     fn parse_rejects_n_by_default() {
         let err = DnaSeq::from_ascii(b"ACGN").unwrap_err();
-        assert_eq!(err, AlignError::InvalidBase { position: 3, byte: b'N' });
+        assert_eq!(
+            err,
+            AlignError::InvalidBase {
+                position: 3,
+                byte: b'N'
+            }
+        );
     }
 
     #[test]
@@ -388,8 +410,7 @@ mod tests {
     #[test]
     fn packing_round_trips_all_lengths() {
         for len in 0..33 {
-            let bases: Vec<Base> =
-                (0..len).map(|i| Base::from_code((i % 4) as u8)).collect();
+            let bases: Vec<Base> = (0..len).map(|i| Base::from_code((i % 4) as u8)).collect();
             let seq = DnaSeq::from_bases(bases);
             let packed = seq.pack();
             assert_eq!(packed.len(), len);

@@ -99,7 +99,10 @@ pub struct BtRow {
 impl BtRow {
     /// A row of `len` zeroed cells.
     pub fn new(len: usize) -> Self {
-        Self { data: vec![0; len.div_ceil(2)], len }
+        Self {
+            data: vec![0; len.div_ceil(2)],
+            len,
+        }
     }
 
     /// Number of cells.
@@ -175,7 +178,9 @@ where
     let mut fuel = 2 * (m + n) + 4;
 
     while i > 0 || j > 0 {
-        fuel = fuel.checked_sub(1).ok_or(AlignError::OutOfBand { band, m, n })?;
+        fuel = fuel
+            .checked_sub(1)
+            .ok_or(AlignError::OutOfBand { band, m, n })?;
         match state {
             State::Main => {
                 if i == 0 {
@@ -247,7 +252,12 @@ mod tests {
 
     #[test]
     fn bt_cell_round_trips() {
-        for origin in [Origin::DiagMatch, Origin::DiagMismatch, Origin::Ins, Origin::Del] {
+        for origin in [
+            Origin::DiagMatch,
+            Origin::DiagMismatch,
+            Origin::Ins,
+            Origin::Del,
+        ] {
             for i_ext in [false, true] {
                 for d_ext in [false, true] {
                     let c = BtCell::new(origin, i_ext, d_ext);
@@ -265,7 +275,10 @@ mod tests {
         let mut row = BtRow::new(5);
         assert_eq!(row.as_bytes().len(), 3);
         for idx in 0..5 {
-            row.set(idx, BtCell::new(Origin::from_bits(idx as u8), idx % 2 == 0, idx % 3 == 0));
+            row.set(
+                idx,
+                BtCell::new(Origin::from_bits(idx as u8), idx % 2 == 0, idx % 3 == 0),
+            );
         }
         for idx in 0..5 {
             let c = row.get(idx);
@@ -294,7 +307,10 @@ mod tests {
     #[test]
     fn walk_pure_diagonal() {
         // 3x3 all matches.
-        let cigar = walk(3, 3, 8, |_, _| Some(BtCell::new(Origin::DiagMatch, false, false))).unwrap();
+        let cigar = walk(3, 3, 8, |_, _| {
+            Some(BtCell::new(Origin::DiagMatch, false, false))
+        })
+        .unwrap();
         assert_eq!(cigar.to_string(), "3=");
     }
 
@@ -325,7 +341,14 @@ mod tests {
     #[test]
     fn walk_out_of_band_is_error() {
         let err = walk(2, 2, 4, |_, _| None).unwrap_err();
-        assert_eq!(err, AlignError::OutOfBand { band: 4, m: 2, n: 2 });
+        assert_eq!(
+            err,
+            AlignError::OutOfBand {
+                band: 4,
+                m: 2,
+                n: 2
+            }
+        );
     }
 
     #[test]

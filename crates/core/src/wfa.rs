@@ -37,7 +37,11 @@ impl Penalties {
     pub fn new(mismatch: u32, gap_open: u32, gap_extend: u32) -> Self {
         assert!(mismatch > 0, "mismatch penalty must be positive");
         assert!(gap_extend > 0, "gap extend penalty must be positive");
-        Self { mismatch, gap_open, gap_extend }
+        Self {
+            mismatch,
+            gap_open,
+            gap_extend,
+        }
     }
 
     /// Derive equivalence-preserving penalties from a maximizing scheme:
@@ -56,7 +60,13 @@ impl Penalties {
 
     /// Convert a WFA penalty back to the maximizing scheme's score for
     /// sequences of lengths `m`, `n` (inverse of [`Penalties::from_scheme`]).
-    pub fn penalty_to_score(&self, scheme: &ScoringScheme, m: usize, n: usize, penalty: u32) -> i32 {
+    pub fn penalty_to_score(
+        &self,
+        scheme: &ScoringScheme,
+        m: usize,
+        n: usize,
+        penalty: u32,
+    ) -> i32 {
         // score = (a·(m+n) − penalty) / 2 with the from_scheme scaling.
         (scheme.match_score * (m + n) as i32 - penalty as i32) / 2
     }
@@ -65,7 +75,11 @@ impl Penalties {
 impl Default for Penalties {
     /// WFA paper defaults: x=4, o=6, e=2.
     fn default() -> Self {
-        Self { mismatch: 4, gap_open: 6, gap_extend: 2 }
+        Self {
+            mismatch: 4,
+            gap_open: 6,
+            gap_extend: 2,
+        }
     }
 }
 
@@ -88,7 +102,13 @@ struct Wavefront {
 impl Wavefront {
     fn new(lo: i64, hi: i64) -> Self {
         let width = (hi - lo + 1).max(0) as usize;
-        Self { lo, hi, m: vec![NONE; width], i: vec![NONE; width], d: vec![NONE; width] }
+        Self {
+            lo,
+            hi,
+            m: vec![NONE; width],
+            i: vec![NONE; width],
+            d: vec![NONE; width],
+        }
     }
 
     #[inline]
@@ -137,7 +157,10 @@ pub struct WfaAlignment {
 impl WfaAligner {
     /// Build an aligner.
     pub fn new(penalties: Penalties) -> Self {
-        Self { penalties, max_penalty: 100_000 }
+        Self {
+            penalties,
+            max_penalty: 100_000,
+        }
     }
 
     /// Override the exploration cap.
@@ -180,13 +203,18 @@ impl WfaAligner {
     ) -> Result<(u32, Vec<Option<Wavefront>>), AlignError> {
         let (m, n) = (a.len() as i64, b.len() as i64);
         let k_final = n - m; // diagonal k = j - i
-        let Penalties { mismatch: x, gap_open: o, gap_extend: e } = self.penalties;
+        let Penalties {
+            mismatch: x,
+            gap_open: o,
+            gap_extend: e,
+        } = self.penalties;
 
         let mut fronts: Vec<Option<Wavefront>> = Vec::new();
         // Score 0: diagonal 0, offset after initial extension.
         let mut wf0 = Wavefront::new(0, 0);
         wf0.m[0] = extend(a, b, 0, 0);
-        if wf0.m[0] >= n && wf0.m[0] - 0 >= m {
+        // Offset minus diagonal (k = 0) on both axes.
+        if wf0.m[0] >= n && wf0.m[0] >= m {
             // Identical (or empty) inputs.
             if m == 0 && n == 0 {
                 return Ok((0, vec![Some(wf0)]));
@@ -281,7 +309,11 @@ impl WfaAligner {
             }
             fronts.push(Some(wf));
         }
-        Err(AlignError::OutOfBand { band: self.max_penalty as usize, m: a.len(), n: b.len() })
+        Err(AlignError::OutOfBand {
+            band: self.max_penalty as usize,
+            m: a.len(),
+            n: b.len(),
+        })
     }
 
     /// Reconstruct the CIGAR by walking the stored wavefronts backwards.
@@ -293,7 +325,11 @@ impl WfaAligner {
         fronts: &[Option<Wavefront>],
     ) -> Result<Cigar, AlignError> {
         let (m, n) = (a.len() as i64, b.len() as i64);
-        let Penalties { mismatch: x, gap_open: o, gap_extend: e } = self.penalties;
+        let Penalties {
+            mismatch: x,
+            gap_open: o,
+            gap_extend: e,
+        } = self.penalties;
         #[derive(Clone, Copy, PartialEq)]
         enum Comp {
             M,
@@ -305,9 +341,8 @@ impl WfaAligner {
         let mut k = n - m;
         let mut j = n; // offset (B consumed)
         let mut comp = Comp::M;
-        let front = |s: u32| -> Option<&Wavefront> {
-            fronts.get(s as usize).and_then(|f| f.as_ref())
-        };
+        let front =
+            |s: u32| -> Option<&Wavefront> { fronts.get(s as usize).and_then(|f| f.as_ref()) };
 
         loop {
             match comp {
@@ -558,7 +593,11 @@ mod tests {
             ("ACGT", "TGCA"),
             ("AACCGGTT", "AACCGGTT"),
         ];
-        for pens in [Penalties::default(), Penalties::new(2, 3, 1), Penalties::new(5, 1, 3)] {
+        for pens in [
+            Penalties::default(),
+            Penalties::new(2, 3, 1),
+            Penalties::new(5, 1, 3),
+        ] {
             let wfa = WfaAligner::new(pens);
             for (x, y) in cases {
                 let (a, b) = (seq(x), seq(y));

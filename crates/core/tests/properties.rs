@@ -1,221 +1,301 @@
-//! Property-based tests for the alignment core.
+//! Randomized tests for the alignment core.
 //!
 //! These check the algebraic invariants the rest of the system (DPU kernel,
 //! host pipeline, benchmarks) relies on: banded aligners never beat the
 //! exact DP, wide bands are exact, CIGARs always reconstruct their inputs,
-//! and the 2-bit packing is lossless.
+//! and the 2-bit packing is lossless. Cases come from a seeded
+//! [`SplitMix64`] stream, so every run exercises the same inputs.
 
 use nw_core::adaptive::AdaptiveAligner;
 use nw_core::banded::BandedAligner;
 use nw_core::cigar::Cigar;
 use nw_core::full::{FullAligner, GapModel};
+use nw_core::rng::SplitMix64;
 use nw_core::seq::{Base, DnaSeq};
 use nw_core::traceback::{BtCell, BtRow};
 use nw_core::wfa::{Penalties, WfaAligner};
 use nw_core::ScoringScheme;
-use proptest::prelude::*;
 
-fn arb_seq(max_len: usize) -> impl Strategy<Value = DnaSeq> {
-    prop::collection::vec(0u8..4, 0..=max_len)
-        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+fn rand_seq(rng: &mut SplitMix64, max_len: usize) -> DnaSeq {
+    let len = rng.below(max_len as u64 + 1) as usize;
+    (0..len)
+        .map(|_| Base::from_code(rng.below(4) as u8))
+        .collect()
 }
 
-fn arb_scheme() -> impl Strategy<Value = ScoringScheme> {
-    (1i32..=4, 0i32..=6, 0i32..=8, 1i32..=4)
-        .prop_map(|(m, x, go, ge)| ScoringScheme::new(m, x, go, ge))
+fn rand_scheme(rng: &mut SplitMix64) -> ScoringScheme {
+    ScoringScheme::new(
+        rng.between(1, 4) as i32,
+        rng.between(0, 6) as i32,
+        rng.between(0, 8) as i32,
+        rng.between(1, 4) as i32,
+    )
 }
 
 /// A pair of related sequences: `b` derives from `a` through point mutations
 /// and short indels, like reads from the same genomic region.
-fn arb_related_pair() -> impl Strategy<Value = (DnaSeq, DnaSeq)> {
-    (arb_seq(60), prop::collection::vec((0usize..60, 0u8..6, 0u8..4), 0..8)).prop_map(
-        |(a, edits)| {
-            let mut b: Vec<Base> = a.as_slice().to_vec();
-            for (pos, kind, code) in edits {
-                if b.is_empty() {
-                    break;
-                }
-                let pos = pos % b.len();
-                match kind {
-                    0 | 1 | 2 => b[pos] = Base::from_code(code), // substitution
-                    3 | 4 => b.insert(pos, Base::from_code(code)), // insertion
-                    _ => {
-                        b.remove(pos);
-                    }
-                }
+fn related_pair(rng: &mut SplitMix64) -> (DnaSeq, DnaSeq) {
+    let a = rand_seq(rng, 60);
+    let mut b: Vec<Base> = a.as_slice().to_vec();
+    for _ in 0..rng.below(8) {
+        if b.is_empty() {
+            break;
+        }
+        let pos = rng.below(b.len() as u64) as usize;
+        let code = Base::from_code(rng.below(4) as u8);
+        match rng.below(6) {
+            0..=2 => b[pos] = code,       // substitution
+            3 | 4 => b.insert(pos, code), // insertion
+            _ => {
+                b.remove(pos);
             }
-            (a, DnaSeq::from_bases(b))
-        },
-    )
+        }
+    }
+    (a, DnaSeq::from_bases(b))
 }
 
-proptest! {
-    #[test]
-    fn packing_round_trips(seq in arb_seq(300)) {
+const TRIALS: usize = 80;
+
+#[test]
+fn packing_round_trips() {
+    let mut rng = SplitMix64::new(1);
+    for _ in 0..TRIALS {
+        let seq = rand_seq(&mut rng, 300);
         let packed = seq.pack();
-        prop_assert_eq!(packed.unpack(), seq.clone());
-        prop_assert_eq!(packed.len(), seq.len());
-        prop_assert_eq!(packed.byte_len(), seq.len().div_ceil(4));
+        assert_eq!(packed.unpack(), seq);
+        assert_eq!(packed.len(), seq.len());
+        assert_eq!(packed.byte_len(), seq.len().div_ceil(4));
     }
+}
 
-    #[test]
-    fn reverse_complement_involution(seq in arb_seq(200)) {
-        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+#[test]
+fn reverse_complement_involution() {
+    let mut rng = SplitMix64::new(2);
+    for _ in 0..TRIALS {
+        let seq = rand_seq(&mut rng, 200);
+        assert_eq!(seq.reverse_complement().reverse_complement(), seq);
     }
+}
 
-    #[test]
-    fn full_align_score_matches_score_only(
-        (a, b) in arb_related_pair(),
-        scheme in arb_scheme(),
-    ) {
+#[test]
+fn full_align_score_matches_score_only() {
+    let mut rng = SplitMix64::new(3);
+    for _ in 0..TRIALS {
+        let (a, b) = related_pair(&mut rng);
+        let scheme = rand_scheme(&mut rng);
         let full = FullAligner::affine(scheme);
         let aln = full.align(&a, &b).unwrap();
-        prop_assert_eq!(aln.score, full.score(&a, &b));
-        prop_assert!(aln.cigar.validate(&a, &b).is_ok());
-        prop_assert_eq!(aln.cigar.score(&scheme), aln.score);
+        assert_eq!(aln.score, full.score(&a, &b));
+        assert!(aln.cigar.validate(&a, &b).is_ok());
+        assert_eq!(aln.cigar.score(&scheme), aln.score);
     }
+}
 
-    #[test]
-    fn linear_align_is_consistent((a, b) in arb_related_pair()) {
+#[test]
+fn linear_align_is_consistent() {
+    let mut rng = SplitMix64::new(4);
+    for _ in 0..TRIALS {
+        let (a, b) = related_pair(&mut rng);
         let full = FullAligner::new(ScoringScheme::unit(), GapModel::Linear);
         let aln = full.align(&a, &b).unwrap();
-        prop_assert_eq!(aln.score, full.score(&a, &b));
-        prop_assert!(aln.cigar.validate(&a, &b).is_ok());
+        assert_eq!(aln.score, full.score(&a, &b));
+        assert!(aln.cigar.validate(&a, &b).is_ok());
     }
+}
 
-    #[test]
-    fn score_is_symmetric((a, b) in arb_related_pair(), scheme in arb_scheme()) {
+#[test]
+fn score_is_symmetric() {
+    let mut rng = SplitMix64::new(5);
+    for _ in 0..TRIALS {
+        let (a, b) = related_pair(&mut rng);
+        let full = FullAligner::affine(rand_scheme(&mut rng));
+        assert_eq!(full.score(&a, &b), full.score(&b, &a));
+    }
+}
+
+#[test]
+fn self_alignment_is_perfect() {
+    let mut rng = SplitMix64::new(6);
+    for _ in 0..TRIALS {
+        let a = rand_seq(&mut rng, 80);
+        let scheme = rand_scheme(&mut rng);
         let full = FullAligner::affine(scheme);
-        prop_assert_eq!(full.score(&a, &b), full.score(&b, &a));
+        assert_eq!(full.score(&a, &a), scheme.perfect(a.len()));
     }
+}
 
-    #[test]
-    fn self_alignment_is_perfect(a in arb_seq(80), scheme in arb_scheme()) {
-        let full = FullAligner::affine(scheme);
-        prop_assert_eq!(full.score(&a, &a), scheme.perfect(a.len()));
-    }
-
-    #[test]
-    fn wide_adaptive_band_is_exact((a, b) in arb_related_pair(), scheme in arb_scheme()) {
+#[test]
+fn wide_adaptive_band_is_exact() {
+    let mut rng = SplitMix64::new(7);
+    for _ in 0..TRIALS {
+        let (a, b) = related_pair(&mut rng);
+        let scheme = rand_scheme(&mut rng);
         let w = 2 * (a.len() + b.len()) + 4;
         let adaptive = AdaptiveAligner::new(scheme, w);
         let full = FullAligner::affine(scheme);
         let aln = adaptive.align(&a, &b).unwrap();
-        prop_assert_eq!(aln.score, full.score(&a, &b));
-        prop_assert!(aln.cigar.validate(&a, &b).is_ok());
-        prop_assert_eq!(aln.cigar.score(&scheme), aln.score);
+        assert_eq!(aln.score, full.score(&a, &b));
+        assert!(aln.cigar.validate(&a, &b).is_ok());
+        assert_eq!(aln.cigar.score(&scheme), aln.score);
     }
+}
 
-    #[test]
-    fn wide_static_band_is_exact((a, b) in arb_related_pair(), scheme in arb_scheme()) {
+#[test]
+fn wide_static_band_is_exact() {
+    let mut rng = SplitMix64::new(8);
+    for _ in 0..TRIALS {
+        let (a, b) = related_pair(&mut rng);
+        let scheme = rand_scheme(&mut rng);
         let w = 2 * (a.len() + b.len()) + 4;
         let banded = BandedAligner::new(scheme, w);
         let full = FullAligner::affine(scheme);
         let aln = banded.align(&a, &b).unwrap();
-        prop_assert_eq!(aln.score, full.score(&a, &b));
-        prop_assert!(aln.cigar.validate(&a, &b).is_ok());
+        assert_eq!(aln.score, full.score(&a, &b));
+        assert!(aln.cigar.validate(&a, &b).is_ok());
     }
+}
 
-    #[test]
-    fn banded_never_beats_optimal((a, b) in arb_related_pair()) {
+#[test]
+fn banded_never_beats_optimal() {
+    let mut rng = SplitMix64::new(9);
+    for _ in 0..TRIALS {
+        let (a, b) = related_pair(&mut rng);
         let scheme = ScoringScheme::default();
         let optimal = FullAligner::affine(scheme).score(&a, &b);
         for w in [4usize, 8, 16, 32] {
             if let Ok(s) = BandedAligner::new(scheme, w).score(&a, &b) {
-                prop_assert!(s <= optimal, "static w={} score {} > optimal {}", w, s, optimal);
+                assert!(s <= optimal, "static w={w} score {s} > optimal {optimal}");
             }
             if let Ok(s) = AdaptiveAligner::new(scheme, w).score(&a, &b) {
-                prop_assert!(s <= optimal, "adaptive w={} score {} > optimal {}", w, s, optimal);
+                assert!(s <= optimal, "adaptive w={w} score {s} > optimal {optimal}");
             }
         }
     }
+}
 
-    #[test]
-    fn adaptive_cigar_consistent_at_any_width((a, b) in arb_related_pair(), w in 4usize..40) {
+#[test]
+fn adaptive_cigar_consistent_at_any_width() {
+    let mut rng = SplitMix64::new(10);
+    for _ in 0..TRIALS {
+        let (a, b) = related_pair(&mut rng);
+        let w = rng.between(4, 39) as usize;
         let scheme = ScoringScheme::default();
         if let Ok(aln) = AdaptiveAligner::new(scheme, w).align(&a, &b) {
-            prop_assert!(aln.cigar.validate(&a, &b).is_ok());
-            prop_assert_eq!(aln.cigar.score(&scheme), aln.score);
+            assert!(aln.cigar.validate(&a, &b).is_ok());
+            assert_eq!(aln.cigar.score(&scheme), aln.score);
         }
     }
+}
 
-    #[test]
-    fn static_cigar_consistent_at_any_width((a, b) in arb_related_pair(), w in 4usize..40) {
+#[test]
+fn static_cigar_consistent_at_any_width() {
+    let mut rng = SplitMix64::new(11);
+    for _ in 0..TRIALS {
+        let (a, b) = related_pair(&mut rng);
+        let w = rng.between(4, 39) as usize;
         let scheme = ScoringScheme::default();
         if let Ok(aln) = BandedAligner::new(scheme, w).align(&a, &b) {
-            prop_assert!(aln.cigar.validate(&a, &b).is_ok());
-            prop_assert_eq!(aln.cigar.score(&scheme), aln.score);
+            assert!(aln.cigar.validate(&a, &b).is_ok());
+            assert_eq!(aln.cigar.score(&scheme), aln.score);
         }
     }
+}
 
-    #[test]
-    fn adaptive_window_always_covers_final_cell((a, b) in arb_related_pair(), w in 8usize..48) {
+#[test]
+fn adaptive_window_always_covers_final_cell() {
+    let mut rng = SplitMix64::new(12);
+    for _ in 0..TRIALS {
+        let (a, b) = related_pair(&mut rng);
+        let w = rng.between(8, 47) as usize;
         if let Ok(out) = AdaptiveAligner::new(ScoringScheme::default(), w).align_traced(&a, &b) {
             let o_final = *out.trace.origins.last().unwrap();
             let k = a.len() as i64 - o_final;
-            prop_assert!((0..w as i64).contains(&k));
+            assert!((0..w as i64).contains(&k));
             // Down-shift count equals total origin movement.
-            prop_assert_eq!(
-                out.trace.downs() as i64,
-                o_final - out.trace.origins[0]
-            );
+            assert_eq!(out.trace.downs() as i64, o_final - out.trace.origins[0]);
         }
     }
+}
 
-    #[test]
-    fn cigar_text_round_trips((a, b) in arb_related_pair()) {
-        let aln = FullAligner::affine(ScoringScheme::default()).align(&a, &b).unwrap();
+#[test]
+fn cigar_text_round_trips() {
+    let mut rng = SplitMix64::new(13);
+    for _ in 0..TRIALS {
+        let (a, b) = related_pair(&mut rng);
+        let aln = FullAligner::affine(ScoringScheme::default())
+            .align(&a, &b)
+            .unwrap();
         let text = aln.cigar.to_string();
         if text.is_empty() {
-            prop_assert_eq!(a.len() + b.len(), 0);
+            assert_eq!(a.len() + b.len(), 0);
         } else {
-            prop_assert_eq!(Cigar::parse(&text).unwrap(), aln.cigar);
+            assert_eq!(Cigar::parse(&text).unwrap(), aln.cigar);
         }
     }
+}
 
-    #[test]
-    fn bt_row_round_trips(cells in prop::collection::vec(0u8..16, 1..128)) {
+#[test]
+fn bt_row_round_trips() {
+    let mut rng = SplitMix64::new(14);
+    for _ in 0..TRIALS {
+        let cells: Vec<u8> = (0..rng.between(1, 127))
+            .map(|_| rng.below(16) as u8)
+            .collect();
         let mut row = BtRow::new(cells.len());
         for (i, &c) in cells.iter().enumerate() {
             row.set(i, BtCell(c));
         }
         for (i, &c) in cells.iter().enumerate() {
-            prop_assert_eq!(row.get(i).bits(), c & 0x0F);
+            assert_eq!(row.get(i).bits(), c & 0x0F);
         }
         let rebuilt = BtRow::from_bytes(row.as_bytes().to_vec(), cells.len()).unwrap();
         for (i, &c) in cells.iter().enumerate() {
-            prop_assert_eq!(rebuilt.get(i).bits(), c & 0x0F);
+            assert_eq!(rebuilt.get(i).bits(), c & 0x0F);
         }
     }
+}
 
-    #[test]
-    fn wfa_agrees_with_gotoh_through_the_transform((a, b) in arb_related_pair()) {
+#[test]
+fn wfa_agrees_with_gotoh_through_the_transform() {
+    let mut rng = SplitMix64::new(15);
+    for _ in 0..TRIALS {
+        let (a, b) = related_pair(&mut rng);
         let scheme = ScoringScheme::default();
         let pens = Penalties::from_scheme(&scheme);
         let wfa = WfaAligner::new(pens);
         let aln = wfa.align(&a, &b).unwrap();
-        prop_assert!(aln.cigar.validate(&a, &b).is_ok());
+        assert!(aln.cigar.validate(&a, &b).is_ok());
         let score = pens.penalty_to_score(&scheme, a.len(), b.len(), aln.penalty);
         let full = FullAligner::affine(scheme);
-        prop_assert_eq!(score, full.score(&a, &b));
+        assert_eq!(score, full.score(&a, &b));
         // The CIGAR rescored under the maximizing scheme reaches the same
         // optimum (WFA and Gotoh agree on the alignment, not just the value).
-        prop_assert_eq!(aln.cigar.score(&scheme), score);
+        assert_eq!(aln.cigar.score(&scheme), score);
     }
+}
 
-    #[test]
-    fn wfa_penalty_is_metric_like((a, b) in arb_related_pair()) {
+#[test]
+fn wfa_penalty_is_metric_like() {
+    let mut rng = SplitMix64::new(16);
+    for _ in 0..TRIALS {
+        let (a, b) = related_pair(&mut rng);
         let wfa = WfaAligner::new(Penalties::default());
         let p_ab = wfa.penalty(&a, &b).unwrap();
         let p_ba = wfa.penalty(&b, &a).unwrap();
-        prop_assert_eq!(p_ab, p_ba, "symmetry");
-        prop_assert_eq!(wfa.penalty(&a, &a).unwrap(), 0, "identity");
+        assert_eq!(p_ab, p_ba, "symmetry");
+        assert_eq!(wfa.penalty(&a, &a).unwrap(), 0, "identity");
     }
+}
 
-    #[test]
-    fn identity_is_bounded((a, b) in arb_related_pair()) {
-        let aln = FullAligner::affine(ScoringScheme::default()).align(&a, &b).unwrap();
+#[test]
+fn identity_is_bounded() {
+    let mut rng = SplitMix64::new(17);
+    for _ in 0..TRIALS {
+        let (a, b) = related_pair(&mut rng);
+        let aln = FullAligner::affine(ScoringScheme::default())
+            .align(&a, &b)
+            .unwrap();
         let id = aln.identity();
-        prop_assert!((0.0..=1.0).contains(&id));
+        assert!((0.0..=1.0).contains(&id));
     }
 }

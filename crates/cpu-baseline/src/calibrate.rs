@@ -65,7 +65,10 @@ impl Calibration {
     /// them keeps the reproduced CPU/DPU *ratios* independent of the local
     /// machine; `Calibration::measure` exists for local projection.
     pub fn reference() -> Calibration {
-        Calibration { cells_per_second_bt: 3.0e8, cells_per_second_score: 4.0e8 }
+        Calibration {
+            cells_per_second_bt: 3.0e8,
+            cells_per_second_score: 4.0e8,
+        }
     }
 }
 
@@ -88,13 +91,23 @@ pub struct XeonModel {
 impl XeonModel {
     /// The paper's Intel Xeon 4215 server (2 sockets x 16 cores, 2.5 GHz).
     pub fn xeon_4215() -> Self {
-        Self { label: "Minimap2 Intel 4215 (32c)", cores: 32, clock_scale: 0.75, half_saturation_cores: 48.0 }
+        Self {
+            label: "Minimap2 Intel 4215 (32c)",
+            cores: 32,
+            clock_scale: 0.75,
+            half_saturation_cores: 48.0,
+        }
     }
 
     /// The paper's Intel Xeon 4216 server (2 sockets x 32 cores, 2.1 GHz,
     /// double the L3 — a higher saturation point).
     pub fn xeon_4216() -> Self {
-        Self { label: "Minimap2 Intel 4216 (64c)", cores: 64, clock_scale: 0.63, half_saturation_cores: 96.0 }
+        Self {
+            label: "Minimap2 Intel 4216 (64c)",
+            cores: 64,
+            clock_scale: 0.63,
+            half_saturation_cores: 96.0,
+        }
     }
 
     /// Effective parallel efficiency in `(0, 1]`.
@@ -104,7 +117,11 @@ impl XeonModel {
 
     /// Projected seconds to evaluate `cells` DP cells.
     pub fn seconds(&self, cells: u64, cal: &Calibration, with_bt: bool) -> f64 {
-        let rate = if with_bt { cal.cells_per_second_bt } else { cal.cells_per_second_score };
+        let rate = if with_bt {
+            cal.cells_per_second_bt
+        } else {
+            cal.cells_per_second_score
+        };
         let throughput = rate * self.clock_scale * self.cores as f64 * self.efficiency();
         cells as f64 / throughput
     }
@@ -122,7 +139,10 @@ mod tests {
         assert!(cal.cells_per_second_bt < 1e11, "{cal:?}");
         // Score-only must not be slower than with-traceback (same sweep,
         // strictly less work).
-        assert!(cal.cells_per_second_score >= 0.8 * cal.cells_per_second_bt, "{cal:?}");
+        assert!(
+            cal.cells_per_second_score >= 0.8 * cal.cells_per_second_bt,
+            "{cal:?}"
+        );
     }
 
     #[test]

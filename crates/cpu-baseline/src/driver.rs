@@ -1,7 +1,7 @@
 //! The multi-threaded driver — the paper's "OpenMP multi-threaded CPU
 //! implementation". Pairs are pulled from a shared atomic cursor by
-//! crossbeam-scoped worker threads (work stealing at pair granularity, the
-//! same dynamic schedule OpenMP's `schedule(dynamic)` gives minimap2).
+//! scoped worker threads (work stealing at pair granularity, the same
+//! dynamic schedule OpenMP's `schedule(dynamic)` gives minimap2).
 
 use crate::ksw2::Ksw2Aligner;
 use nw_core::error::AlignError;
@@ -42,7 +42,10 @@ impl CpuBaseline {
     /// Build a driver with `threads` worker threads (>= 1).
     pub fn new(scheme: ScoringScheme, band: usize, threads: usize) -> Self {
         assert!(threads >= 1, "at least one thread");
-        Self { aligner: Ksw2Aligner::new(scheme, band), threads }
+        Self {
+            aligner: Ksw2Aligner::new(scheme, band),
+            threads,
+        }
     }
 
     /// Number of worker threads.
@@ -70,7 +73,10 @@ impl CpuBaseline {
         T: Send,
         F: Fn(&Ksw2Aligner, &DnaSeq, &DnaSeq) -> Result<T, AlignError> + Sync,
     {
-        let cells: u64 = pairs.iter().map(|(a, b)| self.aligner.cells(a.len(), b.len())).sum();
+        let cells: u64 = pairs
+            .iter()
+            .map(|(a, b)| self.aligner.cells(a.len(), b.len()))
+            .sum();
         let start = std::time::Instant::now();
         let mut results: Vec<Option<Result<T, AlignError>>> =
             (0..pairs.len()).map(|_| None).collect();
@@ -81,17 +87,15 @@ impl CpuBaseline {
         } else {
             let cursor = AtomicUsize::new(0);
             let slots = &mut results[..];
-            // Hand each worker a disjoint view via chunked claiming: workers
-            // claim indices from the cursor and write through raw parts of
-            // the slot vector. Use crossbeam scope + split via Mutex-free
-            // channel: collect into per-worker vecs then scatter.
-            crossbeam::thread::scope(|scope| {
+            // Workers claim indices from the shared cursor, collect into
+            // per-worker vecs, then the parent scatters into the slots.
+            std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(self.threads);
                 for _ in 0..self.threads {
                     let cursor = &cursor;
                     let aligner = &self.aligner;
                     let work = &work;
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let mut mine: Vec<(usize, Result<T, AlignError>)> = Vec::new();
                         loop {
                             let idx = cursor.fetch_add(1, Ordering::Relaxed);
@@ -109,12 +113,14 @@ impl CpuBaseline {
                         slots[idx] = Some(r);
                     }
                 }
-            })
-            .expect("scope panicked");
+            });
         }
         let elapsed = start.elapsed();
         BatchOutcome {
-            results: results.into_iter().map(|r| r.expect("all slots filled")).collect(),
+            results: results
+                .into_iter()
+                .map(|r| r.expect("all slots filled"))
+                .collect(),
             elapsed,
             cells,
         }

@@ -75,7 +75,9 @@ impl Ksw2Aligner {
         let (score, bt) = self.run::<true>(a, b)?;
         let geom = BandGeometry::new(m, n, self.band);
         let bt = bt.expect("BT requested");
-        let cigar = walk(m, n, self.band, |i, j| geom.index(i, j).map(|k| bt[i].get(k)))?;
+        let cigar = walk(m, n, self.band, |i, j| {
+            geom.index(i, j).map(|k| bt[i].get(k))
+        })?;
         Ok(Alignment { score, cigar })
     }
 
@@ -89,7 +91,11 @@ impl Ksw2Aligner {
         let (m, n) = (a.len(), b.len());
         let geom = BandGeometry::new(m, n, self.band);
         if !geom.reaches_end(m, n) {
-            return Err(AlignError::OutOfBand { band: self.band, m, n });
+            return Err(AlignError::OutOfBand {
+                band: self.band,
+                m,
+                n,
+            });
         }
         let width = geom.width();
         let (go, ge) = (self.scheme.gap_open, self.scheme.gap_extend);
@@ -111,6 +117,8 @@ impl Ksw2Aligner {
             h_prev[k] = if j == 0 { 0 } else { -go - (j as Score) * ge };
         }
 
+        // `i` drives the band geometry, the query profile, and `bt` at once.
+        #[allow(clippy::needless_range_loop)]
         for i in 1..=m {
             h_cur.fill(NEG_INF);
             i_cur.fill(NEG_INF);
@@ -152,7 +160,11 @@ impl Ksw2Aligner {
                 h_cur[k] = best;
                 if WANT_BT {
                     let origin = if best == diag && diag_h > NEG_INF / 2 {
-                        if sub > 0 { Origin::DiagMatch } else { Origin::DiagMismatch }
+                        if sub > 0 {
+                            Origin::DiagMatch
+                        } else {
+                            Origin::DiagMismatch
+                        }
                     } else if best == ins {
                         Origin::Ins
                     } else {
@@ -167,12 +179,18 @@ impl Ksw2Aligner {
             std::mem::swap(&mut i_prev, &mut i_cur);
         }
 
-        let k_final = geom
-            .index(m, n)
-            .ok_or(AlignError::OutOfBand { band: self.band, m, n })?;
+        let k_final = geom.index(m, n).ok_or(AlignError::OutOfBand {
+            band: self.band,
+            m,
+            n,
+        })?;
         let score = h_prev[k_final];
         if score < NEG_INF / 2 {
-            return Err(AlignError::OutOfBand { band: self.band, m, n });
+            return Err(AlignError::OutOfBand {
+                band: self.band,
+                m,
+                n,
+            });
         }
         Ok((score, WANT_BT.then_some(bt)))
     }
@@ -253,7 +271,10 @@ mod tests {
         let a = seq("ACGT");
         let b = seq(&"ACGT".repeat(20));
         let ksw = Ksw2Aligner::new(ScoringScheme::default(), 8);
-        assert!(matches!(ksw.score(&a, &b), Err(AlignError::OutOfBand { .. })));
+        assert!(matches!(
+            ksw.score(&a, &b),
+            Err(AlignError::OutOfBand { .. })
+        ));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   arrays. Scores and CIGARs are bit-identical to
 //!   [`nw_core::banded::BandedAligner`] (property-tested), just faster.
 //! * [`driver`] — the OpenMP-equivalent: a work-stealing thread pool over
-//!   alignment pairs using crossbeam scoped threads.
+//!   alignment pairs using std scoped threads.
 //! * [`calibrate`] — measures this machine's cells/second and projects the
 //!   paper's Xeon 4215/4216 runtimes through a core-count + bandwidth
 //!   saturation model (the paper's CPUs scale sub-linearly; §5.2 shows the

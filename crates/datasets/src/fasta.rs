@@ -89,7 +89,10 @@ pub fn read<R: BufRead>(reader: R, policy: NPolicy) -> Result<Vec<Record>, Fasta
 fn finish(name: String, bytes: &[u8], policy: NPolicy) -> Result<Record, FastaError> {
     match DnaSeq::from_ascii_with(bytes, policy) {
         Ok(seq) => Ok(Record { name, seq }),
-        Err(source) => Err(FastaError::BadSequence { record: name, source }),
+        Err(source) => Err(FastaError::BadSequence {
+            record: name,
+            source,
+        }),
     }
 }
 
@@ -125,7 +128,10 @@ mod tests {
     #[test]
     fn round_trip() {
         let records = vec![
-            Record { name: "read1".into(), seq: DnaSeq::from_ascii(b"ACGTACGT").unwrap() },
+            Record {
+                name: "read1".into(),
+                seq: DnaSeq::from_ascii(b"ACGTACGT").unwrap(),
+            },
             Record {
                 name: "read2 extra info".into(),
                 seq: DnaSeq::from_ascii(&b"ACGT".repeat(40)).unwrap(),

@@ -25,9 +25,8 @@ pub mod pacbio;
 pub mod sixteen_s;
 pub mod synthetic;
 
+use nw_core::rng::SplitMix64;
 use nw_core::seq::{Base, DnaSeq};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 pub use mutate::{ErrorModel, MutationStats};
 pub use pacbio::{PacbioParams, ReadSet};
@@ -35,13 +34,16 @@ pub use sixteen_s::SixteenSParams;
 pub use synthetic::{SyntheticParams, SyntheticPreset};
 
 /// A uniformly random DNA sequence of length `len`.
-pub fn random_seq(rng: &mut StdRng, len: usize) -> DnaSeq {
-    (0..len).map(|_| Base::from_code(rng.random_range(0..4u8))).collect()
+pub fn random_seq(rng: &mut SplitMix64, len: usize) -> DnaSeq {
+    (0..len)
+        .map(|_| Base::from_code(rng.below(4) as u8))
+        .collect()
 }
 
-/// Deterministic RNG from a seed.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+/// Deterministic RNG from a seed (the in-tree SplitMix64 — no external
+/// dependency, same stream on every platform).
+pub fn rng(seed: u64) -> SplitMix64 {
+    SplitMix64::new(seed)
 }
 
 /// Scale factor applied to dataset sizes: the paper's full datasets (10 M

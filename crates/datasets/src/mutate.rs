@@ -5,9 +5,8 @@
 //! (mostly 1–3 bp), plus an optional *structural* gap class producing the
 //! >100 bp gaps the paper highlights in its PacBio sets (§5).
 
+use nw_core::rng::SplitMix64;
 use nw_core::seq::{Base, DnaSeq};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// Error model parameters. Rates are per-base probabilities.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,33 +74,41 @@ pub struct MutationStats {
     pub max_gap: usize,
 }
 
-fn geometric_len(rng: &mut StdRng, mean: f64) -> usize {
+fn geometric_len(rng: &mut SplitMix64, mean: f64) -> usize {
     // Geometric with success probability 1/mean, at least 1.
     let p = (1.0 / mean.max(1.0)).clamp(0.01, 1.0);
     let mut len = 1;
-    while len < 64 && !rng.random_bool(p) {
+    while len < 64 && !rng.chance(p) {
         len += 1;
     }
     len
 }
 
 /// Apply the error model to `template`, returning the read and statistics.
-pub fn mutate(template: &DnaSeq, model: &ErrorModel, rng: &mut StdRng) -> (DnaSeq, MutationStats) {
+pub fn mutate(
+    template: &DnaSeq,
+    model: &ErrorModel,
+    rng: &mut SplitMix64,
+) -> (DnaSeq, MutationStats) {
     let mut out: Vec<Base> = Vec::with_capacity(template.len() + 16);
     let mut stats = MutationStats::default();
     let mut i = 0usize;
     while i < template.len() {
-        let roll: f64 = rng.random();
+        let roll: f64 = rng.next_f64();
         let mut acc = model.structural_gap;
         if roll < acc {
             // Structural event: long insertion or deletion, 50/50.
             let (lo, hi) = model.structural_len;
-            let len = if hi > lo { rng.random_range(lo..=hi) } else { lo.max(1) };
+            let len = if hi > lo {
+                rng.between(lo as u64, hi as u64) as usize
+            } else {
+                lo.max(1)
+            };
             stats.structural_gaps += 1;
             stats.max_gap = stats.max_gap.max(len);
-            if rng.random_bool(0.5) {
+            if rng.chance(0.5) {
                 for _ in 0..len {
-                    out.push(Base::from_code(rng.random_range(0..4u8)));
+                    out.push(Base::from_code(rng.below(4) as u8));
                 }
                 stats.inserted += len;
                 // Template position unchanged; the copy continues below.
@@ -118,7 +125,7 @@ pub fn mutate(template: &DnaSeq, model: &ErrorModel, rng: &mut StdRng) -> (DnaSe
         if roll < acc {
             let original = template.get(i);
             let replacement = loop {
-                let b = Base::from_code(rng.random_range(0..4u8));
+                let b = Base::from_code(rng.below(4) as u8);
                 if b != original {
                     break b;
                 }
@@ -132,7 +139,7 @@ pub fn mutate(template: &DnaSeq, model: &ErrorModel, rng: &mut StdRng) -> (DnaSe
         if roll < acc {
             let len = geometric_len(rng, model.mean_indel_len);
             for _ in 0..len {
-                out.push(Base::from_code(rng.random_range(0..4u8)));
+                out.push(Base::from_code(rng.below(4) as u8));
             }
             stats.inserted += len;
             stats.max_gap = stats.max_gap.max(len);
@@ -205,7 +212,10 @@ mod tests {
                 assert!(stats.max_gap >= 100, "{stats:?}");
             }
         }
-        assert!(saw_structural, "expected at least one structural gap over 600 kb");
+        assert!(
+            saw_structural,
+            "expected at least one structural gap over 600 kb"
+        );
     }
 
     #[test]

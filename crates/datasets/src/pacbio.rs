@@ -11,7 +11,6 @@
 use crate::mutate::{mutate, ErrorModel};
 use crate::{random_seq, rng, Scale};
 use nw_core::seq::DnaSeq;
-use rand::Rng;
 
 /// One set of repeated reads over the same region.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,9 +78,10 @@ impl PacbioParams {
         let mut r = rng(self.seed);
         (0..self.sets)
             .map(|_| {
-                let len = r.random_range(self.region_len.0..=self.region_len.1);
+                let len = r.between(self.region_len.0 as u64, self.region_len.1 as u64) as usize;
                 let template = random_seq(&mut r, len);
-                let n_reads = r.random_range(self.reads_per_set.0..=self.reads_per_set.1);
+                let n_reads =
+                    r.between(self.reads_per_set.0 as u64, self.reads_per_set.1 as u64) as usize;
                 let reads = (0..n_reads)
                     .map(|_| mutate(&template, &self.error, &mut r).0)
                     .collect();

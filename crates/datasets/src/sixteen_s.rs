@@ -9,9 +9,8 @@
 
 use crate::mutate::{mutate, ErrorModel};
 use crate::{random_seq, rng, Scale};
+use nw_core::rng::SplitMix64;
 use nw_core::seq::DnaSeq;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// Generation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,7 +48,7 @@ impl SixteenSParams {
         let mut population = vec![root];
         while population.len() < self.count {
             // Pick a random lineage, split it into two diverged children.
-            let idx = r.random_range(0..population.len());
+            let idx = r.below(population.len() as u64) as usize;
             let parent = population.swap_remove(idx);
             population.push(evolve(&parent, &model, &mut r));
             population.push(evolve(&parent, &model, &mut r));
@@ -85,7 +84,7 @@ fn branch_model(divergence: f64) -> ErrorModel {
     }
 }
 
-fn evolve(parent: &DnaSeq, model: &ErrorModel, rng: &mut StdRng) -> DnaSeq {
+fn evolve(parent: &DnaSeq, model: &ErrorModel, rng: &mut SplitMix64) -> DnaSeq {
     mutate(parent, model, rng).0
 }
 
@@ -96,7 +95,12 @@ mod tests {
     use nw_core::ScoringScheme;
 
     fn tiny() -> SixteenSParams {
-        SixteenSParams { count: 12, root_len: 400, branch_divergence: 0.012, seed: 5 }
+        SixteenSParams {
+            count: 12,
+            root_len: 400,
+            branch_divergence: 0.012,
+            seed: 5,
+        }
     }
 
     #[test]
@@ -121,7 +125,11 @@ mod tests {
                 }
                 let aln = full.align(&seqs[i], &seqs[j]).unwrap();
                 // Related: identity well above random (~25%).
-                assert!(aln.identity() > 0.5, "pair ({i},{j}) identity {}", aln.identity());
+                assert!(
+                    aln.identity() > 0.5,
+                    "pair ({i},{j}) identity {}",
+                    aln.identity()
+                );
             }
         }
         assert_eq!(identical, 0, "no two leaves should be byte-identical");
@@ -154,7 +162,10 @@ mod tests {
 
     #[test]
     fn all_vs_all_pair_count() {
-        let p = SixteenSParams { count: 10, ..tiny() };
+        let p = SixteenSParams {
+            count: 10,
+            ..tiny()
+        };
         assert_eq!(p.all_vs_all_pairs(), 45);
     }
 

@@ -50,8 +50,11 @@ impl SyntheticPreset {
     }
 
     /// All three presets.
-    pub const ALL: [SyntheticPreset; 3] =
-        [SyntheticPreset::S1000, SyntheticPreset::S10000, SyntheticPreset::S30000];
+    pub const ALL: [SyntheticPreset; 3] = [
+        SyntheticPreset::S1000,
+        SyntheticPreset::S10000,
+        SyntheticPreset::S30000,
+    ];
 }
 
 /// Generation parameters.
@@ -71,7 +74,12 @@ impl SyntheticParams {
     /// Parameters for a preset (2 % divergence, the WFA generator default
     /// regime for "similar sequences").
     pub fn preset(p: SyntheticPreset, seed: u64) -> Self {
-        Self { read_len: p.read_len(), len_jitter: 0.02, error_rate: 0.02, seed }
+        Self {
+            read_len: p.read_len(),
+            len_jitter: 0.02,
+            error_rate: 0.02,
+            seed,
+        }
     }
 
     /// Generate `count` pairs.
@@ -82,8 +90,7 @@ impl SyntheticParams {
             .map(|_| {
                 let jitter = (self.read_len as f64 * self.len_jitter) as usize;
                 let len = if jitter > 0 {
-                    use rand::Rng;
-                    self.read_len - jitter + r.random_range(0..=2 * jitter)
+                    self.read_len - jitter + r.between(0, 2 * jitter as u64) as usize
                 } else {
                     self.read_len
                 };
@@ -95,7 +102,11 @@ impl SyntheticParams {
     }
 
     /// Generate a preset's pair list at the given scale.
-    pub fn generate_scaled(preset: SyntheticPreset, scale: Scale, seed: u64) -> Vec<(DnaSeq, DnaSeq)> {
+    pub fn generate_scaled(
+        preset: SyntheticPreset,
+        scale: Scale,
+        seed: u64,
+    ) -> Vec<(DnaSeq, DnaSeq)> {
         let count = scale.apply(preset.full_pairs()) as usize;
         Self::preset(preset, seed).generate(count)
     }
@@ -137,15 +148,19 @@ mod tests {
 
     #[test]
     fn scaled_generation_divides_counts() {
-        let pairs =
-            SyntheticParams::generate_scaled(SyntheticPreset::S10000, Scale(100_000), 1);
+        let pairs = SyntheticParams::generate_scaled(SyntheticPreset::S10000, Scale(100_000), 1);
         assert_eq!(pairs.len(), 10);
         assert!((9000..=11000).contains(&pairs[0].0.len()));
     }
 
     #[test]
     fn zero_jitter_is_exact_length() {
-        let p = SyntheticParams { read_len: 500, len_jitter: 0.0, error_rate: 0.0, seed: 1 };
+        let p = SyntheticParams {
+            read_len: 500,
+            len_jitter: 0.0,
+            error_rate: 0.0,
+            seed: 1,
+        };
         let pairs = p.generate(2);
         assert_eq!(pairs[0].0.len(), 500);
         assert_eq!(pairs[0].0, pairs[0].1);

@@ -59,7 +59,11 @@ impl CellCosts {
     /// Instructions for `cells` DP cells in the given mode, including the
     /// per-cell loop environment ([`CELL_ENV_INSTRUCTIONS`]).
     pub fn cells(&self, cells: u64, with_bt: bool) -> u64 {
-        let per = if with_bt { self.cell_with_bt } else { self.cell_score_only };
+        let per = if with_bt {
+            self.cell_with_bt
+        } else {
+            self.cell_score_only
+        };
         (cells as f64 * (per + CELL_ENV_INSTRUCTIONS)).round() as u64
     }
 

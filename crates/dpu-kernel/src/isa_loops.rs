@@ -18,7 +18,8 @@
 //! hard-coded factor.
 
 use crate::cost::KernelVariant;
-use pim_sim::isa::{assemble, Inst, Machine};
+use pim_sim::isa::{assemble, Inst, IsaError, Machine, Reg, VerifySpec};
+use pim_sim::sanitizer::WramShadow;
 
 /// WRAM offsets used by the measurement harness (one i32 per cell per
 /// array; 256 cells max keeps everything inside 16 KB).
@@ -265,7 +266,11 @@ loop:
     for idx in 0..4 {
         // Alternate the carry registers: the up-neighbour load of cell k
         // (h_prev[k+1]) is the left neighbour of cell k+1.
-        let (h_in, h_out) = if idx % 2 == 0 { ("r22", "r23") } else { ("r23", "r22") };
+        let (h_in, h_out) = if idx % 2 == 0 {
+            ("r22", "r23")
+        } else {
+            ("r23", "r22")
+        };
         body.push_str(&asm_cell(idx, with_bt, h_in, h_out));
     }
     body.push_str(
@@ -294,6 +299,59 @@ pub fn program(variant: KernelVariant, with_bt: bool) -> Vec<Inst> {
     assemble(&src).expect("inner loop must assemble")
 }
 
+/// The static-verification contract of an inner loop: which registers the
+/// harness initializes (with the [`measure`] base addresses, so the
+/// verifier can do constant propagation on them) and the WRAM frame the
+/// loop may touch.
+pub fn verify_spec(variant: KernelVariant) -> VerifySpec {
+    let r = |i: u8| Reg::new(i).expect("register index in range");
+    let mut spec = VerifySpec::new()
+        .frame(WRAM_LEN)
+        .input(r(1)) // remaining cells: caller-chosen
+        .input_value(r(9), A_SEQ as u32)
+        .input_value(r(10), B_SEQ as u32)
+        .input_value(r(11), BT_ROW as u32);
+    match variant {
+        KernelVariant::PureC => {
+            for (reg, base) in [
+                (2, H_PREV),
+                (3, H_PREV2),
+                (4, D_PREV),
+                (5, I_PREV),
+                (6, H_CUR),
+                (7, D_CUR),
+                (8, I_CUR),
+            ] {
+                spec = spec.input_value(r(reg), base as u32);
+            }
+        }
+        KernelVariant::Asm => {
+            spec = spec.input_value(r(2), 0); // scaled index k*4
+        }
+    }
+    spec
+}
+
+/// Every built-in kernel program with its name and verification contract —
+/// the worklist of `upmem-nw lint`.
+pub fn builtin_kernels() -> Vec<(String, Vec<Inst>, VerifySpec)> {
+    let mut out = Vec::new();
+    for variant in [KernelVariant::PureC, KernelVariant::Asm] {
+        for with_bt in [false, true] {
+            let name = format!(
+                "{}/{}",
+                match variant {
+                    KernelVariant::PureC => "pure_c",
+                    KernelVariant::Asm => "asm",
+                },
+                if with_bt { "traceback" } else { "score_only" }
+            );
+            out.push((name, program(variant, with_bt), verify_spec(variant)));
+        }
+    }
+    out
+}
+
 /// Result of interpreting an inner loop over `cells` cells.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoopMeasurement {
@@ -308,6 +366,24 @@ pub struct LoopMeasurement {
 /// Run the loop on representative data (~70 % matching bases, mixed H/D/I
 /// winners) and measure instructions per cell.
 pub fn measure(variant: KernelVariant, with_bt: bool) -> LoopMeasurement {
+    run_measurement(variant, with_bt, false).expect("inner loop must run to completion")
+}
+
+/// Like [`measure`], but with the runtime sanitizer attached: WRAM shadow
+/// memory flags any read the harness did not initialize, and ownership
+/// tracking would flag cross-tasklet races. Errors are sanitizer faults.
+pub fn measure_sanitized(
+    variant: KernelVariant,
+    with_bt: bool,
+) -> Result<LoopMeasurement, IsaError> {
+    run_measurement(variant, with_bt, true)
+}
+
+fn run_measurement(
+    variant: KernelVariant,
+    with_bt: bool,
+    sanitize: bool,
+) -> Result<LoopMeasurement, IsaError> {
     let cells = 192usize;
     assert!(cells <= MAX_CELLS);
     let prog = program(variant, with_bt);
@@ -323,9 +399,14 @@ pub fn measure(variant: KernelVariant, with_bt: bool) -> LoopMeasurement {
         write_i32(&mut wram, I_PREV + 4 * k, v - 4 - (k as i32 % 2));
     }
     // ~70% matches: a and b agree except every 3rd base.
-    for k in 0..cells.max(4) + 4 {
+    let seq_len = cells.max(4) + 4;
+    for k in 0..seq_len {
         wram[A_SEQ + k] = (k % 4) as u8;
-        wram[B_SEQ + k] = if k % 3 == 0 { ((k + 1) % 4) as u8 } else { (k % 4) as u8 };
+        wram[B_SEQ + k] = if k % 3 == 0 {
+            ((k + 1) % 4) as u8
+        } else {
+            (k % 4) as u8
+        };
     }
 
     let mut m = Machine::new();
@@ -350,14 +431,24 @@ pub fn measure(variant: KernelVariant, with_bt: bool) -> LoopMeasurement {
             m.regs[11] = BT_ROW as u32;
         }
     }
-    let stats = m
-        .run(&prog, &mut wram, 10_000_000)
-        .expect("inner loop must run to completion");
-    LoopMeasurement {
+    let stats = if sanitize {
+        // Unpoison exactly what the harness initialized; the sanitizer then
+        // proves the loop reads nothing else.
+        let mut shadow = WramShadow::new(WRAM_LEN);
+        for base in [H_PREV, H_PREV2, D_PREV, I_PREV] {
+            shadow.host_write(base, 4 * (cells + 1));
+        }
+        shadow.host_write(A_SEQ, seq_len);
+        shadow.host_write(B_SEQ, seq_len);
+        m.run_sanitized(&prog, &mut wram, 10_000_000, &mut shadow, 0)?
+    } else {
+        m.run(&prog, &mut wram, 10_000_000)?
+    };
+    Ok(LoopMeasurement {
         instr_per_cell: stats.instructions as f64 / cells as f64,
         total_instructions: stats.instructions,
         cells,
-    }
+    })
 }
 
 fn write_i32(buf: &mut [u8], off: usize, v: i32) {
@@ -373,6 +464,38 @@ mod tests {
         for v in [KernelVariant::PureC, KernelVariant::Asm] {
             for bt in [false, true] {
                 assert!(!program(v, bt).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn builtin_kernels_verify_clean() {
+        use pim_sim::isa::{error_count, verify_program};
+        let kernels = builtin_kernels();
+        assert_eq!(kernels.len(), 4);
+        for (name, prog, spec) in &kernels {
+            let diags = verify_program(prog, spec);
+            let errors: Vec<_> = diags.iter().filter(|d| d.is_error()).collect();
+            assert_eq!(error_count(&diags), 0, "{name}: {errors:?}");
+            // The loops are warning-free too: every read is dominated by a
+            // write or a declared input.
+            assert!(
+                !diags
+                    .iter()
+                    .any(|d| d.severity == pim_sim::isa::Severity::Warning),
+                "{name}: {diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sanitized_measurement_matches_plain() {
+        for variant in [KernelVariant::PureC, KernelVariant::Asm] {
+            for bt in [false, true] {
+                let plain = measure(variant, bt);
+                let sanitized = measure_sanitized(variant, bt)
+                    .unwrap_or_else(|e| panic!("{variant:?} bt={bt}: {e}"));
+                assert_eq!(plain, sanitized);
             }
         }
     }
@@ -402,11 +525,17 @@ mod tests {
         let c_so = measure(KernelVariant::PureC, false).instr_per_cell;
         let a_so = measure(KernelVariant::Asm, false).instr_per_cell;
         let ratio_so = c_so / a_so;
-        assert!((1.15..=1.75).contains(&ratio_so), "score-only ratio {ratio_so}");
+        assert!(
+            (1.15..=1.75).contains(&ratio_so),
+            "score-only ratio {ratio_so}"
+        );
 
         // The with-BT gain exceeds the score-only gain: the BT encoding is
         // where the fused-jump tricks pay most (the paper's 16S explanation).
-        assert!(ratio_bt > ratio_so, "bt {ratio_bt} vs score-only {ratio_so}");
+        assert!(
+            ratio_bt > ratio_so,
+            "bt {ratio_bt} vs score-only {ratio_so}"
+        );
     }
 
     #[test]
@@ -426,7 +555,11 @@ mod tests {
             }
             for k in 0..cells + 4 {
                 wram[A_SEQ + k] = (k % 4) as u8;
-                wram[B_SEQ + k] = if k % 3 == 0 { ((k + 1) % 4) as u8 } else { (k % 4) as u8 };
+                wram[B_SEQ + k] = if k % 3 == 0 {
+                    ((k + 1) % 4) as u8
+                } else {
+                    (k % 4) as u8
+                };
             }
             let mut m = Machine::new();
             m.regs[1] = cells as u32;
@@ -448,12 +581,14 @@ mod tests {
             // d_prev[0] = -17, i_prev[1] = -14... wait i uses k+1: v(1)=-9,
             // i_prev[1] = -9 - 4 - 1 = -14, h_prev[1] = -9.
             // a[0]=0, b[0]=1 -> mismatch (k%3==0), sub = -4.
+            // Keep the full max() shapes: they mirror the affine recurrence
+            // even where one arm is statically larger.
+            #[allow(clippy::unnecessary_min_or_max)]
             let d_val = (-17 - 2).max(-12 - 6); // -18
+            #[allow(clippy::unnecessary_min_or_max)]
             let i_val = (-14 - 2).max(-9 - 6); // -15
             let h_val = (-10 + (-4)).max(d_val).max(i_val); // -14
-            let read = |off: usize| {
-                i32::from_le_bytes(wram[off..off + 4].try_into().unwrap())
-            };
+            let read = |off: usize| i32::from_le_bytes(wram[off..off + 4].try_into().unwrap());
             assert_eq!(read(D_CUR), d_val, "{variant:?} d_cur[0]");
             assert_eq!(read(I_CUR), i_val, "{variant:?} i_cur[0]");
             assert_eq!(read(H_CUR), h_val, "{variant:?} h_cur[0]");

@@ -20,7 +20,9 @@
 //! the measured [`CellCosts`].
 
 use crate::cost::{CellCosts, KernelVariant};
-use crate::layout::{self, JobBatchBuilder, JobStatus, KernelParams, HEADER_BYTES, JOB_ENTRY_BYTES, OUT_HEADER_BYTES};
+use crate::layout::{
+    self, JobBatchBuilder, JobStatus, KernelParams, HEADER_BYTES, JOB_ENTRY_BYTES, OUT_HEADER_BYTES,
+};
 use nw_core::adaptive::Engine;
 use nw_core::cigar::CigarOp;
 use nw_core::seq::{Base, PackedSeq};
@@ -43,7 +45,10 @@ pub struct PoolConfig {
 
 impl Default for PoolConfig {
     fn default() -> Self {
-        Self { pools: 6, tasklets: 4 }
+        Self {
+            pools: 6,
+            tasklets: 4,
+        }
     }
 }
 
@@ -66,7 +71,10 @@ pub struct NwKernel {
 impl NwKernel {
     /// Build a kernel.
     pub fn new(pool_cfg: PoolConfig, variant: KernelVariant) -> Self {
-        assert!(pool_cfg.pools >= 1 && pool_cfg.tasklets >= 1, "need at least 1x1 tasklets");
+        assert!(
+            pool_cfg.pools >= 1 && pool_cfg.tasklets >= 1,
+            "need at least 1x1 tasklets"
+        );
         Self { pool_cfg, variant }
     }
 
@@ -152,7 +160,11 @@ impl Kernel for NwKernel {
             let _seq_windows = dpu.wram.alloc(2 * w, 8)?;
             let staging = dpu.wram.alloc(STAGING_BYTES, 8)?;
             let bt_row = dpu.wram.alloc(row_bytes.max(8), 8)?;
-            pools.push(PoolWram { staging, bt_row, bt_row_len: row_bytes.max(8) });
+            pools.push(PoolWram {
+                staging,
+                bt_row,
+                bt_row_len: row_bytes.max(8),
+            });
         }
 
         // --- Job loop: greedy least-loaded pool (shared queue). ---
@@ -167,7 +179,15 @@ impl Kernel for NwKernel {
                 .min_by_key(|(i, t)| (t.cycles, *i))
                 .map(|(i, _)| i)
                 .expect("at least one pool");
-            self.run_job(dpu, &header, &pools[pool_idx], &mut timelines[pool_idx], &costs, job_idx, pool_idx)?;
+            self.run_job(
+                dpu,
+                &header,
+                &pools[pool_idx],
+                &mut timelines[pool_idx],
+                &costs,
+                job_idx,
+                pool_idx,
+            )?;
         }
 
         dpu.record_timelines(&timelines);
@@ -194,7 +214,10 @@ impl NwKernel {
         let cfg = dpu.cfg;
 
         // --- Fetch the job descriptor. ---
-        let mut master = PhaseCost { instructions: costs.job_overhead, dma_cycles: 0 };
+        let mut master = PhaseCost {
+            instructions: costs.job_overhead,
+            dma_cycles: 0,
+        };
         let entry_off = header.jobs_off + job_idx * JOB_ENTRY_BYTES;
         dpu.mram_to_wram(&mut master, entry_off, pool.staging, JOB_ENTRY_BYTES)?;
         let entry = dpu.wram.slice(pool.staging, JOB_ENTRY_BYTES)?.to_vec();
@@ -248,7 +271,15 @@ impl NwKernel {
             Err(_) => self.write_output(dpu, pool, timeline, out_off, JobStatus::OutOfBand, 0, &[]),
             Ok(score) => {
                 if header.params.score_only {
-                    return self.write_output(dpu, pool, timeline, out_off, JobStatus::Ok, score, &[]);
+                    return self.write_output(
+                        dpu,
+                        pool,
+                        timeline,
+                        out_off,
+                        JobStatus::Ok,
+                        score,
+                        &[],
+                    );
                 }
                 // Traceback: walk the BT rows back from MRAM, one row cached.
                 let origins = engine.origins().to_vec();
@@ -290,7 +321,15 @@ impl NwKernel {
                     Err(_) => {
                         let cost = tb.cost;
                         timeline.sequential(&cfg, active, cost);
-                        self.write_output(dpu, pool, timeline, out_off, JobStatus::OutOfBand, 0, &[])
+                        self.write_output(
+                            dpu,
+                            pool,
+                            timeline,
+                            out_off,
+                            JobStatus::OutOfBand,
+                            0,
+                            &[],
+                        )
                     }
                     Ok(cigar) => {
                         let mut cost = tb.cost;
@@ -349,6 +388,7 @@ impl NwKernel {
     }
 
     /// Write a job's output record (header + CIGAR runs) through staging.
+    #[allow(clippy::too_many_arguments)] // mirrors the DPU-side call signature
     fn write_output(
         &self,
         dpu: &mut Dpu,
@@ -369,7 +409,10 @@ impl NwKernel {
         for (i, &r) in runs.iter().enumerate() {
             layout::write_u32(&mut record, OUT_HEADER_BYTES + 4 * i, r);
         }
-        let mut cost = PhaseCost { instructions: 8 + 2 * runs.len() as u64, dma_cycles: 0 };
+        let mut cost = PhaseCost {
+            instructions: 8 + 2 * runs.len() as u64,
+            dma_cycles: 0,
+        };
         let mut written = 0usize;
         while written < record.len() {
             let chunk = (record.len() - written).min(STAGING_BYTES);
@@ -440,7 +483,10 @@ mod tests {
     }
 
     fn params16() -> KernelParams {
-        KernelParams { band: 16, ..KernelParams::paper_default() }
+        KernelParams {
+            band: 16,
+            ..KernelParams::paper_default()
+        }
     }
 
     #[test]
@@ -450,7 +496,10 @@ mod tests {
         b_text.insert_str(40, "TTTT");
         b_text.remove(90);
         let b = seq(&b_text);
-        let params = KernelParams { band: 32, ..KernelParams::paper_default() };
+        let params = KernelParams {
+            band: 32,
+            ..KernelParams::paper_default()
+        };
         let kernel = NwKernel::paper_default();
         let (dpu, batch) = run_batch(&[(&a, &b)], params, &kernel);
         let results = batch.read_results(&dpu.mram).unwrap();
@@ -458,7 +507,9 @@ mod tests {
         let r = &results[0];
         assert_eq!(r.status, JobStatus::Ok);
 
-        let host = AdaptiveAligner::new(params.scheme, params.band).align(&a, &b).unwrap();
+        let host = AdaptiveAligner::new(params.scheme, params.band)
+            .align(&a, &b)
+            .unwrap();
         assert_eq!(r.score, host.score, "kernel and host scores agree");
         assert_eq!(r.cigar, host.cigar, "kernel and host CIGARs agree");
         r.cigar.validate(&a, &b).unwrap();
@@ -486,20 +537,28 @@ mod tests {
         }
         assert!(dpu.stats.cycles > 0);
         assert!(dpu.stats.instructions > 0);
-        assert!(dpu.stats.dma_write_bytes > 0, "BT rows + outputs were written");
+        assert!(
+            dpu.stats.dma_write_bytes > 0,
+            "BT rows + outputs were written"
+        );
     }
 
     #[test]
     fn score_only_mode_writes_no_cigar() {
         let a = seq(&"ACGTTGCA".repeat(10));
         let b = seq(&"ACGATGCA".repeat(10));
-        let params = KernelParams { score_only: true, ..params16() };
+        let params = KernelParams {
+            score_only: true,
+            ..params16()
+        };
         let kernel = NwKernel::paper_default();
         let (dpu, batch) = run_batch(&[(&a, &b)], params, &kernel);
         let r = &batch.read_results(&dpu.mram).unwrap()[0];
         assert_eq!(r.status, JobStatus::Ok);
         assert!(r.cigar.runs().is_empty());
-        let host = AdaptiveAligner::new(params.scheme, params.band).score(&a, &b).unwrap();
+        let host = AdaptiveAligner::new(params.scheme, params.band)
+            .score(&a, &b)
+            .unwrap();
         assert_eq!(r.score, host);
     }
 
@@ -509,7 +568,10 @@ mod tests {
         let b = a.clone();
         let kernel = NwKernel::paper_default();
         let (d_full, _) = run_batch(&[(&a, &b)], params16(), &kernel);
-        let so = KernelParams { score_only: true, ..params16() };
+        let so = KernelParams {
+            score_only: true,
+            ..params16()
+        };
         let (d_so, _) = run_batch(&[(&a, &b)], so, &kernel);
         assert!(
             d_so.stats.cycles < d_full.stats.cycles,
@@ -536,7 +598,9 @@ mod tests {
         let optimal = nw_core::full::FullAligner::affine(params16().scheme).score(&a, &b);
         assert!(r.score <= optimal);
         // And the kernel agrees with the host-side adaptive aligner exactly.
-        let host = AdaptiveAligner::new(params16().scheme, 16).align(&a, &b).unwrap();
+        let host = AdaptiveAligner::new(params16().scheme, 16)
+            .align(&a, &b)
+            .unwrap();
         assert_eq!(r.score, host.score);
         assert_eq!(r.cigar, host.cigar);
     }
@@ -560,7 +624,10 @@ mod tests {
         // refuse, mirroring the paper's constraint analysis.
         let a = seq("ACGTACGT");
         let mut builder = JobBatchBuilder::new(
-            KernelParams { band: 512, ..KernelParams::paper_default() },
+            KernelParams {
+                band: 512,
+                ..KernelParams::paper_default()
+            },
             6,
         );
         builder.add_pair(a.pack(), a.pack());
@@ -581,10 +648,22 @@ mod tests {
 
     #[test]
     fn too_many_tasklets_rejected() {
-        let kernel = NwKernel::new(PoolConfig { pools: 7, tasklets: 4 }, KernelVariant::Asm);
+        let kernel = NwKernel::new(
+            PoolConfig {
+                pools: 7,
+                tasklets: 4,
+            },
+            KernelVariant::Asm,
+        );
         let mut dpu = Dpu::new(DpuConfig::default());
         let err = kernel.run(&mut dpu).unwrap_err();
-        assert!(matches!(err, SimError::BadTasklet { tasklet: 28, max: 24 }));
+        assert!(matches!(
+            err,
+            SimError::BadTasklet {
+                tasklet: 28,
+                max: 24
+            }
+        ));
     }
 
     #[test]

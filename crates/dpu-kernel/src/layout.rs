@@ -62,7 +62,11 @@ pub struct KernelParams {
 impl KernelParams {
     /// The paper's DPU configuration: adaptive band 128, minimap2 scoring.
     pub fn paper_default() -> Self {
-        Self { band: 128, scheme: ScoringScheme::default(), score_only: false }
+        Self {
+            band: 128,
+            scheme: ScoringScheme::default(),
+            score_only: false,
+        }
     }
 }
 
@@ -209,7 +213,11 @@ impl JobBatch {
                     cigar.push_run(count, op);
                 }
             }
-            out.push(JobResult { status, score, cigar });
+            out.push(JobResult {
+                status,
+                score,
+                cigar,
+            });
         }
         Ok(out)
     }
@@ -231,9 +239,18 @@ impl JobBatchBuilder {
     /// Start a batch. `pools` is the number of tasklet pools the kernel will
     /// run (needed to size the per-pool `BT` scratch).
     pub fn new(params: KernelParams, pools: usize) -> Self {
-        assert!(params.band >= 16 && params.band % 16 == 0, "band must be a multiple of 16 (BT rows must be DMA-alignable)");
+        assert!(
+            params.band >= 16 && params.band.is_multiple_of(16),
+            "band must be a multiple of 16 (BT rows must be DMA-alignable)"
+        );
         assert!(pools >= 1, "at least one pool");
-        Self { params, pools, jobs: Vec::new(), arena: Vec::new(), footprint_limit: None }
+        Self {
+            params,
+            pools,
+            jobs: Vec::new(),
+            arena: Vec::new(),
+            footprint_limit: None,
+        }
     }
 
     /// Cap the batch footprint: everything this batch places in MRAM
@@ -414,7 +431,10 @@ mod tests {
     }
 
     fn params() -> KernelParams {
-        KernelParams { band: 16, ..KernelParams::paper_default() }
+        KernelParams {
+            band: 16,
+            ..KernelParams::paper_default()
+        }
     }
 
     #[test]
@@ -471,7 +491,11 @@ mod tests {
     #[test]
     fn score_only_reserves_no_bt() {
         let mut b = JobBatchBuilder::new(
-            KernelParams { score_only: true, band: 16, ..KernelParams::paper_default() },
+            KernelParams {
+                score_only: true,
+                band: 16,
+                ..KernelParams::paper_default()
+            },
             6,
         );
         b.add_pair(packed("ACGTACGT"), packed("ACGTACGT"));
@@ -482,7 +506,11 @@ mod tests {
 
     #[test]
     fn status_codes_round_trip() {
-        for s in [JobStatus::Ok, JobStatus::OutOfBand, JobStatus::CigarOverflow] {
+        for s in [
+            JobStatus::Ok,
+            JobStatus::OutOfBand,
+            JobStatus::CigarOverflow,
+        ] {
             assert_eq!(JobStatus::from_code(s.code()), Some(s));
         }
         assert_eq!(JobStatus::from_code(99), None);
@@ -492,7 +520,10 @@ mod tests {
     #[should_panic(expected = "multiple of 16")]
     fn band_must_be_dma_friendly() {
         JobBatchBuilder::new(
-            KernelParams { band: 20, ..KernelParams::paper_default() },
+            KernelParams {
+                band: 20,
+                ..KernelParams::paper_default()
+            },
             6,
         );
     }
@@ -531,12 +562,22 @@ mod tests {
     #[test]
     fn external_refs_point_outside_the_image() {
         let mut b = JobBatchBuilder::new(
-            KernelParams { score_only: true, band: 16, ..KernelParams::paper_default() },
+            KernelParams {
+                score_only: true,
+                band: 16,
+                ..KernelParams::paper_default()
+            },
             2,
         );
         let base = 32 << 20;
-        let r1 = SeqRef { off: base, len: 100 };
-        let r2 = SeqRef { off: base + 32, len: 100 };
+        let r1 = SeqRef {
+            off: base,
+            len: 100,
+        };
+        let r2 = SeqRef {
+            off: base + 32,
+            len: 100,
+        };
         b.add_pair_external(r1, r2);
         b.set_footprint_limit(base as usize);
         let batch = b.build(64 << 20).unwrap();
@@ -552,7 +593,13 @@ mod tests {
         b.add_pair(packed(&"ACGT".repeat(50)), packed(&"ACGT".repeat(50)));
         b.set_footprint_limit(1024);
         let err = b.build(64 << 20).unwrap_err();
-        assert!(matches!(err, SimError::MramOutOfBounds { mram_size: 1024, .. }));
+        assert!(matches!(
+            err,
+            SimError::MramOutOfBounds {
+                mram_size: 1024,
+                ..
+            }
+        ));
     }
 
     #[test]

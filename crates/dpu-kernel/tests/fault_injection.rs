@@ -13,7 +13,10 @@ fn seq(text: &str) -> DnaSeq {
 }
 
 fn params16() -> KernelParams {
-    KernelParams { band: 16, ..KernelParams::paper_default() }
+    KernelParams {
+        band: 16,
+        ..KernelParams::paper_default()
+    }
 }
 
 #[test]
@@ -47,7 +50,16 @@ fn truncated_sequence_descriptor_reads_zeros_not_garbage() {
     // deterministic all-A tail rather than faulting — and the result is
     // still a valid CIGAR for the *claimed* lengths.
     let mut builder = JobBatchBuilder::new(params16(), 6);
-    builder.add_pair_external(SeqRef { off: 1 << 20, len: 64 }, SeqRef { off: 2 << 20, len: 64 });
+    builder.add_pair_external(
+        SeqRef {
+            off: 1 << 20,
+            len: 64,
+        },
+        SeqRef {
+            off: 2 << 20,
+            len: 64,
+        },
+    );
     let mut dpu = Dpu::new(DpuConfig::default());
     let batch = builder.build(dpu.cfg.mram_size).unwrap();
     dpu.mram.host_write(0, &batch.image).unwrap();
@@ -62,17 +74,29 @@ fn truncated_sequence_descriptor_reads_zeros_not_garbage() {
 fn wram_exhaustion_reports_requested_bytes() {
     // 8 pools at band 384 need ~8 * 9 KiB of WRAM > the 64 KiB scratchpad.
     let mut builder = JobBatchBuilder::new(
-        KernelParams { band: 384, ..KernelParams::paper_default() },
+        KernelParams {
+            band: 384,
+            ..KernelParams::paper_default()
+        },
         8,
     );
     builder.add_pair(seq("ACGTACGT").pack(), seq("ACGTACGT").pack());
     let mut dpu = Dpu::new(DpuConfig::default());
     let batch = builder.build(dpu.cfg.mram_size).unwrap();
     dpu.mram.host_write(0, &batch.image).unwrap();
-    let kernel = NwKernel::new(PoolConfig { pools: 8, tasklets: 2 }, KernelVariant::Asm);
+    let kernel = NwKernel::new(
+        PoolConfig {
+            pools: 8,
+            tasklets: 2,
+        },
+        KernelVariant::Asm,
+    );
     let err = kernel.run(&mut dpu).unwrap_err();
     match err {
-        SimError::WramExhausted { requested, available } => {
+        SimError::WramExhausted {
+            requested,
+            available,
+        } => {
             assert!(requested > available);
         }
         other => panic!("expected WramExhausted, got {other}"),
@@ -84,7 +108,10 @@ fn tiny_mram_rejects_batches_at_build_time() {
     // The host-side builder is the first line of defence.
     let mut builder = JobBatchBuilder::new(params16(), 6);
     for _ in 0..4 {
-        builder.add_pair(seq(&"ACGT".repeat(64)).pack(), seq(&"ACGT".repeat(64)).pack());
+        builder.add_pair(
+            seq(&"ACGT".repeat(64)).pack(),
+            seq(&"ACGT".repeat(64)).pack(),
+        );
     }
     let err = builder.build(16 * 1024).unwrap_err();
     assert!(matches!(err, SimError::MramOutOfBounds { .. }));
@@ -115,7 +142,11 @@ fn score_only_and_cigar_kernels_agree_on_scores() {
     btext.insert_str(11, "GG");
     let b = seq(&btext);
     let run = |score_only: bool| -> i32 {
-        let params = KernelParams { band: 32, score_only, ..KernelParams::paper_default() };
+        let params = KernelParams {
+            band: 32,
+            score_only,
+            ..KernelParams::paper_default()
+        };
         let mut builder = JobBatchBuilder::new(params, 6);
         builder.add_pair(a.pack(), b.pack());
         let mut dpu = Dpu::new(DpuConfig::default());

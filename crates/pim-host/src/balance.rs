@@ -92,7 +92,9 @@ mod tests {
     fn lpt_beats_round_robin_on_skewed_loads() {
         // Heavy items land on the same bin under round-robin (indices
         // congruent mod 8), which LPT avoids by construction.
-        let w: Vec<u64> = (0..64).map(|i| if i % 8 == 0 { 1000 } else { 50 + i }).collect();
+        let w: Vec<u64> = (0..64)
+            .map(|i| if i % 8 == 0 { 1000 } else { 50 + i })
+            .collect();
         let lpt = bin_loads(&lpt_assign(&w, 8), &w);
         let rr = bin_loads(&round_robin_assign(w.len(), 8), &w);
         assert!(

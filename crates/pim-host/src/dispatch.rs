@@ -38,7 +38,12 @@ pub struct DispatchConfig {
 impl DispatchConfig {
     /// Paper-like defaults for a kernel + params.
     pub fn new(kernel: NwKernel, params: KernelParams) -> Self {
-        Self { kernel, params, rounds: 2, encode_rate: 2.0e9 }
+        Self {
+            kernel,
+            params,
+            rounds: 2,
+            encode_rate: 2.0e9,
+        }
     }
 }
 
@@ -112,7 +117,10 @@ pub fn plan_rank(
             builder.add_pair(jobs[i].0.clone(), jobs[i].1.clone());
             job_ids.push(ids[i]);
         }
-        plans.push(Some(DpuPlan { job_ids, batch: builder.build(mram_size)? }));
+        plans.push(Some(DpuPlan {
+            job_ids,
+            batch: builder.build(mram_size)?,
+        }));
     }
     Ok(RankPlan { dpus: plans })
 }
@@ -128,19 +136,35 @@ pub fn execute_rounds(
     let n_ranks = server.rank_count();
     let host_bw = server.cfg().host_bandwidth;
     let freq = server.cfg().dpu.freq_hz;
-    let mut out = DispatchOutcome { rank_seconds: vec![0.0; n_ranks], ..Default::default() };
+    let mut out = DispatchOutcome {
+        rank_seconds: vec![0.0; n_ranks],
+        ..Default::default()
+    };
     let mut dpu_busy = vec![0.0f64; n_ranks];
     let mut imbalances: Vec<f64> = Vec::new();
 
     for round in rounds {
         assert_eq!(round.len(), n_ranks, "one plan per rank per round");
         // Each rank executes its plan on its own thread.
-        type RankResult = Result<(usize, Vec<(usize, JobResult)>, f64, f64, u64, u64, AggregateStats, f64, u64), SimError>;
+        type RankResult = Result<
+            (
+                usize,
+                Vec<(usize, JobResult)>,
+                f64,
+                f64,
+                u64,
+                u64,
+                AggregateStats,
+                f64,
+                u64,
+            ),
+            SimError,
+        >;
         let ranks = server.ranks_mut();
-        let outcomes: Vec<RankResult> = crossbeam::thread::scope(|scope| {
+        let outcomes: Vec<RankResult> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n_ranks);
             for (r, (rank, plan)) in ranks.iter_mut().zip(round).enumerate() {
-                handles.push(scope.spawn(move |_| -> RankResult {
+                handles.push(scope.spawn(move || -> RankResult {
                     let mut bytes_in = 0u64;
                     let mut workload = 0u64;
                     let mut active = false;
@@ -153,7 +177,17 @@ pub fn execute_rounds(
                         }
                     }
                     if !active {
-                        return Ok((r, Vec::new(), 0.0, 0.0, 0, 0, AggregateStats::default(), 0.0, 0));
+                        return Ok((
+                            r,
+                            Vec::new(),
+                            0.0,
+                            0.0,
+                            0,
+                            0,
+                            AggregateStats::default(),
+                            0.0,
+                            0,
+                        ));
                     }
                     // Idle DPUs of an active rank still get a valid (empty)
                     // image: the launch is rank-granular (§2.1), so every
@@ -182,12 +216,24 @@ pub fn execute_rounds(
                     }
                     let barrier_s = run.barrier_cycles as f64 / freq;
                     let xfer_s = (bytes_in + bytes_out) as f64 / host_bw;
-                    Ok((r, results, barrier_s, xfer_s, bytes_in, bytes_out, run.stats, run.stats.imbalance(), workload))
+                    Ok((
+                        r,
+                        results,
+                        barrier_s,
+                        xfer_s,
+                        bytes_in,
+                        bytes_out,
+                        run.stats,
+                        run.stats.imbalance(),
+                        workload,
+                    ))
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
-        })
-        .expect("scope panicked");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        });
 
         for oc in outcomes {
             let (r, results, barrier_s, xfer_s, b_in, b_out, stats, imb, wl) = oc?;
@@ -247,7 +293,11 @@ pub fn group_jobs(workloads: &[u64], groups: usize) -> Vec<Vec<usize>> {
     for (pos, idx) in order.into_iter().enumerate() {
         let lap = pos / groups;
         let slot = pos % groups;
-        let g = if lap % 2 == 0 { slot } else { groups - 1 - slot };
+        let g = if lap.is_multiple_of(2) {
+            slot
+        } else {
+            groups - 1 - slot
+        };
         out[g].push(idx);
     }
     out
@@ -266,7 +316,11 @@ mod tests {
     }
 
     fn params() -> KernelParams {
-        KernelParams { band: 16, scheme: ScoringScheme::default(), score_only: false }
+        KernelParams {
+            band: 16,
+            scheme: ScoringScheme::default(),
+            score_only: false,
+        }
     }
 
     fn small_server(ranks: usize, dpus: usize) -> PimServer {
@@ -304,7 +358,13 @@ mod tests {
     #[test]
     fn execute_rounds_returns_every_result() {
         let mut server = small_server(2, 3);
-        let kernel = NwKernel::new(PoolConfig { pools: 2, tasklets: 4 }, KernelVariant::Asm);
+        let kernel = NwKernel::new(
+            PoolConfig {
+                pools: 2,
+                tasklets: 4,
+            },
+            KernelVariant::Asm,
+        );
         let jobs = packed_pairs(14);
         let ids: Vec<usize> = (0..14).collect();
         // Split jobs between the two ranks over two rounds.
@@ -340,7 +400,10 @@ mod tests {
         assert_eq!(sizes.iter().sum::<usize>(), 10);
         assert!(sizes.iter().all(|&s| (3..=4).contains(&s)));
         // Heaviest jobs spread across groups, not clumped in one.
-        let loads: Vec<u64> = groups.iter().map(|g| g.iter().map(|&i| w[i]).sum()).collect();
+        let loads: Vec<u64> = groups
+            .iter()
+            .map(|g| g.iter().map(|&i| w[i]).sum())
+            .collect();
         let max = *loads.iter().max().unwrap();
         let min = *loads.iter().min().unwrap();
         assert!(max - min <= 30, "loads {loads:?}");
@@ -349,8 +412,16 @@ mod tests {
     #[test]
     fn empty_round_is_ok() {
         let mut server = small_server(1, 2);
-        let kernel = NwKernel::new(PoolConfig { pools: 1, tasklets: 4 }, KernelVariant::Asm);
-        let plan = RankPlan { dpus: vec![None, None] };
+        let kernel = NwKernel::new(
+            PoolConfig {
+                pools: 1,
+                tasklets: 4,
+            },
+            KernelVariant::Asm,
+        );
+        let plan = RankPlan {
+            dpus: vec![None, None],
+        };
         let out = execute_rounds(&mut server, &kernel, vec![vec![plan]]).unwrap();
         assert!(out.results.is_empty());
         assert_eq!(out.dpu_seconds, 0.0);

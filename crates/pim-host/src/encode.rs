@@ -6,8 +6,8 @@
 //! a negligible fraction on long-read datasets.
 
 use nw_core::error::AlignError;
-use nw_core::seq::{Base, DnaSeq, NPolicy, PackedSeq};
 use nw_core::rng::SplitMix64;
+use nw_core::seq::{Base, DnaSeq, NPolicy, PackedSeq};
 
 /// Encoding statistics (feeds the transfer/encode cost model).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -47,12 +47,18 @@ pub struct Encoder {
 impl Encoder {
     /// Encoder with the paper's `N` policy (random substitution).
     pub fn new(seed: u64) -> Self {
-        Self { policy: NPolicy::RandomSubstitute { seed }, stats: EncodeStats::default() }
+        Self {
+            policy: NPolicy::RandomSubstitute { seed },
+            stats: EncodeStats::default(),
+        }
     }
 
     /// Encoder with an explicit policy.
     pub fn with_policy(policy: NPolicy) -> Self {
-        Self { policy, stats: EncodeStats::default() }
+        Self {
+            policy,
+            stats: EncodeStats::default(),
+        }
     }
 
     /// Statistics so far.
@@ -69,13 +75,10 @@ impl Encoder {
             let code = match Base::from_ascii(byte) {
                 Some(b) => b.code(),
                 None if matches!(byte, b'N' | b'n') => match self.policy {
-                    NPolicy::Reject => {
-                        return Err(AlignError::InvalidBase { position: i, byte })
-                    }
+                    NPolicy::Reject => return Err(AlignError::InvalidBase { position: i, byte }),
                     NPolicy::RandomSubstitute { seed } => {
                         self.stats.n_substituted += 1;
-                        let mut rng =
-                            SplitMix64::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+                        let mut rng = SplitMix64::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
                         rng.below(4) as u8
                     }
                     NPolicy::FixedSubstitute(b) => {
@@ -149,9 +152,24 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let mut a = EncodeStats { ascii_bytes: 4, packed_bytes: 1, n_substituted: 0 };
-        a.merge(&EncodeStats { ascii_bytes: 8, packed_bytes: 2, n_substituted: 3 });
-        assert_eq!(a, EncodeStats { ascii_bytes: 12, packed_bytes: 3, n_substituted: 3 });
+        let mut a = EncodeStats {
+            ascii_bytes: 4,
+            packed_bytes: 1,
+            n_substituted: 0,
+        };
+        a.merge(&EncodeStats {
+            ascii_bytes: 8,
+            packed_bytes: 2,
+            n_substituted: 3,
+        });
+        assert_eq!(
+            a,
+            EncodeStats {
+                ascii_bytes: 12,
+                packed_bytes: 3,
+                n_substituted: 3
+            }
+        );
         assert_eq!(EncodeStats::default().ratio(), 0.0);
     }
 }

@@ -97,14 +97,12 @@ pub fn align_pairs_hetero(
     }
 
     // PiM share.
-    let pim_pairs_vec: Vec<(DnaSeq, DnaSeq)> =
-        pim_ids.iter().map(|&i| pairs[i].clone()).collect();
+    let pim_pairs_vec: Vec<(DnaSeq, DnaSeq)> = pim_ids.iter().map(|&i| pairs[i].clone()).collect();
     let (pim_report, pim_results) = align_pairs(server, &cfg.dispatch, &pim_pairs_vec)?;
     let pim_seconds = pim_report.total_seconds();
 
     // CPU share (measured for real on this machine).
-    let cpu_pairs_vec: Vec<(DnaSeq, DnaSeq)> =
-        cpu_ids.iter().map(|&i| pairs[i].clone()).collect();
+    let cpu_pairs_vec: Vec<(DnaSeq, DnaSeq)> = cpu_ids.iter().map(|&i| pairs[i].clone()).collect();
     let cpu = CpuBaseline::new(cfg.dispatch.params.scheme, cfg.cpu_band, cfg.cpu_threads);
     let cpu_outcome = cpu.align_all(&cpu_pairs_vec);
 
@@ -115,11 +113,21 @@ pub fn align_pairs_hetero(
     }
     for (&id, result) in cpu_ids.iter().zip(cpu_outcome.results) {
         slots[id] = Some(match result {
-            Ok(aln) => JobResult { status: JobStatus::Ok, score: aln.score, cigar: aln.cigar },
-            Err(AlignError::OutOfBand { .. }) => {
-                JobResult { status: JobStatus::OutOfBand, score: 0, cigar: Cigar::new() }
-            }
-            Err(_) => JobResult { status: JobStatus::OutOfBand, score: 0, cigar: Cigar::new() },
+            Ok(aln) => JobResult {
+                status: JobStatus::Ok,
+                score: aln.score,
+                cigar: aln.cigar,
+            },
+            Err(AlignError::OutOfBand { .. }) => JobResult {
+                status: JobStatus::OutOfBand,
+                score: 0,
+                cigar: Cigar::new(),
+            },
+            Err(_) => JobResult {
+                status: JobStatus::OutOfBand,
+                score: 0,
+                cigar: Cigar::new(),
+            },
         });
     }
     Ok(HeteroOutcome {
@@ -161,7 +169,11 @@ mod tests {
     }
 
     fn config() -> HeteroConfig {
-        let params = KernelParams { band: 32, scheme: ScoringScheme::default(), score_only: false };
+        let params = KernelParams {
+            band: 32,
+            scheme: ScoringScheme::default(),
+            score_only: false,
+        };
         HeteroConfig {
             dispatch: DispatchConfig::new(NwKernel::paper_default(), params),
             cpu_threads: 2,

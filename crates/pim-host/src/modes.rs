@@ -87,9 +87,12 @@ pub fn all_vs_all(
     for s in seqs {
         let packed = encoder.encode_seq(s);
         let off = arena_base + arena_bytes.len();
-        refs.push(SeqRef { off: off as u32, len: packed.len() as u32 });
+        refs.push(SeqRef {
+            off: off as u32,
+            len: packed.len() as u32,
+        });
         arena_bytes.extend_from_slice(packed.as_bytes());
-        while arena_bytes.len() % 8 != 0 {
+        while !arena_bytes.len().is_multiple_of(8) {
             arena_bytes.push(0);
         }
     }
@@ -131,7 +134,10 @@ pub fn all_vs_all(
                 builder.add_pair_external(refs[i], refs[j]);
                 job_ids.push(lo + offset);
             }
-            rank_plan.dpus.push(Some(DpuPlan { job_ids, batch: builder.build(mram)? }));
+            rank_plan.dpus.push(Some(DpuPlan {
+                job_ids,
+                batch: builder.build(mram)?,
+            }));
         }
         plans.push(rank_plan);
     }
@@ -221,7 +227,10 @@ pub fn align_sets(
                     }
                 }
             }
-            rank_plan.dpus.push(Some(DpuPlan { job_ids, batch: builder.build(mram)? }));
+            rank_plan.dpus.push(Some(DpuPlan {
+                job_ids,
+                batch: builder.build(mram)?,
+            }));
         }
         plans.push(rank_plan);
     }
@@ -300,8 +309,18 @@ mod tests {
     }
 
     fn config() -> DispatchConfig {
-        let kernel = NwKernel::new(PoolConfig { pools: 2, tasklets: 4 }, KernelVariant::Asm);
-        let params = KernelParams { band: 16, scheme: ScoringScheme::default(), score_only: false };
+        let kernel = NwKernel::new(
+            PoolConfig {
+                pools: 2,
+                tasklets: 4,
+            },
+            KernelVariant::Asm,
+        );
+        let params = KernelParams {
+            band: 16,
+            scheme: ScoringScheme::default(),
+            score_only: false,
+        };
         DispatchConfig::new(kernel, params)
     }
 
@@ -341,7 +360,7 @@ mod tests {
         let seqs: Vec<DnaSeq> = (0..6)
             .map(|k| {
                 let mut t = "ACGTGGTCAT".repeat(5);
-                t.insert_str(k + 2, "T");
+                t.insert(k + 2, 'T');
                 seq(&t)
             })
             .collect();
@@ -404,7 +423,7 @@ mod tests {
         let seqs: Vec<DnaSeq> = (0..12)
             .map(|k| {
                 let mut t = "ACGTGGTCAT".repeat(24);
-                t.insert_str(k, "C");
+                t.insert(k, 'C');
                 seq(&t)
             })
             .collect();

@@ -1,98 +1,143 @@
-//! Property tests for the host-side machinery: balancing invariants,
+//! Randomized tests for the host-side machinery: balancing invariants,
 //! grouping coverage, and encode/pack agreement under arbitrary inputs.
+//! Cases come from a seeded [`SplitMix64`] stream.
 
+use nw_core::rng::SplitMix64;
 use nw_core::seq::{Base, DnaSeq};
 use pim_host::balance::{bin_loads, imbalance, lpt_assign, round_robin_assign, workload};
 use pim_host::dispatch::group_jobs;
 use pim_host::encode::Encoder;
-use proptest::prelude::*;
 
-fn arb_workloads() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(1u64..100_000, 0..200)
+fn rand_workloads(rng: &mut SplitMix64, max_items: u64) -> Vec<u64> {
+    (0..rng.below(max_items))
+        .map(|_| rng.between(1, 99_999))
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn lpt_partitions_exactly(w in arb_workloads(), bins in 1usize..40) {
+const TRIALS: usize = 100;
+
+#[test]
+fn lpt_partitions_exactly() {
+    let mut rng = SplitMix64::new(21);
+    for _ in 0..TRIALS {
+        let w = rand_workloads(&mut rng, 200);
+        let bins = rng.between(1, 39) as usize;
         let asg = lpt_assign(&w, bins);
-        prop_assert_eq!(asg.len(), bins);
+        assert_eq!(asg.len(), bins);
         let mut seen = vec![0u8; w.len()];
         for bin in &asg {
             for &i in bin {
                 seen[i] += 1;
             }
         }
-        prop_assert!(seen.iter().all(|&c| c == 1), "every item exactly once");
+        assert!(seen.iter().all(|&c| c == 1), "every item exactly once");
         // Total load is conserved.
         let loads = bin_loads(&asg, &w);
-        prop_assert_eq!(loads.iter().sum::<u64>(), w.iter().sum::<u64>());
+        assert_eq!(loads.iter().sum::<u64>(), w.iter().sum::<u64>());
     }
+}
 
-    #[test]
-    fn lpt_makespan_never_exceeds_round_robin(w in arb_workloads(), bins in 1usize..32) {
+#[test]
+fn lpt_makespan_never_exceeds_round_robin() {
+    let mut rng = SplitMix64::new(22);
+    for _ in 0..TRIALS {
+        let w = rand_workloads(&mut rng, 200);
+        let bins = rng.between(1, 31) as usize;
         // LPT's greedy is provably within 4/3 of optimal; round-robin has no
         // guarantee. LPT's makespan must never be *worse* than round-robin's
-        // by more than the largest item (loose but universal bound), and its
-        // imbalance should not exceed round-robin's on sorted-heavy inputs.
+        // by more than the largest item (loose but universal bound).
         let lpt = bin_loads(&lpt_assign(&w, bins), &w);
         let rr = bin_loads(&round_robin_assign(w.len(), bins), &w);
         let lpt_max = lpt.iter().copied().max().unwrap_or(0);
         let rr_max = rr.iter().copied().max().unwrap_or(0);
         let biggest = w.iter().copied().max().unwrap_or(0);
-        prop_assert!(lpt_max <= rr_max + biggest);
+        assert!(lpt_max <= rr_max + biggest);
     }
+}
 
-    #[test]
-    fn lpt_respects_four_thirds_bound(w in arb_workloads(), bins in 1usize..16) {
-        prop_assume!(!w.is_empty());
+#[test]
+fn lpt_respects_four_thirds_bound() {
+    let mut rng = SplitMix64::new(23);
+    for _ in 0..TRIALS {
+        let mut w = rand_workloads(&mut rng, 200);
+        if w.is_empty() {
+            w.push(rng.between(1, 99_999));
+        }
+        let bins = rng.between(1, 15) as usize;
         let loads = bin_loads(&lpt_assign(&w, bins), &w);
         let makespan = *loads.iter().max().unwrap() as f64;
         let total: u64 = w.iter().sum();
         let lower = (total as f64 / bins as f64).max(*w.iter().max().unwrap() as f64);
-        prop_assert!(makespan <= lower * 4.0 / 3.0 + 1.0, "makespan {makespan} lower {lower}");
+        assert!(
+            makespan <= lower * 4.0 / 3.0 + 1.0,
+            "makespan {makespan} lower {lower}"
+        );
     }
+}
 
-    #[test]
-    fn group_jobs_covers_and_balances_counts(w in arb_workloads(), groups in 1usize..20) {
+#[test]
+fn group_jobs_covers_and_balances_counts() {
+    let mut rng = SplitMix64::new(24);
+    for _ in 0..TRIALS {
+        let w = rand_workloads(&mut rng, 200);
+        let groups = rng.between(1, 19) as usize;
         let gs = group_jobs(&w, groups);
-        prop_assert_eq!(gs.len(), groups);
+        assert_eq!(gs.len(), groups);
         let mut seen = vec![false; w.len()];
         for g in &gs {
             for &i in g {
-                prop_assert!(!seen[i]);
+                assert!(!seen[i]);
                 seen[i] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s));
         // Serpentine dealing keeps group sizes within 1 of each other.
         let sizes: Vec<usize> = gs.iter().map(Vec::len).collect();
         let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
-        prop_assert!(max - min <= 1, "sizes {sizes:?}");
+        assert!(max - min <= 1, "sizes {sizes:?}");
     }
+}
 
-    #[test]
-    fn imbalance_is_scale_invariant(w in prop::collection::vec(1u64..1000, 1..50), k in 2u64..10) {
+#[test]
+fn imbalance_is_scale_invariant() {
+    let mut rng = SplitMix64::new(25);
+    for _ in 0..TRIALS {
+        let w: Vec<u64> = (0..rng.between(1, 49))
+            .map(|_| rng.between(1, 999))
+            .collect();
+        let k = rng.between(2, 9);
         let bins = 4;
         let base = bin_loads(&lpt_assign(&w, bins), &w);
         let scaled: Vec<u64> = w.iter().map(|&x| x * k).collect();
         let big = bin_loads(&lpt_assign(&scaled, bins), &scaled);
-        prop_assert!((imbalance(&base) - imbalance(&big)).abs() < 1e-9);
+        assert!((imbalance(&base) - imbalance(&big)).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn workload_is_monotone(m in 0usize..10_000, n in 0usize..10_000, w in 1usize..512) {
-        prop_assert!(workload(m + 1, n, w) >= workload(m, n, w));
-        prop_assert!(workload(m, n + 1, w) >= workload(m, n, w));
-        prop_assert_eq!(workload(m, n, w), workload(n, m, w));
+#[test]
+fn workload_is_monotone() {
+    let mut rng = SplitMix64::new(26);
+    for _ in 0..TRIALS {
+        let m = rng.below(10_000) as usize;
+        let n = rng.below(10_000) as usize;
+        let w = rng.between(1, 511) as usize;
+        assert!(workload(m + 1, n, w) >= workload(m, n, w));
+        assert!(workload(m, n + 1, w) >= workload(m, n, w));
+        assert_eq!(workload(m, n, w), workload(n, m, w));
     }
+}
 
-    #[test]
-    fn encoder_matches_pack_on_arbitrary_sequences(codes in prop::collection::vec(0u8..4, 0..500)) {
-        let seq: DnaSeq = codes.iter().map(|&c| Base::from_code(c)).collect();
+#[test]
+fn encoder_matches_pack_on_arbitrary_sequences() {
+    let mut rng = SplitMix64::new(27);
+    for _ in 0..TRIALS {
+        let seq: DnaSeq = (0..rng.below(500))
+            .map(|_| Base::from_code(rng.below(4) as u8))
+            .collect();
         let ascii = seq.to_ascii();
         let mut enc = Encoder::new(0);
         let direct = enc.encode_ascii(&ascii).unwrap();
-        prop_assert_eq!(direct, seq.pack());
-        prop_assert_eq!(enc.stats().ascii_bytes, ascii.len() as u64);
+        assert_eq!(direct, seq.pack());
+        assert_eq!(enc.stats().ascii_bytes, ascii.len() as u64);
     }
 }

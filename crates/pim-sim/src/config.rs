@@ -61,14 +61,22 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     /// The paper's full server: 20 DIMMs = 40 ranks = 2560 DPUs.
     fn default() -> Self {
-        Self { ranks: 40, dpus_per_rank: 64, dpu: DpuConfig::default(), host_bandwidth: 60.0e9 }
+        Self {
+            ranks: 40,
+            dpus_per_rank: 64,
+            dpu: DpuConfig::default(),
+            host_bandwidth: 60.0e9,
+        }
     }
 }
 
 impl ServerConfig {
     /// A server with the given number of ranks and default everything else.
     pub fn with_ranks(ranks: usize) -> Self {
-        Self { ranks, ..Self::default() }
+        Self {
+            ranks,
+            ..Self::default()
+        }
     }
 
     /// Total DPU count.

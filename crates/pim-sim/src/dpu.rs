@@ -12,6 +12,7 @@ use crate::config::DpuConfig;
 use crate::error::SimError;
 use crate::memory::{Mram, Wram};
 use crate::pipeline::{phase_cycles, PhaseCost};
+use crate::sanitizer::WramShadow;
 use crate::stats::DpuStats;
 use crate::Cycles;
 
@@ -26,6 +27,10 @@ pub struct Dpu {
     pub mram: Mram,
     /// Counters for the last (or current) execution.
     pub stats: DpuStats,
+    /// Optional runtime sanitizer shadow over the scratchpad. When present,
+    /// DMA transfers into WRAM unpoison their target bytes and DMA
+    /// transfers out require their source bytes to be initialized.
+    pub shadow: Option<WramShadow>,
 }
 
 /// A kernel program loadable onto DPUs. One binary is broadcast to every DPU
@@ -44,8 +49,14 @@ impl Dpu {
             wram: Wram::new(cfg.wram_size),
             mram: Mram::new(cfg.mram_size),
             stats: DpuStats::default(),
+            shadow: None,
             cfg,
         }
+    }
+
+    /// Turn on the runtime sanitizer: a fully-poisoned shadow over WRAM.
+    pub fn enable_sanitizer(&mut self) {
+        self.shadow = Some(WramShadow::new(self.cfg.wram_size));
     }
 
     /// Prepare for a new launch: clear the scratchpad and counters. MRAM
@@ -53,6 +64,9 @@ impl Dpu {
     pub fn reset_for_launch(&mut self) {
         self.wram.reset();
         self.stats = DpuStats::default();
+        if let Some(shadow) = &mut self.shadow {
+            *shadow = WramShadow::new(self.cfg.wram_size);
+        }
     }
 
     /// DMA transfer MRAM -> WRAM issued by a tasklet: moves the bytes,
@@ -64,8 +78,15 @@ impl Dpu {
         wram_off: usize,
         len: usize,
     ) -> Result<(), SimError> {
+        // The DMA engine requires 8-byte alignment on the WRAM side too.
+        if !wram_off.is_multiple_of(8) {
+            return Err(SimError::DmaMisaligned { offset: wram_off });
+        }
         let dst = self.wram.slice_mut(wram_off, len)?;
         self.mram.dma_read(mram_off, dst)?;
+        if let Some(shadow) = &mut self.shadow {
+            shadow.host_write(wram_off, len);
+        }
         cost.instructions += 1; // the ldma instruction
         cost.dma_cycles += self.cfg.dma_cycles(len);
         self.stats.dma_read_bytes += len as u64;
@@ -81,8 +102,14 @@ impl Dpu {
         mram_off: usize,
         len: usize,
     ) -> Result<(), SimError> {
+        if !wram_off.is_multiple_of(8) {
+            return Err(SimError::DmaMisaligned { offset: wram_off });
+        }
         // Disjoint field borrows: WRAM is the source, MRAM the destination.
         let src = self.wram.slice(wram_off, len)?;
+        if let Some(shadow) = &self.shadow {
+            shadow.host_read(wram_off, len)?;
+        }
         self.mram.dma_write(mram_off, src)?;
         cost.instructions += 1; // the sdma instruction
         cost.dma_cycles += self.cfg.dma_cycles(len);
@@ -182,25 +209,74 @@ mod tests {
         // Misaligned MRAM offset.
         let err = d.mram_to_wram(&mut cost, 3, w_off, 16).unwrap_err();
         assert!(matches!(err, SimError::DmaMisaligned { .. }));
-        // WRAM out of bounds.
-        let err = d.mram_to_wram(&mut cost, 0, d.cfg.wram_size - 4, 16).unwrap_err();
+        // WRAM out of bounds (8-aligned so the alignment rule passes).
+        let err = d
+            .mram_to_wram(&mut cost, 0, d.cfg.wram_size - 8, 16)
+            .unwrap_err();
         assert!(matches!(err, SimError::WramOutOfBounds { .. }));
         // Failed transfers charge nothing.
         assert!(cost.is_idle());
     }
 
     #[test]
+    fn wram_side_dma_must_be_8_aligned() {
+        let mut d = dpu();
+        d.mram.host_write(0, &[1u8; 16]).unwrap();
+        let mut cost = PhaseCost::default();
+        // Misaligned WRAM destination.
+        let err = d.mram_to_wram(&mut cost, 0, 4, 16).unwrap_err();
+        assert!(matches!(err, SimError::DmaMisaligned { offset: 4 }));
+        // Misaligned WRAM source.
+        let err = d.wram_to_mram(&mut cost, 12, 0, 16).unwrap_err();
+        assert!(matches!(err, SimError::DmaMisaligned { offset: 12 }));
+        assert!(cost.is_idle());
+    }
+
+    #[test]
+    fn sanitizer_tracks_dma_initialization() {
+        let mut d = dpu();
+        d.enable_sanitizer();
+        d.mram.host_write(0, &[3u8; 16]).unwrap();
+        let mut cost = PhaseCost::default();
+        // Writing uninitialized WRAM back to MRAM is caught...
+        let err = d.wram_to_mram(&mut cost, 0, 128, 16).unwrap_err();
+        assert!(matches!(err, SimError::Isa(_)), "{err}");
+        // ...but DMA'ing data in first unpoisons the bytes.
+        d.mram_to_wram(&mut cost, 0, 0, 16).unwrap();
+        d.wram_to_mram(&mut cost, 0, 128, 16).unwrap();
+        let shadow = d.shadow.as_ref().unwrap();
+        assert!(shadow.is_initialized(0, 16));
+        assert_eq!(shadow.stats.bytes_host_initialized, 16);
+        // A launch reset re-poisons everything.
+        d.reset_for_launch();
+        assert!(!d.shadow.as_ref().unwrap().is_initialized(0, 1));
+    }
+
+    #[test]
     fn timeline_phases_accumulate() {
         let cfg = DpuConfig::default();
         let mut t = Timeline::default();
-        let mut costs = vec![PhaseCost { instructions: 100, dma_cycles: 0 }; 4];
+        let mut costs = vec![
+            PhaseCost {
+                instructions: 100,
+                dma_cycles: 0
+            };
+            4
+        ];
         t.finish_phase(&cfg, 24, &mut costs);
         assert_eq!(t.cycles, 2400);
         assert_eq!(t.instructions, 400);
         assert_eq!(t.phases, 1);
         // Costs are reset by the barrier.
         assert!(costs.iter().all(|c| c.is_idle()));
-        t.sequential(&cfg, 24, PhaseCost { instructions: 10, dma_cycles: 5 });
+        t.sequential(
+            &cfg,
+            24,
+            PhaseCost {
+                instructions: 10,
+                dma_cycles: 5,
+            },
+        );
         assert_eq!(t.phases, 2);
         assert_eq!(t.cycles, 2400 + 10 * 24 + 5);
     }
@@ -208,8 +284,16 @@ mod tests {
     #[test]
     fn record_timelines_takes_the_slowest_pool() {
         let mut d = dpu();
-        let t1 = Timeline { cycles: 1000, instructions: 500, ..Default::default() };
-        let t2 = Timeline { cycles: 1500, instructions: 700, ..Default::default() };
+        let t1 = Timeline {
+            cycles: 1000,
+            instructions: 500,
+            ..Default::default()
+        };
+        let t2 = Timeline {
+            cycles: 1500,
+            instructions: 700,
+            ..Default::default()
+        };
         d.record_timelines(&[t1, t2]);
         assert_eq!(d.stats.cycles, 1500);
         assert_eq!(d.stats.instructions, 1200);

@@ -74,11 +74,19 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::WramOutOfBounds { offset, len, wram_size } => write!(
+            SimError::WramOutOfBounds {
+                offset,
+                len,
+                wram_size,
+            } => write!(
                 f,
                 "WRAM access [{offset}, {offset}+{len}) outside {wram_size}-byte scratchpad"
             ),
-            SimError::MramOutOfBounds { offset, len, mram_size } => write!(
+            SimError::MramOutOfBounds {
+                offset,
+                len,
+                mram_size,
+            } => write!(
                 f,
                 "MRAM access [{offset}, {offset}+{len}) outside {mram_size}-byte bank"
             ),
@@ -88,8 +96,14 @@ impl fmt::Display for SimError {
             SimError::DmaMisaligned { offset } => {
                 write!(f, "DMA MRAM offset {offset} not 8-byte aligned")
             }
-            SimError::WramExhausted { requested, available } => {
-                write!(f, "WRAM allocator: requested {requested} bytes, {available} available")
+            SimError::WramExhausted {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "WRAM allocator: requested {requested} bytes, {available} available"
+                )
             }
             SimError::BadTasklet { tasklet, max } => {
                 write!(f, "tasklet {tasklet} out of range (DPU has {max})")
@@ -121,10 +135,17 @@ mod tests {
     fn messages_mention_key_fields() {
         let e = SimError::DmaBadSize { len: 3 };
         assert!(e.to_string().contains('3'));
-        let e = SimError::WramExhausted { requested: 100, available: 10 };
+        let e = SimError::WramExhausted {
+            requested: 100,
+            available: 10,
+        };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("10"));
-        let e = SimError::BadTopology { what: "rank", index: 41, max: 40 };
+        let e = SimError::BadTopology {
+            what: "rank",
+            index: 41,
+            max: 40,
+        };
         assert!(e.to_string().contains("rank"));
     }
 }

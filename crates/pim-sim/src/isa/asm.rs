@@ -40,7 +40,10 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Assemble a program; labels may be used before definition.
@@ -100,13 +103,17 @@ pub fn assemble(source: &str) -> Result<Vec<Inst>, AsmError> {
     // Validate fused/jump targets now that program length is known.
     for (idx, inst) in program.iter().enumerate() {
         let target = match inst {
-            Inst::Alu { fuse: Some((_, t)), .. } => Some(*t),
+            Inst::Alu {
+                fuse: Some((_, t)), ..
+            } => Some(*t),
             Inst::Jmp { target } => Some(*target),
             Inst::Jcc { target, .. } => Some(*target),
             _ => None,
         };
         if let Some(t) = target {
-            if t > program.len() {
+            // `>=`: a label on the line *after* the last instruction resolves
+            // to `program.len()`, which the interpreter faults on.
+            if t >= program.len() {
                 return Err(err(lines[idx].0, format!("target {t} beyond program end")));
             }
         }
@@ -133,7 +140,8 @@ fn parse_operand(line: usize, s: &str) -> Result<Operand, AsmError> {
     } else if let Some(hex) = s.strip_prefix("-0x") {
         -i64::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad immediate {s:?}")))?
     } else {
-        s.parse::<i64>().map_err(|_| err(line, format!("bad immediate {s:?}")))?
+        s.parse::<i64>()
+            .map_err(|_| err(line, format!("bad immediate {s:?}")))?
     };
     if v < i32::MIN as i64 || v > u32::MAX as i64 {
         return Err(err(line, format!("immediate {s} out of 32-bit range")));
@@ -186,7 +194,13 @@ fn parse_inst(
         if args.len() == n || args.len() == also {
             Ok(())
         } else {
-            Err(err(line, format!("{mnemonic}: expected {n} (or {also}) operands, got {}", args.len())))
+            Err(err(
+                line,
+                format!(
+                    "{mnemonic}: expected {n} (or {also}) operands, got {}",
+                    args.len()
+                ),
+            ))
         }
     };
     // A fused jump is written as a final "<cond> <label>" operand, e.g.
@@ -202,16 +216,36 @@ fn parse_inst(
         let rd = parse_reg(line, args[0])?;
         let ra = parse_reg(line, args[1])?;
         let b = parse_operand(line, args[2])?;
-        let fuse = if args.len() == 4 { Some(parse_fuse_arg(args[3])?) } else { None };
-        return Ok(Inst::Alu { op, rd, ra, b, fuse });
+        let fuse = if args.len() == 4 {
+            Some(parse_fuse_arg(args[3])?)
+        } else {
+            None
+        };
+        return Ok(Inst::Alu {
+            op,
+            rd,
+            ra,
+            b,
+            fuse,
+        });
     }
     match mnemonic {
         "move" => {
             need(2, 3)?;
             let rd = parse_reg(line, args[0])?;
             let b = parse_operand(line, args[1])?;
-            let fuse = if args.len() == 3 { Some(parse_fuse_arg(args[2])?) } else { None };
-            Ok(Inst::Alu { op: AluOp::Move, rd, ra: Reg(0), b, fuse })
+            let fuse = if args.len() == 3 {
+                Some(parse_fuse_arg(args[2])?)
+            } else {
+                None
+            };
+            Ok(Inst::Alu {
+                op: AluOp::Move,
+                rd,
+                ra: Reg(0),
+                b,
+                fuse,
+            })
         }
         "lw" | "lbu" => {
             need(3, 3)?;
@@ -237,7 +271,9 @@ fn parse_inst(
         }
         "jmp" => {
             need(1, 1)?;
-            Ok(Inst::Jmp { target: lookup(line, args[0])? })
+            Ok(Inst::Jmp {
+                target: lookup(line, args[0])?,
+            })
         }
         "jeq" | "jne" | "jlt" | "jle" | "jgt" | "jge" => {
             need(3, 3)?;
@@ -251,7 +287,12 @@ fn parse_inst(
             };
             let ra = parse_reg(line, args[0])?;
             let b = parse_operand(line, args[1])?;
-            Ok(Inst::Jcc { cond, ra, b, target: lookup(line, args[2])? })
+            Ok(Inst::Jcc {
+                cond,
+                ra,
+                b,
+                target: lookup(line, args[2])?,
+            })
         }
         "halt" => {
             need(0, 0)?;

@@ -256,7 +256,10 @@ mod tests {
     #[test]
     fn max_is_signed() {
         assert_eq!(alu_eval(AluOp::Max, (-5i32) as u32, 3), 3);
-        assert_eq!(alu_eval(AluOp::Max, (-5i32) as u32, (-9i32) as u32), (-5i32) as u32);
+        assert_eq!(
+            alu_eval(AluOp::Max, (-5i32) as u32, (-9i32) as u32),
+            (-5i32) as u32
+        );
     }
 
     #[test]
@@ -265,7 +268,10 @@ mod tests {
         let b = u32::from_le_bytes([1, 9, 3, 7]);
         let r = alu_eval(AluOp::Cmpb4, a, b);
         assert_eq!(r.to_le_bytes(), [1, 0, 1, 0]);
-        assert_eq!(alu_eval(AluOp::Cmpb4, a, a), u32::from_le_bytes([1, 1, 1, 1]));
+        assert_eq!(
+            alu_eval(AluOp::Cmpb4, a, a),
+            u32::from_le_bytes([1, 1, 1, 1])
+        );
         assert_eq!(alu_eval(AluOp::Cmpb4, a, !a), 0);
     }
 

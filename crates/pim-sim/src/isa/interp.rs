@@ -34,24 +34,86 @@ pub enum IsaError {
         /// The configured limit.
         limit: u64,
     },
+    /// Sanitizer: a load touched WRAM bytes nothing ever wrote.
+    UninitializedRead {
+        /// Byte address of the access.
+        addr: usize,
+        /// Access width in bytes.
+        len: usize,
+    },
+    /// Sanitizer: two tasklets touched the same WRAM byte with no barrier
+    /// between them (an unsynchronized cross-tasklet access).
+    DataRace {
+        /// The racing byte address.
+        addr: usize,
+        /// Tasklet performing this access.
+        tasklet: u8,
+        /// Tasklet that owned the byte.
+        owner: u8,
+    },
 }
 
 impl fmt::Display for IsaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IsaError::MemOutOfBounds { addr, len, size } => {
-                write!(f, "memory access [{addr}, {addr}+{len}) outside {size}-byte WRAM")
+                write!(
+                    f,
+                    "memory access [{addr}, {addr}+{len}) outside {size}-byte WRAM"
+                )
             }
             IsaError::Misaligned { addr } => write!(f, "unaligned word access at {addr}"),
             IsaError::BadTarget { target, len } => {
-                write!(f, "jump target {target} outside program of {len} instructions")
+                write!(
+                    f,
+                    "jump target {target} outside program of {len} instructions"
+                )
             }
             IsaError::MaxSteps { limit } => write!(f, "exceeded step limit {limit}"),
+            IsaError::UninitializedRead { addr, len } => {
+                write!(
+                    f,
+                    "sanitizer: read of uninitialized WRAM [{addr}, {addr}+{len})"
+                )
+            }
+            IsaError::DataRace {
+                addr,
+                tasklet,
+                owner,
+            } => {
+                write!(
+                    f,
+                    "sanitizer: tasklet {tasklet} touched WRAM byte {addr} owned by \
+                     tasklet {owner} with no barrier in between"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for IsaError {}
+
+/// Observer for WRAM traffic during interpretation. The sanitizer implements
+/// this to track byte-level initialization and per-tasklet ownership; the
+/// no-op `()` impl keeps the plain [`Machine::run`] path free of overhead
+/// (both are monomorphized).
+pub trait WramWatch {
+    /// Called before a load of `len` bytes at `addr` (bounds already checked).
+    fn on_read(&mut self, addr: usize, len: usize) -> Result<(), IsaError>;
+    /// Called before a store of `len` bytes at `addr` (bounds already checked).
+    fn on_write(&mut self, addr: usize, len: usize) -> Result<(), IsaError>;
+}
+
+impl WramWatch for () {
+    #[inline]
+    fn on_read(&mut self, _addr: usize, _len: usize) -> Result<(), IsaError> {
+        Ok(())
+    }
+    #[inline]
+    fn on_write(&mut self, _addr: usize, _len: usize) -> Result<(), IsaError> {
+        Ok(())
+    }
+}
 
 /// Execution statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -82,7 +144,10 @@ impl Default for Machine {
 impl Machine {
     /// Zeroed machine.
     pub fn new() -> Self {
-        Self { regs: [0; NUM_REGS], pc: 0 }
+        Self {
+            regs: [0; NUM_REGS],
+            pc: 0,
+        }
     }
 
     /// Read register.
@@ -112,10 +177,26 @@ impl Machine {
         wram: &mut [u8],
         max_steps: u64,
     ) -> Result<RunStats, IsaError> {
+        self.run_watched(program, wram, max_steps, &mut ())
+    }
+
+    /// Like [`Machine::run`], but reports every WRAM access to `watch`
+    /// before performing it. A watch error aborts execution at the faulting
+    /// instruction. This is the entry point the runtime sanitizer uses.
+    pub fn run_watched<W: WramWatch>(
+        &mut self,
+        program: &[Inst],
+        wram: &mut [u8],
+        max_steps: u64,
+        watch: &mut W,
+    ) -> Result<RunStats, IsaError> {
         let mut stats = RunStats::default();
         let check_target = |t: usize| -> Result<usize, IsaError> {
             if t >= program.len() {
-                Err(IsaError::BadTarget { target: t, len: program.len() })
+                Err(IsaError::BadTarget {
+                    target: t,
+                    len: program.len(),
+                })
             } else {
                 Ok(t)
             }
@@ -124,13 +205,20 @@ impl Machine {
             if stats.instructions >= max_steps {
                 return Err(IsaError::MaxSteps { limit: max_steps });
             }
-            let inst = *program
-                .get(self.pc)
-                .ok_or(IsaError::BadTarget { target: self.pc, len: program.len() })?;
+            let inst = *program.get(self.pc).ok_or(IsaError::BadTarget {
+                target: self.pc,
+                len: program.len(),
+            })?;
             stats.instructions += 1;
             match inst {
                 Inst::Halt => return Ok(stats),
-                Inst::Alu { op, rd, ra, b, fuse } => {
+                Inst::Alu {
+                    op,
+                    rd,
+                    ra,
+                    b,
+                    fuse,
+                } => {
                     let result = alu_eval(op, self.reg(ra), self.operand(b));
                     self.set_reg(rd, result);
                     match fuse {
@@ -146,6 +234,7 @@ impl Machine {
                     if addr % 4 != 0 {
                         return Err(IsaError::Misaligned { addr });
                     }
+                    watch.on_read(addr, 4)?;
                     let v = u32::from_le_bytes(wram[addr..addr + 4].try_into().expect("4 bytes"));
                     self.set_reg(rd, v);
                     stats.mem_ops += 1;
@@ -156,18 +245,21 @@ impl Machine {
                     if addr % 4 != 0 {
                         return Err(IsaError::Misaligned { addr });
                     }
+                    watch.on_write(addr, 4)?;
                     wram[addr..addr + 4].copy_from_slice(&self.reg(rs).to_le_bytes());
                     stats.mem_ops += 1;
                     self.pc += 1;
                 }
                 Inst::Lbu { rd, base, off } => {
                     let addr = self.addr(base, off, 1, wram.len())?;
+                    watch.on_read(addr, 1)?;
                     self.set_reg(rd, wram[addr] as u32);
                     stats.mem_ops += 1;
                     self.pc += 1;
                 }
                 Inst::Sb { rs, base, off } => {
                     let addr = self.addr(base, off, 1, wram.len())?;
+                    watch.on_write(addr, 1)?;
                     wram[addr] = self.reg(rs) as u8;
                     stats.mem_ops += 1;
                     self.pc += 1;
@@ -176,7 +268,12 @@ impl Machine {
                     stats.taken_jumps += 1;
                     self.pc = check_target(target)?;
                 }
-                Inst::Jcc { cond, ra, b, target } => {
+                Inst::Jcc {
+                    cond,
+                    ra,
+                    b,
+                    target,
+                } => {
                     let a = self.reg(ra) as i32;
                     let bv = self.operand(b) as i32;
                     if cond.holds(a, bv) {
@@ -211,8 +308,20 @@ mod tests {
     #[test]
     fn straight_line_add() {
         let prog = [
-            Inst::Alu { op: AluOp::Move, rd: r(1), ra: r(0), b: Operand::Imm(40), fuse: None },
-            Inst::Alu { op: AluOp::Add, rd: r(1), ra: r(1), b: Operand::Imm(2), fuse: None },
+            Inst::Alu {
+                op: AluOp::Move,
+                rd: r(1),
+                ra: r(0),
+                b: Operand::Imm(40),
+                fuse: None,
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: r(1),
+                ra: r(1),
+                b: Operand::Imm(2),
+                fuse: None,
+            },
             Inst::Halt,
         ];
         let mut m = Machine::new();
@@ -227,8 +336,20 @@ mod tests {
         // r1 = 10; loop { r1 -= 1 } while r1 != 0; — 1 instruction per
         // iteration thanks to the fused jump.
         let prog = [
-            Inst::Alu { op: AluOp::Move, rd: r(1), ra: r(0), b: Operand::Imm(10), fuse: None },
-            Inst::Alu { op: AluOp::Sub, rd: r(1), ra: r(1), b: Operand::Imm(1), fuse: Some((FuseCond::Nz, 1)) },
+            Inst::Alu {
+                op: AluOp::Move,
+                rd: r(1),
+                ra: r(0),
+                b: Operand::Imm(10),
+                fuse: None,
+            },
+            Inst::Alu {
+                op: AluOp::Sub,
+                rd: r(1),
+                ra: r(1),
+                b: Operand::Imm(1),
+                fuse: Some((FuseCond::Nz, 1)),
+            },
             Inst::Halt,
         ];
         let mut m = Machine::new();
@@ -243,9 +364,26 @@ mod tests {
     fn unfused_loop_needs_an_extra_compare() {
         // Same loop without fusion: sub + jcc per iteration.
         let prog = [
-            Inst::Alu { op: AluOp::Move, rd: r(1), ra: r(0), b: Operand::Imm(10), fuse: None },
-            Inst::Alu { op: AluOp::Sub, rd: r(1), ra: r(1), b: Operand::Imm(1), fuse: None },
-            Inst::Jcc { cond: JumpCond::Ne, ra: r(1), b: Operand::Imm(0), target: 1 },
+            Inst::Alu {
+                op: AluOp::Move,
+                rd: r(1),
+                ra: r(0),
+                b: Operand::Imm(10),
+                fuse: None,
+            },
+            Inst::Alu {
+                op: AluOp::Sub,
+                rd: r(1),
+                ra: r(1),
+                b: Operand::Imm(1),
+                fuse: None,
+            },
+            Inst::Jcc {
+                cond: JumpCond::Ne,
+                ra: r(1),
+                b: Operand::Imm(0),
+                target: 1,
+            },
             Inst::Halt,
         ];
         let mut m = Machine::new();
@@ -258,10 +396,28 @@ mod tests {
     #[test]
     fn memory_round_trip() {
         let prog = [
-            Inst::Alu { op: AluOp::Move, rd: r(2), ra: r(0), b: Operand::Imm(0x1234), fuse: None },
-            Inst::Sw { rs: r(2), base: r(0), off: 8 },
-            Inst::Lw { rd: r(3), base: r(0), off: 8 },
-            Inst::Lbu { rd: r(4), base: r(0), off: 8 },
+            Inst::Alu {
+                op: AluOp::Move,
+                rd: r(2),
+                ra: r(0),
+                b: Operand::Imm(0x1234),
+                fuse: None,
+            },
+            Inst::Sw {
+                rs: r(2),
+                base: r(0),
+                off: 8,
+            },
+            Inst::Lw {
+                rd: r(3),
+                base: r(0),
+                off: 8,
+            },
+            Inst::Lbu {
+                rd: r(4),
+                base: r(0),
+                off: 8,
+            },
             Inst::Halt,
         ];
         let mut wram = vec![0u8; 16];
@@ -276,20 +432,46 @@ mod tests {
     fn faults_are_reported() {
         let mut m = Machine::new();
         // Out-of-bounds store.
-        let prog = [Inst::Sw { rs: r(0), base: r(0), off: 100 }, Inst::Halt];
-        assert!(matches!(m.run(&prog, &mut [0u8; 8], 10), Err(IsaError::MemOutOfBounds { .. })));
+        let prog = [
+            Inst::Sw {
+                rs: r(0),
+                base: r(0),
+                off: 100,
+            },
+            Inst::Halt,
+        ];
+        assert!(matches!(
+            m.run(&prog, &mut [0u8; 8], 10),
+            Err(IsaError::MemOutOfBounds { .. })
+        ));
         // Misaligned word.
         let mut m = Machine::new();
-        let prog = [Inst::Lw { rd: r(1), base: r(0), off: 2 }, Inst::Halt];
-        assert!(matches!(m.run(&prog, &mut [0u8; 8], 10), Err(IsaError::Misaligned { addr: 2 })));
+        let prog = [
+            Inst::Lw {
+                rd: r(1),
+                base: r(0),
+                off: 2,
+            },
+            Inst::Halt,
+        ];
+        assert!(matches!(
+            m.run(&prog, &mut [0u8; 8], 10),
+            Err(IsaError::Misaligned { addr: 2 })
+        ));
         // Runaway loop.
         let mut m = Machine::new();
         let prog = [Inst::Jmp { target: 0 }];
-        assert!(matches!(m.run(&prog, &mut [], 1000), Err(IsaError::MaxSteps { limit: 1000 })));
+        assert!(matches!(
+            m.run(&prog, &mut [], 1000),
+            Err(IsaError::MaxSteps { limit: 1000 })
+        ));
         // Bad target.
         let mut m = Machine::new();
         let prog = [Inst::Jmp { target: 7 }];
-        assert!(matches!(m.run(&prog, &mut [], 10), Err(IsaError::BadTarget { .. })));
+        assert!(matches!(
+            m.run(&prog, &mut [], 10),
+            Err(IsaError::BadTarget { .. })
+        ));
     }
 
     #[test]
@@ -300,21 +482,81 @@ mod tests {
         let b = u32::from_le_bytes(*b"ACCT");
         let prog = [
             // r1 = cmpb4(a, b)
-            Inst::Alu { op: AluOp::Move, rd: r(2), ra: r(0), b: Operand::Imm(a as i32), fuse: None },
-            Inst::Alu { op: AluOp::Cmpb4, rd: r(1), ra: r(2), b: Operand::Imm(b as i32), fuse: None },
+            Inst::Alu {
+                op: AluOp::Move,
+                rd: r(2),
+                ra: r(0),
+                b: Operand::Imm(a as i32),
+                fuse: None,
+            },
+            Inst::Alu {
+                op: AluOp::Cmpb4,
+                rd: r(1),
+                ra: r(2),
+                b: Operand::Imm(b as i32),
+                fuse: None,
+            },
             // count matches in r3 by shifting out bytes, fused parity jumps.
             // byte 0
-            Inst::Alu { op: AluOp::And, rd: r(4), ra: r(1), b: Operand::Imm(1), fuse: Some((FuseCond::Z, 4)) },
-            Inst::Alu { op: AluOp::Add, rd: r(3), ra: r(3), b: Operand::Imm(1), fuse: None },
+            Inst::Alu {
+                op: AluOp::And,
+                rd: r(4),
+                ra: r(1),
+                b: Operand::Imm(1),
+                fuse: Some((FuseCond::Z, 4)),
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: r(3),
+                ra: r(3),
+                b: Operand::Imm(1),
+                fuse: None,
+            },
             // byte 1
-            Inst::Alu { op: AluOp::Lsr, rd: r(1), ra: r(1), b: Operand::Imm(8), fuse: Some((FuseCond::Even, 6)) },
-            Inst::Alu { op: AluOp::Add, rd: r(3), ra: r(3), b: Operand::Imm(1), fuse: None },
+            Inst::Alu {
+                op: AluOp::Lsr,
+                rd: r(1),
+                ra: r(1),
+                b: Operand::Imm(8),
+                fuse: Some((FuseCond::Even, 6)),
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: r(3),
+                ra: r(3),
+                b: Operand::Imm(1),
+                fuse: None,
+            },
             // byte 2
-            Inst::Alu { op: AluOp::Lsr, rd: r(1), ra: r(1), b: Operand::Imm(8), fuse: Some((FuseCond::Even, 8)) },
-            Inst::Alu { op: AluOp::Add, rd: r(3), ra: r(3), b: Operand::Imm(1), fuse: None },
+            Inst::Alu {
+                op: AluOp::Lsr,
+                rd: r(1),
+                ra: r(1),
+                b: Operand::Imm(8),
+                fuse: Some((FuseCond::Even, 8)),
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: r(3),
+                ra: r(3),
+                b: Operand::Imm(1),
+                fuse: None,
+            },
             // byte 3
-            Inst::Alu { op: AluOp::Lsr, rd: r(1), ra: r(1), b: Operand::Imm(8), fuse: Some((FuseCond::Even, 10)) },
-            Inst::Alu { op: AluOp::Add, rd: r(3), ra: r(3), b: Operand::Imm(1), fuse: None },
+            Inst::Alu {
+                op: AluOp::Lsr,
+                rd: r(1),
+                ra: r(1),
+                b: Operand::Imm(8),
+                fuse: Some((FuseCond::Even, 10)),
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: r(3),
+                ra: r(3),
+                b: Operand::Imm(1),
+                fuse: None,
+            },
             Inst::Halt,
         ];
         let mut m = Machine::new();

@@ -18,7 +18,9 @@
 mod asm;
 mod inst;
 mod interp;
+pub mod verify;
 
 pub use asm::{assemble, AsmError};
 pub use inst::{AluOp, FuseCond, Inst, JumpCond, Operand, Reg, NUM_REGS};
-pub use interp::{IsaError, Machine, RunStats};
+pub use interp::{IsaError, Machine, RunStats, WramWatch};
+pub use verify::{error_count, verify as verify_program, Diagnostic, Rule, Severity, VerifySpec};

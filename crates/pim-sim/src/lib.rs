@@ -26,6 +26,9 @@
 //!   and interpreter used to *measure* instructions/cell for the Table 7
 //!   kernels instead of guessing constants.
 //! * **Power** — the component-level power model of §5.6 (Falevoz–Legriel).
+//! * **Verification** — a static lint pass over assembled ISA programs
+//!   ([`isa::verify`]) and an opt-in runtime WRAM sanitizer with shadow
+//!   memory and cross-tasklet race detection ([`sanitizer`]).
 
 pub mod config;
 pub mod dpu;
@@ -35,6 +38,7 @@ pub mod memory;
 pub mod pipeline;
 pub mod power;
 pub mod rank;
+pub mod sanitizer;
 pub mod server;
 pub mod stats;
 
@@ -44,8 +48,9 @@ pub use error::SimError;
 pub use memory::{Mram, Wram};
 pub use pipeline::{phase_cycles, PhaseCost};
 pub use rank::Rank;
+pub use sanitizer::WramShadow;
 pub use server::PimServer;
-pub use stats::DpuStats;
+pub use stats::{DpuStats, SanitizerStats};
 
 /// Cycle counter type.
 pub type Cycles = u64;

@@ -45,7 +45,10 @@ pub struct Wram {
 impl Wram {
     /// A zeroed scratchpad of `size` bytes.
     pub fn new(size: usize) -> Self {
-        Self { data: vec![0; size], brk: 0 }
+        Self {
+            data: vec![0; size],
+            brk: 0,
+        }
     }
 
     /// Scratchpad capacity.
@@ -122,8 +125,15 @@ impl Wram {
     }
 
     fn check(&self, offset: usize, len: usize) -> Result<(), SimError> {
-        if offset.checked_add(len).is_none_or(|end| end > self.data.len()) {
-            return Err(SimError::WramOutOfBounds { offset, len, wram_size: self.data.len() });
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.data.len())
+        {
+            return Err(SimError::WramOutOfBounds {
+                offset,
+                len,
+                wram_size: self.data.len(),
+            });
         }
         Ok(())
     }
@@ -139,7 +149,10 @@ pub struct Mram {
 impl Mram {
     /// An MRAM bank of `size` logical bytes (zero committed).
     pub fn new(size: usize) -> Self {
-        Self { data: Vec::new(), size }
+        Self {
+            data: Vec::new(),
+            size,
+        }
     }
 
     /// Logical bank size.
@@ -154,7 +167,11 @@ impl Mram {
 
     fn check(&self, offset: usize, len: usize) -> Result<(), SimError> {
         if offset.checked_add(len).is_none_or(|end| end > self.size) {
-            return Err(SimError::MramOutOfBounds { offset, len, mram_size: self.size });
+            return Err(SimError::MramOutOfBounds {
+                offset,
+                len,
+                mram_size: self.size,
+            });
         }
         Ok(())
     }
@@ -187,10 +204,10 @@ impl Mram {
 
     /// Validate the DMA rules for a transfer touching `[offset, offset+len)`.
     pub fn check_dma(&self, offset: usize, len: usize) -> Result<(), SimError> {
-        if len < 8 || len > 2048 || len % 8 != 0 {
+        if !(8..=2048).contains(&len) || !len.is_multiple_of(8) {
             return Err(SimError::DmaBadSize { len });
         }
-        if offset % 8 != 0 {
+        if !offset.is_multiple_of(8) {
             return Err(SimError::DmaMisaligned { offset });
         }
         self.check(offset, len)
@@ -257,9 +274,15 @@ mod tests {
     #[test]
     fn wram_bounds_checked() {
         let w = Wram::new(16);
-        assert!(matches!(w.read_i32(13), Err(SimError::WramOutOfBounds { .. })));
+        assert!(matches!(
+            w.read_i32(13),
+            Err(SimError::WramOutOfBounds { .. })
+        ));
         assert!(w.read_i32(12).is_ok());
-        assert!(matches!(w.slice(8, 9), Err(SimError::WramOutOfBounds { .. })));
+        assert!(matches!(
+            w.slice(8, 9),
+            Err(SimError::WramOutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -295,17 +318,62 @@ mod tests {
         let mut m = Mram::new(4096);
         let mut buf8 = [0u8; 8];
         // Size not multiple of 8.
-        assert!(matches!(m.dma_read(0, &mut [0u8; 12]), Err(SimError::DmaBadSize { len: 12 })));
+        assert!(matches!(
+            m.dma_read(0, &mut [0u8; 12]),
+            Err(SimError::DmaBadSize { len: 12 })
+        ));
         // Too small / too large.
-        assert!(matches!(m.dma_read(0, &mut [0u8; 4]), Err(SimError::DmaBadSize { .. })));
-        assert!(matches!(m.dma_read(0, &mut [0u8; 4096]), Err(SimError::DmaBadSize { .. })));
+        assert!(matches!(
+            m.dma_read(0, &mut [0u8; 4]),
+            Err(SimError::DmaBadSize { .. })
+        ));
+        assert!(matches!(
+            m.dma_read(0, &mut [0u8; 4096]),
+            Err(SimError::DmaBadSize { .. })
+        ));
         // Misaligned offset.
-        assert!(matches!(m.dma_read(4, &mut buf8), Err(SimError::DmaMisaligned { offset: 4 })));
+        assert!(matches!(
+            m.dma_read(4, &mut buf8),
+            Err(SimError::DmaMisaligned { offset: 4 })
+        ));
         // A legal transfer round-trips.
         m.dma_write(8, &[9u8; 16]).unwrap();
         let mut out = [0u8; 16];
         m.dma_read(8, &mut out).unwrap();
         assert_eq!(out, [9u8; 16]);
+    }
+
+    #[test]
+    fn dma_size_boundaries() {
+        let mut m = Mram::new(1 << 20);
+        // Zero-length transfers are rejected, not silently ignored.
+        assert!(matches!(
+            m.dma_read(0, &mut []),
+            Err(SimError::DmaBadSize { len: 0 })
+        ));
+        assert!(matches!(
+            m.dma_write(0, &[]),
+            Err(SimError::DmaBadSize { len: 0 })
+        ));
+        // One step past the 2048-byte engine limit.
+        assert!(matches!(
+            m.dma_read(0, &mut [0u8; 2056]),
+            Err(SimError::DmaBadSize { len: 2056 })
+        ));
+        assert!(matches!(
+            m.dma_write(0, &[0u8; 2056]),
+            Err(SimError::DmaBadSize { len: 2056 })
+        ));
+        // 2047 is under the limit but not a multiple of 8.
+        assert!(matches!(
+            m.dma_write(0, &[0u8; 2047]),
+            Err(SimError::DmaBadSize { len: 2047 })
+        ));
+        // The exact boundaries are legal.
+        m.dma_write(0, &[1u8; 2048]).unwrap();
+        m.dma_write(0, &[1u8; 8]).unwrap();
+        let mut buf = [0u8; 2048];
+        m.dma_read(0, &mut buf).unwrap();
     }
 
     #[test]

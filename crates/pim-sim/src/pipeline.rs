@@ -76,8 +76,20 @@ pub fn phase_cycles(cfg: &DpuConfig, active_total: usize, costs: &[PhaseCost]) -
 
 /// Convenience: duration of a phase where `tasklets` tasklets each execute
 /// `instr_each` instructions and `dma_each` DMA cycles.
-pub fn uniform_phase(cfg: &DpuConfig, active_total: usize, tasklets: usize, instr_each: u64, dma_each: Cycles) -> Cycles {
-    let costs = vec![PhaseCost { instructions: instr_each, dma_cycles: dma_each }; tasklets];
+pub fn uniform_phase(
+    cfg: &DpuConfig,
+    active_total: usize,
+    tasklets: usize,
+    instr_each: u64,
+    dma_each: Cycles,
+) -> Cycles {
+    let costs = vec![
+        PhaseCost {
+            instructions: instr_each,
+            dma_cycles: dma_each
+        };
+        tasklets
+    ];
     phase_cycles(cfg, active_total, &costs)
 }
 
@@ -92,14 +104,27 @@ mod tests {
     #[test]
     fn single_tasklet_pays_the_reentry_restriction() {
         // 1 tasklet, 100 instructions: one instruction per 11 cycles.
-        let c = phase_cycles(&cfg(), 1, &[PhaseCost { instructions: 100, dma_cycles: 0 }]);
+        let c = phase_cycles(
+            &cfg(),
+            1,
+            &[PhaseCost {
+                instructions: 100,
+                dma_cycles: 0,
+            }],
+        );
         assert_eq!(c, 1100);
     }
 
     #[test]
     fn eleven_tasklets_reach_peak_ipc() {
         // 11 tasklets x 100 instructions: 1100 instructions at 1 IPC.
-        let costs = vec![PhaseCost { instructions: 100, dma_cycles: 0 }; 11];
+        let costs = vec![
+            PhaseCost {
+                instructions: 100,
+                dma_cycles: 0
+            };
+            11
+        ];
         let c = phase_cycles(&cfg(), 11, &costs);
         assert_eq!(c, 1100);
         // Utilization = 1100/1100 = 1.0: peak.
@@ -109,7 +134,13 @@ mod tests {
     fn more_tasklets_same_total_time_when_work_fixed_per_tasklet_scales() {
         // 22 tasklets x 100 instructions: issue interval 22, each tasklet
         // takes 2200 cycles; total 2200 instructions at 1 IPC = 2200 cycles.
-        let costs = vec![PhaseCost { instructions: 100, dma_cycles: 0 }; 22];
+        let costs = vec![
+            PhaseCost {
+                instructions: 100,
+                dma_cycles: 0
+            };
+            22
+        ];
         assert_eq!(phase_cycles(&cfg(), 22, &costs), 2200);
     }
 
@@ -118,7 +149,13 @@ mod tests {
         // 4 tasklets x 100 instructions: each issues every 11 cycles ->
         // 1100 cycles for 400 instructions (IPC 0.36, the paper's reason a
         // pure 8-tasklet-per-alignment scheme is not enough).
-        let costs = vec![PhaseCost { instructions: 100, dma_cycles: 0 }; 4];
+        let costs = vec![
+            PhaseCost {
+                instructions: 100,
+                dma_cycles: 0
+            };
+            4
+        ];
         let c = phase_cycles(&cfg(), 4, &costs);
         assert_eq!(c, 1100);
     }
@@ -127,8 +164,17 @@ mod tests {
     fn dma_blocks_only_its_tasklet() {
         // One tasklet does a long DMA; ten others compute. The phase is
         // bounded by compute, not compute+DMA, as long as DMA < compute.
-        let mut costs = vec![PhaseCost { instructions: 200, dma_cycles: 0 }; 10];
-        costs.push(PhaseCost { instructions: 10, dma_cycles: 500 });
+        let mut costs = vec![
+            PhaseCost {
+                instructions: 200,
+                dma_cycles: 0
+            };
+            10
+        ];
+        costs.push(PhaseCost {
+            instructions: 10,
+            dma_cycles: 500,
+        });
         let c = phase_cycles(&cfg(), 11, &costs);
         // Critical compute tasklet: 200 * 11 = 2200 > 10*11 + 500.
         assert_eq!(c, 2200);
@@ -137,7 +183,13 @@ mod tests {
     #[test]
     fn serial_dma_engine_bounds_the_phase() {
         // All tasklets mostly DMA: phase >= sum of DMA times.
-        let costs = vec![PhaseCost { instructions: 1, dma_cycles: 400 }; 8];
+        let costs = vec![
+            PhaseCost {
+                instructions: 1,
+                dma_cycles: 400
+            };
+            8
+        ];
         let c = phase_cycles(&cfg(), 8, &costs);
         assert!(c >= 3200, "serial DMA bound, got {c}");
     }
@@ -145,8 +197,17 @@ mod tests {
     #[test]
     fn imbalanced_tasklet_is_the_critical_path() {
         // One tasklet has 3x the work (the band tail): it dominates.
-        let mut costs = vec![PhaseCost { instructions: 100, dma_cycles: 0 }; 3];
-        costs.push(PhaseCost { instructions: 300, dma_cycles: 0 });
+        let mut costs = vec![
+            PhaseCost {
+                instructions: 100,
+                dma_cycles: 0
+            };
+            3
+        ];
+        costs.push(PhaseCost {
+            instructions: 300,
+            dma_cycles: 0,
+        });
         let c = phase_cycles(&cfg(), 4, &costs);
         assert_eq!(c, 300 * 11);
     }
@@ -161,7 +222,13 @@ mod tests {
     fn uniform_phase_matches_explicit() {
         let cfg = cfg();
         let u = uniform_phase(&cfg, 16, 4, 50, 10);
-        let costs = vec![PhaseCost { instructions: 50, dma_cycles: 10 }; 4];
+        let costs = vec![
+            PhaseCost {
+                instructions: 50,
+                dma_cycles: 10
+            };
+            4
+        ];
         assert_eq!(u, phase_cycles(&cfg, 16, &costs));
     }
 
@@ -169,7 +236,13 @@ mod tests {
     fn active_total_above_group_slows_the_group() {
         // A 4-tasklet pool on a DPU with 24 active tasklets issues every 24
         // cycles, not every 11.
-        let costs = vec![PhaseCost { instructions: 100, dma_cycles: 0 }; 4];
+        let costs = vec![
+            PhaseCost {
+                instructions: 100,
+                dma_cycles: 0
+            };
+            4
+        ];
         let alone = phase_cycles(&cfg(), 4, &costs);
         let contended = phase_cycles(&cfg(), 24, &costs);
         assert_eq!(alone, 1100);

@@ -14,24 +14,36 @@ pub struct PowerModel {
 impl PowerModel {
     /// The paper's Intel Xeon 4215 (32c) server: 307 W.
     pub fn intel_4215() -> Self {
-        Self { watts: 307.0, label: "Intel 4215" }
+        Self {
+            watts: 307.0,
+            label: "Intel 4215",
+        }
     }
 
     /// The paper's Intel Xeon 4216 (64c) server: 337 W.
     pub fn intel_4216() -> Self {
-        Self { watts: 337.0, label: "Intel 4216" }
+        Self {
+            watts: 337.0,
+            label: "Intel 4216",
+        }
     }
 
     /// The UPMEM PiM server: the 4215 host plus 20 PiM DIMMs at an
     /// additional 460 W -> 767 W.
     pub fn upmem_pim() -> Self {
-        Self { watts: 767.0, label: "UPMEM PiM" }
+        Self {
+            watts: 767.0,
+            label: "UPMEM PiM",
+        }
     }
 
     /// The additional power of the 20 PiM DIMMs alone (460 W, i.e. 23 W per
     /// DIMM).
     pub fn pim_dimms_only() -> Self {
-        Self { watts: 460.0, label: "20 PiM DIMMs" }
+        Self {
+            watts: 460.0,
+            label: "20 PiM DIMMs",
+        }
     }
 
     /// Energy for an execution of `seconds`, in kilojoules — the unit of

@@ -21,7 +21,9 @@ pub struct Rank {
 impl Rank {
     /// Build a rank of `n` DPUs.
     pub fn new(cfg: DpuConfig, n: usize) -> Self {
-        Self { dpus: (0..n).map(|_| Dpu::new(cfg)).collect() }
+        Self {
+            dpus: (0..n).map(|_| Dpu::new(cfg)).collect(),
+        }
     }
 
     /// Number of DPUs.
@@ -46,7 +48,11 @@ impl Rank {
     /// Mutable access to one DPU (host-side, between launches).
     pub fn dpu_mut(&mut self, idx: usize) -> Result<&mut Dpu, SimError> {
         let max = self.dpus.len();
-        self.dpus.get_mut(idx).ok_or(SimError::BadTopology { what: "dpu", index: idx, max })
+        self.dpus.get_mut(idx).ok_or(SimError::BadTopology {
+            what: "dpu",
+            index: idx,
+            max,
+        })
     }
 
     /// Iterate DPUs.
@@ -64,7 +70,10 @@ impl Rank {
             kernel.run(dpu)?;
             agg.add(&dpu.stats);
         }
-        Ok(RankRun { barrier_cycles: agg.max_cycles, stats: agg })
+        Ok(RankRun {
+            barrier_cycles: agg.max_cycles,
+            stats: agg,
+        })
     }
 }
 
@@ -80,8 +89,8 @@ pub struct RankRun {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::PhaseCost;
     use crate::dpu::Timeline;
+    use crate::pipeline::PhaseCost;
 
     /// Kernel that spins for a per-DPU number of instructions read from the
     /// first MRAM word — exercising the barrier semantics.
@@ -91,7 +100,14 @@ mod tests {
         fn run(&self, dpu: &mut Dpu) -> Result<(), SimError> {
             let n = u64::from(dpu.mram.host_read(0, 1)?[0]);
             let mut t = Timeline::default();
-            t.sequential(&dpu.cfg, 1, PhaseCost { instructions: n * 100, dma_cycles: 0 });
+            t.sequential(
+                &dpu.cfg,
+                1,
+                PhaseCost {
+                    instructions: n * 100,
+                    dma_cycles: 0,
+                },
+            );
             dpu.record_timelines(&[t]);
             Ok(())
         }
@@ -101,7 +117,11 @@ mod tests {
     fn barrier_waits_for_the_slowest_dpu() {
         let mut rank = Rank::new(DpuConfig::default(), 4);
         for (i, load) in [1u8, 5, 2, 3].iter().enumerate() {
-            rank.dpu_mut(i).unwrap().mram.host_write(0, &[*load]).unwrap();
+            rank.dpu_mut(i)
+                .unwrap()
+                .mram
+                .host_write(0, &[*load])
+                .unwrap();
         }
         let run = rank.launch(&SpinKernel).unwrap();
         // Slowest: 5*100 instructions at 11 cycles each.

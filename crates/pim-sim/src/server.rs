@@ -20,7 +20,9 @@ pub struct PimServer {
 impl PimServer {
     /// Build a server from a configuration.
     pub fn new(cfg: ServerConfig) -> Self {
-        let ranks = (0..cfg.ranks).map(|_| Rank::new(cfg.dpu, cfg.dpus_per_rank)).collect();
+        let ranks = (0..cfg.ranks)
+            .map(|_| Rank::new(cfg.dpu, cfg.dpus_per_rank))
+            .collect();
         Self { cfg, ranks }
     }
 
@@ -51,7 +53,11 @@ impl PimServer {
     /// Mutable access to a rank.
     pub fn rank_mut(&mut self, idx: usize) -> Result<&mut Rank, SimError> {
         let max = self.ranks.len();
-        self.ranks.get_mut(idx).ok_or(SimError::BadTopology { what: "rank", index: idx, max })
+        self.ranks.get_mut(idx).ok_or(SimError::BadTopology {
+            what: "rank",
+            index: idx,
+            max,
+        })
     }
 
     /// Split into mutable rank references (for the host's per-rank worker
@@ -156,7 +162,14 @@ mod tests {
         s.broadcast_to_mram(16, &[1, 2, 3, 4]).unwrap();
         for r in 0..2 {
             for d in 0..3 {
-                let bytes = s.rank(r).unwrap().dpu(d).unwrap().mram.host_read(16, 4).unwrap();
+                let bytes = s
+                    .rank(r)
+                    .unwrap()
+                    .dpu(d)
+                    .unwrap()
+                    .mram
+                    .host_read(16, 4)
+                    .unwrap();
                 assert_eq!(bytes, vec![1, 2, 3, 4]);
             }
         }

@@ -53,6 +53,29 @@ impl DpuStats {
     }
 }
 
+/// Counters maintained by the runtime sanitizer ([`crate::sanitizer`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SanitizerStats {
+    /// WRAM bytes whose initialization was checked on loads.
+    pub bytes_read_checked: u64,
+    /// WRAM bytes marked initialized by stores.
+    pub bytes_written: u64,
+    /// Bytes first initialized by host/DMA transfers.
+    pub bytes_host_initialized: u64,
+    /// Barriers observed (ownership resets).
+    pub barriers: u64,
+}
+
+impl SanitizerStats {
+    /// Merge counters from another shadow (e.g. several tasklet runs).
+    pub fn merge(&mut self, other: &SanitizerStats) {
+        self.bytes_read_checked += other.bytes_read_checked;
+        self.bytes_written += other.bytes_written;
+        self.bytes_host_initialized += other.bytes_host_initialized;
+        self.barriers += other.barriers;
+    }
+}
+
 /// Aggregate over many DPUs (a rank or the whole server).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct AggregateStats {
@@ -116,8 +139,17 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = DpuStats { instructions: 10, cycles: 20, ..Default::default() };
-        let b = DpuStats { instructions: 5, cycles: 7, dma_transfers: 2, ..Default::default() };
+        let mut a = DpuStats {
+            instructions: 10,
+            cycles: 20,
+            ..Default::default()
+        };
+        let b = DpuStats {
+            instructions: 5,
+            cycles: 7,
+            dma_transfers: 2,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.instructions, 15);
         assert_eq!(a.cycles, 27);
@@ -128,7 +160,10 @@ mod tests {
     fn aggregate_tracks_extremes() {
         let mut agg = AggregateStats::default();
         for c in [100u64, 80, 120, 95] {
-            agg.add(&DpuStats { cycles: c, ..Default::default() });
+            agg.add(&DpuStats {
+                cycles: c,
+                ..Default::default()
+            });
         }
         assert_eq!(agg.dpus, 4);
         assert_eq!(agg.max_cycles, 120);
@@ -146,7 +181,11 @@ mod tests {
 
     #[test]
     fn dma_impact_ratio() {
-        let s = DpuStats { cycles: 1000, dma_stall_cycles: 30, ..Default::default() };
+        let s = DpuStats {
+            cycles: 1000,
+            dma_stall_cycles: 30,
+            ..Default::default()
+        };
         assert!((s.dma_impact() - 0.03).abs() < 1e-12);
     }
 }

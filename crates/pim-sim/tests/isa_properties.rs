@@ -1,11 +1,41 @@
-//! Property tests for the mini DPU ISA: assembler/interpreter agreement,
+//! Randomized tests for the mini DPU ISA: assembler/interpreter agreement,
 //! determinism, and semantic identities the Table-7 measurement relies on.
+//!
+//! Each test draws many cases from a seeded [`SplitMix64`] stream, so runs
+//! are reproducible and need no external property-testing dependency.
 
+use nw_core::rng::SplitMix64;
 use pim_sim::isa::{assemble, AluOp, FuseCond, Inst, Machine, Operand, Reg};
-use proptest::prelude::*;
 
 fn reg(i: u8) -> Reg {
     Reg::new(i).expect("valid register")
+}
+
+const ALU_OPS: [AluOp; 11] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Lsl,
+    AluOp::Lsr,
+    AluOp::Asr,
+    AluOp::Max,
+    AluOp::Cmpb4,
+    AluOp::Move,
+];
+
+fn random_ops(rng: &mut SplitMix64, max_len: u64) -> Vec<(AluOp, u8, u8, i32)> {
+    let n = rng.below(max_len) as usize;
+    (0..n)
+        .map(|_| {
+            let op = ALU_OPS[rng.below(ALU_OPS.len() as u64) as usize];
+            let rd = rng.below(24) as u8;
+            let ra = rng.below(24) as u8;
+            let imm = rng.between(0, 2000) as i32 - 1000;
+            (op, rd, ra, imm)
+        })
+        .collect()
 }
 
 /// Run a straight-line ALU program built from `(op, rd, ra, imm)` tuples.
@@ -23,41 +53,28 @@ fn run_straight_line(ops: &[(AluOp, u8, u8, i32)], init: &[u32]) -> [u32; 24] {
     prog.push(Inst::Halt);
     let mut m = Machine::new();
     m.regs[..init.len().min(24)].copy_from_slice(&init[..init.len().min(24)]);
-    m.run(&prog, &mut [], 10_000).expect("straight line cannot fault");
+    m.run(&prog, &mut [], 10_000)
+        .expect("straight line cannot fault");
     m.regs
 }
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    prop::sample::select(vec![
-        AluOp::Add,
-        AluOp::Sub,
-        AluOp::And,
-        AluOp::Or,
-        AluOp::Xor,
-        AluOp::Lsl,
-        AluOp::Lsr,
-        AluOp::Asr,
-        AluOp::Max,
-        AluOp::Cmpb4,
-        AluOp::Move,
-    ])
-}
-
-proptest! {
-    #[test]
-    fn interpreter_is_deterministic(
-        ops in prop::collection::vec((arb_alu_op(), 0u8..24, 0u8..24, -1000i32..1000), 0..40),
-        init in prop::collection::vec(any::<u32>(), 24),
-    ) {
+#[test]
+fn interpreter_is_deterministic() {
+    let mut rng = SplitMix64::new(0xA11CE);
+    for _ in 0..200 {
+        let ops = random_ops(&mut rng, 40);
+        let init: Vec<u32> = (0..24).map(|_| rng.next_u64() as u32).collect();
         let a = run_straight_line(&ops, &init);
         let b = run_straight_line(&ops, &init);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn instruction_count_equals_program_length_for_straight_line(
-        ops in prop::collection::vec((arb_alu_op(), 0u8..24, 0u8..24, -50i32..50), 0..60),
-    ) {
+#[test]
+fn instruction_count_equals_program_length_for_straight_line() {
+    let mut rng = SplitMix64::new(0xB0B);
+    for _ in 0..200 {
+        let ops = random_ops(&mut rng, 60);
         let mut prog: Vec<Inst> = ops
             .iter()
             .map(|&(op, rd, ra, imm)| Inst::Alu {
@@ -71,48 +88,94 @@ proptest! {
         prog.push(Inst::Halt);
         let mut m = Machine::new();
         let stats = m.run(&prog, &mut [], 10_000).unwrap();
-        prop_assert_eq!(stats.instructions, prog.len() as u64);
-        prop_assert_eq!(stats.taken_jumps, 0);
+        assert_eq!(stats.instructions, prog.len() as u64);
+        assert_eq!(stats.taken_jumps, 0);
     }
+}
 
-    #[test]
-    fn cmpb4_matches_bytewise_equality(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn cmpb4_matches_bytewise_equality() {
+    let mut rng = SplitMix64::new(0xC4);
+    for trial in 0..300 {
+        // Mix fully random pairs with near-equal pairs so matching bytes
+        // actually occur.
+        let a = rng.next_u64() as u32;
+        let b = if trial % 2 == 0 {
+            rng.next_u64() as u32
+        } else {
+            a ^ (1 << rng.below(32))
+        };
         let prog = [
-            Inst::Alu { op: AluOp::Move, rd: reg(1), ra: reg(0), b: Operand::Imm(a as i32), fuse: None },
-            Inst::Alu { op: AluOp::Move, rd: reg(2), ra: reg(0), b: Operand::Imm(b as i32), fuse: None },
-            Inst::Alu { op: AluOp::Cmpb4, rd: reg(3), ra: reg(1), b: Operand::Reg(reg(2)), fuse: None },
+            Inst::Alu {
+                op: AluOp::Move,
+                rd: reg(1),
+                ra: reg(0),
+                b: Operand::Imm(a as i32),
+                fuse: None,
+            },
+            Inst::Alu {
+                op: AluOp::Move,
+                rd: reg(2),
+                ra: reg(0),
+                b: Operand::Imm(b as i32),
+                fuse: None,
+            },
+            Inst::Alu {
+                op: AluOp::Cmpb4,
+                rd: reg(3),
+                ra: reg(1),
+                b: Operand::Reg(reg(2)),
+                fuse: None,
+            },
             Inst::Halt,
         ];
         let mut m = Machine::new();
         m.run(&prog, &mut [], 10).unwrap();
         let result = m.regs[3].to_le_bytes();
-        for (i, (&x, &y)) in a.to_le_bytes().iter().zip(b.to_le_bytes().iter()).enumerate() {
-            prop_assert_eq!(result[i], u8::from(x == y), "byte {}", i);
+        for (i, (&x, &y)) in a
+            .to_le_bytes()
+            .iter()
+            .zip(b.to_le_bytes().iter())
+            .enumerate()
+        {
+            assert_eq!(result[i], u8::from(x == y), "byte {i} of {a:#x} vs {b:#x}");
         }
     }
+}
 
-    #[test]
-    fn fused_jump_equals_unfused_pair(v in -100i64..100, dec in 1i64..10) {
+#[test]
+fn fused_jump_equals_unfused_pair() {
+    let mut rng = SplitMix64::new(0xF00D);
+    for _ in 0..100 {
         // A fused-decrement loop and its unfused compare-and-branch twin
         // must compute the same final register value.
-        let v = v.unsigned_abs() as i64 + dec; // ensure positive start
+        let dec = rng.between(1, 9) as i64;
+        let v = rng.between(0, 99) as i64 + dec; // ensure positive start
         let fused = assemble(&format!(
             "move r1, {v}\nloop:\n  sub r1, r1, {dec}, jgez loop\nhalt"
-        )).unwrap();
+        ))
+        .unwrap();
         let unfused = assemble(&format!(
             "move r1, {v}\nloop:\n  sub r1, r1, {dec}\n  jge r1, 0, loop\nhalt"
-        )).unwrap();
+        ))
+        .unwrap();
         let mut m1 = Machine::new();
         let s1 = m1.run(&fused, &mut [], 100_000).unwrap();
         let mut m2 = Machine::new();
         let s2 = m2.run(&unfused, &mut [], 100_000).unwrap();
-        prop_assert_eq!(m1.regs[1], m2.regs[1]);
+        assert_eq!(m1.regs[1], m2.regs[1]);
         // And fusion saves exactly one instruction per taken iteration.
-        prop_assert!(s1.instructions < s2.instructions);
+        assert!(s1.instructions < s2.instructions);
     }
+}
 
-    #[test]
-    fn memory_round_trip_via_isa(vals in prop::collection::vec(any::<u32>(), 1..16)) {
+#[test]
+fn memory_round_trip_via_isa() {
+    let mut rng = SplitMix64::new(0x3E3);
+    for _ in 0..50 {
+        let vals: Vec<u32> = (0..rng.between(1, 15))
+            .map(|_| rng.next_u64() as u32)
+            .collect();
         // Store all values then load them back, through the interpreter.
         let mut src = String::new();
         for (i, v) in vals.iter().enumerate() {
@@ -128,20 +191,26 @@ proptest! {
         m.run(&prog, &mut wram, 100_000).unwrap();
         for (i, v) in vals.iter().enumerate() {
             let got = u32::from_le_bytes(wram[i * 4..i * 4 + 4].try_into().unwrap());
-            prop_assert_eq!(got, *v);
+            assert_eq!(got, *v);
         }
     }
+}
 
-    #[test]
-    fn assembler_rejects_unknown_registers(idx in 24u8..60) {
+#[test]
+fn assembler_rejects_unknown_registers() {
+    for idx in 24u8..60 {
         let src = format!("move r{idx}, 1\nhalt");
-        prop_assert!(assemble(&src).is_err());
+        assert!(assemble(&src).is_err(), "r{idx} must be rejected");
     }
+}
 
-    #[test]
-    fn fuse_conditions_partition(v in any::<u32>()) {
-        prop_assert_ne!(FuseCond::Z.holds(v), FuseCond::Nz.holds(v));
-        prop_assert_ne!(FuseCond::Ltz.holds(v), FuseCond::Gez.holds(v));
-        prop_assert_ne!(FuseCond::Even.holds(v), FuseCond::Odd.holds(v));
+#[test]
+fn fuse_conditions_partition() {
+    let mut rng = SplitMix64::new(0x9);
+    for _ in 0..500 {
+        let v = rng.next_u64() as u32;
+        assert_ne!(FuseCond::Z.holds(v), FuseCond::Nz.holds(v));
+        assert_ne!(FuseCond::Ltz.holds(v), FuseCond::Gez.holds(v));
+        assert_ne!(FuseCond::Even.holds(v), FuseCond::Odd.holds(v));
     }
 }

@@ -16,7 +16,9 @@ fn main() {
     let b = DnaSeq::from_ascii(btext.as_bytes()).unwrap();
     let scheme = ScoringScheme::default();
 
-    let outcome = AdaptiveAligner::new(scheme, band).align_traced(&a, &b).unwrap();
+    let outcome = AdaptiveAligner::new(scheme, band)
+        .align_traced(&a, &b)
+        .unwrap();
     let optimal = FullAligner::affine(scheme).score(&a, &b);
     let geom = BandGeometry::new(a.len(), b.len(), band);
 

@@ -33,7 +33,11 @@ fn main() {
         cfg.dpus_per_rank = 4;
         cfg
     });
-    let kp = KernelParams { band: 128, scheme: ScoringScheme::default(), score_only: false };
+    let kp = KernelParams {
+        band: 128,
+        scheme: ScoringScheme::default(),
+        score_only: false,
+    };
     let dispatch = DispatchConfig::new(NwKernel::paper_default(), kp);
     let read_sets: Vec<Vec<DnaSeq>> = sets.iter().map(|s| s.reads.clone()).collect();
     let (report, grouped) = align_sets(&mut server, &dispatch, &read_sets).unwrap();
@@ -49,10 +53,8 @@ fn main() {
         }
         // grouped[s] pairs are in (i, j), i < j order; pairs (0, j) come
         // first while i == 0.
-        let mut pair_idx = 0;
-        for j in 1..set.reads.len() {
+        for (pair_idx, j) in (1..set.reads.len()).enumerate() {
             let result = &grouped[s][pair_idx];
-            pair_idx += 1;
             if result.cigar.runs().is_empty() {
                 continue;
             }

@@ -11,9 +11,18 @@ use upmem_nw::prelude::*;
 
 fn main() {
     // A small bacterial-like population evolved along a random phylogeny.
-    let params = SixteenSParams { count: 32, root_len: 800, branch_divergence: 0.012, seed: 42 };
+    let params = SixteenSParams {
+        count: 32,
+        root_len: 800,
+        branch_divergence: 0.012,
+        seed: 42,
+    };
     let seqs = params.generate();
-    println!("generated {} 16S-like sequences (~{} bp)", seqs.len(), seqs[0].len());
+    println!(
+        "generated {} 16S-like sequences (~{} bp)",
+        seqs.len(),
+        seqs[0].len()
+    );
 
     // Broadcast + static split on a 2-rank server, score-only.
     let mut server = PimServer::new({
@@ -21,7 +30,11 @@ fn main() {
         cfg.dpus_per_rank = 8;
         cfg
     });
-    let kp = KernelParams { band: 64, scheme: ScoringScheme::default(), score_only: true };
+    let kp = KernelParams {
+        band: 64,
+        scheme: ScoringScheme::default(),
+        score_only: true,
+    };
     let dispatch = DispatchConfig::new(NwKernel::paper_default(), kp);
     let (report, results) = all_vs_all(&mut server, &dispatch, &seqs).unwrap();
     println!("{}", report.summary());

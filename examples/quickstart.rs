@@ -7,9 +7,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use upmem_nw::prelude::*;
 use upmem_nw::nw_core::pretty::Rendering;
 use upmem_nw::pim_host::modes::align_pairs;
+use upmem_nw::prelude::*;
 
 fn main() {
     // A read and a mutated copy: a mismatch, an insertion, a deletion.
@@ -31,13 +31,19 @@ fn main() {
         cfg.dpus_per_rank = 1; // a single DPU is plenty for one pair
         cfg
     });
-    let params = KernelParams { band: 16, scheme, score_only: false };
+    let params = KernelParams {
+        band: 16,
+        scheme,
+        score_only: false,
+    };
     let dispatch = DispatchConfig::new(NwKernel::paper_default(), params);
-    let (report, results) =
-        align_pairs(&mut server, &dispatch, &[(a.clone(), b.clone())]).unwrap();
+    let (report, results) = align_pairs(&mut server, &dispatch, &[(a.clone(), b.clone())]).unwrap();
     let dpu = &results[0];
     println!("DPU:      score {:>4}   {}", dpu.score, dpu.cigar);
-    assert_eq!(dpu.score, adaptive.score, "kernel and host agree bit-for-bit");
+    assert_eq!(
+        dpu.score, adaptive.score,
+        "kernel and host agree bit-for-bit"
+    );
     assert_eq!(dpu.cigar, adaptive.cigar);
 
     // Figure-1 style rendering.

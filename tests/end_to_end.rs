@@ -14,7 +14,11 @@ fn small_server(ranks: usize, dpus: usize) -> PimServer {
 }
 
 fn dispatch(band: usize, score_only: bool) -> DispatchConfig {
-    let params = KernelParams { band, scheme: ScoringScheme::default(), score_only };
+    let params = KernelParams {
+        band,
+        scheme: ScoringScheme::default(),
+        score_only,
+    };
     DispatchConfig::new(NwKernel::paper_default(), params)
 }
 
@@ -55,7 +59,11 @@ fn pim_pipeline_matches_exact_dp_when_band_is_wide() {
     let (_, results) = align_pairs(&mut server, &cfg, &pairs).unwrap();
     let full = FullAligner::affine(ScoringScheme::default());
     for ((a, b), r) in pairs.iter().zip(&results) {
-        assert_eq!(r.score, full.score(a, b), "band 256 on 5% error @300bp is exact");
+        assert_eq!(
+            r.score,
+            full.score(a, b),
+            "band 256 on 5% error @300bp is exact"
+        );
     }
 }
 
@@ -106,7 +114,9 @@ fn sets_mode_preserves_set_structure_under_load_balancing() {
     let sets: Vec<Vec<DnaSeq>> = (0..5)
         .map(|k| {
             let region = random_seq(&mut r, 300 + 60 * k);
-            (0..4 + k % 3).map(|_| mutate(&region, &model, &mut r).0).collect()
+            (0..4 + k % 3)
+                .map(|_| mutate(&region, &model, &mut r).0)
+                .collect()
         })
         .collect();
     let mut server = small_server(2, 3);
@@ -140,7 +150,10 @@ fn transfers_and_cycles_are_accounted() {
     assert!(report.dpu_seconds > 0.0);
     assert!(report.total_seconds() >= report.dpu_seconds);
     // Workload follows eq. 6.
-    let expect: u64 = pairs.iter().map(|(a, b)| ((a.len() + b.len()) as u64) * 32).sum();
+    let expect: u64 = pairs
+        .iter()
+        .map(|(a, b)| ((a.len() + b.len()) as u64) * 32)
+        .sum();
     assert_eq!(report.workload, expect);
 }
 
@@ -160,5 +173,8 @@ fn rank_scaling_reduces_wall_time() {
     assert!(t[1] < t[0], "2 ranks {} !< 1 rank {}", t[1], t[0]);
     assert!(t[2] < t[1], "4 ranks {} !< 2 ranks {}", t[2], t[1]);
     let ratio = t[0] / t[2];
-    assert!(ratio > 2.0, "4x ranks should give >2x speedup, got {ratio:.2}");
+    assert!(
+        ratio > 2.0,
+        "4x ranks should give >2x speedup, got {ratio:.2}"
+    );
 }

@@ -29,7 +29,10 @@ fn gapped_pairs(n: usize, len: usize, gap: usize, seed: u64) -> Vec<(DnaSeq, Dna
                 // Insert a long gap mid-sequence on half the pairs.
                 let mut bases = b.as_slice().to_vec();
                 for g in 0..gap {
-                    bases.insert(len / 2, upmem_nw::nw_core::seq::Base::from_code((g % 4) as u8));
+                    bases.insert(
+                        len / 2,
+                        upmem_nw::nw_core::seq::Base::from_code((g % 4) as u8),
+                    );
                 }
                 b = DnaSeq::from_bases(bases);
             }
@@ -72,7 +75,11 @@ fn tables_2_to_4_shape_rank_scaling_is_near_linear() {
             (a, b)
         })
         .collect();
-    let params = KernelParams { band: 32, scheme: ScoringScheme::default(), score_only: false };
+    let params = KernelParams {
+        band: 32,
+        scheme: ScoringScheme::default(),
+        score_only: false,
+    };
     let cfg = DispatchConfig::new(NwKernel::paper_default(), params);
     let mut times = Vec::new();
     // Thin 1-DPU ranks: 128 pairs give 64/32/16 pool-waves per DPU, the
@@ -102,8 +109,12 @@ fn table7_shape_asm_kernel_beats_pure_c() {
             (a, b)
         })
         .collect();
-    let mut time = |variant: KernelVariant| {
-        let params = KernelParams { band: 32, scheme: ScoringScheme::default(), score_only: false };
+    let time = |variant: KernelVariant| {
+        let params = KernelParams {
+            band: 32,
+            scheme: ScoringScheme::default(),
+            score_only: false,
+        };
         let kernel = NwKernel::new(PoolConfig::default(), variant);
         let cfg = DispatchConfig::new(kernel, params);
         let mut srv = server(2, 4);
@@ -147,7 +158,11 @@ fn host_overhead_shrinks_with_read_length() {
                 (a, b)
             })
             .collect();
-        let params = KernelParams { band: 32, scheme: ScoringScheme::default(), score_only: false };
+        let params = KernelParams {
+            band: 32,
+            scheme: ScoringScheme::default(),
+            score_only: false,
+        };
         let cfg = DispatchConfig::new(NwKernel::paper_default(), params);
         let mut srv = server(2, 4);
         let (report, _) = align_pairs(&mut srv, &cfg, &pairs).unwrap();
