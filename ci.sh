@@ -16,4 +16,10 @@ cargo test --workspace -q
 echo "==> upmem-nw lint"
 cargo run --release -q -p upmem-nw-cli --bin upmem-nw -- lint
 
+# Fault-injection smoke: a seeded chaos plan (dead rank, disabled DPUs,
+# launch faults, corruption) must lose zero jobs and keep every score
+# identical to the fault-free reference — the command exits nonzero otherwise.
+echo "==> upmem-nw chaos --seed 42"
+cargo run --release -q -p upmem-nw-cli --bin upmem-nw -- chaos --seed 42
+
 echo "CI OK"

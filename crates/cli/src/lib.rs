@@ -10,6 +10,10 @@
 //! * `matrix` — all-vs-all score matrix of one FASTA file on the PiM
 //!   server (the 16S workflow).
 //! * `generate` — write any of the paper's five datasets as FASTA.
+//! * `chaos` — fault-injection smoke test: align synthetic pairs on a
+//!   server with a seeded fault plan through the fault-tolerant
+//!   dispatcher, and fail unless every job completes with the score the
+//!   fault-free CPU reference produces.
 //! * `info` — print the simulated server topology.
 //! * `lint` — statically verify the built-in DPU inner-loop kernels
 //!   (control flow, register def-use, WRAM address analysis) and run them
@@ -20,7 +24,7 @@ use datasets::pacbio::PacbioParams;
 use datasets::sixteen_s::SixteenSParams;
 use datasets::synthetic::{SyntheticParams, SyntheticPreset};
 use datasets::Scale;
-use dpu_kernel::{KernelParams, NwKernel};
+use dpu_kernel::{JobStatus, KernelParams, NwKernel};
 use nw_core::adaptive::AdaptiveAligner;
 use nw_core::banded::BandedAligner;
 use nw_core::full::FullAligner;
@@ -29,7 +33,8 @@ use nw_core::wfa::{Penalties, WfaAligner};
 use nw_core::{Alignment, ScoringScheme};
 use pim_host::dispatch::DispatchConfig;
 use pim_host::modes::{align_pairs, all_vs_all};
-use pim_sim::{PimServer, ServerConfig};
+use pim_host::recovery::{align_pairs_recovering, RecoveryConfig};
+use pim_sim::{FaultPlan, PimServer, ServerConfig};
 use std::fmt::Write as _;
 
 /// Which aligner the `align` command uses.
@@ -358,6 +363,140 @@ pub fn cmd_lint(verbose: bool) -> Result<String, CliError> {
     }
 }
 
+/// Knobs for the `chaos` fault-injection smoke test.
+#[derive(Debug, Clone)]
+pub struct ChaosOpts {
+    /// Seed for both the dataset and the fault plan.
+    pub seed: u64,
+    /// Synthetic S1000 pairs to align.
+    pub pairs: usize,
+    /// Simulated ranks.
+    pub ranks: usize,
+    /// DPUs per rank.
+    pub dpus: usize,
+    /// Band width (rounded up to a multiple of 16).
+    pub band: usize,
+    /// Per-launch DPU fault probability.
+    pub dpu_fault_rate: f64,
+    /// Per-readback corruption probability.
+    pub corrupt_rate: f64,
+    /// DPUs masked out at boot.
+    pub disabled: usize,
+    /// Total PiM attempts per job before CPU fallback.
+    pub retries: usize,
+    /// Consecutive faults before a DPU is quarantined.
+    pub quarantine: usize,
+}
+
+impl Default for ChaosOpts {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            pairs: 24,
+            ranks: 2,
+            dpus: 8,
+            band: 128,
+            dpu_fault_rate: 0.15,
+            corrupt_rate: 0.1,
+            disabled: 2,
+            retries: 3,
+            quarantine: 2,
+        }
+    }
+}
+
+/// Run the fault-injection smoke test: align seeded synthetic pairs on a
+/// server with a seeded chaos fault plan (boot-disabled DPUs, a dead rank,
+/// launch faults, readback corruption, a straggler) through the
+/// fault-tolerant dispatcher.
+///
+/// Fails with [`CliError::Align`] if any job is lost or any result differs
+/// from the fault-free CPU reference; on success returns a report ending in
+/// "all N results match the fault-free reference".
+pub fn cmd_chaos(opts: &ChaosOpts) -> Result<String, CliError> {
+    let ranks = opts.ranks.max(1);
+    let dpus = opts.dpus.max(1);
+    let pairs = SyntheticParams::preset(SyntheticPreset::S1000, opts.seed).generate(opts.pairs);
+
+    let mut server_cfg = ServerConfig::with_ranks(ranks);
+    server_cfg.dpus_per_rank = dpus;
+    server_cfg.fault = FaultPlan::chaos(
+        opts.seed,
+        ranks,
+        dpus,
+        opts.disabled,
+        opts.dpu_fault_rate,
+        opts.corrupt_rate,
+    );
+    let plan = server_cfg.fault.clone();
+    let mut server = PimServer::new(server_cfg);
+
+    let params = KernelParams {
+        band: opts.band.next_multiple_of(16).max(16),
+        scheme: ScoringScheme::default(),
+        score_only: false,
+    };
+    let cfg = DispatchConfig::new(NwKernel::paper_default(), params);
+    let rcfg = RecoveryConfig {
+        max_attempts: opts.retries.max(1),
+        quarantine_after: opts.quarantine.max(1),
+        ..RecoveryConfig::default()
+    };
+    let (report, results) = align_pairs_recovering(&mut server, &cfg, &rcfg, &pairs)
+        .map_err(|e| CliError::Align(e.to_string()))?;
+
+    let mut out = format!(
+        "chaos: {} pairs on {} ranks x {} DPUs (seed {})\n\
+         plan: {} disabled, dead ranks {:?}, fault rate {}, corrupt rate {}\n\
+         {}\n{}\n",
+        pairs.len(),
+        ranks,
+        dpus,
+        opts.seed,
+        plan.disabled_dpus.len(),
+        plan.dead_ranks,
+        plan.dpu_fault_rate,
+        plan.corrupt_rate,
+        report.summary(),
+        report.fault.summary(),
+    );
+
+    if results.len() != pairs.len() {
+        return Err(CliError::Align(format!(
+            "lost jobs: {} results for {} pairs\n{out}",
+            results.len(),
+            pairs.len()
+        )));
+    }
+    let aligner = AdaptiveAligner::new(params.scheme, params.band);
+    let mut mismatches = 0usize;
+    for (k, ((a, b), got)) in pairs.iter().zip(&results).enumerate() {
+        let ok = match aligner.align(a, b) {
+            Ok(aln) => got.status == JobStatus::Ok && got.score == aln.score,
+            Err(_) => got.status != JobStatus::Ok,
+        };
+        if !ok {
+            mismatches += 1;
+            let _ = writeln!(
+                out,
+                "pair {k}: got {:?}/{} vs fault-free reference",
+                got.status, got.score
+            );
+        }
+    }
+    if mismatches > 0 {
+        return Err(CliError::Align(format!(
+            "{mismatches} results differ from the fault-free reference\n{out}"
+        )));
+    }
+    let _ = writeln!(
+        out,
+        "all {} results match the fault-free reference",
+        results.len()
+    );
+    Ok(out)
+}
+
 /// Server topology description.
 pub fn cmd_info(ranks: usize) -> String {
     let server = PimServer::new(ServerConfig::with_ranks(ranks.max(1)));
@@ -482,6 +621,44 @@ mod tests {
         assert!(verbose.contains("sanitizer: clean"), "{verbose}");
         assert!(verbose.contains("loop-termination"), "{verbose}");
         assert!(verbose.len() > report.len());
+    }
+
+    #[test]
+    fn chaos_command_loses_nothing_under_faults() {
+        let opts = ChaosOpts {
+            pairs: 8,
+            dpus: 4,
+            ..ChaosOpts::default()
+        };
+        let out = cmd_chaos(&opts).expect("recovery must complete every job");
+        assert!(
+            out.contains("all 8 results match the fault-free reference"),
+            "{out}"
+        );
+        // The seeded plan on 2 ranks always kills one rank, so recovery did
+        // real work — the fault report cannot be all-zero.
+        assert!(
+            out.contains("dead ranks [") && !out.contains("dead ranks []"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn chaos_command_is_clean_without_fault_rates() {
+        let opts = ChaosOpts {
+            pairs: 4,
+            ranks: 1, // single rank: chaos() injects no dead rank
+            dpus: 2,
+            dpu_fault_rate: 0.0,
+            corrupt_rate: 0.0,
+            disabled: 0,
+            ..ChaosOpts::default()
+        };
+        let out = cmd_chaos(&opts).unwrap();
+        assert!(
+            out.contains("0 retries, 0 quarantined, 0 dead ranks, 0 cpu fallbacks"),
+            "{out}"
+        );
     }
 
     #[test]

@@ -6,17 +6,22 @@
 //! upmem-nw matrix --in seqs.fa [--band 128] [--ranks 4] [--out matrix.tsv]
 //! upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N
 //!                 [--seed S] [--out data.fa]
+//! upmem-nw chaos  [--seed 42] [--pairs 24] [--ranks 2] [--dpus 8] [--band 128]
+//!                 [--dpu-fault-rate 0.15] [--corrupt-rate 0.1] [--disabled 2]
+//!                 [--retries 3] [--quarantine 2]
 //! upmem-nw info   [--ranks 40]
 //! upmem-nw lint   [--verbose true]
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
-use upmem_nw_cli::{cmd_align, cmd_generate, cmd_info, cmd_lint, cmd_matrix, Algo, CliError};
+use upmem_nw_cli::{
+    cmd_align, cmd_chaos, cmd_generate, cmd_info, cmd_lint, cmd_matrix, Algo, ChaosOpts, CliError,
+};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true]"
+        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw chaos [--seed S] [--pairs N] [--ranks N] [--dpus N] [--band N] [--dpu-fault-rate P] [--corrupt-rate P] [--disabled N] [--retries N] [--quarantine N]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true]"
     );
     std::process::exit(2)
 }
@@ -71,6 +76,34 @@ fn run() -> Result<String, CliError> {
                 .map(|v| v.parse().unwrap_or_else(|_| usage()))
                 .unwrap_or(42);
             cmd_generate(&kind, count, seed)?
+        }
+        "chaos" => {
+            let defaults = ChaosOpts::default();
+            let uint = |k: &str, d: usize| {
+                get(k)
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(d)
+            };
+            let rate = |k: &str, d: f64| {
+                get(k)
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(d)
+            };
+            let opts = ChaosOpts {
+                seed: get("seed")
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(defaults.seed),
+                pairs: uint("pairs", defaults.pairs),
+                ranks: uint("ranks", defaults.ranks),
+                dpus: uint("dpus", defaults.dpus),
+                band: uint("band", defaults.band),
+                dpu_fault_rate: rate("dpu-fault-rate", defaults.dpu_fault_rate),
+                corrupt_rate: rate("corrupt-rate", defaults.corrupt_rate),
+                disabled: uint("disabled", defaults.disabled),
+                retries: uint("retries", defaults.retries),
+                quarantine: uint("quarantine", defaults.quarantine),
+            };
+            cmd_chaos(&opts)?
         }
         "info" => cmd_info(if flags.contains_key("ranks") {
             ranks

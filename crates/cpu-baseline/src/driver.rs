@@ -77,54 +77,78 @@ impl CpuBaseline {
             .iter()
             .map(|(a, b)| self.aligner.cells(a.len(), b.len()))
             .sum();
-        let start = std::time::Instant::now();
-        let mut results: Vec<Option<Result<T, AlignError>>> =
-            (0..pairs.len()).map(|_| None).collect();
-        if self.threads == 1 || pairs.len() <= 1 {
-            for (slot, (a, b)) in results.iter_mut().zip(pairs) {
-                *slot = Some(work(&self.aligner, a, b));
-            }
-        } else {
-            let cursor = AtomicUsize::new(0);
-            let slots = &mut results[..];
-            // Workers claim indices from the shared cursor, collect into
-            // per-worker vecs, then the parent scatters into the slots.
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(self.threads);
-                for _ in 0..self.threads {
-                    let cursor = &cursor;
-                    let aligner = &self.aligner;
-                    let work = &work;
-                    handles.push(scope.spawn(move || {
-                        let mut mine: Vec<(usize, Result<T, AlignError>)> = Vec::new();
-                        loop {
-                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                            if idx >= pairs.len() {
-                                break;
-                            }
-                            let (a, b) = &pairs[idx];
-                            mine.push((idx, work(aligner, a, b)));
-                        }
-                        mine
-                    }));
-                }
-                for h in handles {
-                    for (idx, r) in h.join().expect("worker panicked") {
-                        slots[idx] = Some(r);
-                    }
-                }
-            });
-        }
-        let elapsed = start.elapsed();
+        let aligner = &self.aligner;
+        let (results, elapsed) = run_batch(self.threads, pairs, |a, b| work(aligner, a, b));
         BatchOutcome {
-            results: results
-                .into_iter()
-                .map(|r| r.expect("all slots filled"))
-                .collect(),
+            results,
             elapsed,
             cells,
         }
     }
+}
+
+/// Run `work` over every pair on `threads` scoped worker threads with the
+/// shared-cursor dynamic schedule, returning per-pair results in input
+/// order plus the measured wall time.
+///
+/// This is the driver's engine exposed generically: any `work` function
+/// (ksw2, the adaptive aligner, ...) gets the same work-stealing schedule —
+/// the PiM host uses it to run CPU-fallback batches with the aligner that
+/// matches the DPU kernel.
+pub fn run_batch<T, F>(
+    threads: usize,
+    pairs: &[(DnaSeq, DnaSeq)],
+    work: F,
+) -> (Vec<Result<T, AlignError>>, std::time::Duration)
+where
+    T: Send,
+    F: Fn(&DnaSeq, &DnaSeq) -> Result<T, AlignError> + Sync,
+{
+    assert!(threads >= 1, "at least one thread");
+    let start = std::time::Instant::now();
+    let mut results: Vec<Option<Result<T, AlignError>>> = (0..pairs.len()).map(|_| None).collect();
+    if threads == 1 || pairs.len() <= 1 {
+        for (slot, (a, b)) in results.iter_mut().zip(pairs) {
+            *slot = Some(work(a, b));
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let slots = &mut results[..];
+        // Workers claim indices from the shared cursor, collect into
+        // per-worker vecs, then the parent scatters into the slots.
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let cursor = &cursor;
+                let work = &work;
+                handles.push(scope.spawn(move || {
+                    let mut mine: Vec<(usize, Result<T, AlignError>)> = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= pairs.len() {
+                            break;
+                        }
+                        let (a, b) = &pairs[idx];
+                        mine.push((idx, work(a, b)));
+                    }
+                    mine
+                }));
+            }
+            for h in handles {
+                for (idx, r) in h.join().expect("worker panicked") {
+                    slots[idx] = Some(r);
+                }
+            }
+        });
+    }
+    let elapsed = start.elapsed();
+    (
+        results
+            .into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect(),
+        elapsed,
+    )
 }
 
 #[cfg(test)]

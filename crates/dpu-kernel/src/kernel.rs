@@ -403,14 +403,21 @@ impl NwKernel {
         let active = self.pool_cfg.total_tasklets();
         let total = OUT_HEADER_BYTES + runs.len() * 4;
         let mut record = vec![0u8; total.next_multiple_of(8)];
-        layout::write_u32(&mut record, 0, status.code());
-        layout::write_u32(&mut record, 4, score as u32);
-        layout::write_u32(&mut record, 8, runs.len() as u32);
+        layout::write_u32(&mut record, 0, layout::OUT_MAGIC);
+        layout::write_u32(&mut record, 4, status.code());
+        layout::write_u32(&mut record, 8, score as u32);
+        layout::write_u32(&mut record, 12, runs.len() as u32);
+        layout::write_u32(
+            &mut record,
+            16,
+            layout::result_checksum(status.code(), score as u32, runs),
+        );
         for (i, &r) in runs.iter().enumerate() {
             layout::write_u32(&mut record, OUT_HEADER_BYTES + 4 * i, r);
         }
         let mut cost = PhaseCost {
-            instructions: 8 + 2 * runs.len() as u64,
+            // Header stores plus the checksum's per-word FNV loop.
+            instructions: 12 + 6 * (3 + runs.len() as u64) + 2 * runs.len() as u64,
             dma_cycles: 0,
         };
         let mut written = 0usize;

@@ -21,12 +21,19 @@
 //! The kernel writes, per job at `out_off + out_rel`:
 //!
 //! ```text
-//! 0x00  status       u32   0 ok, 1 out-of-band, 2 cigar overflow
-//! 0x04  score        i32
-//! 0x08  cigar_runs   u32   number of packed runs that follow
-//! 0x0C  pad          u32
-//! 0x10  runs         u32 x cigar_runs   (count << 4) | op
+//! 0x00  magic        u32   "NWRB" — readback integrity sentinel
+//! 0x04  status       u32   0 ok, 1 out-of-band, 2 cigar overflow
+//! 0x08  score        i32
+//! 0x0C  cigar_runs   u32   number of packed runs that follow
+//! 0x10  checksum     u32   FNV-1a over status, score, run count and runs
+//! 0x14  pad          u32
+//! 0x18  runs         u32 x cigar_runs   (count << 4) | op
 //! ```
+//!
+//! The magic word and checksum let the host detect bit corruption on the
+//! readback path ([`SimError::ResultCorrupt`]) instead of silently
+//! returning a wrong score — the detection point the fault-tolerant
+//! dispatch layer retries on.
 //!
 //! `BT` scratch: pool `p` streams its current job's `BT` rows to
 //! `bt_off + p * bt_stride` (row `t` at `t * row_bytes`), then reads them
@@ -44,8 +51,30 @@ pub const MAGIC: u32 = 0x4E57_3250; // "NW2P"
 pub const HEADER_BYTES: usize = 0x30;
 /// Bytes per job-table entry.
 pub const JOB_ENTRY_BYTES: usize = 24;
+/// Magic word opening every per-job output record ("NWRB").
+pub const OUT_MAGIC: u32 = 0x4E57_5242;
 /// Bytes of the fixed part of a per-job output record.
-pub const OUT_HEADER_BYTES: usize = 16;
+pub const OUT_HEADER_BYTES: usize = 24;
+
+/// FNV-1a checksum over a result record's payload: status, score bits, run
+/// count, then each packed run — all as little-endian `u32`s. Cheap enough
+/// for a DPU (one multiply per word) yet catches any single-bit flip.
+pub fn result_checksum(status: u32, score: u32, runs: &[u32]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    let mut eat = |word: u32| {
+        for b in word.to_le_bytes() {
+            h ^= u32::from(b);
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    };
+    eat(status);
+    eat(score);
+    eat(runs.len() as u32);
+    for &r in runs {
+        eat(r);
+    }
+    h
+}
 
 /// Kernel launch parameters carried in the header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,47 +204,69 @@ impl JobBatch {
     }
 
     /// Read the results back from a DPU's MRAM after the kernel ran.
+    ///
+    /// Every record is integrity-checked: a wrong magic word or a checksum
+    /// mismatch returns [`SimError::ResultCorrupt`] — the caller knows the
+    /// job must be re-run rather than trusting a bit-flipped score.
     pub fn read_results(&self, mram: &pim_sim::Mram) -> Result<Vec<JobResult>, SimError> {
         let mut out = Vec::with_capacity(self.out_offsets.len());
         for &(off, cap) in &self.out_offsets {
             let head = mram.host_read(off, OUT_HEADER_BYTES)?;
-            let status_code = read_u32(&head, 0);
+            if read_u32(&head, 0) != OUT_MAGIC {
+                return Err(SimError::ResultCorrupt {
+                    offset: off,
+                    detail: "bad result magic",
+                });
+            }
+            let status_code = read_u32(&head, 4);
+            let score_bits = read_u32(&head, 8);
+            let runs = read_u32(&head, 12) as usize;
+            let stored_sum = read_u32(&head, 16);
+            // A corrupt run count could drive an out-of-capacity read below
+            // before the checksum gets a chance to reject it.
+            if runs > 0 && OUT_HEADER_BYTES + runs * 4 > cap {
+                return Err(SimError::ResultCorrupt {
+                    offset: off,
+                    detail: "cigar runs exceed record capacity",
+                });
+            }
+            let mut packed_runs = Vec::with_capacity(runs);
+            if runs > 0 {
+                let bytes = mram.host_read(off + OUT_HEADER_BYTES, runs * 4)?;
+                for r in 0..runs {
+                    packed_runs.push(read_u32(&bytes, r * 4));
+                }
+            }
+            if result_checksum(status_code, score_bits, &packed_runs) != stored_sum {
+                return Err(SimError::ResultCorrupt {
+                    offset: off,
+                    detail: "checksum mismatch",
+                });
+            }
             let status = JobStatus::from_code(status_code).ok_or(SimError::KernelFault {
                 code: status_code,
                 message: "bad status code in output record".into(),
             })?;
-            let score = read_u32(&head, 4) as i32;
-            let runs = read_u32(&head, 8) as usize;
             let mut cigar = Cigar::new();
-            if runs > 0 {
-                if OUT_HEADER_BYTES + runs * 4 > cap {
-                    return Err(SimError::KernelFault {
-                        code: 2,
-                        message: format!("cigar runs {runs} exceed record capacity"),
-                    });
-                }
-                let bytes = mram.host_read(off + OUT_HEADER_BYTES, runs * 4)?;
-                for r in 0..runs {
-                    let packed = read_u32(&bytes, r * 4);
-                    let count = packed >> 4;
-                    let op = match packed & 0xF {
-                        0 => CigarOp::Match,
-                        1 => CigarOp::Mismatch,
-                        2 => CigarOp::Insertion,
-                        3 => CigarOp::Deletion,
-                        other => {
-                            return Err(SimError::KernelFault {
-                                code: other,
-                                message: "bad cigar op in output record".into(),
-                            })
-                        }
-                    };
-                    cigar.push_run(count, op);
-                }
+            for &packed in &packed_runs {
+                let count = packed >> 4;
+                let op = match packed & 0xF {
+                    0 => CigarOp::Match,
+                    1 => CigarOp::Mismatch,
+                    2 => CigarOp::Insertion,
+                    3 => CigarOp::Deletion,
+                    other => {
+                        return Err(SimError::KernelFault {
+                            code: other,
+                            message: "bad cigar op in output record".into(),
+                        })
+                    }
+                };
+                cigar.push_run(count, op);
             }
             out.push(JobResult {
                 status,
-                score,
+                score: score_bits as i32,
                 cigar,
             });
         }
@@ -502,6 +553,75 @@ mod tests {
         let batch = b.build(64 << 20).unwrap();
         let bt_stride = read_u32(&batch.image, 0x2C);
         assert_eq!(bt_stride, 0);
+    }
+
+    #[test]
+    fn result_checksum_is_order_and_bit_sensitive() {
+        let base = result_checksum(0, 100, &[0x31, 0x52]);
+        assert_eq!(base, result_checksum(0, 100, &[0x31, 0x52]));
+        assert_ne!(base, result_checksum(1, 100, &[0x31, 0x52]));
+        assert_ne!(base, result_checksum(0, 101, &[0x31, 0x52]));
+        assert_ne!(base, result_checksum(0, 100, &[0x52, 0x31]));
+        assert_ne!(base, result_checksum(0, 100, &[0x31]));
+        // Single-bit flip in a run changes the sum.
+        assert_ne!(base, result_checksum(0, 100, &[0x31 ^ 1, 0x52]));
+    }
+
+    #[test]
+    fn corrupt_record_is_rejected() {
+        let mut b = JobBatchBuilder::new(params(), 1);
+        b.add_pair(packed("ACGTACGT"), packed("ACGTACGT"));
+        let batch = b.build(64 << 20).unwrap();
+        let (off, _) = batch.out_offsets[0];
+        let mut mram = pim_sim::Mram::new(64 << 20);
+        // A record the kernel never wrote: zero magic.
+        mram.host_write(off, &[0u8; OUT_HEADER_BYTES]).unwrap();
+        assert!(matches!(
+            batch.read_results(&mram),
+            Err(SimError::ResultCorrupt {
+                detail: "bad result magic",
+                ..
+            })
+        ));
+        // Valid magic but a bit-flipped score fails the checksum.
+        let runs: [u32; 0] = [];
+        let mut rec = [0u8; OUT_HEADER_BYTES];
+        write_u32(&mut rec, 0, OUT_MAGIC);
+        write_u32(&mut rec, 4, 0);
+        write_u32(&mut rec, 8, 42);
+        write_u32(&mut rec, 12, 0);
+        write_u32(&mut rec, 16, result_checksum(0, 42, &runs));
+        mram.host_write(off, &rec).unwrap();
+        assert!(batch.read_results(&mram).is_ok());
+        write_u32(&mut rec, 8, 42 ^ (1 << 7));
+        mram.host_write(off, &rec).unwrap();
+        assert!(matches!(
+            batch.read_results(&mram),
+            Err(SimError::ResultCorrupt {
+                detail: "checksum mismatch",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn corrupt_run_count_is_rejected_before_reading_runs() {
+        let mut b = JobBatchBuilder::new(params(), 1);
+        b.add_pair(packed("ACGT"), packed("ACGT"));
+        let batch = b.build(64 << 20).unwrap();
+        let (off, cap) = batch.out_offsets[0];
+        let mut mram = pim_sim::Mram::new(64 << 20);
+        let mut rec = [0u8; OUT_HEADER_BYTES];
+        write_u32(&mut rec, 0, OUT_MAGIC);
+        write_u32(&mut rec, 12, (cap as u32) * 2); // absurd run count
+        mram.host_write(off, &rec).unwrap();
+        assert!(matches!(
+            batch.read_results(&mram),
+            Err(SimError::ResultCorrupt {
+                detail: "cigar runs exceed record capacity",
+                ..
+            })
+        ));
     }
 
     #[test]

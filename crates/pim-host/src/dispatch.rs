@@ -14,9 +14,11 @@
 //! 3. **Collect**: results come back tagged with the caller's job ids.
 
 use crate::balance::lpt_assign;
-use dpu_kernel::layout::{JobBatch, JobBatchBuilder, JobResult, KernelParams};
+use crate::recovery::FaultReport;
+use dpu_kernel::layout::{JobBatch, JobBatchBuilder, JobResult, KernelParams, OUT_HEADER_BYTES};
 use dpu_kernel::NwKernel;
 use nw_core::seq::PackedSeq;
+use pim_sim::rank::Rank;
 use pim_sim::stats::AggregateStats;
 use pim_sim::{PimServer, SimError};
 
@@ -62,6 +64,18 @@ pub struct DpuPlan {
 pub struct RankPlan {
     /// Per-DPU plans.
     pub dpus: Vec<Option<DpuPlan>>,
+    /// Launch parameters, recorded at plan time so idle-DPU filler images
+    /// can be built even when the plan is sparse.
+    pub params: Option<KernelParams>,
+}
+
+impl RankPlan {
+    /// Launch parameters for this plan: the recorded ones, falling back to
+    /// any populated DPU's batch.
+    pub fn params(&self) -> Option<KernelParams> {
+        self.params
+            .or_else(|| self.dpus.iter().flatten().map(|p| p.batch.params).next())
+    }
 }
 
 /// Accumulated outcome of executing all rounds.
@@ -85,6 +99,40 @@ pub struct DispatchOutcome {
     pub mean_rank_imbalance: f64,
     /// Total eq.-6 workload.
     pub workload: u64,
+    /// Fault/recovery accounting (all zeros outside the recovery path).
+    pub fault: FaultReport,
+}
+
+impl DispatchOutcome {
+    /// Fold one rank's round execution into the accumulated outcome.
+    pub(crate) fn absorb(
+        &mut self,
+        exec: RankExec,
+        dpu_busy: &mut [f64],
+        imbalances: &mut Vec<f64>,
+    ) {
+        self.results.extend(exec.results);
+        self.rank_seconds[exec.rank] += exec.barrier_seconds + exec.xfer_seconds;
+        dpu_busy[exec.rank] += exec.barrier_seconds;
+        self.transfer_seconds += exec.xfer_seconds;
+        self.bytes_in += exec.bytes_in;
+        self.bytes_out += exec.bytes_out;
+        self.workload += exec.workload;
+        if exec.stats.dpus > 0 {
+            imbalances.push(exec.imbalance);
+            merge_aggregate(&mut self.stats, &exec.stats);
+        }
+    }
+
+    /// Compute the derived fields once all rounds are absorbed.
+    pub(crate) fn finalize(&mut self, dpu_busy: &[f64], imbalances: &[f64]) {
+        self.dpu_seconds = dpu_busy.iter().cloned().fold(0.0, f64::max);
+        self.mean_rank_imbalance = if imbalances.is_empty() {
+            0.0
+        } else {
+            imbalances.iter().sum::<f64>() / imbalances.len() as f64
+        };
+    }
 }
 
 /// Build a rank plan: LPT the given jobs over `dpus` DPUs.
@@ -122,140 +170,239 @@ pub fn plan_rank(
             batch: builder.build(mram_size)?,
         }));
     }
-    Ok(RankPlan { dpus: plans })
+    Ok(RankPlan {
+        dpus: plans,
+        params: Some(params),
+    })
+}
+
+/// One DPU's failure during a tolerant round: which jobs were lost, why,
+/// and how many DPU cycles the failed attempt burned.
+#[derive(Debug, Clone)]
+pub struct DpuFailure {
+    /// Rank of the failed DPU.
+    pub rank: usize,
+    /// DPU index within the rank.
+    pub dpu: usize,
+    /// Caller ids of the jobs that produced no usable result.
+    pub job_ids: Vec<usize>,
+    /// What went wrong.
+    pub error: SimError,
+    /// Cycles the DPU spent before the failure was detected (0 when it
+    /// never ran).
+    pub wasted_cycles: u64,
+}
+
+/// One rank's execution record for one round.
+#[derive(Debug, Default)]
+pub struct RankExec {
+    /// Which rank.
+    pub rank: usize,
+    /// `(caller id, result)` for every job that completed and verified.
+    pub results: Vec<(usize, JobResult)>,
+    /// Per-DPU failures (empty on a clean round).
+    pub failures: Vec<DpuFailure>,
+    /// Simulated rank barrier time this round.
+    pub barrier_seconds: f64,
+    /// Simulated transfer time this round (both directions).
+    pub xfer_seconds: f64,
+    /// Bytes host -> MRAM.
+    pub bytes_in: u64,
+    /// Bytes MRAM -> host.
+    pub bytes_out: u64,
+    /// Aggregated DPU statistics.
+    pub stats: AggregateStats,
+    /// Intra-rank imbalance of this launch.
+    pub imbalance: f64,
+    /// Eq.-6 workload dispatched to this rank.
+    pub workload: u64,
+}
+
+/// One rank's round: transfer in, launch, collect. Always fault-*recording*
+/// — readback or launch problems on individual DPUs land in
+/// [`RankExec::failures`] instead of aborting the rank; whole-rank errors
+/// (dead rank, kernel bug) still return `Err`.
+fn exec_rank(
+    rank: &mut Rank,
+    kernel: &NwKernel,
+    r: usize,
+    plan: RankPlan,
+    host_bw: f64,
+    freq: f64,
+) -> Result<RankExec, SimError> {
+    let mut exec = RankExec {
+        rank: r,
+        ..Default::default()
+    };
+    let mut skip = vec![false; plan.dpus.len()];
+    let mut active = false;
+    for (d, dpu_plan) in plan.dpus.iter().enumerate() {
+        if let Some(p) = dpu_plan {
+            if !rank.dpu_enabled(d) {
+                skip[d] = true;
+                exec.failures.push(DpuFailure {
+                    rank: r,
+                    dpu: d,
+                    job_ids: p.job_ids.clone(),
+                    error: SimError::DpuFaulted { rank: r, dpu: d },
+                    wasted_cycles: 0,
+                });
+                continue;
+            }
+            rank.dpu_mut(d)?.mram.host_write(0, &p.batch.image)?;
+            exec.bytes_in += p.batch.transfer_bytes();
+            exec.workload += p.batch.workload;
+            active = true;
+        }
+    }
+    if !active {
+        return Ok(exec);
+    }
+    // Idle DPUs of an active rank still get a valid (empty) image: the
+    // launch is rank-granular (§2.1), so every DPU boots the kernel. One
+    // image serves them all — the empty batch depends only on the params.
+    let mut filler: Option<JobBatch> = None;
+    for (d, dpu_plan) in plan.dpus.iter().enumerate() {
+        if dpu_plan.is_some() || !rank.dpu_enabled(d) {
+            continue;
+        }
+        if filler.is_none() {
+            let params = plan.params().expect("active plan has params");
+            filler = Some(JobBatchBuilder::new(params, 1).build(rank.dpu(d)?.mram.size())?);
+        }
+        let batch = filler.as_ref().expect("just built");
+        rank.dpu_mut(d)?.mram.host_write(0, &batch.image)?;
+        exec.bytes_in += batch.transfer_bytes();
+    }
+    let run = rank.launch(kernel)?;
+    for &d in &run.faulted {
+        skip[d] = true;
+        if let Some(p) = &plan.dpus[d] {
+            exec.failures.push(DpuFailure {
+                rank: r,
+                dpu: d,
+                job_ids: p.job_ids.clone(),
+                error: SimError::DpuFaulted { rank: r, dpu: d },
+                wasted_cycles: 0,
+            });
+        }
+    }
+    for (d, dpu_plan) in plan.dpus.iter().enumerate() {
+        let Some(p) = dpu_plan else { continue };
+        if skip[d] {
+            continue;
+        }
+        let dpu = rank.dpu(d)?;
+        match p.batch.read_results(&dpu.mram) {
+            Ok(rs) => {
+                exec.bytes_out += rs
+                    .iter()
+                    .map(|jr| OUT_HEADER_BYTES as u64 + 4 * jr.cigar.runs().len() as u64)
+                    .sum::<u64>();
+                exec.results.extend(p.job_ids.iter().copied().zip(rs));
+            }
+            Err(e) => exec.failures.push(DpuFailure {
+                rank: r,
+                dpu: d,
+                job_ids: p.job_ids.clone(),
+                error: e,
+                wasted_cycles: dpu.stats.cycles,
+            }),
+        }
+    }
+    exec.barrier_seconds = run.barrier_cycles as f64 / freq;
+    exec.xfer_seconds = (exec.bytes_in + exec.bytes_out) as f64 / host_bw;
+    exec.imbalance = run.stats.imbalance();
+    exec.stats = run.stats;
+    Ok(exec)
+}
+
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("rank worker panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("rank worker panicked: {s}")
+    } else {
+        "rank worker panicked".into()
+    }
+}
+
+/// Run one round — one plan per rank — on per-rank OS threads.
+///
+/// `tolerant = false` (the strict path of [`execute_rounds`]) converts any
+/// per-DPU failure into that rank's `Err`; `tolerant = true` (the recovery
+/// path) returns them in [`RankExec::failures`] so the caller can retry.
+/// A panicking rank worker is caught and surfaced as
+/// [`SimError::RankFailed`] either way — a stuck rank must not take the
+/// whole host down.
+pub fn run_round(
+    server: &mut PimServer,
+    kernel: &NwKernel,
+    round: Vec<RankPlan>,
+    tolerant: bool,
+) -> Vec<Result<RankExec, SimError>> {
+    let n_ranks = server.rank_count();
+    assert_eq!(round.len(), n_ranks, "one plan per rank per round");
+    let host_bw = server.cfg().host_bandwidth;
+    let freq = server.cfg().dpu.freq_hz;
+    let ranks = server.ranks_mut();
+    let outcomes: Vec<Result<RankExec, SimError>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_ranks);
+        for (r, (rank, plan)) in ranks.iter_mut().zip(round).enumerate() {
+            handles.push(scope.spawn(move || exec_rank(rank, kernel, r, plan, host_bw, freq)));
+        }
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(r, h)| {
+                h.join().unwrap_or_else(|payload| {
+                    Err(SimError::RankFailed {
+                        rank: r,
+                        reason: panic_reason(payload),
+                    })
+                })
+            })
+            .collect()
+    });
+    if tolerant {
+        return outcomes;
+    }
+    outcomes
+        .into_iter()
+        .map(|oc| {
+            oc.and_then(|exec| match exec.failures.first() {
+                Some(f) => Err(f.error.clone()),
+                None => Ok(exec),
+            })
+        })
+        .collect()
 }
 
 /// Execute rounds of rank plans. `rounds[k][r]` is rank `r`'s batch in
 /// round `k`. Ranks run on real threads; the simulated clock per rank is
 /// the sum of its rounds' transfer + barrier + collect times.
+///
+/// This is the strict path: the first fault anywhere aborts with its typed
+/// error. [`crate::recovery::execute_jobs_recovering`] is the tolerant
+/// counterpart.
 pub fn execute_rounds(
     server: &mut PimServer,
     kernel: &NwKernel,
     rounds: Vec<Vec<RankPlan>>,
 ) -> Result<DispatchOutcome, SimError> {
     let n_ranks = server.rank_count();
-    let host_bw = server.cfg().host_bandwidth;
-    let freq = server.cfg().dpu.freq_hz;
     let mut out = DispatchOutcome {
         rank_seconds: vec![0.0; n_ranks],
         ..Default::default()
     };
     let mut dpu_busy = vec![0.0f64; n_ranks];
     let mut imbalances: Vec<f64> = Vec::new();
-
     for round in rounds {
-        assert_eq!(round.len(), n_ranks, "one plan per rank per round");
-        // Each rank executes its plan on its own thread.
-        type RankResult = Result<
-            (
-                usize,
-                Vec<(usize, JobResult)>,
-                f64,
-                f64,
-                u64,
-                u64,
-                AggregateStats,
-                f64,
-                u64,
-            ),
-            SimError,
-        >;
-        let ranks = server.ranks_mut();
-        let outcomes: Vec<RankResult> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n_ranks);
-            for (r, (rank, plan)) in ranks.iter_mut().zip(round).enumerate() {
-                handles.push(scope.spawn(move || -> RankResult {
-                    let mut bytes_in = 0u64;
-                    let mut workload = 0u64;
-                    let mut active = false;
-                    for (d, dpu_plan) in plan.dpus.iter().enumerate() {
-                        if let Some(p) = dpu_plan {
-                            rank.dpu_mut(d)?.mram.host_write(0, &p.batch.image)?;
-                            bytes_in += p.batch.transfer_bytes();
-                            workload += p.batch.workload;
-                            active = true;
-                        }
-                    }
-                    if !active {
-                        return Ok((
-                            r,
-                            Vec::new(),
-                            0.0,
-                            0.0,
-                            0,
-                            0,
-                            AggregateStats::default(),
-                            0.0,
-                            0,
-                        ));
-                    }
-                    // Idle DPUs of an active rank still get a valid (empty)
-                    // image: the launch is rank-granular (§2.1), so every
-                    // DPU boots the kernel.
-                    for (d, dpu_plan) in plan.dpus.iter().enumerate() {
-                        if dpu_plan.is_none() {
-                            let builder = JobBatchBuilder::new(p_params(&plan), 1);
-                            let batch = builder.build(rank.dpu(d)?.mram.size())?;
-                            rank.dpu_mut(d)?.mram.host_write(0, &batch.image)?;
-                            bytes_in += batch.transfer_bytes();
-                        }
-                    }
-                    let run = rank.launch(kernel)?;
-                    let mut results = Vec::new();
-                    let mut bytes_out = 0u64;
-                    for (d, dpu_plan) in plan.dpus.iter().enumerate() {
-                        if let Some(p) = dpu_plan {
-                            let dpu = rank.dpu(d)?;
-                            let rs = p.batch.read_results(&dpu.mram)?;
-                            bytes_out += rs
-                                .iter()
-                                .map(|jr| 16 + 4 * jr.cigar.runs().len() as u64)
-                                .sum::<u64>();
-                            results.extend(p.job_ids.iter().copied().zip(rs));
-                        }
-                    }
-                    let barrier_s = run.barrier_cycles as f64 / freq;
-                    let xfer_s = (bytes_in + bytes_out) as f64 / host_bw;
-                    Ok((
-                        r,
-                        results,
-                        barrier_s,
-                        xfer_s,
-                        bytes_in,
-                        bytes_out,
-                        run.stats,
-                        run.stats.imbalance(),
-                        workload,
-                    ))
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
-                .collect()
-        });
-
-        for oc in outcomes {
-            let (r, results, barrier_s, xfer_s, b_in, b_out, stats, imb, wl) = oc?;
-            out.results.extend(results);
-            out.rank_seconds[r] += barrier_s + xfer_s;
-            dpu_busy[r] += barrier_s;
-            out.transfer_seconds += xfer_s;
-            out.bytes_in += b_in;
-            out.bytes_out += b_out;
-            out.workload += wl;
-            if stats.dpus > 0 {
-                imbalances.push(imb);
-                merge_aggregate(&mut out.stats, &stats);
-            }
+        for oc in run_round(server, kernel, round, false) {
+            out.absorb(oc?, &mut dpu_busy, &mut imbalances);
         }
     }
-    out.dpu_seconds = dpu_busy.iter().cloned().fold(0.0, f64::max);
-    out.mean_rank_imbalance = if imbalances.is_empty() {
-        0.0
-    } else {
-        imbalances.iter().sum::<f64>() / imbalances.len() as f64
-    };
+    out.finalize(&dpu_busy, &imbalances);
     Ok(out)
 }
 
@@ -269,17 +416,6 @@ fn merge_aggregate(dst: &mut AggregateStats, src: &AggregateStats) {
         dst.max_cycles = dst.max_cycles.max(src.max_cycles);
     }
     dst.dpus += src.dpus;
-}
-
-/// Kernel params for a plan (taken from any populated DPU; idle-only ranks
-/// never call this).
-fn p_params(plan: &RankPlan) -> KernelParams {
-    plan.dpus
-        .iter()
-        .flatten()
-        .map(|p| p.batch.params)
-        .next()
-        .expect("plan has at least one populated DPU")
 }
 
 /// Group job indices into `groups` balanced batches: sort by workload
@@ -421,6 +557,7 @@ mod tests {
         );
         let plan = RankPlan {
             dpus: vec![None, None],
+            params: Some(params()),
         };
         let out = execute_rounds(&mut server, &kernel, vec![vec![plan]]).unwrap();
         assert!(out.results.is_empty());

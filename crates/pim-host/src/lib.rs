@@ -21,16 +21,22 @@
 //! * [`report`] — the [`report::ExecutionReport`] every mode produces:
 //!   transfer/encode/compute breakdown, per-rank busy times, aggregate DPU
 //!   statistics, pipeline utilization and load imbalance.
+//! * [`recovery`] — fault-tolerant dispatch on a faulty server: integrity
+//!   failures and DPU/rank faults are retried on healthy DPUs, flaky DPUs
+//!   are quarantined, and jobs out of attempts fall back to the CPU with
+//!   the kernel-identical adaptive aligner.
 
 pub mod balance;
 pub mod dispatch;
 pub mod encode;
 pub mod hetero;
 pub mod modes;
+pub mod recovery;
 pub mod report;
 
 pub use balance::{lpt_assign, round_robin_assign};
 pub use dispatch::DispatchConfig;
 pub use hetero::{align_pairs_hetero, HeteroConfig, HeteroOutcome};
 pub use modes::{align_pairs, align_sets, all_vs_all};
+pub use recovery::{align_pairs_recovering, FaultReport, HealthTracker, RecoveryConfig};
 pub use report::ExecutionReport;

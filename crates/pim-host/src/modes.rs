@@ -118,7 +118,10 @@ pub fn all_vs_all(
     let per_dpu = pair_ids.len().div_ceil(total_dpus.max(1)).max(1);
     let mut plans: Vec<RankPlan> = Vec::with_capacity(n_ranks);
     for r in 0..n_ranks {
-        let mut rank_plan = RankPlan::default();
+        let mut rank_plan = RankPlan {
+            params: Some(params),
+            ..Default::default()
+        };
         for d in 0..dpus {
             let dpu_idx = r * dpus + d;
             let lo = (dpu_idx * per_dpu).min(pair_ids.len());
@@ -205,7 +208,10 @@ pub fn align_sets(
 
     let mut plans: Vec<RankPlan> = Vec::with_capacity(n_ranks);
     for r in 0..n_ranks {
-        let mut rank_plan = RankPlan::default();
+        let mut rank_plan = RankPlan {
+            params: Some(cfg.params),
+            ..Default::default()
+        };
         for d in 0..dpus {
             let bin = &assignment[r * dpus + d];
             if bin.is_empty() {
@@ -250,7 +256,7 @@ pub fn align_sets(
 }
 
 /// Place `(id, result)` pairs into a dense, input-ordered vector.
-fn scatter(tagged: Vec<(usize, JobResult)>, len: usize) -> Vec<JobResult> {
+pub(crate) fn scatter(tagged: Vec<(usize, JobResult)>, len: usize) -> Vec<JobResult> {
     let mut slots: Vec<Option<JobResult>> = (0..len).map(|_| None).collect();
     for (id, r) in tagged {
         assert!(slots[id].is_none(), "job id {id} produced twice");
@@ -263,7 +269,7 @@ fn scatter(tagged: Vec<(usize, JobResult)>, len: usize) -> Vec<JobResult> {
         .collect()
 }
 
-fn make_report(
+pub(crate) fn make_report(
     mode: &'static str,
     encode_seconds: f64,
     results: &[JobResult],
@@ -287,6 +293,7 @@ fn make_report(
         stats: outcome.stats,
         workload: outcome.workload,
         mean_rank_imbalance: outcome.mean_rank_imbalance,
+        fault: outcome.fault,
     }
 }
 

@@ -1,0 +1,630 @@
+//! Fault-tolerant dispatch: retry, quarantine, CPU fallback.
+//!
+//! The strict path ([`crate::dispatch::execute_rounds`]) aborts on the
+//! first fault — correct for a healthy server, useless on one where DPUs
+//! are masked out, launches fault, or readback flips bits (see
+//! [`pim_sim::fault`]). This module completes every job anyway:
+//!
+//! 1. **Detect** — per-DPU failures surface as typed errors: launch faults
+//!    as [`SimError::DpuFaulted`], readback corruption as
+//!    [`SimError::ResultCorrupt`] (magic + checksum on every result
+//!    block), dead ranks and panicked rank workers as
+//!    [`SimError::RankFailed`].
+//! 2. **Retry** — failed jobs are re-planned with the same LPT balancer
+//!    onto the healthy DPUs and re-launched, up to
+//!    [`RecoveryConfig::max_attempts`] total attempts per job. A dead
+//!    rank's jobs fail over to the surviving ranks.
+//! 3. **Quarantine** — a [`HealthTracker`] counts consecutive faults per
+//!    DPU; after [`RecoveryConfig::quarantine_after`] in a row the DPU is
+//!    taken out of the planning set (flaky hardware, not bad luck).
+//! 4. **Fall back** — jobs that exhaust their attempts (or have no DPU
+//!    left to run on) are aligned on the CPU with
+//!    [`nw_core::adaptive::AdaptiveAligner`] — the same algorithm the DPU
+//!    kernel runs, so fallback scores are bit-identical to DPU scores —
+//!    driven by the work-stealing batch runner of
+//!    [`cpu_baseline::driver::run_batch`].
+//!
+//! Every recovery action is accounted in a [`FaultReport`] so tests (and
+//! the `chaos` CLI subcommand) can assert that nothing was lost.
+
+use crate::balance::lpt_assign;
+use crate::dispatch::{group_jobs, run_round, DispatchConfig, DispatchOutcome, DpuPlan, RankPlan};
+use crate::encode::Encoder;
+use crate::report::ExecutionReport;
+use cpu_baseline::driver::run_batch;
+use dpu_kernel::layout::{JobBatchBuilder, JobResult, JobStatus, KernelParams};
+use dpu_kernel::NwKernel;
+use nw_core::adaptive::AdaptiveAligner;
+use nw_core::cigar::Cigar;
+use nw_core::error::AlignError;
+use nw_core::seq::{DnaSeq, PackedSeq};
+use pim_sim::{PimServer, SimError};
+
+/// Recovery policy knobs.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Total attempts per job on the PiM side before CPU fallback (>= 1).
+    pub max_attempts: usize,
+    /// Consecutive faults after which a DPU is quarantined (>= 1).
+    pub quarantine_after: usize,
+    /// Worker threads for the CPU fallback batch.
+    pub cpu_threads: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            quarantine_after: 2,
+            cpu_threads: 4,
+        }
+    }
+}
+
+/// Accounting of everything the recovery layer did. All-zero (see
+/// [`FaultReport::is_clean`]) when the run hit no faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultReport {
+    /// Per-DPU launch faults / disabled-DPU hits observed.
+    pub dpu_faults: usize,
+    /// Whole-rank launch failures observed.
+    pub rank_failures: usize,
+    /// Result blocks rejected by the magic/checksum integrity check.
+    pub corrupt_results: usize,
+    /// Job re-dispatches (a job retried twice counts twice).
+    pub retried_jobs: usize,
+    /// `(rank, dpu)` pairs quarantined after repeated faults.
+    pub quarantined: Vec<(usize, usize)>,
+    /// Ranks declared dead after a launch failure.
+    pub dead_ranks: Vec<usize>,
+    /// Jobs completed by the CPU fallback aligner.
+    pub cpu_fallbacks: usize,
+    /// DPU cycles burned by attempts whose results were discarded.
+    pub wasted_cycles: u64,
+}
+
+impl FaultReport {
+    /// True when no fault was observed and no recovery action taken.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "faults: {} dpu, {} rank, {} corrupt; {} retries, {} quarantined, {} dead ranks, {} cpu fallbacks, {} wasted cycles",
+            self.dpu_faults,
+            self.rank_failures,
+            self.corrupt_results,
+            self.retried_jobs,
+            self.quarantined.len(),
+            self.dead_ranks.len(),
+            self.cpu_fallbacks,
+            self.wasted_cycles,
+        )
+    }
+}
+
+/// Per-DPU health bookkeeping: consecutive-fault counters, quarantine
+/// flags, dead-rank flags.
+#[derive(Debug)]
+pub struct HealthTracker {
+    threshold: usize,
+    consecutive: Vec<Vec<usize>>,
+    quarantined: Vec<Vec<bool>>,
+    dead: Vec<bool>,
+}
+
+impl HealthTracker {
+    /// Track `ranks` x `dpus` DPUs; quarantine after `threshold`
+    /// consecutive faults.
+    pub fn new(ranks: usize, dpus: usize, threshold: usize) -> Self {
+        assert!(threshold >= 1, "quarantine threshold must be >= 1");
+        Self {
+            threshold,
+            consecutive: vec![vec![0; dpus]; ranks],
+            quarantined: vec![vec![false; dpus]; ranks],
+            dead: vec![false; ranks],
+        }
+    }
+
+    /// Record a fault; returns true when this fault newly quarantines the
+    /// DPU.
+    pub fn record_fault(&mut self, rank: usize, dpu: usize) -> bool {
+        self.consecutive[rank][dpu] += 1;
+        if self.consecutive[rank][dpu] >= self.threshold && !self.quarantined[rank][dpu] {
+            self.quarantined[rank][dpu] = true;
+            return true;
+        }
+        false
+    }
+
+    /// Record a clean round for a DPU (resets its consecutive counter; a
+    /// quarantined DPU stays quarantined).
+    pub fn record_success(&mut self, rank: usize, dpu: usize) {
+        self.consecutive[rank][dpu] = 0;
+    }
+
+    /// Is the DPU quarantined?
+    pub fn is_quarantined(&self, rank: usize, dpu: usize) -> bool {
+        self.quarantined[rank][dpu]
+    }
+
+    /// Declare a rank dead; returns true when it was alive before.
+    pub fn mark_dead(&mut self, rank: usize) -> bool {
+        !std::mem::replace(&mut self.dead[rank], true)
+    }
+
+    /// Is the rank dead?
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.dead[rank]
+    }
+}
+
+/// LPT a job subset over an explicit list of usable DPU slots of one rank.
+fn plan_rank_subset(
+    jobs: &[(PackedSeq, PackedSeq)],
+    ids: &[usize],
+    slots: &[usize],
+    dpus_per_rank: usize,
+    params: KernelParams,
+    pools: usize,
+    mram_size: usize,
+) -> Result<RankPlan, SimError> {
+    let mut dpus: Vec<Option<DpuPlan>> = (0..dpus_per_rank).map(|_| None).collect();
+    if !ids.is_empty() && !slots.is_empty() {
+        let workloads: Vec<u64> = ids
+            .iter()
+            .map(|&i| crate::balance::workload(jobs[i].0.len(), jobs[i].1.len(), params.band))
+            .collect();
+        for (bin, &slot) in lpt_assign(&workloads, slots.len()).iter().zip(slots) {
+            if bin.is_empty() {
+                continue;
+            }
+            let mut builder = JobBatchBuilder::new(params, pools);
+            let mut job_ids = Vec::with_capacity(bin.len());
+            for &k in bin {
+                let i = ids[k];
+                builder.add_pair(jobs[i].0.clone(), jobs[i].1.clone());
+                job_ids.push(i);
+            }
+            dpus[slot] = Some(DpuPlan {
+                job_ids,
+                batch: builder.build(mram_size)?,
+            });
+        }
+    }
+    Ok(RankPlan {
+        dpus,
+        params: Some(params),
+    })
+}
+
+fn cpu_result<T>(r: Result<T, AlignError>, to_job: impl Fn(T) -> JobResult) -> JobResult {
+    match r {
+        Ok(v) => to_job(v),
+        // The kernel reports an unreachable end cell as OutOfBand; the CPU
+        // fallback must look the same to the caller.
+        Err(_) => JobResult {
+            status: JobStatus::OutOfBand,
+            score: 0,
+            cigar: Cigar::new(),
+        },
+    }
+}
+
+/// Execute `jobs` to completion on a possibly faulty server.
+///
+/// Returns a [`DispatchOutcome`] whose `results` contain **every** job id
+/// exactly once and whose `fault` field accounts for every retry,
+/// quarantine and fallback. With an empty fault plan this takes the same
+/// plan-and-launch path as [`crate::dispatch::execute_rounds`] and the
+/// report comes back clean.
+pub fn execute_jobs_recovering(
+    server: &mut PimServer,
+    kernel: &NwKernel,
+    params: KernelParams,
+    pools: usize,
+    rounds: usize,
+    rcfg: &RecoveryConfig,
+    jobs: &[(PackedSeq, PackedSeq)],
+) -> Result<DispatchOutcome, SimError> {
+    assert!(rcfg.max_attempts >= 1, "max_attempts must be >= 1");
+    let n_ranks = server.rank_count();
+    let dpus_per_rank = server.cfg().dpus_per_rank;
+    let mram = server.cfg().dpu.mram_size;
+
+    let mut out = DispatchOutcome {
+        rank_seconds: vec![0.0; n_ranks],
+        ..Default::default()
+    };
+    let mut report = FaultReport::default();
+    let mut dpu_busy = vec![0.0f64; n_ranks];
+    let mut imbalances: Vec<f64> = Vec::new();
+    let mut health = HealthTracker::new(n_ranks, dpus_per_rank, rcfg.quarantine_after);
+    let mut attempts = vec![0usize; jobs.len()];
+    let mut pending: Vec<usize> = (0..jobs.len()).collect();
+    let mut fallback: Vec<usize> = Vec::new();
+    let mut first_pass = true;
+
+    while !pending.is_empty() {
+        // Jobs out of PiM attempts go to the CPU.
+        let (retryable, exhausted): (Vec<usize>, Vec<usize>) = pending
+            .into_iter()
+            .partition(|&i| attempts[i] < rcfg.max_attempts);
+        fallback.extend(exhausted);
+        pending = retryable;
+        if pending.is_empty() {
+            break;
+        }
+
+        // The usable slot set: enabled, not quarantined, rank not dead.
+        let mut usable: Vec<Vec<usize>> = vec![Vec::new(); n_ranks];
+        for (r, slots) in usable.iter_mut().enumerate() {
+            if health.is_dead(r) {
+                continue;
+            }
+            let rank = server.rank(r)?;
+            slots.extend(
+                (0..dpus_per_rank).filter(|&d| rank.dpu_enabled(d) && !health.is_quarantined(r, d)),
+            );
+        }
+        let alive: Vec<usize> = (0..n_ranks).filter(|&r| !usable[r].is_empty()).collect();
+        if alive.is_empty() {
+            // Nowhere left to run: everything still pending goes to the CPU.
+            fallback.append(&mut pending);
+            break;
+        }
+
+        for &i in &pending {
+            attempts[i] += 1;
+            if attempts[i] > 1 {
+                report.retried_jobs += 1;
+            }
+        }
+
+        // Plan this pass: the first pass honors the caller's FIFO depth,
+        // retries run a single round (few jobs, no point queueing).
+        let rounds_n = if first_pass { rounds.max(1) } else { 1 };
+        let workloads: Vec<u64> = pending
+            .iter()
+            .map(|&i| crate::balance::workload(jobs[i].0.len(), jobs[i].1.len(), params.band))
+            .collect();
+        let groups = group_jobs(&workloads, rounds_n * alive.len());
+        let mut requeue: Vec<usize> = Vec::new();
+        for k in 0..rounds_n {
+            let mut round_plans: Vec<RankPlan> = Vec::with_capacity(n_ranks);
+            let mut planned: Vec<Vec<(usize, Vec<usize>)>> = vec![Vec::new(); n_ranks];
+            for r in 0..n_ranks {
+                let plan = match alive.iter().position(|&a| a == r) {
+                    Some(ri) => {
+                        let ids: Vec<usize> = groups[k * alive.len() + ri]
+                            .iter()
+                            .map(|&g| pending[g])
+                            .collect();
+                        plan_rank_subset(
+                            jobs,
+                            &ids,
+                            &usable[r],
+                            dpus_per_rank,
+                            params,
+                            pools,
+                            mram,
+                        )?
+                    }
+                    None => RankPlan {
+                        dpus: (0..dpus_per_rank).map(|_| None).collect(),
+                        params: Some(params),
+                    },
+                };
+                planned[r] = plan
+                    .dpus
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(d, p)| p.as_ref().map(|p| (d, p.job_ids.clone())))
+                    .collect();
+                round_plans.push(plan);
+            }
+            for (r, oc) in run_round(server, kernel, round_plans, true)
+                .into_iter()
+                .enumerate()
+            {
+                match oc {
+                    Err(SimError::RankFailed { .. }) => {
+                        report.rank_failures += 1;
+                        if health.mark_dead(r) {
+                            report.dead_ranks.push(r);
+                        }
+                        for (_, ids) in &planned[r] {
+                            requeue.extend(ids.iter().copied());
+                        }
+                    }
+                    // Anything else rank-fatal is a host/kernel bug, not an
+                    // injected fault — surface it.
+                    Err(e) => return Err(e),
+                    Ok(mut exec) => {
+                        let failures = std::mem::take(&mut exec.failures);
+                        let mut failed_dpus = vec![false; dpus_per_rank];
+                        for f in failures {
+                            failed_dpus[f.dpu] = true;
+                            match f.error {
+                                SimError::DpuFaulted { .. } => report.dpu_faults += 1,
+                                _ => report.corrupt_results += 1,
+                            }
+                            report.wasted_cycles += f.wasted_cycles;
+                            if health.record_fault(r, f.dpu) {
+                                report.quarantined.push((r, f.dpu));
+                            }
+                            requeue.extend(f.job_ids);
+                        }
+                        for &(d, _) in &planned[r] {
+                            if !failed_dpus[d] {
+                                health.record_success(r, d);
+                            }
+                        }
+                        out.absorb(exec, &mut dpu_busy, &mut imbalances);
+                    }
+                }
+            }
+        }
+        pending = requeue;
+        first_pass = false;
+    }
+
+    // CPU fallback: the adaptive aligner is the same DP the kernel runs, so
+    // scores and CIGARs are identical to what a healthy DPU would produce.
+    if !fallback.is_empty() {
+        report.cpu_fallbacks = fallback.len();
+        let aligner = AdaptiveAligner::new(params.scheme, params.band);
+        let pairs: Vec<(DnaSeq, DnaSeq)> = fallback
+            .iter()
+            .map(|&i| (jobs[i].0.unpack(), jobs[i].1.unpack()))
+            .collect();
+        let threads = rcfg.cpu_threads.max(1);
+        if params.score_only {
+            let (results, _) = run_batch(threads, &pairs, |a, b| aligner.score(a, b));
+            for (&i, r) in fallback.iter().zip(results) {
+                out.results.push((
+                    i,
+                    cpu_result(r, |score| JobResult {
+                        status: JobStatus::Ok,
+                        score,
+                        cigar: Cigar::new(),
+                    }),
+                ));
+            }
+        } else {
+            let (results, _) = run_batch(threads, &pairs, |a, b| aligner.align(a, b));
+            for (&i, r) in fallback.iter().zip(results) {
+                out.results.push((
+                    i,
+                    cpu_result(r, |aln| JobResult {
+                        status: JobStatus::Ok,
+                        score: aln.score,
+                        cigar: aln.cigar,
+                    }),
+                ));
+            }
+        }
+    }
+
+    out.finalize(&dpu_busy, &imbalances);
+    out.fault = report;
+    Ok(out)
+}
+
+/// Fault-tolerant counterpart of [`crate::modes::align_pairs`]: encode,
+/// dispatch with recovery, and return per-pair results in input order plus
+/// a report whose `fault` field shows what the recovery layer did.
+pub fn align_pairs_recovering(
+    server: &mut PimServer,
+    cfg: &DispatchConfig,
+    rcfg: &RecoveryConfig,
+    pairs: &[(DnaSeq, DnaSeq)],
+) -> Result<(ExecutionReport, Vec<JobResult>), SimError> {
+    let mut encoder = Encoder::new(0xDA7A);
+    let packed: Vec<(PackedSeq, PackedSeq)> = pairs
+        .iter()
+        .map(|(a, b)| (encoder.encode_seq(a), encoder.encode_seq(b)))
+        .collect();
+    let encode_seconds = encoder.stats().ascii_bytes as f64 / cfg.encode_rate;
+    let mut outcome = execute_jobs_recovering(
+        server,
+        &cfg.kernel,
+        cfg.params,
+        cfg.kernel.pool_cfg.pools,
+        cfg.rounds,
+        rcfg,
+        &packed,
+    )?;
+    let results = crate::modes::scatter(std::mem::take(&mut outcome.results), pairs.len());
+    let report = crate::modes::make_report("pairs-recovering", encode_seconds, &results, outcome);
+    Ok((report, results))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_kernel::{KernelVariant, NwKernel, PoolConfig};
+    use nw_core::ScoringScheme;
+    use pim_sim::{FaultPlan, ServerConfig};
+
+    fn seq(text: &str) -> DnaSeq {
+        DnaSeq::from_ascii(text.as_bytes()).unwrap()
+    }
+
+    fn pairs(n: usize) -> Vec<(DnaSeq, DnaSeq)> {
+        (0..n)
+            .map(|k| {
+                let a = "ACGTGGTCAT".repeat(4 + k % 3);
+                let mut b = a.clone();
+                b.insert_str(3 + k % 5, "TG");
+                (seq(&a), seq(&b))
+            })
+            .collect()
+    }
+
+    fn config() -> DispatchConfig {
+        let kernel = NwKernel::new(
+            PoolConfig {
+                pools: 2,
+                tasklets: 4,
+            },
+            KernelVariant::Asm,
+        );
+        let params = KernelParams {
+            band: 16,
+            scheme: ScoringScheme::default(),
+            score_only: false,
+        };
+        DispatchConfig::new(kernel, params)
+    }
+
+    fn server_with(fault: FaultPlan, ranks: usize, dpus: usize) -> PimServer {
+        let mut cfg = ServerConfig::with_ranks(ranks);
+        cfg.dpus_per_rank = dpus;
+        cfg.fault = fault;
+        PimServer::new(cfg)
+    }
+
+    fn reference(cfg: &DispatchConfig, ps: &[(DnaSeq, DnaSeq)]) -> Vec<JobResult> {
+        let aligner = AdaptiveAligner::new(cfg.params.scheme, cfg.params.band);
+        ps.iter()
+            .map(|(a, b)| match aligner.align(a, b) {
+                Ok(aln) => JobResult {
+                    status: JobStatus::Ok,
+                    score: aln.score,
+                    cigar: aln.cigar,
+                },
+                Err(_) => JobResult {
+                    status: JobStatus::OutOfBand,
+                    score: 0,
+                    cigar: Cigar::new(),
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_server_produces_clean_report() {
+        let ps = pairs(12);
+        let cfg = config();
+        let mut server = server_with(FaultPlan::default(), 2, 3);
+        let (report, results) =
+            align_pairs_recovering(&mut server, &cfg, &Default::default(), &ps).unwrap();
+        assert!(report.fault.is_clean(), "{}", report.fault.summary());
+        assert_eq!(results, reference(&cfg, &ps));
+    }
+
+    #[test]
+    fn disabled_dpus_fail_over_to_healthy_ones() {
+        let ps = pairs(10);
+        let cfg = config();
+        let fault = FaultPlan {
+            disabled_dpus: vec![(0, 0), (1, 2)],
+            ..Default::default()
+        };
+        let mut server = server_with(fault, 2, 3);
+        let (report, results) =
+            align_pairs_recovering(&mut server, &cfg, &Default::default(), &ps).unwrap();
+        assert_eq!(results, reference(&cfg, &ps));
+        // Disabled DPUs never get planned jobs (the planner sees them), so
+        // the run is clean — no retries were needed.
+        assert!(report.fault.is_clean(), "{}", report.fault.summary());
+    }
+
+    #[test]
+    fn dead_rank_jobs_fail_over() {
+        let ps = pairs(10);
+        let cfg = config();
+        let fault = FaultPlan {
+            dead_ranks: vec![0],
+            ..Default::default()
+        };
+        let mut server = server_with(fault, 2, 3);
+        let (report, results) =
+            align_pairs_recovering(&mut server, &cfg, &Default::default(), &ps).unwrap();
+        assert_eq!(results, reference(&cfg, &ps));
+        assert_eq!(report.fault.dead_ranks, vec![0]);
+        assert!(report.fault.rank_failures >= 1);
+        assert!(report.fault.retried_jobs > 0);
+        assert_eq!(report.fault.cpu_fallbacks, 0);
+    }
+
+    #[test]
+    fn total_fault_rate_falls_back_to_cpu() {
+        let ps = pairs(6);
+        let cfg = config();
+        let fault = FaultPlan {
+            seed: 1,
+            dpu_fault_rate: 1.0,
+            ..Default::default()
+        };
+        let mut server = server_with(fault, 1, 2);
+        let rcfg = RecoveryConfig {
+            max_attempts: 2,
+            quarantine_after: 2,
+            cpu_threads: 2,
+        };
+        let (report, results) = align_pairs_recovering(&mut server, &cfg, &rcfg, &ps).unwrap();
+        assert_eq!(results, reference(&cfg, &ps));
+        assert_eq!(report.fault.cpu_fallbacks, 6);
+        assert!(report.fault.dpu_faults > 0);
+        assert!(!report.fault.quarantined.is_empty());
+    }
+
+    #[test]
+    fn corruption_is_detected_and_retried() {
+        let ps = pairs(8);
+        let cfg = config();
+        let fault = FaultPlan {
+            seed: 9,
+            corrupt_rate: 0.4,
+            ..Default::default()
+        };
+        let mut server = server_with(fault, 2, 3);
+        let rcfg = RecoveryConfig {
+            max_attempts: 10,
+            quarantine_after: 100, // never quarantine: force retry-to-success
+            cpu_threads: 1,
+        };
+        let (report, results) = align_pairs_recovering(&mut server, &cfg, &rcfg, &ps).unwrap();
+        assert_eq!(results, reference(&cfg, &ps));
+        assert!(
+            report.fault.corrupt_results > 0,
+            "rate 0.4 over 6 DPUs must corrupt something: {}",
+            report.fault.summary()
+        );
+        assert!(report.fault.wasted_cycles > 0, "corrupt DPUs did run");
+        assert_eq!(report.fault.cpu_fallbacks, 0);
+    }
+
+    #[test]
+    fn health_tracker_quarantines_after_threshold() {
+        let mut h = HealthTracker::new(2, 2, 2);
+        assert!(!h.record_fault(0, 1));
+        assert!(!h.is_quarantined(0, 1));
+        assert!(h.record_fault(0, 1), "second consecutive fault quarantines");
+        assert!(h.is_quarantined(0, 1));
+        assert!(!h.record_fault(0, 1), "already quarantined");
+        // Success resets the counter on another DPU.
+        assert!(!h.record_fault(1, 0));
+        h.record_success(1, 0);
+        assert!(!h.record_fault(1, 0));
+        assert!(!h.is_quarantined(1, 0));
+        // Dead ranks.
+        assert!(h.mark_dead(1));
+        assert!(!h.mark_dead(1));
+        assert!(h.is_dead(1) && !h.is_dead(0));
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let cfg = config();
+        let mut server = server_with(FaultPlan::default(), 1, 2);
+        let (report, results) =
+            align_pairs_recovering(&mut server, &cfg, &Default::default(), &[]).unwrap();
+        assert!(results.is_empty());
+        assert!(report.fault.is_clean());
+    }
+}

@@ -1,6 +1,7 @@
 //! Execution reports: the time/energy breakdown every experiment mode
 //! produces, in the units the paper's tables use.
 
+use crate::recovery::FaultReport;
 use pim_sim::stats::AggregateStats;
 
 /// End-to-end accounting for one experiment run.
@@ -33,6 +34,8 @@ pub struct ExecutionReport {
     pub workload: u64,
     /// Mean intra-rank load imbalance over launches (`(max-min)/max`).
     pub mean_rank_imbalance: f64,
+    /// Fault/recovery accounting (clean outside the recovery path).
+    pub fault: FaultReport,
 }
 
 impl ExecutionReport {

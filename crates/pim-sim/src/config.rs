@@ -1,6 +1,8 @@
 //! Hardware configuration: the numbers come straight from §2.1 and §5 of the
 //! paper and from UPMEM's published documentation.
 
+use crate::fault::FaultPlan;
+
 /// Per-DPU architectural parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DpuConfig {
@@ -56,6 +58,8 @@ pub struct ServerConfig {
     /// Aggregate host->PiM transfer bandwidth in bytes/second (the measured
     /// 60 GB/s peak of §4.1.1).
     pub host_bandwidth: f64,
+    /// Fault-injection schedule. The default injects nothing.
+    pub fault: FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +70,7 @@ impl Default for ServerConfig {
             dpus_per_rank: 64,
             dpu: DpuConfig::default(),
             host_bandwidth: 60.0e9,
+            fault: FaultPlan::default(),
         }
     }
 }

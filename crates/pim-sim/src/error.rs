@@ -60,6 +60,31 @@ pub enum SimError {
     },
     /// ISA-level fault from the interpreter.
     Isa(crate::isa::IsaError),
+    /// A DPU is unavailable: masked out at boot or faulted at launch (the
+    /// SDK's per-DPU fault status).
+    DpuFaulted {
+        /// Rank of the faulty DPU.
+        rank: usize,
+        /// DPU index within the rank.
+        dpu: usize,
+    },
+    /// A whole rank failed to launch (dead DIMM half, channel failure, or a
+    /// panicked rank worker thread).
+    RankFailed {
+        /// The failed rank.
+        rank: usize,
+        /// Human-readable failure cause.
+        reason: String,
+    },
+    /// A result block read back from MRAM failed its integrity check (bad
+    /// magic word or checksum mismatch) — bit corruption on the readback
+    /// path.
+    ResultCorrupt {
+        /// MRAM offset of the corrupt record.
+        offset: usize,
+        /// What failed ("bad result magic", "checksum mismatch", ...).
+        detail: &'static str,
+    },
     /// A rank/DPU index out of range.
     BadTopology {
         /// What kind of index ("rank" or "dpu").
@@ -112,6 +137,15 @@ impl fmt::Display for SimError {
                 write!(f, "kernel fault {code}: {message}")
             }
             SimError::Isa(e) => write!(f, "ISA fault: {e}"),
+            SimError::DpuFaulted { rank, dpu } => {
+                write!(f, "DPU {dpu} of rank {rank} is faulted/disabled")
+            }
+            SimError::RankFailed { rank, reason } => {
+                write!(f, "rank {rank} failed: {reason}")
+            }
+            SimError::ResultCorrupt { offset, detail } => {
+                write!(f, "corrupt result block at MRAM offset {offset}: {detail}")
+            }
             SimError::BadTopology { what, index, max } => {
                 write!(f, "{what} index {index} out of range (max {max})")
             }
@@ -147,5 +181,22 @@ mod tests {
             max: 40,
         };
         assert!(e.to_string().contains("rank"));
+    }
+
+    #[test]
+    fn fault_messages_mention_location() {
+        let e = SimError::DpuFaulted { rank: 3, dpu: 17 };
+        assert!(e.to_string().contains('3') && e.to_string().contains("17"));
+        let e = SimError::RankFailed {
+            rank: 5,
+            reason: "injected".into(),
+        };
+        assert!(e.to_string().contains('5') && e.to_string().contains("injected"));
+        let e = SimError::ResultCorrupt {
+            offset: 4096,
+            detail: "checksum mismatch",
+        };
+        assert!(e.to_string().contains("4096"));
+        assert!(e.to_string().contains("checksum"));
     }
 }

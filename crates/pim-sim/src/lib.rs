@@ -29,10 +29,14 @@
 //! * **Verification** — a static lint pass over assembled ISA programs
 //!   ([`isa::verify`]) and an opt-in runtime WRAM sanitizer with shadow
 //!   memory and cross-tasklet race detection ([`sanitizer`]).
+//! * **Fault injection** — a deterministic, seedable fault schedule
+//!   ([`fault::FaultPlan`] on [`ServerConfig`]): boot-disabled DPUs, launch
+//!   faults, dead ranks, readback bit corruption, and straggler ranks.
 
 pub mod config;
 pub mod dpu;
 pub mod error;
+pub mod fault;
 pub mod isa;
 pub mod memory;
 pub mod pipeline;
@@ -45,6 +49,7 @@ pub mod stats;
 pub use config::{DpuConfig, ServerConfig};
 pub use dpu::Dpu;
 pub use error::SimError;
+pub use fault::FaultPlan;
 pub use memory::{Mram, Wram};
 pub use pipeline::{phase_cycles, PhaseCost};
 pub use rank::Rank;

@@ -144,6 +144,12 @@ impl Wram {
 pub struct Mram {
     data: Vec<u8>,
     size: usize,
+    /// Armed readback corruption (fault injection): when `Some(seed)`,
+    /// every host read has one deterministic bit flipped in the returned
+    /// buffer. The stored bytes are untouched; the next host write disarms
+    /// (the corruption models a flaky host<->DIMM link, and a fresh image
+    /// upload re-trains it).
+    corrupt: Option<u64>,
 }
 
 impl Mram {
@@ -152,7 +158,18 @@ impl Mram {
         Self {
             data: Vec::new(),
             size,
+            corrupt: None,
         }
+    }
+
+    /// Arm readback corruption with a deterministic seed (fault injection).
+    pub fn arm_corruption(&mut self, seed: u64) {
+        self.corrupt = Some(seed);
+    }
+
+    /// True when readback corruption is armed.
+    pub fn corruption_armed(&self) -> bool {
+        self.corrupt.is_some()
     }
 
     /// Logical bank size.
@@ -186,18 +203,26 @@ impl Mram {
     /// host accesses MRAM directly while the DPU is idle).
     pub fn host_write(&mut self, offset: usize, bytes: &[u8]) -> Result<(), SimError> {
         self.check(offset, bytes.len())?;
+        self.corrupt = None;
         self.ensure(offset + bytes.len());
         self.data[offset..offset + bytes.len()].copy_from_slice(bytes);
         Ok(())
     }
 
-    /// Host-side read.
+    /// Host-side read. When corruption is armed, one bit of the returned
+    /// buffer — chosen deterministically from `(seed, offset)` — is flipped.
     pub fn host_read(&self, offset: usize, len: usize) -> Result<Vec<u8>, SimError> {
         self.check(offset, len)?;
         let mut out = vec![0u8; len];
         let have = self.data.len().saturating_sub(offset).min(len);
         if have > 0 {
             out[..have].copy_from_slice(&self.data[offset..offset + have]);
+        }
+        if let Some(seed) = self.corrupt {
+            if len > 0 {
+                let bit = crate::fault::mix64(seed ^ offset as u64) as usize % (len * 8);
+                out[bit / 8] ^= 1 << (bit % 8);
+            }
         }
         Ok(out)
     }
@@ -251,6 +276,28 @@ mod tests {
         assert_eq!(b % 8, 0);
         assert!(b >= 10);
         assert_eq!(w.allocated(), b + 16);
+    }
+
+    #[test]
+    fn armed_corruption_flips_exactly_one_bit_per_read() {
+        let mut m = Mram::new(1 << 20);
+        m.host_write(64, &[0xAAu8; 32]).unwrap();
+        let clean = m.host_read(64, 32).unwrap();
+        m.arm_corruption(0x1234);
+        assert!(m.corruption_armed());
+        let dirty = m.host_read(64, 32).unwrap();
+        let flipped: u32 = clean
+            .iter()
+            .zip(&dirty)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "exactly one bit flips");
+        // Deterministic: the same read corrupts the same bit.
+        assert_eq!(m.host_read(64, 32).unwrap(), dirty);
+        // Stored bytes are untouched and a host write disarms.
+        m.host_write(0, &[1]).unwrap();
+        assert!(!m.corruption_armed());
+        assert_eq!(m.host_read(64, 32).unwrap(), clean);
     }
 
     #[test]

@@ -5,10 +5,19 @@
 //! results of a rank cannot be read before *every* DPU of the rank has
 //! finished — the barrier that makes intra-rank load balancing critical
 //! (§4.1.2).
+//!
+//! Faults: a rank carries its slice of the server's
+//! [`crate::fault::FaultPlan`]. Boot-disabled DPUs are unreachable from the
+//! host ([`SimError::DpuFaulted`]); a dead rank fails every launch
+//! ([`SimError::RankFailed`]); per-launch DPU faults and readback
+//! corruption are reported through [`RankRun`] and the DPU's
+//! [`crate::Mram`]. With the default (empty) plan none of these paths are
+//! taken and behavior is identical to a fault-free rank.
 
 use crate::config::DpuConfig;
 use crate::dpu::{Dpu, Kernel};
 use crate::error::SimError;
+use crate::fault::RankFaultState;
 use crate::stats::AggregateStats;
 use crate::Cycles;
 
@@ -16,17 +25,24 @@ use crate::Cycles;
 #[derive(Debug)]
 pub struct Rank {
     dpus: Vec<Dpu>,
+    fault: RankFaultState,
 }
 
 impl Rank {
-    /// Build a rank of `n` DPUs.
+    /// Build a healthy rank of `n` DPUs.
     pub fn new(cfg: DpuConfig, n: usize) -> Self {
+        Self::with_faults(cfg, n, RankFaultState::healthy(0, n))
+    }
+
+    /// Build a rank carrying its slice of a fault plan.
+    pub fn with_faults(cfg: DpuConfig, n: usize, fault: RankFaultState) -> Self {
         Self {
             dpus: (0..n).map(|_| Dpu::new(cfg)).collect(),
+            fault,
         }
     }
 
-    /// Number of DPUs.
+    /// Number of DPUs (including disabled ones — the hardware slots exist).
     pub fn len(&self) -> usize {
         self.dpus.len()
     }
@@ -36,60 +52,120 @@ impl Rank {
         self.dpus.is_empty()
     }
 
+    /// True when `idx` is a usable DPU: in range and not masked out at boot.
+    pub fn dpu_enabled(&self, idx: usize) -> bool {
+        idx < self.dpus.len() && !self.fault.is_disabled(idx)
+    }
+
+    /// Indices of the boot-enabled DPUs.
+    pub fn enabled_dpus(&self) -> Vec<usize> {
+        (0..self.dpus.len())
+            .filter(|&d| !self.fault.is_disabled(d))
+            .collect()
+    }
+
+    /// True when the rank is configured dead (every launch fails).
+    pub fn is_dead(&self) -> bool {
+        self.fault.is_dead()
+    }
+
+    fn check_enabled(&self, idx: usize) -> Result<(), SimError> {
+        if idx >= self.dpus.len() {
+            return Err(SimError::BadTopology {
+                what: "dpu",
+                index: idx,
+                max: self.dpus.len(),
+            });
+        }
+        if self.fault.is_disabled(idx) {
+            return Err(SimError::DpuFaulted {
+                rank: self.fault.rank,
+                dpu: idx,
+            });
+        }
+        Ok(())
+    }
+
     /// Access one DPU (host-side, between launches).
     pub fn dpu(&self, idx: usize) -> Result<&Dpu, SimError> {
-        self.dpus.get(idx).ok_or(SimError::BadTopology {
-            what: "dpu",
-            index: idx,
-            max: self.dpus.len(),
-        })
+        self.check_enabled(idx)?;
+        Ok(&self.dpus[idx])
     }
 
     /// Mutable access to one DPU (host-side, between launches).
     pub fn dpu_mut(&mut self, idx: usize) -> Result<&mut Dpu, SimError> {
-        let max = self.dpus.len();
-        self.dpus.get_mut(idx).ok_or(SimError::BadTopology {
-            what: "dpu",
-            index: idx,
-            max,
-        })
+        self.check_enabled(idx)?;
+        Ok(&mut self.dpus[idx])
     }
 
-    /// Iterate DPUs.
+    /// Iterate DPUs (including disabled slots).
     pub fn dpus(&self) -> impl Iterator<Item = &Dpu> {
         self.dpus.iter()
     }
 
-    /// Launch the kernel on every DPU of the rank (the broadcast boot
-    /// command) and wait for all of them: returns the rank barrier time —
-    /// the *maximum* DPU cycle count — plus per-DPU aggregates.
+    /// Launch the kernel on every enabled DPU of the rank (the broadcast
+    /// boot command) and wait for all of them: returns the rank barrier
+    /// time — the *maximum* DPU cycle count — plus per-DPU aggregates.
+    ///
+    /// Fault semantics: a dead rank returns [`SimError::RankFailed`];
+    /// per-DPU launch faults skip the DPU and report it in
+    /// [`RankRun::faulted`] (mirroring the SDK's per-DPU fault status —
+    /// surviving DPUs still produce results); armed readback corruption is
+    /// installed on the affected DPU's MRAM after its kernel ran.
     pub fn launch(&mut self, kernel: &dyn Kernel) -> Result<RankRun, SimError> {
+        if self.fault.is_dead() {
+            return Err(SimError::RankFailed {
+                rank: self.fault.rank,
+                reason: "rank offline (injected fault)".into(),
+            });
+        }
+        self.fault.next_launch();
+        let probabilistic = self.fault.active();
         let mut agg = AggregateStats::default();
-        for dpu in &mut self.dpus {
+        let mut faulted = Vec::new();
+        for (d, dpu) in self.dpus.iter_mut().enumerate() {
+            if self.fault.is_disabled(d) {
+                continue;
+            }
+            if probabilistic && self.fault.launch_fault(d) {
+                faulted.push(d);
+                continue;
+            }
             dpu.reset_for_launch();
             kernel.run(dpu)?;
             agg.add(&dpu.stats);
+            if probabilistic {
+                if let Some(seed) = self.fault.corruption(d) {
+                    dpu.mram.arm_corruption(seed);
+                }
+            }
         }
+        let barrier_cycles = (agg.max_cycles as f64 * self.fault.slowdown()).round() as Cycles;
         Ok(RankRun {
-            barrier_cycles: agg.max_cycles,
+            barrier_cycles,
             stats: agg,
+            faulted,
         })
     }
 }
 
 /// Outcome of one rank launch.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RankRun {
-    /// Cycles until the rank barrier releases (slowest DPU).
+    /// Cycles until the rank barrier releases (slowest DPU, times the
+    /// straggler slowdown when injected).
     pub barrier_cycles: Cycles,
-    /// Aggregated per-DPU statistics.
+    /// Aggregated per-DPU statistics (faulted DPUs contribute nothing).
     pub stats: AggregateStats,
+    /// DPUs that faulted at launch and ran nothing (fault injection).
+    pub faulted: Vec<usize>,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::dpu::Timeline;
+    use crate::fault::FaultPlan;
     use crate::pipeline::PhaseCost;
 
     /// Kernel that spins for a per-DPU number of instructions read from the
@@ -129,6 +205,7 @@ mod tests {
         assert_eq!(run.stats.dpus, 4);
         assert_eq!(run.stats.min_cycles, 100 * 11);
         assert!(run.stats.imbalance() > 0.5);
+        assert!(run.faulted.is_empty());
     }
 
     #[test]
@@ -146,5 +223,106 @@ mod tests {
         let first = rank.launch(&SpinKernel).unwrap();
         let second = rank.launch(&SpinKernel).unwrap();
         assert_eq!(first.barrier_cycles, second.barrier_cycles);
+    }
+
+    #[test]
+    fn disabled_dpu_is_unreachable_and_skipped() {
+        let plan = FaultPlan {
+            disabled_dpus: vec![(0, 1)],
+            ..Default::default()
+        };
+        let mut rank = Rank::with_faults(DpuConfig::default(), 3, plan.rank_state(0, 3));
+        assert!(!rank.dpu_enabled(1));
+        assert_eq!(rank.enabled_dpus(), vec![0, 2]);
+        assert!(matches!(
+            rank.dpu_mut(1),
+            Err(SimError::DpuFaulted { rank: 0, dpu: 1 })
+        ));
+        for d in [0usize, 2] {
+            rank.dpu_mut(d).unwrap().mram.host_write(0, &[2]).unwrap();
+        }
+        let run = rank.launch(&SpinKernel).unwrap();
+        assert_eq!(run.stats.dpus, 2, "disabled DPU never boots");
+    }
+
+    #[test]
+    fn dead_rank_fails_every_launch() {
+        let plan = FaultPlan {
+            dead_ranks: vec![4],
+            ..Default::default()
+        };
+        let mut rank = Rank::with_faults(DpuConfig::default(), 2, plan.rank_state(4, 2));
+        assert!(rank.is_dead());
+        for _ in 0..3 {
+            assert!(matches!(
+                rank.launch(&SpinKernel),
+                Err(SimError::RankFailed { rank: 4, .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn launch_faults_are_reported_not_fatal() {
+        let plan = FaultPlan {
+            seed: 99,
+            dpu_fault_rate: 0.5,
+            ..Default::default()
+        };
+        let mut rank = Rank::with_faults(DpuConfig::default(), 16, plan.rank_state(0, 16));
+        for d in 0..16 {
+            rank.dpu_mut(d).unwrap().mram.host_write(0, &[1]).unwrap();
+        }
+        let mut saw_fault = false;
+        let mut saw_survivor = false;
+        for _ in 0..8 {
+            let run = rank.launch(&SpinKernel).unwrap();
+            saw_fault |= !run.faulted.is_empty();
+            saw_survivor |= run.stats.dpus > 0;
+            assert_eq!(run.stats.dpus + run.faulted.len(), 16);
+        }
+        assert!(
+            saw_fault,
+            "rate 0.5 over 128 draws must fault at least once"
+        );
+        assert!(saw_survivor, "and at least one DPU must survive");
+    }
+
+    #[test]
+    fn straggler_slowdown_scales_the_barrier() {
+        let plan = FaultPlan {
+            straggler_ranks: vec![0],
+            straggler_slowdown: 3.0,
+            ..Default::default()
+        };
+        let mut slow = Rank::with_faults(DpuConfig::default(), 1, plan.rank_state(0, 1));
+        let mut fast = Rank::new(DpuConfig::default(), 1);
+        for r in [&mut slow, &mut fast] {
+            r.dpu_mut(0).unwrap().mram.host_write(0, &[2]).unwrap();
+        }
+        let s = slow.launch(&SpinKernel).unwrap();
+        let f = fast.launch(&SpinKernel).unwrap();
+        assert_eq!(s.barrier_cycles, 3 * f.barrier_cycles);
+        // Stats are unscaled — the DPUs did the same work.
+        assert_eq!(s.stats.max_cycles, f.stats.max_cycles);
+    }
+
+    #[test]
+    fn corruption_is_armed_after_launch() {
+        let plan = FaultPlan {
+            seed: 5,
+            corrupt_rate: 1.0,
+            ..Default::default()
+        };
+        let mut rank = Rank::with_faults(DpuConfig::default(), 2, plan.rank_state(0, 2));
+        for d in 0..2 {
+            rank.dpu_mut(d).unwrap().mram.host_write(0, &[1]).unwrap();
+        }
+        rank.launch(&SpinKernel).unwrap();
+        for d in 0..2 {
+            assert!(rank.dpu(d).unwrap().mram.corruption_armed());
+        }
+        // A fresh image upload disarms.
+        rank.dpu_mut(0).unwrap().mram.host_write(0, &[1]).unwrap();
+        assert!(!rank.dpu(0).unwrap().mram.corruption_armed());
     }
 }

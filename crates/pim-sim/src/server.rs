@@ -18,10 +18,17 @@ pub struct PimServer {
 }
 
 impl PimServer {
-    /// Build a server from a configuration.
+    /// Build a server from a configuration, slicing its fault plan (if any)
+    /// into per-rank state.
     pub fn new(cfg: ServerConfig) -> Self {
         let ranks = (0..cfg.ranks)
-            .map(|_| Rank::new(cfg.dpu, cfg.dpus_per_rank))
+            .map(|r| {
+                Rank::with_faults(
+                    cfg.dpu,
+                    cfg.dpus_per_rank,
+                    cfg.fault.rank_state(r, cfg.dpus_per_rank),
+                )
+            })
             .collect();
         Self { cfg, ranks }
     }
@@ -85,6 +92,11 @@ impl PimServer {
     pub fn broadcast_to_mram(&mut self, offset: usize, bytes: &[u8]) -> Result<(), SimError> {
         for rank in &mut self.ranks {
             for d in 0..rank.len() {
+                // Boot-disabled DPUs simply don't receive the broadcast —
+                // the SDK masks them out of the transfer set.
+                if !rank.dpu_enabled(d) {
+                    continue;
+                }
                 rank.dpu_mut(d)?.mram.host_write(offset, bytes)?;
             }
         }

@@ -1,0 +1,133 @@
+//! Property-style fault-recovery tests: whatever the seeded fault plan
+//! does to the server, the fault-tolerant dispatcher must return every job
+//! exactly once with results identical to a fault-free run.
+
+use upmem_nw::datasets::mutate::{mutate, ErrorModel};
+use upmem_nw::datasets::{random_seq, rng};
+use upmem_nw::nw_core::seq::DnaSeq;
+use upmem_nw::pim_host::recovery::{align_pairs_recovering, RecoveryConfig};
+use upmem_nw::pim_sim::FaultPlan;
+use upmem_nw::prelude::*;
+
+fn noisy_pairs(n: usize, len: usize, seed: u64) -> Vec<(DnaSeq, DnaSeq)> {
+    let mut r = rng(seed);
+    let model = ErrorModel::uniform(0.05);
+    (0..n)
+        .map(|_| {
+            let a = random_seq(&mut r, len);
+            let (b, _) = mutate(&a, &model, &mut r);
+            (a, b)
+        })
+        .collect()
+}
+
+fn dispatch(band: usize) -> DispatchConfig {
+    let params = KernelParams {
+        band,
+        scheme: ScoringScheme::default(),
+        score_only: false,
+    };
+    DispatchConfig::new(NwKernel::paper_default(), params)
+}
+
+fn faulty_server(plan: FaultPlan, ranks: usize, dpus: usize) -> PimServer {
+    let mut cfg = ServerConfig::with_ranks(ranks);
+    cfg.dpus_per_rank = dpus;
+    cfg.fault = plan;
+    PimServer::new(cfg)
+}
+
+/// For a spread of random chaos plans: every job id comes back exactly
+/// once, and scores/CIGARs equal the fault-free run of the same jobs.
+#[test]
+fn random_fault_plans_never_lose_or_corrupt_jobs() {
+    let ranks = 2;
+    let dpus = 4;
+    let cfg = dispatch(64);
+    let rcfg = RecoveryConfig {
+        max_attempts: 3,
+        quarantine_after: 2,
+        cpu_threads: 2,
+    };
+    for seed in [3u64, 17, 99, 1234] {
+        let pairs = noisy_pairs(18, 400, seed);
+
+        // Fault-free reference run of the exact same batch.
+        let mut clean = faulty_server(FaultPlan::default(), ranks, dpus);
+        let (clean_report, clean_results) =
+            align_pairs_recovering(&mut clean, &cfg, &rcfg, &pairs).unwrap();
+        assert!(clean_report.fault.is_clean());
+        assert_eq!(clean_results.len(), pairs.len());
+
+        // Same batch under a seeded chaos plan (disabled DPUs, a dead
+        // rank, launch faults, readback corruption, a straggler).
+        let plan = FaultPlan::chaos(seed, ranks, dpus, 2, 0.2, 0.15);
+        let mut server = faulty_server(plan, ranks, dpus);
+        let (report, results) = align_pairs_recovering(&mut server, &cfg, &rcfg, &pairs).unwrap();
+
+        assert_eq!(
+            results.len(),
+            pairs.len(),
+            "seed {seed}: every job id exactly once"
+        );
+        assert_eq!(
+            results,
+            clean_results,
+            "seed {seed}: results must be identical to the fault-free run ({})",
+            report.fault.summary()
+        );
+        // The chaos plan on >1 rank always kills a rank, so recovery must
+        // have observed and repaired something.
+        assert!(
+            !report.fault.is_clean(),
+            "seed {seed}: expected injected faults"
+        );
+        assert!(report.fault.rank_failures >= 1, "seed {seed}");
+        assert!(report.fault.retried_jobs >= 1, "seed {seed}");
+    }
+}
+
+/// The empty plan must not change behavior at all: the recovering path and
+/// the strict path agree, and the report is clean.
+#[test]
+fn empty_plan_is_zero_overhead_and_clean() {
+    let pairs = noisy_pairs(12, 300, 7);
+    let cfg = dispatch(64);
+    let mut server = faulty_server(FaultPlan::default(), 2, 4);
+    let (report, results) =
+        align_pairs_recovering(&mut server, &cfg, &RecoveryConfig::default(), &pairs).unwrap();
+    assert!(report.fault.is_clean(), "{}", report.fault.summary());
+
+    let mut strict_server = faulty_server(FaultPlan::default(), 2, 4);
+    let (strict_report, strict_results) =
+        upmem_nw::pim_host::modes::align_pairs(&mut strict_server, &cfg, &pairs).unwrap();
+    assert_eq!(results, strict_results);
+    assert_eq!(report.alignments, strict_report.alignments);
+    assert_eq!(report.stats.total, strict_report.stats.total);
+    assert_eq!(report.transfer_in_bytes, strict_report.transfer_in_bytes);
+}
+
+/// Faults must drive jobs to completion through the CPU when the PiM side
+/// is hopeless, with scores still matching the fault-free run.
+#[test]
+fn hopeless_server_still_completes_via_cpu() {
+    let pairs = noisy_pairs(10, 300, 5);
+    let cfg = dispatch(64);
+    let plan = FaultPlan {
+        seed: 11,
+        dpu_fault_rate: 1.0,
+        ..FaultPlan::default()
+    };
+    let mut server = faulty_server(plan, 1, 3);
+    let rcfg = RecoveryConfig {
+        max_attempts: 2,
+        quarantine_after: 2,
+        cpu_threads: 2,
+    };
+    let (report, results) = align_pairs_recovering(&mut server, &cfg, &rcfg, &pairs).unwrap();
+    assert_eq!(report.fault.cpu_fallbacks, pairs.len());
+
+    let mut clean = faulty_server(FaultPlan::default(), 1, 3);
+    let (_, clean_results) = align_pairs_recovering(&mut clean, &cfg, &rcfg, &pairs).unwrap();
+    assert_eq!(results, clean_results);
+}
