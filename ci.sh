@@ -22,4 +22,40 @@ cargo run --release -q -p upmem-nw-cli --bin upmem-nw -- lint
 echo "==> upmem-nw chaos --seed 42"
 cargo run --release -q -p upmem-nw-cli --bin upmem-nw -- chaos --seed 42
 
+# Dispatch-engine smoke: run the host-throughput benchmark at smoke scale
+# (lockstep vs pipelined, with and without an injected straggler). The
+# command itself fails if the engines disagree bit-for-bit; then check the
+# emitted JSON has the shape downstream tooling consumes.
+echo "==> upmem-nw bench --smoke true"
+BENCH_JSON="$(mktemp -t BENCH_dispatch.XXXXXX.json)"
+trap 'rm -f "$BENCH_JSON"' EXIT
+cargo run --release -q -p upmem-nw-cli --bin upmem-nw -- bench --smoke true --json "$BENCH_JSON"
+
+echo "==> validate BENCH_dispatch.json"
+python3 - "$BENCH_JSON" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+
+for key in ["bench", "pairs", "ranks", "dpus_per_rank", "rounds", "fifo_depth",
+            "seed", "straggler", "lockstep", "pipelined", "no_fault",
+            "speedup_host_wall", "bit_identical"]:
+    assert key in bench, f"missing top-level key {key!r}"
+assert bench["bench"] == "dispatch"
+assert bench["bit_identical"] is True, "engines must agree bit-for-bit"
+for run in [bench["lockstep"], bench["pipelined"],
+            bench["no_fault"]["lockstep"], bench["no_fault"]["pipelined"]]:
+    for key in ["host_wall_seconds", "simulated_seconds", "pairs_per_second"]:
+        assert key in run, f"missing per-run key {key!r}"
+        assert run[key] >= 0
+assert "stall" in bench["pipelined"], "pipelined run must report stall metrics"
+for key in ["per_rank_stall_seconds", "per_rank_busy_seconds", "max_fifo_occupancy",
+            "plan_seconds", "decode_seconds", "encode_overlap_fraction",
+            "buffers_reused", "buffers_allocated"]:
+    assert key in bench["pipelined"]["stall"], f"missing stall key {key!r}"
+print(f"BENCH_dispatch.json OK: straggler speedup {bench['speedup_host_wall']:.2f}x, "
+      f"no-fault speedup {bench['no_fault']['speedup_host_wall']:.2f}x")
+EOF
+
 echo "CI OK"

@@ -31,11 +31,25 @@ use nw_core::full::FullAligner;
 use nw_core::seq::{DnaSeq, NPolicy};
 use nw_core::wfa::{Penalties, WfaAligner};
 use nw_core::{Alignment, ScoringScheme};
-use pim_host::dispatch::DispatchConfig;
+use pim_host::dispatch::{DispatchConfig, Engine};
 use pim_host::modes::{align_pairs, all_vs_all};
 use pim_host::recovery::{align_pairs_recovering, RecoveryConfig};
+use pim_host::report::ExecutionReport;
 use pim_sim::{FaultPlan, PimServer, ServerConfig};
 use std::fmt::Write as _;
+
+/// Map the CLI's dispatch flags to an engine: `--sync-dispatch true` forces
+/// the lockstep loop, otherwise the pipelined engine runs with
+/// `--fifo-depth` batches in flight per rank.
+pub fn engine_from_flags(fifo_depth: usize, sync_dispatch: bool) -> Engine {
+    if sync_dispatch {
+        Engine::Lockstep
+    } else {
+        Engine::Pipelined {
+            fifo_depth: fifo_depth.max(1),
+        }
+    }
+}
 
 /// Which aligner the `align` command uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +133,8 @@ pub fn cmd_align(
     algo: Algo,
     band: usize,
     ranks: usize,
+    fifo_depth: usize,
+    sync_dispatch: bool,
 ) -> Result<String, CliError> {
     let a_recs = read_fasta(a_path)?;
     let b_recs = read_fasta(b_path)?;
@@ -155,7 +171,8 @@ pub fn cmd_align(
                 scheme,
                 score_only: false,
             };
-            let cfg = DispatchConfig::new(NwKernel::paper_default(), params);
+            let mut cfg = DispatchConfig::new(NwKernel::paper_default(), params);
+            cfg.engine = engine_from_flags(fifo_depth, sync_dispatch);
             let (_report, results) = align_pairs(&mut server, &cfg, &pairs)
                 .map_err(|e| CliError::Align(e.to_string()))?;
             for ((ra, rb), r) in a_recs.iter().zip(&b_recs).zip(results) {
@@ -386,6 +403,10 @@ pub struct ChaosOpts {
     pub retries: usize,
     /// Consecutive faults before a DPU is quarantined.
     pub quarantine: usize,
+    /// FIFO depth for the pipelined engine.
+    pub fifo_depth: usize,
+    /// Use the lockstep engine instead of the pipelined one.
+    pub sync_dispatch: bool,
 }
 
 impl Default for ChaosOpts {
@@ -401,6 +422,8 @@ impl Default for ChaosOpts {
             disabled: 2,
             retries: 3,
             quarantine: 2,
+            fifo_depth: 2,
+            sync_dispatch: false,
         }
     }
 }
@@ -436,7 +459,8 @@ pub fn cmd_chaos(opts: &ChaosOpts) -> Result<String, CliError> {
         scheme: ScoringScheme::default(),
         score_only: false,
     };
-    let cfg = DispatchConfig::new(NwKernel::paper_default(), params);
+    let mut cfg = DispatchConfig::new(NwKernel::paper_default(), params);
+    cfg.engine = engine_from_flags(opts.fifo_depth, opts.sync_dispatch);
     let rcfg = RecoveryConfig {
         max_attempts: opts.retries.max(1),
         quarantine_after: opts.quarantine.max(1),
@@ -497,6 +521,242 @@ pub fn cmd_chaos(opts: &ChaosOpts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Knobs for the `bench` host-throughput benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Synthetic S1000 pairs to align per run.
+    pub pairs: usize,
+    /// Simulated ranks.
+    pub ranks: usize,
+    /// DPUs per rank.
+    pub dpus: usize,
+    /// Rounds (batches per rank).
+    pub rounds: usize,
+    /// Band width (rounded up to a multiple of 16).
+    pub band: usize,
+    /// FIFO depth for the pipelined engine.
+    pub fifo_depth: usize,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Host wall-clock hold injected on the straggler rank's odd-numbered
+    /// launches, milliseconds.
+    pub straggler_hold_ms: f64,
+    /// Shrink every knob for a fast CI smoke run.
+    pub smoke: bool,
+    /// Where to write the JSON report (default `BENCH_dispatch.json`).
+    pub json_path: Option<String>,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        Self {
+            pairs: 48,
+            ranks: 4,
+            dpus: 4,
+            rounds: 6,
+            band: 64,
+            fifo_depth: 2,
+            seed: 42,
+            // The hold must exceed a round's non-straggler compute for the
+            // lockstep barrier to actually stall; 35ms does on one core at
+            // this geometry (~12ms of other-rank work per round).
+            straggler_hold_ms: 35.0,
+            smoke: false,
+            json_path: None,
+        }
+    }
+}
+
+struct BenchRun {
+    host_wall_seconds: f64,
+    report: ExecutionReport,
+    results: Vec<dpu_kernel::JobResult>,
+}
+
+fn bench_run(
+    engine: Engine,
+    fault: FaultPlan,
+    opts: &BenchOpts,
+    pairs: &[(DnaSeq, DnaSeq)],
+) -> Result<BenchRun, CliError> {
+    let mut server_cfg = ServerConfig::with_ranks(opts.ranks.max(1));
+    server_cfg.dpus_per_rank = opts.dpus.max(1);
+    server_cfg.fault = fault;
+    let mut server = PimServer::new(server_cfg);
+    let params = KernelParams {
+        band: opts.band.next_multiple_of(16).max(16),
+        scheme: ScoringScheme::default(),
+        score_only: false,
+    };
+    let mut cfg = DispatchConfig::new(NwKernel::paper_default(), params);
+    cfg.rounds = opts.rounds.max(1);
+    cfg.engine = engine;
+    let t0 = std::time::Instant::now();
+    let (report, results) =
+        align_pairs(&mut server, &cfg, pairs).map_err(|e| CliError::Align(e.to_string()))?;
+    Ok(BenchRun {
+        host_wall_seconds: t0.elapsed().as_secs_f64(),
+        report,
+        results,
+    })
+}
+
+fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.9}")
+    } else {
+        "0.0".into()
+    }
+}
+
+fn jf_arr(xs: &[f64]) -> String {
+    let items: Vec<String> = xs.iter().map(|&x| jf(x)).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn run_json(run: &BenchRun, pairs: usize) -> String {
+    let mut s = format!(
+        "{{\"host_wall_seconds\": {}, \"simulated_seconds\": {}, \"pairs_per_second\": {}",
+        jf(run.host_wall_seconds),
+        jf(run.report.total_seconds()),
+        jf(pairs as f64 / run.host_wall_seconds.max(1e-12)),
+    );
+    if let Some(p) = &run.report.pipeline {
+        let occ: Vec<String> = p.max_fifo_occupancy.iter().map(usize::to_string).collect();
+        let _ = write!(
+            s,
+            ", \"stall\": {{\"per_rank_stall_seconds\": {}, \"per_rank_busy_seconds\": {}, \
+             \"max_fifo_occupancy\": [{}], \"plan_seconds\": {}, \"decode_seconds\": {}, \
+             \"encode_overlap_fraction\": {}, \"buffers_reused\": {}, \"buffers_allocated\": {}}}",
+            jf_arr(&p.rank_stall_seconds),
+            jf_arr(&p.rank_busy_seconds),
+            occ.join(", "),
+            jf(p.plan_seconds),
+            jf(p.decode_seconds),
+            jf(p.encode_overlap_fraction()),
+            p.buffers_reused,
+            p.buffers_allocated,
+        );
+    }
+    s.push('}');
+    s
+}
+
+/// Do two runs agree bit for bit where they must? Results, simulated
+/// per-rank seconds, transfer bytes and aggregate DPU statistics.
+fn bit_identical(a: &BenchRun, b: &BenchRun) -> bool {
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    a.results == b.results
+        && bits(&a.report.rank_seconds) == bits(&b.report.rank_seconds)
+        && a.report.transfer_seconds.to_bits() == b.report.transfer_seconds.to_bits()
+        && a.report.dpu_seconds.to_bits() == b.report.dpu_seconds.to_bits()
+        && a.report.transfer_in_bytes == b.report.transfer_in_bytes
+        && a.report.transfer_out_bytes == b.report.transfer_out_bytes
+        && a.report.stats == b.report.stats
+        && a.report.workload == b.report.workload
+}
+
+/// Host-throughput benchmark: align the same workload through the lockstep
+/// and pipelined engines, with and without an injected straggler rank, and
+/// write a machine-readable `BENCH_dispatch.json`.
+///
+/// The straggler condition injects a wall-clock hold plus a simulated 2x
+/// slowdown on rank 0: the lockstep engine serializes every hold into its
+/// global round barrier, the pipelined engine overlaps it with the other
+/// ranks' work. Results must stay bit-identical across engines in both
+/// conditions — the benchmark fails otherwise.
+pub fn cmd_bench(opts: &BenchOpts) -> Result<String, CliError> {
+    let mut opts = opts.clone();
+    if opts.smoke {
+        opts.pairs = opts.pairs.min(24);
+        opts.ranks = opts.ranks.min(2);
+        opts.dpus = opts.dpus.min(4);
+        opts.rounds = opts.rounds.min(4);
+        opts.straggler_hold_ms = opts.straggler_hold_ms.min(3.0);
+    }
+    let pairs = SyntheticParams::preset(SyntheticPreset::S1000, opts.seed).generate(opts.pairs);
+    let straggler = FaultPlan {
+        straggler_ranks: vec![0],
+        straggler_slowdown: 2.0,
+        straggler_hold_ms: opts.straggler_hold_ms,
+        ..FaultPlan::default()
+    };
+    let pipelined = Engine::Pipelined {
+        fifo_depth: opts.fifo_depth.max(1),
+    };
+
+    let lock_s = bench_run(Engine::Lockstep, straggler.clone(), &opts, &pairs)?;
+    let pipe_s = bench_run(pipelined, straggler.clone(), &opts, &pairs)?;
+    let lock_c = bench_run(Engine::Lockstep, FaultPlan::default(), &opts, &pairs)?;
+    let pipe_c = bench_run(pipelined, FaultPlan::default(), &opts, &pairs)?;
+
+    let identical = bit_identical(&lock_s, &pipe_s) && bit_identical(&lock_c, &pipe_c);
+    let speedup = lock_s.host_wall_seconds / pipe_s.host_wall_seconds.max(1e-12);
+    let speedup_clean = lock_c.host_wall_seconds / pipe_c.host_wall_seconds.max(1e-12);
+
+    let json = format!(
+        "{{\n  \"bench\": \"dispatch\",\n  \"pairs\": {},\n  \"ranks\": {},\n  \"dpus_per_rank\": {},\n  \
+         \"rounds\": {},\n  \"fifo_depth\": {},\n  \"seed\": {},\n  \
+         \"straggler\": {{\"rank\": 0, \"slowdown\": 2.0, \"hold_ms\": {}}},\n  \
+         \"lockstep\": {},\n  \"pipelined\": {},\n  \
+         \"no_fault\": {{\"lockstep\": {}, \"pipelined\": {}, \"speedup_host_wall\": {}}},\n  \
+         \"speedup_host_wall\": {},\n  \"bit_identical\": {}\n}}\n",
+        opts.pairs,
+        opts.ranks.max(1),
+        opts.dpus.max(1),
+        opts.rounds.max(1),
+        opts.fifo_depth.max(1),
+        opts.seed,
+        jf(opts.straggler_hold_ms),
+        run_json(&lock_s, opts.pairs),
+        run_json(&pipe_s, opts.pairs),
+        run_json(&lock_c, opts.pairs),
+        run_json(&pipe_c, opts.pairs),
+        jf(speedup_clean),
+        jf(speedup),
+        identical,
+    );
+    let path = opts
+        .json_path
+        .clone()
+        .unwrap_or_else(|| "BENCH_dispatch.json".to_string());
+    std::fs::write(&path, &json)?;
+
+    let mut out = format!(
+        "bench dispatch: {} pairs, {} ranks x {} DPUs, {} rounds, fifo depth {}\n\
+         straggler (rank 0, 2.0x sim, {:.1}ms hold on odd launches):\n\
+         \x20 lockstep  host wall {:.4}s ({:.0} pairs/s)\n\
+         \x20 pipelined host wall {:.4}s ({:.0} pairs/s)  -> speedup {:.2}x\n\
+         no fault:\n\
+         \x20 lockstep  host wall {:.4}s, pipelined {:.4}s  -> speedup {:.2}x\n",
+        opts.pairs,
+        opts.ranks.max(1),
+        opts.dpus.max(1),
+        opts.rounds.max(1),
+        opts.fifo_depth.max(1),
+        opts.straggler_hold_ms,
+        lock_s.host_wall_seconds,
+        opts.pairs as f64 / lock_s.host_wall_seconds.max(1e-12),
+        pipe_s.host_wall_seconds,
+        opts.pairs as f64 / pipe_s.host_wall_seconds.max(1e-12),
+        speedup,
+        lock_c.host_wall_seconds,
+        pipe_c.host_wall_seconds,
+        speedup_clean,
+    );
+    if let Some(p) = &pipe_s.report.pipeline {
+        let _ = writeln!(out, "{}", p.summary());
+    }
+    let _ = writeln!(out, "wrote {path}");
+    if !identical {
+        return Err(CliError::Align(format!(
+            "engines disagree: pipelined output is not bit-identical to lockstep\n{out}"
+        )));
+    }
+    let _ = writeln!(out, "engines bit-identical across both conditions");
+    Ok(out)
+}
+
 /// Server topology description.
 pub fn cmd_info(ranks: usize) -> String {
     let server = PimServer::new(ServerConfig::with_ranks(ranks.max(1)));
@@ -543,7 +803,7 @@ mod tests {
             Algo::Exact,
             Algo::Pim,
         ] {
-            let tsv = cmd_align(&a, &b, algo, 16, 1).unwrap();
+            let tsv = cmd_align(&a, &b, algo, 16, 1, 2, false).unwrap();
             let lines: Vec<&str> = tsv.lines().skip(1).collect();
             assert_eq!(lines.len(), 2, "{algo:?}");
             let score: i32 = lines[0].split('\t').nth(2).unwrap().parse().unwrap();
@@ -561,7 +821,7 @@ mod tests {
         let a = write_temp("c.fa", ">r0\nACGT\n");
         let b = write_temp("d.fa", ">s0\nACGT\n>s1\nACGT\n");
         assert!(matches!(
-            cmd_align(&a, &b, Algo::Exact, 16, 1),
+            cmd_align(&a, &b, Algo::Exact, 16, 1, 2, false),
             Err(CliError::Usage(_))
         ));
         std::fs::remove_file(a).ok();
@@ -659,6 +919,62 @@ mod tests {
             out.contains("0 retries, 0 quarantined, 0 dead ranks, 0 cpu fallbacks"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn chaos_command_runs_on_both_engines() {
+        for sync_dispatch in [false, true] {
+            let opts = ChaosOpts {
+                pairs: 6,
+                ranks: 1,
+                dpus: 2,
+                dpu_fault_rate: 0.0,
+                corrupt_rate: 0.0,
+                disabled: 0,
+                sync_dispatch,
+                ..ChaosOpts::default()
+            };
+            let out = cmd_chaos(&opts).expect("both engines must complete cleanly");
+            assert!(
+                out.contains("all 6 results match the fault-free reference"),
+                "sync={sync_dispatch}: {out}"
+            );
+        }
+    }
+
+    #[test]
+    fn bench_smoke_writes_valid_json() {
+        let path = std::env::temp_dir().join(format!(
+            "upmem-nw-cli-test-{}-BENCH_dispatch.json",
+            std::process::id()
+        ));
+        let opts = BenchOpts {
+            pairs: 8,
+            ranks: 2,
+            dpus: 2,
+            rounds: 2,
+            straggler_hold_ms: 2.0,
+            smoke: true,
+            json_path: Some(path.to_string_lossy().into_owned()),
+            ..BenchOpts::default()
+        };
+        let out = cmd_bench(&opts).expect("bench must run and stay bit-identical");
+        assert!(out.contains("engines bit-identical"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        for key in [
+            "\"bench\": \"dispatch\"",
+            "\"lockstep\"",
+            "\"pipelined\"",
+            "\"no_fault\"",
+            "\"speedup_host_wall\"",
+            "\"bit_identical\": true",
+            "\"stall\"",
+            "\"host_wall_seconds\"",
+            "\"pairs_per_second\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -2,13 +2,17 @@
 //!
 //! ```text
 //! upmem-nw align  --a reads_a.fa --b reads_b.fa [--algo adaptive|static|wfa|exact|pim]
-//!                 [--band 128] [--ranks 4] [--out results.tsv]
+//!                 [--band 128] [--ranks 4] [--fifo-depth 2] [--sync-dispatch true]
+//!                 [--out results.tsv]
 //! upmem-nw matrix --in seqs.fa [--band 128] [--ranks 4] [--out matrix.tsv]
 //! upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N
 //!                 [--seed S] [--out data.fa]
 //! upmem-nw chaos  [--seed 42] [--pairs 24] [--ranks 2] [--dpus 8] [--band 128]
 //!                 [--dpu-fault-rate 0.15] [--corrupt-rate 0.1] [--disabled 2]
-//!                 [--retries 3] [--quarantine 2]
+//!                 [--retries 3] [--quarantine 2] [--fifo-depth 2] [--sync-dispatch true]
+//! upmem-nw bench  [--pairs 48] [--ranks 4] [--dpus 4] [--rounds 6] [--band 64]
+//!                 [--fifo-depth 2] [--seed 42] [--straggler-hold-ms 35]
+//!                 [--smoke true] [--json BENCH_dispatch.json]
 //! upmem-nw info   [--ranks 40]
 //! upmem-nw lint   [--verbose true]
 //! ```
@@ -16,12 +20,13 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 use upmem_nw_cli::{
-    cmd_align, cmd_chaos, cmd_generate, cmd_info, cmd_lint, cmd_matrix, Algo, ChaosOpts, CliError,
+    cmd_align, cmd_bench, cmd_chaos, cmd_generate, cmd_info, cmd_lint, cmd_matrix, Algo, BenchOpts,
+    ChaosOpts, CliError,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw chaos [--seed S] [--pairs N] [--ranks N] [--dpus N] [--band N] [--dpu-fault-rate P] [--corrupt-rate P] [--disabled N] [--retries N] [--quarantine N]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true]"
+        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--fifo-depth N] [--sync-dispatch true] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw chaos [--seed S] [--pairs N] [--ranks N] [--dpus N] [--band N] [--dpu-fault-rate P] [--corrupt-rate P] [--disabled N] [--retries N] [--quarantine N] [--fifo-depth N] [--sync-dispatch true]\n  upmem-nw bench [--pairs N] [--ranks N] [--dpus N] [--rounds N] [--band N] [--fifo-depth N] [--seed S] [--straggler-hold-ms MS] [--smoke true] [--json file]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true]"
     );
     std::process::exit(2)
 }
@@ -53,6 +58,10 @@ fn run() -> Result<String, CliError> {
     let ranks: usize = get("ranks")
         .map(|v| v.parse().unwrap_or_else(|_| usage()))
         .unwrap_or(4);
+    let fifo_depth: usize = get("fifo-depth")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(2);
+    let sync_dispatch = get("sync-dispatch").is_some_and(|v| v == "true");
 
     let output = match command.as_str() {
         "align" => {
@@ -61,7 +70,7 @@ fn run() -> Result<String, CliError> {
             let algo = get("algo")
                 .map(|v| Algo::parse(&v).unwrap_or_else(|| usage()))
                 .unwrap_or(Algo::Adaptive);
-            cmd_align(&a, &b, algo, band, ranks)?
+            cmd_align(&a, &b, algo, band, ranks, fifo_depth, sync_dispatch)?
         }
         "matrix" => {
             let input = get("in").unwrap_or_else(|| usage());
@@ -102,8 +111,35 @@ fn run() -> Result<String, CliError> {
                 disabled: uint("disabled", defaults.disabled),
                 retries: uint("retries", defaults.retries),
                 quarantine: uint("quarantine", defaults.quarantine),
+                fifo_depth: uint("fifo-depth", defaults.fifo_depth),
+                sync_dispatch: sync_dispatch || defaults.sync_dispatch,
             };
             cmd_chaos(&opts)?
+        }
+        "bench" => {
+            let defaults = BenchOpts::default();
+            let uint = |k: &str, d: usize| {
+                get(k)
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(d)
+            };
+            let opts = BenchOpts {
+                pairs: uint("pairs", defaults.pairs),
+                ranks: uint("ranks", defaults.ranks),
+                dpus: uint("dpus", defaults.dpus),
+                rounds: uint("rounds", defaults.rounds),
+                band: uint("band", defaults.band),
+                fifo_depth: uint("fifo-depth", defaults.fifo_depth),
+                seed: get("seed")
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(defaults.seed),
+                straggler_hold_ms: get("straggler-hold-ms")
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(defaults.straggler_hold_ms),
+                smoke: get("smoke").is_some_and(|v| v == "true"),
+                json_path: get("json"),
+            };
+            cmd_bench(&opts)?
         }
         "info" => cmd_info(if flags.contains_key("ranks") {
             ranks

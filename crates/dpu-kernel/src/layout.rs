@@ -187,6 +187,68 @@ pub struct JobBatch {
     pub workload: u64,
 }
 
+/// One job's output record as raw words straight off MRAM: the readback
+/// half of result collection, split from [`RawResult::decode`] so a
+/// transfer thread can pull records while another thread verifies and
+/// expands them (the pipelined dispatcher's raw/decode split).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawResult {
+    /// Absolute MRAM offset the record was read from.
+    pub offset: usize,
+    /// Status word as transmitted (validated at decode time).
+    pub status_code: u32,
+    /// Score bits as transmitted.
+    pub score_bits: u32,
+    /// Stored FNV checksum.
+    pub stored_sum: u32,
+    /// Packed CIGAR run words (`count << 4 | op`).
+    pub packed_runs: Vec<u32>,
+}
+
+impl RawResult {
+    /// Bytes this record occupied on the wire (header + packed runs).
+    pub fn byte_len(&self) -> u64 {
+        OUT_HEADER_BYTES as u64 + 4 * self.packed_runs.len() as u64
+    }
+
+    /// Verify and expand the raw record: checksum, status code, CIGAR ops.
+    pub fn decode(&self) -> Result<JobResult, SimError> {
+        if result_checksum(self.status_code, self.score_bits, &self.packed_runs) != self.stored_sum
+        {
+            return Err(SimError::ResultCorrupt {
+                offset: self.offset,
+                detail: "checksum mismatch",
+            });
+        }
+        let status = JobStatus::from_code(self.status_code).ok_or(SimError::KernelFault {
+            code: self.status_code,
+            message: "bad status code in output record".into(),
+        })?;
+        let mut cigar = Cigar::new();
+        for &packed in &self.packed_runs {
+            let count = packed >> 4;
+            let op = match packed & 0xF {
+                0 => CigarOp::Match,
+                1 => CigarOp::Mismatch,
+                2 => CigarOp::Insertion,
+                3 => CigarOp::Deletion,
+                other => {
+                    return Err(SimError::KernelFault {
+                        code: other,
+                        message: "bad cigar op in output record".into(),
+                    })
+                }
+            };
+            cigar.push_run(count, op);
+        }
+        Ok(JobResult {
+            status,
+            score: self.score_bits as i32,
+            cigar,
+        })
+    }
+}
+
 impl JobBatch {
     /// Number of jobs.
     pub fn len(&self) -> usize {
@@ -203,12 +265,11 @@ impl JobBatch {
         self.image.len() as u64
     }
 
-    /// Read the results back from a DPU's MRAM after the kernel ran.
-    ///
-    /// Every record is integrity-checked: a wrong magic word or a checksum
-    /// mismatch returns [`SimError::ResultCorrupt`] — the caller knows the
-    /// job must be re-run rather than trusting a bit-flipped score.
-    pub fn read_results(&self, mram: &pim_sim::Mram) -> Result<Vec<JobResult>, SimError> {
+    /// Read the raw result records back from a DPU's MRAM: the magic word
+    /// and the run-count-vs-capacity bound are checked here (a corrupt run
+    /// count could otherwise drive an out-of-capacity read); checksum,
+    /// status and CIGAR validation happen in [`RawResult::decode`].
+    pub fn read_raw_results(&self, mram: &pim_sim::Mram) -> Result<Vec<RawResult>, SimError> {
         let mut out = Vec::with_capacity(self.out_offsets.len());
         for &(off, cap) in &self.out_offsets {
             let head = mram.host_read(off, OUT_HEADER_BYTES)?;
@@ -222,8 +283,6 @@ impl JobBatch {
             let score_bits = read_u32(&head, 8);
             let runs = read_u32(&head, 12) as usize;
             let stored_sum = read_u32(&head, 16);
-            // A corrupt run count could drive an out-of-capacity read below
-            // before the checksum gets a chance to reject it.
             if runs > 0 && OUT_HEADER_BYTES + runs * 4 > cap {
                 return Err(SimError::ResultCorrupt {
                     offset: off,
@@ -237,40 +296,28 @@ impl JobBatch {
                     packed_runs.push(read_u32(&bytes, r * 4));
                 }
             }
-            if result_checksum(status_code, score_bits, &packed_runs) != stored_sum {
-                return Err(SimError::ResultCorrupt {
-                    offset: off,
-                    detail: "checksum mismatch",
-                });
-            }
-            let status = JobStatus::from_code(status_code).ok_or(SimError::KernelFault {
-                code: status_code,
-                message: "bad status code in output record".into(),
-            })?;
-            let mut cigar = Cigar::new();
-            for &packed in &packed_runs {
-                let count = packed >> 4;
-                let op = match packed & 0xF {
-                    0 => CigarOp::Match,
-                    1 => CigarOp::Mismatch,
-                    2 => CigarOp::Insertion,
-                    3 => CigarOp::Deletion,
-                    other => {
-                        return Err(SimError::KernelFault {
-                            code: other,
-                            message: "bad cigar op in output record".into(),
-                        })
-                    }
-                };
-                cigar.push_run(count, op);
-            }
-            out.push(JobResult {
-                status,
-                score: score_bits as i32,
-                cigar,
+            out.push(RawResult {
+                offset: off,
+                status_code,
+                score_bits,
+                stored_sum,
+                packed_runs,
             });
         }
         Ok(out)
+    }
+
+    /// Read the results back from a DPU's MRAM after the kernel ran.
+    ///
+    /// Every record is integrity-checked: a wrong magic word or a checksum
+    /// mismatch returns [`SimError::ResultCorrupt`] — the caller knows the
+    /// job must be re-run rather than trusting a bit-flipped score. This is
+    /// [`Self::read_raw_results`] + [`RawResult::decode`] in one step.
+    pub fn read_results(&self, mram: &pim_sim::Mram) -> Result<Vec<JobResult>, SimError> {
+        self.read_raw_results(mram)?
+            .iter()
+            .map(RawResult::decode)
+            .collect()
     }
 }
 
@@ -368,6 +415,14 @@ impl JobBatchBuilder {
     /// outputs and `BT` scratch) cannot fit the DPU's MRAM (or the
     /// configured footprint limit).
     pub fn build(self, mram_size: usize) -> Result<JobBatch, SimError> {
+        self.build_with(mram_size, Vec::new())
+    }
+
+    /// Like [`Self::build`], but serializes into `recycled`, reusing its
+    /// allocation when large enough — the per-rank buffer pool of the
+    /// pipelined dispatcher feeds spent round-`k` images back through here
+    /// for round `k+1` instead of reallocating.
+    pub fn build_with(self, mram_size: usize, recycled: Vec<u8>) -> Result<JobBatch, SimError> {
         let n_jobs = self.jobs.len();
         let jobs_off = HEADER_BYTES;
         let seq_off = jobs_off + n_jobs * JOB_ENTRY_BYTES;
@@ -421,8 +476,11 @@ impl JobBatchBuilder {
             });
         }
 
-        // Serialize the input image.
-        let mut image = vec![0u8; image_len];
+        // Serialize the input image (zeroed before reuse: padding bytes and
+        // gaps must not leak a previous batch's content).
+        let mut image = recycled;
+        image.clear();
+        image.resize(image_len, 0);
         write_u32(&mut image, 0x00, MAGIC);
         write_u32(&mut image, 0x04, n_jobs as u32);
         write_u32(&mut image, 0x08, u32::from(self.params.score_only));

@@ -31,4 +31,6 @@ pub mod layout;
 
 pub use cost::{CellCosts, KernelVariant};
 pub use kernel::{NwKernel, PoolConfig};
-pub use layout::{JobBatch, JobBatchBuilder, JobResult, JobStatus, KernelParams, SeqRef};
+pub use layout::{
+    JobBatch, JobBatchBuilder, JobResult, JobStatus, KernelParams, RawResult, SeqRef,
+};

@@ -9,12 +9,24 @@
 //!
 //! Workload estimation follows eq. 6: `workload(m, n) = (m + n) × w`.
 
+use nw_core::seq::PackedSeq;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// eq. 6 — the paper's workload estimate for one alignment.
 pub fn workload(m: usize, n: usize, band: usize) -> u64 {
     ((m + n) as u64) * band as u64
+}
+
+/// eq.-6 workloads for a slice of packed pairs — the single source both
+/// round grouping ([`crate::dispatch::group_jobs`]) and intra-rank LPT
+/// ([`crate::dispatch::plan_rank`]) use, so "heavy" means the same thing at
+/// every planning level.
+pub fn pair_workloads(pairs: &[(PackedSeq, PackedSeq)], band: usize) -> Vec<u64> {
+    pairs
+        .iter()
+        .map(|(a, b)| workload(a.len(), b.len(), band))
+        .collect()
 }
 
 /// LPT assignment of `workloads` into `bins`. Returns, per bin, the item

@@ -13,14 +13,36 @@
 //!    §4.1.2).
 //! 3. **Collect**: results come back tagged with the caller's job ids.
 
-use crate::balance::lpt_assign;
+use crate::balance::{lpt_assign, pair_workloads};
+use crate::pipeline::{BufferPool, PipelineMetrics};
 use crate::recovery::FaultReport;
-use dpu_kernel::layout::{JobBatch, JobBatchBuilder, JobResult, KernelParams, OUT_HEADER_BYTES};
+use dpu_kernel::layout::{JobBatch, JobBatchBuilder, JobResult, KernelParams, RawResult};
 use dpu_kernel::NwKernel;
 use nw_core::seq::PackedSeq;
 use pim_sim::rank::Rank;
 use pim_sim::stats::AggregateStats;
 use pim_sim::{PimServer, SimError};
+
+/// Which dispatch engine executes the planned rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The historical lockstep loop: every rank joins a hard barrier at
+    /// the end of each round before the next may launch.
+    Lockstep,
+    /// Persistent per-rank workers fed through bounded FIFO channels (see
+    /// [`crate::pipeline`]): each rank advances to its next batch the
+    /// moment it finishes, planning and decoding overlap execution.
+    Pipelined {
+        /// Bounded FIFO depth per rank (batches queued ahead; >= 1).
+        fifo_depth: usize,
+    },
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::Pipelined { fifo_depth: 2 }
+    }
+}
 
 /// Host configuration.
 #[derive(Debug, Clone)]
@@ -29,12 +51,15 @@ pub struct DispatchConfig {
     pub kernel: NwKernel,
     /// Launch parameters (band, scheme, score-only).
     pub params: KernelParams,
-    /// FIFO depth: how many batches each rank processes.
+    /// Rounds: how many batches each rank processes.
     pub rounds: usize,
     /// Host-side 2-bit encode throughput, bytes of ASCII per second
     /// (measured ~2 GB/s per core on commodity hardware; the cost is
     /// "minimal", §4.1.1).
     pub encode_rate: f64,
+    /// Dispatch engine (pipelined by default; both engines produce
+    /// bit-identical results and simulated times).
+    pub engine: Engine,
 }
 
 impl DispatchConfig {
@@ -45,13 +70,14 @@ impl DispatchConfig {
             params,
             rounds: 2,
             encode_rate: 2.0e9,
+            engine: Engine::default(),
         }
     }
 }
 
 /// A prepared per-DPU batch plus the mapping from builder order back to
 /// caller job ids.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DpuPlan {
     /// Caller ids, in the order jobs were added to the builder.
     pub job_ids: Vec<usize>,
@@ -60,7 +86,7 @@ pub struct DpuPlan {
 }
 
 /// Plans for one rank launch (one entry per DPU; `None` = idle DPU).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct RankPlan {
     /// Per-DPU plans.
     pub dpus: Vec<Option<DpuPlan>>,
@@ -101,6 +127,8 @@ pub struct DispatchOutcome {
     pub workload: u64,
     /// Fault/recovery accounting (all zeros outside the recovery path).
     pub fault: FaultReport,
+    /// Pipeline metrics (`None` when the lockstep engine ran).
+    pub pipeline: Option<PipelineMetrics>,
 }
 
 impl DispatchOutcome {
@@ -146,12 +174,32 @@ pub fn plan_rank(
     pools: usize,
     mram_size: usize,
 ) -> Result<RankPlan, SimError> {
+    plan_rank_into(
+        jobs,
+        ids,
+        dpus,
+        params,
+        pools,
+        mram_size,
+        &mut BufferPool::default(),
+    )
+}
+
+/// [`plan_rank`] drawing MRAM image allocations from a [`BufferPool`] — the
+/// streaming planner of the pipelined engine recycles the previous rounds'
+/// spent images instead of allocating fresh ones per batch.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_rank_into(
+    jobs: &[(PackedSeq, PackedSeq)],
+    ids: &[usize],
+    dpus: usize,
+    params: KernelParams,
+    pools: usize,
+    mram_size: usize,
+    pool: &mut BufferPool,
+) -> Result<RankPlan, SimError> {
     assert_eq!(jobs.len(), ids.len());
-    let band = params.band;
-    let workloads: Vec<u64> = jobs
-        .iter()
-        .map(|(a, b)| crate::balance::workload(a.len(), b.len(), band))
-        .collect();
+    let workloads = pair_workloads(jobs, params.band);
     let assignment = lpt_assign(&workloads, dpus);
     let mut plans = Vec::with_capacity(dpus);
     for bin in assignment {
@@ -167,7 +215,7 @@ pub fn plan_rank(
         }
         plans.push(Some(DpuPlan {
             job_ids,
-            batch: builder.build(mram_size)?,
+            batch: builder.build_with(mram_size, pool.take())?,
         }));
     }
     Ok(RankPlan {
@@ -218,40 +266,78 @@ pub struct RankExec {
     pub workload: u64,
 }
 
-/// One rank's round: transfer in, launch, collect. Always fault-*recording*
-/// — readback or launch problems on individual DPUs land in
-/// [`RankExec::failures`] instead of aborting the rank; whole-rank errors
-/// (dead rank, kernel bug) still return `Err`.
-fn exec_rank(
+/// One DPU's undecoded readback: raw result records pulled off MRAM on the
+/// rank worker thread, decoded later on the driver thread so CIGAR/checksum
+/// work overlaps the next launch.
+#[derive(Debug)]
+pub(crate) struct RawDpuOut {
+    /// DPU index within the rank.
+    pub(crate) dpu: usize,
+    /// Caller ids, in batch order.
+    pub(crate) job_ids: Vec<usize>,
+    /// One raw record per job.
+    pub(crate) raw: Vec<RawResult>,
+    /// DPU cycles this launch — charged as wasted if decode fails.
+    pub(crate) cycles: u64,
+}
+
+/// One rank's execution record before decode: everything [`RankExec`] holds
+/// except decoded results, out-bytes, and transfer time (those depend on
+/// decode success, which happens on the driver thread).
+#[derive(Debug, Default)]
+pub(crate) struct RawRankExec {
+    pub(crate) rank: usize,
+    pub(crate) outs: Vec<RawDpuOut>,
+    pub(crate) failures: Vec<DpuFailure>,
+    pub(crate) barrier_seconds: f64,
+    pub(crate) bytes_in: u64,
+    pub(crate) stats: AggregateStats,
+    pub(crate) imbalance: f64,
+    pub(crate) workload: u64,
+}
+
+/// One rank's round: transfer in, launch, raw collect. Always
+/// fault-*recording* — launch or raw-readback problems on individual DPUs
+/// land in `failures` instead of aborting the rank; whole-rank errors (dead
+/// rank, kernel bug) still return `Err`.
+///
+/// `filler_cache` persists the idle-DPU filler image across batches (it
+/// depends only on the params); `spent` receives the plan's MRAM image
+/// buffers after upload so the planner can recycle them.
+pub(crate) fn exec_rank_raw(
     rank: &mut Rank,
     kernel: &NwKernel,
     r: usize,
-    plan: RankPlan,
-    host_bw: f64,
+    mut plan: RankPlan,
     freq: f64,
-) -> Result<RankExec, SimError> {
-    let mut exec = RankExec {
+    filler_cache: &mut Option<JobBatch>,
+    spent: &mut Vec<Vec<u8>>,
+) -> Result<RawRankExec, SimError> {
+    let mut exec = RawRankExec {
         rank: r,
         ..Default::default()
     };
     let mut skip = vec![false; plan.dpus.len()];
     let mut active = false;
-    for (d, dpu_plan) in plan.dpus.iter().enumerate() {
+    for (d, dpu_plan) in plan.dpus.iter_mut().enumerate() {
         if let Some(p) = dpu_plan {
             if !rank.dpu_enabled(d) {
                 skip[d] = true;
                 exec.failures.push(DpuFailure {
                     rank: r,
                     dpu: d,
-                    job_ids: p.job_ids.clone(),
+                    job_ids: std::mem::take(&mut p.job_ids),
                     error: SimError::DpuFaulted { rank: r, dpu: d },
                     wasted_cycles: 0,
                 });
+                spent.push(std::mem::take(&mut p.batch.image));
                 continue;
             }
             rank.dpu_mut(d)?.mram.host_write(0, &p.batch.image)?;
+            // transfer_bytes reads the image length — count before reclaim.
             exec.bytes_in += p.batch.transfer_bytes();
             exec.workload += p.batch.workload;
+            spent.push(std::mem::take(&mut p.batch.image));
             active = true;
         }
     }
@@ -260,64 +346,127 @@ fn exec_rank(
     }
     // Idle DPUs of an active rank still get a valid (empty) image: the
     // launch is rank-granular (§2.1), so every DPU boots the kernel. One
-    // image serves them all — the empty batch depends only on the params.
-    let mut filler: Option<JobBatch> = None;
+    // image serves them all — the empty batch depends only on the params —
+    // and is cached across batches of the same run.
+    let params = plan.params().expect("active plan has params");
     for (d, dpu_plan) in plan.dpus.iter().enumerate() {
         if dpu_plan.is_some() || !rank.dpu_enabled(d) {
             continue;
         }
-        if filler.is_none() {
-            let params = plan.params().expect("active plan has params");
-            filler = Some(JobBatchBuilder::new(params, 1).build(rank.dpu(d)?.mram.size())?);
+        if filler_cache.as_ref().is_none_or(|f| f.params != params) {
+            *filler_cache = Some(JobBatchBuilder::new(params, 1).build(rank.dpu(d)?.mram.size())?);
         }
-        let batch = filler.as_ref().expect("just built");
+        let batch = filler_cache.as_ref().expect("just built");
         rank.dpu_mut(d)?.mram.host_write(0, &batch.image)?;
         exec.bytes_in += batch.transfer_bytes();
     }
     let run = rank.launch(kernel)?;
     for &d in &run.faulted {
         skip[d] = true;
-        if let Some(p) = &plan.dpus[d] {
+        if let Some(p) = &mut plan.dpus[d] {
             exec.failures.push(DpuFailure {
                 rank: r,
                 dpu: d,
-                job_ids: p.job_ids.clone(),
+                job_ids: std::mem::take(&mut p.job_ids),
                 error: SimError::DpuFaulted { rank: r, dpu: d },
                 wasted_cycles: 0,
             });
         }
     }
-    for (d, dpu_plan) in plan.dpus.iter().enumerate() {
+    for (d, dpu_plan) in plan.dpus.iter_mut().enumerate() {
         let Some(p) = dpu_plan else { continue };
         if skip[d] {
             continue;
         }
         let dpu = rank.dpu(d)?;
-        match p.batch.read_results(&dpu.mram) {
-            Ok(rs) => {
-                exec.bytes_out += rs
-                    .iter()
-                    .map(|jr| OUT_HEADER_BYTES as u64 + 4 * jr.cigar.runs().len() as u64)
-                    .sum::<u64>();
-                exec.results.extend(p.job_ids.iter().copied().zip(rs));
-            }
+        match p.batch.read_raw_results(&dpu.mram) {
+            Ok(raw) => exec.outs.push(RawDpuOut {
+                dpu: d,
+                job_ids: std::mem::take(&mut p.job_ids),
+                raw,
+                cycles: dpu.stats.cycles,
+            }),
             Err(e) => exec.failures.push(DpuFailure {
                 rank: r,
                 dpu: d,
-                job_ids: p.job_ids.clone(),
+                job_ids: std::mem::take(&mut p.job_ids),
                 error: e,
                 wasted_cycles: dpu.stats.cycles,
             }),
         }
     }
     exec.barrier_seconds = run.barrier_cycles as f64 / freq;
-    exec.xfer_seconds = (exec.bytes_in + exec.bytes_out) as f64 / host_bw;
     exec.imbalance = run.stats.imbalance();
     exec.stats = run.stats;
     Ok(exec)
 }
 
-fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Decode a raw rank execution into a [`RankExec`] (driver-thread half).
+///
+/// A decode failure on any job of a DPU fails the whole DPU — its jobs are
+/// retried together and none of its bytes count as collected, matching the
+/// lockstep path's all-or-nothing `read_results`.
+pub(crate) fn decode_raw_exec(raw: RawRankExec, host_bw: f64) -> RankExec {
+    let mut exec = RankExec {
+        rank: raw.rank,
+        failures: raw.failures,
+        barrier_seconds: raw.barrier_seconds,
+        bytes_in: raw.bytes_in,
+        stats: raw.stats,
+        imbalance: raw.imbalance,
+        workload: raw.workload,
+        ..Default::default()
+    };
+    for out in raw.outs {
+        let mut decoded = Vec::with_capacity(out.raw.len());
+        let mut bytes = 0u64;
+        let mut err = None;
+        for rr in &out.raw {
+            match rr.decode() {
+                Ok(jr) => {
+                    bytes += rr.byte_len();
+                    decoded.push(jr);
+                }
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        match err {
+            None => {
+                exec.bytes_out += bytes;
+                exec.results.extend(out.job_ids.into_iter().zip(decoded));
+            }
+            Some(e) => exec.failures.push(DpuFailure {
+                rank: raw.rank,
+                dpu: out.dpu,
+                job_ids: out.job_ids,
+                error: e,
+                wasted_cycles: out.cycles,
+            }),
+        }
+    }
+    exec.xfer_seconds = (exec.bytes_in + exec.bytes_out) as f64 / host_bw;
+    exec
+}
+
+/// One rank's round, raw-collect and decode fused (the lockstep path).
+fn exec_rank(
+    rank: &mut Rank,
+    kernel: &NwKernel,
+    r: usize,
+    plan: RankPlan,
+    host_bw: f64,
+    freq: f64,
+) -> Result<RankExec, SimError> {
+    let mut filler = None;
+    let mut spent = Vec::new();
+    let raw = exec_rank_raw(rank, kernel, r, plan, freq, &mut filler, &mut spent)?;
+    Ok(decode_raw_exec(raw, host_bw))
+}
+
+pub(crate) fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         format!("rank worker panicked: {s}")
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -390,6 +539,24 @@ pub fn execute_rounds(
     kernel: &NwKernel,
     rounds: Vec<Vec<RankPlan>>,
 ) -> Result<DispatchOutcome, SimError> {
+    let (out, err) = execute_rounds_partial(server, kernel, rounds);
+    match err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// [`execute_rounds`], but the partial outcome survives an error: every
+/// rank execution that completed cleanly — including the healthy ranks of
+/// the failing round — is absorbed before the first error is reported.
+/// Callers that only care about success keep using [`execute_rounds`]; the
+/// partial form exists so a mid-flight fault doesn't throw away the stats
+/// and results of work that already finished.
+pub fn execute_rounds_partial(
+    server: &mut PimServer,
+    kernel: &NwKernel,
+    rounds: Vec<Vec<RankPlan>>,
+) -> (DispatchOutcome, Option<SimError>) {
     let n_ranks = server.rank_count();
     let mut out = DispatchOutcome {
         rank_seconds: vec![0.0; n_ranks],
@@ -397,13 +564,24 @@ pub fn execute_rounds(
     };
     let mut dpu_busy = vec![0.0f64; n_ranks];
     let mut imbalances: Vec<f64> = Vec::new();
-    for round in rounds {
+    let mut first_err = None;
+    'rounds: for round in rounds {
         for oc in run_round(server, kernel, round, false) {
-            out.absorb(oc?, &mut dpu_busy, &mut imbalances);
+            match oc {
+                Ok(exec) => out.absorb(exec, &mut dpu_busy, &mut imbalances),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if first_err.is_some() {
+            break 'rounds;
         }
     }
     out.finalize(&dpu_busy, &imbalances);
-    Ok(out)
+    (out, first_err)
 }
 
 fn merge_aggregate(dst: &mut AggregateStats, src: &AggregateStats) {
@@ -421,6 +599,16 @@ fn merge_aggregate(dst: &mut AggregateStats, src: &AggregateStats) {
 /// Group job indices into `groups` balanced batches: sort by workload
 /// descending, deal in serpentine (boustrophedon) order so every batch
 /// gets a comparable mix — what "distributed equally in N batches" needs.
+///
+/// "Balanced" means balanced in *eq.-6 workload units* — the same
+/// `(m + n) × w` cell-count model [`crate::balance::workload`] that
+/// [`plan_rank`]'s LPT uses within a rank — **not** in job counts. The
+/// serpentine deal pairs each lap's heaviest jobs with the previous lap's
+/// lightest, so on skewed inputs (a few giant pairs among many short ones)
+/// the per-group workload totals stay close even when the per-group job
+/// counts differ. Callers pass workloads from
+/// [`crate::balance::pair_workloads`] so grouping and intra-rank LPT agree
+/// end-to-end on what "heavy" means.
 pub fn group_jobs(workloads: &[u64], groups: usize) -> Vec<Vec<usize>> {
     assert!(groups > 0);
     let mut order: Vec<usize> = (0..workloads.len()).collect();
@@ -543,6 +731,39 @@ mod tests {
         let max = *loads.iter().max().unwrap();
         let min = *loads.iter().min().unwrap();
         assert!(max - min <= 30, "loads {loads:?}");
+    }
+
+    #[test]
+    fn partial_execution_keeps_clean_ranks_work() {
+        use pim_sim::fault::FaultPlan;
+        let mut cfg = ServerConfig::with_ranks(2);
+        cfg.dpus_per_rank = 2;
+        // Every DPU of rank 1 is boot-disabled: its batch must fail the
+        // strict round, but rank 0's finished work should survive.
+        cfg.fault = FaultPlan {
+            disabled_dpus: vec![(1, 0), (1, 1)],
+            ..Default::default()
+        };
+        let mut server = PimServer::new(cfg);
+        let kernel = NwKernel::new(
+            PoolConfig {
+                pools: 1,
+                tasklets: 4,
+            },
+            KernelVariant::Asm,
+        );
+        let jobs = packed_pairs(8);
+        let ids: Vec<usize> = (0..8).collect();
+        let round = vec![
+            plan_rank(&jobs[..4], &ids[..4], 2, params(), 1, 64 << 20).unwrap(),
+            plan_rank(&jobs[4..], &ids[4..], 2, params(), 1, 64 << 20).unwrap(),
+        ];
+        let (out, err) = execute_rounds_partial(&mut server, &kernel, vec![round]);
+        assert!(matches!(err, Some(SimError::DpuFaulted { rank: 1, .. })));
+        assert_eq!(out.results.len(), 4, "rank 0's results are kept");
+        assert!(out.stats.dpus > 0, "rank 0's stats are kept");
+        assert!(out.rank_seconds[0] > 0.0);
+        assert_eq!(out.rank_seconds[1], 0.0);
     }
 
     #[test]

@@ -25,18 +25,29 @@
 //!   failures and DPU/rank faults are retried on healthy DPUs, flaky DPUs
 //!   are quarantined, and jobs out of attempts fall back to the CPU with
 //!   the kernel-identical adaptive aligner.
+//! * [`pipeline`] — the pipelined asynchronous dispatch engine: persistent
+//!   per-rank worker threads fed through bounded FIFO channels, with
+//!   planning and result decoding overlapped on the driver thread. The
+//!   default engine; bit-identical to lockstep dispatch.
 
 pub mod balance;
 pub mod dispatch;
 pub mod encode;
 pub mod hetero;
 pub mod modes;
+pub mod pipeline;
 pub mod recovery;
 pub mod report;
 
-pub use balance::{lpt_assign, round_robin_assign};
-pub use dispatch::DispatchConfig;
+pub use balance::{lpt_assign, pair_workloads, round_robin_assign};
+pub use dispatch::{DispatchConfig, Engine};
 pub use hetero::{align_pairs_hetero, HeteroConfig, HeteroOutcome};
 pub use modes::{align_pairs, align_sets, all_vs_all};
-pub use recovery::{align_pairs_recovering, FaultReport, HealthTracker, RecoveryConfig};
+pub use pipeline::{
+    execute_pipelined_with, execute_rounds_pipelined, BufferPool, PipelineMetrics, PipelineOptions,
+};
+pub use recovery::{
+    align_pairs_recovering, execute_jobs_recovering, execute_jobs_recovering_pipelined,
+    FaultReport, HealthTracker, RecoveryConfig,
+};
 pub use report::ExecutionReport;

@@ -11,12 +11,32 @@
 //!   are LPT-balanced over DPUs; each set's reads are stored once per DPU
 //!   and aligned all-against-all; CIGARs are required.
 
-use crate::dispatch::{execute_rounds, group_jobs, plan_rank, DispatchConfig, DpuPlan, RankPlan};
+use crate::dispatch::{
+    execute_rounds, group_jobs, plan_rank, plan_rank_into, DispatchConfig, DispatchOutcome,
+    DpuPlan, Engine, RankPlan,
+};
 use crate::encode::Encoder;
+use crate::pipeline::{execute_pipelined_with, execute_rounds_pipelined, PipelineOptions};
 use crate::report::ExecutionReport;
 use dpu_kernel::layout::{JobBatchBuilder, JobResult, SeqRef};
 use nw_core::seq::{DnaSeq, PackedSeq};
 use pim_sim::{PimServer, SimError};
+
+/// Run prebuilt rounds through the configured engine. Both engines return
+/// bit-identical outcomes; only host wall-clock (and the presence of
+/// pipeline metrics) differs.
+fn run_engine(
+    server: &mut PimServer,
+    cfg: &DispatchConfig,
+    rounds: Vec<Vec<RankPlan>>,
+) -> Result<DispatchOutcome, SimError> {
+    match cfg.engine {
+        Engine::Lockstep => execute_rounds(server, &cfg.kernel, rounds),
+        Engine::Pipelined { fifo_depth } => {
+            execute_rounds_pipelined(server, &cfg.kernel, rounds, &PipelineOptions { fifo_depth })
+        }
+    }
+}
 
 /// Align a list of read pairs (S-dataset shape). Returns the report plus
 /// per-pair results in input order.
@@ -38,27 +58,39 @@ pub fn align_pairs(
         .collect();
     let encode_seconds = encoder.stats().ascii_bytes as f64 / cfg.encode_rate;
 
-    // Group into rounds x ranks balanced batches, then LPT within each.
-    let band = cfg.params.band;
-    let workloads: Vec<u64> = packed
-        .iter()
-        .map(|(a, b)| crate::balance::workload(a.len(), b.len(), band))
-        .collect();
+    // Group into rounds x ranks balanced batches (eq.-6 workload units,
+    // same model the per-rank LPT uses), then LPT within each.
+    let workloads = crate::balance::pair_workloads(&packed, cfg.params.band);
     let rounds_n = cfg.rounds.max(1);
     let groups = group_jobs(&workloads, rounds_n * n_ranks);
-    let mut rounds = Vec::with_capacity(rounds_n);
-    for k in 0..rounds_n {
-        let mut plans = Vec::with_capacity(n_ranks);
-        for r in 0..n_ranks {
-            let ids = &groups[k * n_ranks + r];
-            let jobs: Vec<(PackedSeq, PackedSeq)> =
-                ids.iter().map(|&i| packed[i].clone()).collect();
-            plans.push(plan_rank(&jobs, ids, dpus, cfg.params, pools, mram)?);
-        }
-        rounds.push(plans);
-    }
 
-    let mut outcome = execute_rounds(server, &cfg.kernel, rounds)?;
+    let mut outcome = match cfg.engine {
+        Engine::Lockstep => {
+            let mut rounds = Vec::with_capacity(rounds_n);
+            for k in 0..rounds_n {
+                let mut plans = Vec::with_capacity(n_ranks);
+                for r in 0..n_ranks {
+                    let ids = &groups[k * n_ranks + r];
+                    let jobs: Vec<(PackedSeq, PackedSeq)> =
+                        ids.iter().map(|&i| packed[i].clone()).collect();
+                    plans.push(plan_rank(&jobs, ids, dpus, cfg.params, pools, mram)?);
+                }
+                rounds.push(plans);
+            }
+            execute_rounds(server, &cfg.kernel, rounds)?
+        }
+        Engine::Pipelined { fifo_depth } => {
+            // Streaming planner: round k+1's MRAM images are serialized
+            // (from recycled buffers) while round k executes.
+            let opts = PipelineOptions { fifo_depth };
+            execute_pipelined_with(server, &cfg.kernel, &opts, rounds_n, |k, r, pool| {
+                let ids = &groups[k * n_ranks + r];
+                let jobs: Vec<(PackedSeq, PackedSeq)> =
+                    ids.iter().map(|&i| packed[i].clone()).collect();
+                plan_rank_into(&jobs, ids, dpus, cfg.params, pools, mram, pool)
+            })?
+        }
+    };
     let results = scatter(std::mem::take(&mut outcome.results), pairs.len());
     let report = make_report("pairs", encode_seconds, &results, outcome);
     Ok((report, results))
@@ -145,7 +177,7 @@ pub fn all_vs_all(
         plans.push(rank_plan);
     }
 
-    let mut outcome = execute_rounds(server, &cfg.kernel, vec![plans])?;
+    let mut outcome = run_engine(server, cfg, vec![plans])?;
     // The broadcast is one bus transfer, not per-DPU (§5.3's "broadcast
     // mechanism ... limits the data transfer footprint").
     outcome.bytes_in += arena_bytes.len() as u64;
@@ -241,7 +273,7 @@ pub fn align_sets(
         plans.push(rank_plan);
     }
 
-    let mut outcome = execute_rounds(server, &cfg.kernel, vec![plans])?;
+    let mut outcome = run_engine(server, cfg, vec![plans])?;
     let flat = scatter(std::mem::take(&mut outcome.results), total_pairs);
     let report = make_report("sets", encode_seconds, &flat, outcome);
 
@@ -294,6 +326,7 @@ pub(crate) fn make_report(
         workload: outcome.workload,
         mean_rank_imbalance: outcome.mean_rank_imbalance,
         fault: outcome.fault,
+        pipeline: outcome.pipeline,
     }
 }
 

@@ -28,8 +28,12 @@
 //! the `chaos` CLI subcommand) can assert that nothing was lost.
 
 use crate::balance::lpt_assign;
-use crate::dispatch::{group_jobs, run_round, DispatchConfig, DispatchOutcome, DpuPlan, RankPlan};
+use crate::dispatch::{
+    decode_raw_exec, group_jobs, run_round, DispatchConfig, DispatchOutcome, DpuPlan, Engine,
+    RankExec, RankPlan,
+};
 use crate::encode::Encoder;
+use crate::pipeline::{worker_loop, BatchDone, BufferPool, PipelineMetrics, WorkItem};
 use crate::report::ExecutionReport;
 use cpu_baseline::driver::run_batch;
 use dpu_kernel::layout::{JobBatchBuilder, JobResult, JobStatus, KernelParams};
@@ -39,6 +43,9 @@ use nw_core::cigar::Cigar;
 use nw_core::error::AlignError;
 use nw_core::seq::{DnaSeq, PackedSeq};
 use pim_sim::{PimServer, SimError};
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, sync_channel};
+use std::time::Instant;
 
 /// Recovery policy knobs.
 #[derive(Debug, Clone)]
@@ -161,7 +168,9 @@ impl HealthTracker {
     }
 }
 
-/// LPT a job subset over an explicit list of usable DPU slots of one rank.
+/// LPT a job subset over an explicit list of usable DPU slots of one rank,
+/// drawing MRAM image allocations from `pool`.
+#[allow(clippy::too_many_arguments)]
 fn plan_rank_subset(
     jobs: &[(PackedSeq, PackedSeq)],
     ids: &[usize],
@@ -170,6 +179,7 @@ fn plan_rank_subset(
     params: KernelParams,
     pools: usize,
     mram_size: usize,
+    pool: &mut BufferPool,
 ) -> Result<RankPlan, SimError> {
     let mut dpus: Vec<Option<DpuPlan>> = (0..dpus_per_rank).map(|_| None).collect();
     if !ids.is_empty() && !slots.is_empty() {
@@ -190,7 +200,7 @@ fn plan_rank_subset(
             }
             dpus[slot] = Some(DpuPlan {
                 job_ids,
-                batch: builder.build(mram_size)?,
+                batch: builder.build_with(mram_size, pool.take())?,
             });
         }
     }
@@ -198,6 +208,89 @@ fn plan_rank_subset(
         dpus,
         params: Some(params),
     })
+}
+
+/// Strip a tolerant execution's failures into the fault report: classify
+/// each failure, charge wasted cycles, update quarantine state, and requeue
+/// the lost job ids. Cleanly-finished planned DPUs get their consecutive-
+/// fault counters reset. Shared by the lockstep and pipelined recovery
+/// drivers so both apply identical health policy.
+fn note_exec_faults(
+    exec: &mut RankExec,
+    r: usize,
+    dpus_per_rank: usize,
+    planned: &[(usize, Vec<usize>)],
+    health: &mut HealthTracker,
+    report: &mut FaultReport,
+    requeue: &mut Vec<usize>,
+) {
+    let failures = std::mem::take(&mut exec.failures);
+    let mut failed_dpus = vec![false; dpus_per_rank];
+    for f in failures {
+        failed_dpus[f.dpu] = true;
+        match f.error {
+            SimError::DpuFaulted { .. } => report.dpu_faults += 1,
+            _ => report.corrupt_results += 1,
+        }
+        report.wasted_cycles += f.wasted_cycles;
+        if health.record_fault(r, f.dpu) {
+            report.quarantined.push((r, f.dpu));
+        }
+        requeue.extend(f.job_ids);
+    }
+    for &(d, _) in planned {
+        if !failed_dpus[d] {
+            health.record_success(r, d);
+        }
+    }
+}
+
+/// Align `fallback` jobs on the CPU with the kernel-identical adaptive
+/// aligner and push their results into `out`. Shared tail of both recovery
+/// drivers.
+fn cpu_fallback_tail(
+    out: &mut DispatchOutcome,
+    report: &mut FaultReport,
+    fallback: &[usize],
+    jobs: &[(PackedSeq, PackedSeq)],
+    params: KernelParams,
+    rcfg: &RecoveryConfig,
+) {
+    if fallback.is_empty() {
+        return;
+    }
+    report.cpu_fallbacks = fallback.len();
+    let aligner = AdaptiveAligner::new(params.scheme, params.band);
+    let pairs: Vec<(DnaSeq, DnaSeq)> = fallback
+        .iter()
+        .map(|&i| (jobs[i].0.unpack(), jobs[i].1.unpack()))
+        .collect();
+    let threads = rcfg.cpu_threads.max(1);
+    if params.score_only {
+        let (results, _) = run_batch(threads, &pairs, |a, b| aligner.score(a, b));
+        for (&i, r) in fallback.iter().zip(results) {
+            out.results.push((
+                i,
+                cpu_result(r, |score| JobResult {
+                    status: JobStatus::Ok,
+                    score,
+                    cigar: Cigar::new(),
+                }),
+            ));
+        }
+    } else {
+        let (results, _) = run_batch(threads, &pairs, |a, b| aligner.align(a, b));
+        for (&i, r) in fallback.iter().zip(results) {
+            out.results.push((
+                i,
+                cpu_result(r, |aln| JobResult {
+                    status: JobStatus::Ok,
+                    score: aln.score,
+                    cigar: aln.cigar,
+                }),
+            ));
+        }
+    }
 }
 
 fn cpu_result<T>(r: Result<T, AlignError>, to_job: impl Fn(T) -> JobResult) -> JobResult {
@@ -310,6 +403,7 @@ pub fn execute_jobs_recovering(
                             params,
                             pools,
                             mram,
+                            &mut BufferPool::default(),
                         )?
                     }
                     None => RankPlan {
@@ -343,25 +437,15 @@ pub fn execute_jobs_recovering(
                     // injected fault — surface it.
                     Err(e) => return Err(e),
                     Ok(mut exec) => {
-                        let failures = std::mem::take(&mut exec.failures);
-                        let mut failed_dpus = vec![false; dpus_per_rank];
-                        for f in failures {
-                            failed_dpus[f.dpu] = true;
-                            match f.error {
-                                SimError::DpuFaulted { .. } => report.dpu_faults += 1,
-                                _ => report.corrupt_results += 1,
-                            }
-                            report.wasted_cycles += f.wasted_cycles;
-                            if health.record_fault(r, f.dpu) {
-                                report.quarantined.push((r, f.dpu));
-                            }
-                            requeue.extend(f.job_ids);
-                        }
-                        for &(d, _) in &planned[r] {
-                            if !failed_dpus[d] {
-                                health.record_success(r, d);
-                            }
-                        }
+                        note_exec_faults(
+                            &mut exec,
+                            r,
+                            dpus_per_rank,
+                            &planned[r],
+                            &mut health,
+                            &mut report,
+                            &mut requeue,
+                        );
                         out.absorb(exec, &mut dpu_busy, &mut imbalances);
                     }
                 }
@@ -373,42 +457,320 @@ pub fn execute_jobs_recovering(
 
     // CPU fallback: the adaptive aligner is the same DP the kernel runs, so
     // scores and CIGARs are identical to what a healthy DPU would produce.
-    if !fallback.is_empty() {
-        report.cpu_fallbacks = fallback.len();
-        let aligner = AdaptiveAligner::new(params.scheme, params.band);
-        let pairs: Vec<(DnaSeq, DnaSeq)> = fallback
+    cpu_fallback_tail(&mut out, &mut report, &fallback, jobs, params, rcfg);
+
+    out.finalize(&dpu_busy, &imbalances);
+    out.fault = report;
+    Ok(out)
+}
+
+/// [`execute_jobs_recovering`] on the pipelined engine: retries ride the
+/// same live FIFOs as first-pass batches instead of waiting for a global
+/// round barrier.
+///
+/// The initial workload distribution is identical to the lockstep driver's
+/// (same [`group_jobs`] grouping over the same alive ranks), so a fault-free
+/// run launches exactly the same batches. Under faults the *schedule*
+/// differs — retries are enqueued the moment their failure is decoded, onto
+/// whichever usable rank has FIFO room — so per-launch fault draws (keyed by
+/// launch counters) can diverge from the lockstep driver; results are still
+/// complete and correct, and the health policy (retry caps, quarantine,
+/// dead-rank failover, CPU fallback) is byte-for-byte the same code.
+///
+/// Shutdown on a poisoned rank: the driver stops feeding it, drains its
+/// backlog into the retry pool, and lets already-queued batches fail at
+/// launch (each failure requeues its jobs). A non-fault error (host/kernel
+/// bug) stops planning, drains all in-flight batches, and surfaces the
+/// error.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_jobs_recovering_pipelined(
+    server: &mut PimServer,
+    kernel: &NwKernel,
+    params: KernelParams,
+    pools: usize,
+    rounds: usize,
+    rcfg: &RecoveryConfig,
+    fifo_depth: usize,
+    jobs: &[(PackedSeq, PackedSeq)],
+) -> Result<DispatchOutcome, SimError> {
+    assert!(rcfg.max_attempts >= 1, "max_attempts must be >= 1");
+    let n_ranks = server.rank_count();
+    let dpus_per_rank = server.cfg().dpus_per_rank;
+    let mram = server.cfg().dpu.mram_size;
+    let host_bw = server.cfg().host_bandwidth;
+    let freq = server.cfg().dpu.freq_hz;
+    let depth = fifo_depth.max(1);
+
+    let mut out = DispatchOutcome {
+        rank_seconds: vec![0.0; n_ranks],
+        ..Default::default()
+    };
+    let mut report = FaultReport::default();
+    let mut dpu_busy = vec![0.0f64; n_ranks];
+    let mut imbalances: Vec<f64> = Vec::new();
+    let mut health = HealthTracker::new(n_ranks, dpus_per_rank, rcfg.quarantine_after);
+    let mut attempts = vec![0usize; jobs.len()];
+    let mut fallback: Vec<usize> = Vec::new();
+    let mut pool = BufferPool::default();
+    let mut metrics = PipelineMetrics {
+        fifo_depth: depth,
+        rank_stall_seconds: vec![0.0; n_ranks],
+        rank_busy_seconds: vec![0.0; n_ranks],
+        max_fifo_occupancy: vec![0; n_ranks],
+        ..Default::default()
+    };
+    let wall_start = Instant::now();
+
+    // Boot-time DPU availability is static; quarantine and death are driver
+    // state. Snapshot it before the workers take the ranks.
+    let enabled: Vec<Vec<bool>> = (0..n_ranks)
+        .map(|r| {
+            let rank = server.rank(r).expect("rank index in range");
+            (0..dpus_per_rank).map(|d| rank.dpu_enabled(d)).collect()
+        })
+        .collect();
+    let usable_slots = |r: usize, health: &HealthTracker| -> Vec<usize> {
+        if health.is_dead(r) {
+            return Vec::new();
+        }
+        (0..dpus_per_rank)
+            .filter(|&d| enabled[r][d] && !health.is_quarantined(r, d))
+            .collect()
+    };
+
+    // Initial distribution: identical grouping to the lockstep driver.
+    let alive: Vec<usize> = (0..n_ranks)
+        .filter(|&r| !usable_slots(r, &health).is_empty())
+        .collect();
+    let mut backlog: Vec<VecDeque<Vec<usize>>> = vec![VecDeque::new(); n_ranks];
+    let mut retry_pool: Vec<usize> = Vec::new();
+    if alive.is_empty() {
+        fallback.extend(0..jobs.len());
+    } else {
+        let rounds_n = rounds.max(1);
+        let workloads: Vec<u64> = jobs
             .iter()
-            .map(|&i| (jobs[i].0.unpack(), jobs[i].1.unpack()))
+            .map(|(a, b)| crate::balance::workload(a.len(), b.len(), params.band))
             .collect();
-        let threads = rcfg.cpu_threads.max(1);
-        if params.score_only {
-            let (results, _) = run_batch(threads, &pairs, |a, b| aligner.score(a, b));
-            for (&i, r) in fallback.iter().zip(results) {
-                out.results.push((
-                    i,
-                    cpu_result(r, |score| JobResult {
-                        status: JobStatus::Ok,
-                        score,
-                        cigar: Cigar::new(),
-                    }),
-                ));
-            }
-        } else {
-            let (results, _) = run_batch(threads, &pairs, |a, b| aligner.align(a, b));
-            for (&i, r) in fallback.iter().zip(results) {
-                out.results.push((
-                    i,
-                    cpu_result(r, |aln| JobResult {
-                        status: JobStatus::Ok,
-                        score: aln.score,
-                        cigar: aln.cigar,
-                    }),
-                ));
+        let groups = group_jobs(&workloads, rounds_n * alive.len());
+        for k in 0..rounds_n {
+            for (ri, &r) in alive.iter().enumerate() {
+                let ids = &groups[k * alive.len() + ri];
+                if !ids.is_empty() {
+                    backlog[r].push_back(ids.clone());
+                }
             }
         }
     }
 
+    let mut fatal: Option<SimError> = None;
+    {
+        let ranks = server.ranks_mut();
+        let (done_tx, done_rx) = channel::<BatchDone>();
+        std::thread::scope(|scope| {
+            let mut inboxes = Vec::with_capacity(n_ranks);
+            for (r, rank) in ranks.iter_mut().enumerate() {
+                let (tx, rx) = sync_channel::<WorkItem>(depth);
+                let done = done_tx.clone();
+                scope.spawn(move || worker_loop(r, rank, kernel, freq, rx, done));
+                inboxes.push(tx);
+            }
+            drop(done_tx);
+
+            let mut in_flight = vec![0usize; n_ranks];
+            let mut total_in_flight = 0usize;
+            let mut planned: HashMap<u64, Vec<(usize, Vec<usize>)>> = HashMap::new();
+            let mut next_seq = 0u64;
+
+            'drive: loop {
+                if fatal.is_none() {
+                    // Feed phase: top up every usable rank's FIFO. A rank
+                    // with no usable DPU left gives its backlog to the
+                    // retry pool for the survivors.
+                    for r in 0..n_ranks {
+                        let slots = usable_slots(r, &health);
+                        if slots.is_empty() {
+                            while let Some(ids) = backlog[r].pop_front() {
+                                retry_pool.extend(ids);
+                            }
+                            continue;
+                        }
+                        while in_flight[r] < depth {
+                            let ids: Vec<usize> = match backlog[r].pop_front() {
+                                Some(ids) => ids,
+                                None => {
+                                    if retry_pool.is_empty() {
+                                        break;
+                                    }
+                                    // Jobs out of PiM attempts go to the CPU.
+                                    let (retryable, exhausted): (Vec<usize>, Vec<usize>) =
+                                        std::mem::take(&mut retry_pool)
+                                            .into_iter()
+                                            .partition(|&i| attempts[i] < rcfg.max_attempts);
+                                    fallback.extend(exhausted);
+                                    if retryable.is_empty() {
+                                        break;
+                                    }
+                                    let n_usable = (0..n_ranks)
+                                        .filter(|&x| !usable_slots(x, &health).is_empty())
+                                        .count()
+                                        .max(1);
+                                    let chunk = retryable.len().div_ceil(n_usable);
+                                    let mut rest = retryable;
+                                    let take = rest.split_off(rest.len() - chunk.min(rest.len()));
+                                    retry_pool = rest;
+                                    take
+                                }
+                            };
+                            for &i in &ids {
+                                attempts[i] += 1;
+                                if attempts[i] > 1 {
+                                    report.retried_jobs += 1;
+                                }
+                            }
+                            let plan_start = Instant::now();
+                            let plan = plan_rank_subset(
+                                jobs,
+                                &ids,
+                                &slots,
+                                dpus_per_rank,
+                                params,
+                                pools,
+                                mram,
+                                &mut pool,
+                            );
+                            let dt = plan_start.elapsed().as_secs_f64();
+                            metrics.plan_seconds += dt;
+                            if total_in_flight > 0 {
+                                metrics.plan_overlap_seconds += dt;
+                            }
+                            let plan = match plan {
+                                Ok(p) => p,
+                                Err(e) => {
+                                    fatal = Some(e);
+                                    break 'drive;
+                                }
+                            };
+                            let seq = next_seq;
+                            next_seq += 1;
+                            planned.insert(
+                                seq,
+                                plan.dpus
+                                    .iter()
+                                    .enumerate()
+                                    .filter_map(|(d, p)| p.as_ref().map(|p| (d, p.job_ids.clone())))
+                                    .collect(),
+                            );
+                            in_flight[r] += 1;
+                            total_in_flight += 1;
+                            metrics.max_fifo_occupancy[r] =
+                                metrics.max_fifo_occupancy[r].max(in_flight[r]);
+                            metrics.batches += 1;
+                            inboxes[r]
+                                .send(WorkItem { seq, plan })
+                                .expect("worker alive while its inbox is held");
+                        }
+                    }
+                }
+                if total_in_flight == 0 {
+                    if fatal.is_some() {
+                        break;
+                    }
+                    let work_left = retry_pool.iter().any(|&i| attempts[i] < rcfg.max_attempts)
+                        || backlog.iter().any(|b| !b.is_empty());
+                    if !work_left {
+                        // Whatever is left in the pool is out of attempts.
+                        fallback.append(&mut retry_pool);
+                        break;
+                    }
+                    // Work remains but the feed phase could not place it:
+                    // no rank has a usable DPU left. CPU takes the rest.
+                    for b in backlog.iter_mut() {
+                        while let Some(ids) = b.pop_front() {
+                            fallback.extend(ids);
+                        }
+                    }
+                    fallback.append(&mut retry_pool);
+                    break;
+                }
+                let Ok(done) = done_rx.recv() else {
+                    fatal = Some(SimError::RankFailed {
+                        rank: 0,
+                        reason: "all rank workers exited with work in flight".into(),
+                    });
+                    break;
+                };
+                let r = done.rank;
+                in_flight[r] -= 1;
+                total_in_flight -= 1;
+                metrics.rank_stall_seconds[r] += done.wait_seconds;
+                metrics.rank_busy_seconds[r] += done.busy_seconds;
+                pool.put(done.spent);
+                let batch_planned = planned.remove(&done.seq).unwrap_or_default();
+                match done.outcome {
+                    Err(SimError::RankFailed { .. }) => {
+                        report.rank_failures += 1;
+                        if health.mark_dead(r) {
+                            report.dead_ranks.push(r);
+                        }
+                        for (_, ids) in &batch_planned {
+                            retry_pool.extend(ids.iter().copied());
+                        }
+                        // Already-queued batches on this rank will fail the
+                        // same way and requeue themselves; stop feeding it.
+                        while let Some(ids) = backlog[r].pop_front() {
+                            retry_pool.extend(ids);
+                        }
+                    }
+                    // Anything else rank-fatal is a host/kernel bug, not an
+                    // injected fault — surface it after draining.
+                    Err(e) => {
+                        if fatal.is_none() {
+                            fatal = Some(e);
+                        }
+                    }
+                    Ok(raw) => {
+                        let decode_start = Instant::now();
+                        let mut exec = decode_raw_exec(raw, host_bw);
+                        metrics.decode_seconds += decode_start.elapsed().as_secs_f64();
+                        note_exec_faults(
+                            &mut exec,
+                            r,
+                            dpus_per_rank,
+                            &batch_planned,
+                            &mut health,
+                            &mut report,
+                            &mut retry_pool,
+                        );
+                        out.absorb(exec, &mut dpu_busy, &mut imbalances);
+                    }
+                }
+            }
+            drop(inboxes);
+            // Drain any in-flight completions so the workers can exit and
+            // their simulated time is not lost on a fatal error path.
+            for done in done_rx.iter() {
+                pool.put(done.spent);
+                if let Ok(raw) = done.outcome {
+                    let mut exec = decode_raw_exec(raw, host_bw);
+                    exec.failures.clear();
+                    out.absorb(exec, &mut dpu_busy, &mut imbalances);
+                }
+            }
+        });
+    }
+    if let Some(e) = fatal {
+        return Err(e);
+    }
+
+    cpu_fallback_tail(&mut out, &mut report, &fallback, jobs, params, rcfg);
+
     out.finalize(&dpu_busy, &imbalances);
+    metrics.host_wall_seconds = wall_start.elapsed().as_secs_f64();
+    let (reused, allocated) = pool.counters();
+    metrics.buffers_reused = reused;
+    metrics.buffers_allocated = allocated;
+    out.pipeline = Some(metrics);
     out.fault = report;
     Ok(out)
 }
@@ -428,15 +790,27 @@ pub fn align_pairs_recovering(
         .map(|(a, b)| (encoder.encode_seq(a), encoder.encode_seq(b)))
         .collect();
     let encode_seconds = encoder.stats().ascii_bytes as f64 / cfg.encode_rate;
-    let mut outcome = execute_jobs_recovering(
-        server,
-        &cfg.kernel,
-        cfg.params,
-        cfg.kernel.pool_cfg.pools,
-        cfg.rounds,
-        rcfg,
-        &packed,
-    )?;
+    let mut outcome = match cfg.engine {
+        Engine::Lockstep => execute_jobs_recovering(
+            server,
+            &cfg.kernel,
+            cfg.params,
+            cfg.kernel.pool_cfg.pools,
+            cfg.rounds,
+            rcfg,
+            &packed,
+        )?,
+        Engine::Pipelined { fifo_depth } => execute_jobs_recovering_pipelined(
+            server,
+            &cfg.kernel,
+            cfg.params,
+            cfg.kernel.pool_cfg.pools,
+            cfg.rounds,
+            rcfg,
+            fifo_depth,
+            &packed,
+        )?,
+    };
     let results = crate::modes::scatter(std::mem::take(&mut outcome.results), pairs.len());
     let report = crate::modes::make_report("pairs-recovering", encode_seconds, &results, outcome);
     Ok((report, results))

@@ -1,6 +1,7 @@
 //! Execution reports: the time/energy breakdown every experiment mode
 //! produces, in the units the paper's tables use.
 
+use crate::pipeline::PipelineMetrics;
 use crate::recovery::FaultReport;
 use pim_sim::stats::AggregateStats;
 
@@ -36,6 +37,8 @@ pub struct ExecutionReport {
     pub mean_rank_imbalance: f64,
     /// Fault/recovery accounting (clean outside the recovery path).
     pub fault: FaultReport,
+    /// Host pipeline measurements (`None` under the lockstep engine).
+    pub pipeline: Option<PipelineMetrics>,
 }
 
 impl ExecutionReport {

@@ -99,6 +99,32 @@ fn group_jobs_covers_and_balances_counts() {
 }
 
 #[test]
+fn group_jobs_balances_workload_units_not_job_counts() {
+    // The serpentine deal operates on eq.-6 workload units: on skewed
+    // inputs (heavy items first) the heaviest group's *load* stays within
+    // one maximal item of the lightest group's, even though a count-only
+    // deal over the same arrival order can be arbitrarily lopsided in load.
+    let mut rng = SplitMix64::new(28);
+    for _ in 0..TRIALS {
+        // Skewed: a few huge items and a tail of tiny ones.
+        let mut w: Vec<u64> = (0..rng.between(2, 9))
+            .map(|_| rng.between(500_000, 999_999))
+            .collect();
+        w.extend((0..rng.between(10, 99)).map(|_| rng.between(1, 999)));
+        let groups = rng.between(2, 9) as usize;
+        let gs = group_jobs(&w, groups);
+        let loads: Vec<u64> = gs.iter().map(|g| g.iter().map(|&i| w[i]).sum()).collect();
+        let (min, max) = (*loads.iter().min().unwrap(), *loads.iter().max().unwrap());
+        let biggest = *w.iter().max().unwrap();
+        assert!(
+            max - min <= biggest,
+            "load gap {} exceeds biggest item {biggest}: {loads:?}",
+            max - min
+        );
+    }
+}
+
+#[test]
 fn imbalance_is_scale_invariant() {
     let mut rng = SplitMix64::new(25);
     for _ in 0..TRIALS {

@@ -55,6 +55,15 @@ pub struct FaultPlan {
     pub straggler_ranks: Vec<usize>,
     /// Slowdown factor for straggler ranks (≥ 1.0; 1.0 = no effect).
     pub straggler_slowdown: f64,
+    /// Host-side wall-clock hold (milliseconds) a straggler rank adds to
+    /// every *odd-numbered* launch — an intermittent stall (DRAM refresh
+    /// storm / thermal throttle) the host actually waits out, unlike
+    /// `straggler_slowdown` which only scales the *simulated* barrier.
+    /// Timing-only, never correctness; 0.0 = no effect. This is what makes
+    /// the global round barrier's cost observable in host wall-clock: a
+    /// lockstep dispatcher idles every other rank for the hold, a pipelined
+    /// one keeps feeding them.
+    pub straggler_hold_ms: f64,
 }
 
 impl FaultPlan {
@@ -64,7 +73,8 @@ impl FaultPlan {
             && self.dead_ranks.is_empty()
             && self.dpu_fault_rate == 0.0
             && self.corrupt_rate == 0.0
-            && (self.straggler_ranks.is_empty() || self.straggler_slowdown <= 1.0)
+            && (self.straggler_ranks.is_empty()
+                || (self.straggler_slowdown <= 1.0 && self.straggler_hold_ms <= 0.0))
     }
 
     /// A pseudo-random chaos plan: `disabled` DPUs masked out, one dead
@@ -106,6 +116,7 @@ impl FaultPlan {
             corrupt_rate,
             straggler_ranks,
             straggler_slowdown: 2.5,
+            straggler_hold_ms: 0.0,
         }
     }
 
@@ -129,6 +140,11 @@ impl FaultPlan {
             } else {
                 1.0
             },
+            hold_ms: if self.straggler_ranks.contains(&rank) {
+                self.straggler_hold_ms.max(0.0)
+            } else {
+                0.0
+            },
             launches: 0,
         }
     }
@@ -145,6 +161,7 @@ pub struct RankFaultState {
     dpu_fault_rate: f64,
     corrupt_rate: f64,
     slowdown: f64,
+    hold_ms: f64,
     launches: u64,
 }
 
@@ -167,6 +184,20 @@ impl RankFaultState {
     /// Straggler slowdown factor (1.0 = healthy).
     pub fn slowdown(&self) -> f64 {
         self.slowdown
+    }
+
+    /// Host wall-clock seconds the *current* launch holds the rank busy
+    /// before releasing. Intermittent by design — only odd-numbered
+    /// launches (the 1st, 3rd, ...) stall, so the straggler alternates
+    /// between slow and healthy launches. Deterministic in the launch
+    /// counter, hence identical across dispatch engines that issue the
+    /// same per-rank launch sequence.
+    pub fn hold_seconds(&self) -> f64 {
+        if self.hold_ms > 0.0 && self.launches % 2 == 1 {
+            self.hold_ms / 1e3
+        } else {
+            0.0
+        }
     }
 
     /// True when `dpu` was masked out at boot.
@@ -277,6 +308,28 @@ mod tests {
         assert!(!r0.is_dead() && r1.is_dead());
         assert_eq!(r0.slowdown(), 3.0);
         assert_eq!(r1.slowdown(), 1.0);
+    }
+
+    #[test]
+    fn straggler_hold_is_intermittent_and_per_rank() {
+        let plan = FaultPlan {
+            straggler_ranks: vec![1],
+            straggler_hold_ms: 20.0,
+            ..Default::default()
+        };
+        assert!(!plan.is_empty(), "a hold-only straggler is a real fault");
+        let mut s = plan.rank_state(1, 4);
+        let mut healthy = plan.rank_state(0, 4);
+        // Launch counter parity: odd launches hold, even ones don't.
+        let mut pattern = Vec::new();
+        for _ in 0..4 {
+            s.next_launch();
+            healthy.next_launch();
+            pattern.push(s.hold_seconds() > 0.0);
+            assert_eq!(healthy.hold_seconds(), 0.0, "non-straggler never holds");
+        }
+        assert_eq!(pattern, vec![true, false, true, false]);
+        assert!((plan.rank_state(1, 4).hold_seconds() - 0.0).abs() < 1e-12);
     }
 
     #[test]

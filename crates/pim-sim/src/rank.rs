@@ -120,6 +120,13 @@ impl Rank {
             });
         }
         self.fault.next_launch();
+        // Intermittent straggler hold: real wall-clock the host spends
+        // waiting on this rank (see [`crate::fault::FaultPlan`]). Purely a
+        // timing fault — simulated cycles and results are untouched.
+        let hold = self.fault.hold_seconds();
+        if hold > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(hold));
+        }
         let probabilistic = self.fault.active();
         let mut agg = AggregateStats::default();
         let mut faulted = Vec::new();
