@@ -28,7 +28,8 @@ cargo run --release -q -p upmem-nw-cli --bin upmem-nw -- chaos --seed 42
 # emitted JSON has the shape downstream tooling consumes.
 echo "==> upmem-nw bench --smoke true"
 BENCH_JSON="$(mktemp -t BENCH_dispatch.XXXXXX.json)"
-trap 'rm -f "$BENCH_JSON"' EXIT
+SIM_JSON="$(mktemp -t BENCH_sim.XXXXXX.json)"
+trap 'rm -f "$BENCH_JSON" "$SIM_JSON"' EXIT
 cargo run --release -q -p upmem-nw-cli --bin upmem-nw -- bench --smoke true --json "$BENCH_JSON"
 
 echo "==> validate BENCH_dispatch.json"
@@ -57,5 +58,51 @@ for key in ["per_rank_stall_seconds", "per_rank_busy_seconds", "max_fifo_occupan
 print(f"BENCH_dispatch.json OK: straggler speedup {bench['speedup_host_wall']:.2f}x, "
       f"no-fault speedup {bench['no_fault']['speedup_host_wall']:.2f}x")
 EOF
+
+# Simulator-throughput smoke: interpreter checked-vs-fast plus rank-level
+# sequential/parallel conditions. The command itself fails unless every
+# condition is bit-identical to the sequential checked reference; then
+# check the emitted JSON has the shape downstream tooling consumes.
+echo "==> upmem-nw bench --sim true --smoke true"
+cargo run --release -q -p upmem-nw-cli --bin upmem-nw -- bench --sim true --smoke true --json "$SIM_JSON"
+
+echo "==> validate BENCH_sim.json"
+python3 - "$SIM_JSON" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+
+for key in ["bench", "cells", "interp_passes", "dpus", "launches",
+            "passes_per_launch", "sim_threads", "seed", "interp", "rank",
+            "speedup_dpus_per_sec", "bit_identical"]:
+    assert key in bench, f"missing top-level key {key!r}"
+assert bench["bench"] == "sim"
+assert bench["bit_identical"] is True, "fast/parallel paths must agree bit-for-bit"
+assert len(bench["interp"]) == 4, "expected pure_c/asm x score/traceback"
+for k in bench["interp"]:
+    for key in ["kernel", "program_len", "dense_len", "fused_windows",
+                "fast_eligible", "instructions", "checked_instr_per_sec",
+                "fast_instr_per_sec", "speedup", "bit_identical"]:
+        assert key in k, f"missing interp key {key!r}"
+    assert k["fast_eligible"] is True and k["bit_identical"] is True
+    assert 0 < k["dense_len"] <= k["program_len"]
+for cond in ["sequential_checked", "sequential_fast",
+             "parallel_checked", "parallel_fast"]:
+    run = bench["rank"][cond]
+    for key in ["wall_seconds", "instructions", "instr_per_sec", "dpus_per_sec"]:
+        assert key in run, f"missing rank key {key!r} in {cond}"
+        assert run[key] >= 0
+    assert run["instructions"] == bench["rank"]["sequential_checked"]["instructions"]
+print(f"BENCH_sim.json OK: parallel+fast over sequential+checked "
+      f"{bench['speedup_dpus_per_sec']:.2f}x")
+EOF
+
+# Parallel-vs-sequential equivalence: the intra-rank pool must be
+# bit-identical to the sequential launch, standalone and under the full
+# dispatch stack with fault plans.
+echo "==> intra-rank equivalence tests"
+cargo test --release -q -p pim-sim parallel_launch_matches_sequential_bit_for_bit -- --nocapture
+cargo test --release -q -p pim-host --test pipeline_equivalence parallel_intra_rank_is_bit_identical_under_fault_plans -- --nocapture
 
 echo "CI OK"

@@ -127,6 +127,7 @@ pub fn read_fasta(path: &str) -> Result<Vec<Record>, CliError> {
 
 /// Align records of `a_path` with same-index records of `b_path`; returns
 /// TSV lines `name_a name_b score cigar identity`.
+#[allow(clippy::too_many_arguments)]
 pub fn cmd_align(
     a_path: &str,
     b_path: &str,
@@ -135,6 +136,7 @@ pub fn cmd_align(
     ranks: usize,
     fifo_depth: usize,
     sync_dispatch: bool,
+    sim_threads: usize,
 ) -> Result<String, CliError> {
     let a_recs = read_fasta(a_path)?;
     let b_recs = read_fasta(b_path)?;
@@ -173,6 +175,7 @@ pub fn cmd_align(
             };
             let mut cfg = DispatchConfig::new(NwKernel::paper_default(), params);
             cfg.engine = engine_from_flags(fifo_depth, sync_dispatch);
+            cfg.sim_threads = sim_threads;
             let (_report, results) = align_pairs(&mut server, &cfg, &pairs)
                 .map_err(|e| CliError::Align(e.to_string()))?;
             for ((ra, rb), r) in a_recs.iter().zip(&b_recs).zip(results) {
@@ -407,6 +410,9 @@ pub struct ChaosOpts {
     pub fifo_depth: usize,
     /// Use the lockstep engine instead of the pipelined one.
     pub sync_dispatch: bool,
+    /// Simulator worker-thread budget shared by all concurrent ranks
+    /// (0 = available parallelism).
+    pub sim_threads: usize,
 }
 
 impl Default for ChaosOpts {
@@ -424,6 +430,7 @@ impl Default for ChaosOpts {
             quarantine: 2,
             fifo_depth: 2,
             sync_dispatch: false,
+            sim_threads: 0,
         }
     }
 }
@@ -461,6 +468,7 @@ pub fn cmd_chaos(opts: &ChaosOpts) -> Result<String, CliError> {
     };
     let mut cfg = DispatchConfig::new(NwKernel::paper_default(), params);
     cfg.engine = engine_from_flags(opts.fifo_depth, opts.sync_dispatch);
+    cfg.sim_threads = opts.sim_threads;
     let rcfg = RecoveryConfig {
         max_attempts: opts.retries.max(1),
         quarantine_after: opts.quarantine.max(1),
@@ -543,8 +551,15 @@ pub struct BenchOpts {
     pub straggler_hold_ms: f64,
     /// Shrink every knob for a fast CI smoke run.
     pub smoke: bool,
-    /// Where to write the JSON report (default `BENCH_dispatch.json`).
+    /// Where to write the JSON report (default `BENCH_dispatch.json`, or
+    /// `BENCH_sim.json` with `--sim`).
     pub json_path: Option<String>,
+    /// Simulator worker-thread budget shared by all concurrent ranks
+    /// (0 = available parallelism).
+    pub sim_threads: usize,
+    /// Run the simulator benchmark (interpreter fast path + intra-rank
+    /// parallelism) instead of the dispatch benchmark.
+    pub sim: bool,
 }
 
 impl Default for BenchOpts {
@@ -563,6 +578,8 @@ impl Default for BenchOpts {
             straggler_hold_ms: 35.0,
             smoke: false,
             json_path: None,
+            sim_threads: 0,
+            sim: false,
         }
     }
 }
@@ -591,6 +608,7 @@ fn bench_run(
     let mut cfg = DispatchConfig::new(NwKernel::paper_default(), params);
     cfg.rounds = opts.rounds.max(1);
     cfg.engine = engine;
+    cfg.sim_threads = opts.sim_threads;
     let t0 = std::time::Instant::now();
     let (report, results) =
         align_pairs(&mut server, &cfg, pairs).map_err(|e| CliError::Align(e.to_string()))?;
@@ -666,6 +684,9 @@ fn bit_identical(a: &BenchRun, b: &BenchRun) -> bool {
 /// ranks' work. Results must stay bit-identical across engines in both
 /// conditions — the benchmark fails otherwise.
 pub fn cmd_bench(opts: &BenchOpts) -> Result<String, CliError> {
+    if opts.sim {
+        return cmd_bench_sim(opts);
+    }
     let mut opts = opts.clone();
     if opts.smoke {
         opts.pairs = opts.pairs.min(24);
@@ -757,6 +778,287 @@ pub fn cmd_bench(opts: &BenchOpts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// One DPU program for the simulator benchmark: `passes` passes of an
+/// inner loop over `cells` cells. The workload is seeded per DPU from its
+/// MRAM tag and a persistent launch counter, and every pass's outputs are
+/// folded into a running digest in MRAM — so bit-identity across
+/// interpreter modes and thread counts is checked end to end.
+struct IsaBenchKernel {
+    variant: dpu_kernel::KernelVariant,
+    with_bt: bool,
+    mode: dpu_kernel::isa_loops::InterpMode,
+    passes: u32,
+    cells: usize,
+}
+
+impl pim_sim::dpu::Kernel for IsaBenchKernel {
+    fn run(&self, dpu: &mut pim_sim::Dpu) -> Result<(), pim_sim::SimError> {
+        use dpu_kernel::isa_loops;
+        let word = |bytes: Vec<u8>| u32::from_le_bytes(bytes.try_into().expect("4 bytes"));
+        let tag = word(dpu.mram.host_read(0, 4)?);
+        let launch = word(dpu.mram.host_read(4, 4)?);
+        let mut digest = u64::from_le_bytes(dpu.mram.host_read(8, 8)?.try_into().expect("8 bytes"));
+        for p in 0..self.passes {
+            let perturb = tag
+                .wrapping_add(launch.wrapping_mul(self.passes))
+                .wrapping_add(p);
+            let (stats, wram) =
+                isa_loops::bench_cells(self.variant, self.with_bt, perturb, self.cells, self.mode)?;
+            digest = isa_loops::output_digest(&wram, self.cells, digest);
+            dpu.stats.instructions += stats.instructions;
+            // The mini pipeline retires 1 instruction/cycle at full
+            // occupancy; the rank barrier only needs a deterministic count.
+            dpu.stats.cycles += stats.instructions;
+        }
+        dpu.mram.host_write(4, &(launch + 1).to_le_bytes())?;
+        dpu.mram.host_write(8, &digest.to_le_bytes())?;
+        Ok(())
+    }
+}
+
+struct SimCondRun {
+    wall_seconds: f64,
+    instructions: u64,
+    instr_per_sec: f64,
+    dpus_per_sec: f64,
+    barrier_cycles: Vec<u64>,
+    digests: Vec<u64>,
+}
+
+fn run_sim_condition(
+    kernel: &IsaBenchKernel,
+    dpus: usize,
+    launches: usize,
+    threads: usize,
+    seed: u64,
+) -> Result<SimCondRun, CliError> {
+    use pim_sim::{DpuConfig, Rank};
+    let align = |e: pim_sim::SimError| CliError::Align(e.to_string());
+    let mut rank = Rank::new(DpuConfig::default(), dpus);
+    for d in 0..dpus {
+        let tag = (seed as u32) ^ (d as u32).wrapping_mul(0x9E37);
+        let dpu = rank.dpu_mut(d).map_err(align)?;
+        dpu.mram.host_write(0, &tag.to_le_bytes()).map_err(align)?;
+        // Launch counter and digest start at zero.
+        dpu.mram.host_write(4, &[0u8; 12]).map_err(align)?;
+    }
+    let t0 = std::time::Instant::now();
+    let mut instructions = 0u64;
+    let mut barrier_cycles = Vec::with_capacity(launches);
+    for _ in 0..launches {
+        let run = rank.launch_threads(kernel, threads).map_err(align)?;
+        instructions += run.stats.total.instructions;
+        barrier_cycles.push(run.barrier_cycles);
+    }
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let mut digests = Vec::with_capacity(dpus);
+    for d in 0..dpus {
+        let bytes = rank
+            .dpu(d)
+            .and_then(|dpu| dpu.mram.host_read(8, 8))
+            .map_err(align)?;
+        digests.push(u64::from_le_bytes(bytes.try_into().expect("8 bytes")));
+    }
+    Ok(SimCondRun {
+        wall_seconds,
+        instructions,
+        instr_per_sec: instructions as f64 / wall_seconds.max(1e-12),
+        dpus_per_sec: (dpus * launches) as f64 / wall_seconds.max(1e-12),
+        barrier_cycles,
+        digests,
+    })
+}
+
+/// Simulator benchmark (`bench --sim`): (a) an interpreter microbenchmark
+/// per built-in kernel, fully checked path vs the verified dense fast path;
+/// (b) rank-level launches of an ISA workload, sequential vs the intra-rank
+/// worker pool, in all four mode x thread combinations. Writes
+/// `BENCH_sim.json`; fails unless every condition's outputs, instruction
+/// counts and barrier cycles are bit-identical to the sequential checked
+/// reference.
+fn cmd_bench_sim(opts: &BenchOpts) -> Result<String, CliError> {
+    use dpu_kernel::isa_loops::{self, InterpMode};
+    use dpu_kernel::KernelVariant;
+    use pim_host::dispatch::resolve_sim_threads;
+
+    let cells = 192usize;
+    // Full mode runs long enough to dominate timer noise and takes the
+    // best of `reps` repetitions; results are deterministic either way.
+    let (interp_iters, launches, passes, reps) = if opts.smoke {
+        (24u32, 2usize, 2u32, 1usize)
+    } else {
+        (1200, 8, 24, 3)
+    };
+    let dpus = (opts.ranks.max(1) * opts.dpus.max(1)).max(2);
+    let threads = resolve_sim_threads(opts.sim_threads);
+
+    // (a) Interpreter microbenchmark: same perturb sequence through both
+    // paths; instruction totals and output digests must agree exactly.
+    let mut interp_json = Vec::new();
+    let mut out = format!(
+        "bench sim: {cells} cells/pass, {interp_iters} interp passes, \
+         {dpus} DPUs x {launches} launches x {passes} passes, {threads} sim threads\n"
+    );
+    let mut identical = true;
+    for (variant, vname) in [
+        (KernelVariant::PureC, "pure_c"),
+        (KernelVariant::Asm, "asm"),
+    ] {
+        for with_bt in [false, true] {
+            let name = format!(
+                "{vname}/{}",
+                if with_bt { "traceback" } else { "score_only" }
+            );
+            let prep = isa_loops::prepared(variant, with_bt);
+            let run_mode = |mode: InterpMode| -> Result<(u64, u64, f64), CliError> {
+                let mut instr = 0u64;
+                let mut digest = 0u64;
+                let t0 = std::time::Instant::now();
+                for i in 0..interp_iters {
+                    let (stats, wram) = isa_loops::bench_cells(variant, with_bt, i, cells, mode)
+                        .map_err(|e| CliError::Align(e.to_string()))?;
+                    instr += stats.instructions;
+                    digest = isa_loops::output_digest(&wram, cells, digest);
+                }
+                Ok((instr, digest, t0.elapsed().as_secs_f64()))
+            };
+            let best_of = |mode: InterpMode| -> Result<(u64, u64, f64), CliError> {
+                let mut best: Option<(u64, u64, f64)> = None;
+                for _ in 0..reps {
+                    let r = run_mode(mode)?;
+                    if best.is_none_or(|b| r.2 < b.2) {
+                        best = Some(r);
+                    }
+                }
+                Ok(best.expect("reps >= 1"))
+            };
+            let (ci, cd, ct) = best_of(InterpMode::Checked)?;
+            let (fi, fd, ft) = best_of(InterpMode::Fast)?;
+            let same = ci == fi && cd == fd;
+            identical &= same;
+            let checked_ips = ci as f64 / ct.max(1e-12);
+            let fast_ips = fi as f64 / ft.max(1e-12);
+            let speedup = fast_ips / checked_ips.max(1e-12);
+            let _ = writeln!(
+                out,
+                "  {name}: checked {:.2} Minstr/s, fast {:.2} Minstr/s -> {:.2}x \
+                 ({} fused windows, {} -> {} ops)",
+                checked_ips / 1e6,
+                fast_ips / 1e6,
+                speedup,
+                prep.fused_windows(),
+                prep.program().len(),
+                prep.dense_len(),
+            );
+            interp_json.push(format!(
+                "{{\"kernel\": \"{name}\", \"program_len\": {}, \"dense_len\": {}, \
+                 \"fused_windows\": {}, \"fast_eligible\": {}, \"instructions\": {ci}, \
+                 \"checked_instr_per_sec\": {}, \"fast_instr_per_sec\": {}, \
+                 \"speedup\": {}, \"bit_identical\": {same}}}",
+                prep.program().len(),
+                prep.dense_len(),
+                prep.fused_windows(),
+                prep.fast_eligible(),
+                jf(checked_ips),
+                jf(fast_ips),
+                jf(speedup),
+            ));
+        }
+    }
+
+    // (b) Rank-level: the acceptance comparison is parallel+fast against
+    // the sequential+checked baseline (the pre-fast-path simulator).
+    let kernel = |mode: InterpMode| IsaBenchKernel {
+        variant: KernelVariant::Asm,
+        with_bt: true,
+        mode,
+        passes,
+        cells,
+    };
+    // Each repetition is a full fresh run (rank state, launch counters,
+    // digests all restart), so repeating only tightens the timing.
+    let best_cond = |mode: InterpMode, threads: usize| -> Result<SimCondRun, CliError> {
+        let mut best: Option<SimCondRun> = None;
+        for _ in 0..reps {
+            let r = run_sim_condition(&kernel(mode), dpus, launches, threads, opts.seed)?;
+            if best
+                .as_ref()
+                .is_none_or(|b| r.wall_seconds < b.wall_seconds)
+            {
+                best = Some(r);
+            }
+        }
+        Ok(best.expect("reps >= 1"))
+    };
+    let seq_checked = best_cond(InterpMode::Checked, 1)?;
+    let seq_fast = best_cond(InterpMode::Fast, 1)?;
+    let par_checked = best_cond(InterpMode::Checked, threads)?;
+    let par_fast = best_cond(InterpMode::Fast, threads)?;
+    for c in [&seq_fast, &par_checked, &par_fast] {
+        identical &= c.digests == seq_checked.digests
+            && c.instructions == seq_checked.instructions
+            && c.barrier_cycles == seq_checked.barrier_cycles;
+    }
+    let speedup_dpus = par_fast.dpus_per_sec / seq_checked.dpus_per_sec.max(1e-12);
+    for (label, c) in [
+        ("sequential+checked", &seq_checked),
+        ("sequential+fast", &seq_fast),
+        ("parallel+checked", &par_checked),
+        ("parallel+fast", &par_fast),
+    ] {
+        let _ = writeln!(
+            out,
+            "  {label}: {:.1} simulated DPUs/s ({:.2} Minstr/s)",
+            c.dpus_per_sec,
+            c.instr_per_sec / 1e6
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  parallel+fast over sequential+checked: {speedup_dpus:.2}x"
+    );
+
+    let cond_json = |c: &SimCondRun| {
+        format!(
+            "{{\"wall_seconds\": {}, \"instructions\": {}, \"instr_per_sec\": {}, \
+             \"dpus_per_sec\": {}}}",
+            jf(c.wall_seconds),
+            c.instructions,
+            jf(c.instr_per_sec),
+            jf(c.dpus_per_sec)
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"sim\",\n  \"cells\": {cells},\n  \"interp_passes\": {interp_iters},\n  \
+         \"dpus\": {dpus},\n  \"launches\": {launches},\n  \"passes_per_launch\": {passes},\n  \
+         \"sim_threads\": {threads},\n  \"seed\": {},\n  \"interp\": [\n    {}\n  ],\n  \
+         \"rank\": {{\n    \"sequential_checked\": {},\n    \"sequential_fast\": {},\n    \
+         \"parallel_checked\": {},\n    \"parallel_fast\": {}\n  }},\n  \
+         \"speedup_dpus_per_sec\": {},\n  \"bit_identical\": {identical}\n}}\n",
+        opts.seed,
+        interp_json.join(",\n    "),
+        cond_json(&seq_checked),
+        cond_json(&seq_fast),
+        cond_json(&par_checked),
+        cond_json(&par_fast),
+        jf(speedup_dpus),
+    );
+    let path = opts
+        .json_path
+        .clone()
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    std::fs::write(&path, &json)?;
+    let _ = writeln!(out, "wrote {path}");
+    if !identical {
+        return Err(CliError::Align(format!(
+            "interpreter paths disagree: fast/parallel output is not \
+             bit-identical to the sequential checked reference\n{out}"
+        )));
+    }
+    let _ = writeln!(out, "all conditions bit-identical");
+    Ok(out)
+}
+
 /// Server topology description.
 pub fn cmd_info(ranks: usize) -> String {
     let server = PimServer::new(ServerConfig::with_ranks(ranks.max(1)));
@@ -803,7 +1105,7 @@ mod tests {
             Algo::Exact,
             Algo::Pim,
         ] {
-            let tsv = cmd_align(&a, &b, algo, 16, 1, 2, false).unwrap();
+            let tsv = cmd_align(&a, &b, algo, 16, 1, 2, false, 0).unwrap();
             let lines: Vec<&str> = tsv.lines().skip(1).collect();
             assert_eq!(lines.len(), 2, "{algo:?}");
             let score: i32 = lines[0].split('\t').nth(2).unwrap().parse().unwrap();
@@ -821,7 +1123,7 @@ mod tests {
         let a = write_temp("c.fa", ">r0\nACGT\n");
         let b = write_temp("d.fa", ">s0\nACGT\n>s1\nACGT\n");
         assert!(matches!(
-            cmd_align(&a, &b, Algo::Exact, 16, 1, 2, false),
+            cmd_align(&a, &b, Algo::Exact, 16, 1, 2, false, 0),
             Err(CliError::Usage(_))
         ));
         std::fs::remove_file(a).ok();
@@ -971,6 +1273,41 @@ mod tests {
             "\"stall\"",
             "\"host_wall_seconds\"",
             "\"pairs_per_second\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bench_sim_smoke_writes_valid_json() {
+        let path = std::env::temp_dir().join(format!(
+            "upmem-nw-cli-test-{}-BENCH_sim.json",
+            std::process::id()
+        ));
+        let opts = BenchOpts {
+            ranks: 1,
+            dpus: 2,
+            smoke: true,
+            sim: true,
+            sim_threads: 3,
+            json_path: Some(path.to_string_lossy().into_owned()),
+            ..BenchOpts::default()
+        };
+        let out = cmd_bench(&opts).expect("sim bench must run and stay bit-identical");
+        assert!(out.contains("all conditions bit-identical"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        for key in [
+            "\"bench\": \"sim\"",
+            "\"interp\"",
+            "\"fused_windows\"",
+            "\"fast_eligible\": true",
+            "\"sequential_checked\"",
+            "\"parallel_fast\"",
+            "\"dpus_per_sec\"",
+            "\"speedup_dpus_per_sec\"",
+            "\"sim_threads\": 3",
+            "\"bit_identical\": true",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

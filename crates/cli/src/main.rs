@@ -3,16 +3,18 @@
 //! ```text
 //! upmem-nw align  --a reads_a.fa --b reads_b.fa [--algo adaptive|static|wfa|exact|pim]
 //!                 [--band 128] [--ranks 4] [--fifo-depth 2] [--sync-dispatch true]
-//!                 [--out results.tsv]
+//!                 [--sim-threads 0] [--out results.tsv]
 //! upmem-nw matrix --in seqs.fa [--band 128] [--ranks 4] [--out matrix.tsv]
 //! upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N
 //!                 [--seed S] [--out data.fa]
 //! upmem-nw chaos  [--seed 42] [--pairs 24] [--ranks 2] [--dpus 8] [--band 128]
 //!                 [--dpu-fault-rate 0.15] [--corrupt-rate 0.1] [--disabled 2]
 //!                 [--retries 3] [--quarantine 2] [--fifo-depth 2] [--sync-dispatch true]
+//!                 [--sim-threads 0]
 //! upmem-nw bench  [--pairs 48] [--ranks 4] [--dpus 4] [--rounds 6] [--band 64]
 //!                 [--fifo-depth 2] [--seed 42] [--straggler-hold-ms 35]
-//!                 [--smoke true] [--json BENCH_dispatch.json]
+//!                 [--smoke true] [--sim true] [--sim-threads 0]
+//!                 [--json BENCH_dispatch.json|BENCH_sim.json]
 //! upmem-nw info   [--ranks 40]
 //! upmem-nw lint   [--verbose true]
 //! ```
@@ -26,7 +28,7 @@ use upmem_nw_cli::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--fifo-depth N] [--sync-dispatch true] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw chaos [--seed S] [--pairs N] [--ranks N] [--dpus N] [--band N] [--dpu-fault-rate P] [--corrupt-rate P] [--disabled N] [--retries N] [--quarantine N] [--fifo-depth N] [--sync-dispatch true]\n  upmem-nw bench [--pairs N] [--ranks N] [--dpus N] [--rounds N] [--band N] [--fifo-depth N] [--seed S] [--straggler-hold-ms MS] [--smoke true] [--json file]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true]"
+        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw chaos [--seed S] [--pairs N] [--ranks N] [--dpus N] [--band N] [--dpu-fault-rate P] [--corrupt-rate P] [--disabled N] [--retries N] [--quarantine N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N]\n  upmem-nw bench [--pairs N] [--ranks N] [--dpus N] [--rounds N] [--band N] [--fifo-depth N] [--seed S] [--straggler-hold-ms MS] [--smoke true] [--sim true] [--sim-threads N] [--json file]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true]"
     );
     std::process::exit(2)
 }
@@ -62,6 +64,9 @@ fn run() -> Result<String, CliError> {
         .map(|v| v.parse().unwrap_or_else(|_| usage()))
         .unwrap_or(2);
     let sync_dispatch = get("sync-dispatch").is_some_and(|v| v == "true");
+    let sim_threads: usize = get("sim-threads")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(0);
 
     let output = match command.as_str() {
         "align" => {
@@ -70,7 +75,16 @@ fn run() -> Result<String, CliError> {
             let algo = get("algo")
                 .map(|v| Algo::parse(&v).unwrap_or_else(|| usage()))
                 .unwrap_or(Algo::Adaptive);
-            cmd_align(&a, &b, algo, band, ranks, fifo_depth, sync_dispatch)?
+            cmd_align(
+                &a,
+                &b,
+                algo,
+                band,
+                ranks,
+                fifo_depth,
+                sync_dispatch,
+                sim_threads,
+            )?
         }
         "matrix" => {
             let input = get("in").unwrap_or_else(|| usage());
@@ -113,6 +127,7 @@ fn run() -> Result<String, CliError> {
                 quarantine: uint("quarantine", defaults.quarantine),
                 fifo_depth: uint("fifo-depth", defaults.fifo_depth),
                 sync_dispatch: sync_dispatch || defaults.sync_dispatch,
+                sim_threads,
             };
             cmd_chaos(&opts)?
         }
@@ -138,6 +153,8 @@ fn run() -> Result<String, CliError> {
                     .unwrap_or(defaults.straggler_hold_ms),
                 smoke: get("smoke").is_some_and(|v| v == "true"),
                 json_path: get("json"),
+                sim_threads,
+                sim: get("sim").is_some_and(|v| v == "true"),
             };
             cmd_bench(&opts)?
         }

@@ -18,8 +18,9 @@
 //! hard-coded factor.
 
 use crate::cost::KernelVariant;
-use pim_sim::isa::{assemble, Inst, IsaError, Machine, Reg, VerifySpec};
+use pim_sim::isa::{assemble, Inst, IsaError, Machine, Prepared, Reg, RunStats, VerifySpec};
 use pim_sim::sanitizer::WramShadow;
+use std::sync::OnceLock;
 
 /// WRAM offsets used by the measurement harness (one i32 per cell per
 /// array; 256 cells max keeps everything inside 16 KB).
@@ -352,6 +353,82 @@ pub fn builtin_kernels() -> Vec<(String, Vec<Inst>, VerifySpec)> {
     out
 }
 
+/// The pre-decoded fast-path form of a built-in loop. Built once per
+/// process: the verifier gate and the dense decode are hoisted out of every
+/// measurement and benchmark pass.
+pub fn prepared(variant: KernelVariant, with_bt: bool) -> &'static Prepared {
+    static CACHE: OnceLock<[Prepared; 4]> = OnceLock::new();
+    let all = CACHE.get_or_init(|| {
+        [
+            (KernelVariant::PureC, false),
+            (KernelVariant::PureC, true),
+            (KernelVariant::Asm, false),
+            (KernelVariant::Asm, true),
+        ]
+        .map(|(v, bt)| Prepared::new(program(v, bt), &verify_spec(v)))
+    });
+    let idx = match variant {
+        KernelVariant::PureC => 0,
+        KernelVariant::Asm => 2,
+    } + usize::from(with_bt);
+    &all[idx]
+}
+
+/// Which interpreter services a run: the fully checked reference path or
+/// the verifier-gated dense fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterpMode {
+    /// Per-instruction fetch validation, watch hooks, checked arithmetic.
+    Checked,
+    /// Pre-decoded superinstruction windows; requires a verified program.
+    Fast,
+}
+
+/// One benchmark pass of an inner loop over `cells` cells on representative
+/// band data, returning the run stats and final WRAM so callers can check
+/// bit-identity between modes. `perturb` varies the band contents so
+/// repeated passes are not byte-identical (perturb 0 reproduces the
+/// [`measure`] workload exactly).
+pub fn bench_cells(
+    variant: KernelVariant,
+    with_bt: bool,
+    perturb: u32,
+    cells: usize,
+    mode: InterpMode,
+) -> Result<(RunStats, Vec<u8>), IsaError> {
+    assert!(cells <= MAX_CELLS);
+    let mut wram = band_wram(cells, perturb);
+    let mut m = loop_machine(variant, cells);
+    let prep = prepared(variant, with_bt);
+    let stats = match mode {
+        InterpMode::Checked => m.run(prep.program(), &mut wram, 10_000_000)?,
+        InterpMode::Fast => m.run_prepared(prep, &mut wram, 10_000_000)?,
+    };
+    Ok((stats, wram))
+}
+
+/// Order-sensitive digest of a pass's outputs — the current H/D/I rows and
+/// the backtrack row of a [`bench_cells`] WRAM image. `bench --sim` chains
+/// this across passes to check bit-identity between interpreter modes and
+/// thread counts end to end.
+pub fn output_digest(wram: &[u8], cells: usize, mut h: u64) -> u64 {
+    for (base, len) in [
+        (H_CUR, 4 * (cells + 1)),
+        (D_CUR, 4 * (cells + 1)),
+        (I_CUR, 4 * (cells + 1)),
+        (BT_ROW, cells),
+    ] {
+        for c in wram[base..base + len].chunks(8) {
+            let mut w = [0u8; 8];
+            w[..c.len()].copy_from_slice(c);
+            h = (h ^ u64::from_le_bytes(w))
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(17);
+        }
+    }
+    h
+}
+
 /// Result of interpreting an inner loop over `cells` cells.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoopMeasurement {
@@ -386,29 +463,61 @@ fn run_measurement(
 ) -> Result<LoopMeasurement, IsaError> {
     let cells = 192usize;
     assert!(cells <= MAX_CELLS);
-    let prog = program(variant, with_bt);
-    let mut wram = vec![0u8; WRAM_LEN];
+    let prep = prepared(variant, with_bt);
+    let mut wram = band_wram(cells, 0);
+    let mut m = loop_machine(variant, cells);
+    let stats = if sanitize {
+        // Unpoison exactly what the harness initialized; the sanitizer then
+        // proves the loop reads nothing else. Sanitized runs always take the
+        // fully checked path — the watch hooks need per-access visibility.
+        let seq_len = cells.max(4) + 4;
+        let mut shadow = WramShadow::new(WRAM_LEN);
+        for base in [H_PREV, H_PREV2, D_PREV, I_PREV] {
+            shadow.host_write(base, 4 * (cells + 1));
+        }
+        shadow.host_write(A_SEQ, seq_len);
+        shadow.host_write(B_SEQ, seq_len);
+        m.run_sanitized(prep.program(), &mut wram, 10_000_000, &mut shadow, 0)?
+    } else {
+        m.run_prepared(prep, &mut wram, 10_000_000)?
+    };
+    Ok(LoopMeasurement {
+        instr_per_cell: stats.instructions as f64 / cells as f64,
+        total_instructions: stats.instructions,
+        cells,
+    })
+}
 
-    // Representative band contents: slowly varying scores so max() picks
-    // different branches across cells.
+/// Representative band contents: slowly varying scores so max() picks
+/// different branches across cells, and ~70% matching bases. `perturb`
+/// shifts both so benchmark passes differ; perturb 0 is the canonical
+/// [`measure`] workload.
+fn band_wram(cells: usize, perturb: u32) -> Vec<u8> {
+    let mut wram = vec![0u8; WRAM_LEN];
+    let p = (perturb % 7) as i32;
     for k in 0..cells + 1 {
-        let v = (k as i32 % 13) * 3 - 12;
+        let v = (k as i32 % 13) * 3 - 12 + p;
         write_i32(&mut wram, H_PREV + 4 * k, v);
         write_i32(&mut wram, H_PREV2 + 4 * k, v + 2);
         write_i32(&mut wram, D_PREV + 4 * k, v - 5 + (k as i32 % 3));
         write_i32(&mut wram, I_PREV + 4 * k, v - 4 - (k as i32 % 2));
     }
-    // ~70% matches: a and b agree except every 3rd base.
     let seq_len = cells.max(4) + 4;
     for k in 0..seq_len {
-        wram[A_SEQ + k] = (k % 4) as u8;
+        let j = k + perturb as usize % 3;
+        wram[A_SEQ + k] = (j % 4) as u8;
         wram[B_SEQ + k] = if k % 3 == 0 {
-            ((k + 1) % 4) as u8
+            ((j + 1) % 4) as u8
         } else {
-            (k % 4) as u8
+            (j % 4) as u8
         };
     }
+    wram
+}
 
+/// Machine entry state for an inner loop: exactly the registers declared as
+/// inputs by [`verify_spec`], so the fast path's entry-state gate holds.
+fn loop_machine(variant: KernelVariant, cells: usize) -> Machine {
     let mut m = Machine::new();
     m.regs[1] = cells as u32;
     match variant {
@@ -431,24 +540,7 @@ fn run_measurement(
             m.regs[11] = BT_ROW as u32;
         }
     }
-    let stats = if sanitize {
-        // Unpoison exactly what the harness initialized; the sanitizer then
-        // proves the loop reads nothing else.
-        let mut shadow = WramShadow::new(WRAM_LEN);
-        for base in [H_PREV, H_PREV2, D_PREV, I_PREV] {
-            shadow.host_write(base, 4 * (cells + 1));
-        }
-        shadow.host_write(A_SEQ, seq_len);
-        shadow.host_write(B_SEQ, seq_len);
-        m.run_sanitized(&prog, &mut wram, 10_000_000, &mut shadow, 0)?
-    } else {
-        m.run(&prog, &mut wram, 10_000_000)?
-    };
-    Ok(LoopMeasurement {
-        instr_per_cell: stats.instructions as f64 / cells as f64,
-        total_instructions: stats.instructions,
-        cells,
-    })
+    m
 }
 
 fn write_i32(buf: &mut [u8], off: usize, v: i32) {
@@ -496,6 +588,27 @@ mod tests {
                 let sanitized = measure_sanitized(variant, bt)
                     .unwrap_or_else(|e| panic!("{variant:?} bt={bt}: {e}"));
                 assert_eq!(plain, sanitized);
+            }
+        }
+    }
+
+    #[test]
+    fn builtin_loops_take_the_fast_path() {
+        for variant in [KernelVariant::PureC, KernelVariant::Asm] {
+            for bt in [false, true] {
+                let prep = prepared(variant, bt);
+                assert!(prep.fast_eligible(), "{variant:?} bt={bt}");
+                assert!(prep.fused_windows() > 0, "{variant:?} bt={bt}: no fusion");
+                // The measurement harness really lands on the dense path:
+                // stats and final WRAM are bit-identical to a checked run.
+                for perturb in [0u32, 3, 11] {
+                    let (cs, cw) = bench_cells(variant, bt, perturb, 64, InterpMode::Checked)
+                        .expect("checked pass");
+                    let (fs, fw) =
+                        bench_cells(variant, bt, perturb, 64, InterpMode::Fast).expect("fast pass");
+                    assert_eq!(cs, fs, "{variant:?} bt={bt} perturb={perturb}");
+                    assert_eq!(cw, fw, "{variant:?} bt={bt} perturb={perturb}");
+                }
             }
         }
     }

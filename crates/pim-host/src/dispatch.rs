@@ -60,6 +60,12 @@ pub struct DispatchConfig {
     /// Dispatch engine (pipelined by default; both engines produce
     /// bit-identical results and simulated times).
     pub engine: Engine,
+    /// Simulator thread budget shared by the per-rank workers and the
+    /// intra-rank DPU pool (`0` = available parallelism). Each of the `R`
+    /// concurrently-executing ranks gets `max(1, budget / R)` threads for
+    /// its DPUs — results are bit-identical at any setting (see
+    /// [`pim_sim::rank::Rank::launch_threads`]).
+    pub sim_threads: usize,
 }
 
 impl DispatchConfig {
@@ -71,8 +77,28 @@ impl DispatchConfig {
             rounds: 2,
             encode_rate: 2.0e9,
             engine: Engine::default(),
+            sim_threads: 0,
         }
     }
+}
+
+/// Resolve a requested simulator thread budget: `0` means "all available
+/// cores", anything else is taken literally.
+pub fn resolve_sim_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Intra-rank pool size: the resolved budget split over the ranks that
+/// execute concurrently (each rank always gets at least one thread — its
+/// own worker).
+pub(crate) fn rank_pool(sim_threads: usize, ranks: usize) -> usize {
+    (resolve_sim_threads(sim_threads) / ranks.max(1)).max(1)
 }
 
 /// A prepared per-DPU batch plus the mapping from builder order back to
@@ -303,13 +329,16 @@ pub(crate) struct RawRankExec {
 ///
 /// `filler_cache` persists the idle-DPU filler image across batches (it
 /// depends only on the params); `spent` receives the plan's MRAM image
-/// buffers after upload so the planner can recycle them.
+/// buffers after upload so the planner can recycle them. `threads` is the
+/// intra-rank pool size for this launch ([`Rank::launch_threads`]).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn exec_rank_raw(
     rank: &mut Rank,
     kernel: &NwKernel,
     r: usize,
     mut plan: RankPlan,
     freq: f64,
+    threads: usize,
     filler_cache: &mut Option<JobBatch>,
     spent: &mut Vec<Vec<u8>>,
 ) -> Result<RawRankExec, SimError> {
@@ -360,7 +389,7 @@ pub(crate) fn exec_rank_raw(
         rank.dpu_mut(d)?.mram.host_write(0, &batch.image)?;
         exec.bytes_in += batch.transfer_bytes();
     }
-    let run = rank.launch(kernel)?;
+    let run = rank.launch_threads(kernel, threads)?;
     for &d in &run.faulted {
         skip[d] = true;
         if let Some(p) = &mut plan.dpus[d] {
@@ -372,6 +401,23 @@ pub(crate) fn exec_rank_raw(
                 wasted_cycles: 0,
             });
         }
+    }
+    // A kernel error on one DPU no longer aborts the rank (see
+    // [`pim_sim::rank::RankRun::errors`]): record it as that DPU's failure
+    // — the other DPUs' results and stats survive the round.
+    for (d, e) in run.errors {
+        skip[d] = true;
+        let job_ids = plan.dpus[d]
+            .as_mut()
+            .map(|p| std::mem::take(&mut p.job_ids))
+            .unwrap_or_default();
+        exec.failures.push(DpuFailure {
+            rank: r,
+            dpu: d,
+            job_ids,
+            error: e,
+            wasted_cycles: rank.dpu(d).map(|dpu| dpu.stats.cycles).unwrap_or(0),
+        });
     }
     for (d, dpu_plan) in plan.dpus.iter_mut().enumerate() {
         let Some(p) = dpu_plan else { continue };
@@ -459,10 +505,20 @@ fn exec_rank(
     plan: RankPlan,
     host_bw: f64,
     freq: f64,
+    threads: usize,
 ) -> Result<RankExec, SimError> {
     let mut filler = None;
     let mut spent = Vec::new();
-    let raw = exec_rank_raw(rank, kernel, r, plan, freq, &mut filler, &mut spent)?;
+    let raw = exec_rank_raw(
+        rank,
+        kernel,
+        r,
+        plan,
+        freq,
+        threads,
+        &mut filler,
+        &mut spent,
+    )?;
     Ok(decode_raw_exec(raw, host_bw))
 }
 
@@ -484,21 +540,27 @@ pub(crate) fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
 /// A panicking rank worker is caught and surfaced as
 /// [`SimError::RankFailed`] either way — a stuck rank must not take the
 /// whole host down.
+///
+/// `sim_threads` is the total simulator thread budget (`0` = available
+/// parallelism), divided evenly over the ranks for their intra-rank pools.
 pub fn run_round(
     server: &mut PimServer,
     kernel: &NwKernel,
     round: Vec<RankPlan>,
     tolerant: bool,
+    sim_threads: usize,
 ) -> Vec<Result<RankExec, SimError>> {
     let n_ranks = server.rank_count();
     assert_eq!(round.len(), n_ranks, "one plan per rank per round");
     let host_bw = server.cfg().host_bandwidth;
     let freq = server.cfg().dpu.freq_hz;
+    let pool = rank_pool(sim_threads, n_ranks);
     let ranks = server.ranks_mut();
     let outcomes: Vec<Result<RankExec, SimError>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_ranks);
         for (r, (rank, plan)) in ranks.iter_mut().zip(round).enumerate() {
-            handles.push(scope.spawn(move || exec_rank(rank, kernel, r, plan, host_bw, freq)));
+            handles
+                .push(scope.spawn(move || exec_rank(rank, kernel, r, plan, host_bw, freq, pool)));
         }
         handles
             .into_iter()
@@ -538,8 +600,9 @@ pub fn execute_rounds(
     server: &mut PimServer,
     kernel: &NwKernel,
     rounds: Vec<Vec<RankPlan>>,
+    sim_threads: usize,
 ) -> Result<DispatchOutcome, SimError> {
-    let (out, err) = execute_rounds_partial(server, kernel, rounds);
+    let (out, err) = execute_rounds_partial(server, kernel, rounds, sim_threads);
     match err {
         Some(e) => Err(e),
         None => Ok(out),
@@ -556,6 +619,7 @@ pub fn execute_rounds_partial(
     server: &mut PimServer,
     kernel: &NwKernel,
     rounds: Vec<Vec<RankPlan>>,
+    sim_threads: usize,
 ) -> (DispatchOutcome, Option<SimError>) {
     let n_ranks = server.rank_count();
     let mut out = DispatchOutcome {
@@ -566,7 +630,7 @@ pub fn execute_rounds_partial(
     let mut imbalances: Vec<f64> = Vec::new();
     let mut first_err = None;
     'rounds: for round in rounds {
-        for oc in run_round(server, kernel, round, false) {
+        for oc in run_round(server, kernel, round, false, sim_threads) {
             match oc {
                 Ok(exec) => out.absorb(exec, &mut dpu_busy, &mut imbalances),
                 Err(e) => {
@@ -704,7 +768,7 @@ mod tests {
             }
             rounds.push(plans);
         }
-        let out = execute_rounds(&mut server, &kernel, rounds).unwrap();
+        let out = execute_rounds(&mut server, &kernel, rounds, 0).unwrap();
         assert_eq!(out.results.len(), 14);
         let mut ids_seen: Vec<usize> = out.results.iter().map(|(i, _)| *i).collect();
         ids_seen.sort_unstable();
@@ -758,7 +822,7 @@ mod tests {
             plan_rank(&jobs[..4], &ids[..4], 2, params(), 1, 64 << 20).unwrap(),
             plan_rank(&jobs[4..], &ids[4..], 2, params(), 1, 64 << 20).unwrap(),
         ];
-        let (out, err) = execute_rounds_partial(&mut server, &kernel, vec![round]);
+        let (out, err) = execute_rounds_partial(&mut server, &kernel, vec![round], 0);
         assert!(matches!(err, Some(SimError::DpuFaulted { rank: 1, .. })));
         assert_eq!(out.results.len(), 4, "rank 0's results are kept");
         assert!(out.stats.dpus > 0, "rank 0's stats are kept");
@@ -780,7 +844,7 @@ mod tests {
             dpus: vec![None, None],
             params: Some(params()),
         };
-        let out = execute_rounds(&mut server, &kernel, vec![vec![plan]]).unwrap();
+        let out = execute_rounds(&mut server, &kernel, vec![vec![plan]], 0).unwrap();
         assert!(out.results.is_empty());
         assert_eq!(out.dpu_seconds, 0.0);
     }

@@ -31,10 +31,16 @@ fn run_engine(
     rounds: Vec<Vec<RankPlan>>,
 ) -> Result<DispatchOutcome, SimError> {
     match cfg.engine {
-        Engine::Lockstep => execute_rounds(server, &cfg.kernel, rounds),
-        Engine::Pipelined { fifo_depth } => {
-            execute_rounds_pipelined(server, &cfg.kernel, rounds, &PipelineOptions { fifo_depth })
-        }
+        Engine::Lockstep => execute_rounds(server, &cfg.kernel, rounds, cfg.sim_threads),
+        Engine::Pipelined { fifo_depth } => execute_rounds_pipelined(
+            server,
+            &cfg.kernel,
+            rounds,
+            &PipelineOptions {
+                fifo_depth,
+                sim_threads: cfg.sim_threads,
+            },
+        ),
     }
 }
 
@@ -77,12 +83,15 @@ pub fn align_pairs(
                 }
                 rounds.push(plans);
             }
-            execute_rounds(server, &cfg.kernel, rounds)?
+            execute_rounds(server, &cfg.kernel, rounds, cfg.sim_threads)?
         }
         Engine::Pipelined { fifo_depth } => {
             // Streaming planner: round k+1's MRAM images are serialized
             // (from recycled buffers) while round k executes.
-            let opts = PipelineOptions { fifo_depth };
+            let opts = PipelineOptions {
+                fifo_depth,
+                sim_threads: cfg.sim_threads,
+            };
             execute_pipelined_with(server, &cfg.kernel, &opts, rounds_n, |k, r, pool| {
                 let ids = &groups[k * n_ranks + r];
                 let jobs: Vec<(PackedSeq, PackedSeq)> =

@@ -55,11 +55,19 @@ pub struct PipelineOptions {
     /// round barrier; depth 2 (the default) additionally hides planning
     /// time behind execution.
     pub fifo_depth: usize,
+    /// Total simulator thread budget (`0` = available parallelism), shared
+    /// between the per-rank pipeline workers and each rank's intra-rank
+    /// DPU pool: each worker executes its rank's DPUs on
+    /// `max(1, budget / ranks)` threads ([`Rank::launch_threads`]).
+    pub sim_threads: usize,
 }
 
 impl Default for PipelineOptions {
     fn default() -> Self {
-        Self { fifo_depth: 2 }
+        Self {
+            fifo_depth: 2,
+            sim_threads: 0,
+        }
     }
 }
 
@@ -191,11 +199,13 @@ pub(crate) struct BatchDone {
 /// a panic inside the batch is caught and reported as that batch's
 /// failure, never swallowed (a silent worker death would wedge the driver
 /// in `recv`).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn worker_loop(
     r: usize,
     rank: &mut Rank,
     kernel: &NwKernel,
     freq: f64,
+    threads: usize,
     rx: Receiver<WorkItem>,
     done: Sender<BatchDone>,
 ) {
@@ -207,7 +217,16 @@ pub(crate) fn worker_loop(
         let busy_start = Instant::now();
         let mut spent = Vec::new();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            exec_rank_raw(rank, kernel, r, item.plan, freq, &mut filler, &mut spent)
+            exec_rank_raw(
+                rank,
+                kernel,
+                r,
+                item.plan,
+                freq,
+                threads,
+                &mut filler,
+                &mut spent,
+            )
         }))
         .unwrap_or_else(|payload| {
             Err(SimError::RankFailed {
@@ -254,6 +273,7 @@ pub fn execute_pipelined_with(
     let host_bw = server.cfg().host_bandwidth;
     let freq = server.cfg().dpu.freq_hz;
     let depth = opts.fifo_depth.max(1);
+    let pool_threads = crate::dispatch::rank_pool(opts.sim_threads, n_ranks);
 
     let mut out = DispatchOutcome {
         rank_seconds: vec![0.0; n_ranks],
@@ -280,7 +300,7 @@ pub fn execute_pipelined_with(
             for (r, rank) in ranks.iter_mut().enumerate() {
                 let (tx, rx) = sync_channel::<WorkItem>(depth);
                 let done = done_tx.clone();
-                scope.spawn(move || worker_loop(r, rank, kernel, freq, rx, done));
+                scope.spawn(move || worker_loop(r, rank, kernel, freq, pool_threads, rx, done));
                 inboxes.push(tx);
             }
             drop(done_tx);
@@ -513,9 +533,12 @@ mod tests {
         let jobs = packed_pairs(18);
         let kernel = kernel();
         let mut s1 = small_server(2, 3);
-        let lock = execute_rounds(&mut s1, &kernel, build_rounds(&jobs, 3, 2, 3)).unwrap();
+        let lock = execute_rounds(&mut s1, &kernel, build_rounds(&jobs, 3, 2, 3), 0).unwrap();
         let mut s2 = small_server(2, 3);
-        let opts = PipelineOptions { fifo_depth: 2 };
+        let opts = PipelineOptions {
+            fifo_depth: 2,
+            ..Default::default()
+        };
         let pipe = execute_rounds_pipelined(&mut s2, &kernel, build_rounds(&jobs, 3, 2, 3), &opts)
             .unwrap();
         let sort = |mut v: Vec<(usize, dpu_kernel::JobResult)>| {
@@ -549,7 +572,10 @@ mod tests {
         let jobs = packed_pairs(10);
         let kernel = kernel();
         let mut server = small_server(2, 2);
-        let opts = PipelineOptions { fifo_depth: 1 };
+        let opts = PipelineOptions {
+            fifo_depth: 1,
+            ..Default::default()
+        };
         let out =
             execute_rounds_pipelined(&mut server, &kernel, build_rounds(&jobs, 2, 2, 2), &opts)
                 .unwrap();
@@ -568,7 +594,10 @@ mod tests {
         let groups: Vec<Vec<usize>> = (0..n_rounds)
             .map(|k| (0..jobs.len()).filter(|i| i % n_rounds == k).collect())
             .collect();
-        let opts = PipelineOptions { fifo_depth: 2 };
+        let opts = PipelineOptions {
+            fifo_depth: 2,
+            ..Default::default()
+        };
         let out = execute_pipelined_with(&mut server, &kernel, &opts, n_rounds, |k, _r, pool| {
             let sel: Vec<(PackedSeq, PackedSeq)> =
                 groups[k].iter().map(|&i| jobs[i].clone()).collect();

@@ -313,6 +313,7 @@ fn cpu_result<T>(r: Result<T, AlignError>, to_job: impl Fn(T) -> JobResult) -> J
 /// quarantine and fallback. With an empty fault plan this takes the same
 /// plan-and-launch path as [`crate::dispatch::execute_rounds`] and the
 /// report comes back clean.
+#[allow(clippy::too_many_arguments)]
 pub fn execute_jobs_recovering(
     server: &mut PimServer,
     kernel: &NwKernel,
@@ -320,6 +321,7 @@ pub fn execute_jobs_recovering(
     pools: usize,
     rounds: usize,
     rcfg: &RecoveryConfig,
+    sim_threads: usize,
     jobs: &[(PackedSeq, PackedSeq)],
 ) -> Result<DispatchOutcome, SimError> {
     assert!(rcfg.max_attempts >= 1, "max_attempts must be >= 1");
@@ -419,7 +421,7 @@ pub fn execute_jobs_recovering(
                     .collect();
                 round_plans.push(plan);
             }
-            for (r, oc) in run_round(server, kernel, round_plans, true)
+            for (r, oc) in run_round(server, kernel, round_plans, true, sim_threads)
                 .into_iter()
                 .enumerate()
             {
@@ -491,6 +493,7 @@ pub fn execute_jobs_recovering_pipelined(
     rounds: usize,
     rcfg: &RecoveryConfig,
     fifo_depth: usize,
+    sim_threads: usize,
     jobs: &[(PackedSeq, PackedSeq)],
 ) -> Result<DispatchOutcome, SimError> {
     assert!(rcfg.max_attempts >= 1, "max_attempts must be >= 1");
@@ -500,6 +503,7 @@ pub fn execute_jobs_recovering_pipelined(
     let host_bw = server.cfg().host_bandwidth;
     let freq = server.cfg().dpu.freq_hz;
     let depth = fifo_depth.max(1);
+    let pool_threads = crate::dispatch::rank_pool(sim_threads, n_ranks);
 
     let mut out = DispatchOutcome {
         rank_seconds: vec![0.0; n_ranks],
@@ -572,7 +576,7 @@ pub fn execute_jobs_recovering_pipelined(
             for (r, rank) in ranks.iter_mut().enumerate() {
                 let (tx, rx) = sync_channel::<WorkItem>(depth);
                 let done = done_tx.clone();
-                scope.spawn(move || worker_loop(r, rank, kernel, freq, rx, done));
+                scope.spawn(move || worker_loop(r, rank, kernel, freq, pool_threads, rx, done));
                 inboxes.push(tx);
             }
             drop(done_tx);
@@ -798,6 +802,7 @@ pub fn align_pairs_recovering(
             cfg.kernel.pool_cfg.pools,
             cfg.rounds,
             rcfg,
+            cfg.sim_threads,
             &packed,
         )?,
         Engine::Pipelined { fifo_depth } => execute_jobs_recovering_pipelined(
@@ -808,6 +813,7 @@ pub fn align_pairs_recovering(
             cfg.rounds,
             rcfg,
             fifo_depth,
+            cfg.sim_threads,
             &packed,
         )?,
     };

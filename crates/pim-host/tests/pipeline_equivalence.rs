@@ -131,14 +131,27 @@ fn run_both(
     jobs: &[(PackedSeq, PackedSeq)],
     n_rounds: usize,
     depth: usize,
+    sim_threads: usize,
     label: &str,
 ) {
     let (ranks, dpus) = topo;
     let kernel = kernel();
+    // The lockstep reference always runs the DPUs strictly sequentially
+    // (thread budget 1); the pipelined run gets the trial's budget — the
+    // comparison therefore also property-checks the intra-rank pool.
     let mut s1 = server(fault.clone(), ranks, dpus);
-    let lock = execute_rounds(&mut s1, &kernel, build_rounds(jobs, n_rounds, ranks, dpus)).unwrap();
+    let lock = execute_rounds(
+        &mut s1,
+        &kernel,
+        build_rounds(jobs, n_rounds, ranks, dpus),
+        1,
+    )
+    .unwrap();
     let mut s2 = server(fault, ranks, dpus);
-    let opts = PipelineOptions { fifo_depth: depth };
+    let opts = PipelineOptions {
+        fifo_depth: depth,
+        sim_threads,
+    };
     let pipe = execute_rounds_pipelined(
         &mut s2,
         &kernel,
@@ -161,13 +174,17 @@ fn pipelined_is_bit_identical_on_random_workloads() {
         let dpus = rng.between(1, 4) as usize;
         let n_rounds = rng.between(1, 3) as usize;
         let depth = rng.between(1, 3) as usize;
+        let threads = rng.between(1, 8) as usize;
         run_both(
             FaultPlan::default(),
             (ranks, dpus),
             &jobs,
             n_rounds,
             depth,
-            &format!("trial {trial} ({ranks}x{dpus}, {n_rounds} rounds, depth {depth})"),
+            threads,
+            &format!(
+                "trial {trial} ({ranks}x{dpus}, {n_rounds} rounds, depth {depth}, {threads} threads)"
+            ),
         );
     }
 }
@@ -190,6 +207,7 @@ fn pipelined_is_bit_identical_under_simulated_stragglers() {
             &jobs,
             2,
             2,
+            1 + trial,
             &format!("straggler trial {trial}"),
         );
     }
@@ -207,7 +225,83 @@ fn wall_clock_hold_does_not_change_outputs() {
         straggler_hold_ms: 3.0,
         ..FaultPlan::default()
     };
-    run_both(fault, (2, 2), &jobs, 3, 2, "hold");
+    run_both(fault, (2, 2), &jobs, 3, 2, 4, "hold");
+}
+
+#[test]
+fn parallel_intra_rank_is_bit_identical_under_fault_plans() {
+    // Satellite 3, fault half: under random topologies, fault plans and
+    // thread budgets, the tolerant round executor must produce the same
+    // fault draws, per-DPU failures, results and cycle stats whether the
+    // rank's DPUs ran sequentially or on the intra-rank pool.
+    use pim_host::dispatch::run_round;
+    let mut rng = SplitMix64::new(0xACE5);
+    for trial in 0..8 {
+        let n = rng.between(4, 20) as usize;
+        let jobs = rand_jobs(&mut rng, n);
+        let ranks = rng.between(1, 3) as usize;
+        let dpus = rng.between(2, 6) as usize;
+        let threads = rng.between(2, 12) as usize;
+        let fault = FaultPlan {
+            seed: rng.next_u64(),
+            dpu_fault_rate: 0.25,
+            corrupt_rate: 0.2,
+            disabled_dpus: vec![(
+                rng.below(ranks as u64) as usize,
+                rng.below(dpus as u64) as usize,
+            )],
+            ..FaultPlan::default()
+        };
+        let kernel = kernel();
+        let label = format!("fault trial {trial} ({ranks}x{dpus}, {threads} threads)");
+        let mut s1 = server(fault.clone(), ranks, dpus);
+        let mut s2 = server(fault, ranks, dpus);
+        for launch in 0..3 {
+            let seq_round = run_round(
+                &mut s1,
+                &kernel,
+                build_rounds(&jobs, 1, ranks, dpus).remove(0),
+                true,
+                1,
+            );
+            let par_round = run_round(
+                &mut s2,
+                &kernel,
+                build_rounds(&jobs, 1, ranks, dpus).remove(0),
+                true,
+                threads,
+            );
+            for (r, (a, b)) in seq_round.into_iter().zip(par_round).enumerate() {
+                let tag = format!("{label}, launch {launch}, rank {r}");
+                match (a, b) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.results, b.results, "{tag}: results");
+                        assert_eq!(a.stats, b.stats, "{tag}: stats");
+                        assert_eq!(
+                            a.barrier_seconds.to_bits(),
+                            b.barrier_seconds.to_bits(),
+                            "{tag}: barrier"
+                        );
+                        assert_eq!(
+                            a.imbalance.to_bits(),
+                            b.imbalance.to_bits(),
+                            "{tag}: imbalance"
+                        );
+                        assert_eq!(a.bytes_in, b.bytes_in, "{tag}: bytes_in");
+                        assert_eq!(a.bytes_out, b.bytes_out, "{tag}: bytes_out");
+                        let fail = |v: &[pim_host::dispatch::DpuFailure]| {
+                            v.iter()
+                                .map(|f| (f.dpu, f.job_ids.clone(), f.error.clone()))
+                                .collect::<Vec<_>>()
+                        };
+                        assert_eq!(fail(&a.failures), fail(&b.failures), "{tag}: fault draws");
+                    }
+                    (Err(ea), Err(eb)) => assert_eq!(ea, eb, "{tag}: errors"),
+                    (a, b) => panic!("{tag}: outcomes diverge: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
 }
 
 #[test]

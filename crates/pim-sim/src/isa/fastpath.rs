@@ -1,0 +1,1784 @@
+//! The verified fast path of the interpreter: dense pre-decode +
+//! superinstruction fusion, gated on the static verifier.
+//!
+//! [`Prepared::new`] runs [`super::verify::verify`] once, and — only when
+//! the program verifies clean with a declared WRAM frame — pre-decodes it
+//! into a dense internal form in which every maximal straight-line run
+//! (a basic block: no interior jump target, ended by a fused back-edge,
+//! a conditional jump, or a control/halt instruction) is collapsed into a
+//! single-dispatch [`DenseOp::Seq`] superinstruction over a shared
+//! micro-op pool, so the band inner loop's hot sequences from
+//! `dpu-kernel::isa_loops` retire with one dispatch per block.
+//! [`Machine::run_prepared`] then executes the dense form, skipping the
+//! per-step machinery of the checked interpreter: the per-fetch pc
+//! validation, the [`super::interp::WramWatch`] indirection, and the
+//! per-access checked-arithmetic/alignment re-derivation (reduced to one
+//! backstop compare per access so an unsound verification can never
+//! corrupt host memory — a guard hit raises the *identical*
+//! [`IsaError`] the checked path would).
+//!
+//! The contract (DESIGN.md §7e):
+//!
+//! * A program the verifier rejects never runs dense —
+//!   [`Machine::run_prepared`] silently falls back to the checked
+//!   [`Machine::run`].
+//! * The verifier's proofs assume the spec's entry state, so the fast
+//!   path also re-checks it at entry: `pc == 0`, the WRAM buffer covers
+//!   the declared frame, and every known-constant input register holds
+//!   its declared value. Any mismatch → checked path.
+//! * The sanitizer always uses the checked path:
+//!   [`Machine::run_sanitized`] drives `run_watched` directly and no
+//!   watch hook exists on the dense form.
+//! * A fused window executes its instructions in original order against
+//!   the same register/WRAM state, and charges the same issue slots,
+//!   memory ops and taken jumps — completed runs are bit-identical to
+//!   the checked interpreter. (Sole documented divergence: the
+//!   `max_steps` budget is re-checked per *window*, so a runaway program
+//!   aborts with the same [`IsaError::MaxSteps`] but may retire up to a
+//!   window's worth of extra instructions first.)
+//! * Fusion never spans a *window boundary* target: window boundaries
+//!   are the targets of every backward or far branch, so those transfers
+//!   always land on a window start. Short forward branches (a fused
+//!   select, a `jcc` guard, a diamond's `jmp` — at most [`LOCAL_SPAN`]
+//!   instructions, spanning only ALU/branch instructions) are instead
+//!   executed *inside* the window as skip micro-ops: the branch retires
+//!   with its checked-path issue-slot/jump accounting and transfers
+//!   control by skipping the covered micro-ops, so their landing pads
+//!   need no boundary and the band inner loop fuses end to end.
+
+use super::inst::{alu_eval, AluOp, FuseCond, Inst, JumpCond, Operand, NUM_REGS};
+use super::interp::{IsaError, Machine, RunStats};
+use super::verify::{error_count, verify, VerifySpec};
+
+/// A pre-decoded load: destination, base register, byte offset.
+#[derive(Debug, Clone, Copy)]
+struct LoadSpec {
+    rd: u8,
+    base: u8,
+    off: i32,
+}
+
+/// A pre-decoded ALU operation (fuse handled by the enclosing op).
+#[derive(Debug, Clone, Copy)]
+struct AluSpec {
+    op: AluOp,
+    rd: u8,
+    ra: u8,
+    b: Operand,
+}
+
+/// Fully-flattened micro-operation discriminant: the ALU opcode and the
+/// register-vs-immediate shape of the second operand are folded into one
+/// tag, so executing a micro-op is a single jump-table dispatch with no
+/// nested `AluOp`/`Operand` matches. `Skip*`/`JmpFwd`/`Fuse*` encode
+/// short forward branches *inside* a window: a taken branch charges its
+/// checked-path issue slot and taken jump, then skips the micro-ops its
+/// span covers — which lets windows run straight through the
+/// max()/flag-select chains and if/else diamonds of the band inner loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MicroKind {
+    AddRI,
+    AddRR,
+    SubRI,
+    SubRR,
+    AndRI,
+    AndRR,
+    OrRI,
+    OrRR,
+    XorRI,
+    XorRR,
+    LslRI,
+    LslRR,
+    LsrRI,
+    LsrRR,
+    AsrRI,
+    AsrRR,
+    MaxRI,
+    MaxRR,
+    Cmpb4RI,
+    Cmpb4RR,
+    MoveRI,
+    MoveRR,
+    Lw,
+    Sw,
+    Lbu,
+    Sb,
+    /// Unconditional short forward jump inside the window: skip the next
+    /// `rb` micro-ops (`rd` retired-instruction equivalents).
+    JmpFwd,
+    /// Fused-branch pseudo-op: follows its ALU micro-op and tests `last`
+    /// (the ALU result). Taken: skip `rb` micro-ops / `rd` instructions
+    /// and charge one taken jump. Charges no issue slot of its own — the
+    /// jump rides the ALU, like the checked interpreter's fused branch.
+    FuseZ,
+    FuseNz,
+    FuseLtz,
+    FuseGez,
+    FuseEven,
+    FuseOdd,
+    SkipEqRI,
+    SkipEqRR,
+    SkipNeRI,
+    SkipNeRR,
+    SkipLtRI,
+    SkipLtRR,
+    SkipLeRI,
+    SkipLeRR,
+    SkipGtRI,
+    SkipGtRR,
+    SkipGeRI,
+    SkipGeRR,
+    /// Superinstruction pairs: two adjacent micro-ops retired in one
+    /// dispatch (the hot adjacencies of the `isa_loops` kernels — fused
+    /// selects, conditional moves, load/bump and store/load chains). The
+    /// pair kind replaces the *first* slot only; the second slot keeps its
+    /// own kind and fields, so a skip landing between the two still
+    /// executes the second micro-op standalone and every span stays valid.
+    PairSubRRFuseGez,
+    PairSubRRFuseLtz,
+    PairAndRIFuseNz,
+    PairSkipGeRRMoveRR,
+    PairSkipGeRRMoveRI,
+    PairSkipLtRRMoveRI,
+    PairAddRIAddRI,
+    PairLwLw,
+    PairLwAddRI,
+    PairLwAddRR,
+    PairMoveRIMoveRI,
+    PairMoveRRMoveRI,
+    PairSwLw,
+    PairMoveRRSw,
+    PairOrRRSb,
+    PairLbuLbu,
+    PairSkipEqRRMoveRI,
+    PairMoveRIJmpFwd,
+    PairOrRIJmpFwd,
+    PairMoveRRSkipGeRR,
+    PairMoveRISkipLtRR,
+    PairOrRRSkipGeRR,
+    PairAddRISubRI,
+    PairAddRIMoveRI,
+    TriMoveRIMoveRIJmpFwd,
+    TriMoveRRMoveRISw,
+}
+
+/// The superinstruction formed by two adjacent micro-op kinds, if the pair
+/// table covers them. Applied greedily left-to-right inside each window.
+fn pair_kind(a: MicroKind, b: MicroKind) -> Option<MicroKind> {
+    use MicroKind as K;
+    Some(match (a, b) {
+        (K::SubRR, K::FuseGez) => K::PairSubRRFuseGez,
+        (K::SubRR, K::FuseLtz) => K::PairSubRRFuseLtz,
+        (K::AndRI, K::FuseNz) => K::PairAndRIFuseNz,
+        (K::SkipGeRR, K::MoveRR) => K::PairSkipGeRRMoveRR,
+        (K::SkipGeRR, K::MoveRI) => K::PairSkipGeRRMoveRI,
+        (K::SkipLtRR, K::MoveRI) => K::PairSkipLtRRMoveRI,
+        (K::AddRI, K::AddRI) => K::PairAddRIAddRI,
+        (K::Lw, K::Lw) => K::PairLwLw,
+        (K::Lw, K::AddRI) => K::PairLwAddRI,
+        (K::Lw, K::AddRR) => K::PairLwAddRR,
+        (K::MoveRI, K::MoveRI) => K::PairMoveRIMoveRI,
+        (K::MoveRR, K::MoveRI) => K::PairMoveRRMoveRI,
+        (K::Sw, K::Lw) => K::PairSwLw,
+        (K::MoveRR, K::Sw) => K::PairMoveRRSw,
+        (K::OrRR, K::Sb) => K::PairOrRRSb,
+        (K::Lbu, K::Lbu) => K::PairLbuLbu,
+        (K::SkipEqRR, K::MoveRI) => K::PairSkipEqRRMoveRI,
+        (K::MoveRI, K::JmpFwd) => K::PairMoveRIJmpFwd,
+        (K::OrRI, K::JmpFwd) => K::PairOrRIJmpFwd,
+        (K::MoveRR, K::SkipGeRR) => K::PairMoveRRSkipGeRR,
+        (K::MoveRI, K::SkipLtRR) => K::PairMoveRISkipLtRR,
+        (K::OrRR, K::SkipGeRR) => K::PairOrRRSkipGeRR,
+        (K::AddRI, K::SubRI) => K::PairAddRISubRI,
+        (K::AddRI, K::MoveRI) => K::PairAddRIMoveRI,
+        _ => return None,
+    })
+}
+
+fn triple_kind(a: MicroKind, b: MicroKind, c: MicroKind) -> Option<MicroKind> {
+    use MicroKind as K;
+    Some(match (a, b, c) {
+        (K::MoveRI, K::MoveRI, K::JmpFwd) => K::TriMoveRIMoveRIJmpFwd,
+        (K::MoveRR, K::MoveRI, K::Sw) => K::TriMoveRRMoveRISw,
+        _ => return None,
+    })
+}
+
+/// Rewrite a window's micro-ops with pair/triple superinstructions.
+/// Pure kind rewriting — no slot moves, so skip spans and fault offsets
+/// are untouched, and a skip landing mid-group executes the member
+/// standalone under its original kind.
+fn pair_window(w: &mut [Micro]) {
+    let mut i = 0;
+    while i + 1 < w.len() {
+        if i + 2 < w.len() {
+            if let Some(t) = triple_kind(w[i].kind, w[i + 1].kind, w[i + 2].kind) {
+                w[i].kind = t;
+                i += 3;
+                continue;
+            }
+        }
+        if let Some(p) = pair_kind(w[i].kind, w[i + 1].kind) {
+            w[i].kind = p;
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// A micro-operation inside a fused window: pure compute, one WRAM
+/// access, or a short forward skip — never an outward jump. 8 bytes,
+/// stored contiguously in the shared pool for cache-friendly decode.
+/// Field use by kind: ALU — `rd`/`ra` registers, `rb` (RR) or `imm` (RI)
+/// second operand; memory — `rd` data register, `ra` base, `imm` offset,
+/// `rb` the instruction's offset from the window start (fault pc);
+/// skip (RI) — `ra`/`imm` operands, `rb` micro-ops skipped, `rd` retired
+/// instructions skipped; skip (RR) — `ra`/`rb` operands, `imm` packs
+/// `skip | weight << 16`; `JmpFwd`/`Fuse*` — `rb` skip, `rd` weight.
+#[derive(Debug, Clone, Copy)]
+struct Micro {
+    kind: MicroKind,
+    rd: u8,
+    ra: u8,
+    rb: u8,
+    imm: i32,
+}
+
+fn alu_micro(op: AluOp, rd: u8, ra: u8, b: Operand) -> Micro {
+    use MicroKind as K;
+    let (ri, rr) = match op {
+        AluOp::Add => (K::AddRI, K::AddRR),
+        AluOp::Sub => (K::SubRI, K::SubRR),
+        AluOp::And => (K::AndRI, K::AndRR),
+        AluOp::Or => (K::OrRI, K::OrRR),
+        AluOp::Xor => (K::XorRI, K::XorRR),
+        AluOp::Lsl => (K::LslRI, K::LslRR),
+        AluOp::Lsr => (K::LsrRI, K::LsrRR),
+        AluOp::Asr => (K::AsrRI, K::AsrRR),
+        AluOp::Max => (K::MaxRI, K::MaxRR),
+        AluOp::Cmpb4 => (K::Cmpb4RI, K::Cmpb4RR),
+        AluOp::Move => (K::MoveRI, K::MoveRR),
+    };
+    match b {
+        Operand::Imm(v) => Micro {
+            kind: ri,
+            rd,
+            ra,
+            rb: 0,
+            imm: v,
+        },
+        Operand::Reg(r) => Micro {
+            kind: rr,
+            rd,
+            ra,
+            rb: r.0,
+            imm: 0,
+        },
+    }
+}
+
+fn skip_micro(cond: JumpCond, ra: u8, b: Operand) -> Micro {
+    use MicroKind as K;
+    let (ri, rr) = match cond {
+        JumpCond::Eq => (K::SkipEqRI, K::SkipEqRR),
+        JumpCond::Ne => (K::SkipNeRI, K::SkipNeRR),
+        JumpCond::Lt => (K::SkipLtRI, K::SkipLtRR),
+        JumpCond::Le => (K::SkipLeRI, K::SkipLeRR),
+        JumpCond::Gt => (K::SkipGtRI, K::SkipGtRR),
+        JumpCond::Ge => (K::SkipGeRI, K::SkipGeRR),
+    };
+    match b {
+        Operand::Imm(v) => Micro {
+            kind: ri,
+            rd: 0,
+            ra,
+            rb: 0,
+            imm: v,
+        },
+        Operand::Reg(r) => Micro {
+            kind: rr,
+            rd: 0,
+            ra,
+            rb: r.0,
+            imm: 0,
+        },
+    }
+}
+
+/// `woff` is the instruction's offset from its window start — the only
+/// per-micro-op provenance a window needs, since memory accesses are the
+/// only faulting micro-ops and a fault must restore the exact original pc.
+fn mem_micro(kind: MicroKind, r: u8, base: u8, off: i32, woff: u8) -> Micro {
+    Micro {
+        kind,
+        rd: r,
+        ra: base,
+        rb: woff,
+        imm: off,
+    }
+}
+
+fn fuse_micro(cond: FuseCond) -> Micro {
+    use MicroKind as K;
+    let kind = match cond {
+        FuseCond::Z => K::FuseZ,
+        FuseCond::Nz => K::FuseNz,
+        FuseCond::Ltz => K::FuseLtz,
+        FuseCond::Gez => K::FuseGez,
+        FuseCond::Even => K::FuseEven,
+        FuseCond::Odd => K::FuseOdd,
+    };
+    Micro {
+        kind,
+        rd: 0,
+        ra: 0,
+        rb: 0,
+        imm: 0,
+    }
+}
+
+/// Longest forward branch (in skipped instructions) that may run as an
+/// in-window skip micro-op. The kernels' selects and diamonds span 1-3.
+const LOCAL_SPAN: usize = 8;
+
+/// Window cap, so a memory micro-op's window offset fits its `u8` field.
+/// Also bounds the documented `max_steps` divergence (checked per window).
+const MAX_WINDOW: usize = 250;
+
+/// May the branch at `s` targeting `t` run as an in-window skip? Only a
+/// short forward hop over pure ALU/branch instructions qualifies: skipped
+/// memory ops would corrupt the window's bulk `mem_ops` accounting and a
+/// skipped `halt` its termination. `forced` pins branches whose span a
+/// window boundary turned out to cut (see [`predecode`]'s retry loop).
+fn local_ok(program: &[Inst], s: usize, t: usize, forced: &[bool]) -> bool {
+    t > s
+        && t <= s + LOCAL_SPAN + 1
+        && !forced[s]
+        && program[s + 1..t]
+            .iter()
+            .all(|x| matches!(x, Inst::Alu { .. } | Inst::Jmp { .. } | Inst::Jcc { .. }))
+}
+
+/// How a fused straight-line window ends.
+#[derive(Debug, Clone, Copy)]
+enum SeqTerm {
+    /// Fall through to the next window.
+    Fall,
+    /// The window's last micro-op is an ALU carrying a fused branch on its
+    /// own result (the loop back-edge / `cmpb4`-consumer idiom).
+    Fuse { cond: FuseCond, target: u32 },
+    /// One trailing compare-and-branch (charged as its own issue slot).
+    Jcc {
+        cond: JumpCond,
+        ra: u8,
+        b: Operand,
+        target: u32,
+    },
+}
+
+/// One dense dispatch: either a single decoded instruction or a fused
+/// superinstruction window. Jump targets are dense indices (remapped after
+/// windowing).
+#[derive(Debug, Clone, Copy)]
+enum DenseOp {
+    Alu {
+        a: AluSpec,
+        fuse: Option<(FuseCond, u32)>,
+    },
+    Lw(LoadSpec),
+    Sw {
+        rs: u8,
+        base: u8,
+        off: i32,
+    },
+    Lbu(LoadSpec),
+    Sb {
+        rs: u8,
+        base: u8,
+        off: i32,
+    },
+    Jmp {
+        target: u32,
+    },
+    Jcc {
+        cond: JumpCond,
+        ra: u8,
+        b: Operand,
+        target: u32,
+    },
+    Halt,
+    /// A whole fused window — `len` micro-ops from `start` in the shared
+    /// pool, covering `ilen` original instructions (skip/fuse pseudo-ops
+    /// make the counts differ): an extended basic block including its
+    /// conditional selects, guard skips and if/else diamonds, ending in a
+    /// fused back-edge, a trailing compare-and-branch, or fall-through.
+    /// One dispatch; issue slots (`ilen` minus dynamically skipped) and
+    /// `mem` memory ops are bulk-charged.
+    Seq {
+        start: u32,
+        len: u16,
+        ilen: u16,
+        mem: u16,
+        term: SeqTerm,
+    },
+}
+
+fn aspec(op: AluOp, rd: super::inst::Reg, ra: super::inst::Reg, b: Operand) -> AluSpec {
+    AluSpec {
+        op,
+        rd: rd.0,
+        ra: ra.0,
+        b,
+    }
+}
+
+fn lspec(rd: super::inst::Reg, base: super::inst::Reg, off: i32) -> LoadSpec {
+    LoadSpec {
+        rd: rd.0,
+        base: base.0,
+        off,
+    }
+}
+
+/// The branch target of an instruction, if any.
+fn branch_target(inst: &Inst) -> Option<usize> {
+    match *inst {
+        Inst::Jmp { target } => Some(target),
+        Inst::Jcc { target, .. } => Some(target),
+        Inst::Alu {
+            fuse: Some((_, target)),
+            ..
+        } => Some(target),
+        _ => None,
+    }
+}
+
+/// Validate that every branch target is in range. An out-of-range target
+/// means the program has no dense form (the verifier rejects it anyway).
+fn targets_in_range(program: &[Inst]) -> bool {
+    program
+        .iter()
+        .filter_map(branch_target)
+        .all(|t| t < program.len())
+}
+
+/// An in-window skip micro-op awaiting its span: patched once the window's
+/// micro-op layout is final. `slot` is window-relative.
+struct Fix {
+    slot: usize,
+    src: usize,
+    tgt: usize,
+}
+
+/// Decode the window starting at `pc`: the maximal extended-basic-block
+/// run (micro-ops appended to `micro`), or the single instruction. A
+/// window never extends across a `boundary` position (the landing pad of
+/// some backward/far branch), but it runs straight through short forward
+/// branches — fused selects, `jcc` guards, diamond `jmp`s — as skip
+/// micro-ops. Targets in the returned op are still *original* pcs
+/// (remapped by the caller). `Err(src)` reports a branch whose span this
+/// window cannot cover after all; the caller pins it and retries.
+fn window(
+    program: &[Inst],
+    pc: usize,
+    boundary: &[bool],
+    forced: &[bool],
+    micro: &mut Vec<Micro>,
+) -> Result<(DenseOp, usize), usize> {
+    // Maximal run: ALU / load / store / skip micro-ops, stopped by an
+    // interior boundary, outward control flow, or the window cap. An ALU's
+    // non-local fused branch ends the run from inside; one trailing
+    // compare-and-branch is absorbed as the terminator.
+    let start = micro.len();
+    let mut i = pc;
+    let mut mem = 0u16;
+    let mut term = SeqTerm::Fall;
+    let mut fixes: Vec<Fix> = Vec::new();
+    // Window-relative micro-op index of each covered instruction — skip
+    // spans land on original positions, pseudo-ops shift the micro layout.
+    let mut pos2micro: Vec<u32> = Vec::new();
+    while i < program.len() && (i == pc || !boundary[i]) && (i - pc) < MAX_WINDOW {
+        let slot = micro.len() - start;
+        match program[i] {
+            Inst::Alu {
+                op,
+                rd,
+                ra,
+                b,
+                fuse,
+            } => {
+                pos2micro.push(slot as u32);
+                micro.push(alu_micro(op, rd.0, ra.0, b));
+                i += 1;
+                match fuse {
+                    None => {}
+                    Some((c, t)) if local_ok(program, i - 1, t, forced) => {
+                        fixes.push(Fix {
+                            slot: slot + 1,
+                            src: i - 1,
+                            tgt: t,
+                        });
+                        micro.push(fuse_micro(c));
+                    }
+                    Some((c, t)) => {
+                        term = SeqTerm::Fuse {
+                            cond: c,
+                            target: t as u32,
+                        };
+                        break;
+                    }
+                }
+            }
+            Inst::Lw { rd, base, off } => {
+                pos2micro.push(slot as u32);
+                micro.push(mem_micro(MicroKind::Lw, rd.0, base.0, off, (i - pc) as u8));
+                mem += 1;
+                i += 1;
+            }
+            Inst::Lbu { rd, base, off } => {
+                pos2micro.push(slot as u32);
+                micro.push(mem_micro(MicroKind::Lbu, rd.0, base.0, off, (i - pc) as u8));
+                mem += 1;
+                i += 1;
+            }
+            Inst::Sw { rs, base, off } => {
+                pos2micro.push(slot as u32);
+                micro.push(mem_micro(MicroKind::Sw, rs.0, base.0, off, (i - pc) as u8));
+                mem += 1;
+                i += 1;
+            }
+            Inst::Sb { rs, base, off } => {
+                pos2micro.push(slot as u32);
+                micro.push(mem_micro(MicroKind::Sb, rs.0, base.0, off, (i - pc) as u8));
+                mem += 1;
+                i += 1;
+            }
+            Inst::Jmp { target } if local_ok(program, i, target, forced) => {
+                pos2micro.push(slot as u32);
+                fixes.push(Fix {
+                    slot,
+                    src: i,
+                    tgt: target,
+                });
+                micro.push(Micro {
+                    kind: MicroKind::JmpFwd,
+                    rd: 0,
+                    ra: 0,
+                    rb: 0,
+                    imm: 0,
+                });
+                i += 1;
+            }
+            Inst::Jcc {
+                cond,
+                ra,
+                b,
+                target,
+            } if local_ok(program, i, target, forced) => {
+                pos2micro.push(slot as u32);
+                fixes.push(Fix {
+                    slot,
+                    src: i,
+                    tgt: target,
+                });
+                micro.push(skip_micro(cond, ra.0, b));
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+    let scanned = i - pc;
+    let mut covered = scanned;
+    if matches!(term, SeqTerm::Fall) && i > pc && i < program.len() && !boundary[i] {
+        if let Inst::Jcc {
+            cond,
+            ra,
+            b,
+            target,
+        } = program[i]
+        {
+            term = SeqTerm::Jcc {
+                cond,
+                ra: ra.0,
+                b,
+                target: target as u32,
+            };
+            covered += 1;
+        }
+    }
+    // Patch each skip with its span: micro-ops skipped and instructions
+    // retired-equivalent. A span the scan did not fully cover (cut by a
+    // boundary, a terminator, or the cap) cannot be a skip — report it so
+    // predecode pins the branch as a window break and relays out.
+    let micro_len = micro.len() - start;
+    for f in &fixes {
+        let rel = f.tgt - pc;
+        let tm = if rel < pos2micro.len() {
+            pos2micro[rel] as usize
+        } else if rel == scanned && matches!(term, SeqTerm::Fall) {
+            // Lands exactly past the window: skip to the end, fall through.
+            micro_len
+        } else {
+            micro.truncate(start);
+            return Err(f.src);
+        };
+        let skip = tm - (f.slot + 1);
+        let weight = f.tgt - f.src - 1;
+        let m = &mut micro[start + f.slot];
+        match m.kind {
+            MicroKind::SkipEqRR
+            | MicroKind::SkipNeRR
+            | MicroKind::SkipLtRR
+            | MicroKind::SkipLeRR
+            | MicroKind::SkipGtRR
+            | MicroKind::SkipGeRR => m.imm = (skip as i32) | ((weight as i32) << 16),
+            _ => {
+                m.rb = skip as u8;
+                m.rd = weight as u8;
+            }
+        }
+    }
+    if covered >= 2 {
+        pair_window(&mut micro[start..]);
+        return Ok((
+            DenseOp::Seq {
+                start: start as u32,
+                len: micro_len as u16,
+                ilen: scanned as u16,
+                mem,
+                term,
+            },
+            covered,
+        ));
+    }
+    // Single-instruction window: drop any staged micro-op. A local branch
+    // decoded single can only target the immediately following window
+    // start (a longer span resolves above or errors out), so its `map`
+    // lookup stays valid.
+    micro.truncate(start);
+    let single = match program[pc] {
+        Inst::Alu {
+            op,
+            rd,
+            ra,
+            b,
+            fuse,
+        } => DenseOp::Alu {
+            a: aspec(op, rd, ra, b),
+            fuse: fuse.map(|(c, t)| (c, t as u32)),
+        },
+        Inst::Lw { rd, base, off } => DenseOp::Lw(lspec(rd, base, off)),
+        Inst::Sw { rs, base, off } => DenseOp::Sw {
+            rs: rs.0,
+            base: base.0,
+            off,
+        },
+        Inst::Lbu { rd, base, off } => DenseOp::Lbu(lspec(rd, base, off)),
+        Inst::Sb { rs, base, off } => DenseOp::Sb {
+            rs: rs.0,
+            base: base.0,
+            off,
+        },
+        Inst::Jmp { target } => DenseOp::Jmp {
+            target: target as u32,
+        },
+        Inst::Jcc {
+            cond,
+            ra,
+            b,
+            target,
+        } => DenseOp::Jcc {
+            cond,
+            ra: ra.0,
+            b,
+            target: target as u32,
+        },
+        Inst::Halt => DenseOp::Halt,
+    };
+    Ok((single, 1))
+}
+
+/// Pre-decode the whole program. Returns `(dense ops, original pc of each
+/// window start, micro-op pool, fused-window count)`, or `None` when the
+/// program has an out-of-range jump target.
+#[allow(clippy::type_complexity)]
+fn predecode(program: &[Inst]) -> Option<(Vec<DenseOp>, Vec<u32>, Vec<Micro>, usize)> {
+    if !targets_in_range(program) {
+        return None;
+    }
+    let len = program.len();
+    let mut forced = vec![false; len];
+    'retry: loop {
+        // Window boundaries: the landing pads of every branch that cannot
+        // run as an in-window skip — backward, far, over memory/halt, or
+        // pinned by a failed attempt below. Local forward branches leave
+        // their landing pads unmarked, so windows extend straight across
+        // the selects and diamonds of the band inner loop. Every remapped
+        // jump's target is marked here, so it stays a window start and the
+        // `map` lookup in the second pass is valid.
+        let mut boundary = vec![false; len];
+        for (s, inst) in program.iter().enumerate() {
+            if let Some(t) = branch_target(inst) {
+                if !local_ok(program, s, t, &forced) {
+                    boundary[t] = true;
+                }
+            }
+        }
+        let mut dense = Vec::with_capacity(len);
+        let mut orig_pc = Vec::with_capacity(len);
+        let mut micro = Vec::with_capacity(len);
+        let mut map = vec![0u32; len];
+        let mut fused = 0usize;
+        let mut pc = 0usize;
+        while pc < len {
+            map[pc] = dense.len() as u32;
+            match window(program, pc, &boundary, &forced, &mut micro) {
+                Ok((op, w)) => {
+                    if w > 1 {
+                        fused += 1;
+                    }
+                    dense.push(op);
+                    orig_pc.push(pc as u32);
+                    pc += w;
+                }
+                Err(src) => {
+                    // The branch at `src` looked local but its span was cut
+                    // (an interior boundary, a terminator, the window cap).
+                    // Pin it as a window break and re-derive the layout —
+                    // each retry pins one more branch, so this terminates.
+                    forced[src] = true;
+                    continue 'retry;
+                }
+            }
+        }
+        // Second pass: original targets → dense indices.
+        for op in &mut dense {
+            match op {
+                DenseOp::Jmp { target } | DenseOp::Jcc { target, .. } => {
+                    *target = map[*target as usize]
+                }
+                DenseOp::Alu {
+                    fuse: Some((_, target)),
+                    ..
+                } => *target = map[*target as usize],
+                DenseOp::Seq { term, .. } => match term {
+                    SeqTerm::Fuse { target, .. } | SeqTerm::Jcc { target, .. } => {
+                        *target = map[*target as usize]
+                    }
+                    SeqTerm::Fall => {}
+                },
+                _ => {}
+            }
+        }
+        return Some((dense, orig_pc, micro, fused));
+    }
+}
+
+/// A program pre-decoded for the verified fast path. Construction runs the
+/// static verifier once — build a `Prepared` per kernel and reuse it (see
+/// `dpu-kernel::isa_loops::prepared`), not per launch.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    program: Vec<Inst>,
+    dense: Vec<DenseOp>,
+    orig_pc: Vec<u32>,
+    micro: Vec<Micro>,
+    fast: bool,
+    frame: usize,
+    entry: Vec<(u8, u32)>,
+    fused: usize,
+}
+
+impl Prepared {
+    /// Verify `program` against `spec` and, on a clean verdict with a
+    /// declared WRAM frame, pre-decode it for the fast path. A rejected
+    /// program still yields a usable `Prepared` — it just always runs the
+    /// checked interpreter.
+    pub fn new(program: Vec<Inst>, spec: &VerifySpec) -> Self {
+        let verified = error_count(&verify(&program, spec)) == 0;
+        let frame = spec.wram_frame();
+        let entry: Vec<(u8, u32)> = spec
+            .known_inputs()
+            .into_iter()
+            .map(|(r, v)| (r.0, v))
+            .collect();
+        let mut p = Self {
+            program,
+            dense: Vec::new(),
+            orig_pc: Vec::new(),
+            micro: Vec::new(),
+            fast: false,
+            frame: frame.unwrap_or(0),
+            entry,
+            fused: 0,
+        };
+        if verified && frame.is_some() {
+            if let Some((dense, orig_pc, micro, fused)) = predecode(&p.program) {
+                p.dense = dense;
+                p.orig_pc = orig_pc;
+                p.micro = micro;
+                p.fused = fused;
+                p.fast = true;
+            }
+        }
+        p
+    }
+
+    /// The original program (what the checked fallback executes).
+    pub fn program(&self) -> &[Inst] {
+        &self.program
+    }
+
+    /// Did the program pass verification (with a WRAM frame) and
+    /// pre-decode — i.e. is the dense fast path available at all?
+    pub fn fast_eligible(&self) -> bool {
+        self.fast
+    }
+
+    /// Would [`Machine::run_prepared`] take the fast path from this
+    /// machine state and WRAM size?
+    pub fn fast_path_active(&self, m: &Machine, wram_len: usize) -> bool {
+        self.fast
+            && m.pc == 0
+            && wram_len >= self.frame
+            && self.entry.iter().all(|&(r, v)| m.regs[r as usize] == v)
+    }
+
+    /// Number of fused superinstruction windows in the dense form.
+    pub fn fused_windows(&self) -> usize {
+        self.fused
+    }
+
+    /// Dispatches the dense form needs for one pass over the program
+    /// (`program().len()` when the fast path is unavailable).
+    pub fn dense_len(&self) -> usize {
+        if self.fast {
+            self.dense.len()
+        } else {
+            self.program.len()
+        }
+    }
+}
+
+/// The dense path's working register file is a 32-slot array indexed with
+/// `reg & 31`: every real register index is `< NUM_REGS = 24`, so the mask
+/// never changes semantics, but it lets the compiler drop the bounds check
+/// on every access. Copied from/to `Machine::regs` at entry and every exit.
+type FastRegs = [u32; 32];
+
+#[inline(always)]
+fn rget(regs: &FastRegs, r: u8) -> u32 {
+    regs[(r & 31) as usize]
+}
+
+#[inline(always)]
+fn opval(regs: &FastRegs, b: Operand) -> u32 {
+    match b {
+        Operand::Reg(r) => rget(regs, r.0),
+        Operand::Imm(i) => i as u32,
+    }
+}
+
+#[inline(always)]
+fn alu(regs: &mut FastRegs, a: &AluSpec) -> u32 {
+    let r = alu_eval(a.op, rget(regs, a.ra), opval(regs, a.b));
+    regs[(a.rd & 31) as usize] = r;
+    r
+}
+
+/// Word address with the single backstop compare. Errors match the checked
+/// interpreter's bit for bit: bounds first, then alignment.
+#[inline(always)]
+fn waddr(regs: &FastRegs, base: u8, off: i32, size: usize) -> Result<usize, IsaError> {
+    let addr = (rget(regs, base) as i64 + off as i64) as usize;
+    if size < 4 || addr > size - 4 {
+        return Err(IsaError::MemOutOfBounds { addr, len: 4, size });
+    }
+    if !addr.is_multiple_of(4) {
+        return Err(IsaError::Misaligned { addr });
+    }
+    Ok(addr)
+}
+
+#[inline(always)]
+fn baddr(regs: &FastRegs, base: u8, off: i32, size: usize) -> Result<usize, IsaError> {
+    let addr = (rget(regs, base) as i64 + off as i64) as usize;
+    if addr >= size {
+        return Err(IsaError::MemOutOfBounds { addr, len: 1, size });
+    }
+    Ok(addr)
+}
+
+#[inline(always)]
+fn lw(regs: &mut FastRegs, wram: &[u8], l: &LoadSpec) -> Result<(), IsaError> {
+    let a = waddr(regs, l.base, l.off, wram.len())?;
+    regs[(l.rd & 31) as usize] = u32::from_le_bytes(wram[a..a + 4].try_into().expect("4 bytes"));
+    Ok(())
+}
+
+#[inline(always)]
+fn lbu(regs: &mut FastRegs, wram: &[u8], l: &LoadSpec) -> Result<(), IsaError> {
+    let a = baddr(regs, l.base, l.off, wram.len())?;
+    regs[(l.rd & 31) as usize] = wram[a] as u32;
+    Ok(())
+}
+
+/// Checked micro-op memory accesses, shared by the plain and paired `Seq`
+/// arms. Errors match the checked interpreter's bit for bit: bounds first,
+/// then alignment.
+#[inline(always)]
+fn m_lw(regs: &mut FastRegs, wram: &[u8], m: Micro) -> Result<(), IsaError> {
+    let size = wram.len();
+    let addr = (rget(regs, m.ra) as i64 + i64::from(m.imm)) as usize;
+    if size < 4 || addr > size - 4 {
+        return Err(IsaError::MemOutOfBounds { addr, len: 4, size });
+    }
+    if !addr.is_multiple_of(4) {
+        return Err(IsaError::Misaligned { addr });
+    }
+    regs[(m.rd & 31) as usize] =
+        u32::from_le_bytes(wram[addr..addr + 4].try_into().expect("4 bytes"));
+    Ok(())
+}
+
+#[inline(always)]
+fn m_sw(regs: &FastRegs, wram: &mut [u8], m: Micro) -> Result<(), IsaError> {
+    let size = wram.len();
+    let addr = (rget(regs, m.ra) as i64 + i64::from(m.imm)) as usize;
+    if size < 4 || addr > size - 4 {
+        return Err(IsaError::MemOutOfBounds { addr, len: 4, size });
+    }
+    if !addr.is_multiple_of(4) {
+        return Err(IsaError::Misaligned { addr });
+    }
+    wram[addr..addr + 4].copy_from_slice(&rget(regs, m.rd).to_le_bytes());
+    Ok(())
+}
+
+#[inline(always)]
+fn m_lbu(regs: &mut FastRegs, wram: &[u8], m: Micro) -> Result<(), IsaError> {
+    let size = wram.len();
+    let addr = (rget(regs, m.ra) as i64 + i64::from(m.imm)) as usize;
+    if addr >= size {
+        return Err(IsaError::MemOutOfBounds { addr, len: 1, size });
+    }
+    regs[(m.rd & 31) as usize] = u32::from(wram[addr]);
+    Ok(())
+}
+
+#[inline(always)]
+fn m_sb(regs: &FastRegs, wram: &mut [u8], m: Micro) -> Result<(), IsaError> {
+    let size = wram.len();
+    let addr = (rget(regs, m.ra) as i64 + i64::from(m.imm)) as usize;
+    if addr >= size {
+        return Err(IsaError::MemOutOfBounds { addr, len: 1, size });
+    }
+    wram[addr] = rget(regs, m.rd) as u8;
+    Ok(())
+}
+
+impl Machine {
+    /// Run a [`Prepared`] program: the dense fast path when
+    /// [`Prepared::fast_path_active`] holds, the checked interpreter
+    /// ([`Machine::run`]) otherwise. Completed runs are bit-identical on
+    /// both paths — registers, WRAM, halt pc and [`RunStats`].
+    pub fn run_prepared(
+        &mut self,
+        prep: &Prepared,
+        wram: &mut [u8],
+        max_steps: u64,
+    ) -> Result<RunStats, IsaError> {
+        if prep.fast_path_active(self, wram.len()) {
+            self.run_dense(prep, wram, max_steps)
+        } else {
+            self.run(&prep.program, wram, max_steps)
+        }
+    }
+
+    fn run_dense(
+        &mut self,
+        prep: &Prepared,
+        wram: &mut [u8],
+        max_steps: u64,
+    ) -> Result<RunStats, IsaError> {
+        use MicroKind as K;
+        let dense = prep.dense.as_slice();
+        let orig = prep.orig_pc.as_slice();
+        let plen = prep.program.len();
+        let wlen = wram.len();
+        let mut regs: FastRegs = [0; 32];
+        regs[..NUM_REGS].copy_from_slice(&self.regs);
+        let mut stats = RunStats::default();
+        let mut pc = 0usize;
+        // Every exit — halt, fault, exhausted budget — syncs the working
+        // register file back to the machine. On a fault inside a window the
+        // restored pc is the *original* pc of the faulting instruction
+        // (window start + micro index), like the checked interpreter's.
+        macro_rules! leave {
+            ($off:expr, $ret:expr) => {{
+                self.regs.copy_from_slice(&regs[..NUM_REGS]);
+                self.pc = orig[pc] as usize + $off;
+                return $ret;
+            }};
+        }
+        macro_rules! step {
+            ($res:expr, $off:expr) => {
+                match $res {
+                    Ok(v) => v,
+                    Err(e) => leave!($off, Err(e)),
+                }
+            };
+        }
+        loop {
+            let Some(op) = dense.get(pc) else {
+                // Fell off the end: the original pc is the program length.
+                self.regs.copy_from_slice(&regs[..NUM_REGS]);
+                self.pc = plen;
+                return Err(IsaError::BadTarget {
+                    target: plen,
+                    len: plen,
+                });
+            };
+            if stats.instructions >= max_steps {
+                leave!(0, Err(IsaError::MaxSteps { limit: max_steps }));
+            }
+            match op {
+                DenseOp::Halt => {
+                    stats.instructions += 1;
+                    leave!(0, Ok(stats));
+                }
+                DenseOp::Alu { a, fuse } => {
+                    stats.instructions += 1;
+                    let r = alu(&mut regs, a);
+                    match fuse {
+                        Some((cond, t)) if cond.holds(r) => {
+                            stats.taken_jumps += 1;
+                            pc = *t as usize;
+                        }
+                        _ => pc += 1,
+                    }
+                }
+                DenseOp::Lw(l) => {
+                    stats.instructions += 1;
+                    stats.mem_ops += 1;
+                    step!(lw(&mut regs, wram, l), 0);
+                    pc += 1;
+                }
+                DenseOp::Sw { rs, base, off } => {
+                    stats.instructions += 1;
+                    stats.mem_ops += 1;
+                    let a = step!(waddr(&regs, *base, *off, wlen), 0);
+                    wram[a..a + 4].copy_from_slice(&rget(&regs, *rs).to_le_bytes());
+                    pc += 1;
+                }
+                DenseOp::Lbu(l) => {
+                    stats.instructions += 1;
+                    stats.mem_ops += 1;
+                    step!(lbu(&mut regs, wram, l), 0);
+                    pc += 1;
+                }
+                DenseOp::Sb { rs, base, off } => {
+                    stats.instructions += 1;
+                    stats.mem_ops += 1;
+                    let a = step!(baddr(&regs, *base, *off, wlen), 0);
+                    wram[a] = rget(&regs, *rs) as u8;
+                    pc += 1;
+                }
+                DenseOp::Jmp { target } => {
+                    stats.instructions += 1;
+                    stats.taken_jumps += 1;
+                    pc = *target as usize;
+                }
+                DenseOp::Jcc {
+                    cond,
+                    ra,
+                    b,
+                    target,
+                } => {
+                    stats.instructions += 1;
+                    let av = rget(&regs, *ra) as i32;
+                    let bv = opval(&regs, *b) as i32;
+                    if cond.holds(av, bv) {
+                        stats.taken_jumps += 1;
+                        pc = *target as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                DenseOp::Seq {
+                    start,
+                    len,
+                    ilen,
+                    mem,
+                    term,
+                } => {
+                    let ops = &prep.micro[*start as usize..*start as usize + usize::from(*len)];
+                    let mut last = 0u32;
+                    let mut skipped = 0u64;
+                    let mut i = 0usize;
+                    while let Some(&m) = ops.get(i) {
+                        // `a` is the left/base register for every kind.
+                        let a = rget(&regs, m.ra);
+                        macro_rules! set {
+                            ($v:expr) => {{
+                                last = $v;
+                                regs[(m.rd & 31) as usize] = last;
+                            }};
+                        }
+                        // Taken skip: the branch's own slot/jump plus the
+                        // span's micro-ops (`rb`) and retired-instruction
+                        // weight (`rd`) it jumps over.
+                        macro_rules! skip_ri {
+                            ($cond:expr) => {
+                                if $cond {
+                                    stats.taken_jumps += 1;
+                                    skipped += u64::from(m.rd);
+                                    i += usize::from(m.rb);
+                                }
+                            };
+                        }
+                        // RR skips carry the operand register in `rb`, so
+                        // their span lives packed in `imm`.
+                        macro_rules! skip_rr {
+                            ($cond:expr) => {
+                                if $cond {
+                                    stats.taken_jumps += 1;
+                                    let packed = m.imm as u32;
+                                    skipped += u64::from(packed >> 16);
+                                    i += (packed & 0xFFFF) as usize;
+                                }
+                            };
+                        }
+                        match m.kind {
+                            K::AddRI => set!(a.wrapping_add(m.imm as u32)),
+                            K::AddRR => set!(a.wrapping_add(rget(&regs, m.rb))),
+                            K::SubRI => set!(a.wrapping_sub(m.imm as u32)),
+                            K::SubRR => set!(a.wrapping_sub(rget(&regs, m.rb))),
+                            K::AndRI => set!(a & m.imm as u32),
+                            K::AndRR => set!(a & rget(&regs, m.rb)),
+                            K::OrRI => set!(a | m.imm as u32),
+                            K::OrRR => set!(a | rget(&regs, m.rb)),
+                            K::XorRI => set!(a ^ m.imm as u32),
+                            K::XorRR => set!(a ^ rget(&regs, m.rb)),
+                            K::LslRI => set!(a.wrapping_shl(m.imm as u32 & 31)),
+                            K::LslRR => set!(a.wrapping_shl(rget(&regs, m.rb) & 31)),
+                            K::LsrRI => set!(a.wrapping_shr(m.imm as u32 & 31)),
+                            K::LsrRR => set!(a.wrapping_shr(rget(&regs, m.rb) & 31)),
+                            K::AsrRI => set!((a as i32).wrapping_shr(m.imm as u32 & 31) as u32),
+                            K::AsrRR => {
+                                set!((a as i32).wrapping_shr(rget(&regs, m.rb) & 31) as u32)
+                            }
+                            K::MaxRI => set!((a as i32).max(m.imm) as u32),
+                            K::MaxRR => set!((a as i32).max(rget(&regs, m.rb) as i32) as u32),
+                            K::Cmpb4RI => set!(alu_eval(AluOp::Cmpb4, a, m.imm as u32)),
+                            K::Cmpb4RR => set!(alu_eval(AluOp::Cmpb4, a, rget(&regs, m.rb))),
+                            K::MoveRI => set!(m.imm as u32),
+                            K::MoveRR => set!(rget(&regs, m.rb)),
+                            K::Lw => step!(m_lw(&mut regs, wram, m), usize::from(m.rb)),
+                            K::Sw => step!(m_sw(&regs, wram, m), usize::from(m.rb)),
+                            K::Lbu => step!(m_lbu(&mut regs, wram, m), usize::from(m.rb)),
+                            K::Sb => step!(m_sb(&regs, wram, m), usize::from(m.rb)),
+                            // An unconditional diamond hop: retires itself
+                            // (counted in `ilen`), never its span.
+                            K::JmpFwd => {
+                                stats.taken_jumps += 1;
+                                skipped += u64::from(m.rd);
+                                i += usize::from(m.rb);
+                            }
+                            // Fused-branch pseudo-ops ride the preceding
+                            // ALU's result; they charge no slot themselves.
+                            K::FuseZ => skip_ri!(last == 0),
+                            K::FuseNz => skip_ri!(last != 0),
+                            K::FuseLtz => skip_ri!((last as i32) < 0),
+                            K::FuseGez => skip_ri!((last as i32) >= 0),
+                            K::FuseEven => skip_ri!(last.is_multiple_of(2)),
+                            K::FuseOdd => skip_ri!(last % 2 == 1),
+                            K::SkipEqRI => skip_ri!((a as i32) == m.imm),
+                            K::SkipEqRR => skip_rr!((a as i32) == rget(&regs, m.rb) as i32),
+                            K::SkipNeRI => skip_ri!((a as i32) != m.imm),
+                            K::SkipNeRR => skip_rr!((a as i32) != rget(&regs, m.rb) as i32),
+                            K::SkipLtRI => skip_ri!((a as i32) < m.imm),
+                            K::SkipLtRR => skip_rr!((a as i32) < rget(&regs, m.rb) as i32),
+                            K::SkipLeRI => skip_ri!((a as i32) <= m.imm),
+                            K::SkipLeRR => skip_rr!((a as i32) <= rget(&regs, m.rb) as i32),
+                            K::SkipGtRI => skip_ri!((a as i32) > m.imm),
+                            K::SkipGtRR => skip_rr!((a as i32) > rget(&regs, m.rb) as i32),
+                            K::SkipGeRI => skip_ri!((a as i32) >= m.imm),
+                            K::SkipGeRR => skip_rr!((a as i32) >= rget(&regs, m.rb) as i32),
+                            // Pair superinstructions: the second member's
+                            // fields live in the next slot (`n`); net
+                            // advance is two slots (one here, one below).
+                            K::PairSubRRFuseGez => {
+                                set!(a.wrapping_sub(rget(&regs, m.rb)));
+                                let n = ops[i + 1];
+                                i += 1;
+                                if (last as i32) >= 0 {
+                                    stats.taken_jumps += 1;
+                                    skipped += u64::from(n.rd);
+                                    i += usize::from(n.rb);
+                                }
+                            }
+                            K::PairSubRRFuseLtz => {
+                                set!(a.wrapping_sub(rget(&regs, m.rb)));
+                                let n = ops[i + 1];
+                                i += 1;
+                                if (last as i32) < 0 {
+                                    stats.taken_jumps += 1;
+                                    skipped += u64::from(n.rd);
+                                    i += usize::from(n.rb);
+                                }
+                            }
+                            K::PairAndRIFuseNz => {
+                                set!(a & m.imm as u32);
+                                let n = ops[i + 1];
+                                i += 1;
+                                if last != 0 {
+                                    stats.taken_jumps += 1;
+                                    skipped += u64::from(n.rd);
+                                    i += usize::from(n.rb);
+                                }
+                            }
+                            // Conditional moves: a skip whose span starts
+                            // with the move in the next slot. Taken — jump
+                            // over the span; untaken — do the move inline.
+                            K::PairSkipGeRRMoveRR => {
+                                if (a as i32) >= rget(&regs, m.rb) as i32 {
+                                    stats.taken_jumps += 1;
+                                    let packed = m.imm as u32;
+                                    skipped += u64::from(packed >> 16);
+                                    i += (packed & 0xFFFF) as usize;
+                                } else {
+                                    let n = ops[i + 1];
+                                    last = rget(&regs, n.rb);
+                                    regs[(n.rd & 31) as usize] = last;
+                                    i += 1;
+                                }
+                            }
+                            K::PairSkipGeRRMoveRI => {
+                                if (a as i32) >= rget(&regs, m.rb) as i32 {
+                                    stats.taken_jumps += 1;
+                                    let packed = m.imm as u32;
+                                    skipped += u64::from(packed >> 16);
+                                    i += (packed & 0xFFFF) as usize;
+                                } else {
+                                    let n = ops[i + 1];
+                                    last = n.imm as u32;
+                                    regs[(n.rd & 31) as usize] = last;
+                                    i += 1;
+                                }
+                            }
+                            K::PairSkipLtRRMoveRI => {
+                                if (a as i32) < rget(&regs, m.rb) as i32 {
+                                    stats.taken_jumps += 1;
+                                    let packed = m.imm as u32;
+                                    skipped += u64::from(packed >> 16);
+                                    i += (packed & 0xFFFF) as usize;
+                                } else {
+                                    let n = ops[i + 1];
+                                    last = n.imm as u32;
+                                    regs[(n.rd & 31) as usize] = last;
+                                    i += 1;
+                                }
+                            }
+                            K::PairAddRIAddRI => {
+                                set!(a.wrapping_add(m.imm as u32));
+                                let n = ops[i + 1];
+                                last = rget(&regs, n.ra).wrapping_add(n.imm as u32);
+                                regs[(n.rd & 31) as usize] = last;
+                                i += 1;
+                            }
+                            K::PairLwLw => {
+                                step!(m_lw(&mut regs, wram, m), usize::from(m.rb));
+                                let n = ops[i + 1];
+                                step!(m_lw(&mut regs, wram, n), usize::from(n.rb));
+                                i += 1;
+                            }
+                            K::PairLwAddRI => {
+                                step!(m_lw(&mut regs, wram, m), usize::from(m.rb));
+                                let n = ops[i + 1];
+                                last = rget(&regs, n.ra).wrapping_add(n.imm as u32);
+                                regs[(n.rd & 31) as usize] = last;
+                                i += 1;
+                            }
+                            K::PairLwAddRR => {
+                                step!(m_lw(&mut regs, wram, m), usize::from(m.rb));
+                                let n = ops[i + 1];
+                                last = rget(&regs, n.ra).wrapping_add(rget(&regs, n.rb));
+                                regs[(n.rd & 31) as usize] = last;
+                                i += 1;
+                            }
+                            K::PairMoveRIMoveRI => {
+                                set!(m.imm as u32);
+                                let n = ops[i + 1];
+                                last = n.imm as u32;
+                                regs[(n.rd & 31) as usize] = last;
+                                i += 1;
+                            }
+                            K::PairMoveRRMoveRI => {
+                                set!(rget(&regs, m.rb));
+                                let n = ops[i + 1];
+                                last = n.imm as u32;
+                                regs[(n.rd & 31) as usize] = last;
+                                i += 1;
+                            }
+                            K::PairSwLw => {
+                                step!(m_sw(&regs, wram, m), usize::from(m.rb));
+                                let n = ops[i + 1];
+                                step!(m_lw(&mut regs, wram, n), usize::from(n.rb));
+                                i += 1;
+                            }
+                            K::PairMoveRRSw => {
+                                set!(rget(&regs, m.rb));
+                                let n = ops[i + 1];
+                                step!(m_sw(&regs, wram, n), usize::from(n.rb));
+                                i += 1;
+                            }
+                            K::PairOrRRSb => {
+                                set!(a | rget(&regs, m.rb));
+                                let n = ops[i + 1];
+                                step!(m_sb(&regs, wram, n), usize::from(n.rb));
+                                i += 1;
+                            }
+                            K::PairLbuLbu => {
+                                step!(m_lbu(&mut regs, wram, m), usize::from(m.rb));
+                                let n = ops[i + 1];
+                                step!(m_lbu(&mut regs, wram, n), usize::from(n.rb));
+                                i += 1;
+                            }
+                            K::PairSkipEqRRMoveRI => {
+                                if (a as i32) == rget(&regs, m.rb) as i32 {
+                                    stats.taken_jumps += 1;
+                                    let packed = m.imm as u32;
+                                    skipped += u64::from(packed >> 16);
+                                    i += (packed & 0xFFFF) as usize;
+                                } else {
+                                    let n = ops[i + 1];
+                                    last = n.imm as u32;
+                                    regs[(n.rd & 31) as usize] = last;
+                                    i += 1;
+                                }
+                            }
+                            // A value op whose successor is control: run the
+                            // op, then take the follower's hop or skip with
+                            // the follower's own fields.
+                            K::PairMoveRIJmpFwd => {
+                                set!(m.imm as u32);
+                                let n = ops[i + 1];
+                                stats.taken_jumps += 1;
+                                skipped += u64::from(n.rd);
+                                i += 1 + usize::from(n.rb);
+                            }
+                            K::PairOrRIJmpFwd => {
+                                set!(a | m.imm as u32);
+                                let n = ops[i + 1];
+                                stats.taken_jumps += 1;
+                                skipped += u64::from(n.rd);
+                                i += 1 + usize::from(n.rb);
+                            }
+                            K::PairMoveRRSkipGeRR => {
+                                set!(rget(&regs, m.rb));
+                                let n = ops[i + 1];
+                                i += 1;
+                                if (rget(&regs, n.ra) as i32) >= rget(&regs, n.rb) as i32 {
+                                    stats.taken_jumps += 1;
+                                    let packed = n.imm as u32;
+                                    skipped += u64::from(packed >> 16);
+                                    i += (packed & 0xFFFF) as usize;
+                                }
+                            }
+                            K::PairMoveRISkipLtRR => {
+                                set!(m.imm as u32);
+                                let n = ops[i + 1];
+                                i += 1;
+                                if (rget(&regs, n.ra) as i32) < rget(&regs, n.rb) as i32 {
+                                    stats.taken_jumps += 1;
+                                    let packed = n.imm as u32;
+                                    skipped += u64::from(packed >> 16);
+                                    i += (packed & 0xFFFF) as usize;
+                                }
+                            }
+                            K::PairOrRRSkipGeRR => {
+                                set!(a | rget(&regs, m.rb));
+                                let n = ops[i + 1];
+                                i += 1;
+                                if (rget(&regs, n.ra) as i32) >= rget(&regs, n.rb) as i32 {
+                                    stats.taken_jumps += 1;
+                                    let packed = n.imm as u32;
+                                    skipped += u64::from(packed >> 16);
+                                    i += (packed & 0xFFFF) as usize;
+                                }
+                            }
+                            K::PairAddRISubRI => {
+                                set!(a.wrapping_add(m.imm as u32));
+                                let n = ops[i + 1];
+                                last = rget(&regs, n.ra).wrapping_sub(n.imm as u32);
+                                regs[(n.rd & 31) as usize] = last;
+                                i += 1;
+                            }
+                            K::PairAddRIMoveRI => {
+                                set!(a.wrapping_add(m.imm as u32));
+                                let n = ops[i + 1];
+                                last = n.imm as u32;
+                                regs[(n.rd & 31) as usize] = last;
+                                i += 1;
+                            }
+                            // Triple superinstructions: two value ops plus a
+                            // third member; net advance is three slots.
+                            K::TriMoveRIMoveRIJmpFwd => {
+                                set!(m.imm as u32);
+                                let n = ops[i + 1];
+                                last = n.imm as u32;
+                                regs[(n.rd & 31) as usize] = last;
+                                let o = ops[i + 2];
+                                stats.taken_jumps += 1;
+                                skipped += u64::from(o.rd);
+                                i += 2 + usize::from(o.rb);
+                            }
+                            K::TriMoveRRMoveRISw => {
+                                set!(rget(&regs, m.rb));
+                                let n = ops[i + 1];
+                                last = n.imm as u32;
+                                regs[(n.rd & 31) as usize] = last;
+                                let o = ops[i + 2];
+                                step!(m_sw(&regs, wram, o), usize::from(o.rb));
+                                i += 2;
+                            }
+                        }
+                        i += 1;
+                    }
+                    stats.instructions += u64::from(*ilen) - skipped;
+                    stats.mem_ops += u64::from(*mem);
+                    match *term {
+                        SeqTerm::Fall => pc += 1,
+                        SeqTerm::Fuse { cond, target } => {
+                            if cond.holds(last) {
+                                stats.taken_jumps += 1;
+                                pc = target as usize;
+                            } else {
+                                pc += 1;
+                            }
+                        }
+                        SeqTerm::Jcc {
+                            cond,
+                            ra,
+                            b,
+                            target,
+                        } => {
+                            stats.instructions += 1;
+                            let av = rget(&regs, ra) as i32;
+                            let bv = opval(&regs, b) as i32;
+                            if cond.holds(av, bv) {
+                                stats.taken_jumps += 1;
+                                pc = target as usize;
+                            } else {
+                                pc += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::asm::assemble;
+    use super::super::inst::Reg;
+    use super::*;
+
+    /// Force the dense path regardless of verification, for pattern-level
+    /// equivalence tests on arbitrary snippets.
+    fn prepared_forced(program: Vec<Inst>) -> Prepared {
+        let (dense, orig_pc, micro, fused) = predecode(&program).expect("program pre-decodes");
+        Prepared {
+            program,
+            dense,
+            orig_pc,
+            micro,
+            fast: true,
+            frame: 0,
+            entry: Vec::new(),
+            fused,
+        }
+    }
+
+    /// Run `src` through the checked interpreter and the dense path from
+    /// identical machine/WRAM state; assert registers, WRAM, halt pc and
+    /// issue-slot counts all match. Returns (stats, fused windows).
+    fn check_equivalence(src: &str, wram_len: usize, regs: &[(u8, u32)]) -> (RunStats, usize) {
+        let prog = assemble(src).unwrap();
+        let prep = prepared_forced(prog.clone());
+        let mut wram_a = vec![0u8; wram_len];
+        for (i, byte) in wram_a.iter_mut().enumerate() {
+            *byte = (i as u8).wrapping_mul(31).wrapping_add(7);
+        }
+        let mut wram_b = wram_a.clone();
+        let mut ma = Machine::new();
+        let mut mb = Machine::new();
+        for &(r, v) in regs {
+            ma.regs[r as usize] = v;
+            mb.regs[r as usize] = v;
+        }
+        let sa = ma.run(&prog, &mut wram_a, 100_000).unwrap();
+        let sb = mb.run_dense(&prep, &mut wram_b, 100_000).unwrap();
+        assert_eq!(sa, sb, "issue-slot / mem-op / jump counts must match");
+        assert_eq!(ma.regs, mb.regs, "registers must match");
+        assert_eq!(wram_a, wram_b, "WRAM must match");
+        assert_eq!(ma.pc, mb.pc, "halt pc must match");
+        (sa, prep.fused_windows())
+    }
+
+    #[test]
+    fn lbu_lbu_jcc_fuses_and_matches() {
+        // Both branch directions: equal bytes at off 0/0, unequal at 1/2.
+        for (o1, o2) in [(0, 0), (1, 2)] {
+            let (stats, fused) = check_equivalence(
+                &format!(
+                    "
+                    move r9, 8
+                    lbu r12, r9, {o1}
+                    lbu r13, r9, {o2}
+                    jeq r12, r13, done
+                    add r14, r14, 1
+                    done: halt
+                    "
+                ),
+                64,
+                &[],
+            );
+            assert!(fused >= 1, "lbu;lbu;jcc must fuse");
+            assert_eq!(stats.mem_ops, 2);
+        }
+    }
+
+    #[test]
+    fn lw2_alu2_fuses_and_matches() {
+        let (stats, fused) = check_equivalence(
+            "
+            move r2, 8
+            move r4, 16
+            lw r15, r4, 0
+            lw r16, r2, 0
+            add r15, r15, -2
+            add r16, r16, -6
+            halt
+            ",
+            64,
+            &[],
+        );
+        assert!(fused >= 1, "lw;lw;add;add must fuse");
+        assert_eq!(stats.mem_ops, 2);
+        assert_eq!(stats.instructions, 7);
+    }
+
+    #[test]
+    fn lw_alu_and_alu_store_fuse_and_match() {
+        let (stats, fused) = check_equivalence(
+            "
+            move r2, 8
+            move r7, 20
+            lw r15, r2, 0
+            add r15, r15, 3
+            move r17, r15
+            sw r17, r7, 0
+            xor r5, r15, r17
+            sb r5, r7, 5
+            halt
+            ",
+            64,
+            &[],
+        );
+        assert!(
+            fused >= 1,
+            "a straight-line load/alu/store block must fuse into a window"
+        );
+        assert_eq!(stats.mem_ops, 3);
+        assert_eq!(stats.instructions, 9);
+    }
+
+    #[test]
+    fn alu_jcc_and_fused_backedge_match() {
+        // A countdown via explicit compare-jump (AluJcc window) and one via
+        // a fused back-edge riding an Alu2 window.
+        let (_, fused) = check_equivalence(
+            "
+            move r1, 7
+            loop:
+            sub r1, r1, 1
+            jgt r1, 0, loop
+            halt
+            ",
+            0,
+            &[],
+        );
+        assert!(fused >= 1, "alu;jcc must fuse");
+        let (_, fused) = check_equivalence(
+            "
+            move r1, 7
+            move r2, 0
+            loop:
+            add r2, r2, 3
+            sub r1, r1, 1, jnz loop
+            halt
+            ",
+            0,
+            &[],
+        );
+        assert!(fused >= 1, "alu;alu-with-fused-backedge must fuse");
+    }
+
+    #[test]
+    fn jcc_skip_alu_matches_both_directions() {
+        // max(r2, r3) via the skip idiom; both branch directions.
+        for (a, b) in [(5u32, 9u32), (9, 5)] {
+            let (stats, fused) = check_equivalence(
+                "
+                jge r2, r3, keep
+                move r2, r3
+                keep: halt
+                ",
+                0,
+                &[(2, a), (3, b)],
+            );
+            assert!(fused >= 1, "jcc-skip-alu must fuse");
+            assert_eq!(stats.mem_ops, 0);
+        }
+    }
+
+    #[test]
+    fn fusion_skipped_when_jump_targets_window_interior() {
+        // The jcc back-edge targets the *second* lbu — fusing the
+        // lbu;lbu;jcc window would make that pc unreachable. The window
+        // must not form, and semantics must still match.
+        let src = "
+            move r9, 8
+            move r1, 3
+            lbu r12, r9, 0
+            mid: lbu r13, r9, 1
+            jeq r12, r13, out
+            out: sub r1, r1, 1
+            jgt r1, 0, mid
+            halt
+            ";
+        let prog = assemble(src).unwrap();
+        let prep = prepared_forced(prog);
+        // Window starts must include the targeted `mid` instruction (pc 3).
+        assert!(
+            prep.orig_pc.contains(&3),
+            "jump target must stay a window start: {:?}",
+            prep.orig_pc
+        );
+        check_equivalence(src, 64, &[]);
+    }
+
+    #[test]
+    fn dense_path_reproduces_checked_faults() {
+        // Out-of-bounds store inside a fused alu;sw window: same error,
+        // same faulting pc.
+        let prog = assemble(
+            "
+            move r7, 60
+            add r5, r7, 2
+            sw r5, r7, 0
+            halt
+            ",
+        )
+        .unwrap();
+        let prep = prepared_forced(prog.clone());
+        let mut ma = Machine::new();
+        let mut mb = Machine::new();
+        let ea = ma.run(&prog, &mut [0u8; 32], 100).unwrap_err();
+        let eb = mb.run_dense(&prep, &mut [0u8; 32], 100).unwrap_err();
+        assert_eq!(ea, eb);
+        assert_eq!(ma.pc, mb.pc, "faulting pc must match");
+
+        // Misaligned word access through a fused lw;alu window.
+        let prog = assemble(
+            "
+            move r2, 2
+            lw r3, r2, 0
+            add r3, r3, 1
+            halt
+            ",
+        )
+        .unwrap();
+        let prep = prepared_forced(prog.clone());
+        let mut ma = Machine::new();
+        let mut mb = Machine::new();
+        let ea = ma.run(&prog, &mut [0u8; 32], 100).unwrap_err();
+        let eb = mb.run_dense(&prep, &mut [0u8; 32], 100).unwrap_err();
+        assert_eq!(ea, eb);
+        assert_eq!(ma.pc, mb.pc);
+    }
+
+    #[test]
+    fn unverified_program_refuses_the_fast_path() {
+        // Reads r5, never written and not declared an input: the verifier
+        // rejects it, so Prepared must fall back to the checked path.
+        let prog = assemble("add r1, r5, 1\nhalt").unwrap();
+        let prep = Prepared::new(prog.clone(), &VerifySpec::new().frame(16));
+        assert!(!prep.fast_eligible());
+        assert!(!prep.fast_path_active(&Machine::new(), 16));
+        let mut ma = Machine::new();
+        let mut mb = Machine::new();
+        let sa = ma.run(&prog, &mut [0u8; 16], 100).unwrap();
+        let sb = mb
+            .run_prepared(&prep, &mut [0u8; 16], 100)
+            .expect("checked fallback still runs");
+        assert_eq!(sa, sb);
+        assert_eq!(ma.regs, mb.regs);
+    }
+
+    #[test]
+    fn missing_frame_or_entry_mismatch_forces_checked_path() {
+        let src = "
+            move r1, 4
+            loop: sub r1, r1, 1, jnz loop
+            halt
+            ";
+        // No declared frame: never fast, even though the program verifies.
+        let no_frame = Prepared::new(assemble(src).unwrap(), &VerifySpec::new());
+        assert!(!no_frame.fast_eligible());
+
+        // Known-constant input r9 = 8: fast only when the machine agrees.
+        let spec = VerifySpec::new().frame(64).input_value(Reg(9), 8);
+        let prep = Prepared::new(assemble(src).unwrap(), &spec);
+        assert!(prep.fast_eligible());
+        let mut m = Machine::new();
+        m.regs[9] = 8;
+        assert!(prep.fast_path_active(&m, 64));
+        m.regs[9] = 12;
+        assert!(!prep.fast_path_active(&m, 64), "entry constant mismatch");
+        m.regs[9] = 8;
+        assert!(!prep.fast_path_active(&m, 32), "WRAM below the frame");
+        m.pc = 1;
+        assert!(!prep.fast_path_active(&m, 64), "pc must be 0");
+
+        // The checked fallback on an entry mismatch still runs correctly.
+        let mut mb = Machine::new();
+        mb.regs[9] = 12;
+        let stats = mb.run_prepared(&prep, &mut [0u8; 64], 100).unwrap();
+        assert_eq!(mb.regs[1], 0);
+        assert_eq!(stats.instructions, 1 + 4 + 1);
+    }
+
+    #[test]
+    fn max_steps_still_aborts_dense_runs() {
+        let prog = assemble(
+            "
+            loop: add r1, r1, 1
+            sub r2, r2, 0, jz loop
+            halt
+            ",
+        )
+        .unwrap();
+        let prep = prepared_forced(prog);
+        let mut m = Machine::new();
+        assert!(matches!(
+            m.run_dense(&prep, &mut [], 1000),
+            Err(IsaError::MaxSteps { limit: 1000 })
+        ));
+    }
+}

@@ -16,11 +16,13 @@
 //! hard-coding a speedup factor.
 
 mod asm;
+mod fastpath;
 mod inst;
 mod interp;
 pub mod verify;
 
 pub use asm::{assemble, AsmError};
+pub use fastpath::Prepared;
 pub use inst::{AluOp, FuseCond, Inst, JumpCond, Operand, Reg, NUM_REGS};
 pub use interp::{IsaError, Machine, RunStats, WramWatch};
 pub use verify::{error_count, verify as verify_program, Diagnostic, Rule, Severity, VerifySpec};

@@ -163,6 +163,27 @@ impl VerifySpec {
         self
     }
 
+    /// The declared WRAM frame size in bytes, if any.
+    pub fn wram_frame(&self) -> Option<usize> {
+        self.wram_frame
+    }
+
+    /// Registers declared as inputs with a *known constant* value, as
+    /// `(register, value)` pairs in register order. The fast path
+    /// ([`crate::isa::Prepared`]) re-checks these at entry: the verifier's
+    /// address proofs assume them, so a run that starts from different
+    /// constants must take the checked interpreter instead.
+    pub fn known_inputs(&self) -> Vec<(Reg, u32)> {
+        self.inputs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                Some(Some(v)) => Some((Reg(i as u8), *v)),
+                _ => None,
+            })
+            .collect()
+    }
+
     fn input_mask(&self) -> u32 {
         let mut m = 0u32;
         for (i, slot) in self.inputs.iter().enumerate() {

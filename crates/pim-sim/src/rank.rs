@@ -107,12 +107,32 @@ impl Rank {
     /// boot command) and wait for all of them: returns the rank barrier
     /// time — the *maximum* DPU cycle count — plus per-DPU aggregates.
     ///
+    /// Sequential form of [`Rank::launch_threads`] — see it for the fault
+    /// semantics.
+    pub fn launch(&mut self, kernel: &dyn Kernel) -> Result<RankRun, SimError> {
+        self.launch_threads(kernel, 1)
+    }
+
+    /// [`Rank::launch`] with the rank's DPUs executed on up to `threads`
+    /// worker threads (the intra-rank pool; `<= 1` runs inline). The
+    /// outcome is bit-identical to the sequential launch: fault draws are
+    /// pure functions of `(seed, rank, dpu, launch)` taken *before* the
+    /// DPUs run, and per-DPU stats are absorbed in DPU-index order after
+    /// all of them finish.
+    ///
     /// Fault semantics: a dead rank returns [`SimError::RankFailed`];
     /// per-DPU launch faults skip the DPU and report it in
     /// [`RankRun::faulted`] (mirroring the SDK's per-DPU fault status —
-    /// surviving DPUs still produce results); armed readback corruption is
-    /// installed on the affected DPU's MRAM after its kernel ran.
-    pub fn launch(&mut self, kernel: &dyn Kernel) -> Result<RankRun, SimError> {
+    /// surviving DPUs still produce results); a kernel error on one DPU no
+    /// longer aborts the launch — the error lands in [`RankRun::errors`]
+    /// and every other DPU's results and stats survive; armed readback
+    /// corruption is installed on the affected DPU's MRAM after its
+    /// kernel ran.
+    pub fn launch_threads(
+        &mut self,
+        kernel: &dyn Kernel,
+        threads: usize,
+    ) -> Result<RankRun, SimError> {
         if self.fault.is_dead() {
             return Err(SimError::RankFailed {
                 rank: self.fault.rank,
@@ -128,23 +148,70 @@ impl Rank {
             std::thread::sleep(std::time::Duration::from_secs_f64(hold));
         }
         let probabilistic = self.fault.active();
-        let mut agg = AggregateStats::default();
         let mut faulted = Vec::new();
+        // Draw launch faults up front (pure per-DPU draws — order-free)
+        // and collect the DPUs that will actually run.
+        let fault = &self.fault;
+        let mut running: Vec<(usize, &mut Dpu)> = Vec::new();
         for (d, dpu) in self.dpus.iter_mut().enumerate() {
-            if self.fault.is_disabled(d) {
+            if fault.is_disabled(d) {
                 continue;
             }
-            if probabilistic && self.fault.launch_fault(d) {
+            if probabilistic && fault.launch_fault(d) {
                 faulted.push(d);
                 continue;
             }
             dpu.reset_for_launch();
-            kernel.run(dpu)?;
-            agg.add(&dpu.stats);
-            if probabilistic {
-                if let Some(seed) = self.fault.corruption(d) {
-                    dpu.mram.arm_corruption(seed);
+            running.push((d, dpu));
+        }
+        let workers = threads.max(1).min(running.len().max(1));
+        let results: Vec<(usize, Result<(), SimError>)> = if workers <= 1 {
+            running
+                .iter_mut()
+                .map(|(d, dpu)| (*d, kernel.run(dpu)))
+                .collect()
+        } else {
+            let per = running.len().div_ceil(workers);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = running
+                    .chunks_mut(per)
+                    .map(|chunk| {
+                        s.spawn(move || {
+                            chunk
+                                .iter_mut()
+                                .map(|(d, dpu)| (*d, kernel.run(dpu)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| {
+                        // Re-raise a worker panic with its payload so the
+                        // dispatch layer's catch_unwind sees the original.
+                        h.join().unwrap_or_else(|p| std::panic::resume_unwind(p))
+                    })
+                    .collect()
+            })
+        };
+        drop(running);
+        // Absorb in DPU-index order (the chunks preserve it), so the
+        // aggregate's min/max/f64 accumulation is bit-identical to the
+        // sequential launch.
+        let mut agg = AggregateStats::default();
+        let mut errors = Vec::new();
+        for (d, res) in results {
+            match res {
+                Ok(()) => {
+                    let dpu = &mut self.dpus[d];
+                    agg.add(&dpu.stats);
+                    if probabilistic {
+                        if let Some(seed) = self.fault.corruption(d) {
+                            dpu.mram.arm_corruption(seed);
+                        }
+                    }
                 }
+                Err(e) => errors.push((d, e)),
             }
         }
         let barrier_cycles = (agg.max_cycles as f64 * self.fault.slowdown()).round() as Cycles;
@@ -152,6 +219,7 @@ impl Rank {
             barrier_cycles,
             stats: agg,
             faulted,
+            errors,
         })
     }
 }
@@ -166,6 +234,11 @@ pub struct RankRun {
     pub stats: AggregateStats,
     /// DPUs that faulted at launch and ran nothing (fault injection).
     pub faulted: Vec<usize>,
+    /// DPUs whose kernel returned an error, with the error. The launch
+    /// itself still succeeds: every other DPU's results and stats are
+    /// intact (previously the first error aborted the rank and discarded
+    /// the stats of DPUs already executed).
+    pub errors: Vec<(usize, SimError)>,
 }
 
 #[cfg(test)]
@@ -331,5 +404,98 @@ mod tests {
         // A fresh image upload disarms.
         rank.dpu_mut(0).unwrap().mram.host_write(0, &[1]).unwrap();
         assert!(!rank.dpu(0).unwrap().mram.corruption_armed());
+    }
+
+    /// Kernel that errors on DPUs whose MRAM byte 0 is zero and spins
+    /// otherwise — for the partial-failure launch semantics.
+    struct FussyKernel;
+
+    impl Kernel for FussyKernel {
+        fn run(&self, dpu: &mut Dpu) -> Result<(), SimError> {
+            let n = u64::from(dpu.mram.host_read(0, 1)?[0]);
+            if n == 0 {
+                return Err(SimError::KernelFault {
+                    code: 7,
+                    message: "zero workload".into(),
+                });
+            }
+            let mut t = Timeline::default();
+            t.sequential(
+                &dpu.cfg,
+                1,
+                PhaseCost {
+                    instructions: n * 100,
+                    dma_cycles: 0,
+                },
+            );
+            dpu.record_timelines(&[t]);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn kernel_error_no_longer_discards_other_dpus_stats() {
+        // DPU 2 errors mid-rank; DPUs 0, 1, 3 already/subsequently ran and
+        // their stats must survive in the launch outcome.
+        let mut rank = Rank::new(DpuConfig::default(), 4);
+        for (i, load) in [3u8, 1, 0, 2].iter().enumerate() {
+            rank.dpu_mut(i)
+                .unwrap()
+                .mram
+                .host_write(0, &[*load])
+                .unwrap();
+        }
+        let run = rank.launch(&FussyKernel).unwrap();
+        assert_eq!(run.errors.len(), 1);
+        assert_eq!(run.errors[0].0, 2);
+        assert!(matches!(run.errors[0].1, SimError::KernelFault { .. }));
+        assert_eq!(run.stats.dpus, 3, "survivors' stats are kept");
+        assert_eq!(run.barrier_cycles, 3 * 100 * 11);
+        assert_eq!(run.stats.min_cycles, 100 * 11);
+    }
+
+    #[test]
+    fn parallel_launch_matches_sequential_bit_for_bit() {
+        // Same topology + fault plan, threads 1 vs 4 (and a non-dividing
+        // 3): everything observable must be identical — fault draws,
+        // errors, aggregates, barrier, MRAM corruption arming.
+        let plan = FaultPlan {
+            seed: 1234,
+            dpu_fault_rate: 0.25,
+            corrupt_rate: 0.3,
+            disabled_dpus: vec![(0, 5)],
+            ..Default::default()
+        };
+        let build = || {
+            let mut r = Rank::with_faults(DpuConfig::default(), 16, plan.rank_state(0, 16));
+            for d in 0..16 {
+                let load = [3u8, 1, 0, 2, 5][d % 5];
+                if let Ok(dpu) = r.dpu_mut(d) {
+                    dpu.mram.host_write(0, &[load]).unwrap();
+                }
+            }
+            r
+        };
+        for threads in [3usize, 4, 16] {
+            let mut seq = build();
+            let mut par = build();
+            for _ in 0..4 {
+                let a = seq.launch_threads(&FussyKernel, 1).unwrap();
+                let b = par.launch_threads(&FussyKernel, threads).unwrap();
+                assert_eq!(a.barrier_cycles, b.barrier_cycles);
+                assert_eq!(a.faulted, b.faulted);
+                assert_eq!(a.errors, b.errors);
+                assert_eq!(a.stats.dpus, b.stats.dpus);
+                assert_eq!(a.stats.min_cycles, b.stats.min_cycles);
+                assert_eq!(a.stats.max_cycles, b.stats.max_cycles);
+                assert_eq!(a.stats.total, b.stats.total, "summed counters match");
+                for d in 0..16 {
+                    let (sa, sb) = (seq.dpus[d].mram.corruption_armed(), {
+                        par.dpus[d].mram.corruption_armed()
+                    });
+                    assert_eq!(sa, sb, "corruption arming differs on dpu {d}");
+                }
+            }
+        }
     }
 }
