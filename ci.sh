@@ -17,10 +17,14 @@ echo "==> upmem-nw lint"
 cargo run --release -q -p upmem-nw-cli --bin upmem-nw -- lint
 
 # Fault-injection smoke: a seeded chaos plan (dead rank, disabled DPUs,
-# launch faults, corruption) must lose zero jobs and keep every score
-# identical to the fault-free reference — the command exits nonzero otherwise.
-echo "==> upmem-nw chaos --seed 42"
-cargo run --release -q -p upmem-nw-cli --bin upmem-nw -- chaos --seed 42
+# launch faults, corruption, tasklet livelocks reaped by the cycle-budget
+# watchdog, and silent CIGAR corruption only the result audit can catch)
+# must lose zero jobs and keep every score identical to the fault-free
+# reference — the command exits nonzero otherwise, including when a silent
+# corruption escapes the audit layer.
+echo "==> upmem-nw chaos --seed 42 --hang-faults 0.1 --corrupt-cigars 0.1"
+cargo run --release -q -p upmem-nw-cli --bin upmem-nw -- chaos --seed 42 \
+    --hang-faults 0.1 --corrupt-cigars 0.1 --watchdog-cycles 100000000
 
 # Dispatch-engine smoke: run the host-throughput benchmark at smoke scale
 # (lockstep vs pipelined, with and without an injected straggler). The
@@ -40,11 +44,28 @@ with open(sys.argv[1]) as f:
     bench = json.load(f)
 
 for key in ["bench", "pairs", "ranks", "dpus_per_rank", "rounds", "fifo_depth",
-            "seed", "straggler", "lockstep", "pipelined", "no_fault",
+            "seed", "straggler", "lockstep", "pipelined", "no_fault", "guard",
             "speedup_host_wall", "bit_identical"]:
     assert key in bench, f"missing top-level key {key!r}"
 assert bench["bench"] == "dispatch"
 assert bench["bit_identical"] is True, "engines must agree bit-for-bit"
+
+# Robustness-guard overhead: the watchdog budget plus the per-result audit
+# must be ~free on a clean run — under 3% of the unguarded best-of host
+# wall, with a small absolute floor so timer noise on a fast smoke run
+# cannot flake the gate.
+guard = bench["guard"]
+for key in ["watchdog_cycles", "audit", "reps", "clean_host_wall_seconds",
+            "guarded_host_wall_seconds", "overhead_fraction", "audited",
+            "bit_identical"]:
+    assert key in guard, f"missing guard key {key!r}"
+assert guard["audit"] is True and guard["watchdog_cycles"] > 0
+assert guard["bit_identical"] is True, "guards must not change results"
+assert guard["audited"] == bench["pairs"], "every result must be audited"
+c = guard["clean_host_wall_seconds"]
+g = guard["guarded_host_wall_seconds"]
+assert (g - c) < max(0.03 * c, 0.002), \
+    f"watchdog+audit overhead too high: clean {c:.4f}s vs guarded {g:.4f}s"
 for run in [bench["lockstep"], bench["pipelined"],
             bench["no_fault"]["lockstep"], bench["no_fault"]["pipelined"]]:
     for key in ["host_wall_seconds", "simulated_seconds", "pairs_per_second"]:
@@ -56,7 +77,8 @@ for key in ["per_rank_stall_seconds", "per_rank_busy_seconds", "max_fifo_occupan
             "buffers_reused", "buffers_allocated"]:
     assert key in bench["pipelined"]["stall"], f"missing stall key {key!r}"
 print(f"BENCH_dispatch.json OK: straggler speedup {bench['speedup_host_wall']:.2f}x, "
-      f"no-fault speedup {bench['no_fault']['speedup_host_wall']:.2f}x")
+      f"no-fault speedup {bench['no_fault']['speedup_host_wall']:.2f}x, "
+      f"guard overhead {100.0 * guard['overhead_fraction']:.2f}%")
 EOF
 
 # Simulator-throughput smoke: interpreter checked-vs-fast plus rank-level
@@ -104,5 +126,11 @@ EOF
 echo "==> intra-rank equivalence tests"
 cargo test --release -q -p pim-sim parallel_launch_matches_sequential_bit_for_bit -- --nocapture
 cargo test --release -q -p pim-host --test pipeline_equivalence parallel_intra_rank_is_bit_identical_under_fault_plans -- --nocapture
+
+# Hang + silent-corruption equivalence: both recovery engines must deliver
+# the fault-free answers under livelocks and checksum-valid CIGAR
+# corruption, and the lockstep fault accounting must replay bit-identically.
+echo "==> hang/silent-corruption recovery equivalence"
+cargo test --release -q -p pim-host --test pipeline_equivalence engines_survive_hangs_and_silent_corruption_with_audited_results -- --nocapture
 
 echo "CI OK"

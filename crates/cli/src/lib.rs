@@ -12,8 +12,9 @@
 //! * `generate` — write any of the paper's five datasets as FASTA.
 //! * `chaos` — fault-injection smoke test: align synthetic pairs on a
 //!   server with a seeded fault plan through the fault-tolerant
-//!   dispatcher, and fail unless every job completes with the score the
-//!   fault-free CPU reference produces.
+//!   dispatcher, and fail unless every job completes with the score *and
+//!   CIGAR* the fault-free CPU reference produces (a score-only oracle
+//!   would miss silently corrupted CIGARs).
 //! * `info` — print the simulated server topology.
 //! * `lint` — statically verify the built-in DPU inner-loop kernels
 //!   (control flow, register def-use, WRAM address analysis) and run them
@@ -137,6 +138,7 @@ pub fn cmd_align(
     fifo_depth: usize,
     sync_dispatch: bool,
     sim_threads: usize,
+    audit: bool,
 ) -> Result<String, CliError> {
     let a_recs = read_fasta(a_path)?;
     let b_recs = read_fasta(b_path)?;
@@ -148,6 +150,7 @@ pub fn cmd_align(
         )));
     }
     let scheme = ScoringScheme::default();
+    let mut audit_note: Option<String> = None;
     let mut out = String::from("#name_a\tname_b\tscore\tcigar\tidentity\n");
     let mut emit = |ra: &Record, rb: &Record, aln: &Alignment| {
         let _ = writeln!(
@@ -176,14 +179,28 @@ pub fn cmd_align(
             let mut cfg = DispatchConfig::new(NwKernel::paper_default(), params);
             cfg.engine = engine_from_flags(fifo_depth, sync_dispatch);
             cfg.sim_threads = sim_threads;
-            let (_report, results) = align_pairs(&mut server, &cfg, &pairs)
+            cfg.audit = audit;
+            let (report, results) = align_pairs(&mut server, &cfg, &pairs)
                 .map_err(|e| CliError::Align(e.to_string()))?;
+            if audit && report.fault.audit_failures > 0 {
+                return Err(CliError::Align(format!(
+                    "audit rejected {} of {} results: a returned CIGAR \
+                     disagrees with its sequences or score",
+                    report.fault.audit_failures, report.fault.audit_checked
+                )));
+            }
             for ((ra, rb), r) in a_recs.iter().zip(&b_recs).zip(results) {
                 let aln = Alignment {
                     score: r.score,
                     cigar: r.cigar,
                 };
                 emit(ra, rb, &aln);
+            }
+            if audit {
+                audit_note = Some(format!(
+                    "# audited {} results, 0 failed",
+                    report.fault.audit_checked
+                ));
             }
         }
         _ => {
@@ -215,6 +232,9 @@ pub fn cmd_align(
                 emit(ra, rb, &aln);
             }
         }
+    }
+    if let Some(note) = audit_note {
+        let _ = writeln!(out, "{note}");
     }
     Ok(out)
 }
@@ -400,6 +420,21 @@ pub struct ChaosOpts {
     pub dpu_fault_rate: f64,
     /// Per-readback corruption probability.
     pub corrupt_rate: f64,
+    /// Per-launch tasklet-livelock probability (`--hang-faults`): the DPU
+    /// spins until the cycle-budget watchdog reaps it.
+    pub hang_rate: f64,
+    /// Per-launch silent CIGAR corruption probability
+    /// (`--corrupt-cigars`): a result payload is mutated and its checksum
+    /// recomputed, so only the host audit can catch it.
+    pub silent_corrupt_rate: f64,
+    /// Per-launch DPU cycle budget (`--watchdog-cycles`; 0 disables the
+    /// watchdog, leaving hung DPUs to the wall-clock deadline).
+    pub watchdog_cycles: u64,
+    /// Wall-clock deadline on rank execution, seconds (0 disables).
+    pub deadline_seconds: f64,
+    /// Audit every returned alignment against its sequences and recomputed
+    /// score (on by default — the only defense against silent corruption).
+    pub audit: bool,
     /// DPUs masked out at boot.
     pub disabled: usize,
     /// Total PiM attempts per job before CPU fallback.
@@ -425,6 +460,11 @@ impl Default for ChaosOpts {
             band: 128,
             dpu_fault_rate: 0.15,
             corrupt_rate: 0.1,
+            hang_rate: 0.1,
+            silent_corrupt_rate: 0.1,
+            watchdog_cycles: 100_000_000,
+            deadline_seconds: 10.0,
+            audit: true,
             disabled: 2,
             retries: 3,
             quarantine: 2,
@@ -457,7 +497,10 @@ pub fn cmd_chaos(opts: &ChaosOpts) -> Result<String, CliError> {
         opts.disabled,
         opts.dpu_fault_rate,
         opts.corrupt_rate,
+        opts.hang_rate,
+        opts.silent_corrupt_rate,
     );
+    server_cfg.dpu.watchdog_cycles = opts.watchdog_cycles;
     let plan = server_cfg.fault.clone();
     let mut server = PimServer::new(server_cfg);
 
@@ -472,6 +515,8 @@ pub fn cmd_chaos(opts: &ChaosOpts) -> Result<String, CliError> {
     let rcfg = RecoveryConfig {
         max_attempts: opts.retries.max(1),
         quarantine_after: opts.quarantine.max(1),
+        rank_deadline_seconds: opts.deadline_seconds,
+        audit: opts.audit,
         ..RecoveryConfig::default()
     };
     let (report, results) = align_pairs_recovering(&mut server, &cfg, &rcfg, &pairs)
@@ -479,7 +524,9 @@ pub fn cmd_chaos(opts: &ChaosOpts) -> Result<String, CliError> {
 
     let mut out = format!(
         "chaos: {} pairs on {} ranks x {} DPUs (seed {})\n\
-         plan: {} disabled, dead ranks {:?}, fault rate {}, corrupt rate {}\n\
+         plan: {} disabled, dead ranks {:?}, fault rate {}, corrupt rate {}, \
+         hang rate {}, silent corrupt rate {}\n\
+         guard: watchdog {} cycles, deadline {}s, audit {}\n\
          {}\n{}\n",
         pairs.len(),
         ranks,
@@ -489,9 +536,22 @@ pub fn cmd_chaos(opts: &ChaosOpts) -> Result<String, CliError> {
         plan.dead_ranks,
         plan.dpu_fault_rate,
         plan.corrupt_rate,
+        plan.hang_rate,
+        plan.silent_corrupt_rate,
+        opts.watchdog_cycles,
+        opts.deadline_seconds,
+        if opts.audit { "on" } else { "off" },
         report.summary(),
         report.fault.summary(),
     );
+
+    if opts.audit && report.fault.silent_corruptions > 0 && report.fault.audit_failures == 0 {
+        return Err(CliError::Align(format!(
+            "{} silent corruptions were injected but the audit rejected \
+             nothing — wrong results escaped\n{out}",
+            report.fault.silent_corruptions
+        )));
+    }
 
     if results.len() != pairs.len() {
         return Err(CliError::Align(format!(
@@ -504,7 +564,12 @@ pub fn cmd_chaos(opts: &ChaosOpts) -> Result<String, CliError> {
     let mut mismatches = 0usize;
     for (k, ((a, b), got)) in pairs.iter().zip(&results).enumerate() {
         let ok = match aligner.align(a, b) {
-            Ok(aln) => got.status == JobStatus::Ok && got.score == aln.score,
+            // Compare the CIGAR too: silent corruption mutates the runs
+            // while leaving the score field intact, so a score-only oracle
+            // would let an escaped corruption pass.
+            Ok(aln) => {
+                got.status == JobStatus::Ok && got.score == aln.score && got.cigar == aln.cigar
+            }
             Err(_) => got.status != JobStatus::Ok,
         };
         if !ok {
@@ -596,9 +661,24 @@ fn bench_run(
     opts: &BenchOpts,
     pairs: &[(DnaSeq, DnaSeq)],
 ) -> Result<BenchRun, CliError> {
+    bench_run_guarded(engine, fault, opts, pairs, 0, false)
+}
+
+/// [`bench_run`] with the robustness guards dialed in: a per-launch DPU
+/// cycle-budget watchdog and the host-side result audit. The bench's guard
+/// condition measures their overhead on a clean run.
+fn bench_run_guarded(
+    engine: Engine,
+    fault: FaultPlan,
+    opts: &BenchOpts,
+    pairs: &[(DnaSeq, DnaSeq)],
+    watchdog_cycles: u64,
+    audit: bool,
+) -> Result<BenchRun, CliError> {
     let mut server_cfg = ServerConfig::with_ranks(opts.ranks.max(1));
     server_cfg.dpus_per_rank = opts.dpus.max(1);
     server_cfg.fault = fault;
+    server_cfg.dpu.watchdog_cycles = watchdog_cycles;
     let mut server = PimServer::new(server_cfg);
     let params = KernelParams {
         band: opts.band.next_multiple_of(16).max(16),
@@ -609,6 +689,7 @@ fn bench_run(
     cfg.rounds = opts.rounds.max(1);
     cfg.engine = engine;
     cfg.sim_threads = opts.sim_threads;
+    cfg.audit = audit;
     let t0 = std::time::Instant::now();
     let (report, results) =
         align_pairs(&mut server, &cfg, pairs).map_err(|e| CliError::Align(e.to_string()))?;
@@ -711,7 +792,35 @@ pub fn cmd_bench(opts: &BenchOpts) -> Result<String, CliError> {
     let lock_c = bench_run(Engine::Lockstep, FaultPlan::default(), &opts, &pairs)?;
     let pipe_c = bench_run(pipelined, FaultPlan::default(), &opts, &pairs)?;
 
-    let identical = bit_identical(&lock_s, &pipe_s) && bit_identical(&lock_c, &pipe_c);
+    // Guard condition: the watchdog budget plus the per-result audit on a
+    // clean pipelined run, best-of-N host wall against an unguarded
+    // best-of-N, so CI can assert the robustness machinery is ~free when
+    // nothing faults. Outputs must stay bit-identical.
+    const GUARD_WATCHDOG_CYCLES: u64 = 100_000_000;
+    const GUARD_REPS: usize = 3;
+    let mut clean_best = f64::INFINITY;
+    let mut guarded_best = f64::INFINITY;
+    let mut guards_identical = true;
+    let mut guarded_audited = 0usize;
+    for _ in 0..GUARD_REPS {
+        let c = bench_run(pipelined, FaultPlan::default(), &opts, &pairs)?;
+        clean_best = clean_best.min(c.host_wall_seconds);
+        let g = bench_run_guarded(
+            pipelined,
+            FaultPlan::default(),
+            &opts,
+            &pairs,
+            GUARD_WATCHDOG_CYCLES,
+            true,
+        )?;
+        guarded_best = guarded_best.min(g.host_wall_seconds);
+        guards_identical &= bit_identical(&pipe_c, &g);
+        guarded_audited = g.report.fault.audit_checked;
+    }
+    let guard_overhead = (guarded_best - clean_best) / clean_best.max(1e-12);
+
+    let identical =
+        bit_identical(&lock_s, &pipe_s) && bit_identical(&lock_c, &pipe_c) && guards_identical;
     let speedup = lock_s.host_wall_seconds / pipe_s.host_wall_seconds.max(1e-12);
     let speedup_clean = lock_c.host_wall_seconds / pipe_c.host_wall_seconds.max(1e-12);
 
@@ -721,6 +830,9 @@ pub fn cmd_bench(opts: &BenchOpts) -> Result<String, CliError> {
          \"straggler\": {{\"rank\": 0, \"slowdown\": 2.0, \"hold_ms\": {}}},\n  \
          \"lockstep\": {},\n  \"pipelined\": {},\n  \
          \"no_fault\": {{\"lockstep\": {}, \"pipelined\": {}, \"speedup_host_wall\": {}}},\n  \
+         \"guard\": {{\"watchdog_cycles\": {}, \"audit\": true, \"reps\": {}, \
+         \"clean_host_wall_seconds\": {}, \"guarded_host_wall_seconds\": {}, \
+         \"overhead_fraction\": {}, \"audited\": {}, \"bit_identical\": {}}},\n  \
          \"speedup_host_wall\": {},\n  \"bit_identical\": {}\n}}\n",
         opts.pairs,
         opts.ranks.max(1),
@@ -734,6 +846,13 @@ pub fn cmd_bench(opts: &BenchOpts) -> Result<String, CliError> {
         run_json(&lock_c, opts.pairs),
         run_json(&pipe_c, opts.pairs),
         jf(speedup_clean),
+        GUARD_WATCHDOG_CYCLES,
+        GUARD_REPS,
+        jf(clean_best),
+        jf(guarded_best),
+        jf(guard_overhead),
+        guarded_audited,
+        guards_identical,
         jf(speedup),
         identical,
     );
@@ -764,6 +883,16 @@ pub fn cmd_bench(opts: &BenchOpts) -> Result<String, CliError> {
         lock_c.host_wall_seconds,
         pipe_c.host_wall_seconds,
         speedup_clean,
+    );
+    let _ = writeln!(
+        out,
+        "guard (watchdog {} cycles + audit, best of {}): clean {:.4}s, \
+         guarded {:.4}s -> overhead {:.2}%",
+        GUARD_WATCHDOG_CYCLES,
+        GUARD_REPS,
+        clean_best,
+        guarded_best,
+        100.0 * guard_overhead,
     );
     if let Some(p) = &pipe_s.report.pipeline {
         let _ = writeln!(out, "{}", p.summary());
@@ -1105,7 +1234,7 @@ mod tests {
             Algo::Exact,
             Algo::Pim,
         ] {
-            let tsv = cmd_align(&a, &b, algo, 16, 1, 2, false, 0).unwrap();
+            let tsv = cmd_align(&a, &b, algo, 16, 1, 2, false, 0, false).unwrap();
             let lines: Vec<&str> = tsv.lines().skip(1).collect();
             assert_eq!(lines.len(), 2, "{algo:?}");
             let score: i32 = lines[0].split('\t').nth(2).unwrap().parse().unwrap();
@@ -1123,7 +1252,7 @@ mod tests {
         let a = write_temp("c.fa", ">r0\nACGT\n");
         let b = write_temp("d.fa", ">s0\nACGT\n>s1\nACGT\n");
         assert!(matches!(
-            cmd_align(&a, &b, Algo::Exact, 16, 1, 2, false, 0),
+            cmd_align(&a, &b, Algo::Exact, 16, 1, 2, false, 0, false),
             Err(CliError::Usage(_))
         ));
         std::fs::remove_file(a).ok();
@@ -1213,6 +1342,8 @@ mod tests {
             dpus: 2,
             dpu_fault_rate: 0.0,
             corrupt_rate: 0.0,
+            hang_rate: 0.0,
+            silent_corrupt_rate: 0.0,
             disabled: 0,
             ..ChaosOpts::default()
         };
@@ -1221,6 +1352,9 @@ mod tests {
             out.contains("0 retries, 0 quarantined, 0 dead ranks, 0 cpu fallbacks"),
             "{out}"
         );
+        // The audit still ran (it is on by default) but a clean audited
+        // run must not dirty the report.
+        assert!(out.contains("audited"), "{out}");
     }
 
     #[test]
@@ -1232,6 +1366,8 @@ mod tests {
                 dpus: 2,
                 dpu_fault_rate: 0.0,
                 corrupt_rate: 0.0,
+                hang_rate: 0.0,
+                silent_corrupt_rate: 0.0,
                 disabled: 0,
                 sync_dispatch,
                 ..ChaosOpts::default()
@@ -1242,6 +1378,42 @@ mod tests {
                 "sync={sync_dispatch}: {out}"
             );
         }
+    }
+
+    #[test]
+    fn chaos_audit_is_load_bearing_against_silent_corruption() {
+        // Silent CIGAR corruption only (checksums recomputed): with the
+        // audit disabled the wrong CIGARs reach the caller and the
+        // reference comparison must fail the command; with it enabled the
+        // corrupted results are retried and everything matches.
+        let opts = ChaosOpts {
+            seed: 7,
+            pairs: 12,
+            ranks: 2,
+            dpus: 4,
+            dpu_fault_rate: 0.0,
+            corrupt_rate: 0.0,
+            hang_rate: 0.0,
+            silent_corrupt_rate: 0.3,
+            disabled: 0,
+            audit: false,
+            ..ChaosOpts::default()
+        };
+        let err = cmd_chaos(&opts).expect_err("escaped corruption must fail");
+        assert!(
+            err.to_string()
+                .contains("differ from the fault-free reference"),
+            "{err}"
+        );
+        let audited = ChaosOpts {
+            audit: true,
+            ..opts
+        };
+        let out = cmd_chaos(&audited).expect("the audit must catch and retry");
+        assert!(
+            out.contains("all 12 results match the fault-free reference"),
+            "{out}"
+        );
     }
 
     #[test]

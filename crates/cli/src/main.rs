@@ -3,12 +3,14 @@
 //! ```text
 //! upmem-nw align  --a reads_a.fa --b reads_b.fa [--algo adaptive|static|wfa|exact|pim]
 //!                 [--band 128] [--ranks 4] [--fifo-depth 2] [--sync-dispatch true]
-//!                 [--sim-threads 0] [--out results.tsv]
+//!                 [--sim-threads 0] [--audit true] [--out results.tsv]
 //! upmem-nw matrix --in seqs.fa [--band 128] [--ranks 4] [--out matrix.tsv]
 //! upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N
 //!                 [--seed S] [--out data.fa]
 //! upmem-nw chaos  [--seed 42] [--pairs 24] [--ranks 2] [--dpus 8] [--band 128]
 //!                 [--dpu-fault-rate 0.15] [--corrupt-rate 0.1] [--disabled 2]
+//!                 [--hang-faults 0.1] [--corrupt-cigars 0.1]
+//!                 [--watchdog-cycles 100000000] [--deadline 10] [--audit false]
 //!                 [--retries 3] [--quarantine 2] [--fifo-depth 2] [--sync-dispatch true]
 //!                 [--sim-threads 0]
 //! upmem-nw bench  [--pairs 48] [--ranks 4] [--dpus 4] [--rounds 6] [--band 64]
@@ -28,7 +30,7 @@ use upmem_nw_cli::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw chaos [--seed S] [--pairs N] [--ranks N] [--dpus N] [--band N] [--dpu-fault-rate P] [--corrupt-rate P] [--disabled N] [--retries N] [--quarantine N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N]\n  upmem-nw bench [--pairs N] [--ranks N] [--dpus N] [--rounds N] [--band N] [--fifo-depth N] [--seed S] [--straggler-hold-ms MS] [--smoke true] [--sim true] [--sim-threads N] [--json file]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true]"
+        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--audit true] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw chaos [--seed S] [--pairs N] [--ranks N] [--dpus N] [--band N] [--dpu-fault-rate P] [--corrupt-rate P] [--hang-faults P] [--corrupt-cigars P] [--watchdog-cycles N] [--deadline SECS] [--audit false] [--disabled N] [--retries N] [--quarantine N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N]\n  upmem-nw bench [--pairs N] [--ranks N] [--dpus N] [--rounds N] [--band N] [--fifo-depth N] [--seed S] [--straggler-hold-ms MS] [--smoke true] [--sim true] [--sim-threads N] [--json file]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true]"
     );
     std::process::exit(2)
 }
@@ -84,6 +86,7 @@ fn run() -> Result<String, CliError> {
                 fifo_depth,
                 sync_dispatch,
                 sim_threads,
+                get("audit").is_some_and(|v| v == "true"),
             )?
         }
         "matrix" => {
@@ -122,6 +125,13 @@ fn run() -> Result<String, CliError> {
                 band: uint("band", defaults.band),
                 dpu_fault_rate: rate("dpu-fault-rate", defaults.dpu_fault_rate),
                 corrupt_rate: rate("corrupt-rate", defaults.corrupt_rate),
+                hang_rate: rate("hang-faults", defaults.hang_rate),
+                silent_corrupt_rate: rate("corrupt-cigars", defaults.silent_corrupt_rate),
+                watchdog_cycles: get("watchdog-cycles")
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(defaults.watchdog_cycles),
+                deadline_seconds: rate("deadline", defaults.deadline_seconds),
+                audit: get("audit").map(|v| v == "true").unwrap_or(defaults.audit),
                 disabled: uint("disabled", defaults.disabled),
                 retries: uint("retries", defaults.retries),
                 quarantine: uint("quarantine", defaults.quarantine),

@@ -18,7 +18,9 @@
 //! hard-coded factor.
 
 use crate::cost::KernelVariant;
-use pim_sim::isa::{assemble, Inst, IsaError, Machine, Prepared, Reg, RunStats, VerifySpec};
+use pim_sim::isa::{
+    assemble, Inst, IsaError, Machine, Prepared, Reg, RunStats, VerifySpec, DEFAULT_MAX_STEPS,
+};
 use pim_sim::sanitizer::WramShadow;
 use std::sync::OnceLock;
 
@@ -401,8 +403,8 @@ pub fn bench_cells(
     let mut m = loop_machine(variant, cells);
     let prep = prepared(variant, with_bt);
     let stats = match mode {
-        InterpMode::Checked => m.run(prep.program(), &mut wram, 10_000_000)?,
-        InterpMode::Fast => m.run_prepared(prep, &mut wram, 10_000_000)?,
+        InterpMode::Checked => m.run(prep.program(), &mut wram, DEFAULT_MAX_STEPS)?,
+        InterpMode::Fast => m.run_prepared(prep, &mut wram, DEFAULT_MAX_STEPS)?,
     };
     Ok((stats, wram))
 }
@@ -477,9 +479,9 @@ fn run_measurement(
         }
         shadow.host_write(A_SEQ, seq_len);
         shadow.host_write(B_SEQ, seq_len);
-        m.run_sanitized(prep.program(), &mut wram, 10_000_000, &mut shadow, 0)?
+        m.run_sanitized(prep.program(), &mut wram, DEFAULT_MAX_STEPS, &mut shadow, 0)?
     } else {
-        m.run_prepared(prep, &mut wram, 10_000_000)?
+        m.run_prepared(prep, &mut wram, DEFAULT_MAX_STEPS)?
     };
     Ok(LoopMeasurement {
         instr_per_cell: stats.instructions as f64 / cells as f64,

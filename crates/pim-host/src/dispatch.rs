@@ -16,12 +16,21 @@
 use crate::balance::{lpt_assign, pair_workloads};
 use crate::pipeline::{BufferPool, PipelineMetrics};
 use crate::recovery::FaultReport;
-use dpu_kernel::layout::{JobBatch, JobBatchBuilder, JobResult, KernelParams, RawResult};
+use dpu_kernel::layout::{
+    result_checksum, JobBatch, JobBatchBuilder, JobResult, KernelParams, RawResult,
+    OUT_HEADER_BYTES,
+};
 use dpu_kernel::NwKernel;
 use nw_core::seq::PackedSeq;
 use pim_sim::rank::Rank;
 use pim_sim::stats::AggregateStats;
 use pim_sim::{PimServer, SimError};
+use std::time::{Duration, Instant};
+
+/// Host-side check applied to one decoded result: `audit(job_id, result)`
+/// is true when the result survives. Shared by the strict and recovering
+/// drivers; see [`crate::recovery::audit_ok`] for the canonical check.
+pub type AuditFn<'a> = &'a (dyn Fn(usize, &JobResult) -> bool + Sync);
 
 /// Which dispatch engine executes the planned rounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +75,12 @@ pub struct DispatchConfig {
     /// its DPUs — results are bit-identical at any setting (see
     /// [`pim_sim::rank::Rank::launch_threads`]).
     pub sim_threads: usize,
+    /// Audit every returned alignment on the host: `Cigar::validate`
+    /// against the original sequences plus score recomputation. Catches
+    /// payload corruption the wire checksum cannot (the checksum only
+    /// protects the readback path, not the payload's truth). Counts are
+    /// surfaced in the execution report's fault section.
+    pub audit: bool,
 }
 
 impl DispatchConfig {
@@ -78,6 +93,7 @@ impl DispatchConfig {
             encode_rate: 2.0e9,
             engine: Engine::default(),
             sim_threads: 0,
+            audit: false,
         }
     }
 }
@@ -172,8 +188,16 @@ impl DispatchOutcome {
         self.bytes_in += exec.bytes_in;
         self.bytes_out += exec.bytes_out;
         self.workload += exec.workload;
-        if exec.stats.dpus > 0 {
-            imbalances.push(exec.imbalance);
+        self.fault.silent_corruptions += exec.silent_corruptions as usize;
+        self.fault.audit_checked += exec.audit_checked as usize;
+        self.fault.audit_failures += exec.audit_failures as usize;
+        if exec.cancelled {
+            self.fault.deadline_cancellations += 1;
+        }
+        if exec.stats.dpus > 0 || exec.stats.watchdog_expired > 0 {
+            if exec.stats.dpus > 0 {
+                imbalances.push(exec.imbalance);
+            }
             merge_aggregate(&mut self.stats, &exec.stats);
         }
     }
@@ -290,6 +314,16 @@ pub struct RankExec {
     pub imbalance: f64,
     /// Eq.-6 workload dispatched to this rank.
     pub workload: u64,
+    /// Silent result corruptions applied to this rank's readback (fault
+    /// injection; payload mutated, checksum recomputed — only the host
+    /// audit can catch these).
+    pub silent_corruptions: u64,
+    /// True when the host's deadline watcher cancelled this launch.
+    pub cancelled: bool,
+    /// Results put through the host audit this round.
+    pub audit_checked: u64,
+    /// Results the audit rejected (requeued as failures).
+    pub audit_failures: u64,
 }
 
 /// One DPU's undecoded readback: raw result records pulled off MRAM on the
@@ -320,6 +354,8 @@ pub(crate) struct RawRankExec {
     pub(crate) stats: AggregateStats,
     pub(crate) imbalance: f64,
     pub(crate) workload: u64,
+    pub(crate) silent_corruptions: u64,
+    pub(crate) cancelled: bool,
 }
 
 /// One rank's round: transfer in, launch, raw collect. Always
@@ -419,6 +455,49 @@ pub(crate) fn exec_rank_raw(
             wasted_cycles: rank.dpu(d).map(|dpu| dpu.stats.cycles).unwrap_or(0),
         });
     }
+    exec.cancelled = run.cancelled;
+    // Injected silent corruption: mutate one CIGAR run of one result record
+    // and recompute the wire checksum, exactly as a DPU that *computed*
+    // wrong data would have written it. `Mram::patch` leaves the independent
+    // readback bit-flip fault model (armed corruption) undisturbed. Only
+    // the host-side audit can catch these.
+    for &(d, seed) in &run.silent_corrupt {
+        if skip[d] {
+            continue;
+        }
+        let Some(p) = &plan.dpus[d] else { continue };
+        if p.batch.out_offsets.is_empty() {
+            continue;
+        }
+        let (off, _) = p.batch.out_offsets[seed as usize % p.batch.out_offsets.len()];
+        let mram = &mut rank.dpu_mut(d)?.mram;
+        let head = mram.read_raw(off, OUT_HEADER_BYTES)?;
+        let word = |i: usize| u32::from_le_bytes(head[i..i + 4].try_into().unwrap());
+        let (status, score, runs) = (word(4), word(8), word(12) as usize);
+        if runs == 0 {
+            // Failed or score-only record: no CIGAR payload to corrupt.
+            continue;
+        }
+        let mut words: Vec<u32> = mram
+            .read_raw(off + OUT_HEADER_BYTES, runs * 4)?
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let victim = (seed >> 8) as usize % runs;
+        // Flip the op's low bit: `=`<->`X`, `I`<->`D`. Still a structurally
+        // valid CIGAR — decode succeeds, only validation against the
+        // sequences (or score recomputation) can tell it is wrong.
+        words[victim] ^= 1;
+        mram.patch(
+            off + OUT_HEADER_BYTES + 4 * victim,
+            &words[victim].to_le_bytes(),
+        )?;
+        mram.patch(
+            off + 0x10,
+            &result_checksum(status, score, &words).to_le_bytes(),
+        )?;
+        exec.silent_corruptions += 1;
+    }
     for (d, dpu_plan) in plan.dpus.iter_mut().enumerate() {
         let Some(p) = dpu_plan else { continue };
         if skip[d] {
@@ -453,6 +532,19 @@ pub(crate) fn exec_rank_raw(
 /// retried together and none of its bytes count as collected, matching the
 /// lockstep path's all-or-nothing `read_results`.
 pub(crate) fn decode_raw_exec(raw: RawRankExec, host_bw: f64) -> RankExec {
+    decode_raw_exec_audited(raw, host_bw, None)
+}
+
+/// [`decode_raw_exec`] with an optional host-side result audit. Jobs the
+/// audit rejects become a [`DpuFailure`] of their DPU (error
+/// [`SimError::ResultCorrupt`] with an `audit:` detail) so they ride the
+/// same recovery ladder as launch faults — retry, quarantine, CPU fallback
+/// — while the DPU's surviving jobs are kept.
+pub(crate) fn decode_raw_exec_audited(
+    raw: RawRankExec,
+    host_bw: f64,
+    audit: Option<AuditFn>,
+) -> RankExec {
     let mut exec = RankExec {
         rank: raw.rank,
         failures: raw.failures,
@@ -461,6 +553,8 @@ pub(crate) fn decode_raw_exec(raw: RawRankExec, host_bw: f64) -> RankExec {
         stats: raw.stats,
         imbalance: raw.imbalance,
         workload: raw.workload,
+        silent_corruptions: raw.silent_corruptions,
+        cancelled: raw.cancelled,
         ..Default::default()
     };
     for out in raw.outs {
@@ -482,7 +576,42 @@ pub(crate) fn decode_raw_exec(raw: RawRankExec, host_bw: f64) -> RankExec {
         match err {
             None => {
                 exec.bytes_out += bytes;
-                exec.results.extend(out.job_ids.into_iter().zip(decoded));
+                let Some(check) = audit else {
+                    exec.results.extend(out.job_ids.into_iter().zip(decoded));
+                    continue;
+                };
+                let mut rejected: Vec<usize> = Vec::new();
+                let mut bad_offset = 0usize;
+                for (j, (&id, jr)) in out.job_ids.iter().zip(&decoded).enumerate() {
+                    exec.audit_checked += 1;
+                    if !check(id, jr) {
+                        exec.audit_failures += 1;
+                        bad_offset = out.raw[j].offset;
+                        rejected.push(j);
+                    }
+                }
+                if rejected.is_empty() {
+                    exec.results.extend(out.job_ids.into_iter().zip(decoded));
+                } else {
+                    let mut bad_ids = Vec::with_capacity(rejected.len());
+                    for (j, (id, jr)) in out.job_ids.into_iter().zip(decoded).enumerate() {
+                        if rejected.contains(&j) {
+                            bad_ids.push(id);
+                        } else {
+                            exec.results.push((id, jr));
+                        }
+                    }
+                    exec.failures.push(DpuFailure {
+                        rank: raw.rank,
+                        dpu: out.dpu,
+                        job_ids: bad_ids,
+                        error: SimError::ResultCorrupt {
+                            offset: bad_offset,
+                            detail: "audit: CIGAR disagrees with its sequences or score",
+                        },
+                        wasted_cycles: out.cycles,
+                    });
+                }
             }
             Some(e) => exec.failures.push(DpuFailure {
                 rank: raw.rank,
@@ -498,6 +627,7 @@ pub(crate) fn decode_raw_exec(raw: RawRankExec, host_bw: f64) -> RankExec {
 }
 
 /// One rank's round, raw-collect and decode fused (the lockstep path).
+#[allow(clippy::too_many_arguments)]
 fn exec_rank(
     rank: &mut Rank,
     kernel: &NwKernel,
@@ -506,6 +636,7 @@ fn exec_rank(
     host_bw: f64,
     freq: f64,
     threads: usize,
+    audit: Option<AuditFn>,
 ) -> Result<RankExec, SimError> {
     let mut filler = None;
     let mut spent = Vec::new();
@@ -519,7 +650,7 @@ fn exec_rank(
         &mut filler,
         &mut spent,
     )?;
-    Ok(decode_raw_exec(raw, host_bw))
+    Ok(decode_raw_exec_audited(raw, host_bw, audit))
 }
 
 pub(crate) fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -543,12 +674,23 @@ pub(crate) fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
 ///
 /// `sim_threads` is the total simulator thread budget (`0` = available
 /// parallelism), divided evenly over the ranks for their intra-rank pools.
+///
+/// `deadline_seconds > 0` arms a wall-clock watchdog over the whole round:
+/// if any rank worker is still running that long after launch, every
+/// still-running rank's cancel token is set ([`Rank::cancel_token`]) —
+/// injected hangs and straggler holds break out of their waits, the launch
+/// returns with [`pim_sim::SimError::WatchdogExpired`] failures for the
+/// hung DPUs, and the driver still joins every worker (no wedge, no
+/// detached threads). `audit` is applied to every decoded result (see
+/// [`decode_raw_exec_audited`]).
 pub fn run_round(
     server: &mut PimServer,
     kernel: &NwKernel,
     round: Vec<RankPlan>,
     tolerant: bool,
     sim_threads: usize,
+    deadline_seconds: f64,
+    audit: Option<AuditFn>,
 ) -> Vec<Result<RankExec, SimError>> {
     let n_ranks = server.rank_count();
     assert_eq!(round.len(), n_ranks, "one plan per rank per round");
@@ -556,11 +698,38 @@ pub fn run_round(
     let freq = server.cfg().dpu.freq_hz;
     let pool = rank_pool(sim_threads, n_ranks);
     let ranks = server.ranks_mut();
+    let tokens: Vec<_> = ranks.iter().map(|rank| rank.cancel_token()).collect();
     let outcomes: Vec<Result<RankExec, SimError>> = std::thread::scope(|scope| {
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<usize>();
         let mut handles = Vec::with_capacity(n_ranks);
         for (r, (rank, plan)) in ranks.iter_mut().zip(round).enumerate() {
-            handles
-                .push(scope.spawn(move || exec_rank(rank, kernel, r, plan, host_bw, freq, pool)));
+            let done = done_tx.clone();
+            handles.push(scope.spawn(move || {
+                let exec = exec_rank(rank, kernel, r, plan, host_bw, freq, pool, audit);
+                let _ = done.send(r);
+                exec
+            }));
+        }
+        drop(done_tx);
+        if deadline_seconds > 0.0 {
+            let deadline = Instant::now() + Duration::from_secs_f64(deadline_seconds);
+            let mut live = n_ranks;
+            while live > 0 {
+                let left = deadline.saturating_duration_since(Instant::now());
+                match done_rx.recv_timeout(left) {
+                    Ok(_) => live -= 1,
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                        // Overdue: cancel every rank. Finished ranks ignore
+                        // the token (it is cleared at the next launch's
+                        // entry); hung ones break out of their waits.
+                        for t in &tokens {
+                            t.store(true, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        break;
+                    }
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
         }
         handles
             .into_iter()
@@ -630,7 +799,7 @@ pub fn execute_rounds_partial(
     let mut imbalances: Vec<f64> = Vec::new();
     let mut first_err = None;
     'rounds: for round in rounds {
-        for oc in run_round(server, kernel, round, false, sim_threads) {
+        for oc in run_round(server, kernel, round, false, sim_threads, 0.0, None) {
             match oc {
                 Ok(exec) => out.absorb(exec, &mut dpu_busy, &mut imbalances),
                 Err(e) => {
@@ -649,6 +818,13 @@ pub fn execute_rounds_partial(
 }
 
 fn merge_aggregate(dst: &mut AggregateStats, src: &AggregateStats) {
+    dst.watchdog_expired += src.watchdog_expired;
+    dst.runaway_cycles += src.runaway_cycles;
+    if src.dpus == 0 {
+        // Every DPU of this launch was reaped: there are no successful-DPU
+        // extremes to fold in, only the runaway accounting above.
+        return;
+    }
     dst.total.merge(&src.total);
     if dst.dpus == 0 {
         dst.min_cycles = src.min_cycles;

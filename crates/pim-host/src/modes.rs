@@ -39,6 +39,7 @@ fn run_engine(
             &PipelineOptions {
                 fifo_depth,
                 sim_threads: cfg.sim_threads,
+                ..Default::default()
             },
         ),
     }
@@ -91,6 +92,7 @@ pub fn align_pairs(
             let opts = PipelineOptions {
                 fifo_depth,
                 sim_threads: cfg.sim_threads,
+                ..Default::default()
             };
             execute_pipelined_with(server, &cfg.kernel, &opts, rounds_n, |k, r, pool| {
                 let ids = &groups[k * n_ranks + r];
@@ -101,7 +103,19 @@ pub fn align_pairs(
         }
     };
     let results = scatter(std::mem::take(&mut outcome.results), pairs.len());
-    let report = make_report("pairs", encode_seconds, &results, outcome);
+    let mut report = make_report("pairs", encode_seconds, &results, outcome);
+    if cfg.audit {
+        // Host-side end-to-end audit of the strict path: every returned
+        // alignment is validated against its sequences and rescored. On a
+        // healthy server this is a (counted) no-op; the counts make "zero
+        // wrong results delivered" checkable from the report.
+        for (pair, res) in packed.iter().zip(&results) {
+            report.fault.audit_checked += 1;
+            if !crate::recovery::audit_ok(pair, res, &cfg.params.scheme) {
+                report.fault.audit_failures += 1;
+            }
+        }
+    }
     Ok((report, results))
 }
 

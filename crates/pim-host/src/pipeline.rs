@@ -44,8 +44,10 @@ use pim_sim::rank::Rank;
 use pim_sim::{PimServer, SimError};
 use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for the pipelined engine.
 #[derive(Debug, Clone)]
@@ -60,6 +62,11 @@ pub struct PipelineOptions {
     /// DPU pool: each worker executes its rank's DPUs on
     /// `max(1, budget / ranks)` threads ([`Rank::launch_threads`]).
     pub sim_threads: usize,
+    /// Wall-clock deadline (seconds; 0 disables): when no batch completes
+    /// for this long while work is in flight, the driver sets every rank's
+    /// cancel token — hung launches break out of their waits and come back
+    /// as that batch's failure instead of wedging the driver in `recv`.
+    pub deadline_seconds: f64,
 }
 
 impl Default for PipelineOptions {
@@ -67,6 +74,7 @@ impl Default for PipelineOptions {
         Self {
             fifo_depth: 2,
             sim_threads: 0,
+            deadline_seconds: 0.0,
         }
     }
 }
@@ -179,6 +187,11 @@ pub(crate) struct WorkItem {
     /// Absorb-order key: `round × n_ranks + rank`.
     pub(crate) seq: u64,
     pub(crate) plan: RankPlan,
+    /// Watchdog cycle budget to apply to the rank before this batch
+    /// launches (`None` keeps the current budget). The recovery ladder uses
+    /// this to retry suspected livelocks with a doubled budget without
+    /// stopping the pipeline.
+    pub(crate) watchdog: Option<u64>,
 }
 
 /// One batch on its way back from a rank worker.
@@ -214,6 +227,9 @@ pub(crate) fn worker_loop(
         let wait_start = Instant::now();
         let Ok(item) = rx.recv() else { break };
         let wait_seconds = wait_start.elapsed().as_secs_f64();
+        if let Some(cycles) = item.watchdog {
+            rank.set_watchdog_cycles(cycles);
+        }
         let busy_start = Instant::now();
         let mut spent = Vec::new();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -246,6 +262,35 @@ pub(crate) fn worker_loop(
             .is_err()
         {
             break;
+        }
+    }
+}
+
+/// Receive the next completed batch, arming the wall-clock deadline when
+/// one is configured: if nothing completes for `deadline_seconds` while
+/// work is in flight, every rank's cancel token is set and the receive
+/// blocks until the (now-cancelled) stragglers report back. Returns `None`
+/// only when every worker has exited.
+pub(crate) fn recv_done(
+    rx: &Receiver<BatchDone>,
+    deadline_seconds: f64,
+    tokens: &[Arc<AtomicBool>],
+) -> Option<BatchDone> {
+    if deadline_seconds <= 0.0 {
+        return rx.recv().ok();
+    }
+    match rx.recv_timeout(Duration::from_secs_f64(deadline_seconds)) {
+        Ok(done) => Some(done),
+        Err(RecvTimeoutError::Disconnected) => None,
+        Err(RecvTimeoutError::Timeout) => {
+            // No progress for a full deadline: cancel every rank. Idle and
+            // finished ranks ignore the token (it is cleared at the next
+            // launch's entry); a hung launch breaks out of its wait and
+            // completes with watchdog failures.
+            for t in tokens {
+                t.store(true, Ordering::Relaxed);
+            }
+            rx.recv().ok()
         }
     }
 }
@@ -294,6 +339,7 @@ pub fn execute_pipelined_with(
 
     {
         let ranks = server.ranks_mut();
+        let tokens: Vec<_> = ranks.iter().map(|rank| rank.cancel_token()).collect();
         let (done_tx, done_rx) = channel::<BatchDone>();
         std::thread::scope(|scope| {
             let mut inboxes = Vec::with_capacity(n_ranks);
@@ -351,7 +397,11 @@ pub fn execute_pipelined_with(
                                 metrics.max_fifo_occupancy[r].max(in_flight[r]);
                             metrics.batches += 1;
                             inboxes[r]
-                                .send(WorkItem { seq, plan })
+                                .send(WorkItem {
+                                    seq,
+                                    plan,
+                                    watchdog: None,
+                                })
                                 .expect("worker alive while its inbox is held");
                         }
                         if aborting {
@@ -369,7 +419,7 @@ pub fn execute_pipelined_with(
                     // again to plan the rest.
                     continue;
                 }
-                let Ok(batch) = done_rx.recv() else {
+                let Some(batch) = recv_done(&done_rx, opts.deadline_seconds, &tokens) else {
                     if first_err.is_none() {
                         first_err = Some(SimError::RankFailed {
                             rank: 0,

@@ -29,11 +29,11 @@
 
 use crate::balance::lpt_assign;
 use crate::dispatch::{
-    decode_raw_exec, group_jobs, run_round, DispatchConfig, DispatchOutcome, DpuPlan, Engine,
-    RankExec, RankPlan,
+    decode_raw_exec_audited, group_jobs, run_round, AuditFn, DispatchConfig, DispatchOutcome,
+    DpuPlan, Engine, RankExec, RankPlan,
 };
 use crate::encode::Encoder;
-use crate::pipeline::{worker_loop, BatchDone, BufferPool, PipelineMetrics, WorkItem};
+use crate::pipeline::{recv_done, worker_loop, BatchDone, BufferPool, PipelineMetrics, WorkItem};
 use crate::report::ExecutionReport;
 use cpu_baseline::driver::run_batch;
 use dpu_kernel::layout::{JobBatchBuilder, JobResult, JobStatus, KernelParams};
@@ -42,6 +42,7 @@ use nw_core::adaptive::AdaptiveAligner;
 use nw_core::cigar::Cigar;
 use nw_core::error::AlignError;
 use nw_core::seq::{DnaSeq, PackedSeq};
+use nw_core::ScoringScheme;
 use pim_sim::{PimServer, SimError};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{channel, sync_channel};
@@ -56,6 +57,17 @@ pub struct RecoveryConfig {
     pub quarantine_after: usize,
     /// Worker threads for the CPU fallback batch.
     pub cpu_threads: usize,
+    /// Wall-clock deadline (seconds; 0 disables) on rank execution: when a
+    /// launch is overdue, the driver sets the rank's cancel token — hung
+    /// DPUs come back as [`SimError::WatchdogExpired`] failures and their
+    /// jobs requeue instead of wedging the host.
+    pub rank_deadline_seconds: f64,
+    /// Audit every returned alignment ([`audit_ok`]): CIGAR validated
+    /// against the original sequences and the score recomputed. Failures
+    /// ride the same ladder as launch faults — retry, quarantine, CPU
+    /// fallback. This is the only defense against *silent* corruption
+    /// (payload mutated with the checksum recomputed).
+    pub audit: bool,
 }
 
 impl Default for RecoveryConfig {
@@ -64,6 +76,8 @@ impl Default for RecoveryConfig {
             max_attempts: 3,
             quarantine_after: 2,
             cpu_threads: 4,
+            rank_deadline_seconds: 0.0,
+            audit: false,
         }
     }
 }
@@ -88,26 +102,55 @@ pub struct FaultReport {
     pub cpu_fallbacks: usize,
     /// DPU cycles burned by attempts whose results were discarded.
     pub wasted_cycles: u64,
+    /// DPU launches reaped by the cycle-budget watchdog (injected
+    /// livelocks / runaway kernels).
+    pub watchdog_expired: usize,
+    /// Silent result corruptions *applied* by fault injection (payload
+    /// mutated, checksum recomputed). Every one of these must be caught by
+    /// the audit — `silent_corruptions > 0` with `audit_failures == 0` and
+    /// auditing enabled means a wrong result was delivered.
+    pub silent_corruptions: usize,
+    /// Results put through the host audit (informational; a fully audited
+    /// clean run is still "clean").
+    pub audit_checked: usize,
+    /// Results the audit rejected and requeued.
+    pub audit_failures: usize,
+    /// Times the watchdog budget was doubled after expirations (the
+    /// escalation ladder's first rung).
+    pub budget_escalations: usize,
+    /// Launches cancelled by the host's wall-clock deadline.
+    pub deadline_cancellations: usize,
 }
 
 impl FaultReport {
     /// True when no fault was observed and no recovery action taken.
+    /// `audit_checked` is informational — auditing a clean run does not
+    /// dirty it.
     pub fn is_clean(&self) -> bool {
-        *self == Self::default()
+        Self {
+            audit_checked: 0,
+            ..self.clone()
+        } == Self::default()
     }
 
     /// One-line summary for logs.
     pub fn summary(&self) -> String {
         format!(
-            "faults: {} dpu, {} rank, {} corrupt; {} retries, {} quarantined, {} dead ranks, {} cpu fallbacks, {} wasted cycles",
+            "faults: {} dpu, {} rank, {} corrupt, {} watchdog, {} silent; {} retries, {} quarantined, {} dead ranks, {} cpu fallbacks, {} wasted cycles, {}/{} audits failed, {} budget escalations, {} deadline cancels",
             self.dpu_faults,
             self.rank_failures,
             self.corrupt_results,
+            self.watchdog_expired,
+            self.silent_corruptions,
             self.retried_jobs,
             self.quarantined.len(),
             self.dead_ranks.len(),
             self.cpu_fallbacks,
             self.wasted_cycles,
+            self.audit_failures,
+            self.audit_checked,
+            self.budget_escalations,
+            self.deadline_cancellations,
         )
     }
 }
@@ -230,6 +273,11 @@ fn note_exec_faults(
         failed_dpus[f.dpu] = true;
         match f.error {
             SimError::DpuFaulted { .. } => report.dpu_faults += 1,
+            SimError::WatchdogExpired { .. } => report.watchdog_expired += 1,
+            // Audit rejections are counted through the per-exec audit
+            // counters (see `DispatchOutcome::absorb`), not as wire
+            // corruption — the checksum passed, the payload lied.
+            SimError::ResultCorrupt { detail, .. } if detail.starts_with("audit") => {}
             _ => report.corrupt_results += 1,
         }
         report.wasted_cycles += f.wasted_cycles;
@@ -243,6 +291,25 @@ fn note_exec_faults(
             health.record_success(r, d);
         }
     }
+}
+
+/// Host-side result audit: a returned alignment must be internally
+/// consistent with the sequences it claims to align — the CIGAR must
+/// consume exactly both sequences with every `=`/`X` column agreeing with
+/// the bases, and rescoring the CIGAR must reproduce the reported score.
+/// This catches *silent* corruption: the wire checksum only protects the
+/// readback path, so a payload mutated before the checksum was computed
+/// (or with the checksum recomputed) sails through integrity checks and
+/// only fails here. Failed or score-only results carry no auditable CIGAR
+/// and pass vacuously.
+pub fn audit_ok(pair: &(PackedSeq, PackedSeq), res: &JobResult, scheme: &ScoringScheme) -> bool {
+    if res.status != JobStatus::Ok || res.cigar.runs().is_empty() {
+        return true;
+    }
+    res.cigar
+        .validate(&pair.0.unpack(), &pair.1.unpack())
+        .is_ok()
+        && res.cigar.score(scheme) == res.score
 }
 
 /// Align `fallback` jobs on the CPU with the kernel-identical adaptive
@@ -342,6 +409,16 @@ pub fn execute_jobs_recovering(
     let mut fallback: Vec<usize> = Vec::new();
     let mut first_pass = true;
 
+    // Escalation ladder, rung 1: a pass that saw watchdog expirations
+    // retries with a doubled cycle budget (a slow-but-honest kernel gets a
+    // second chance before the DPU is treated as sick). Rungs 2 and 3 —
+    // quarantine and CPU fallback — fall out of the shared health policy.
+    let original_budget = server.cfg().dpu.watchdog_cycles;
+    let mut budget = original_budget;
+    let mut last_watchdog = 0usize;
+    let audit_fn = |i: usize, jr: &JobResult| audit_ok(&jobs[i], jr, &params.scheme);
+    let audit: Option<AuditFn> = if rcfg.audit { Some(&audit_fn) } else { None };
+
     while !pending.is_empty() {
         // Jobs out of PiM attempts go to the CPU.
         let (retryable, exhausted): (Vec<usize>, Vec<usize>) = pending
@@ -421,9 +498,17 @@ pub fn execute_jobs_recovering(
                     .collect();
                 round_plans.push(plan);
             }
-            for (r, oc) in run_round(server, kernel, round_plans, true, sim_threads)
-                .into_iter()
-                .enumerate()
+            for (r, oc) in run_round(
+                server,
+                kernel,
+                round_plans,
+                true,
+                sim_threads,
+                rcfg.rank_deadline_seconds,
+                audit,
+            )
+            .into_iter()
+            .enumerate()
             {
                 match oc {
                     Err(SimError::RankFailed { .. }) => {
@@ -453,8 +538,20 @@ pub fn execute_jobs_recovering(
                 }
             }
         }
+        if budget > 0
+            && report.watchdog_expired > last_watchdog
+            && report.budget_escalations < rcfg.max_attempts
+        {
+            budget = budget.saturating_mul(2);
+            server.set_watchdog_cycles(budget);
+            report.budget_escalations += 1;
+        }
+        last_watchdog = report.watchdog_expired;
         pending = requeue;
         first_pass = false;
+    }
+    if budget != original_budget {
+        server.set_watchdog_cycles(original_budget);
     }
 
     // CPU fallback: the adaptive aligner is the same DP the kernel runs, so
@@ -462,8 +559,19 @@ pub fn execute_jobs_recovering(
     cpu_fallback_tail(&mut out, &mut report, &fallback, jobs, params, rcfg);
 
     out.finalize(&dpu_busy, &imbalances);
+    merge_absorbed_fault_counters(&mut report, &out.fault);
     out.fault = report;
     Ok(out)
+}
+
+/// Fold the per-exec counters `DispatchOutcome::absorb` accumulated
+/// (silent corruptions applied, audit counts, deadline cancellations) into
+/// the recovery report that replaces `out.fault`.
+fn merge_absorbed_fault_counters(report: &mut FaultReport, absorbed: &FaultReport) {
+    report.silent_corruptions += absorbed.silent_corruptions;
+    report.audit_checked += absorbed.audit_checked;
+    report.audit_failures += absorbed.audit_failures;
+    report.deadline_cancellations += absorbed.deadline_cancellations;
 }
 
 /// [`execute_jobs_recovering`] on the pipelined engine: retries ride the
@@ -568,8 +676,19 @@ pub fn execute_jobs_recovering_pipelined(
     }
 
     let mut fatal: Option<SimError> = None;
+    // Escalation ladder state (see the lockstep driver): retries after a
+    // watchdog expiry carry a doubled cycle budget down the FIFO via
+    // `WorkItem::watchdog`; quarantine and CPU fallback are the shared
+    // health policy.
+    let original_budget = server.cfg().dpu.watchdog_cycles;
+    let mut budget = original_budget;
+    let mut escalated: Option<u64> = None;
+    let mut last_watchdog = 0usize;
+    let audit_fn = |i: usize, jr: &JobResult| audit_ok(&jobs[i], jr, &params.scheme);
+    let audit: Option<AuditFn> = if rcfg.audit { Some(&audit_fn) } else { None };
     {
         let ranks = server.ranks_mut();
+        let tokens: Vec<_> = ranks.iter().map(|rank| rank.cancel_token()).collect();
         let (done_tx, done_rx) = channel::<BatchDone>();
         std::thread::scope(|scope| {
             let mut inboxes = Vec::with_capacity(n_ranks);
@@ -671,7 +790,11 @@ pub fn execute_jobs_recovering_pipelined(
                                 metrics.max_fifo_occupancy[r].max(in_flight[r]);
                             metrics.batches += 1;
                             inboxes[r]
-                                .send(WorkItem { seq, plan })
+                                .send(WorkItem {
+                                    seq,
+                                    plan,
+                                    watchdog: escalated,
+                                })
                                 .expect("worker alive while its inbox is held");
                         }
                     }
@@ -697,7 +820,7 @@ pub fn execute_jobs_recovering_pipelined(
                     fallback.append(&mut retry_pool);
                     break;
                 }
-                let Ok(done) = done_rx.recv() else {
+                let Some(done) = recv_done(&done_rx, rcfg.rank_deadline_seconds, &tokens) else {
                     fatal = Some(SimError::RankFailed {
                         rank: 0,
                         reason: "all rank workers exited with work in flight".into(),
@@ -735,7 +858,7 @@ pub fn execute_jobs_recovering_pipelined(
                     }
                     Ok(raw) => {
                         let decode_start = Instant::now();
-                        let mut exec = decode_raw_exec(raw, host_bw);
+                        let mut exec = decode_raw_exec_audited(raw, host_bw, audit);
                         metrics.decode_seconds += decode_start.elapsed().as_secs_f64();
                         note_exec_faults(
                             &mut exec,
@@ -747,6 +870,15 @@ pub fn execute_jobs_recovering_pipelined(
                             &mut retry_pool,
                         );
                         out.absorb(exec, &mut dpu_busy, &mut imbalances);
+                        if budget > 0
+                            && report.watchdog_expired > last_watchdog
+                            && report.budget_escalations < rcfg.max_attempts
+                        {
+                            budget = budget.saturating_mul(2);
+                            escalated = Some(budget);
+                            report.budget_escalations += 1;
+                        }
+                        last_watchdog = report.watchdog_expired;
                     }
                 }
             }
@@ -756,12 +888,15 @@ pub fn execute_jobs_recovering_pipelined(
             for done in done_rx.iter() {
                 pool.put(done.spent);
                 if let Ok(raw) = done.outcome {
-                    let mut exec = decode_raw_exec(raw, host_bw);
+                    let mut exec = decode_raw_exec_audited(raw, host_bw, None);
                     exec.failures.clear();
                     out.absorb(exec, &mut dpu_busy, &mut imbalances);
                 }
             }
         });
+    }
+    if escalated.is_some() {
+        server.set_watchdog_cycles(original_budget);
     }
     if let Some(e) = fatal {
         return Err(e);
@@ -775,6 +910,7 @@ pub fn execute_jobs_recovering_pipelined(
     metrics.buffers_reused = reused;
     metrics.buffers_allocated = allocated;
     out.pipeline = Some(metrics);
+    merge_absorbed_fault_counters(&mut report, &out.fault);
     out.fault = report;
     Ok(out)
 }
@@ -945,6 +1081,7 @@ mod tests {
             max_attempts: 2,
             quarantine_after: 2,
             cpu_threads: 2,
+            ..Default::default()
         };
         let (report, results) = align_pairs_recovering(&mut server, &cfg, &rcfg, &ps).unwrap();
         assert_eq!(results, reference(&cfg, &ps));
@@ -967,6 +1104,7 @@ mod tests {
             max_attempts: 10,
             quarantine_after: 100, // never quarantine: force retry-to-success
             cpu_threads: 1,
+            ..Default::default()
         };
         let (report, results) = align_pairs_recovering(&mut server, &cfg, &rcfg, &ps).unwrap();
         assert_eq!(results, reference(&cfg, &ps));
@@ -1006,5 +1144,147 @@ mod tests {
             align_pairs_recovering(&mut server, &cfg, &Default::default(), &[]).unwrap();
         assert!(results.is_empty());
         assert!(report.fault.is_clean());
+    }
+
+    fn server_with_watchdog(
+        fault: FaultPlan,
+        ranks: usize,
+        dpus: usize,
+        watchdog: u64,
+    ) -> PimServer {
+        let mut cfg = ServerConfig::with_ranks(ranks);
+        cfg.dpus_per_rank = dpus;
+        cfg.fault = fault;
+        cfg.dpu.watchdog_cycles = watchdog;
+        PimServer::new(cfg)
+    }
+
+    #[test]
+    fn hangs_are_reaped_retried_and_the_budget_escalates() {
+        let ps = pairs(10);
+        let cfg = config();
+        let fault = FaultPlan {
+            seed: 11,
+            hang_rate: 0.3,
+            ..Default::default()
+        };
+        let mut server = server_with_watchdog(fault, 2, 3, 2_000_000);
+        let rcfg = RecoveryConfig {
+            max_attempts: 10,
+            quarantine_after: 100,
+            ..Default::default()
+        };
+        let (report, results) = align_pairs_recovering(&mut server, &cfg, &rcfg, &ps).unwrap();
+        assert_eq!(results, reference(&cfg, &ps));
+        assert!(
+            report.fault.watchdog_expired > 0,
+            "rate 0.3 over 6 DPUs must hang something: {}",
+            report.fault.summary()
+        );
+        assert!(
+            report.fault.budget_escalations > 0,
+            "watchdog expiries must double the budget: {}",
+            report.fault.summary()
+        );
+        assert!(report.fault.retried_jobs > 0);
+        assert_eq!(
+            server.cfg().dpu.watchdog_cycles,
+            2_000_000,
+            "escalated budget must be restored after the run"
+        );
+    }
+
+    #[test]
+    fn audit_detects_silent_corruption_and_retries() {
+        let ps = pairs(8);
+        let cfg = config();
+        let fault = FaultPlan {
+            seed: 5,
+            silent_corrupt_rate: 0.5,
+            ..Default::default()
+        };
+        let mut server = server_with(fault, 2, 3);
+        let rcfg = RecoveryConfig {
+            max_attempts: 12,
+            quarantine_after: 100,
+            audit: true,
+            ..Default::default()
+        };
+        let (report, results) = align_pairs_recovering(&mut server, &cfg, &rcfg, &ps).unwrap();
+        assert_eq!(results, reference(&cfg, &ps));
+        assert!(
+            report.fault.silent_corruptions > 0,
+            "rate 0.5 over 6 DPUs must corrupt something: {}",
+            report.fault.summary()
+        );
+        assert!(
+            report.fault.audit_failures > 0,
+            "the audit must catch the mutated CIGARs: {}",
+            report.fault.summary()
+        );
+        assert_eq!(
+            report.fault.corrupt_results, 0,
+            "silent corruption recomputes the checksum, so the integrity \
+             check must not fire"
+        );
+        assert!(report.fault.audit_checked >= results.len());
+    }
+
+    #[test]
+    fn silent_corruption_escapes_without_the_audit() {
+        // Negative control for the test above: with auditing off the
+        // checksum still passes, nothing retries, and wrong results are
+        // delivered — proving the audit stage is load-bearing.
+        let ps = pairs(8);
+        let cfg = config();
+        let fault = FaultPlan {
+            seed: 5,
+            silent_corrupt_rate: 0.5,
+            ..Default::default()
+        };
+        let mut server = server_with(fault, 2, 3);
+        let rcfg = RecoveryConfig::default();
+        let (report, results) = align_pairs_recovering(&mut server, &cfg, &rcfg, &ps).unwrap();
+        assert!(report.fault.silent_corruptions > 0);
+        assert_eq!(report.fault.audit_checked, 0);
+        assert_ne!(
+            results,
+            reference(&cfg, &ps),
+            "unaudited silent corruption must reach the caller"
+        );
+    }
+
+    #[test]
+    fn deadline_cancels_unwatched_hangs_without_wedging() {
+        // Watchdog disabled: an injected hang spins on the host clock and
+        // only the wall-clock deadline can reap it. Every launch hangs, so
+        // both DPUs quarantine and the jobs finish on the CPU.
+        let ps = pairs(4);
+        let mut cfg = config();
+        let fault = FaultPlan {
+            seed: 3,
+            hang_rate: 1.0,
+            ..Default::default()
+        };
+        let rcfg = RecoveryConfig {
+            max_attempts: 2,
+            quarantine_after: 1,
+            cpu_threads: 1,
+            rank_deadline_seconds: 0.1,
+            ..Default::default()
+        };
+        for engine in [Engine::Lockstep, Engine::Pipelined { fifo_depth: 2 }] {
+            cfg.engine = engine;
+            let mut server = server_with(fault.clone(), 1, 2);
+            let (report, results) = align_pairs_recovering(&mut server, &cfg, &rcfg, &ps).unwrap();
+            assert_eq!(results, reference(&cfg, &ps));
+            assert!(
+                report.fault.deadline_cancellations > 0,
+                "{engine:?}: {}",
+                report.fault.summary()
+            );
+            assert!(report.fault.watchdog_expired > 0, "{engine:?}");
+            assert_eq!(report.fault.cpu_fallbacks, ps.len(), "{engine:?}");
+        }
     }
 }

@@ -76,7 +76,7 @@ impl ExecutionReport {
 
     /// A one-line summary for harness logs.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{}: {} alignments ({} failed) in {:.3}s [encode {:.3}s, transfer {:.3}s, dpu {:.3}s], util {:.1}%, host overhead {:.1}%",
             self.mode,
             self.alignments,
@@ -87,7 +87,14 @@ impl ExecutionReport {
             self.dpu_seconds,
             100.0 * self.pipeline_utilization(),
             100.0 * self.host_overhead_fraction(),
-        )
+        );
+        if self.fault.audit_checked > 0 {
+            s.push_str(&format!(
+                ", audited {} ({} failed)",
+                self.fault.audit_checked, self.fault.audit_failures
+            ));
+        }
+        s
     }
 }
 
@@ -135,5 +142,11 @@ mod tests {
         assert!(s.contains("100 alignments"));
         assert!(s.contains("(1 failed)"));
         assert!(s.contains("pairs"));
+        assert!(!s.contains("audited"), "no audit ran");
+        let mut audited = report();
+        audited.fault.audit_checked = 100;
+        audited.fault.audit_failures = 2;
+        let s = audited.summary();
+        assert!(s.contains("audited 100 (2 failed)"), "{s}");
     }
 }

@@ -151,6 +151,7 @@ fn run_both(
     let opts = PipelineOptions {
         fifo_depth: depth,
         sim_threads,
+        ..Default::default()
     };
     let pipe = execute_rounds_pipelined(
         &mut s2,
@@ -263,6 +264,8 @@ fn parallel_intra_rank_is_bit_identical_under_fault_plans() {
                 build_rounds(&jobs, 1, ranks, dpus).remove(0),
                 true,
                 1,
+                0.0,
+                None,
             );
             let par_round = run_round(
                 &mut s2,
@@ -270,6 +273,8 @@ fn parallel_intra_rank_is_bit_identical_under_fault_plans() {
                 build_rounds(&jobs, 1, ranks, dpus).remove(0),
                 true,
                 threads,
+                0.0,
+                None,
             );
             for (r, (a, b)) in seq_round.into_iter().zip(par_round).enumerate() {
                 let tag = format!("{label}, launch {launch}, rank {r}");
@@ -346,4 +351,89 @@ fn recovery_engines_agree_with_fault_free_reference() {
         assert_eq!(report.fault.dead_ranks, vec![0], "{label}: dead rank");
         assert!(report.fault.retried_jobs > 0, "{label}: retried nothing");
     }
+}
+
+#[test]
+fn engines_survive_hangs_and_silent_corruption_with_audited_results() {
+    // Satellite: under a seeded plan mixing tasklet livelocks (reaped by
+    // the cycle-budget watchdog, no wall-clock involved) with silent CIGAR
+    // corruption (checksum recomputed, only the audit can catch it), both
+    // recovery engines must deliver bit-identical results to the fault-free
+    // reference — zero lost jobs, zero wrong results. The lockstep engine's
+    // schedule is deterministic, so its FaultReport must also replay
+    // bit-identically.
+    let mut rng = SplitMix64::new(0xBEEF);
+    let pairs: Vec<(DnaSeq, DnaSeq)> = (0..12)
+        .map(|_| {
+            let len = rng.between(30, 60) as usize;
+            let a = rand_seq(&mut rng, len);
+            let mut text = a.to_ascii();
+            text.insert(7, b'G');
+            (a.clone(), DnaSeq::from_ascii(&text).unwrap())
+        })
+        .collect();
+    let mut cfg = DispatchConfig::new(kernel(), params());
+    let rcfg = RecoveryConfig {
+        max_attempts: 12,
+        quarantine_after: 100,
+        audit: true,
+        ..Default::default()
+    };
+    let watched = |fault: FaultPlan| {
+        let mut scfg = ServerConfig::with_ranks(2);
+        scfg.dpus_per_rank = 3;
+        scfg.fault = fault;
+        scfg.dpu.watchdog_cycles = 2_000_000;
+        pim_sim::PimServer::new(scfg)
+    };
+
+    cfg.engine = Engine::Lockstep;
+    let mut clean = watched(FaultPlan::default());
+    let (_, reference) = align_pairs_recovering(&mut clean, &cfg, &rcfg, &pairs).unwrap();
+    assert_eq!(reference.len(), pairs.len());
+
+    let fault = FaultPlan {
+        seed: 0x5EED,
+        hang_rate: 0.25,
+        silent_corrupt_rate: 0.3,
+        ..FaultPlan::default()
+    };
+    let mut lockstep_reports = Vec::new();
+    for (engine, label) in [
+        (Engine::Lockstep, "sync"),
+        (Engine::Lockstep, "sync replay"),
+        (Engine::Pipelined { fifo_depth: 2 }, "pipelined"),
+    ] {
+        cfg.engine = engine;
+        let mut faulty = watched(fault.clone());
+        let (report, results) = align_pairs_recovering(&mut faulty, &cfg, &rcfg, &pairs).unwrap();
+        assert_eq!(results, reference, "{label}: results");
+        assert!(
+            report.fault.watchdog_expired > 0,
+            "{label}: no hang reaped: {}",
+            report.fault.summary()
+        );
+        assert!(
+            report.fault.budget_escalations > 0,
+            "{label}: expiries must escalate the budget"
+        );
+        assert!(
+            report.fault.silent_corruptions > 0,
+            "{label}: no corruption injected: {}",
+            report.fault.summary()
+        );
+        assert!(
+            report.fault.audit_failures > 0,
+            "{label}: the audit must reject the mutated CIGARs"
+        );
+        assert_eq!(report.fault.corrupt_results, 0, "{label}: checksums pass");
+        assert_eq!(report.fault.cpu_fallbacks, 0, "{label}: retries suffice");
+        if matches!(engine, Engine::Lockstep) {
+            lockstep_reports.push(report.fault.clone());
+        }
+    }
+    assert_eq!(
+        lockstep_reports[0], lockstep_reports[1],
+        "lockstep fault accounting must replay bit-identically"
+    );
 }

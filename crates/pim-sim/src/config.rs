@@ -22,6 +22,13 @@ pub struct DpuConfig {
     pub dma_bytes_per_cycle: u32,
     /// Fixed DMA setup cost in cycles per transfer.
     pub dma_setup_cycles: u32,
+    /// Per-launch cycle budget the rank watchdog enforces: a DPU whose
+    /// kernel retires more cycles than this in a single launch is treated
+    /// as hung and reported via [`crate::SimError::WatchdogExpired`] with
+    /// its partial stats preserved. `0` disables the watchdog (the
+    /// hardware default — real DPUs have no such limit, the host deadline
+    /// is the only backstop).
+    pub watchdog_cycles: u64,
 }
 
 impl Default for DpuConfig {
@@ -34,6 +41,7 @@ impl Default for DpuConfig {
             max_tasklets: 24,
             dma_bytes_per_cycle: 2,
             dma_setup_cycles: 24,
+            watchdog_cycles: 0,
         }
     }
 }
@@ -102,6 +110,7 @@ mod tests {
         assert_eq!(c.freq_hz, 350.0e6);
         assert_eq!(c.reentry_cycles, 11);
         assert_eq!(c.max_tasklets, 24);
+        assert_eq!(c.watchdog_cycles, 0, "watchdog is opt-in");
         let s = ServerConfig::default();
         assert_eq!(s.total_dpus(), 2560);
     }

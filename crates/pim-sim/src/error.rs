@@ -76,6 +76,19 @@ pub enum SimError {
         /// Human-readable failure cause.
         reason: String,
     },
+    /// A DPU blew through its per-launch cycle budget (runaway kernel /
+    /// tasklet livelock) or was cancelled by the host's wall-clock deadline.
+    /// Recoverable: the launch itself survives, the DPU's partial stats are
+    /// preserved, and the dispatch layer requeues the DPU's jobs.
+    WatchdogExpired {
+        /// Rank of the runaway DPU.
+        rank: usize,
+        /// DPU index within the rank.
+        dpu: usize,
+        /// Cycles retired when the watchdog fired (the budget for a hung
+        /// DPU, 0 when cancelled before any progress was observable).
+        cycles: u64,
+    },
     /// A result block read back from MRAM failed its integrity check (bad
     /// magic word or checksum mismatch) — bit corruption on the readback
     /// path.
@@ -143,6 +156,12 @@ impl fmt::Display for SimError {
             SimError::RankFailed { rank, reason } => {
                 write!(f, "rank {rank} failed: {reason}")
             }
+            SimError::WatchdogExpired { rank, dpu, cycles } => {
+                write!(
+                    f,
+                    "watchdog expired on DPU {dpu} of rank {rank} after {cycles} cycles"
+                )
+            }
             SimError::ResultCorrupt { offset, detail } => {
                 write!(f, "corrupt result block at MRAM offset {offset}: {detail}")
             }
@@ -198,5 +217,13 @@ mod tests {
         };
         assert!(e.to_string().contains("4096"));
         assert!(e.to_string().contains("checksum"));
+        let e = SimError::WatchdogExpired {
+            rank: 2,
+            dpu: 9,
+            cycles: 1_000_000,
+        };
+        assert!(e.to_string().contains('2') && e.to_string().contains('9'));
+        assert!(e.to_string().contains("1000000"));
+        assert!(e.to_string().contains("watchdog"));
     }
 }

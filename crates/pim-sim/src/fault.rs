@@ -18,6 +18,17 @@
 //! * **Stragglers** — listed ranks release their barrier `slowdown`×
 //!   later than the slowest DPU (thermal throttling / refresh contention);
 //!   timing-only, never correctness.
+//! * **Hangs** — with probability `hang_rate` per DPU per launch, the DPU's
+//!   kernel livelocks and never returns. With a watchdog budget configured
+//!   ([`crate::DpuConfig::watchdog_cycles`]) the spin is simulated
+//!   instantly (the DPU burns exactly the budget, then trips
+//!   [`crate::SimError::WatchdogExpired`]); without one the rank worker
+//!   really spins on the host clock until cooperatively cancelled —
+//!   exercising the host's wall-clock deadline.
+//! * **Silent result corruption** — with probability `silent_corrupt_rate`
+//!   per DPU per launch, one result record is mutated *and its checksum
+//!   recomputed*, so the readback integrity check passes. Only an
+//!   end-to-end audit (CIGAR validation + score recomputation) catches it.
 //!
 //! Every decision is a pure function of `(seed, rank, dpu, launch#)`, so a
 //! fault schedule replays identically regardless of host thread
@@ -64,6 +75,14 @@ pub struct FaultPlan {
     /// lockstep dispatcher idles every other rank for the hold, a pipelined
     /// one keeps feeding them.
     pub straggler_hold_ms: f64,
+    /// Per-launch, per-DPU probability of a tasklet livelock: the kernel
+    /// never terminates on its own and must be reaped by the watchdog (or
+    /// the host deadline when no watchdog budget is configured).
+    pub hang_rate: f64,
+    /// Per-launch, per-DPU probability of silent result corruption: one
+    /// result record is mutated with its checksum recomputed, defeating
+    /// the readback integrity check.
+    pub silent_corrupt_rate: f64,
 }
 
 impl FaultPlan {
@@ -73,13 +92,16 @@ impl FaultPlan {
             && self.dead_ranks.is_empty()
             && self.dpu_fault_rate == 0.0
             && self.corrupt_rate == 0.0
+            && self.hang_rate == 0.0
+            && self.silent_corrupt_rate == 0.0
             && (self.straggler_ranks.is_empty()
                 || (self.straggler_slowdown <= 1.0 && self.straggler_hold_ms <= 0.0))
     }
 
     /// A pseudo-random chaos plan: `disabled` DPUs masked out, one dead
-    /// rank when the server has more than one, and the given fault/corrupt
-    /// rates — everything derived from `seed`.
+    /// rank when the server has more than one, and the given fault, corrupt,
+    /// hang and silent-corrupt rates — everything derived from `seed`.
+    #[allow(clippy::too_many_arguments)]
     pub fn chaos(
         seed: u64,
         ranks: usize,
@@ -87,6 +109,8 @@ impl FaultPlan {
         disabled: usize,
         dpu_fault_rate: f64,
         corrupt_rate: f64,
+        hang_rate: f64,
+        silent_corrupt_rate: f64,
     ) -> Self {
         let mut disabled_dpus = Vec::new();
         let mut k = 0u64;
@@ -117,6 +141,8 @@ impl FaultPlan {
             straggler_ranks,
             straggler_slowdown: 2.5,
             straggler_hold_ms: 0.0,
+            hang_rate,
+            silent_corrupt_rate,
         }
     }
 
@@ -145,6 +171,8 @@ impl FaultPlan {
             } else {
                 0.0
             },
+            hang_rate: self.hang_rate,
+            silent_corrupt_rate: self.silent_corrupt_rate,
             launches: 0,
         }
     }
@@ -162,6 +190,8 @@ pub struct RankFaultState {
     corrupt_rate: f64,
     slowdown: f64,
     hold_ms: f64,
+    hang_rate: f64,
+    silent_corrupt_rate: f64,
     launches: u64,
 }
 
@@ -173,7 +203,10 @@ impl RankFaultState {
 
     /// True when any probabilistic injection can trigger on this rank.
     pub fn active(&self) -> bool {
-        self.dpu_fault_rate > 0.0 || self.corrupt_rate > 0.0
+        self.dpu_fault_rate > 0.0
+            || self.corrupt_rate > 0.0
+            || self.hang_rate > 0.0
+            || self.silent_corrupt_rate > 0.0
     }
 
     /// True when the whole rank is dead.
@@ -224,6 +257,20 @@ impl RankFaultState {
     pub fn corruption(&self, dpu: usize) -> Option<u64> {
         let key = self.key(dpu, 0xC0BB);
         (self.corrupt_rate > 0.0 && unit(key) < self.corrupt_rate).then(|| mix64(key))
+    }
+
+    /// Does `dpu`'s kernel livelock on the current launch?
+    pub fn hang_fault(&self, dpu: usize) -> bool {
+        self.hang_rate > 0.0 && unit(self.key(dpu, 0x4A46)) < self.hang_rate
+    }
+
+    /// Is one of `dpu`'s result records silently corrupted on the current
+    /// launch? Returns the mutation seed the host-side fault applicator
+    /// uses to pick the record and the perturbation (the mutation itself
+    /// needs the result layout, which lives above the simulator).
+    pub fn silent_corruption(&self, dpu: usize) -> Option<u64> {
+        let key = self.key(dpu, 0x51C0);
+        (self.silent_corrupt_rate > 0.0 && unit(key) < self.silent_corrupt_rate).then(|| mix64(key))
     }
 }
 
@@ -334,13 +381,57 @@ mod tests {
 
     #[test]
     fn chaos_plan_is_seeded_and_bounded() {
-        let a = FaultPlan::chaos(42, 4, 8, 3, 0.1, 0.1);
-        let b = FaultPlan::chaos(42, 4, 8, 3, 0.1, 0.1);
+        let a = FaultPlan::chaos(42, 4, 8, 3, 0.1, 0.1, 0.05, 0.05);
+        let b = FaultPlan::chaos(42, 4, 8, 3, 0.1, 0.1, 0.05, 0.05);
         assert_eq!(a, b);
         assert_eq!(a.disabled_dpus.len(), 3);
         assert_eq!(a.dead_ranks.len(), 1);
         assert!(a.dead_ranks[0] < 4);
-        let single = FaultPlan::chaos(42, 1, 4, 1, 0.1, 0.0);
+        assert_eq!(a.hang_rate, 0.05);
+        assert_eq!(a.silent_corrupt_rate, 0.05);
+        let single = FaultPlan::chaos(42, 1, 4, 1, 0.1, 0.0, 0.0, 0.0);
         assert!(single.dead_ranks.is_empty(), "never kill the only rank");
+    }
+
+    #[test]
+    fn hang_and_silent_corruption_plans_are_real_faults() {
+        let hangs = FaultPlan {
+            hang_rate: 0.1,
+            ..Default::default()
+        };
+        assert!(!hangs.is_empty());
+        let silent = FaultPlan {
+            silent_corrupt_rate: 0.1,
+            ..Default::default()
+        };
+        assert!(!silent.is_empty());
+        assert!(hangs.rank_state(0, 4).active());
+        assert!(silent.rank_state(0, 4).active());
+    }
+
+    #[test]
+    fn hang_and_silent_draws_are_deterministic_and_independent() {
+        let plan = FaultPlan {
+            seed: 21,
+            hang_rate: 0.5,
+            silent_corrupt_rate: 0.5,
+            ..Default::default()
+        };
+        let a = plan.rank_state(2, 16);
+        let b = plan.rank_state(2, 16);
+        let mut hangs = 0usize;
+        let mut silents = 0usize;
+        for d in 0..16 {
+            assert_eq!(a.hang_fault(d), b.hang_fault(d));
+            assert_eq!(a.silent_corruption(d), b.silent_corruption(d));
+            hangs += usize::from(a.hang_fault(d));
+            silents += usize::from(a.silent_corruption(d).is_some());
+        }
+        assert!(hangs > 0 && hangs < 16, "rate 0.5 draws must be mixed");
+        assert!(silents > 0 && silents < 16);
+        // Independent tags: the hang pattern is not the silent pattern.
+        let hang_pattern: Vec<bool> = (0..16).map(|d| a.hang_fault(d)).collect();
+        let silent_pattern: Vec<bool> = (0..16).map(|d| a.silent_corruption(d).is_some()).collect();
+        assert_ne!(hang_pattern, silent_pattern);
     }
 }

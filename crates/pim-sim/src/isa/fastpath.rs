@@ -996,6 +996,22 @@ impl Machine {
         }
     }
 
+    /// [`Machine::run_prepared`] under a DPU watchdog budget — the dense
+    /// path's counterpart of [`Machine::run_budgeted`]. `0` falls back to
+    /// the [`super::interp::DEFAULT_MAX_STEPS`] backstop. Note the
+    /// documented fast-path divergence: the budget is re-checked per
+    /// superinstruction *window*, so a runaway program may retire up to a
+    /// window's worth of extra micro-ops before the same
+    /// [`IsaError::MaxSteps`] fires.
+    pub fn run_prepared_budgeted(
+        &mut self,
+        prep: &Prepared,
+        wram: &mut [u8],
+        watchdog_cycles: u64,
+    ) -> Result<RunStats, IsaError> {
+        self.run_prepared(prep, wram, super::interp::watchdog_steps(watchdog_cycles))
+    }
+
     fn run_dense(
         &mut self,
         prep: &Prepared,

@@ -93,6 +93,23 @@ impl fmt::Display for IsaError {
 
 impl std::error::Error for IsaError {}
 
+/// The historical hard step cap used when no watchdog budget is in force.
+pub const DEFAULT_MAX_STEPS: u64 = 10_000_000;
+
+/// Translate a DPU watchdog cycle budget into an interpreter step budget.
+/// One retired instruction occupies at least one cycle (11 under the
+/// pipeline reentry rule), so capping steps at the cycle budget is a sound
+/// over-approximation: a program inside its cycle budget is never reaped.
+/// `0` (watchdog disabled) keeps the [`DEFAULT_MAX_STEPS`] backstop — a
+/// runaway interpreter loop must still terminate.
+pub fn watchdog_steps(watchdog_cycles: u64) -> u64 {
+    if watchdog_cycles == 0 {
+        DEFAULT_MAX_STEPS
+    } else {
+        watchdog_cycles
+    }
+}
+
 /// Observer for WRAM traffic during interpretation. The sanitizer implements
 /// this to track byte-level initialization and per-tasklet ownership; the
 /// no-op `()` impl keeps the plain [`Machine::run`] path free of overhead
@@ -178,6 +195,23 @@ impl Machine {
         max_steps: u64,
     ) -> Result<RunStats, IsaError> {
         self.run_watched(program, wram, max_steps, &mut ())
+    }
+
+    /// [`Machine::run`] under a DPU watchdog budget: `watchdog_cycles = 0`
+    /// (watchdog disabled) falls back to [`DEFAULT_MAX_STEPS`]. Each
+    /// retired instruction occupies at least one cycle, so bounding steps
+    /// by the cycle budget never reaps a program the hardware watchdog
+    /// would have let finish. A budget overrun still surfaces as
+    /// [`IsaError::MaxSteps`]; [`crate::Rank::launch_threads`] converts it
+    /// into the recoverable [`crate::SimError::WatchdogExpired`] on the
+    /// launch path.
+    pub fn run_budgeted(
+        &mut self,
+        program: &[Inst],
+        wram: &mut [u8],
+        watchdog_cycles: u64,
+    ) -> Result<RunStats, IsaError> {
+        self.run(program, wram, watchdog_steps(watchdog_cycles))
     }
 
     /// Like [`Machine::run`], but reports every WRAM access to `watch`
@@ -471,6 +505,28 @@ mod tests {
         assert!(matches!(
             m.run(&prog, &mut [], 10),
             Err(IsaError::BadTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn watchdog_budget_maps_to_step_cap() {
+        assert_eq!(watchdog_steps(0), DEFAULT_MAX_STEPS);
+        assert_eq!(watchdog_steps(5000), 5000);
+        // A runaway loop under a watchdog budget reports the budget as its
+        // limit — what the launch path converts into WatchdogExpired.
+        let mut m = Machine::new();
+        let prog = [Inst::Jmp { target: 0 }];
+        assert!(matches!(
+            m.run_budgeted(&prog, &mut [], 500),
+            Err(IsaError::MaxSteps { limit: 500 })
+        ));
+        // Budget 0 falls back to the default backstop, not infinity.
+        let mut m = Machine::new();
+        assert!(matches!(
+            m.run_budgeted(&prog, &mut [], 0),
+            Err(IsaError::MaxSteps {
+                limit: DEFAULT_MAX_STEPS
+            })
         ));
     }
 

@@ -24,5 +24,5 @@ pub mod verify;
 pub use asm::{assemble, AsmError};
 pub use fastpath::Prepared;
 pub use inst::{AluOp, FuseCond, Inst, JumpCond, Operand, Reg, NUM_REGS};
-pub use interp::{IsaError, Machine, RunStats, WramWatch};
+pub use interp::{watchdog_steps, IsaError, Machine, RunStats, WramWatch, DEFAULT_MAX_STEPS};
 pub use verify::{error_count, verify as verify_program, Diagnostic, Rule, Severity, VerifySpec};

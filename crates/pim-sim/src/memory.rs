@@ -209,15 +209,34 @@ impl Mram {
         Ok(())
     }
 
-    /// Host-side read. When corruption is armed, one bit of the returned
-    /// buffer — chosen deterministically from `(seed, offset)` — is flipped.
-    pub fn host_read(&self, offset: usize, len: usize) -> Result<Vec<u8>, SimError> {
+    /// In-place patch used by the fault layer to emulate data the *DPU
+    /// itself* wrote wrong (silent result corruption): unlike
+    /// [`Mram::host_write`] it does **not** disarm armed readback
+    /// corruption — the two fault models are independent.
+    pub fn patch(&mut self, offset: usize, bytes: &[u8]) -> Result<(), SimError> {
+        self.check(offset, bytes.len())?;
+        self.ensure(offset + bytes.len());
+        self.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Read the stored bytes exactly as the DPU left them, bypassing the
+    /// armed readback-corruption bit flip. The fault layer uses this to
+    /// craft silent corruptions from the true record contents.
+    pub fn read_raw(&self, offset: usize, len: usize) -> Result<Vec<u8>, SimError> {
         self.check(offset, len)?;
         let mut out = vec![0u8; len];
         let have = self.data.len().saturating_sub(offset).min(len);
         if have > 0 {
             out[..have].copy_from_slice(&self.data[offset..offset + have]);
         }
+        Ok(out)
+    }
+
+    /// Host-side read. When corruption is armed, one bit of the returned
+    /// buffer — chosen deterministically from `(seed, offset)` — is flipped.
+    pub fn host_read(&self, offset: usize, len: usize) -> Result<Vec<u8>, SimError> {
+        let mut out = self.read_raw(offset, len)?;
         if let Some(seed) = self.corrupt {
             if len > 0 {
                 let bit = crate::fault::mix64(seed ^ offset as u64) as usize % (len * 8);
@@ -298,6 +317,23 @@ mod tests {
         m.host_write(0, &[1]).unwrap();
         assert!(!m.corruption_armed());
         assert_eq!(m.host_read(64, 32).unwrap(), clean);
+    }
+
+    #[test]
+    fn patch_and_read_raw_bypass_armed_corruption() {
+        let mut m = Mram::new(1 << 20);
+        m.host_write(64, &[0x55u8; 16]).unwrap();
+        m.arm_corruption(0xBEEF);
+        // read_raw sees the true bytes; host_read sees the flipped ones.
+        assert_eq!(m.read_raw(64, 16).unwrap(), vec![0x55u8; 16]);
+        assert_ne!(m.host_read(64, 16).unwrap(), vec![0x55u8; 16]);
+        // A patch mutates the stored bytes without disarming.
+        m.patch(64, &[0x66u8; 4]).unwrap();
+        assert!(m.corruption_armed(), "patch must not disarm");
+        assert_eq!(m.read_raw(64, 4).unwrap(), vec![0x66u8; 4]);
+        // Bounds still apply.
+        assert!(m.patch((1 << 20) - 2, &[0; 4]).is_err());
+        assert!(m.read_raw(1 << 20, 1).is_err());
     }
 
     #[test]

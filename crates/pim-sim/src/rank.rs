@@ -18,14 +18,24 @@ use crate::config::DpuConfig;
 use crate::dpu::{Dpu, Kernel};
 use crate::error::SimError;
 use crate::fault::RankFaultState;
+use crate::isa::IsaError;
 use crate::stats::AggregateStats;
 use crate::Cycles;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// A rank of DPUs.
 #[derive(Debug)]
 pub struct Rank {
     dpus: Vec<Dpu>,
     fault: RankFaultState,
+    /// Cooperative cancellation flag the host's deadline watcher sets while
+    /// a launch is in flight. Every wall-clock wait inside
+    /// [`Rank::launch_threads`] (straggler holds, injected hang spins)
+    /// polls it; a set flag breaks the wait and the launch returns with the
+    /// affected DPUs reported as [`SimError::WatchdogExpired`]. Cleared at
+    /// the start of each launch so a stale cancel never kills fresh work.
+    cancel: Arc<AtomicBool>,
 }
 
 impl Rank {
@@ -39,6 +49,21 @@ impl Rank {
         Self {
             dpus: (0..n).map(|_| Dpu::new(cfg)).collect(),
             fault,
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Handle the host's deadline watcher uses to cancel an in-flight
+    /// launch without holding a borrow of the rank.
+    pub fn cancel_token(&self) -> Arc<AtomicBool> {
+        self.cancel.clone()
+    }
+
+    /// Set the per-DPU watchdog cycle budget for subsequent launches (the
+    /// recovery ladder doubles it on retry passes).
+    pub fn set_watchdog_cycles(&mut self, cycles: u64) {
+        for dpu in &mut self.dpus {
+            dpu.cfg.watchdog_cycles = cycles;
         }
     }
 
@@ -128,6 +153,17 @@ impl Rank {
     /// and every other DPU's results and stats survive; armed readback
     /// corruption is installed on the affected DPU's MRAM after its
     /// kernel ran.
+    ///
+    /// Watchdog semantics: with a nonzero
+    /// [`DpuConfig::watchdog_cycles`] budget, a kernel that retires more
+    /// cycles than the budget — or aborts with the interpreter's step cap
+    /// ([`IsaError::MaxSteps`]) — is reaped as
+    /// [`SimError::WatchdogExpired`] with its partial stats preserved in
+    /// [`RankRun::stats`]'s runaway counters. An injected hang
+    /// ([`crate::fault::FaultPlan::hang_rate`]) burns exactly the budget
+    /// (simulated instantly, so outcomes stay deterministic); with the
+    /// watchdog disabled it spins on the host clock until the cancel token
+    /// is set.
     pub fn launch_threads(
         &mut self,
         kernel: &dyn Kernel,
@@ -139,20 +175,25 @@ impl Rank {
                 reason: "rank offline (injected fault)".into(),
             });
         }
+        self.cancel.store(false, Ordering::Relaxed);
         self.fault.next_launch();
         // Intermittent straggler hold: real wall-clock the host spends
         // waiting on this rank (see [`crate::fault::FaultPlan`]). Purely a
-        // timing fault — simulated cycles and results are untouched.
+        // timing fault — simulated cycles and results are untouched. The
+        // sleep is chopped into slices so the host deadline can cut it
+        // short via the cancel token.
         let hold = self.fault.hold_seconds();
         if hold > 0.0 {
-            std::thread::sleep(std::time::Duration::from_secs_f64(hold));
+            cancellable_sleep(hold, &self.cancel);
         }
+        let rank_idx = self.fault.rank;
         let probabilistic = self.fault.active();
         let mut faulted = Vec::new();
-        // Draw launch faults up front (pure per-DPU draws — order-free)
-        // and collect the DPUs that will actually run.
+        // Draw launch and hang faults up front (pure per-DPU draws —
+        // order-free) and collect the DPUs that will actually run.
         let fault = &self.fault;
-        let mut running: Vec<(usize, &mut Dpu)> = Vec::new();
+        let cancel = &self.cancel;
+        let mut running: Vec<(usize, bool, &mut Dpu)> = Vec::new();
         for (d, dpu) in self.dpus.iter_mut().enumerate() {
             if fault.is_disabled(d) {
                 continue;
@@ -161,14 +202,64 @@ impl Rank {
                 faulted.push(d);
                 continue;
             }
+            let hung = probabilistic && fault.hang_fault(d);
             dpu.reset_for_launch();
-            running.push((d, dpu));
+            running.push((d, hung, dpu));
         }
+        let run_one = |d: usize, hung: bool, dpu: &mut Dpu| -> (usize, Result<(), SimError>) {
+            let budget = dpu.cfg.watchdog_cycles;
+            if hung {
+                if budget > 0 {
+                    // The livelock is simulated instantly: the DPU burns
+                    // exactly its budget, then the watchdog reaps it.
+                    dpu.stats.cycles = budget;
+                    return (
+                        d,
+                        Err(SimError::WatchdogExpired {
+                            rank: rank_idx,
+                            dpu: d,
+                            cycles: budget,
+                        }),
+                    );
+                }
+                // No watchdog: the DPU really never returns. Spin on the
+                // host clock until the deadline watcher cancels us.
+                while !cancel.load(Ordering::Relaxed) {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                return (
+                    d,
+                    Err(SimError::WatchdogExpired {
+                        rank: rank_idx,
+                        dpu: d,
+                        cycles: 0,
+                    }),
+                );
+            }
+            let res = match kernel.run(dpu) {
+                // The interpreter's hard step cap is the same failure class:
+                // runaway execution, recoverable at the launch boundary.
+                Err(SimError::Isa(IsaError::MaxSteps { .. })) => Err(SimError::WatchdogExpired {
+                    rank: rank_idx,
+                    dpu: d,
+                    cycles: dpu.stats.cycles,
+                }),
+                Ok(()) if budget > 0 && dpu.stats.cycles > budget => {
+                    Err(SimError::WatchdogExpired {
+                        rank: rank_idx,
+                        dpu: d,
+                        cycles: dpu.stats.cycles,
+                    })
+                }
+                other => other,
+            };
+            (d, res)
+        };
         let workers = threads.max(1).min(running.len().max(1));
         let results: Vec<(usize, Result<(), SimError>)> = if workers <= 1 {
             running
                 .iter_mut()
-                .map(|(d, dpu)| (*d, kernel.run(dpu)))
+                .map(|(d, hung, dpu)| run_one(*d, *hung, dpu))
                 .collect()
         } else {
             let per = running.len().div_ceil(workers);
@@ -176,10 +267,11 @@ impl Rank {
                 let handles: Vec<_> = running
                     .chunks_mut(per)
                     .map(|chunk| {
+                        let run_one = &run_one;
                         s.spawn(move || {
                             chunk
                                 .iter_mut()
-                                .map(|(d, dpu)| (*d, kernel.run(dpu)))
+                                .map(|(d, hung, dpu)| run_one(*d, *hung, dpu))
                                 .collect::<Vec<_>>()
                         })
                     })
@@ -200,6 +292,8 @@ impl Rank {
         // sequential launch.
         let mut agg = AggregateStats::default();
         let mut errors = Vec::new();
+        let mut silent_corrupt = Vec::new();
+        let mut runaway_barrier: Cycles = 0;
         for (d, res) in results {
             match res {
                 Ok(()) => {
@@ -209,18 +303,45 @@ impl Rank {
                         if let Some(seed) = self.fault.corruption(d) {
                             dpu.mram.arm_corruption(seed);
                         }
+                        // Silent corruption only makes sense on a DPU that
+                        // actually produced results.
+                        if let Some(seed) = self.fault.silent_corruption(d) {
+                            silent_corrupt.push((d, seed));
+                        }
                     }
                 }
-                Err(e) => errors.push((d, e)),
+                Err(e) => {
+                    if let SimError::WatchdogExpired { cycles, .. } = e {
+                        agg.add_watchdog_expired(cycles);
+                        // The rank barrier waits for the watchdog to fire.
+                        runaway_barrier = runaway_barrier.max(cycles);
+                    }
+                    errors.push((d, e));
+                }
             }
         }
-        let barrier_cycles = (agg.max_cycles as f64 * self.fault.slowdown()).round() as Cycles;
+        let barrier_basis = agg.max_cycles.max(runaway_barrier);
+        let barrier_cycles = (barrier_basis as f64 * self.fault.slowdown()).round() as Cycles;
         Ok(RankRun {
             barrier_cycles,
             stats: agg,
             faulted,
             errors,
+            silent_corrupt,
+            cancelled: self.cancel.load(Ordering::Relaxed),
         })
+    }
+}
+
+/// Sleep `seconds` in small slices, returning early when `cancel` is set.
+fn cancellable_sleep(seconds: f64, cancel: &AtomicBool) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs_f64(seconds);
+    while !cancel.load(Ordering::Relaxed) {
+        let left = deadline.saturating_duration_since(std::time::Instant::now());
+        if left.is_zero() {
+            break;
+        }
+        std::thread::sleep(left.min(std::time::Duration::from_millis(1)));
     }
 }
 
@@ -239,6 +360,15 @@ pub struct RankRun {
     /// intact (previously the first error aborted the rank and discarded
     /// the stats of DPUs already executed).
     pub errors: Vec<(usize, SimError)>,
+    /// Silent result-corruption draws: `(dpu, mutation_seed)` for DPUs
+    /// whose launch succeeded. The simulator does not know the result
+    /// layout, so the dispatch layer above applies the actual mutation
+    /// (record picked and perturbed deterministically from the seed, the
+    /// checksum recomputed so readback integrity checks pass).
+    pub silent_corrupt: Vec<(usize, u64)>,
+    /// True when the host's deadline watcher cancelled this launch — at
+    /// least one wall-clock wait was cut short by the cancel token.
+    pub cancelled: bool,
 }
 
 #[cfg(test)]
@@ -458,16 +588,24 @@ mod tests {
     fn parallel_launch_matches_sequential_bit_for_bit() {
         // Same topology + fault plan, threads 1 vs 4 (and a non-dividing
         // 3): everything observable must be identical — fault draws,
-        // errors, aggregates, barrier, MRAM corruption arming.
+        // errors, aggregates, barrier, MRAM corruption arming, silent
+        // corruption draws, watchdog expiries.
         let plan = FaultPlan {
             seed: 1234,
             dpu_fault_rate: 0.25,
             corrupt_rate: 0.3,
+            hang_rate: 0.2,
+            silent_corrupt_rate: 0.3,
             disabled_dpus: vec![(0, 5)],
             ..Default::default()
         };
+        let cfg = DpuConfig {
+            // Finite budget so injected hangs resolve deterministically.
+            watchdog_cycles: 1_000_000,
+            ..Default::default()
+        };
         let build = || {
-            let mut r = Rank::with_faults(DpuConfig::default(), 16, plan.rank_state(0, 16));
+            let mut r = Rank::with_faults(cfg, 16, plan.rank_state(0, 16));
             for d in 0..16 {
                 let load = [3u8, 1, 0, 2, 5][d % 5];
                 if let Ok(dpu) = r.dpu_mut(d) {
@@ -485,6 +623,10 @@ mod tests {
                 assert_eq!(a.barrier_cycles, b.barrier_cycles);
                 assert_eq!(a.faulted, b.faulted);
                 assert_eq!(a.errors, b.errors);
+                assert_eq!(a.silent_corrupt, b.silent_corrupt);
+                assert_eq!(a.cancelled, b.cancelled);
+                assert_eq!(a.stats.watchdog_expired, b.stats.watchdog_expired);
+                assert_eq!(a.stats.runaway_cycles, b.stats.runaway_cycles);
                 assert_eq!(a.stats.dpus, b.stats.dpus);
                 assert_eq!(a.stats.min_cycles, b.stats.min_cycles);
                 assert_eq!(a.stats.max_cycles, b.stats.max_cycles);
@@ -497,5 +639,192 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn watchdog_reaps_runaway_kernels_and_preserves_partial_stats() {
+        let cfg = DpuConfig {
+            watchdog_cycles: 2000,
+            ..Default::default()
+        };
+        let mut rank = Rank::new(cfg, 2);
+        // Load 1 → 1100 cycles (inside budget); load 5 → 5500 (runaway).
+        rank.dpu_mut(0).unwrap().mram.host_write(0, &[1]).unwrap();
+        rank.dpu_mut(1).unwrap().mram.host_write(0, &[5]).unwrap();
+        let run = rank.launch(&SpinKernel).unwrap();
+        assert_eq!(run.errors.len(), 1);
+        assert_eq!(
+            run.errors[0],
+            (
+                1,
+                SimError::WatchdogExpired {
+                    rank: 0,
+                    dpu: 1,
+                    cycles: 5500,
+                }
+            )
+        );
+        assert_eq!(run.stats.dpus, 1, "the healthy DPU's results survive");
+        assert_eq!(run.stats.watchdog_expired, 1);
+        assert_eq!(run.stats.runaway_cycles, 5500);
+        assert_eq!(
+            run.barrier_cycles, 5500,
+            "the rank barrier waits for the watchdog to fire"
+        );
+    }
+
+    #[test]
+    fn injected_hangs_burn_exactly_the_budget() {
+        let plan = FaultPlan {
+            seed: 9,
+            hang_rate: 1.0,
+            ..Default::default()
+        };
+        let cfg = DpuConfig {
+            watchdog_cycles: 9000,
+            ..Default::default()
+        };
+        let mut rank = Rank::with_faults(cfg, 3, plan.rank_state(0, 3));
+        for d in 0..3 {
+            rank.dpu_mut(d).unwrap().mram.host_write(0, &[1]).unwrap();
+        }
+        let run = rank.launch(&SpinKernel).unwrap();
+        assert_eq!(run.errors.len(), 3, "every DPU hung");
+        for (d, e) in &run.errors {
+            assert!(
+                matches!(e, SimError::WatchdogExpired { cycles: 9000, .. }),
+                "dpu {d}: {e}"
+            );
+        }
+        assert_eq!(run.stats.dpus, 0);
+        assert_eq!(run.stats.watchdog_expired, 3);
+        assert_eq!(run.barrier_cycles, 9000);
+        assert!(!run.cancelled);
+    }
+
+    #[test]
+    fn unwatched_hang_spins_until_the_host_cancels() {
+        let plan = FaultPlan {
+            seed: 9,
+            hang_rate: 1.0,
+            ..Default::default()
+        };
+        // Watchdog disabled: the hang is a real wall-clock spin, broken
+        // only by the cancel token (the host deadline path).
+        let mut rank = Rank::with_faults(DpuConfig::default(), 1, plan.rank_state(0, 1));
+        rank.dpu_mut(0).unwrap().mram.host_write(0, &[1]).unwrap();
+        let token = rank.cancel_token();
+        let done = Arc::new(AtomicBool::new(false));
+        let canceller = {
+            let done = done.clone();
+            std::thread::spawn(move || {
+                // Keep re-asserting the cancel until the launch returns, so
+                // the test cannot race the launch-entry flag reset.
+                while !done.load(Ordering::Relaxed) {
+                    token.store(true, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            })
+        };
+        let run = rank.launch(&SpinKernel).unwrap();
+        done.store(true, Ordering::Relaxed);
+        canceller.join().unwrap();
+        assert!(run.cancelled);
+        assert_eq!(
+            run.errors[0],
+            (
+                0,
+                SimError::WatchdogExpired {
+                    rank: 0,
+                    dpu: 0,
+                    cycles: 0,
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn cancel_cuts_the_straggler_hold_short() {
+        let plan = FaultPlan {
+            straggler_ranks: vec![0],
+            straggler_hold_ms: 60_000.0, // a minute — must not actually elapse
+            ..Default::default()
+        };
+        let mut rank = Rank::with_faults(DpuConfig::default(), 1, plan.rank_state(0, 1));
+        rank.dpu_mut(0).unwrap().mram.host_write(0, &[1]).unwrap();
+        // First launch is the held one (odd launch counter).
+        let token = rank.cancel_token();
+        let done = Arc::new(AtomicBool::new(false));
+        let canceller = {
+            let done = done.clone();
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    token.store(true, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            })
+        };
+        let start = std::time::Instant::now();
+        let run = rank.launch(&SpinKernel).unwrap();
+        done.store(true, Ordering::Relaxed);
+        canceller.join().unwrap();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "no wedge"
+        );
+        assert!(run.cancelled);
+        // The hold is timing-only: the DPU still ran and produced stats.
+        assert_eq!(run.stats.dpus, 1);
+    }
+
+    /// Kernel that aborts with the interpreter's step cap after recording
+    /// partial progress — the raw `MaxSteps` must not survive the launch.
+    struct RunawayKernel;
+
+    impl Kernel for RunawayKernel {
+        fn run(&self, dpu: &mut Dpu) -> Result<(), SimError> {
+            dpu.stats.cycles = 123_456;
+            Err(IsaError::MaxSteps { limit: 1000 }.into())
+        }
+    }
+
+    #[test]
+    fn interpreter_step_cap_becomes_watchdog_expiry_on_the_launch_path() {
+        let mut rank = Rank::new(DpuConfig::default(), 1);
+        let run = rank.launch(&RunawayKernel).unwrap();
+        assert_eq!(
+            run.errors[0],
+            (
+                0,
+                SimError::WatchdogExpired {
+                    rank: 0,
+                    dpu: 0,
+                    cycles: 123_456,
+                }
+            )
+        );
+        assert_eq!(run.stats.watchdog_expired, 1);
+        assert_eq!(run.stats.runaway_cycles, 123_456);
+    }
+
+    #[test]
+    fn silent_corruption_is_drawn_only_for_successful_dpus() {
+        let plan = FaultPlan {
+            seed: 77,
+            silent_corrupt_rate: 1.0,
+            dpu_fault_rate: 0.5,
+            ..Default::default()
+        };
+        let mut rank = Rank::with_faults(DpuConfig::default(), 8, plan.rank_state(0, 8));
+        for d in 0..8 {
+            rank.dpu_mut(d).unwrap().mram.host_write(0, &[1]).unwrap();
+        }
+        let run = rank.launch(&SpinKernel).unwrap();
+        let drawn: Vec<usize> = run.silent_corrupt.iter().map(|&(d, _)| d).collect();
+        assert!(!drawn.is_empty());
+        for d in &drawn {
+            assert!(!run.faulted.contains(d), "faulted DPUs produce nothing");
+        }
+        assert_eq!(drawn.len() + run.faulted.len(), 8);
     }
 }

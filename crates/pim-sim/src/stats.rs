@@ -88,6 +88,13 @@ pub struct AggregateStats {
     pub min_cycles: Cycles,
     /// Number of DPUs aggregated.
     pub dpus: usize,
+    /// DPUs whose launch tripped the cycle-budget watchdog (runaway
+    /// kernels / injected livelocks). Their partial cycles are *not* part
+    /// of `total` — they produced no results — but are preserved in
+    /// `runaway_cycles` so wasted work stays visible.
+    pub watchdog_expired: u64,
+    /// Cycles burned by watchdog-expired DPUs before they were reaped.
+    pub runaway_cycles: Cycles,
 }
 
 impl AggregateStats {
@@ -119,6 +126,12 @@ impl AggregateStats {
             return 0.0;
         }
         self.total.cycles as f64 / self.dpus as f64
+    }
+
+    /// Note a DPU reaped by the watchdog after `cycles` of runaway work.
+    pub fn add_watchdog_expired(&mut self, cycles: Cycles) {
+        self.watchdog_expired += 1;
+        self.runaway_cycles += cycles;
     }
 }
 
@@ -177,6 +190,22 @@ mod tests {
         let agg = AggregateStats::default();
         assert_eq!(agg.imbalance(), 0.0);
         assert_eq!(agg.mean_cycles(), 0.0);
+        assert_eq!(agg.watchdog_expired, 0);
+    }
+
+    #[test]
+    fn watchdog_expiries_accumulate_outside_total() {
+        let mut agg = AggregateStats::default();
+        agg.add(&DpuStats {
+            cycles: 100,
+            ..Default::default()
+        });
+        agg.add_watchdog_expired(5000);
+        agg.add_watchdog_expired(7000);
+        assert_eq!(agg.watchdog_expired, 2);
+        assert_eq!(agg.runaway_cycles, 12_000);
+        assert_eq!(agg.total.cycles, 100, "runaway work is not useful work");
+        assert_eq!(agg.dpus, 1);
     }
 
     #[test]

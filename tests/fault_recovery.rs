@@ -34,6 +34,9 @@ fn faulty_server(plan: FaultPlan, ranks: usize, dpus: usize) -> PimServer {
     let mut cfg = ServerConfig::with_ranks(ranks);
     cfg.dpus_per_rank = dpus;
     cfg.fault = plan;
+    // Finite cycle budget so injected livelocks are reaped deterministically
+    // in simulated time (no wall-clock involved).
+    cfg.dpu.watchdog_cycles = 50_000_000;
     PimServer::new(cfg)
 }
 
@@ -48,6 +51,8 @@ fn random_fault_plans_never_lose_or_corrupt_jobs() {
         max_attempts: 3,
         quarantine_after: 2,
         cpu_threads: 2,
+        audit: true,
+        ..Default::default()
     };
     for seed in [3u64, 17, 99, 1234] {
         let pairs = noisy_pairs(18, 400, seed);
@@ -60,8 +65,9 @@ fn random_fault_plans_never_lose_or_corrupt_jobs() {
         assert_eq!(clean_results.len(), pairs.len());
 
         // Same batch under a seeded chaos plan (disabled DPUs, a dead
-        // rank, launch faults, readback corruption, a straggler).
-        let plan = FaultPlan::chaos(seed, ranks, dpus, 2, 0.2, 0.15);
+        // rank, launch faults, readback corruption, a straggler, tasklet
+        // livelocks, silent CIGAR corruption).
+        let plan = FaultPlan::chaos(seed, ranks, dpus, 2, 0.2, 0.15, 0.1, 0.1);
         let mut server = faulty_server(plan, ranks, dpus);
         let (report, results) = align_pairs_recovering(&mut server, &cfg, &rcfg, &pairs).unwrap();
 
@@ -123,6 +129,7 @@ fn hopeless_server_still_completes_via_cpu() {
         max_attempts: 2,
         quarantine_after: 2,
         cpu_threads: 2,
+        ..Default::default()
     };
     let (report, results) = align_pairs_recovering(&mut server, &cfg, &rcfg, &pairs).unwrap();
     assert_eq!(report.fault.cpu_fallbacks, pairs.len());
