@@ -16,15 +16,51 @@ cargo test --workspace -q
 echo "==> upmem-nw lint"
 cargo run --release -q -p upmem-nw-cli --bin upmem-nw -- lint
 
+# Machine-readable lint: every built-in kernel must verify clean, carry a
+# finite symbolic WCET bound, and prove its cross-tasklet WRAM partition
+# (the race-freedom fact that lets the fast path skip the sanitizer).
+echo "==> upmem-nw lint --json"
+LINT_JSON="$(mktemp -t LINT.XXXXXX.json)"
+cargo run --release -q -p upmem-nw-cli --bin upmem-nw -- lint --json true > "$LINT_JSON"
+python3 - "$LINT_JSON" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    lint = json.load(f)
+
+for key in ["kernels", "kernels_verified", "total_errors", "total_warnings", "ok"]:
+    assert key in lint, f"missing top-level key {key!r}"
+assert lint["ok"] is True and lint["total_errors"] == 0
+assert lint["kernels_verified"] == 4, "expected pure_c/asm x score/traceback"
+for k in lint["kernels"]:
+    for key in ["kernel", "instructions", "errors", "warnings", "diagnostics",
+                "sanitizer", "wcet", "race_free"]:
+        assert key in k, f"missing kernel key {key!r}"
+    assert k["errors"] == 0 and k["sanitizer"] == "clean"
+    assert k["wcet"]["finite"] is True, f"{k['kernel']}: WCET bound not finite"
+    assert k["wcet"]["eval_at_192_cells"] > 0
+    assert k["race_free"] is True, f"{k['kernel']}: WRAM partition unproven"
+print(f"LINT json OK: {lint['kernels_verified']} kernels, all bounds finite, "
+      f"all partitions proven")
+EOF
+rm -f "$LINT_JSON"
+
+# WCET soundness at smoke scale: random kernel shapes and band contents
+# must never retire more instructions than the symbolic bound claims, and
+# a watchdog budget derived from the bound must not reap healthy kernels.
+echo "==> WCET soundness property tests (smoke scale)"
+WCET_SMOKE_TRIALS=40 cargo test --release -q -p dpu-kernel --test wcet_soundness -- --nocapture
+
 # Fault-injection smoke: a seeded chaos plan (dead rank, disabled DPUs,
 # launch faults, corruption, tasklet livelocks reaped by the cycle-budget
 # watchdog, and silent CIGAR corruption only the result audit can catch)
 # must lose zero jobs and keep every score identical to the fault-free
 # reference — the command exits nonzero otherwise, including when a silent
-# corruption escapes the audit layer.
+# corruption escapes the audit layer. The watchdog budget is the WCET
+# auto-derived one, so a too-tight bound surfaces here as lost jobs.
 echo "==> upmem-nw chaos --seed 42 --hang-faults 0.1 --corrupt-cigars 0.1"
 cargo run --release -q -p upmem-nw-cli --bin upmem-nw -- chaos --seed 42 \
-    --hang-faults 0.1 --corrupt-cigars 0.1 --watchdog-cycles 100000000
+    --hang-faults 0.1 --corrupt-cigars 0.1 --watchdog-cycles auto
 
 # Dispatch-engine smoke: run the host-throughput benchmark at smoke scale
 # (lockstep vs pipelined, with and without an injected straggler). The
@@ -105,10 +141,16 @@ assert len(bench["interp"]) == 4, "expected pure_c/asm x score/traceback"
 for k in bench["interp"]:
     for key in ["kernel", "program_len", "dense_len", "fused_windows",
                 "fast_eligible", "instructions", "checked_instr_per_sec",
-                "fast_instr_per_sec", "speedup", "bit_identical"]:
+                "fast_instr_per_sec", "speedup", "bit_identical",
+                "wcet_instructions", "dynamic_static_ratio", "race_free"]:
         assert key in k, f"missing interp key {key!r}"
     assert k["fast_eligible"] is True and k["bit_identical"] is True
     assert 0 < k["dense_len"] <= k["program_len"]
+    assert k["wcet_instructions"] > 0, f"{k['kernel']}: no finite WCET bound"
+    assert 0 < k["dynamic_static_ratio"] <= 1.0, \
+        f"{k['kernel']}: dynamic/static cycle ratio {k['dynamic_static_ratio']} " \
+        f"violates WCET soundness"
+    assert k["race_free"] is True, f"{k['kernel']}: sanitizer-skip fast path unproven"
 for cond in ["sequential_checked", "sequential_fast",
              "parallel_checked", "parallel_fast"]:
     run = bench["rank"][cond]

@@ -329,16 +329,39 @@ pub fn cmd_generate(kind: &str, count: usize, seed: u64) -> Result<String, CliEr
     Ok(fasta::write_string(&records))
 }
 
-/// Statically verify every built-in DPU kernel and run each under the
+/// Minimal JSON string escaping for hand-rolled reports.
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Statically verify every built-in DPU kernel, derive its symbolic WCET
+/// bound and cross-tasklet race-freedom proof, and run each under the
 /// runtime sanitizer. Returns the report; `Err(CliError::Lint)` if any
-/// verifier error or sanitizer fault was found. `verbose` includes info
-/// diagnostics (termination proofs, unproven-access summaries).
-pub fn cmd_lint(verbose: bool) -> Result<String, CliError> {
+/// verifier error, sanitizer fault, or unbounded kernel was found.
+/// `verbose` includes info diagnostics (termination proofs,
+/// unproven-access summaries); `json` renders the same facts as a
+/// machine-readable object (all diagnostics included).
+pub fn cmd_lint(verbose: bool, json: bool) -> Result<String, CliError> {
     use dpu_kernel::isa_loops;
     use dpu_kernel::KernelVariant;
-    use pim_sim::isa::{verify_program, Severity};
+    use pim_sim::isa::{verify_program, KernelParams, Reg, Severity};
 
     let mut out = String::new();
+    let mut kernel_json = Vec::new();
     let mut kernels = 0usize;
     let mut total_errors = 0usize;
     let mut total_warnings = 0usize;
@@ -375,7 +398,7 @@ pub fn cmd_lint(verbose: bool) -> Result<String, CliError> {
                     let _ = writeln!(out, "  {d}");
                 }
             }
-            match isa_loops::measure_sanitized(variant, with_bt) {
+            let sanitizer = match isa_loops::measure_sanitized(variant, with_bt) {
                 Ok(m) => {
                     if verbose {
                         let _ = writeln!(
@@ -384,18 +407,81 @@ pub fn cmd_lint(verbose: bool) -> Result<String, CliError> {
                             m.instr_per_cell, m.cells
                         );
                     }
+                    "clean".to_string()
                 }
                 Err(e) => {
                     total_errors += 1;
                     let _ = writeln!(out, "  sanitizer: {e}");
+                    e.to_string()
+                }
+            };
+            // Symbolic worst-case bound in terms of the kernel's declared
+            // inputs (r1 = remaining cells). An unbounded shipped kernel is
+            // a lint error: no watchdog budget can be derived for it.
+            let bound = isa_loops::kernel_wcet(variant, with_bt);
+            let eval_192 = bound.eval(&KernelParams::new().set(
+                Reg::new(1).expect("r1 exists"),
+                isa_loops::PROOF_CELLS as u64,
+            ));
+            let race_free = isa_loops::prove_race_free(variant, with_bt);
+            if bound.is_finite() {
+                let _ = writeln!(
+                    out,
+                    "  wcet: {bound} instructions (<= {} at {} cells)",
+                    eval_192
+                        .map(|v| v.to_string())
+                        .unwrap_or_else(|| "?".into()),
+                    isa_loops::PROOF_CELLS,
+                );
+            } else {
+                total_errors += 1;
+                let _ = writeln!(out, "  wcet: {bound}");
+            }
+            match &race_free {
+                Ok(()) => {
+                    let _ = writeln!(
+                        out,
+                        "  race-freedom: proven for {} tasklets (fast path may skip the sanitizer)",
+                        isa_loops::PROOF_TASKLETS,
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "  race-freedom: unproven ({e})");
                 }
             }
+            let diag_json: Vec<String> = diags.iter().map(|d| jstr(&d.to_string())).collect();
+            kernel_json.push(format!(
+                "{{\"kernel\": {}, \"instructions\": {}, \"errors\": {errors}, \
+                 \"warnings\": {warnings}, \"diagnostics\": [{}], \"sanitizer\": {}, \
+                 \"wcet\": {{\"finite\": {}, \"bound\": {}, \"eval_at_{}_cells\": {}}}, \
+                 \"race_free\": {}}}",
+                jstr(&name),
+                prog.len(),
+                diag_json.join(", "),
+                jstr(&sanitizer),
+                bound.is_finite(),
+                jstr(&bound.to_string()),
+                isa_loops::PROOF_CELLS,
+                eval_192
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "null".into()),
+                race_free.is_ok(),
+            ));
         }
     }
     let _ = writeln!(
         out,
         "{kernels} kernels verified: {total_errors} errors, {total_warnings} warnings"
     );
+    if json {
+        out = format!(
+            "{{\n  \"kernels\": [\n    {}\n  ],\n  \"kernels_verified\": {kernels},\n  \
+             \"total_errors\": {total_errors},\n  \"total_warnings\": {total_warnings},\n  \
+             \"ok\": {}\n}}\n",
+            kernel_json.join(",\n    "),
+            total_errors == 0,
+        );
+    }
     if total_errors > 0 {
         Err(CliError::Lint(out))
     } else {
@@ -427,9 +513,13 @@ pub struct ChaosOpts {
     /// (`--corrupt-cigars`): a result payload is mutated and its checksum
     /// recomputed, so only the host audit can catch it.
     pub silent_corrupt_rate: f64,
-    /// Per-launch DPU cycle budget (`--watchdog-cycles`; 0 disables the
-    /// watchdog, leaving hung DPUs to the wall-clock deadline).
-    pub watchdog_cycles: u64,
+    /// Per-launch DPU cycle budget (`--watchdog-cycles`). `None` (the
+    /// default, spelled `auto` on the command line) derives the budget from
+    /// the kernels' symbolic WCET bounds and the batch geometry
+    /// ([`dpu_kernel::cost::wcet_watchdog_cycles`]); `Some(0)` disables the
+    /// watchdog, leaving hung DPUs to the wall-clock deadline; `Some(n)` is
+    /// an explicit override.
+    pub watchdog_cycles: Option<u64>,
     /// Wall-clock deadline on rank execution, seconds (0 disables).
     pub deadline_seconds: f64,
     /// Audit every returned alignment against its sequences and recomputed
@@ -462,7 +552,7 @@ impl Default for ChaosOpts {
             corrupt_rate: 0.1,
             hang_rate: 0.1,
             silent_corrupt_rate: 0.1,
-            watchdog_cycles: 100_000_000,
+            watchdog_cycles: None,
             deadline_seconds: 10.0,
             audit: true,
             disabled: 2,
@@ -500,15 +590,26 @@ pub fn cmd_chaos(opts: &ChaosOpts) -> Result<String, CliError> {
         opts.hang_rate,
         opts.silent_corrupt_rate,
     );
-    server_cfg.dpu.watchdog_cycles = opts.watchdog_cycles;
     let plan = server_cfg.fault.clone();
-    let mut server = PimServer::new(server_cfg);
-
     let params = KernelParams {
         band: opts.band.next_multiple_of(16).max(16),
         scheme: ScoringScheme::default(),
         score_only: false,
     };
+    // Watchdog budget: an explicit `--watchdog-cycles` wins; otherwise
+    // derive it from the kernels' symbolic WCET bounds at this batch's
+    // geometry, counting only slots the fault plan leaves healthy (fewer
+    // slots stack more jobs per DPU, which raises the per-DPU bound).
+    let watchdog_cycles = opts.watchdog_cycles.unwrap_or_else(|| {
+        let lens: Vec<(usize, usize)> = pairs.iter().map(|(a, b)| (a.len(), b.len())).collect();
+        let healthy = (ranks * dpus)
+            .saturating_sub(plan.disabled_dpus.len())
+            .saturating_sub(plan.dead_ranks.len() * dpus)
+            .max(1);
+        dpu_kernel::cost::wcet_watchdog_cycles(&lens, params.band, params.score_only, healthy)
+    });
+    server_cfg.dpu.watchdog_cycles = watchdog_cycles;
+    let mut server = PimServer::new(server_cfg);
     let mut cfg = DispatchConfig::new(NwKernel::paper_default(), params);
     cfg.engine = engine_from_flags(opts.fifo_depth, opts.sync_dispatch);
     cfg.sim_threads = opts.sim_threads;
@@ -538,7 +639,11 @@ pub fn cmd_chaos(opts: &ChaosOpts) -> Result<String, CliError> {
         plan.corrupt_rate,
         plan.hang_rate,
         plan.silent_corrupt_rate,
-        opts.watchdog_cycles,
+        match opts.watchdog_cycles {
+            None => format!("{watchdog_cycles} (wcet auto)"),
+            Some(0) => "0 (off)".to_string(),
+            Some(n) => n.to_string(),
+        },
         opts.deadline_seconds,
         if opts.audit { "on" } else { "off" },
         report.summary(),
@@ -795,8 +900,18 @@ pub fn cmd_bench(opts: &BenchOpts) -> Result<String, CliError> {
     // Guard condition: the watchdog budget plus the per-result audit on a
     // clean pipelined run, best-of-N host wall against an unguarded
     // best-of-N, so CI can assert the robustness machinery is ~free when
-    // nothing faults. Outputs must stay bit-identical.
-    const GUARD_WATCHDOG_CYCLES: u64 = 100_000_000;
+    // nothing faults. Outputs must stay bit-identical. The budget is
+    // derived from the kernels' symbolic WCET bounds — what a production
+    // launch would use — instead of a fixed constant.
+    let guard_watchdog_cycles = {
+        let lens: Vec<(usize, usize)> = pairs.iter().map(|(a, b)| (a.len(), b.len())).collect();
+        dpu_kernel::cost::wcet_watchdog_cycles(
+            &lens,
+            opts.band.next_multiple_of(16).max(16),
+            false,
+            opts.ranks.max(1) * opts.dpus.max(1),
+        )
+    };
     const GUARD_REPS: usize = 3;
     let mut clean_best = f64::INFINITY;
     let mut guarded_best = f64::INFINITY;
@@ -810,7 +925,7 @@ pub fn cmd_bench(opts: &BenchOpts) -> Result<String, CliError> {
             FaultPlan::default(),
             &opts,
             &pairs,
-            GUARD_WATCHDOG_CYCLES,
+            guard_watchdog_cycles,
             true,
         )?;
         guarded_best = guarded_best.min(g.host_wall_seconds);
@@ -830,7 +945,7 @@ pub fn cmd_bench(opts: &BenchOpts) -> Result<String, CliError> {
          \"straggler\": {{\"rank\": 0, \"slowdown\": 2.0, \"hold_ms\": {}}},\n  \
          \"lockstep\": {},\n  \"pipelined\": {},\n  \
          \"no_fault\": {{\"lockstep\": {}, \"pipelined\": {}, \"speedup_host_wall\": {}}},\n  \
-         \"guard\": {{\"watchdog_cycles\": {}, \"audit\": true, \"reps\": {}, \
+         \"guard\": {{\"watchdog_cycles\": {}, \"watchdog_derived\": true, \"audit\": true, \"reps\": {}, \
          \"clean_host_wall_seconds\": {}, \"guarded_host_wall_seconds\": {}, \
          \"overhead_fraction\": {}, \"audited\": {}, \"bit_identical\": {}}},\n  \
          \"speedup_host_wall\": {},\n  \"bit_identical\": {}\n}}\n",
@@ -846,7 +961,7 @@ pub fn cmd_bench(opts: &BenchOpts) -> Result<String, CliError> {
         run_json(&lock_c, opts.pairs),
         run_json(&pipe_c, opts.pairs),
         jf(speedup_clean),
-        GUARD_WATCHDOG_CYCLES,
+        guard_watchdog_cycles,
         GUARD_REPS,
         jf(clean_best),
         jf(guarded_best),
@@ -886,9 +1001,9 @@ pub fn cmd_bench(opts: &BenchOpts) -> Result<String, CliError> {
     );
     let _ = writeln!(
         out,
-        "guard (watchdog {} cycles + audit, best of {}): clean {:.4}s, \
+        "guard (wcet-derived watchdog {} cycles + audit, best of {}): clean {:.4}s, \
          guarded {:.4}s -> overhead {:.2}%",
-        GUARD_WATCHDOG_CYCLES,
+        guard_watchdog_cycles,
         GUARD_REPS,
         clean_best,
         guarded_best,
@@ -1029,6 +1144,7 @@ fn cmd_bench_sim(opts: &BenchOpts) -> Result<String, CliError> {
          {dpus} DPUs x {launches} launches x {passes} passes, {threads} sim threads\n"
     );
     let mut identical = true;
+    let mut wcet_sound = true;
     for (variant, vname) in [
         (KernelVariant::PureC, "pure_c"),
         (KernelVariant::Asm, "asm"),
@@ -1068,10 +1184,22 @@ fn cmd_bench_sim(opts: &BenchOpts) -> Result<String, CliError> {
             let checked_ips = ci as f64 / ct.max(1e-12);
             let fast_ips = fi as f64 / ft.max(1e-12);
             let speedup = fast_ips / checked_ips.max(1e-12);
+            // Static-vs-dynamic soundness: the retired instructions of one
+            // pass must never exceed the symbolic WCET bound evaluated at
+            // this cell count.
+            let static_instr = isa_loops::kernel_wcet(variant, with_bt)
+                .eval(
+                    &pim_sim::isa::KernelParams::new()
+                        .set(pim_sim::isa::Reg::new(1).expect("r1 exists"), cells as u64),
+                )
+                .unwrap_or(0);
+            let dynamic_instr = ci / u64::from(interp_iters.max(1));
+            let ratio = dynamic_instr as f64 / (static_instr.max(1)) as f64;
+            wcet_sound &= static_instr > 0 && dynamic_instr <= static_instr;
             let _ = writeln!(
                 out,
                 "  {name}: checked {:.2} Minstr/s, fast {:.2} Minstr/s -> {:.2}x \
-                 ({} fused windows, {} -> {} ops)",
+                 ({} fused windows, {} -> {} ops, dynamic/static {ratio:.2})",
                 checked_ips / 1e6,
                 fast_ips / 1e6,
                 speedup,
@@ -1083,7 +1211,9 @@ fn cmd_bench_sim(opts: &BenchOpts) -> Result<String, CliError> {
                 "{{\"kernel\": \"{name}\", \"program_len\": {}, \"dense_len\": {}, \
                  \"fused_windows\": {}, \"fast_eligible\": {}, \"instructions\": {ci}, \
                  \"checked_instr_per_sec\": {}, \"fast_instr_per_sec\": {}, \
-                 \"speedup\": {}, \"bit_identical\": {same}}}",
+                 \"speedup\": {}, \"bit_identical\": {same}, \
+                 \"wcet_instructions\": {static_instr}, \"dynamic_static_ratio\": {}, \
+                 \"race_free\": {}}}",
                 prep.program().len(),
                 prep.dense_len(),
                 prep.fused_windows(),
@@ -1091,6 +1221,8 @@ fn cmd_bench_sim(opts: &BenchOpts) -> Result<String, CliError> {
                 jf(checked_ips),
                 jf(fast_ips),
                 jf(speedup),
+                jf(ratio),
+                prep.statically_race_free(),
             ));
         }
     }
@@ -1178,6 +1310,12 @@ fn cmd_bench_sim(opts: &BenchOpts) -> Result<String, CliError> {
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
     std::fs::write(&path, &json)?;
     let _ = writeln!(out, "wrote {path}");
+    if !wcet_sound {
+        return Err(CliError::Align(format!(
+            "WCET soundness violated: a kernel retired more instructions per \
+             pass than its static bound allows\n{out}"
+        )));
+    }
     if !identical {
         return Err(CliError::Align(format!(
             "interpreter paths disagree: fast/parallel output is not \
@@ -1302,16 +1440,41 @@ mod tests {
 
     #[test]
     fn lint_passes_on_builtin_kernels() {
-        let report = cmd_lint(false).expect("built-in kernels must lint clean");
+        let report = cmd_lint(false, false).expect("built-in kernels must lint clean");
         assert!(
             report.contains("4 kernels verified: 0 errors, 0 warnings"),
             "{report}"
         );
+        // Every shipped kernel carries a finite symbolic bound and a
+        // cross-tasklet race-freedom proof.
+        assert!(report.contains("wcet: "), "{report}");
+        assert!(!report.contains("unbounded"), "{report}");
+        assert!(report.contains("race-freedom: proven"), "{report}");
         // Verbose mode surfaces the analysis facts.
-        let verbose = cmd_lint(true).unwrap();
+        let verbose = cmd_lint(true, false).unwrap();
         assert!(verbose.contains("sanitizer: clean"), "{verbose}");
         assert!(verbose.contains("loop-termination"), "{verbose}");
         assert!(verbose.len() > report.len());
+    }
+
+    #[test]
+    fn lint_json_is_machine_readable() {
+        let json = cmd_lint(false, true).expect("built-in kernels must lint clean");
+        for key in [
+            "\"kernels_verified\": 4",
+            "\"total_errors\": 0",
+            "\"total_warnings\": 0",
+            "\"ok\": true",
+            "\"finite\": true",
+            "\"race_free\": true",
+            "\"sanitizer\": \"clean\"",
+            "\"kernel\": \"asm/traceback\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // No unescaped control characters inside strings: the report must
+        // survive a strict JSON parse downstream (ci.sh validates shape).
+        assert!(!json.contains("\t"), "{json}");
     }
 
     #[test]
@@ -1352,6 +1515,9 @@ mod tests {
             out.contains("0 retries, 0 quarantined, 0 dead ranks, 0 cpu fallbacks"),
             "{out}"
         );
+        // The default budget is derived from the kernels' WCET bounds, and
+        // a clean run must fit inside it without any escalation.
+        assert!(out.contains("(wcet auto)"), "{out}");
         // The audit still ran (it is on by default) but a clean audited
         // run must not dirty the report.
         assert!(out.contains("audited"), "{out}");
@@ -1480,6 +1646,9 @@ mod tests {
             "\"speedup_dpus_per_sec\"",
             "\"sim_threads\": 3",
             "\"bit_identical\": true",
+            "\"wcet_instructions\"",
+            "\"dynamic_static_ratio\"",
+            "\"race_free\": true",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -10,15 +10,19 @@
 //! upmem-nw chaos  [--seed 42] [--pairs 24] [--ranks 2] [--dpus 8] [--band 128]
 //!                 [--dpu-fault-rate 0.15] [--corrupt-rate 0.1] [--disabled 2]
 //!                 [--hang-faults 0.1] [--corrupt-cigars 0.1]
-//!                 [--watchdog-cycles 100000000] [--deadline 10] [--audit false]
+//!                 [--watchdog-cycles auto|0|N] [--deadline 10] [--audit false]
 //!                 [--retries 3] [--quarantine 2] [--fifo-depth 2] [--sync-dispatch true]
 //!                 [--sim-threads 0]
+//!
+//! `--watchdog-cycles auto` (the default) derives the per-launch cycle
+//! budget from the kernels' symbolic WCET bounds; `0` turns the watchdog
+//! off; any other number is an explicit budget.
 //! upmem-nw bench  [--pairs 48] [--ranks 4] [--dpus 4] [--rounds 6] [--band 64]
 //!                 [--fifo-depth 2] [--seed 42] [--straggler-hold-ms 35]
 //!                 [--smoke true] [--sim true] [--sim-threads 0]
 //!                 [--json BENCH_dispatch.json|BENCH_sim.json]
 //! upmem-nw info   [--ranks 40]
-//! upmem-nw lint   [--verbose true]
+//! upmem-nw lint   [--verbose true] [--json true]
 //! ```
 
 use std::collections::HashMap;
@@ -30,7 +34,7 @@ use upmem_nw_cli::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--audit true] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw chaos [--seed S] [--pairs N] [--ranks N] [--dpus N] [--band N] [--dpu-fault-rate P] [--corrupt-rate P] [--hang-faults P] [--corrupt-cigars P] [--watchdog-cycles N] [--deadline SECS] [--audit false] [--disabled N] [--retries N] [--quarantine N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N]\n  upmem-nw bench [--pairs N] [--ranks N] [--dpus N] [--rounds N] [--band N] [--fifo-depth N] [--seed S] [--straggler-hold-ms MS] [--smoke true] [--sim true] [--sim-threads N] [--json file]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true]"
+        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--audit true] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw chaos [--seed S] [--pairs N] [--ranks N] [--dpus N] [--band N] [--dpu-fault-rate P] [--corrupt-rate P] [--hang-faults P] [--corrupt-cigars P] [--watchdog-cycles auto|0|N] [--deadline SECS] [--audit false] [--disabled N] [--retries N] [--quarantine N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N]\n  upmem-nw bench [--pairs N] [--ranks N] [--dpus N] [--rounds N] [--band N] [--fifo-depth N] [--seed S] [--straggler-hold-ms MS] [--smoke true] [--sim true] [--sim-threads N] [--json file]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true] [--json true]"
     );
     std::process::exit(2)
 }
@@ -127,9 +131,10 @@ fn run() -> Result<String, CliError> {
                 corrupt_rate: rate("corrupt-rate", defaults.corrupt_rate),
                 hang_rate: rate("hang-faults", defaults.hang_rate),
                 silent_corrupt_rate: rate("corrupt-cigars", defaults.silent_corrupt_rate),
-                watchdog_cycles: get("watchdog-cycles")
-                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
-                    .unwrap_or(defaults.watchdog_cycles),
+                watchdog_cycles: match get("watchdog-cycles").as_deref() {
+                    None | Some("auto") => defaults.watchdog_cycles,
+                    Some(v) => Some(v.parse().unwrap_or_else(|_| usage())),
+                },
                 deadline_seconds: rate("deadline", defaults.deadline_seconds),
                 audit: get("audit").map(|v| v == "true").unwrap_or(defaults.audit),
                 disabled: uint("disabled", defaults.disabled),
@@ -173,7 +178,10 @@ fn run() -> Result<String, CliError> {
         } else {
             40
         }),
-        "lint" => cmd_lint(get("verbose").is_some_and(|v| v == "true"))?,
+        "lint" => cmd_lint(
+            get("verbose").is_some_and(|v| v == "true"),
+            get("json").is_some_and(|v| v == "true"),
+        )?,
         _ => usage(),
     };
     if let Some(path) = get("out") {

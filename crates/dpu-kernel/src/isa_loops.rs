@@ -19,7 +19,8 @@
 
 use crate::cost::KernelVariant;
 use pim_sim::isa::{
-    assemble, Inst, IsaError, Machine, Prepared, Reg, RunStats, VerifySpec, DEFAULT_MAX_STEPS,
+    assemble, wcet, Inst, IsaError, Machine, Prepared, Reg, RunStats, VerifySpec, WcetBound,
+    DEFAULT_MAX_STEPS,
 };
 use pim_sim::sanitizer::WramShadow;
 use std::sync::OnceLock;
@@ -310,12 +311,13 @@ pub fn verify_spec(variant: KernelVariant) -> VerifySpec {
     let r = |i: u8| Reg::new(i).expect("register index in range");
     let mut spec = VerifySpec::new()
         .frame(WRAM_LEN)
-        .input(r(1)) // remaining cells: caller-chosen
         .input_value(r(9), A_SEQ as u32)
         .input_value(r(10), B_SEQ as u32)
         .input_value(r(11), BT_ROW as u32);
     match variant {
         KernelVariant::PureC => {
+            // remaining cells: caller-chosen, decremented by 1 per iteration
+            spec = spec.input(r(1));
             for (reg, base) in [
                 (2, H_PREV),
                 (3, H_PREV2),
@@ -329,10 +331,98 @@ pub fn verify_spec(variant: KernelVariant) -> VerifySpec {
             }
         }
         KernelVariant::Asm => {
-            spec = spec.input_value(r(2), 0); // scaled index k*4
+            // remaining cells: the unrolled loop retires 4 per iteration, so
+            // the harness always passes a multiple of 4 — declaring the
+            // stride lets the verifier (and the WCET analysis) prove the
+            // `sub r1, r1, 4 / jnz` countdown terminates.
+            spec = spec.input_multiple(r(1), 4).input_value(r(2), 0); // scaled index k*4
         }
     }
     spec
+}
+
+/// The verification contract of one tasklet's slice of a band chunked
+/// across `tasklets` workers: tasklet `t` owns cells
+/// `[t*chunk, (t+1)*chunk)` of a `cells`-cell anti-diagonal, so every base
+/// pointer is offset by its share. [`prove_race_free`] instantiates this per
+/// tasklet and asks the WCET footprint analysis to show the write sets are
+/// pairwise disjoint.
+pub fn tasklet_verify_spec(
+    variant: KernelVariant,
+    tasklet: usize,
+    tasklets: usize,
+    cells: usize,
+) -> VerifySpec {
+    assert!(tasklet < tasklets && tasklets > 0);
+    let chunk = cells / tasklets;
+    let r = |i: u8| Reg::new(i).expect("register index in range");
+    let mut spec = VerifySpec::new()
+        .frame(WRAM_LEN)
+        .input_value(r(1), chunk as u32)
+        .input_value(r(9), (A_SEQ + tasklet * chunk) as u32)
+        .input_value(r(10), (B_SEQ + tasklet * chunk) as u32)
+        .input_value(r(11), (BT_ROW + tasklet * chunk) as u32);
+    match variant {
+        KernelVariant::PureC => {
+            for (reg, base) in [
+                (2, H_PREV),
+                (3, H_PREV2),
+                (4, D_PREV),
+                (5, I_PREV),
+                (6, H_CUR),
+                (7, D_CUR),
+                (8, I_CUR),
+            ] {
+                spec = spec.input_value(r(reg), (base + 4 * tasklet * chunk) as u32);
+            }
+        }
+        KernelVariant::Asm => {
+            assert!(
+                chunk.is_multiple_of(4),
+                "asm tasklet chunks must be multiples of 4"
+            );
+            spec = spec.input_value(r(2), (4 * tasklet * chunk) as u32);
+        }
+    }
+    spec
+}
+
+/// The symbolic worst-case instruction bound of an inner loop in terms of
+/// its declared inputs (`r1` = remaining cells). Analyzed once per process.
+pub fn kernel_wcet(variant: KernelVariant, with_bt: bool) -> &'static WcetBound {
+    static CACHE: OnceLock<[WcetBound; 4]> = OnceLock::new();
+    let all = CACHE.get_or_init(|| {
+        [
+            (KernelVariant::PureC, false),
+            (KernelVariant::PureC, true),
+            (KernelVariant::Asm, false),
+            (KernelVariant::Asm, true),
+        ]
+        .map(|(v, bt)| wcet::analyze(&program(v, bt), &verify_spec(v)))
+    });
+    &all[match variant {
+        KernelVariant::PureC => 0,
+        KernelVariant::Asm => 2,
+    } + usize::from(with_bt)]
+}
+
+/// Number of tasklets the cross-tasklet race-freedom proof is instantiated
+/// for — the paper's per-pool tasklet count.
+pub const PROOF_TASKLETS: usize = 4;
+/// Cells per anti-diagonal in the canonical proof instantiation. Any
+/// multiple of `4 * PROOF_TASKLETS` yields the same per-chunk interval
+/// structure; 192 matches the [`measure`] workload.
+pub const PROOF_CELLS: usize = 192;
+
+/// Statically prove that `PROOF_TASKLETS` concurrent instances of the loop,
+/// each on its own chunk of a `PROOF_CELLS`-cell anti-diagonal, never write
+/// a WRAM byte another tasklet touches. Kernels that pass may skip the
+/// runtime WRAM sanitizer on the fast path.
+pub fn prove_race_free(variant: KernelVariant, with_bt: bool) -> Result<(), String> {
+    let specs: Vec<VerifySpec> = (0..PROOF_TASKLETS)
+        .map(|t| tasklet_verify_spec(variant, t, PROOF_TASKLETS, PROOF_CELLS))
+        .collect();
+    wcet::prove_partition(&program(variant, with_bt), &specs)
 }
 
 /// Every built-in kernel program with its name and verification contract —
@@ -367,7 +457,13 @@ pub fn prepared(variant: KernelVariant, with_bt: bool) -> &'static Prepared {
             (KernelVariant::Asm, false),
             (KernelVariant::Asm, true),
         ]
-        .map(|(v, bt)| Prepared::new(program(v, bt), &verify_spec(v)))
+        .map(|(v, bt)| {
+            let mut prep = Prepared::new(program(v, bt), &verify_spec(v));
+            if prove_race_free(v, bt).is_ok() {
+                prep.mark_statically_race_free();
+            }
+            prep
+        })
     });
     let idx = match variant {
         KernelVariant::PureC => 0,
@@ -446,6 +542,17 @@ pub struct LoopMeasurement {
 /// winners) and measure instructions per cell.
 pub fn measure(variant: KernelVariant, with_bt: bool) -> LoopMeasurement {
     run_measurement(variant, with_bt, false).expect("inner loop must run to completion")
+}
+
+/// The production measurement path: statically race-free kernels
+/// ([`prove_race_free`]) take the dense fast path with no runtime
+/// sanitizer; a kernel without a partition proof falls back to the checked
+/// interpreter under the WRAM sanitizer. CI keeps [`measure_sanitized`] as
+/// the differential oracle for proven kernels regardless.
+pub fn measure_gated(variant: KernelVariant, with_bt: bool) -> LoopMeasurement {
+    let sanitize = !prepared(variant, with_bt).statically_race_free();
+    run_measurement(variant, with_bt, sanitize)
+        .expect("inner loop must run to completion (sanitizer faults are kernel bugs)")
 }
 
 /// Like [`measure`], but with the runtime sanitizer attached: WRAM shadow
@@ -583,6 +690,52 @@ mod tests {
     }
 
     #[test]
+    fn builtin_kernels_have_finite_wcet_bounds() {
+        for variant in [KernelVariant::PureC, KernelVariant::Asm] {
+            for bt in [false, true] {
+                let bound = kernel_wcet(variant, bt);
+                assert!(bound.is_finite(), "{variant:?} bt={bt}: {bound}");
+                // The symbolic bound mentions only declared inputs, so it
+                // evaluates under any concrete cell count.
+                let params = pim_sim::isa::KernelParams::new().set(Reg::new(1).unwrap(), 192);
+                assert!(bound.eval(&params).is_some(), "{variant:?} bt={bt}");
+            }
+        }
+    }
+
+    #[test]
+    fn wcet_bound_dominates_measured_instruction_count() {
+        for variant in [KernelVariant::PureC, KernelVariant::Asm] {
+            for bt in [false, true] {
+                let measured = measure(variant, bt);
+                let params = pim_sim::isa::KernelParams::new()
+                    .set(Reg::new(1).unwrap(), measured.cells as u64);
+                let bound = kernel_wcet(variant, bt)
+                    .eval(&params)
+                    .expect("finite bound");
+                assert!(
+                    measured.total_instructions <= bound,
+                    "{variant:?} bt={bt}: ran {} > bound {bound}",
+                    measured.total_instructions
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn builtin_kernels_prove_race_free() {
+        for variant in [KernelVariant::PureC, KernelVariant::Asm] {
+            for bt in [false, true] {
+                prove_race_free(variant, bt).unwrap_or_else(|e| panic!("{variant:?} bt={bt}: {e}"));
+                assert!(
+                    prepared(variant, bt).statically_race_free(),
+                    "{variant:?} bt={bt}: prepared form not marked race-free"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn sanitized_measurement_matches_plain() {
         for variant in [KernelVariant::PureC, KernelVariant::Asm] {
             for bt in [false, true] {
@@ -590,6 +743,10 @@ mod tests {
                 let sanitized = measure_sanitized(variant, bt)
                     .unwrap_or_else(|e| panic!("{variant:?} bt={bt}: {e}"));
                 assert_eq!(plain, sanitized);
+                // The gated production path agrees with both: for proven
+                // kernels it is the unsanitized fast path, and the
+                // differential oracle above pins that to the sanitized run.
+                assert_eq!(plain, measure_gated(variant, bt));
             }
         }
     }

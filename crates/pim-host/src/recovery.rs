@@ -373,6 +373,96 @@ fn cpu_result<T>(r: Result<T, AlignError>, to_job: impl Fn(T) -> JobResult) -> J
     }
 }
 
+/// RAII guard over the server's watchdog budget: snapshots the configured
+/// per-launch cycle budget on construction and, if any escalation touched
+/// it, restores the original on drop — so every exit path (success,
+/// rank-fatal error, early `return Err`) hands the server back unchanged.
+/// Derefs to [`PimServer`] so drivers can shadow their `server` binding.
+struct WatchdogGuard<'a> {
+    server: &'a mut PimServer,
+    original: u64,
+    dirty: bool,
+}
+
+impl<'a> WatchdogGuard<'a> {
+    fn new(server: &'a mut PimServer) -> Self {
+        let original = server.cfg().dpu.watchdog_cycles;
+        Self {
+            server,
+            original,
+            dirty: false,
+        }
+    }
+
+    /// Push an escalated budget to every rank now (lockstep driver).
+    fn apply(&mut self, budget: u64) {
+        self.dirty = true;
+        self.server.set_watchdog_cycles(budget);
+    }
+
+    /// Record that an escalated budget reached the DPUs out of band (the
+    /// pipelined driver ships it per [`WorkItem`]), so drop still restores.
+    fn mark_applied(&mut self) {
+        self.dirty = true;
+    }
+}
+
+impl std::ops::Deref for WatchdogGuard<'_> {
+    type Target = PimServer;
+    fn deref(&self) -> &PimServer {
+        self.server
+    }
+}
+
+impl std::ops::DerefMut for WatchdogGuard<'_> {
+    fn deref_mut(&mut self) -> &mut PimServer {
+        self.server
+    }
+}
+
+impl Drop for WatchdogGuard<'_> {
+    fn drop(&mut self) {
+        if self.dirty {
+            self.server.set_watchdog_cycles(self.original);
+        }
+    }
+}
+
+/// Rung 1 of the escalation ladder, shared by both drivers: a pass that
+/// retires new watchdog expirations retries with a doubled cycle budget (a
+/// slow-but-honest kernel gets a second chance before quarantine and CPU
+/// fallback, the shared health policy's rungs 2 and 3). At most
+/// `max_attempts` doublings per dispatch, and never when the watchdog is
+/// off (budget 0).
+struct EscalationLadder {
+    budget: u64,
+    last_watchdog: usize,
+}
+
+impl EscalationLadder {
+    fn new(budget: u64) -> Self {
+        Self {
+            budget,
+            last_watchdog: 0,
+        }
+    }
+
+    /// Decide after a pass: returns the doubled budget (and bumps
+    /// `report.budget_escalations`) when the ladder fires, `None` otherwise.
+    fn maybe_escalate(&mut self, report: &mut FaultReport, cap: usize) -> Option<u64> {
+        let fire = self.budget > 0
+            && report.watchdog_expired > self.last_watchdog
+            && report.budget_escalations < cap;
+        self.last_watchdog = report.watchdog_expired;
+        if !fire {
+            return None;
+        }
+        self.budget = self.budget.saturating_mul(2);
+        report.budget_escalations += 1;
+        Some(self.budget)
+    }
+}
+
 /// Execute `jobs` to completion on a possibly faulty server.
 ///
 /// Returns a [`DispatchOutcome`] whose `results` contain **every** job id
@@ -409,13 +499,11 @@ pub fn execute_jobs_recovering(
     let mut fallback: Vec<usize> = Vec::new();
     let mut first_pass = true;
 
-    // Escalation ladder, rung 1: a pass that saw watchdog expirations
-    // retries with a doubled cycle budget (a slow-but-honest kernel gets a
-    // second chance before the DPU is treated as sick). Rungs 2 and 3 —
-    // quarantine and CPU fallback — fall out of the shared health policy.
-    let original_budget = server.cfg().dpu.watchdog_cycles;
-    let mut budget = original_budget;
-    let mut last_watchdog = 0usize;
+    // The guard restores the configured budget on every exit path (the
+    // pre-guard code leaked an escalated budget on rank-fatal early
+    // returns); the ladder decides when a pass escalates.
+    let mut server = WatchdogGuard::new(server);
+    let mut ladder = EscalationLadder::new(server.cfg().dpu.watchdog_cycles);
     let audit_fn = |i: usize, jr: &JobResult| audit_ok(&jobs[i], jr, &params.scheme);
     let audit: Option<AuditFn> = if rcfg.audit { Some(&audit_fn) } else { None };
 
@@ -499,7 +587,7 @@ pub fn execute_jobs_recovering(
                 round_plans.push(plan);
             }
             for (r, oc) in run_round(
-                server,
+                &mut server,
                 kernel,
                 round_plans,
                 true,
@@ -538,21 +626,13 @@ pub fn execute_jobs_recovering(
                 }
             }
         }
-        if budget > 0
-            && report.watchdog_expired > last_watchdog
-            && report.budget_escalations < rcfg.max_attempts
-        {
-            budget = budget.saturating_mul(2);
-            server.set_watchdog_cycles(budget);
-            report.budget_escalations += 1;
+        if let Some(budget) = ladder.maybe_escalate(&mut report, rcfg.max_attempts) {
+            server.apply(budget);
         }
-        last_watchdog = report.watchdog_expired;
         pending = requeue;
         first_pass = false;
     }
-    if budget != original_budget {
-        server.set_watchdog_cycles(original_budget);
-    }
+    drop(server);
 
     // CPU fallback: the adaptive aligner is the same DP the kernel runs, so
     // scores and CIGARs are identical to what a healthy DPU would produce.
@@ -676,18 +756,17 @@ pub fn execute_jobs_recovering_pipelined(
     }
 
     let mut fatal: Option<SimError> = None;
-    // Escalation ladder state (see the lockstep driver): retries after a
-    // watchdog expiry carry a doubled cycle budget down the FIFO via
-    // `WorkItem::watchdog`; quarantine and CPU fallback are the shared
-    // health policy.
-    let original_budget = server.cfg().dpu.watchdog_cycles;
-    let mut budget = original_budget;
+    // Escalation ladder (see the lockstep driver): retries after a watchdog
+    // expiry carry a doubled cycle budget down the FIFO via
+    // `WorkItem::watchdog`; the guard restores the configured budget on
+    // every exit path, including the fatal-error return below.
+    let mut guard = WatchdogGuard::new(server);
+    let mut ladder = EscalationLadder::new(guard.cfg().dpu.watchdog_cycles);
     let mut escalated: Option<u64> = None;
-    let mut last_watchdog = 0usize;
     let audit_fn = |i: usize, jr: &JobResult| audit_ok(&jobs[i], jr, &params.scheme);
     let audit: Option<AuditFn> = if rcfg.audit { Some(&audit_fn) } else { None };
     {
-        let ranks = server.ranks_mut();
+        let ranks = guard.ranks_mut();
         let tokens: Vec<_> = ranks.iter().map(|rank| rank.cancel_token()).collect();
         let (done_tx, done_rx) = channel::<BatchDone>();
         std::thread::scope(|scope| {
@@ -870,15 +949,10 @@ pub fn execute_jobs_recovering_pipelined(
                             &mut retry_pool,
                         );
                         out.absorb(exec, &mut dpu_busy, &mut imbalances);
-                        if budget > 0
-                            && report.watchdog_expired > last_watchdog
-                            && report.budget_escalations < rcfg.max_attempts
+                        if let Some(budget) = ladder.maybe_escalate(&mut report, rcfg.max_attempts)
                         {
-                            budget = budget.saturating_mul(2);
                             escalated = Some(budget);
-                            report.budget_escalations += 1;
                         }
-                        last_watchdog = report.watchdog_expired;
                     }
                 }
             }
@@ -896,8 +970,11 @@ pub fn execute_jobs_recovering_pipelined(
         });
     }
     if escalated.is_some() {
-        server.set_watchdog_cycles(original_budget);
+        // Workers applied the escalated budget per launch; the guard's drop
+        // rewrites the server config back to the caller's setting.
+        guard.mark_applied();
     }
+    drop(guard);
     if let Some(e) = fatal {
         return Err(e);
     }

@@ -27,7 +27,9 @@ pub struct DpuConfig {
     /// as hung and reported via [`crate::SimError::WatchdogExpired`] with
     /// its partial stats preserved. `0` disables the watchdog (the
     /// hardware default — real DPUs have no such limit, the host deadline
-    /// is the only backstop).
+    /// is the only backstop). Hosts derive the budget from the kernels'
+    /// symbolic WCET bounds (`dpu_kernel::cost::wcet_watchdog_cycles`)
+    /// rather than guessing a constant — see DESIGN.md §7g.
     pub watchdog_cycles: u64,
 }
 

@@ -788,6 +788,7 @@ pub struct Prepared {
     frame: usize,
     entry: Vec<(u8, u32)>,
     fused: usize,
+    race_free: bool,
 }
 
 impl Prepared {
@@ -812,6 +813,7 @@ impl Prepared {
             frame: frame.unwrap_or(0),
             entry,
             fused: 0,
+            race_free: false,
         };
         if verified && frame.is_some() {
             if let Some((dense, orig_pc, micro, fused)) = predecode(&p.program) {
@@ -843,6 +845,20 @@ impl Prepared {
             && m.pc == 0
             && wram_len >= self.frame
             && self.entry.iter().all(|&(r, v)| m.regs[r as usize] == v)
+    }
+
+    /// Record that [`crate::isa::wcet::prove_partition`] succeeded for the
+    /// tasklet layout this kernel ships with: its WRAM accesses are
+    /// statically race-free, so production launches may run without the
+    /// runtime WRAM sanitizer (CI keeps sanitized runs as the differential
+    /// oracle).
+    pub fn mark_statically_race_free(&mut self) {
+        self.race_free = true;
+    }
+
+    /// Has a cross-tasklet WRAM partition proof been recorded?
+    pub fn statically_race_free(&self) -> bool {
+        self.race_free
     }
 
     /// Number of fused superinstruction windows in the dense form.
@@ -1517,6 +1533,7 @@ mod tests {
             frame: 0,
             entry: Vec::new(),
             fused,
+            race_free: false,
         }
     }
 

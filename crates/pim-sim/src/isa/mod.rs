@@ -20,9 +20,11 @@ mod fastpath;
 mod inst;
 mod interp;
 pub mod verify;
+pub mod wcet;
 
 pub use asm::{assemble, AsmError};
 pub use fastpath::Prepared;
 pub use inst::{AluOp, FuseCond, Inst, JumpCond, Operand, Reg, NUM_REGS};
 pub use interp::{watchdog_steps, IsaError, Machine, RunStats, WramWatch, DEFAULT_MAX_STEPS};
 pub use verify::{error_count, verify as verify_program, Diagnostic, Rule, Severity, VerifySpec};
+pub use wcet::{Expr, KernelParams, WcetBound};

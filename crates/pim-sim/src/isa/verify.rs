@@ -132,6 +132,9 @@ pub struct VerifySpec {
     /// write is a defect), `Some(None)` = input with unknown value,
     /// `Some(Some(v))` = input with a known constant value.
     inputs: [Option<Option<u32>>; NUM_REGS],
+    /// Per-register divisibility guarantee: a nonzero entry `m` declares
+    /// the input a *positive multiple* of `m` (see [`Self::input_multiple`]).
+    multiples: [u32; NUM_REGS],
     /// Accessible WRAM bytes (the tasklet's frame), when declared.
     wram_frame: Option<usize>,
 }
@@ -155,6 +158,50 @@ impl VerifySpec {
     pub fn input_value(mut self, r: Reg, v: u32) -> Self {
         self.inputs[r.0 as usize] = Some(Some(v));
         self
+    }
+
+    /// Declare `r` initialized at entry with an unknown value the caller
+    /// guarantees to be a *positive multiple* of `m` (`m ≥ 1`). Strengthens
+    /// the entry interval+congruence state (`value ≥ m`, `value ≡ 0 mod
+    /// 2-power-part(m)`), and is the contract that lets the loop-termination
+    /// pass and the WCET analysis prove counters stepped by `m` with a fused
+    /// `jnz` back edge: a positive multiple decremented by a divisor hits
+    /// exactly zero without wrapping.
+    pub fn input_multiple(mut self, r: Reg, m: u32) -> Self {
+        self.inputs[r.0 as usize] = Some(None);
+        self.multiples[r.0 as usize] = m.max(1);
+        self
+    }
+
+    /// The declared positive-multiple guarantee for `r` (1 when undeclared).
+    pub fn input_stride(&self, r: Reg) -> u32 {
+        self.multiples[r.0 as usize].max(1)
+    }
+
+    /// Raw entry declaration for `r`: `None` = not an input, `Some(None)` =
+    /// input with unknown value, `Some(Some(v))` = input pinned to `v`.
+    pub(super) fn input_slot(&self, r: Reg) -> Option<Option<u32>> {
+        self.inputs[r.0 as usize]
+    }
+
+    /// Abstract entry value of register index `i` under this spec.
+    pub(super) fn entry_abs(&self, i: usize) -> AbsVal {
+        match self.inputs[i] {
+            Some(Some(v)) => AbsVal::constant(v as i64),
+            Some(None) if self.multiples[i] > 1 => {
+                // A declared positive multiple of m: value ≥ m, and the
+                // residue mod the 2-power part of m survives 2^32 wraps.
+                let m = self.multiples[i] as i64;
+                let p2 = (m & m.wrapping_neg()).min(MOD_CAP);
+                AbsVal {
+                    lo: m,
+                    hi: BOUND,
+                    modulus: p2.max(1),
+                    rem: 0,
+                }
+            }
+            _ => AbsVal::TOP,
+        }
     }
 
     /// Declare the WRAM frame size in bytes.
@@ -201,7 +248,7 @@ impl VerifySpec {
 
 /// In-range successors of `pc`. Out-of-range targets are *not* included (the
 /// target check reports them separately).
-fn successors(program: &[Inst], pc: usize) -> Vec<usize> {
+pub(super) fn successors(program: &[Inst], pc: usize) -> Vec<usize> {
     let len = program.len();
     let mut out = Vec::with_capacity(2);
     let fall = |out: &mut Vec<usize>| {
@@ -236,7 +283,7 @@ fn successors(program: &[Inst], pc: usize) -> Vec<usize> {
 }
 
 /// Registers an instruction reads. `move` does not read its dummy `ra`.
-fn reads(inst: &Inst) -> Vec<Reg> {
+pub(super) fn reads(inst: &Inst) -> Vec<Reg> {
     let mut out = Vec::with_capacity(2);
     let operand = |out: &mut Vec<Reg>, b: Operand| {
         if let Operand::Reg(r) = b {
@@ -265,7 +312,7 @@ fn reads(inst: &Inst) -> Vec<Reg> {
 }
 
 /// Register an instruction defines, if any.
-fn def(inst: &Inst) -> Option<Reg> {
+pub(super) fn def(inst: &Inst) -> Option<Reg> {
     match *inst {
         Inst::Alu { rd, .. } | Inst::Lw { rd, .. } | Inst::Lbu { rd, .. } => Some(rd),
         _ => None,
@@ -274,7 +321,7 @@ fn def(inst: &Inst) -> Option<Reg> {
 
 /// Does the instruction have a fallthrough edge (as opposed to always
 /// jumping or halting)?
-fn falls_through(inst: &Inst) -> bool {
+pub(super) fn falls_through(inst: &Inst) -> bool {
     !matches!(inst, Inst::Halt | Inst::Jmp { .. })
 }
 
@@ -283,18 +330,18 @@ fn falls_through(inst: &Inst) -> bool {
 // ---------------------------------------------------------------------------
 
 /// Bound sentinel beyond any 32-bit value.
-const BOUND: i64 = 1 << 33;
+pub(super) const BOUND: i64 = 1 << 33;
 /// Congruence modulus cap (a power of two, so residues survive 2^32 wraps).
 const MOD_CAP: i64 = 1 << 16;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct AbsVal {
-    lo: i64,
-    hi: i64,
+pub(super) struct AbsVal {
+    pub(super) lo: i64,
+    pub(super) hi: i64,
     /// Power-of-two modulus (≥ 1, divides `MOD_CAP`).
-    modulus: i64,
+    pub(super) modulus: i64,
     /// Residue in `[0, modulus)`.
-    rem: i64,
+    pub(super) rem: i64,
 }
 
 impl AbsVal {
@@ -305,7 +352,7 @@ impl AbsVal {
         rem: 0,
     };
 
-    fn constant(c: i64) -> Self {
+    pub(super) fn constant(c: i64) -> Self {
         AbsVal {
             lo: c,
             hi: c,
@@ -314,7 +361,7 @@ impl AbsVal {
         }
     }
 
-    fn is_const(&self) -> bool {
+    pub(super) fn is_const(&self) -> bool {
         self.lo == self.hi
     }
 
@@ -342,7 +389,7 @@ impl AbsVal {
         self
     }
 
-    fn join(a: AbsVal, b: AbsVal) -> AbsVal {
+    pub(super) fn join(a: AbsVal, b: AbsVal) -> AbsVal {
         let modulus = gcd(gcd(a.modulus, b.modulus), (a.rem - b.rem).abs()).max(1);
         AbsVal {
             lo: a.lo.min(b.lo),
@@ -383,7 +430,7 @@ fn mask_up(v: i64) -> i64 {
     m - 1
 }
 
-fn abs_alu(op: AluOp, a: AbsVal, b: AbsVal) -> AbsVal {
+pub(super) fn abs_alu(op: AluOp, a: AbsVal, b: AbsVal) -> AbsVal {
     // Constant folding through the real ALU semantics where the bit
     // patterns are known exactly.
     if let (Some(ab), Some(bb)) = (a.const_bits(), b.const_bits()) {
@@ -500,7 +547,7 @@ pub fn verify(program: &[Inst], spec: &VerifySpec) -> Vec<Diagnostic> {
     check_fallthrough(program, &reachable, &mut diags);
     check_def_use(program, &reachable, spec, &mut diags);
     check_addresses(program, &reachable, spec, &mut diags);
-    check_loops(program, &reachable, &mut diags);
+    check_loops(program, &reachable, spec, &mut diags);
 
     diags.sort_by_key(|d| (d.pc, std::cmp::Reverse(d.severity)));
     diags
@@ -658,20 +705,20 @@ fn check_def_use(
     }
 }
 
-/// Abstract interpretation of address-forming arithmetic; flags provable
-/// frame escapes and misaligned word accesses.
-fn check_addresses(
+/// The fixed point of the interval+congruence abstract interpretation: the
+/// per-pc register state on entry to each instruction (`None` = the pass
+/// never reached it). Shared by [`check_addresses`] and the WCET analysis
+/// ([`super::wcet`]), which layers loop-linear pointer progressions on top.
+pub(super) fn abstract_states(
     program: &[Inst],
-    reachable: &[bool],
     spec: &VerifySpec,
-    diags: &mut Vec<Diagnostic>,
-) {
+) -> Vec<Option<[AbsVal; NUM_REGS]>> {
     let n = program.len();
-    let entry_state: [AbsVal; NUM_REGS] = std::array::from_fn(|i| match spec.inputs[i] {
-        Some(Some(v)) => AbsVal::constant(v as i64),
-        _ => AbsVal::TOP,
-    });
+    let entry_state: [AbsVal; NUM_REGS] = std::array::from_fn(|i| spec.entry_abs(i));
     let mut states: Vec<Option<[AbsVal; NUM_REGS]>> = vec![None; n];
+    if n == 0 {
+        return states;
+    }
     states[0] = Some(entry_state);
     let mut visits = vec![0u32; n];
     const WIDEN_AFTER: u32 = 4;
@@ -734,7 +781,18 @@ fn check_addresses(
             }
         }
     }
+    states
+}
 
+/// Abstract interpretation of address-forming arithmetic; flags provable
+/// frame escapes and misaligned word accesses.
+fn check_addresses(
+    program: &[Inst],
+    reachable: &[bool],
+    spec: &VerifySpec,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let states = abstract_states(program, spec);
     let frame = spec.wram_frame;
     let mut unproven = 0usize;
     let mut total = 0usize;
@@ -819,9 +877,67 @@ fn describe(v: AbsVal) -> String {
     }
 }
 
+/// Natural loop of back-edge `u -> v`: `v` plus everything that reaches `u`
+/// without passing through `v`.
+pub(super) fn natural_loop(
+    program: &[Inst],
+    preds: &[Vec<usize>],
+    u: usize,
+    v: usize,
+) -> Vec<bool> {
+    let mut in_loop = vec![false; program.len()];
+    in_loop[v] = true;
+    let mut work = vec![u];
+    while let Some(x) = work.pop() {
+        if std::mem::replace(&mut in_loop[x], true) {
+            continue;
+        }
+        work.extend(preds[x].iter().copied());
+    }
+    in_loop
+}
+
+/// Is the fused-`jnz` countdown at back-edge source `u` provably exact?
+/// Requires: the counter is decremented by `k` at `u` and written nowhere
+/// else in the program, and declared via [`VerifySpec::input_multiple`]
+/// with a stride `k` divides — a positive multiple of `k` stepped by `k`
+/// hits exactly zero without wrapping, in `initial / k` iterations.
+/// Shared with the WCET trip-count derivation.
+pub(super) fn nz_countdown_proven(
+    program: &[Inst],
+    spec: &VerifySpec,
+    u: usize,
+    r: Reg,
+    k: i32,
+) -> bool {
+    k > 0
+        && spec.input_stride(r) > 1
+        && spec.input_stride(r).is_multiple_of(k as u32)
+        && spec.inputs[r.0 as usize] == Some(None)
+        && (0..program.len())
+            .filter(|&x| x != u)
+            .all(|x| def(&program[x]) != Some(r))
+}
+
+/// How a back-edge's branch consumes its loop counter.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(super) enum CounterKind {
+    /// `sub r, r, k` fused with `jgez`: runs until `r` goes negative.
+    FusedGez,
+    /// `sub r, r, k` fused with `jnz`: runs until `r` hits exactly zero.
+    FusedNz,
+    /// A separate `jgt`/`jge` conditional branch on the counter.
+    Jcc,
+}
+
 /// Classify back-edges: provably terminating counters, provably infinite
 /// loops (no exit edge in the natural loop), or unknown.
-fn check_loops(program: &[Inst], reachable: &[bool], diags: &mut Vec<Diagnostic>) {
+fn check_loops(
+    program: &[Inst],
+    reachable: &[bool],
+    spec: &VerifySpec,
+    diags: &mut Vec<Diagnostic>,
+) {
     // DFS to find back-edges (edge u -> v with v on the DFS stack).
     let n = program.len();
     let mut color = vec![0u8; n]; // 0 white, 1 on stack, 2 done
@@ -856,17 +972,7 @@ fn check_loops(program: &[Inst], reachable: &[bool], diags: &mut Vec<Diagnostic>
     }
 
     for (u, v) in back_edges {
-        // Natural loop of the back-edge: v plus everything that reaches u
-        // without passing through v.
-        let mut in_loop = vec![false; n];
-        in_loop[v] = true;
-        let mut work = vec![u];
-        while let Some(x) = work.pop() {
-            if std::mem::replace(&mut in_loop[x], true) {
-                continue;
-            }
-            work.extend(preds[x].iter().copied());
-        }
+        let in_loop = natural_loop(program, &preds, u, v);
         let has_exit = (0..n).filter(|&x| in_loop[x]).any(|x| {
             matches!(program[x], Inst::Halt) || successors(program, x).iter().any(|s| !in_loop[*s])
         });
@@ -890,24 +996,36 @@ fn check_loops(program: &[Inst], reachable: &[bool], diags: &mut Vec<Diagnostic>
                 fuse: Some((FuseCond::Gez, t)),
             } if t == v && rd == ra && k > 0 => {
                 // The decrement *is* the branch: r goes negative eventually.
-                Some((rd, k, true))
+                Some((rd, k, CounterKind::FusedGez))
+            }
+            Inst::Alu {
+                op: AluOp::Sub,
+                rd,
+                ra,
+                b: Operand::Imm(k),
+                fuse: Some((FuseCond::Nz, t)),
+            } if t == v && rd == ra && k > 0 => {
+                // Countdown to exactly zero: only sound when the initial
+                // value is a declared positive multiple of the step.
+                Some((rd, k, CounterKind::FusedNz))
             }
             Inst::Jcc {
                 cond: JumpCond::Gt | JumpCond::Ge,
                 ra,
                 b: Operand::Imm(_),
                 target,
-            } if target == v => Some((ra, 0, false)),
+            } if target == v => Some((ra, 0, CounterKind::Jcc)),
             _ => None,
         };
         let proven = match counter {
-            Some((r, _, true)) => {
+            Some((r, _, CounterKind::FusedGez)) => {
                 // No other write to the counter inside the loop.
                 (0..n)
                     .filter(|&x| in_loop[x] && x != u)
                     .all(|x| def(&program[x]) != Some(r))
             }
-            Some((r, _, false)) => {
+            Some((r, k, CounterKind::FusedNz)) => nz_countdown_proven(program, spec, u, r, k),
+            Some((r, _, CounterKind::Jcc)) => {
                 // Every write to the counter inside the loop is a strict
                 // decrease by a positive constant, and at least one exists.
                 let defs: Vec<usize> = (0..n)
