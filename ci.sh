@@ -79,11 +79,13 @@ import json, sys
 with open(sys.argv[1]) as f:
     bench = json.load(f)
 
-for key in ["bench", "pairs", "ranks", "dpus_per_rank", "rounds", "fifo_depth",
-            "seed", "straggler", "lockstep", "pipelined", "no_fault", "guard",
-            "speedup_host_wall", "bit_identical"]:
+for key in ["bench", "schema_version", "pairs", "ranks", "dpus_per_rank",
+            "rounds", "fifo_depth", "seed", "straggler", "lockstep",
+            "pipelined", "no_fault", "guard", "speedup_host_wall",
+            "bit_identical"]:
     assert key in bench, f"missing top-level key {key!r}"
 assert bench["bench"] == "dispatch"
+assert bench["schema_version"] == 1, "unexpected BENCH schema version"
 assert bench["bit_identical"] is True, "engines must agree bit-for-bit"
 
 # Robustness-guard overhead: the watchdog budget plus the per-result audit
@@ -131,11 +133,12 @@ import json, sys
 with open(sys.argv[1]) as f:
     bench = json.load(f)
 
-for key in ["bench", "cells", "interp_passes", "dpus", "launches",
-            "passes_per_launch", "sim_threads", "seed", "interp", "rank",
-            "speedup_dpus_per_sec", "bit_identical"]:
+for key in ["bench", "schema_version", "cells", "interp_passes", "dpus",
+            "launches", "passes_per_launch", "sim_threads", "seed", "interp",
+            "rank", "speedup_dpus_per_sec", "bit_identical"]:
     assert key in bench, f"missing top-level key {key!r}"
 assert bench["bench"] == "sim"
+assert bench["schema_version"] == 1, "unexpected BENCH schema version"
 assert bench["bit_identical"] is True, "fast/parallel paths must agree bit-for-bit"
 assert len(bench["interp"]) == 4, "expected pure_c/asm x score/traceback"
 for k in bench["interp"]:
@@ -160,6 +163,152 @@ for cond in ["sequential_checked", "sequential_fast",
     assert run["instructions"] == bench["rank"]["sequential_checked"]["instructions"]
 print(f"BENCH_sim.json OK: parallel+fast over sequential+checked "
       f"{bench['speedup_dpus_per_sec']:.2f}x")
+EOF
+
+# Serving smoke: boot the persistent daemon with a deliberately tiny
+# queue, drive it over its unix socket — two warm-up requests, a burst
+# fired past queue capacity, an already-expired deadline, then a graceful
+# drain — and audit the final report's conservation law: every request is
+# answered exactly once (a result, an explicit rejection, or an explicit
+# shed), accepted == completed + deadline_missed + shed and
+# received == accepted + rejected, nothing silently lost.
+echo "==> upmem-nw serve smoke"
+SERVE_SOCK="$(mktemp -u -t upmem-nw-ci.XXXXXX.sock)"
+SERVE_JSON="$(mktemp -t SERVE_report.XXXXXX.json)"
+SERVE_BENCH_JSON="$(mktemp -t BENCH_serve.XXXXXX.json)"
+trap 'rm -f "$BENCH_JSON" "$SIM_JSON" "$SERVE_JSON" "$SERVE_BENCH_JSON" "$SERVE_SOCK"' EXIT
+cargo build --release -q -p upmem-nw-cli
+./target/release/upmem-nw serve --socket "$SERVE_SOCK" --ranks 2 --dpus 4 \
+    --band 64 --queue-requests 2 --queue-pairs 8 --max-open 2 \
+    --json "$SERVE_JSON" &
+SERVE_PID=$!
+python3 - "$SERVE_SOCK" <<'EOF'
+import json, socket, sys, time
+
+BURST = 10
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+give_up = time.time() + 10
+while True:
+    try:
+        s.connect(sys.argv[1])
+        break
+    except OSError:
+        if time.time() > give_up:
+            raise
+        time.sleep(0.05)
+f = s.makefile("rw")
+def send(obj):
+    f.write(json.dumps(obj) + "\n")
+    f.flush()
+def recv():
+    return json.loads(f.readline())
+seq = "ACGT" * 64
+
+# Warm-up: two well-behaved requests complete with reference-shaped results.
+send({"id": "a", "pairs": [[seq, seq], [seq, seq]]})
+send({"id": "b", "priority": "interactive", "pairs": [[seq, seq]]})
+answers = {v["id"]: v for v in (recv(), recv())}
+assert answers["a"]["type"] == "result" and answers["a"]["disposition"] == "ok"
+assert [r["status"] for r in answers["a"]["results"]] == ["ok", "ok"]
+assert answers["b"]["disposition"] == "ok"
+
+# Burst past queue capacity (2 open tickets + 2 queued < 10 in flight):
+# every request must come back as a result or an explicit queue-full
+# rejection with a retry hint — never silence.
+for i in range(BURST):
+    send({"id": f"burst-{i}", "priority": "batch", "pairs": [[seq, seq]]})
+burst, rejected = {}, 0
+for _ in range(BURST):
+    v = recv()
+    burst[v["id"]] = v
+    if v["type"] == "reject":
+        rejected += 1
+        assert v["reason"] == "queue-full" and v["retry_after_ms"] >= 1, v
+    else:
+        assert v["type"] == "result" and v["disposition"] == "ok", v
+assert len(burst) == BURST, f"burst answers lost: {sorted(burst)}"
+
+# A request already expired on arrival is reaped, not dropped.
+send({"id": "late", "deadline_ms": 0, "pairs": [[seq, seq]]})
+v = recv()
+assert v["id"] == "late" and v["disposition"] == "deadline-missed"
+assert [r["status"] for r in v["results"]] == ["cancelled"]
+
+send({"op": "drain"})
+acks = 0
+for line in f:
+    assert json.loads(line).get("type") == "draining", line
+    acks += 1
+assert acks == 1, f"expected one drain ack, got {acks}"
+print(f"serve client OK: warm-up + burst of {BURST} ({rejected} rejected) "
+      f"+ expired deadline all answered, drained on request")
+EOF
+wait "$SERVE_PID"
+
+echo "==> validate serve report"
+python3 - "$SERVE_JSON" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    rep = json.load(f)
+for key in ["schema_version", "report", "received", "invalid", "accepted",
+            "rejected", "shed", "completed", "deadline_missed",
+            "pairs_accepted", "pairs_completed", "jobs_cancelled",
+            "max_queue_depth", "latency_p50_ms", "latency_p99_ms",
+            "wall_seconds", "pairs_per_sec", "drained", "consistent", "fault"]:
+    assert key in rep, f"missing report key {key!r}"
+assert rep["schema_version"] == 1 and rep["report"] == "serve"
+# Counter consistency: the daemon's own books must balance exactly.
+assert rep["received"] == rep["accepted"] + rep["rejected"], rep
+assert rep["accepted"] == rep["completed"] + rep["deadline_missed"] + rep["shed"], rep
+assert rep["consistent"] is True
+# 2 warm-up + 10 burst + 1 expired; the burst is same-priority so nothing
+# sheds, and exactly the expired request misses its deadline.
+assert rep["received"] == 13, rep
+assert rep["deadline_missed"] == 1 and rep["shed"] == 0, rep
+assert rep["completed"] == rep["accepted"] - 1, rep
+assert rep["jobs_cancelled"] == 1 and rep["drained"] is True, rep
+print(f"serve report OK: {rep['completed']} completed, {rep['rejected']} "
+      f"rejected, {rep['deadline_missed']} deadline-missed, books balance")
+EOF
+
+# Service load benchmark at smoke scale: closed-loop capacity estimate,
+# then open-loop Poisson phases at 0.5x/1x/2x capacity. No throughput or
+# latency asserts (load phases are timing-sensitive and CI machines are
+# noisy) — but the conservation law must hold in every phase: overload
+# surfaces as explicit rejections, sheds, and deadline misses, never as
+# lost requests.
+echo "==> upmem-nw bench --serve true --smoke true"
+./target/release/upmem-nw bench --serve true --smoke true --json "$SERVE_BENCH_JSON"
+
+echo "==> validate BENCH_serve.json"
+python3 - "$SERVE_BENCH_JSON" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    bench = json.load(f)
+for key in ["bench", "schema_version", "ranks", "dpus_per_rank", "band",
+            "seed", "pairs_per_request", "requests_per_phase", "open_tickets",
+            "capacity_window", "queue_requests", "capacity_pairs_per_sec",
+            "deadline_ms", "phases"]:
+    assert key in bench, f"missing top-level key {key!r}"
+assert bench["bench"] == "serve" and bench["schema_version"] == 1
+assert bench["capacity_pairs_per_sec"] > 0
+assert [p["offered_multiple"] for p in bench["phases"]] == [0.5, 1.0, 2.0]
+n = bench["requests_per_phase"]
+for p in bench["phases"]:
+    for key in ["offered_pairs_per_sec", "received", "accepted", "rejected",
+                "shed", "completed", "deadline_missed", "pairs_completed",
+                "pairs_per_sec", "latency_p50_ms", "latency_p99_ms",
+                "max_queue_depth", "consistent"]:
+        assert key in p, f"missing phase key {key!r}"
+    assert p["received"] == n, p
+    assert p["received"] == p["accepted"] + p["rejected"], p
+    assert p["accepted"] == p["completed"] + p["deadline_missed"] + p["shed"], p
+    assert p["consistent"] is True
+print(f"BENCH_serve.json OK: capacity "
+      f"{bench['capacity_pairs_per_sec']:.0f} pairs/s, "
+      f"books balance in all {len(bench['phases'])} phases")
 EOF
 
 # Parallel-vs-sequential equivalence: the intra-rank pool must be

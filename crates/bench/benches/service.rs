@@ -1,0 +1,93 @@
+//! Benchmarks of the serving path: the wire-protocol parse, admission
+//! queue operations, and the persistent engine's submit→pump round trip
+//! that the daemon drives for every request.
+
+use bench::harness::Harness;
+use datasets::synthetic::{SyntheticParams, SyntheticPreset};
+use dpu_kernel::{KernelParams, NwKernel};
+use nw_core::ScoringScheme;
+use pim_sim::{PimServer, ServerConfig};
+use std::time::{Duration, Instant};
+use upmem_nw_service::json::Json;
+use upmem_nw_service::{proto, Admission, AdmissionQueue, Priority, Queued};
+
+fn main() {
+    let mut h = Harness::from_env();
+
+    let pairs = SyntheticParams::preset(SyntheticPreset::S1000, 42).generate(4);
+    let ascii: Vec<(String, String)> = pairs
+        .iter()
+        .map(|(a, b)| {
+            (
+                String::from_utf8(a.to_ascii()).unwrap(),
+                String::from_utf8(b.to_ascii()).unwrap(),
+            )
+        })
+        .collect();
+
+    // --- Wire protocol: one 4-pair request line, parse and re-emit ---
+    let line = proto::align_line("bench-0", Priority::Normal, Some(500), &ascii);
+    let mut group = h.group("serve_proto");
+    group.throughput_bytes(line.len() as u64);
+    group.bench("parse_align_line", || {
+        proto::parse_line(&line).expect("parses")
+    });
+    group.bench("json_parse_only", || Json::parse(&line).expect("parses"));
+
+    // --- Admission queue: admit + pop at the daemon's default bounds ---
+    let req = match proto::parse_line(&line).unwrap() {
+        proto::ClientLine::Align(r) => r,
+        _ => unreachable!(),
+    };
+    let mut group = h.group("serve_admission");
+    group.throughput_elements(64);
+    group.bench("admit_pop_64", || {
+        let mut q = AdmissionQueue::new(64, 4096);
+        let now = Instant::now();
+        for _ in 0..64 {
+            let queued = Queued {
+                req: req.clone(),
+                conn: 0,
+                arrival: now,
+                deadline: None,
+            };
+            match q.admit(queued) {
+                Admission::Admitted => {}
+                other => panic!("unexpected admission outcome: {other:?}"),
+            }
+        }
+        let mut popped = 0usize;
+        while q.pop_next().is_some() {
+            popped += 1;
+        }
+        popped
+    });
+
+    // --- Persistent engine: the submit→pump round trip per request ---
+    let mut cfg = ServerConfig::with_ranks(2);
+    cfg.dpus_per_rank = 4;
+    let mut server = PimServer::new(cfg);
+    let params = KernelParams {
+        band: 64,
+        scheme: ScoringScheme::default(),
+        score_only: false,
+    };
+    let kernel = NwKernel::paper_default();
+    let rcfg = pim_host::RecoveryConfig::default();
+    let packed: Vec<_> = pairs.iter().map(|(a, b)| (a.pack(), b.pack())).collect();
+    pim_host::with_persistent_engine(&mut server, &kernel, params, &rcfg, 2, 0, |ctl| {
+        let mut group = h.group("serve_engine");
+        group.throughput_elements(packed.len() as u64);
+        group.bench("submit_pump_4x1kb", || {
+            let ticket = ctl.submit(packed.clone());
+            loop {
+                for done in ctl.pump(Duration::from_millis(25)) {
+                    if done.ticket == ticket {
+                        assert!(!done.cancelled);
+                        return done.results.len();
+                    }
+                }
+            }
+        });
+    });
+}

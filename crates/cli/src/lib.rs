@@ -32,12 +32,25 @@ use nw_core::full::FullAligner;
 use nw_core::seq::{DnaSeq, NPolicy};
 use nw_core::wfa::{Penalties, WfaAligner};
 use nw_core::{Alignment, ScoringScheme};
+use pim_host::deadline::DeadlinePolicy;
 use pim_host::dispatch::{DispatchConfig, Engine};
 use pim_host::modes::{align_pairs, all_vs_all};
 use pim_host::recovery::{align_pairs_recovering, RecoveryConfig};
 use pim_host::report::ExecutionReport;
 use pim_sim::{FaultPlan, PimServer, ServerConfig};
 use std::fmt::Write as _;
+
+pub mod serve;
+pub use serve::{cmd_bench_serve, cmd_serve, BenchServeOpts};
+
+/// Install the Ctrl-C / SIGTERM handler for the one-shot subcommands:
+/// instead of the process dying mid-write, the dispatch engines stop
+/// planning, cancel in-flight launches through the rank cancel tokens, and
+/// wind down — strict runs report a clean "interrupted" error, recovery
+/// runs return a partial report with interrupted jobs accounted.
+pub fn install_interrupt_handler() {
+    pim_host::interrupt::install_handler();
+}
 
 /// Map the CLI's dispatch flags to an engine: `--sync-dispatch true` forces
 /// the lockstep loop, otherwise the pipelined engine runs with
@@ -616,7 +629,7 @@ pub fn cmd_chaos(opts: &ChaosOpts) -> Result<String, CliError> {
     let rcfg = RecoveryConfig {
         max_attempts: opts.retries.max(1),
         quarantine_after: opts.quarantine.max(1),
-        rank_deadline_seconds: opts.deadline_seconds,
+        deadline: DeadlinePolicy::after_seconds(opts.deadline_seconds),
         audit: opts.audit,
         ..RecoveryConfig::default()
     };
@@ -665,9 +678,17 @@ pub fn cmd_chaos(opts: &ChaosOpts) -> Result<String, CliError> {
             pairs.len()
         )));
     }
+    let interrupted = report.fault.interrupted_jobs;
     let aligner = AdaptiveAligner::new(params.scheme, params.band);
     let mut mismatches = 0usize;
+    let mut cancelled = 0usize;
     for (k, ((a, b), got)) in pairs.iter().zip(&results).enumerate() {
+        if interrupted > 0 && got.status == JobStatus::Cancelled {
+            // The run was cut short before this job completed; there is no
+            // result to verify, and the cancellation is accounted above.
+            cancelled += 1;
+            continue;
+        }
         let ok = match aligner.align(a, b) {
             // Compare the CIGAR too: silent corruption mutates the runs
             // while leaving the score field intact, so a score-only oracle
@@ -691,11 +712,19 @@ pub fn cmd_chaos(opts: &ChaosOpts) -> Result<String, CliError> {
             "{mismatches} results differ from the fault-free reference\n{out}"
         )));
     }
-    let _ = writeln!(
-        out,
-        "all {} results match the fault-free reference",
-        results.len()
-    );
+    if interrupted > 0 {
+        let _ = writeln!(
+            out,
+            "interrupted: {cancelled} jobs cancelled; all {} delivered results match the fault-free reference",
+            results.len() - cancelled
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "all {} results match the fault-free reference",
+            results.len()
+        );
+    }
     Ok(out)
 }
 
@@ -780,6 +809,9 @@ fn bench_run_guarded(
     watchdog_cycles: u64,
     audit: bool,
 ) -> Result<BenchRun, CliError> {
+    if pim_host::interrupt::requested() {
+        return Err(CliError::Align("interrupted — benchmark aborted".into()));
+    }
     let mut server_cfg = ServerConfig::with_ranks(opts.ranks.max(1));
     server_cfg.dpus_per_rank = opts.dpus.max(1);
     server_cfg.fault = fault;
@@ -939,8 +971,10 @@ pub fn cmd_bench(opts: &BenchOpts) -> Result<String, CliError> {
     let speedup = lock_s.host_wall_seconds / pipe_s.host_wall_seconds.max(1e-12);
     let speedup_clean = lock_c.host_wall_seconds / pipe_c.host_wall_seconds.max(1e-12);
 
+    let schema_version = upmem_nw_service::SCHEMA_VERSION;
     let json = format!(
-        "{{\n  \"bench\": \"dispatch\",\n  \"pairs\": {},\n  \"ranks\": {},\n  \"dpus_per_rank\": {},\n  \
+        "{{\n  \"bench\": \"dispatch\",\n  \"schema_version\": {schema_version},\n  \
+         \"pairs\": {},\n  \"ranks\": {},\n  \"dpus_per_rank\": {},\n  \
          \"rounds\": {},\n  \"fifo_depth\": {},\n  \"seed\": {},\n  \
          \"straggler\": {{\"rank\": 0, \"slowdown\": 2.0, \"hold_ms\": {}}},\n  \
          \"lockstep\": {},\n  \"pipelined\": {},\n  \
@@ -1289,8 +1323,10 @@ fn cmd_bench_sim(opts: &BenchOpts) -> Result<String, CliError> {
             jf(c.dpus_per_sec)
         )
     };
+    let schema_version = upmem_nw_service::SCHEMA_VERSION;
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"cells\": {cells},\n  \"interp_passes\": {interp_iters},\n  \
+        "{{\n  \"bench\": \"sim\",\n  \"schema_version\": {schema_version},\n  \
+         \"cells\": {cells},\n  \"interp_passes\": {interp_iters},\n  \
          \"dpus\": {dpus},\n  \"launches\": {launches},\n  \"passes_per_launch\": {passes},\n  \
          \"sim_threads\": {threads},\n  \"seed\": {},\n  \"interp\": [\n    {}\n  ],\n  \
          \"rank\": {{\n    \"sequential_checked\": {},\n    \"sequential_fast\": {},\n    \

@@ -19,8 +19,16 @@
 //! off; any other number is an explicit budget.
 //! upmem-nw bench  [--pairs 48] [--ranks 4] [--dpus 4] [--rounds 6] [--band 64]
 //!                 [--fifo-depth 2] [--seed 42] [--straggler-hold-ms 35]
-//!                 [--smoke true] [--sim true] [--sim-threads 0]
-//!                 [--json BENCH_dispatch.json|BENCH_sim.json]
+//!                 [--smoke true] [--sim true] [--serve true] [--sim-threads 0]
+//!                 [--pairs-per-request 4] [--requests 48]
+//!                 [--json BENCH_dispatch.json|BENCH_sim.json|BENCH_serve.json]
+//! upmem-nw serve  [--socket /tmp/upmem-nw.sock] [--ranks 2] [--dpus 8]
+//!                 [--band 64] [--fifo-depth 2] [--sim-threads 0] [--retries 3]
+//!                 [--quarantine 3] [--audit false] [--stall-deadline 5]
+//!                 [--watchdog-cycles 0] [--queue-requests 64]
+//!                 [--queue-pairs 4096] [--max-open 8] [--max-request-pairs 1024]
+//!                 [--default-deadline-ms MS] [--seed 42] [--dpu-fault-rate 0]
+//!                 [--hang-faults 0] [--corrupt-cigars 0] [--json report.json]
 //! upmem-nw info   [--ranks 40]
 //! upmem-nw lint   [--verbose true] [--json true]
 //! ```
@@ -28,13 +36,14 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 use upmem_nw_cli::{
-    cmd_align, cmd_bench, cmd_chaos, cmd_generate, cmd_info, cmd_lint, cmd_matrix, Algo, BenchOpts,
-    ChaosOpts, CliError,
+    cmd_align, cmd_bench, cmd_bench_serve, cmd_chaos, cmd_generate, cmd_info, cmd_lint, cmd_matrix,
+    cmd_serve, install_interrupt_handler, Algo, BenchOpts, BenchServeOpts, ChaosOpts, CliError,
 };
+use upmem_nw_service::ServeOptions;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--audit true] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw chaos [--seed S] [--pairs N] [--ranks N] [--dpus N] [--band N] [--dpu-fault-rate P] [--corrupt-rate P] [--hang-faults P] [--corrupt-cigars P] [--watchdog-cycles auto|0|N] [--deadline SECS] [--audit false] [--disabled N] [--retries N] [--quarantine N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N]\n  upmem-nw bench [--pairs N] [--ranks N] [--dpus N] [--rounds N] [--band N] [--fifo-depth N] [--seed S] [--straggler-hold-ms MS] [--smoke true] [--sim true] [--sim-threads N] [--json file]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true] [--json true]"
+        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--audit true] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw chaos [--seed S] [--pairs N] [--ranks N] [--dpus N] [--band N] [--dpu-fault-rate P] [--corrupt-rate P] [--hang-faults P] [--corrupt-cigars P] [--watchdog-cycles auto|0|N] [--deadline SECS] [--audit false] [--disabled N] [--retries N] [--quarantine N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N]\n  upmem-nw bench [--pairs N] [--ranks N] [--dpus N] [--rounds N] [--band N] [--fifo-depth N] [--seed S] [--straggler-hold-ms MS] [--smoke true] [--sim true] [--serve true] [--pairs-per-request N] [--requests N] [--sim-threads N] [--json file]\n  upmem-nw serve [--socket path] [--ranks N] [--dpus N] [--band N] [--fifo-depth N] [--sim-threads N] [--retries N] [--quarantine N] [--audit false] [--stall-deadline SECS] [--watchdog-cycles N] [--queue-requests N] [--queue-pairs N] [--max-open N] [--max-request-pairs N] [--default-deadline-ms MS] [--seed S] [--dpu-fault-rate P] [--hang-faults P] [--corrupt-cigars P] [--json file]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true] [--json true]"
     );
     std::process::exit(2)
 }
@@ -59,6 +68,14 @@ fn run() -> Result<String, CliError> {
         usage()
     };
     let flags = parse_flags(rest);
+    // One-shot runs exit with a partial report on Ctrl-C instead of dying
+    // mid-write; the engines poll the flag at their planning points.
+    if matches!(
+        command.as_str(),
+        "align" | "matrix" | "chaos" | "bench" | "serve"
+    ) {
+        install_interrupt_handler();
+    }
     let get = |k: &str| flags.get(k).cloned();
     let band: usize = get("band")
         .map(|v| v.parse().unwrap_or_else(|_| usage()))
@@ -145,6 +162,76 @@ fn run() -> Result<String, CliError> {
                 sim_threads,
             };
             cmd_chaos(&opts)?
+        }
+        "bench" if get("serve").is_some_and(|v| v == "true") => {
+            let defaults = BenchServeOpts::default();
+            let uint = |k: &str, d: usize| {
+                get(k)
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(d)
+            };
+            let opts = BenchServeOpts {
+                ranks: uint("ranks", defaults.ranks),
+                dpus: uint("dpus", defaults.dpus),
+                band: uint("band", defaults.band),
+                fifo_depth: uint("fifo-depth", defaults.fifo_depth),
+                sim_threads,
+                seed: get("seed")
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(defaults.seed),
+                pairs_per_request: uint("pairs-per-request", defaults.pairs_per_request),
+                requests: uint("requests", defaults.requests),
+                smoke: get("smoke").is_some_and(|v| v == "true"),
+                json_path: get("json"),
+            };
+            cmd_bench_serve(&opts)?
+        }
+        "serve" => {
+            let defaults = ServeOptions::default();
+            let uint = |k: &str, d: usize| {
+                get(k)
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(d)
+            };
+            let rate = |k: &str, d: f64| {
+                get(k)
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(d)
+            };
+            let mut fault = pim_sim::FaultPlan {
+                seed: get("seed")
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(42),
+                ..pim_sim::FaultPlan::default()
+            };
+            fault.dpu_fault_rate = rate("dpu-fault-rate", fault.dpu_fault_rate);
+            fault.hang_rate = rate("hang-faults", fault.hang_rate);
+            fault.silent_corrupt_rate = rate("corrupt-cigars", fault.silent_corrupt_rate);
+            let opts = ServeOptions {
+                socket: get("socket")
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or(defaults.socket),
+                ranks: uint("ranks", defaults.ranks),
+                dpus: uint("dpus", defaults.dpus),
+                band: uint("band", defaults.band),
+                fifo_depth: uint("fifo-depth", defaults.fifo_depth),
+                sim_threads,
+                retries: uint("retries", defaults.retries),
+                quarantine: uint("quarantine", defaults.quarantine),
+                audit: get("audit").map(|v| v == "true").unwrap_or(defaults.audit),
+                stall_deadline_seconds: rate("stall-deadline", defaults.stall_deadline_seconds),
+                watchdog_cycles: get("watchdog-cycles")
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(defaults.watchdog_cycles),
+                queue_requests: uint("queue-requests", defaults.queue_requests),
+                queue_pairs: uint("queue-pairs", defaults.queue_pairs),
+                max_open_tickets: uint("max-open", defaults.max_open_tickets),
+                max_pairs_per_request: uint("max-request-pairs", defaults.max_pairs_per_request),
+                default_deadline_ms: get("default-deadline-ms")
+                    .map(|v| v.parse().unwrap_or_else(|_| usage())),
+                fault,
+            };
+            cmd_serve(&opts, get("json").as_deref())?
         }
         "bench" => {
             let defaults = BenchOpts::default();

@@ -138,6 +138,11 @@ pub enum JobStatus {
     /// CIGAR exceeded the host-reserved space (cannot happen with the
     /// default reservation; kept for failure injection).
     CigarOverflow,
+    /// The job never ran to completion: the host interrupted or shed the
+    /// run before this job's launch finished. Host-side only — the kernel
+    /// never writes this status; the dispatch layer uses it to fill the
+    /// slots of jobs a partial run left behind.
+    Cancelled,
 }
 
 impl JobStatus {
@@ -147,6 +152,7 @@ impl JobStatus {
             JobStatus::Ok => 0,
             JobStatus::OutOfBand => 1,
             JobStatus::CigarOverflow => 2,
+            JobStatus::Cancelled => 3,
         }
     }
 
@@ -156,6 +162,7 @@ impl JobStatus {
             0 => Some(JobStatus::Ok),
             1 => Some(JobStatus::OutOfBand),
             2 => Some(JobStatus::CigarOverflow),
+            3 => Some(JobStatus::Cancelled),
             _ => None,
         }
     }
@@ -688,6 +695,7 @@ mod tests {
             JobStatus::Ok,
             JobStatus::OutOfBand,
             JobStatus::CigarOverflow,
+            JobStatus::Cancelled,
         ] {
             assert_eq!(JobStatus::from_code(s.code()), Some(s));
         }

@@ -14,6 +14,7 @@
 //! 3. **Collect**: results come back tagged with the caller's job ids.
 
 use crate::balance::{lpt_assign, pair_workloads};
+use crate::deadline::DeadlinePolicy;
 use crate::pipeline::{BufferPool, PipelineMetrics};
 use crate::recovery::FaultReport;
 use dpu_kernel::layout::{
@@ -25,7 +26,7 @@ use nw_core::seq::PackedSeq;
 use pim_sim::rank::Rank;
 use pim_sim::stats::AggregateStats;
 use pim_sim::{PimServer, SimError};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Host-side check applied to one decoded result: `audit(job_id, result)`
 /// is true when the result survives. Shared by the strict and recovering
@@ -675,7 +676,7 @@ pub(crate) fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
 /// `sim_threads` is the total simulator thread budget (`0` = available
 /// parallelism), divided evenly over the ranks for their intra-rank pools.
 ///
-/// `deadline_seconds > 0` arms a wall-clock watchdog over the whole round:
+/// An enabled `deadline` arms a wall-clock watchdog over the whole round:
 /// if any rank worker is still running that long after launch, every
 /// still-running rank's cancel token is set ([`Rank::cancel_token`]) —
 /// injected hangs and straggler holds break out of their waits, the launch
@@ -689,7 +690,7 @@ pub fn run_round(
     round: Vec<RankPlan>,
     tolerant: bool,
     sim_threads: usize,
-    deadline_seconds: f64,
+    deadline: DeadlinePolicy,
     audit: Option<AuditFn>,
 ) -> Vec<Result<RankExec, SimError>> {
     let n_ranks = server.rank_count();
@@ -711,24 +712,30 @@ pub fn run_round(
             }));
         }
         drop(done_tx);
-        if deadline_seconds > 0.0 {
-            let deadline = Instant::now() + Duration::from_secs_f64(deadline_seconds);
-            let mut live = n_ranks;
-            while live > 0 {
-                let left = deadline.saturating_duration_since(Instant::now());
-                match done_rx.recv_timeout(left) {
-                    Ok(_) => live -= 1,
-                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                        // Overdue: cancel every rank. Finished ranks ignore
-                        // the token (it is cleared at the next launch's
-                        // entry); hung ones break out of their waits.
+        // Watcher: poll for completions so both the wall-clock deadline and
+        // a host interrupt (Ctrl-C) can cancel in-flight launches. Finished
+        // ranks ignore the token (it is cleared at the next launch's
+        // entry); hung ones break out of their waits.
+        let poll = std::time::Duration::from_millis(25);
+        let hard = deadline.timeout().map(|budget| Instant::now() + budget);
+        let mut live = n_ranks;
+        while live > 0 {
+            let wait = match hard {
+                Some(d) => d.saturating_duration_since(Instant::now()).min(poll),
+                None => poll,
+            };
+            match done_rx.recv_timeout(wait) {
+                Ok(_) => live -= 1,
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    let overdue = hard.is_some_and(|d| Instant::now() >= d);
+                    if overdue || crate::interrupt::requested() {
                         for t in &tokens {
                             t.store(true, std::sync::atomic::Ordering::Relaxed);
                         }
                         break;
                     }
-                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
                 }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
             }
         }
         handles
@@ -799,7 +806,19 @@ pub fn execute_rounds_partial(
     let mut imbalances: Vec<f64> = Vec::new();
     let mut first_err = None;
     'rounds: for round in rounds {
-        for oc in run_round(server, kernel, round, false, sim_threads, 0.0, None) {
+        if crate::interrupt::requested() {
+            first_err = Some(SimError::Interrupted);
+            break 'rounds;
+        }
+        for oc in run_round(
+            server,
+            kernel,
+            round,
+            false,
+            sim_threads,
+            DeadlinePolicy::off(),
+            None,
+        ) {
             match oc {
                 Ok(exec) => out.absorb(exec, &mut dpu_busy, &mut imbalances),
                 Err(e) => {
@@ -808,6 +827,13 @@ pub fn execute_rounds_partial(
                     }
                 }
             }
+        }
+        if crate::interrupt::requested() {
+            // An interrupt mid-round cancels launches through the rank
+            // tokens; report the interrupt itself, not the watchdog noise
+            // the cancellation produced.
+            first_err = Some(SimError::Interrupted);
+            break 'rounds;
         }
         if first_err.is_some() {
             break 'rounds;

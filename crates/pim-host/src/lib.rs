@@ -29,20 +29,28 @@
 //!   per-rank worker threads fed through bounded FIFO channels, with
 //!   planning and result decoding overlapped on the driver thread. The
 //!   default engine; bit-identical to lockstep dispatch.
+//! * [`persistent`] — the non-draining engine the serve daemon drives:
+//!   the same rank workers kept alive across requests, with per-ticket
+//!   recovery, cancellation, and CPU fallback.
 
 pub mod balance;
+pub mod deadline;
 pub mod dispatch;
 pub mod encode;
 pub mod hetero;
+pub mod interrupt;
 pub mod modes;
+pub mod persistent;
 pub mod pipeline;
 pub mod recovery;
 pub mod report;
 
 pub use balance::{lpt_assign, pair_workloads, round_robin_assign};
+pub use deadline::DeadlinePolicy;
 pub use dispatch::{DispatchConfig, Engine};
 pub use hetero::{align_pairs_hetero, HeteroConfig, HeteroOutcome};
 pub use modes::{align_pairs, align_sets, all_vs_all};
+pub use persistent::{with_persistent_engine, EngineCtl, EngineStats, TicketDone};
 pub use pipeline::{
     execute_pipelined_with, execute_rounds_pipelined, BufferPool, PipelineMetrics, PipelineOptions,
 };

@@ -1,0 +1,990 @@
+//! Persistent, non-draining dispatch: the engine the serve daemon runs on.
+//!
+//! The batch engines ([`crate::pipeline`], [`crate::recovery`]) own the
+//! server for exactly one job list: spawn workers, drain, join, return.
+//! A daemon cannot work that way — requests arrive continuously and the
+//! rank workers must stay hot between them. This module keeps the same
+//! per-rank worker threads and bounded FIFOs alive for the whole service
+//! lifetime and exposes a handle ([`EngineCtl`]) the daemon drives:
+//!
+//! ```text
+//!   daemon loop                         persistent engine
+//!   ───────────                         ─────────────────
+//!   submit(jobs)      ──ticket──▶   per-ticket state (results,
+//!   pump(wait)        ◀─TicketDone──  attempts, retry pool)
+//!   cancel(ticket)                      │
+//!                                       ▼ per-rank FIFOs (depth d)
+//!                                    rank workers (pipeline::worker_loop)
+//! ```
+//!
+//! The full recovery ladder rides along per ticket: per-DPU faults and
+//! audit rejections requeue the lost jobs, repeated faults quarantine the
+//! DPU ([`HealthTracker`] state persists across requests — flaky hardware
+//! stays quarantined for the daemon's lifetime), dead ranks fail over, and
+//! jobs out of PiM attempts finish on the bit-identical CPU fallback. A
+//! cancelled ticket (admission deadline missed) abandons its unfinished
+//! jobs with explicit [`JobStatus::Cancelled`] slots and
+//! [`FaultReport::interrupted_jobs`] accounting — nothing is silently
+//! dropped.
+//!
+//! Scoped-thread shape: workers borrow the ranks mutably, so the engine
+//! cannot be a long-lived struct the caller stores. Instead
+//! [`with_persistent_engine`] opens the scope, hands the caller an
+//! [`EngineCtl`], and tears the workers down when the closure returns —
+//! the daemon's accept/drive loop lives inside the closure.
+
+use crate::dispatch::{decode_raw_exec_audited, AuditFn, RankExec};
+use crate::pipeline::{worker_loop, BatchDone, BufferPool, WorkItem};
+use crate::recovery::{
+    audit_ok, cpu_result, note_exec_faults, plan_rank_subset, FaultReport, HealthTracker,
+    RecoveryConfig,
+};
+use cpu_baseline::driver::run_batch;
+use dpu_kernel::layout::{JobResult, JobStatus, KernelParams};
+use dpu_kernel::NwKernel;
+use nw_core::adaptive::AdaptiveAligner;
+use nw_core::cigar::Cigar;
+use nw_core::seq::{DnaSeq, PackedSeq};
+use pim_sim::PimServer;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One submitted request's jobs, fully resolved.
+#[derive(Debug)]
+pub struct TicketDone {
+    /// The id [`EngineCtl::submit`] returned.
+    pub ticket: u64,
+    /// One result per submitted pair, input order. Jobs a cancellation
+    /// abandoned carry [`JobStatus::Cancelled`].
+    pub results: Vec<JobResult>,
+    /// Everything the recovery ladder did for this ticket.
+    pub fault: FaultReport,
+    /// True when [`EngineCtl::cancel`] reaped the ticket before it
+    /// finished (some slots are `Cancelled`).
+    pub cancelled: bool,
+}
+
+/// Engine-lifetime counters (across all tickets).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// Batches dispatched to rank workers.
+    pub batches: usize,
+    /// Tickets fully resolved.
+    pub tickets_done: usize,
+    /// Jobs resolved (PiM, CPU fallback, or cancelled slots).
+    pub jobs_done: usize,
+}
+
+/// `(dpu index, job indices planned onto it)` for one dispatched batch.
+type PlannedJobs = Vec<(usize, Vec<usize>)>;
+
+struct TicketState {
+    jobs: Vec<(PackedSeq, PackedSeq)>,
+    results: Vec<Option<JobResult>>,
+    /// Result slots still empty.
+    remaining: usize,
+    attempts: Vec<usize>,
+    /// Job indices waiting to be planned (first pass or requeued retries).
+    pending: Vec<usize>,
+    in_flight_batches: usize,
+    fault: FaultReport,
+    cancelled: bool,
+    queued: bool,
+}
+
+/// Handle over the live engine: submit work, pump completions, cancel
+/// expired tickets. Single-threaded by design — the daemon's driver loop
+/// owns it; reader threads talk to the driver over channels, not to the
+/// engine.
+pub struct EngineCtl {
+    params: KernelParams,
+    pools: usize,
+    mram: usize,
+    dpus_per_rank: usize,
+    host_bw: f64,
+    rcfg: RecoveryConfig,
+    depth: usize,
+    inboxes: Vec<SyncSender<WorkItem>>,
+    done_rx: Receiver<BatchDone>,
+    tokens: Vec<Arc<AtomicBool>>,
+    enabled: Vec<Vec<bool>>,
+    health: HealthTracker,
+    pool: BufferPool,
+    in_flight: Vec<usize>,
+    total_in_flight: usize,
+    next_seq: u64,
+    next_ticket: u64,
+    tickets: HashMap<u64, TicketState>,
+    /// Tickets with pending (unplanned) jobs, oldest first.
+    queue: VecDeque<u64>,
+    /// `seq -> (ticket, per-DPU planned job indices)` for in-flight batches.
+    meta: HashMap<u64, (u64, PlannedJobs)>,
+    /// Last time a batch completed; drives the stall deadline.
+    last_progress: Instant,
+    stall_cancelled: bool,
+    workers_gone: bool,
+    stats: EngineStats,
+}
+
+impl EngineCtl {
+    /// Submit one request's pairs; returns its ticket id. Jobs start
+    /// flowing on the next [`EngineCtl::pump`].
+    pub fn submit(&mut self, jobs: Vec<(PackedSeq, PackedSeq)>) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        let n = jobs.len();
+        self.tickets.insert(
+            ticket,
+            TicketState {
+                jobs,
+                results: (0..n).map(|_| None).collect(),
+                remaining: n,
+                attempts: vec![0; n],
+                pending: (0..n).collect(),
+                in_flight_batches: 0,
+                fault: FaultReport::default(),
+                cancelled: false,
+                queued: true,
+            },
+        );
+        // Even an empty ticket goes through the queue: feed's stale-pop
+        // path is what resolves it into a TicketDone.
+        self.queue.push_back(ticket);
+        ticket
+    }
+
+    /// Abandon a ticket's unfinished jobs (the daemon's deadline reaper).
+    /// Unplanned jobs resolve to `Cancelled` immediately; in-flight batches
+    /// finish on their own and their late results are discarded. The
+    /// ticket's `TicketDone` comes back from `pump` like any other —
+    /// cancellation changes its contents, not its delivery path.
+    pub fn cancel(&mut self, ticket: u64) {
+        let Some(st) = self.tickets.get_mut(&ticket) else {
+            return;
+        };
+        if st.cancelled {
+            return;
+        }
+        st.cancelled = true;
+        // Drop the unplanned work; the empty-pending queue entry becomes
+        // stale and feed's stale-pop (or the last in-flight batch's absorb)
+        // completes the ticket, filling abandoned slots with `Cancelled`.
+        st.pending.clear();
+    }
+
+    /// Set every rank's cancel token: hung launches break out of their
+    /// waits and come back as watchdog failures (which requeue and ride
+    /// the recovery ladder). The drain path uses this to guarantee
+    /// forward progress when a launch wedges with the watchdog off.
+    pub fn cancel_ranks(&mut self) {
+        for t in &self.tokens {
+            t.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Batches currently on rank FIFOs (queued or executing).
+    pub fn in_flight(&self) -> usize {
+        self.total_in_flight
+    }
+
+    /// Tickets submitted but not yet resolved.
+    pub fn open_tickets(&self) -> usize {
+        self.tickets.len()
+    }
+
+    /// True when nothing is in flight and no ticket has unplanned work.
+    pub fn idle(&self) -> bool {
+        self.total_in_flight == 0 && self.tickets.is_empty()
+    }
+
+    /// True when every rank worker has exited (engine unusable; only
+    /// happens after rank-fatal errors killed all workers).
+    pub fn workers_gone(&self) -> bool {
+        self.workers_gone
+    }
+
+    /// Engine-lifetime counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Drive the engine: plan and dispatch pending work, then wait up to
+    /// `wait` for completions. Returns every ticket that fully resolved
+    /// during the call (possibly none on a quiet timeout). This is the
+    /// daemon's heartbeat — call it in a loop, interleaved with admission.
+    pub fn pump(&mut self, wait: Duration) -> Vec<TicketDone> {
+        let mut completed = Vec::new();
+        self.feed(&mut completed);
+        let deadline = Instant::now() + wait;
+        loop {
+            self.check_stall();
+            let now = Instant::now();
+            if now >= deadline || self.workers_gone {
+                break;
+            }
+            let step = (deadline - now).min(Duration::from_millis(25));
+            match self.done_rx.recv_timeout(step) {
+                Ok(batch) => {
+                    self.absorb(batch, &mut completed);
+                    // Drain whatever else already finished, then refill
+                    // the freed FIFO slots before returning to the caller.
+                    while let Ok(batch) = self.done_rx.try_recv() {
+                        self.absorb(batch, &mut completed);
+                    }
+                    self.feed(&mut completed);
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.workers_gone = true;
+                    break;
+                }
+            }
+        }
+        completed
+    }
+
+    /// The stall deadline ([`RecoveryConfig::deadline`]): when work is in
+    /// flight and nothing has completed for the policy's budget, cancel
+    /// every rank once — hung launches come back as watchdog failures and
+    /// requeue. Fresh completions re-arm the trigger.
+    fn check_stall(&mut self) {
+        if self.total_in_flight == 0 || self.stall_cancelled {
+            return;
+        }
+        let Some(budget) = self.rcfg.deadline.timeout() else {
+            return;
+        };
+        if self.last_progress.elapsed() >= budget {
+            self.cancel_ranks();
+            self.stall_cancelled = true;
+        }
+    }
+
+    fn usable_slots(&self, r: usize) -> Vec<usize> {
+        if self.health.is_dead(r) {
+            return Vec::new();
+        }
+        (0..self.dpus_per_rank)
+            .filter(|&d| self.enabled[r][d] && !self.health.is_quarantined(r, d))
+            .collect()
+    }
+
+    /// Top up every rank's FIFO from the ticket queue (oldest ticket
+    /// first, spread over the usable ranks). Jobs out of PiM attempts are
+    /// resolved on the CPU right here.
+    fn feed(&mut self, completed: &mut Vec<TicketDone>) {
+        let n_ranks = self.inboxes.len();
+        loop {
+            // Front ticket with work, after dropping stale queue entries
+            // (resolved tickets, cancelled tickets, empty submissions — the
+            // pop is also where those complete).
+            let ticket = loop {
+                match self.queue.front().copied() {
+                    None => return,
+                    Some(t) => {
+                        let stale = match self.tickets.get(&t) {
+                            None => true,
+                            Some(st) => st.pending.is_empty(),
+                        };
+                        if stale {
+                            if let Some(st) = self.tickets.get_mut(&t) {
+                                st.queued = false;
+                            }
+                            self.queue.pop_front();
+                            self.maybe_complete(t, completed);
+                            continue;
+                        }
+                        break t;
+                    }
+                }
+            };
+            // Jobs out of PiM attempts go to the CPU now; they never
+            // occupy FIFO room.
+            self.cpu_exhausted(ticket);
+            let st = self.tickets.get_mut(&ticket).expect("front ticket exists");
+            if st.pending.is_empty() {
+                st.queued = false;
+                self.queue.pop_front();
+                self.maybe_complete(ticket, completed);
+                continue;
+            }
+            let usable: Vec<(usize, Vec<usize>)> = (0..n_ranks)
+                .filter(|&r| self.in_flight[r] < self.depth)
+                .map(|r| (r, self.usable_slots(r)))
+                .filter(|(_, slots)| !slots.is_empty())
+                .collect();
+            if usable.is_empty() {
+                // Either every FIFO is full (come back after a completion)
+                // or no DPU is usable at all (CPU takes everything).
+                let any_alive = (0..n_ranks).any(|r| !self.usable_slots(r).is_empty());
+                if any_alive {
+                    return;
+                }
+                let st = self.tickets.get_mut(&ticket).expect("front ticket exists");
+                let ids = std::mem::take(&mut st.pending);
+                self.cpu_align(ticket, &ids);
+                continue;
+            }
+            // Spread this ticket's pending jobs over the ranks with room.
+            let st = self.tickets.get_mut(&ticket).expect("front ticket exists");
+            let chunk = st.pending.len().div_ceil(usable.len());
+            for (r, slots) in usable {
+                let st = self.tickets.get_mut(&ticket).expect("ticket still open");
+                if st.pending.is_empty() {
+                    break;
+                }
+                let take = chunk.min(st.pending.len());
+                let ids: Vec<usize> = st.pending.split_off(st.pending.len() - take);
+                for &i in &ids {
+                    st.attempts[i] += 1;
+                    if st.attempts[i] > 1 {
+                        st.fault.retried_jobs += 1;
+                    }
+                }
+                let plan = match plan_rank_subset(
+                    &st.jobs,
+                    &ids,
+                    &slots,
+                    self.dpus_per_rank,
+                    self.params,
+                    self.pools,
+                    self.mram,
+                    &mut self.pool,
+                ) {
+                    Ok(p) => p,
+                    Err(_) => {
+                        // Planning is pure host-side work; an error here is
+                        // a per-job problem (e.g. a pair that cannot fit in
+                        // MRAM). Resolve the chunk on the CPU rather than
+                        // poisoning the engine.
+                        self.cpu_align(ticket, &ids);
+                        continue;
+                    }
+                };
+                let planned: Vec<(usize, Vec<usize>)> = plan
+                    .dpus
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(d, p)| p.as_ref().map(|p| (d, p.job_ids.clone())))
+                    .collect();
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.meta.insert(seq, (ticket, planned));
+                let st = self.tickets.get_mut(&ticket).expect("ticket still open");
+                st.in_flight_batches += 1;
+                self.in_flight[r] += 1;
+                self.total_in_flight += 1;
+                self.stats.batches += 1;
+                if self.total_in_flight == 1 {
+                    // First batch after an idle stretch re-arms the stall
+                    // deadline from now, not from the last busy period.
+                    self.last_progress = Instant::now();
+                    self.stall_cancelled = false;
+                }
+                if self.inboxes[r]
+                    .send(WorkItem {
+                        seq,
+                        plan,
+                        watchdog: None,
+                    })
+                    .is_err()
+                {
+                    // Worker exited (rank-fatal error earlier). Treat like
+                    // a failed batch: requeue and mark the rank dead.
+                    self.in_flight[r] -= 1;
+                    self.total_in_flight -= 1;
+                    let (_, planned) = self.meta.remove(&seq).expect("just inserted");
+                    let st = self.tickets.get_mut(&ticket).expect("ticket still open");
+                    st.in_flight_batches -= 1;
+                    st.fault.rank_failures += 1;
+                    if !st.cancelled {
+                        for (_, ids) in &planned {
+                            st.pending.extend(ids.iter().copied());
+                        }
+                    }
+                    if self.health.mark_dead(r) {
+                        let st = self.tickets.get_mut(&ticket).expect("ticket still open");
+                        st.fault.dead_ranks.push(r);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pull jobs past [`RecoveryConfig::max_attempts`] out of a ticket's
+    /// pending list and align them on the CPU.
+    fn cpu_exhausted(&mut self, ticket: u64) {
+        let max_attempts = self.rcfg.max_attempts;
+        let Some(st) = self.tickets.get_mut(&ticket) else {
+            return;
+        };
+        let (retryable, exhausted): (Vec<usize>, Vec<usize>) = std::mem::take(&mut st.pending)
+            .into_iter()
+            .partition(|&i| st.attempts[i] < max_attempts);
+        st.pending = retryable;
+        if !exhausted.is_empty() {
+            self.cpu_align(ticket, &exhausted);
+        }
+    }
+
+    /// Resolve `ids` of a ticket with the kernel-identical CPU aligner
+    /// (same results a healthy DPU would produce).
+    fn cpu_align(&mut self, ticket: u64, ids: &[usize]) {
+        let params = self.params;
+        let threads = self.rcfg.cpu_threads.max(1);
+        let Some(st) = self.tickets.get_mut(&ticket) else {
+            return;
+        };
+        if ids.is_empty() {
+            return;
+        }
+        st.fault.cpu_fallbacks += ids.len();
+        let aligner = AdaptiveAligner::new(params.scheme, params.band);
+        let pairs: Vec<(DnaSeq, DnaSeq)> = ids
+            .iter()
+            .map(|&i| (st.jobs[i].0.unpack(), st.jobs[i].1.unpack()))
+            .collect();
+        let resolved: Vec<JobResult> = if params.score_only {
+            let (results, _) = run_batch(threads, &pairs, |a, b| aligner.score(a, b));
+            results
+                .into_iter()
+                .map(|r| {
+                    cpu_result(r, |score| JobResult {
+                        status: JobStatus::Ok,
+                        score,
+                        cigar: Cigar::new(),
+                    })
+                })
+                .collect()
+        } else {
+            let (results, _) = run_batch(threads, &pairs, |a, b| aligner.align(a, b));
+            results
+                .into_iter()
+                .map(|r| {
+                    cpu_result(r, |aln| JobResult {
+                        status: JobStatus::Ok,
+                        score: aln.score,
+                        cigar: aln.cigar,
+                    })
+                })
+                .collect()
+        };
+        for (&i, jr) in ids.iter().zip(resolved) {
+            if st.results[i].is_none() {
+                st.remaining -= 1;
+            }
+            st.results[i] = Some(jr);
+        }
+    }
+
+    /// Fold one completed batch back into its ticket.
+    fn absorb(&mut self, batch: BatchDone, completed: &mut Vec<TicketDone>) {
+        let r = batch.rank;
+        self.in_flight[r] -= 1;
+        self.total_in_flight -= 1;
+        self.last_progress = Instant::now();
+        self.stall_cancelled = false;
+        self.pool.put(batch.spent);
+        let Some((ticket, planned)) = self.meta.remove(&batch.seq) else {
+            return;
+        };
+        let audit_on = self.rcfg.audit;
+        let host_bw = self.host_bw;
+        let scheme = self.params.scheme;
+        let dpus_per_rank = self.dpus_per_rank;
+        let st = self.tickets.get_mut(&ticket).expect("in-flight ticket");
+        st.in_flight_batches -= 1;
+        match batch.outcome {
+            Err(_) => {
+                // Rank-fatal: worker panics and launch-layer errors alike.
+                // A daemon cannot abort on them — record the failure, mark
+                // the rank dead, requeue the batch's jobs for the
+                // survivors (or the CPU).
+                st.fault.rank_failures += 1;
+                if !st.cancelled {
+                    for (_, ids) in &planned {
+                        st.pending.extend(ids.iter().copied());
+                    }
+                    if !st.queued {
+                        st.queued = true;
+                        self.queue.push_back(ticket);
+                    }
+                }
+                if self.health.mark_dead(r) {
+                    let st = self.tickets.get_mut(&ticket).expect("in-flight ticket");
+                    st.fault.dead_ranks.push(r);
+                }
+            }
+            Ok(raw) => {
+                let mut exec: RankExec = {
+                    let jobs = &st.jobs;
+                    let audit_fn = |i: usize, jr: &JobResult| audit_ok(&jobs[i], jr, &scheme);
+                    let audit: Option<AuditFn> = if audit_on { Some(&audit_fn) } else { None };
+                    decode_raw_exec_audited(raw, host_bw, audit)
+                };
+                st.fault.silent_corruptions += exec.silent_corruptions as usize;
+                st.fault.audit_checked += exec.audit_checked as usize;
+                st.fault.audit_failures += exec.audit_failures as usize;
+                if exec.cancelled {
+                    st.fault.deadline_cancellations += 1;
+                }
+                let mut requeue: Vec<usize> = Vec::new();
+                note_exec_faults(
+                    &mut exec,
+                    r,
+                    dpus_per_rank,
+                    &planned,
+                    &mut self.health,
+                    &mut st.fault,
+                    &mut requeue,
+                );
+                if st.cancelled {
+                    // Late batch of a reaped ticket: drop its results and
+                    // requeues — completion fills the still-empty slots
+                    // with `Cancelled` and counts each exactly once.
+                    drop(requeue);
+                } else {
+                    for (i, jr) in exec.results {
+                        if st.results[i].is_none() {
+                            st.remaining -= 1;
+                        }
+                        st.results[i] = Some(jr);
+                    }
+                    if !requeue.is_empty() {
+                        st.pending.extend(requeue);
+                        if !st.queued {
+                            st.queued = true;
+                            self.queue.push_back(ticket);
+                        }
+                    }
+                }
+            }
+        }
+        self.maybe_complete(ticket, completed);
+    }
+
+    /// Emit the ticket if every slot resolved and nothing is in flight.
+    fn maybe_complete(&mut self, ticket: u64, completed: &mut Vec<TicketDone>) {
+        let Some(st) = self.tickets.get(&ticket) else {
+            return;
+        };
+        if st.in_flight_batches > 0 || !st.pending.is_empty() {
+            return;
+        }
+        if st.remaining > 0 && !st.cancelled {
+            return;
+        }
+        let mut st = self.tickets.remove(&ticket).expect("checked above");
+        let missing = st.results.iter().filter(|s| s.is_none()).count();
+        st.fault.interrupted_jobs += missing;
+        let results: Vec<JobResult> = st
+            .results
+            .drain(..)
+            .map(|slot| slot.unwrap_or_else(cancelled_result))
+            .collect();
+        self.stats.tickets_done += 1;
+        self.stats.jobs_done += results.len();
+        completed.push(TicketDone {
+            ticket,
+            results,
+            fault: st.fault,
+            cancelled: st.cancelled,
+        });
+    }
+}
+
+fn cancelled_result() -> JobResult {
+    JobResult {
+        status: JobStatus::Cancelled,
+        score: 0,
+        cigar: Cigar::new(),
+    }
+}
+
+/// Spawn persistent rank workers over `server`'s ranks, hand `f` the
+/// [`EngineCtl`] to drive them, and tear the workers down when `f`
+/// returns. The closure is the daemon's whole lifetime: accept loop,
+/// admission, drain — everything happens inside it.
+///
+/// The watchdog budget, fault plan, and rank/DPU geometry come from the
+/// server's configuration; retry/quarantine/audit policy and the stall
+/// deadline come from `rcfg`.
+pub fn with_persistent_engine<R>(
+    server: &mut PimServer,
+    kernel: &NwKernel,
+    params: KernelParams,
+    rcfg: &RecoveryConfig,
+    fifo_depth: usize,
+    sim_threads: usize,
+    f: impl FnOnce(&mut EngineCtl) -> R,
+) -> R {
+    assert!(rcfg.max_attempts >= 1, "max_attempts must be >= 1");
+    let n_ranks = server.rank_count();
+    let dpus_per_rank = server.cfg().dpus_per_rank;
+    let mram = server.cfg().dpu.mram_size;
+    let host_bw = server.cfg().host_bandwidth;
+    let freq = server.cfg().dpu.freq_hz;
+    let pools = kernel.pool_cfg.pools;
+    let depth = fifo_depth.max(1);
+    let pool_threads = crate::dispatch::rank_pool(sim_threads, n_ranks);
+
+    let enabled: Vec<Vec<bool>> = (0..n_ranks)
+        .map(|r| {
+            let rank = server.rank(r).expect("rank index in range");
+            (0..dpus_per_rank).map(|d| rank.dpu_enabled(d)).collect()
+        })
+        .collect();
+
+    let ranks = server.ranks_mut();
+    let tokens: Vec<_> = ranks.iter().map(|rank| rank.cancel_token()).collect();
+    let (done_tx, done_rx) = channel::<BatchDone>();
+    std::thread::scope(|scope| {
+        let mut inboxes = Vec::with_capacity(n_ranks);
+        for (r, rank) in ranks.iter_mut().enumerate() {
+            let (tx, rx) = sync_channel::<WorkItem>(depth);
+            let done = done_tx.clone();
+            scope.spawn(move || worker_loop(r, rank, kernel, freq, pool_threads, rx, done));
+            inboxes.push(tx);
+        }
+        drop(done_tx);
+
+        let mut ctl = EngineCtl {
+            params,
+            pools,
+            mram,
+            dpus_per_rank,
+            host_bw,
+            rcfg: rcfg.clone(),
+            depth,
+            inboxes,
+            done_rx,
+            tokens,
+            enabled,
+            health: HealthTracker::new(n_ranks, dpus_per_rank, rcfg.quarantine_after),
+            pool: BufferPool::default(),
+            in_flight: vec![0; n_ranks],
+            total_in_flight: 0,
+            next_seq: 0,
+            next_ticket: 0,
+            tickets: HashMap::new(),
+            queue: VecDeque::new(),
+            meta: HashMap::new(),
+            last_progress: Instant::now(),
+            stall_cancelled: false,
+            workers_gone: false,
+            stats: EngineStats::default(),
+        };
+        let result = f(&mut ctl);
+        // Shutdown: break any still-hung launches, close the FIFOs so the
+        // workers drain to Disconnected and exit, and swallow whatever they
+        // were still sending — the scope join collects the threads.
+        ctl.cancel_ranks();
+        drop(ctl.inboxes);
+        for _ in ctl.done_rx.iter() {}
+        result
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadline::DeadlinePolicy;
+    use dpu_kernel::{KernelVariant, PoolConfig};
+    use nw_core::ScoringScheme;
+    use pim_sim::{FaultPlan, ServerConfig};
+
+    fn params() -> KernelParams {
+        KernelParams {
+            band: 16,
+            scheme: ScoringScheme::default(),
+            score_only: false,
+        }
+    }
+
+    fn kernel() -> NwKernel {
+        NwKernel::new(
+            PoolConfig {
+                pools: 2,
+                tasklets: 4,
+            },
+            KernelVariant::Asm,
+        )
+    }
+
+    fn server_with(fault: FaultPlan, ranks: usize, dpus: usize, watchdog: u64) -> PimServer {
+        let mut cfg = ServerConfig::with_ranks(ranks);
+        cfg.dpus_per_rank = dpus;
+        cfg.fault = fault;
+        cfg.dpu.watchdog_cycles = watchdog;
+        PimServer::new(cfg)
+    }
+
+    fn packed(n: usize, salt: usize) -> Vec<(PackedSeq, PackedSeq)> {
+        (0..n)
+            .map(|k| {
+                let a = "ACGTGGTCAT".repeat(3 + (k + salt) % 3);
+                let mut b = a.clone();
+                b.insert_str(3 + (k + salt) % 5, "TG");
+                (
+                    DnaSeq::from_ascii(a.as_bytes()).unwrap().pack(),
+                    DnaSeq::from_ascii(b.as_bytes()).unwrap().pack(),
+                )
+            })
+            .collect()
+    }
+
+    fn reference(jobs: &[(PackedSeq, PackedSeq)]) -> Vec<JobResult> {
+        let p = params();
+        let aligner = AdaptiveAligner::new(p.scheme, p.band);
+        jobs.iter()
+            .map(|(a, b)| {
+                let aln = aligner.align(&a.unpack(), &b.unpack()).unwrap();
+                JobResult {
+                    status: JobStatus::Ok,
+                    score: aln.score,
+                    cigar: aln.cigar,
+                }
+            })
+            .collect()
+    }
+
+    fn drive_until(
+        ctl: &mut EngineCtl,
+        mut until: impl FnMut(&EngineCtl) -> bool,
+    ) -> Vec<TicketDone> {
+        let mut all = Vec::new();
+        for _ in 0..2000 {
+            all.extend(ctl.pump(Duration::from_millis(20)));
+            if until(ctl) {
+                return all;
+            }
+        }
+        panic!("engine did not settle");
+    }
+
+    #[test]
+    fn tickets_resolve_across_many_submissions() {
+        let kernel = kernel();
+        let mut server = server_with(FaultPlan::default(), 2, 3, 0);
+        with_persistent_engine(
+            &mut server,
+            &kernel,
+            params(),
+            &RecoveryConfig::default(),
+            2,
+            0,
+            |ctl| {
+                let mut expected = HashMap::new();
+                for wave in 0..3 {
+                    let jobs = packed(5 + wave, wave);
+                    let want = reference(&jobs);
+                    let t = ctl.submit(jobs);
+                    expected.insert(t, want);
+                }
+                let done = drive_until(ctl, |c| c.idle());
+                assert_eq!(done.len(), 3);
+                for td in done {
+                    assert!(!td.cancelled);
+                    assert!(td.fault.is_clean(), "{}", td.fault.summary());
+                    assert_eq!(td.results, expected[&td.ticket]);
+                }
+                assert_eq!(ctl.stats().tickets_done, 3);
+                assert_eq!(ctl.stats().jobs_done, 5 + 6 + 7);
+            },
+        );
+    }
+
+    #[test]
+    fn empty_ticket_resolves_on_next_pump() {
+        let kernel = kernel();
+        let mut server = server_with(FaultPlan::default(), 1, 2, 0);
+        with_persistent_engine(
+            &mut server,
+            &kernel,
+            params(),
+            &RecoveryConfig::default(),
+            1,
+            0,
+            |ctl| {
+                let t = ctl.submit(Vec::new());
+                let done = drive_until(ctl, |c| c.idle());
+                assert_eq!(done.len(), 1);
+                assert_eq!(done[0].ticket, t);
+                assert!(done[0].results.is_empty());
+            },
+        );
+    }
+
+    #[test]
+    fn faults_retry_and_fall_back_without_stopping_the_engine() {
+        let kernel = kernel();
+        let fault = FaultPlan {
+            seed: 7,
+            dpu_fault_rate: 1.0,
+            ..Default::default()
+        };
+        let mut server = server_with(fault, 1, 2, 0);
+        let rcfg = RecoveryConfig {
+            max_attempts: 2,
+            quarantine_after: 2,
+            cpu_threads: 2,
+            ..Default::default()
+        };
+        with_persistent_engine(&mut server, &kernel, params(), &rcfg, 2, 0, |ctl| {
+            let jobs = packed(6, 0);
+            let want = reference(&jobs);
+            let t = ctl.submit(jobs);
+            let done = drive_until(ctl, |c| c.idle());
+            assert_eq!(done.len(), 1);
+            let td = &done[0];
+            assert_eq!(td.ticket, t);
+            assert_eq!(td.results, want, "{}", td.fault.summary());
+            assert!(td.fault.cpu_fallbacks > 0, "{}", td.fault.summary());
+            assert!(td.fault.dpu_faults > 0);
+        });
+    }
+
+    #[test]
+    fn quarantine_persists_across_tickets() {
+        let kernel = kernel();
+        let fault = FaultPlan {
+            seed: 3,
+            dpu_fault_rate: 1.0,
+            ..Default::default()
+        };
+        let mut server = server_with(fault, 1, 2, 0);
+        let rcfg = RecoveryConfig {
+            max_attempts: 3,
+            quarantine_after: 1,
+            cpu_threads: 1,
+            ..Default::default()
+        };
+        with_persistent_engine(&mut server, &kernel, params(), &rcfg, 1, 0, |ctl| {
+            let first = ctl.submit(packed(4, 0));
+            let done = drive_until(ctl, |c| c.idle());
+            let td = done.iter().find(|d| d.ticket == first).unwrap();
+            assert!(
+                !td.fault.quarantined.is_empty(),
+                "always-faulting DPUs must quarantine: {}",
+                td.fault.summary()
+            );
+            // Second ticket: every DPU is already quarantined, so the CPU
+            // takes it directly — no new faults, no new quarantines.
+            let jobs = packed(4, 1);
+            let want = reference(&jobs);
+            let second = ctl.submit(jobs);
+            let done = drive_until(ctl, |c| c.idle());
+            let td = done.iter().find(|d| d.ticket == second).unwrap();
+            assert_eq!(td.results, want);
+            assert_eq!(td.fault.dpu_faults, 0, "{}", td.fault.summary());
+            assert!(td.fault.quarantined.is_empty());
+            assert_eq!(td.fault.cpu_fallbacks, 4);
+        });
+    }
+
+    #[test]
+    fn cancel_resolves_unstarted_jobs_as_cancelled() {
+        let kernel = kernel();
+        let mut server = server_with(FaultPlan::default(), 1, 2, 0);
+        with_persistent_engine(
+            &mut server,
+            &kernel,
+            params(),
+            &RecoveryConfig::default(),
+            1,
+            0,
+            |ctl| {
+                // Cancel before any pump: nothing is in flight, so every
+                // slot resolves as Cancelled immediately.
+                let t = ctl.submit(packed(5, 0));
+                ctl.cancel(t);
+                let done = drive_until(ctl, |c| c.idle());
+                assert_eq!(done.len(), 1);
+                let td = &done[0];
+                assert_eq!(td.ticket, t);
+                assert!(td.cancelled);
+                assert_eq!(td.fault.interrupted_jobs, 5, "{}", td.fault.summary());
+                assert!(td.results.iter().all(|r| r.status == JobStatus::Cancelled));
+            },
+        );
+    }
+
+    #[test]
+    fn audit_catches_silent_corruption_in_steady_state() {
+        let kernel = kernel();
+        let fault = FaultPlan {
+            seed: 5,
+            silent_corrupt_rate: 0.5,
+            ..Default::default()
+        };
+        let mut server = server_with(fault, 2, 3, 0);
+        let rcfg = RecoveryConfig {
+            max_attempts: 12,
+            quarantine_after: 100,
+            audit: true,
+            ..Default::default()
+        };
+        with_persistent_engine(&mut server, &kernel, params(), &rcfg, 2, 0, |ctl| {
+            let mut fault_total = FaultReport::default();
+            let mut all_ok = true;
+            for wave in 0..3 {
+                let jobs = packed(6, wave);
+                let want = reference(&jobs);
+                ctl.submit(jobs);
+                for td in drive_until(ctl, |c| c.idle()) {
+                    all_ok &= td.results == want;
+                    fault_total.merge(&td.fault);
+                }
+            }
+            assert!(all_ok, "audited results must match the reference");
+            assert!(
+                fault_total.silent_corruptions > 0,
+                "rate 0.5 must corrupt something: {}",
+                fault_total.summary()
+            );
+            assert!(
+                fault_total.audit_failures > 0,
+                "the audit must catch the mutated CIGARs: {}",
+                fault_total.summary()
+            );
+        });
+    }
+
+    #[test]
+    fn hung_launches_are_reaped_by_the_stall_deadline() {
+        let kernel = kernel();
+        let fault = FaultPlan {
+            seed: 3,
+            hang_rate: 1.0,
+            ..Default::default()
+        };
+        // Watchdog off: only the stall deadline can reap the hang.
+        let mut server = server_with(fault, 1, 2, 0);
+        let rcfg = RecoveryConfig {
+            max_attempts: 2,
+            quarantine_after: 1,
+            cpu_threads: 1,
+            deadline: DeadlinePolicy::after_seconds(0.1),
+            ..Default::default()
+        };
+        with_persistent_engine(&mut server, &kernel, params(), &rcfg, 2, 0, |ctl| {
+            let jobs = packed(4, 0);
+            let want = reference(&jobs);
+            ctl.submit(jobs);
+            let done = drive_until(ctl, |c| c.idle());
+            assert_eq!(done.len(), 1);
+            let td = &done[0];
+            assert_eq!(td.results, want, "{}", td.fault.summary());
+            assert!(
+                td.fault.deadline_cancellations > 0,
+                "{}",
+                td.fault.summary()
+            );
+            assert_eq!(td.fault.cpu_fallbacks, 4, "{}", td.fault.summary());
+        });
+    }
+}

@@ -35,6 +35,7 @@
 //! batch's [`SimError::RankFailed`], so a poisoned rank cannot wedge the
 //! driver in `recv`.
 
+use crate::deadline::DeadlinePolicy;
 use crate::dispatch::{
     decode_raw_exec, exec_rank_raw, panic_reason, DispatchOutcome, RankPlan, RawRankExec,
 };
@@ -62,11 +63,11 @@ pub struct PipelineOptions {
     /// DPU pool: each worker executes its rank's DPUs on
     /// `max(1, budget / ranks)` threads ([`Rank::launch_threads`]).
     pub sim_threads: usize,
-    /// Wall-clock deadline (seconds; 0 disables): when no batch completes
-    /// for this long while work is in flight, the driver sets every rank's
-    /// cancel token — hung launches break out of their waits and come back
-    /// as that batch's failure instead of wedging the driver in `recv`.
-    pub deadline_seconds: f64,
+    /// Wall-clock stall deadline: when no batch completes for the policy's
+    /// budget while work is in flight, the driver sets every rank's cancel
+    /// token — hung launches break out of their waits and come back as that
+    /// batch's failure instead of wedging the driver in `recv`.
+    pub deadline: DeadlinePolicy,
 }
 
 impl Default for PipelineOptions {
@@ -74,7 +75,7 @@ impl Default for PipelineOptions {
         Self {
             fifo_depth: 2,
             sim_threads: 0,
-            deadline_seconds: 0.0,
+            deadline: DeadlinePolicy::off(),
         }
     }
 }
@@ -267,30 +268,42 @@ pub(crate) fn worker_loop(
 }
 
 /// Receive the next completed batch, arming the wall-clock deadline when
-/// one is configured: if nothing completes for `deadline_seconds` while
-/// work is in flight, every rank's cancel token is set and the receive
-/// blocks until the (now-cancelled) stragglers report back. Returns `None`
-/// only when every worker has exited.
+/// the policy is enabled: if nothing completes for the policy's budget
+/// while work is in flight, every rank's cancel token is set and the
+/// receive blocks until the (now-cancelled) stragglers report back. A host
+/// interrupt ([`crate::interrupt`]) cancels the same way, so Ctrl-C breaks
+/// a hung launch even with no deadline configured. Returns `None` only
+/// when every worker has exited.
 pub(crate) fn recv_done(
     rx: &Receiver<BatchDone>,
-    deadline_seconds: f64,
+    deadline: DeadlinePolicy,
     tokens: &[Arc<AtomicBool>],
 ) -> Option<BatchDone> {
-    if deadline_seconds <= 0.0 {
-        return rx.recv().ok();
-    }
-    match rx.recv_timeout(Duration::from_secs_f64(deadline_seconds)) {
-        Ok(done) => Some(done),
-        Err(RecvTimeoutError::Disconnected) => None,
-        Err(RecvTimeoutError::Timeout) => {
-            // No progress for a full deadline: cancel every rank. Idle and
-            // finished ranks ignore the token (it is cleared at the next
-            // launch's entry); a hung launch breaks out of its wait and
-            // completes with watchdog failures.
-            for t in tokens {
-                t.store(true, Ordering::Relaxed);
+    let poll = Duration::from_millis(25);
+    let hard = deadline.timeout().map(|budget| Instant::now() + budget);
+    let mut cancelled = false;
+    loop {
+        let wait = match hard {
+            Some(d) if !cancelled => d.saturating_duration_since(Instant::now()).min(poll),
+            _ => poll,
+        };
+        match rx.recv_timeout(wait) {
+            Ok(done) => return Some(done),
+            Err(RecvTimeoutError::Disconnected) => return None,
+            Err(RecvTimeoutError::Timeout) => {
+                let overdue = hard.is_some_and(|d| Instant::now() >= d);
+                if !cancelled && (overdue || crate::interrupt::requested()) {
+                    // No progress for a full deadline (or the host asked to
+                    // stop): cancel every rank. Idle and finished ranks
+                    // ignore the token (it is cleared at the next launch's
+                    // entry); a hung launch breaks out of its wait and
+                    // completes with watchdog failures.
+                    for t in tokens {
+                        t.store(true, Ordering::Relaxed);
+                    }
+                    cancelled = true;
+                }
             }
-            rx.recv().ok()
         }
     }
 }
@@ -359,6 +372,15 @@ pub fn execute_pipelined_with(
             let mut aborting = false;
 
             loop {
+                if !aborting && crate::interrupt::requested() {
+                    // Host interrupt: stop planning, cancel in-flight
+                    // launches, drain, and report the interrupt.
+                    first_err = Some(SimError::Interrupted);
+                    aborting = true;
+                    for t in &tokens {
+                        t.store(true, Ordering::Relaxed);
+                    }
+                }
                 // Fill phase: keep every rank's FIFO topped up. The gate
                 // `in_flight < depth` guarantees `send` never blocks.
                 if !aborting {
@@ -419,7 +441,7 @@ pub fn execute_pipelined_with(
                     // again to plan the rest.
                     continue;
                 }
-                let Some(batch) = recv_done(&done_rx, opts.deadline_seconds, &tokens) else {
+                let Some(batch) = recv_done(&done_rx, opts.deadline, &tokens) else {
                     if first_err.is_none() {
                         first_err = Some(SimError::RankFailed {
                             rank: 0,

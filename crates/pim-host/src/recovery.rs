@@ -28,6 +28,7 @@
 //! the `chaos` CLI subcommand) can assert that nothing was lost.
 
 use crate::balance::lpt_assign;
+use crate::deadline::DeadlinePolicy;
 use crate::dispatch::{
     decode_raw_exec_audited, group_jobs, run_round, AuditFn, DispatchConfig, DispatchOutcome,
     DpuPlan, Engine, RankExec, RankPlan,
@@ -57,11 +58,11 @@ pub struct RecoveryConfig {
     pub quarantine_after: usize,
     /// Worker threads for the CPU fallback batch.
     pub cpu_threads: usize,
-    /// Wall-clock deadline (seconds; 0 disables) on rank execution: when a
-    /// launch is overdue, the driver sets the rank's cancel token — hung
-    /// DPUs come back as [`SimError::WatchdogExpired`] failures and their
-    /// jobs requeue instead of wedging the host.
-    pub rank_deadline_seconds: f64,
+    /// Wall-clock deadline on rank execution: when a launch is overdue,
+    /// the driver sets the rank's cancel token — hung DPUs come back as
+    /// [`SimError::WatchdogExpired`] failures and their jobs requeue
+    /// instead of wedging the host.
+    pub deadline: DeadlinePolicy,
     /// Audit every returned alignment ([`audit_ok`]): CIGAR validated
     /// against the original sequences and the score recomputed. Failures
     /// ride the same ladder as launch faults — retry, quarantine, CPU
@@ -76,7 +77,7 @@ impl Default for RecoveryConfig {
             max_attempts: 3,
             quarantine_after: 2,
             cpu_threads: 4,
-            rank_deadline_seconds: 0.0,
+            deadline: DeadlinePolicy::off(),
             audit: false,
         }
     }
@@ -120,6 +121,11 @@ pub struct FaultReport {
     pub budget_escalations: usize,
     /// Launches cancelled by the host's wall-clock deadline.
     pub deadline_cancellations: usize,
+    /// Jobs abandoned because the host was interrupted (Ctrl-C / drain):
+    /// never completed on PiM or CPU; their result slots carry
+    /// [`JobStatus::Cancelled`]. Explicit accounting — an interrupted run
+    /// reports exactly which work it did not do.
+    pub interrupted_jobs: usize,
 }
 
 impl FaultReport {
@@ -133,10 +139,35 @@ impl FaultReport {
         } == Self::default()
     }
 
+    /// Fold another report's accounting into this one. Counter fields add;
+    /// the quarantine and dead-rank lists concatenate (the same `(rank,
+    /// dpu)` can appear once per constituent run — callers merging reports
+    /// from *one* shared server see each quarantine decision once because
+    /// the tracker only reports the transition). Used by the serve daemon
+    /// to aggregate per-request reports into service-level totals without
+    /// losing any fault accounting.
+    pub fn merge(&mut self, other: &FaultReport) {
+        self.dpu_faults += other.dpu_faults;
+        self.rank_failures += other.rank_failures;
+        self.corrupt_results += other.corrupt_results;
+        self.retried_jobs += other.retried_jobs;
+        self.quarantined.extend(other.quarantined.iter().copied());
+        self.dead_ranks.extend(other.dead_ranks.iter().copied());
+        self.cpu_fallbacks += other.cpu_fallbacks;
+        self.wasted_cycles += other.wasted_cycles;
+        self.watchdog_expired += other.watchdog_expired;
+        self.silent_corruptions += other.silent_corruptions;
+        self.audit_checked += other.audit_checked;
+        self.audit_failures += other.audit_failures;
+        self.budget_escalations += other.budget_escalations;
+        self.deadline_cancellations += other.deadline_cancellations;
+        self.interrupted_jobs += other.interrupted_jobs;
+    }
+
     /// One-line summary for logs.
     pub fn summary(&self) -> String {
         format!(
-            "faults: {} dpu, {} rank, {} corrupt, {} watchdog, {} silent; {} retries, {} quarantined, {} dead ranks, {} cpu fallbacks, {} wasted cycles, {}/{} audits failed, {} budget escalations, {} deadline cancels",
+            "faults: {} dpu, {} rank, {} corrupt, {} watchdog, {} silent; {} retries, {} quarantined, {} dead ranks, {} cpu fallbacks, {} wasted cycles, {}/{} audits failed, {} budget escalations, {} deadline cancels, {} interrupted",
             self.dpu_faults,
             self.rank_failures,
             self.corrupt_results,
@@ -151,6 +182,7 @@ impl FaultReport {
             self.audit_checked,
             self.budget_escalations,
             self.deadline_cancellations,
+            self.interrupted_jobs,
         )
     }
 }
@@ -214,7 +246,7 @@ impl HealthTracker {
 /// LPT a job subset over an explicit list of usable DPU slots of one rank,
 /// drawing MRAM image allocations from `pool`.
 #[allow(clippy::too_many_arguments)]
-fn plan_rank_subset(
+pub(crate) fn plan_rank_subset(
     jobs: &[(PackedSeq, PackedSeq)],
     ids: &[usize],
     slots: &[usize],
@@ -258,7 +290,7 @@ fn plan_rank_subset(
 /// the lost job ids. Cleanly-finished planned DPUs get their consecutive-
 /// fault counters reset. Shared by the lockstep and pipelined recovery
 /// drivers so both apply identical health policy.
-fn note_exec_faults(
+pub(crate) fn note_exec_faults(
     exec: &mut RankExec,
     r: usize,
     dpus_per_rank: usize,
@@ -360,7 +392,10 @@ fn cpu_fallback_tail(
     }
 }
 
-fn cpu_result<T>(r: Result<T, AlignError>, to_job: impl Fn(T) -> JobResult) -> JobResult {
+pub(crate) fn cpu_result<T>(
+    r: Result<T, AlignError>,
+    to_job: impl Fn(T) -> JobResult,
+) -> JobResult {
     match r {
         Ok(v) => to_job(v),
         // The kernel reports an unreachable end cell as OutOfBand; the CPU
@@ -497,6 +532,7 @@ pub fn execute_jobs_recovering(
     let mut attempts = vec![0usize; jobs.len()];
     let mut pending: Vec<usize> = (0..jobs.len()).collect();
     let mut fallback: Vec<usize> = Vec::new();
+    let mut interrupted: Vec<usize> = Vec::new();
     let mut first_pass = true;
 
     // The guard restores the configured budget on every exit path (the
@@ -508,6 +544,13 @@ pub fn execute_jobs_recovering(
     let audit: Option<AuditFn> = if rcfg.audit { Some(&audit_fn) } else { None };
 
     while !pending.is_empty() {
+        // A host interrupt stops dispatch here: whatever has not completed
+        // is abandoned with explicit accounting, not retried and not
+        // CPU-aligned — the point is to exit promptly with partial results.
+        if crate::interrupt::requested() {
+            interrupted.append(&mut pending);
+            break;
+        }
         // Jobs out of PiM attempts go to the CPU.
         let (retryable, exhausted): (Vec<usize>, Vec<usize>) = pending
             .into_iter()
@@ -592,7 +635,7 @@ pub fn execute_jobs_recovering(
                 round_plans,
                 true,
                 sim_threads,
-                rcfg.rank_deadline_seconds,
+                rcfg.deadline,
                 audit,
             )
             .into_iter()
@@ -625,6 +668,15 @@ pub fn execute_jobs_recovering(
                     }
                 }
             }
+            if crate::interrupt::requested() {
+                // Mid-pass interrupt: the remaining rounds never launch, so
+                // requeue their jobs explicitly; the while-loop entry then
+                // routes everything unfinished to the interrupted list.
+                for g in &groups[(k + 1) * alive.len()..] {
+                    requeue.extend(g.iter().map(|&gi| pending[gi]));
+                }
+                break;
+            }
         }
         if let Some(budget) = ladder.maybe_escalate(&mut report, rcfg.max_attempts) {
             server.apply(budget);
@@ -633,6 +685,13 @@ pub fn execute_jobs_recovering(
         first_pass = false;
     }
     drop(server);
+
+    if crate::interrupt::requested() {
+        // Exhausted jobs would normally get the CPU; on interrupt they are
+        // abandoned with the rest.
+        interrupted.append(&mut fallback);
+    }
+    report.interrupted_jobs = interrupted.len();
 
     // CPU fallback: the adaptive aligner is the same DP the kernel runs, so
     // scores and CIGARs are identical to what a healthy DPU would produce.
@@ -756,6 +815,8 @@ pub fn execute_jobs_recovering_pipelined(
     }
 
     let mut fatal: Option<SimError> = None;
+    let mut interrupted = false;
+    let mut interrupted_ids: Vec<usize> = Vec::new();
     // Escalation ladder (see the lockstep driver): retries after a watchdog
     // expiry carry a doubled cycle budget down the FIFO via
     // `WorkItem::watchdog`; the guard restores the configured budget on
@@ -785,7 +846,16 @@ pub fn execute_jobs_recovering_pipelined(
             let mut next_seq = 0u64;
 
             'drive: loop {
-                if fatal.is_none() {
+                if !interrupted && crate::interrupt::requested() {
+                    // Host interrupt: stop feeding, cancel in-flight
+                    // launches, drain, and abandon the backlog with
+                    // explicit accounting.
+                    interrupted = true;
+                    for t in &tokens {
+                        t.store(true, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+                if fatal.is_none() && !interrupted {
                     // Feed phase: top up every usable rank's FIFO. A rank
                     // with no usable DPU left gives its backlog to the
                     // retry pool for the survivors.
@@ -882,6 +952,17 @@ pub fn execute_jobs_recovering_pipelined(
                     if fatal.is_some() {
                         break;
                     }
+                    if interrupted {
+                        // Everything that never completed is abandoned, not
+                        // retried and not CPU-aligned.
+                        for b in backlog.iter_mut() {
+                            while let Some(ids) = b.pop_front() {
+                                interrupted_ids.extend(ids);
+                            }
+                        }
+                        interrupted_ids.append(&mut retry_pool);
+                        break;
+                    }
                     let work_left = retry_pool.iter().any(|&i| attempts[i] < rcfg.max_attempts)
                         || backlog.iter().any(|b| !b.is_empty());
                     if !work_left {
@@ -899,7 +980,7 @@ pub fn execute_jobs_recovering_pipelined(
                     fallback.append(&mut retry_pool);
                     break;
                 }
-                let Some(done) = recv_done(&done_rx, rcfg.rank_deadline_seconds, &tokens) else {
+                let Some(done) = recv_done(&done_rx, rcfg.deadline, &tokens) else {
                     fatal = Some(SimError::RankFailed {
                         rank: 0,
                         reason: "all rank workers exited with work in flight".into(),
@@ -979,6 +1060,13 @@ pub fn execute_jobs_recovering_pipelined(
         return Err(e);
     }
 
+    if interrupted {
+        // Exhausted jobs would normally get the CPU; on interrupt they are
+        // abandoned with the rest.
+        interrupted_ids.append(&mut fallback);
+    }
+    report.interrupted_jobs = interrupted_ids.len();
+
     cpu_fallback_tail(&mut out, &mut report, &fallback, jobs, params, rcfg);
 
     out.finalize(&dpu_busy, &imbalances);
@@ -1030,7 +1118,14 @@ pub fn align_pairs_recovering(
             &packed,
         )?,
     };
-    let results = crate::modes::scatter(std::mem::take(&mut outcome.results), pairs.len());
+    let tagged = std::mem::take(&mut outcome.results);
+    let results = if outcome.fault.interrupted_jobs > 0 {
+        // An interrupted run legitimately leaves jobs unfinished; their
+        // slots carry an explicit Cancelled status.
+        crate::modes::scatter_partial(tagged, pairs.len())
+    } else {
+        crate::modes::scatter(tagged, pairs.len())
+    };
     let report = crate::modes::make_report("pairs-recovering", encode_seconds, &results, outcome);
     Ok((report, results))
 }
@@ -1347,7 +1442,7 @@ mod tests {
             max_attempts: 2,
             quarantine_after: 1,
             cpu_threads: 1,
-            rank_deadline_seconds: 0.1,
+            deadline: DeadlinePolicy::after_seconds(0.1),
             ..Default::default()
         };
         for engine in [Engine::Lockstep, Engine::Pipelined { fifo_depth: 2 }] {

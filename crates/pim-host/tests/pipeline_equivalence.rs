@@ -264,7 +264,7 @@ fn parallel_intra_rank_is_bit_identical_under_fault_plans() {
                 build_rounds(&jobs, 1, ranks, dpus).remove(0),
                 true,
                 1,
-                0.0,
+                pim_host::DeadlinePolicy::off(),
                 None,
             );
             let par_round = run_round(
@@ -273,7 +273,7 @@ fn parallel_intra_rank_is_bit_identical_under_fault_plans() {
                 build_rounds(&jobs, 1, ranks, dpus).remove(0),
                 true,
                 threads,
-                0.0,
+                pim_host::DeadlinePolicy::off(),
                 None,
             );
             for (r, (a, b)) in seq_round.into_iter().zip(par_round).enumerate() {

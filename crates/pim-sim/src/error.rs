@@ -98,6 +98,12 @@ pub enum SimError {
         /// What failed ("bad result magic", "checksum mismatch", ...).
         detail: &'static str,
     },
+    /// The run was stopped by a host-side interrupt (Ctrl-C / SIGTERM):
+    /// planning stopped, in-flight launches were cancelled through the rank
+    /// cancel tokens, and no further work was dispatched. Not a hardware
+    /// fault — the dispatch layer reports it so callers can emit a partial
+    /// report instead of dying mid-write.
+    Interrupted,
     /// A rank/DPU index out of range.
     BadTopology {
         /// What kind of index ("rank" or "dpu").
@@ -165,6 +171,9 @@ impl fmt::Display for SimError {
             SimError::ResultCorrupt { offset, detail } => {
                 write!(f, "corrupt result block at MRAM offset {offset}: {detail}")
             }
+            SimError::Interrupted => {
+                write!(f, "run interrupted by the host (Ctrl-C / shutdown)")
+            }
             SimError::BadTopology { what, index, max } => {
                 write!(f, "{what} index {index} out of range (max {max})")
             }
@@ -225,5 +234,10 @@ mod tests {
         assert!(e.to_string().contains('2') && e.to_string().contains('9'));
         assert!(e.to_string().contains("1000000"));
         assert!(e.to_string().contains("watchdog"));
+    }
+
+    #[test]
+    fn interrupted_message_names_the_cause() {
+        assert!(SimError::Interrupted.to_string().contains("interrupted"));
     }
 }

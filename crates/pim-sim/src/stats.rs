@@ -133,6 +133,29 @@ impl AggregateStats {
         self.watchdog_expired += 1;
         self.runaway_cycles += cycles;
     }
+
+    /// Fold a whole aggregate in (merging two runs' worth of launches):
+    /// totals add, the min/max envelope widens, watchdog accounting adds.
+    pub fn absorb(&mut self, other: &AggregateStats) {
+        if other.dpus == 0 {
+            self.watchdog_expired += other.watchdog_expired;
+            self.runaway_cycles += other.runaway_cycles;
+            return;
+        }
+        if self.dpus == 0 {
+            let (we, rc) = (self.watchdog_expired, self.runaway_cycles);
+            *self = *other;
+            self.watchdog_expired += we;
+            self.runaway_cycles += rc;
+            return;
+        }
+        self.total.merge(&other.total);
+        self.min_cycles = self.min_cycles.min(other.min_cycles);
+        self.max_cycles = self.max_cycles.max(other.max_cycles);
+        self.dpus += other.dpus;
+        self.watchdog_expired += other.watchdog_expired;
+        self.runaway_cycles += other.runaway_cycles;
+    }
 }
 
 #[cfg(test)]

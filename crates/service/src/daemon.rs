@@ -1,0 +1,515 @@
+//! The persistent alignment daemon: a unix-socket NDJSON server over the
+//! non-draining engine ([`pim_host::persistent`]).
+//!
+//! Thread shape:
+//!
+//! ```text
+//!   acceptor thread ──spawns──▶ one reader thread per connection
+//!        │                            │  Event::Line
+//!        │ Event::Conn(writer)        ▼
+//!        └──────────────▶ mpsc ─▶ driver loop (this thread, owns EngineCtl)
+//!                                      │ admission → queue → submit/pump
+//!                                      └─▶ response writes per connection
+//! ```
+//!
+//! The driver loop is single-threaded and owns everything: admission
+//! decisions, the bounded [`AdmissionQueue`], the engine handle, and the
+//! response writers — so admission, shedding, and accounting need no
+//! locks and the conservation law is easy to audit.
+//!
+//! Robustness properties:
+//!
+//! * **Admission control** — arrivals past the queue bounds are rejected
+//!   *explicitly* with a `retry_after_ms` hint derived from the measured
+//!   service time and the current backlog; queue memory stays bounded.
+//! * **Load shedding** — under sustained overload a higher-priority
+//!   arrival displaces the youngest lowest-priority queued request, which
+//!   is answered with an explicit `shed` line.
+//! * **Deadlines** — a request expired while queued is reaped (answered
+//!   `deadline-missed` with all-`cancelled` results); one expired while in
+//!   flight is cancelled through the engine, which abandons unfinished
+//!   jobs with explicit accounting.
+//! * **Graceful drain** — on SIGTERM/SIGINT (via [`pim_host::interrupt`])
+//!   or a `{"op":"drain"}` request: stop accepting connections, reject new
+//!   requests, finish (or deadline-out) everything accepted, answer every
+//!   client, then return the final [`ServiceReport`].
+
+use crate::proto::{self, AlignRequest, ClientLine};
+use crate::queue::{Admission, AdmissionQueue, Queued};
+use crate::report::{LatencyRecorder, ServiceReport};
+use dpu_kernel::layout::{JobResult, JobStatus, KernelParams};
+use dpu_kernel::NwKernel;
+use nw_core::cigar::Cigar;
+use nw_core::ScoringScheme;
+use pim_host::{with_persistent_engine, DeadlinePolicy, EngineCtl, RecoveryConfig, TicketDone};
+use pim_sim::{FaultPlan, PimServer, ServerConfig};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write as _};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Everything `upmem-nw serve` configures.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Unix socket path to listen on (an existing file is replaced).
+    pub socket: PathBuf,
+    /// Simulated ranks.
+    pub ranks: usize,
+    /// DPUs per rank.
+    pub dpus: usize,
+    /// Band width (rounded up to a multiple of 16).
+    pub band: usize,
+    /// Per-rank FIFO depth of the persistent engine.
+    pub fifo_depth: usize,
+    /// Simulation threads per rank worker (0 = auto).
+    pub sim_threads: usize,
+    /// PiM attempts per job before CPU fallback.
+    pub retries: usize,
+    /// Consecutive faults before a DPU is quarantined.
+    pub quarantine: usize,
+    /// Audit every returned alignment (the silent-corruption defense).
+    pub audit: bool,
+    /// Stall deadline: with work in flight and no completion for this many
+    /// seconds, cancel the ranks so hung launches requeue (≤ 0 disables).
+    pub stall_deadline_seconds: f64,
+    /// Per-DPU watchdog cycle budget (0 = off).
+    pub watchdog_cycles: u64,
+    /// Admission bound: queued requests.
+    pub queue_requests: usize,
+    /// Admission bound: total queued pairs.
+    pub queue_pairs: usize,
+    /// Requests dispatched into the engine concurrently. 0 pauses
+    /// dispatch entirely (admission-only mode, used by tests).
+    pub max_open_tickets: usize,
+    /// Largest accepted request, in pairs (larger ones are rejected
+    /// `too-large`).
+    pub max_pairs_per_request: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline_ms: Option<u64>,
+    /// Fault injection for the simulated server (chaos serving).
+    pub fault: FaultPlan,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            socket: PathBuf::from("/tmp/upmem-nw.sock"),
+            ranks: 2,
+            dpus: 8,
+            band: 64,
+            fifo_depth: 2,
+            sim_threads: 0,
+            retries: 3,
+            quarantine: 3,
+            audit: true,
+            stall_deadline_seconds: 5.0,
+            watchdog_cycles: 0,
+            queue_requests: 64,
+            queue_pairs: 4096,
+            max_open_tickets: 8,
+            max_pairs_per_request: 1024,
+            default_deadline_ms: None,
+            fault: FaultPlan::default(),
+        }
+    }
+}
+
+/// Daemon startup failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Binding or configuring the listening socket failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "socket setup failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+enum Event {
+    Conn(u64, UnixStream),
+    Line(u64, String),
+    Gone(u64),
+}
+
+/// Run the daemon until drained (SIGTERM/SIGINT or a `drain` request).
+/// Returns the service-lifetime report; every accepted request has been
+/// answered when this returns.
+pub fn run_serve(opts: &ServeOptions) -> Result<ServiceReport, ServeError> {
+    let _ = std::fs::remove_file(&opts.socket);
+    let listener = UnixListener::bind(&opts.socket)?;
+    listener.set_nonblocking(true)?;
+    let stop_accept = Arc::new(AtomicBool::new(false));
+    let (ev_tx, ev_rx) = channel::<Event>();
+    let acceptor = {
+        let stop = stop_accept.clone();
+        thread::spawn(move || accept_loop(listener, stop, ev_tx))
+    };
+
+    let ranks = opts.ranks.max(1);
+    let mut server_cfg = ServerConfig::with_ranks(ranks);
+    server_cfg.dpus_per_rank = opts.dpus.max(1);
+    server_cfg.fault = opts.fault.clone();
+    server_cfg.dpu.watchdog_cycles = opts.watchdog_cycles;
+    let mut server = PimServer::new(server_cfg);
+    let params = KernelParams {
+        band: opts.band.next_multiple_of(16).max(16),
+        scheme: ScoringScheme::default(),
+        score_only: false,
+    };
+    let kernel = NwKernel::paper_default();
+    let rcfg = RecoveryConfig {
+        max_attempts: opts.retries.max(1),
+        quarantine_after: opts.quarantine.max(1),
+        deadline: DeadlinePolicy::after_seconds(opts.stall_deadline_seconds),
+        audit: opts.audit,
+        ..RecoveryConfig::default()
+    };
+
+    let started = Instant::now();
+    let mut report = with_persistent_engine(
+        &mut server,
+        &kernel,
+        params,
+        &rcfg,
+        opts.fifo_depth.max(1),
+        opts.sim_threads,
+        |ctl| drive(ctl, opts, &ev_rx, &stop_accept),
+    );
+    stop_accept.store(true, Ordering::SeqCst);
+    let _ = acceptor.join();
+    let _ = std::fs::remove_file(&opts.socket);
+    report.wall_seconds = started.elapsed().as_secs_f64();
+    Ok(report)
+}
+
+fn accept_loop(listener: UnixListener, stop: Arc<AtomicBool>, tx: Sender<Event>) {
+    let mut next_conn = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let conn = next_conn;
+                next_conn += 1;
+                let Ok(writer) = stream.try_clone() else {
+                    continue;
+                };
+                if tx.send(Event::Conn(conn, writer)).is_err() {
+                    return;
+                }
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    let mut reader = BufReader::new(stream);
+                    let mut line = String::new();
+                    loop {
+                        line.clear();
+                        match reader.read_line(&mut line) {
+                            Ok(0) | Err(_) => break,
+                            Ok(_) => {
+                                if tx
+                                    .send(Event::Line(conn, std::mem::take(&mut line)))
+                                    .is_err()
+                                {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    let _ = tx.send(Event::Gone(conn));
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// One dispatched request, keyed by its engine ticket.
+struct Active {
+    conn: u64,
+    id: String,
+    arrival: Instant,
+    deadline: Option<Instant>,
+    pairs: usize,
+    cancel_sent: bool,
+}
+
+struct Driver<'a> {
+    opts: &'a ServeOptions,
+    writers: HashMap<u64, UnixStream>,
+    queue: AdmissionQueue,
+    active: HashMap<u64, Active>,
+    rep: ServiceReport,
+    lat: LatencyRecorder,
+    /// EWMA of completed-request latency, the basis of retry-after hints.
+    ewma_ms: f64,
+    draining: bool,
+}
+
+fn drive(
+    ctl: &mut EngineCtl,
+    opts: &ServeOptions,
+    ev_rx: &Receiver<Event>,
+    stop_accept: &AtomicBool,
+) -> ServiceReport {
+    let mut d = Driver {
+        opts,
+        writers: HashMap::new(),
+        queue: AdmissionQueue::new(opts.queue_requests, opts.queue_pairs),
+        active: HashMap::new(),
+        rep: ServiceReport::default(),
+        lat: LatencyRecorder::default(),
+        ewma_ms: 0.0,
+        draining: false,
+    };
+    loop {
+        while let Ok(ev) = ev_rx.try_recv() {
+            d.handle_event(ev);
+        }
+        if !d.draining && pim_host::interrupt::requested() {
+            d.draining = true;
+        }
+        if d.draining {
+            stop_accept.store(true, Ordering::SeqCst);
+        }
+        d.dispatch(ctl);
+        if ctl.idle() && d.queue.is_empty() && d.active.is_empty() {
+            if d.draining {
+                break;
+            }
+            // Quiet: block on the event channel instead of spinning.
+            match ev_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(ev) => d.handle_event(ev),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            continue;
+        }
+        for td in ctl.pump(Duration::from_millis(5)) {
+            d.finish_ticket(td);
+        }
+    }
+    // Close every connection for real: shutting the sockets down unblocks
+    // the per-connection reader threads (parked in `read_line`) and gives
+    // clients their EOF — otherwise the reader threads would keep the
+    // sockets half-open forever.
+    for w in d.writers.values() {
+        let _ = w.shutdown(std::net::Shutdown::Both);
+    }
+    d.rep.latency_p50_ms = d.lat.percentile(50.0);
+    d.rep.latency_p99_ms = d.lat.percentile(99.0);
+    d.rep.latency_mean_ms = d.lat.mean();
+    d.rep.drained = true;
+    d.rep
+}
+
+impl Driver<'_> {
+    fn handle_event(&mut self, ev: Event) {
+        match ev {
+            Event::Conn(conn, writer) => {
+                self.writers.insert(conn, writer);
+            }
+            Event::Gone(conn) => {
+                self.writers.remove(&conn);
+            }
+            Event::Line(conn, line) => self.handle_line(conn, line.trim()),
+        }
+    }
+
+    fn respond(&mut self, conn: u64, line: &str) {
+        if let Some(w) = self.writers.get_mut(&conn) {
+            // A dead peer is not an error: accounting already happened and
+            // the writer is simply dropped.
+            if writeln!(w, "{line}").is_err() {
+                self.writers.remove(&conn);
+            }
+        }
+    }
+
+    /// Expected milliseconds until retrying could succeed: the measured
+    /// per-request service time scaled by the backlog ahead of a new
+    /// arrival, spread over the dispatch parallelism.
+    fn retry_after_ms(&self) -> u64 {
+        let backlog = (self.queue.len() + self.active.len() + 1) as f64;
+        let par = self.opts.max_open_tickets.max(1) as f64;
+        let per_request = if self.ewma_ms > 0.0 {
+            self.ewma_ms
+        } else {
+            50.0
+        };
+        (per_request * backlog / par).ceil().max(1.0) as u64
+    }
+
+    fn handle_line(&mut self, conn: u64, line: &str) {
+        if line.is_empty() {
+            return;
+        }
+        match proto::parse_line(line) {
+            Err(e) => {
+                self.rep.invalid += 1;
+                let l = proto::error_line(&e);
+                self.respond(conn, &l);
+            }
+            Ok(ClientLine::Drain) => {
+                self.draining = true;
+                let l = proto::drain_ack_line();
+                self.respond(conn, &l);
+            }
+            Ok(ClientLine::Align(req)) => self.admit(conn, req),
+        }
+    }
+
+    fn admit(&mut self, conn: u64, req: AlignRequest) {
+        self.rep.received += 1;
+        if self.draining {
+            self.rep.rejected += 1;
+            let l = proto::reject_line(&req.id, "draining", None);
+            self.respond(conn, &l);
+            return;
+        }
+        if req.pairs.len() > self.opts.max_pairs_per_request {
+            self.rep.rejected += 1;
+            let l = proto::reject_line(&req.id, "too-large", None);
+            self.respond(conn, &l);
+            return;
+        }
+        let now = Instant::now();
+        let deadline = req
+            .deadline_ms
+            .or(self.opts.default_deadline_ms)
+            .map(|ms| now + Duration::from_millis(ms));
+        let pairs = req.pairs.len();
+        match self.queue.admit(Queued {
+            req,
+            conn,
+            arrival: now,
+            deadline,
+        }) {
+            Admission::Admitted => {
+                self.rep.accepted += 1;
+                self.rep.pairs_accepted += pairs;
+            }
+            Admission::Displaced(victim) => {
+                self.rep.accepted += 1;
+                self.rep.pairs_accepted += pairs;
+                self.rep.shed += 1;
+                let l = proto::shed_line(&victim.req.id, self.retry_after_ms());
+                self.respond(victim.conn, &l);
+            }
+            Admission::Rejected(back) => {
+                self.rep.rejected += 1;
+                let l = proto::reject_line(&back.req.id, "queue-full", Some(self.retry_after_ms()));
+                self.respond(back.conn, &l);
+            }
+        }
+        self.rep.max_queue_depth = self.rep.max_queue_depth.max(self.queue.len());
+    }
+
+    /// Answer a request reaped from the queue at its deadline: explicit
+    /// `deadline-missed` with one `cancelled` slot per pair.
+    fn miss_queued(&mut self, q: Queued) {
+        self.rep.deadline_missed += 1;
+        self.rep.jobs_cancelled += q.req.pairs.len();
+        let results: Vec<JobResult> = q
+            .req
+            .pairs
+            .iter()
+            .map(|_| JobResult {
+                status: JobStatus::Cancelled,
+                score: 0,
+                cigar: Cigar::new(),
+            })
+            .collect();
+        let ms = q.arrival.elapsed().as_secs_f64() * 1e3;
+        let l = proto::result_line(&q.req.id, true, &results, ms);
+        self.respond(q.conn, &l);
+    }
+
+    /// Reap expired queued requests, top the engine up from the queue, and
+    /// cancel in-flight tickets past their deadline.
+    fn dispatch(&mut self, ctl: &mut EngineCtl) {
+        let now = Instant::now();
+        for q in self.queue.reap_expired(now) {
+            self.miss_queued(q);
+        }
+        while self.active.len() < self.opts.max_open_tickets {
+            let Some(q) = self.queue.pop_next() else {
+                break;
+            };
+            if q.deadline.is_some_and(|dl| dl <= Instant::now()) {
+                self.miss_queued(q);
+                continue;
+            }
+            let jobs = q
+                .req
+                .pairs
+                .iter()
+                .map(|(a, b)| (a.pack(), b.pack()))
+                .collect();
+            let ticket = ctl.submit(jobs);
+            self.active.insert(
+                ticket,
+                Active {
+                    conn: q.conn,
+                    id: q.req.id,
+                    arrival: q.arrival,
+                    deadline: q.deadline,
+                    pairs: q.req.pairs.len(),
+                    cancel_sent: false,
+                },
+            );
+        }
+        let now = Instant::now();
+        for (t, a) in self.active.iter_mut() {
+            if !a.cancel_sent && a.deadline.is_some_and(|dl| dl <= now) {
+                ctl.cancel(*t);
+                a.cancel_sent = true;
+            }
+        }
+    }
+
+    fn finish_ticket(&mut self, td: TicketDone) {
+        let Some(a) = self.active.remove(&td.ticket) else {
+            return;
+        };
+        self.rep.fault.merge(&td.fault);
+        let ms = a.arrival.elapsed().as_secs_f64() * 1e3;
+        if td.cancelled {
+            self.rep.deadline_missed += 1;
+            self.rep.jobs_cancelled += td
+                .results
+                .iter()
+                .filter(|r| r.status == JobStatus::Cancelled)
+                .count();
+        } else {
+            self.rep.completed += 1;
+            self.rep.pairs_completed += a.pairs;
+            self.lat.push(ms);
+            self.ewma_ms = if self.lat.len() == 1 {
+                ms
+            } else {
+                0.8 * self.ewma_ms + 0.2 * ms
+            };
+        }
+        let l = proto::result_line(&a.id, td.cancelled, &td.results, ms);
+        self.respond(a.conn, &l);
+    }
+}

@@ -1,0 +1,267 @@
+//! Service-lifetime accounting and the conservation law the smoke tests
+//! assert: every received request is accepted or rejected, and every
+//! accepted request is answered exactly once — completed, deadline-missed,
+//! or shed. Nothing is silently dropped.
+
+use pim_host::FaultReport;
+use std::fmt::Write as _;
+
+/// Schema version stamped into every JSON document this workspace's tools
+/// emit (`ServiceReport::to_json` and the `BENCH_*.json` bench emitters).
+/// Bump on any incompatible shape change so downstream parsers can refuse
+/// early instead of misreading.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Exact (sample-sorted) latency percentile recorder.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_ms: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// Record one completed request's latency, in milliseconds.
+    pub fn push(&mut self, ms: f64) {
+        self.samples_ms.push(ms);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ms.is_empty()
+    }
+
+    /// Nearest-rank percentile (`p` in 0..=100); 0.0 with no samples.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.samples_ms.clone();
+        v.sort_by(f64::total_cmp);
+        let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
+        v[rank.clamp(1, v.len()) - 1]
+    }
+
+    /// Mean latency; 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        self.samples_ms.iter().sum::<f64>() / self.samples_ms.len() as f64
+    }
+}
+
+/// Everything one service lifetime did, emitted on exit (and by
+/// `bench --serve` per load phase).
+#[derive(Debug, Clone, Default)]
+pub struct ServiceReport {
+    /// Well-formed align requests received (including later-rejected ones).
+    pub received: usize,
+    /// Lines that failed to parse (answered with a `type=error` line).
+    pub invalid: usize,
+    /// Requests admitted to the queue.
+    pub accepted: usize,
+    /// Requests refused at admission (queue full, too large, draining).
+    pub rejected: usize,
+    /// Admitted requests displaced by higher-priority arrivals.
+    pub shed: usize,
+    /// Accepted requests answered in full.
+    pub completed: usize,
+    /// Accepted requests reaped at their deadline (queued or in flight).
+    pub deadline_missed: usize,
+    /// Pairs across accepted requests.
+    pub pairs_accepted: usize,
+    /// Pairs across completed requests.
+    pub pairs_completed: usize,
+    /// Job slots answered `cancelled` on deadline-missed requests.
+    pub jobs_cancelled: usize,
+    /// High-water mark of the admission queue depth.
+    pub max_queue_depth: usize,
+    /// Everything the recovery ladder did, summed over all tickets.
+    pub fault: FaultReport,
+    /// p50 latency over completed requests, milliseconds.
+    pub latency_p50_ms: f64,
+    /// p99 latency over completed requests, milliseconds.
+    pub latency_p99_ms: f64,
+    /// Mean latency over completed requests, milliseconds.
+    pub latency_mean_ms: f64,
+    /// Service wall time, seconds.
+    pub wall_seconds: f64,
+    /// True when the service exited through the graceful drain path.
+    pub drained: bool,
+}
+
+impl ServiceReport {
+    /// The conservation law: `accepted == completed + deadline_missed +
+    /// shed` and `received == accepted + rejected`. Every request gets
+    /// exactly one terminal answer.
+    pub fn consistent(&self) -> bool {
+        self.accepted == self.completed + self.deadline_missed + self.shed
+            && self.received == self.accepted + self.rejected
+    }
+
+    /// Completed pairs per second of service wall time.
+    pub fn pairs_per_second(&self) -> f64 {
+        if self.wall_seconds == 0.0 {
+            return 0.0;
+        }
+        self.pairs_completed as f64 / self.wall_seconds
+    }
+
+    /// The report as a single JSON object (`schema_version` =
+    /// [`SCHEMA_VERSION`]).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"report\": \"serve\",\n  \
+             \"received\": {},\n  \"invalid\": {},\n  \"accepted\": {},\n  \
+             \"rejected\": {},\n  \"shed\": {},\n  \"completed\": {},\n  \
+             \"deadline_missed\": {},\n  \"pairs_accepted\": {},\n  \
+             \"pairs_completed\": {},\n  \"jobs_cancelled\": {},\n  \
+             \"max_queue_depth\": {},\n  \"latency_p50_ms\": {:.3},\n  \
+             \"latency_p99_ms\": {:.3},\n  \"latency_mean_ms\": {:.3},\n  \
+             \"wall_seconds\": {:.3},\n  \"pairs_per_sec\": {:.3},\n  \
+             \"drained\": {},\n  \"consistent\": {},\n",
+            self.received,
+            self.invalid,
+            self.accepted,
+            self.rejected,
+            self.shed,
+            self.completed,
+            self.deadline_missed,
+            self.pairs_accepted,
+            self.pairs_completed,
+            self.jobs_cancelled,
+            self.max_queue_depth,
+            self.latency_p50_ms,
+            self.latency_p99_ms,
+            self.latency_mean_ms,
+            self.wall_seconds,
+            self.pairs_per_second(),
+            self.drained,
+            self.consistent(),
+        );
+        let f = &self.fault;
+        let _ = write!(
+            s,
+            "  \"fault\": {{\"dpu_faults\": {}, \"rank_failures\": {}, \
+             \"corrupt_results\": {}, \"retried_jobs\": {}, \"quarantined\": {}, \
+             \"dead_ranks\": {}, \"cpu_fallbacks\": {}, \"wasted_cycles\": {}, \
+             \"watchdog_expired\": {}, \"silent_corruptions\": {}, \
+             \"audit_checked\": {}, \"audit_failures\": {}, \
+             \"budget_escalations\": {}, \"deadline_cancellations\": {}, \
+             \"interrupted_jobs\": {}}}\n}}",
+            f.dpu_faults,
+            f.rank_failures,
+            f.corrupt_results,
+            f.retried_jobs,
+            f.quarantined.len(),
+            f.dead_ranks.len(),
+            f.cpu_fallbacks,
+            f.wasted_cycles,
+            f.watchdog_expired,
+            f.silent_corruptions,
+            f.audit_checked,
+            f.audit_failures,
+            f.budget_escalations,
+            f.deadline_cancellations,
+            f.interrupted_jobs,
+        );
+        s
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "serve: {} received, {} accepted ({} rejected, {} shed), \
+             {} completed, {} deadline-missed in {:.1}s \
+             [p50 {:.1}ms, p99 {:.1}ms, {:.1} pairs/s], queue peak {}{}",
+            self.received,
+            self.accepted,
+            self.rejected,
+            self.shed,
+            self.completed,
+            self.deadline_missed,
+            self.wall_seconds,
+            self.latency_p50_ms,
+            self.latency_p99_ms,
+            self.pairs_per_second(),
+            self.max_queue_depth,
+            if self.drained {
+                ", drained cleanly"
+            } else {
+                ""
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut l = LatencyRecorder::default();
+        assert_eq!(l.percentile(50.0), 0.0);
+        assert_eq!(l.mean(), 0.0);
+        for ms in [10.0, 20.0, 30.0, 40.0] {
+            l.push(ms);
+        }
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.percentile(50.0), 20.0);
+        assert_eq!(l.percentile(99.0), 40.0);
+        assert_eq!(l.percentile(0.0), 10.0);
+        assert!((l.mean() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservation_law() {
+        let mut r = ServiceReport {
+            received: 10,
+            accepted: 8,
+            rejected: 2,
+            completed: 5,
+            deadline_missed: 2,
+            shed: 1,
+            ..Default::default()
+        };
+        assert!(r.consistent());
+        r.completed = 6; // an answer duplicated or a shed lost
+        assert!(!r.consistent());
+    }
+
+    #[test]
+    fn json_report_parses_and_carries_schema_version() {
+        let mut r = ServiceReport {
+            received: 3,
+            accepted: 3,
+            completed: 3,
+            pairs_completed: 12,
+            wall_seconds: 2.0,
+            drained: true,
+            ..Default::default()
+        };
+        r.fault.cpu_fallbacks = 1;
+        let v = Json::parse(&r.to_json()).unwrap();
+        assert_eq!(
+            v.get("schema_version").unwrap().as_u64(),
+            Some(SCHEMA_VERSION as u64)
+        );
+        assert_eq!(v.get("completed").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("consistent").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("pairs_per_sec").unwrap().as_f64(), Some(6.0));
+        assert_eq!(
+            v.get("fault")
+                .unwrap()
+                .get("cpu_fallbacks")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert!(r.summary().contains("3 completed"));
+    }
+}

@@ -1,0 +1,272 @@
+//! End-to-end daemon tests over a real unix socket: round trips, deadline
+//! handling, graceful drain with in-flight work, and admission/shedding
+//! under a deliberately full queue.
+
+use datasets::synthetic::{SyntheticParams, SyntheticPreset};
+use nw_core::adaptive::AdaptiveAligner;
+use nw_core::ScoringScheme;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::thread;
+use std::time::Duration;
+use upmem_nw_service::json::Json;
+use upmem_nw_service::{proto, run_serve, Client, Priority, ServeOptions, ServiceReport};
+
+fn sock(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("upmem-nw-test-{}-{name}.sock", std::process::id()));
+    p
+}
+
+fn test_opts(name: &str) -> ServeOptions {
+    ServeOptions {
+        socket: sock(name),
+        ranks: 2,
+        dpus: 4,
+        band: 64,
+        max_open_tickets: 4,
+        queue_requests: 16,
+        queue_pairs: 1024,
+        stall_deadline_seconds: 2.0,
+        ..ServeOptions::default()
+    }
+}
+
+fn ascii_pairs(n: usize, seed: u64) -> Vec<(String, String)> {
+    SyntheticParams::preset(SyntheticPreset::S1000, seed)
+        .generate(n)
+        .into_iter()
+        .map(|(a, b)| {
+            (
+                String::from_utf8(a.to_ascii()).unwrap(),
+                String::from_utf8(b.to_ascii()).unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn spawn_daemon(opts: &ServeOptions) -> thread::JoinHandle<ServiceReport> {
+    let opts = opts.clone();
+    thread::spawn(move || run_serve(&opts).expect("daemon starts"))
+}
+
+fn connect(opts: &ServeOptions) -> Client {
+    Client::connect_retry(&opts.socket, Duration::from_secs(10)).expect("daemon socket appears")
+}
+
+/// Read responses until EOF, keyed by id; the drain ack has no id and is
+/// returned separately (last ack wins).
+fn collect_until_eof(c: &mut Client) -> (HashMap<String, Json>, usize) {
+    let mut by_id = HashMap::new();
+    let mut drain_acks = 0;
+    while let Some(v) = c.recv().expect("readable response") {
+        if v.get("type").and_then(Json::as_str) == Some("draining") {
+            drain_acks += 1;
+            continue;
+        }
+        let id = v.get("id").and_then(Json::as_str).expect("id").to_string();
+        by_id.insert(id, v);
+    }
+    (by_id, drain_acks)
+}
+
+#[test]
+fn roundtrip_results_match_cpu_reference_and_drain_reports() {
+    let opts = test_opts("roundtrip");
+    let daemon = spawn_daemon(&opts);
+    let mut c = connect(&opts);
+
+    let pairs = ascii_pairs(4, 7);
+    c.send(&proto::align_line("r1", Priority::Normal, None, &pairs))
+        .unwrap();
+    let resp = c.recv().unwrap().expect("result line");
+    assert_eq!(resp.get("type").unwrap().as_str(), Some("result"));
+    assert_eq!(resp.get("id").unwrap().as_str(), Some("r1"));
+    assert_eq!(resp.get("disposition").unwrap().as_str(), Some("ok"));
+    let results = resp.get("results").unwrap().as_arr().unwrap();
+    assert_eq!(results.len(), pairs.len());
+
+    let band = 64usize.next_multiple_of(16);
+    let aligner = AdaptiveAligner::new(ScoringScheme::default(), band);
+    for ((a, b), got) in pairs.iter().zip(results) {
+        let reference = aligner
+            .align(
+                &nw_core::seq::DnaSeq::from_ascii(a.as_bytes()).unwrap(),
+                &nw_core::seq::DnaSeq::from_ascii(b.as_bytes()).unwrap(),
+            )
+            .expect("reference aligns");
+        assert_eq!(got.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(
+            got.get("score").unwrap().as_f64(),
+            Some(reference.score as f64)
+        );
+        assert_eq!(
+            got.get("cigar").unwrap().as_str(),
+            Some(reference.cigar.to_string().as_str())
+        );
+    }
+
+    c.send("{\"op\":\"drain\"}").unwrap();
+    let (rest, drain_acks) = collect_until_eof(&mut c);
+    assert!(rest.is_empty(), "no further responses expected: {rest:?}");
+    assert_eq!(drain_acks, 1);
+
+    let rep = daemon.join().unwrap();
+    assert!(rep.consistent(), "conservation law: {rep:?}");
+    assert_eq!(rep.received, 1);
+    assert_eq!(rep.accepted, 1);
+    assert_eq!(rep.completed, 1);
+    assert_eq!(rep.pairs_completed, 4);
+    assert!(rep.drained);
+    assert!(rep.latency_p50_ms > 0.0);
+}
+
+#[test]
+fn deadline_expired_on_arrival_is_reaped_not_dropped() {
+    let opts = test_opts("deadline0");
+    let daemon = spawn_daemon(&opts);
+    let mut c = connect(&opts);
+
+    let pairs = ascii_pairs(2, 11);
+    // deadline_ms 0: expired the moment it is admitted.
+    c.send(&proto::align_line(
+        "late",
+        Priority::Normal,
+        Some(0),
+        &pairs,
+    ))
+    .unwrap();
+    let resp = c.recv().unwrap().expect("terminal answer");
+    assert_eq!(resp.get("type").unwrap().as_str(), Some("result"));
+    assert_eq!(resp.get("id").unwrap().as_str(), Some("late"));
+    assert_eq!(
+        resp.get("disposition").unwrap().as_str(),
+        Some("deadline-missed")
+    );
+    let results = resp.get("results").unwrap().as_arr().unwrap();
+    assert_eq!(results.len(), 2);
+    for r in results {
+        assert_eq!(r.get("status").unwrap().as_str(), Some("cancelled"));
+    }
+
+    // The daemon is still healthy: a normal request completes after it.
+    c.send(&proto::align_line("fine", Priority::Normal, None, &pairs))
+        .unwrap();
+    let resp = c.recv().unwrap().expect("result line");
+    assert_eq!(resp.get("disposition").unwrap().as_str(), Some("ok"));
+
+    c.send("{\"op\":\"drain\"}").unwrap();
+    let _ = collect_until_eof(&mut c);
+    let rep = daemon.join().unwrap();
+    assert!(rep.consistent(), "conservation law: {rep:?}");
+    assert_eq!(rep.accepted, 2);
+    assert_eq!(rep.completed, 1);
+    assert_eq!(rep.deadline_missed, 1);
+    assert_eq!(rep.jobs_cancelled, 2);
+}
+
+#[test]
+fn drain_with_inflight_work_answers_every_request() {
+    let opts = test_opts("drain-inflight");
+    let daemon = spawn_daemon(&opts);
+    let mut c = connect(&opts);
+
+    // Fire several requests and the drain without reading anything, so the
+    // drain lands while work is queued and in flight.
+    let pairs = ascii_pairs(3, 23);
+    for k in 0..3 {
+        c.send(&proto::align_line(
+            &format!("r{k}"),
+            Priority::Normal,
+            None,
+            &pairs,
+        ))
+        .unwrap();
+    }
+    c.send("{\"op\":\"drain\"}").unwrap();
+    // Requests arriving after the drain are rejected, not ignored.
+    c.send(&proto::align_line("late", Priority::Normal, None, &pairs))
+        .unwrap();
+
+    let (by_id, _) = collect_until_eof(&mut c);
+    for k in 0..3 {
+        let v = &by_id[&format!("r{k}")];
+        assert_eq!(v.get("type").unwrap().as_str(), Some("result"));
+        assert_eq!(v.get("disposition").unwrap().as_str(), Some("ok"));
+    }
+    // The late request raced the drain: either answered before the flag
+    // was processed (result) or explicitly rejected — but never silent,
+    // unless the daemon exited before reading the line (EOF answers it).
+    if let Some(v) = by_id.get("late") {
+        let t = v.get("type").unwrap().as_str().unwrap();
+        assert!(t == "result" || t == "reject", "unexpected answer {v:?}");
+    }
+
+    let rep = daemon.join().unwrap();
+    assert!(rep.consistent(), "conservation law: {rep:?}");
+    assert!(rep.completed >= 3);
+    assert!(rep.drained);
+}
+
+#[test]
+fn full_queue_rejects_sheds_and_deadlines_account_exactly() {
+    // Admission-only mode: max_open_tickets = 0 pauses dispatch so the
+    // queue fills deterministically.
+    let mut opts = test_opts("admission");
+    opts.max_open_tickets = 0;
+    opts.queue_requests = 2;
+    let daemon = spawn_daemon(&opts);
+    let mut c = connect(&opts);
+
+    let pairs = ascii_pairs(1, 31);
+    let deadline = Some(400);
+    c.send(&proto::align_line("b1", Priority::Batch, deadline, &pairs))
+        .unwrap();
+    c.send(&proto::align_line("b2", Priority::Batch, deadline, &pairs))
+        .unwrap();
+    // Queue exactly full: a same-priority arrival is rejected with a hint.
+    c.send(&proto::align_line("b3", Priority::Batch, deadline, &pairs))
+        .unwrap();
+    // A higher-priority arrival displaces the youngest batch request.
+    c.send(&proto::align_line(
+        "i1",
+        Priority::Interactive,
+        deadline,
+        &pairs,
+    ))
+    .unwrap();
+    c.send("{\"op\":\"drain\"}").unwrap();
+
+    let (by_id, drain_acks) = collect_until_eof(&mut c);
+    assert_eq!(drain_acks, 1);
+
+    let b3 = &by_id["b3"];
+    assert_eq!(b3.get("type").unwrap().as_str(), Some("reject"));
+    assert_eq!(b3.get("reason").unwrap().as_str(), Some("queue-full"));
+    assert!(b3.get("retry_after_ms").unwrap().as_u64().unwrap() >= 1);
+
+    let b2 = &by_id["b2"];
+    assert_eq!(b2.get("type").unwrap().as_str(), Some("shed"));
+    assert!(b2.get("retry_after_ms").unwrap().as_u64().unwrap() >= 1);
+
+    // b1 and i1 sat in the paused queue until their deadlines reaped them.
+    for id in ["b1", "i1"] {
+        let v = &by_id[id];
+        assert_eq!(v.get("type").unwrap().as_str(), Some("result"), "{id}");
+        assert_eq!(
+            v.get("disposition").unwrap().as_str(),
+            Some("deadline-missed"),
+            "{id}"
+        );
+    }
+
+    let rep = daemon.join().unwrap();
+    assert!(rep.consistent(), "conservation law: {rep:?}");
+    assert_eq!(rep.received, 4);
+    assert_eq!(rep.accepted, 3);
+    assert_eq!(rep.rejected, 1);
+    assert_eq!(rep.shed, 1);
+    assert_eq!(rep.deadline_missed, 2);
+    assert_eq!(rep.completed, 0);
+    assert_eq!(rep.max_queue_depth, 2);
+}
