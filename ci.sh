@@ -51,6 +51,26 @@ rm -f "$LINT_JSON"
 echo "==> WCET soundness property tests (smoke scale)"
 WCET_SMOKE_TRIALS=40 cargo test --release -q -p dpu-kernel --test wcet_soundness -- --nocapture
 
+# Three-tier equivalence at smoke scale: checked, fast, and jit must retire
+# bit-identical registers, WRAM, stats, and faults — including under hangs,
+# watchdog budgets, exhausted step budgets, and seeded fault plans.
+echo "==> jit equivalence property tests (smoke scale)"
+JIT_SMOKE_TRIALS=40 cargo test --release -q -p dpu-kernel --test jit_equivalence -- --nocapture
+
+# std::simd CPU baseline: the lane-parallel first pass must be bit-identical
+# to the scalar oracle (scores, CIGARs, and errors). The feature needs a
+# nightly toolchain; without one, run the same suite scalar-vs-scalar so the
+# oracle itself is still cross-checked against the reference aligner.
+if rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
+    echo "==> cargo +nightly test -p cpu-baseline --features portable-simd"
+    SIMD_SMOKE_TRIALS=60 cargo +nightly test -q -p cpu-baseline \
+        --features portable-simd --test simd_equivalence -- --nocapture
+else
+    echo "==> simd equivalence (no nightly toolchain: scalar oracle only)"
+    SIMD_SMOKE_TRIALS=60 cargo test -q -p cpu-baseline \
+        --test simd_equivalence -- --nocapture
+fi
+
 # Fault-injection smoke: a seeded chaos plan (dead rank, disabled DPUs,
 # launch faults, corruption, tasklet livelocks reaped by the cycle-budget
 # watchdog, and silent CIGAR corruption only the result audit can catch)
@@ -119,10 +139,12 @@ print(f"BENCH_dispatch.json OK: straggler speedup {bench['speedup_host_wall']:.2
       f"guard overhead {100.0 * guard['overhead_fraction']:.2f}%")
 EOF
 
-# Simulator-throughput smoke: interpreter checked-vs-fast plus rank-level
-# sequential/parallel conditions. The command itself fails unless every
-# condition is bit-identical to the sequential checked reference; then
-# check the emitted JSON has the shape downstream tooling consumes.
+# Simulator-throughput smoke: all three interpreter tiers (checked, fast,
+# jit) plus rank-level sequential/parallel conditions. The command itself
+# fails unless every condition is bit-identical to the sequential checked
+# reference; then check the emitted JSON has the shape downstream tooling
+# consumes, and hard-fail on any digest divergence or a jit tier whose
+# dynamic instruction count exceeds its static WCET bound.
 echo "==> upmem-nw bench --sim true --smoke true"
 cargo run --release -q -p upmem-nw-cli --bin upmem-nw -- bench --sim true --smoke true --json "$SIM_JSON"
 
@@ -135,34 +157,42 @@ with open(sys.argv[1]) as f:
 
 for key in ["bench", "schema_version", "cells", "interp_passes", "dpus",
             "launches", "passes_per_launch", "sim_threads", "seed", "interp",
-            "rank", "speedup_dpus_per_sec", "bit_identical"]:
+            "rank", "speedup_dpus_per_sec", "speedup_jit_dpus_per_sec",
+            "jit_speedup_vs_checked", "jit_speedup_vs_fast", "bit_identical"]:
     assert key in bench, f"missing top-level key {key!r}"
 assert bench["bench"] == "sim"
 assert bench["schema_version"] == 1, "unexpected BENCH schema version"
-assert bench["bit_identical"] is True, "fast/parallel paths must agree bit-for-bit"
+assert bench["bit_identical"] is True, "all tiers must agree bit-for-bit"
 assert len(bench["interp"]) == 4, "expected pure_c/asm x score/traceback"
 for k in bench["interp"]:
     for key in ["kernel", "program_len", "dense_len", "fused_windows",
-                "fast_eligible", "instructions", "checked_instr_per_sec",
-                "fast_instr_per_sec", "speedup", "bit_identical",
-                "wcet_instructions", "dynamic_static_ratio", "race_free"]:
+                "fast_eligible", "jit_eligible", "jit_blocks", "instructions",
+                "checked_instr_per_sec", "fast_instr_per_sec",
+                "jit_instr_per_sec", "speedup", "jit_speedup",
+                "jit_speedup_vs_fast", "bit_identical", "wcet_instructions",
+                "dynamic_static_ratio", "jit_dynamic_static_ratio",
+                "race_free"]:
         assert key in k, f"missing interp key {key!r}"
     assert k["fast_eligible"] is True and k["bit_identical"] is True
+    assert k["jit_eligible"] is True, f"{k['kernel']}: jit gate rejected the kernel"
+    assert k["jit_blocks"] > 0
     assert 0 < k["dense_len"] <= k["program_len"]
     assert k["wcet_instructions"] > 0, f"{k['kernel']}: no finite WCET bound"
-    assert 0 < k["dynamic_static_ratio"] <= 1.0, \
-        f"{k['kernel']}: dynamic/static cycle ratio {k['dynamic_static_ratio']} " \
-        f"violates WCET soundness"
+    for ratio_key in ["dynamic_static_ratio", "jit_dynamic_static_ratio"]:
+        assert 0 < k[ratio_key] <= 1.0, \
+            f"{k['kernel']}: {ratio_key} {k[ratio_key]} violates WCET soundness"
     assert k["race_free"] is True, f"{k['kernel']}: sanitizer-skip fast path unproven"
-for cond in ["sequential_checked", "sequential_fast",
-             "parallel_checked", "parallel_fast"]:
+for cond in ["sequential_checked", "sequential_fast", "sequential_jit",
+             "parallel_checked", "parallel_fast", "parallel_jit"]:
     run = bench["rank"][cond]
     for key in ["wall_seconds", "instructions", "instr_per_sec", "dpus_per_sec"]:
         assert key in run, f"missing rank key {key!r} in {cond}"
         assert run[key] >= 0
     assert run["instructions"] == bench["rank"]["sequential_checked"]["instructions"]
 print(f"BENCH_sim.json OK: parallel+fast over sequential+checked "
-      f"{bench['speedup_dpus_per_sec']:.2f}x")
+      f"{bench['speedup_dpus_per_sec']:.2f}x, jit over checked "
+      f"{bench['jit_speedup_vs_checked']:.2f}x, jit over fast "
+      f"{bench['jit_speedup_vs_fast']:.2f}x")
 EOF
 
 # Serving smoke: boot the persistent daemon with a deliberately tiny

@@ -37,6 +37,7 @@ use pim_host::dispatch::{DispatchConfig, Engine};
 use pim_host::modes::{align_pairs, all_vs_all};
 use pim_host::recovery::{align_pairs_recovering, RecoveryConfig};
 use pim_host::report::ExecutionReport;
+use pim_sim::isa::InterpMode;
 use pim_sim::{FaultPlan, PimServer, ServerConfig};
 use std::fmt::Write as _;
 
@@ -63,6 +64,29 @@ pub fn engine_from_flags(fifo_depth: usize, sync_dispatch: bool) -> Engine {
             fifo_depth: fifo_depth.max(1),
         }
     }
+}
+
+/// Parse the shared `--interp-mode` flag: which simulator interpreter tier
+/// executes the built-in kernels. `auto` resolves to the JIT tier when the
+/// built-in kernels pass the verifier gate (zero lint errors and a declared
+/// WRAM frame), falling back to the fully checked interpreter otherwise;
+/// the JIT additionally re-checks entry state at run time and falls back
+/// per launch, so `auto` is always safe.
+pub fn parse_interp_mode(text: &str) -> Option<InterpMode> {
+    Some(match text {
+        "checked" => InterpMode::Checked,
+        "fast" => InterpMode::Fast,
+        "jit" => InterpMode::Jit,
+        "auto" => {
+            let jit = dpu_kernel::isa_loops::jitted(dpu_kernel::KernelVariant::Asm, true);
+            if jit.jit_eligible() {
+                InterpMode::Jit
+            } else {
+                InterpMode::Checked
+            }
+        }
+        _ => return None,
+    })
 }
 
 /// Which aligner the `align` command uses.
@@ -152,6 +176,7 @@ pub fn cmd_align(
     sync_dispatch: bool,
     sim_threads: usize,
     audit: bool,
+    interp_mode: InterpMode,
 ) -> Result<String, CliError> {
     let a_recs = read_fasta(a_path)?;
     let b_recs = read_fasta(b_path)?;
@@ -189,7 +214,10 @@ pub fn cmd_align(
                 scheme,
                 score_only: false,
             };
-            let mut cfg = DispatchConfig::new(NwKernel::paper_default(), params);
+            let mut cfg = DispatchConfig::new(
+                NwKernel::paper_default().with_interp_mode(interp_mode),
+                params,
+            );
             cfg.engine = engine_from_flags(fifo_depth, sync_dispatch);
             cfg.sim_threads = sim_threads;
             cfg.audit = audit;
@@ -551,6 +579,8 @@ pub struct ChaosOpts {
     /// Simulator worker-thread budget shared by all concurrent ranks
     /// (0 = available parallelism).
     pub sim_threads: usize,
+    /// Interpreter tier executing the simulated kernels (`--interp-mode`).
+    pub interp_mode: InterpMode,
 }
 
 impl Default for ChaosOpts {
@@ -574,6 +604,7 @@ impl Default for ChaosOpts {
             fifo_depth: 2,
             sync_dispatch: false,
             sim_threads: 0,
+            interp_mode: InterpMode::default(),
         }
     }
 }
@@ -623,7 +654,10 @@ pub fn cmd_chaos(opts: &ChaosOpts) -> Result<String, CliError> {
     });
     server_cfg.dpu.watchdog_cycles = watchdog_cycles;
     let mut server = PimServer::new(server_cfg);
-    let mut cfg = DispatchConfig::new(NwKernel::paper_default(), params);
+    let mut cfg = DispatchConfig::new(
+        NwKernel::paper_default().with_interp_mode(opts.interp_mode),
+        params,
+    );
     cfg.engine = engine_from_flags(opts.fifo_depth, opts.sync_dispatch);
     cfg.sim_threads = opts.sim_threads;
     let rcfg = RecoveryConfig {
@@ -759,6 +793,8 @@ pub struct BenchOpts {
     /// Run the simulator benchmark (interpreter fast path + intra-rank
     /// parallelism) instead of the dispatch benchmark.
     pub sim: bool,
+    /// Interpreter tier executing the simulated kernels (`--interp-mode`).
+    pub interp_mode: InterpMode,
 }
 
 impl Default for BenchOpts {
@@ -779,6 +815,7 @@ impl Default for BenchOpts {
             json_path: None,
             sim_threads: 0,
             sim: false,
+            interp_mode: InterpMode::default(),
         }
     }
 }
@@ -822,7 +859,10 @@ fn bench_run_guarded(
         scheme: ScoringScheme::default(),
         score_only: false,
     };
-    let mut cfg = DispatchConfig::new(NwKernel::paper_default(), params);
+    let mut cfg = DispatchConfig::new(
+        NwKernel::paper_default().with_interp_mode(opts.interp_mode),
+        params,
+    );
     cfg.rounds = opts.rounds.max(1);
     cfg.engine = engine;
     cfg.sim_threads = opts.sim_threads;
@@ -1080,9 +1120,15 @@ impl pim_sim::dpu::Kernel for IsaBenchKernel {
             let perturb = tag
                 .wrapping_add(launch.wrapping_mul(self.passes))
                 .wrapping_add(p);
-            let (stats, wram) =
-                isa_loops::bench_cells(self.variant, self.with_bt, perturb, self.cells, self.mode)?;
-            digest = isa_loops::output_digest(&wram, self.cells, digest);
+            let (stats, folded) = isa_loops::bench_cells_digest(
+                self.variant,
+                self.with_bt,
+                perturb,
+                self.cells,
+                self.mode,
+                digest,
+            )?;
+            digest = folded;
             dpu.stats.instructions += stats.instructions;
             // The mini pipeline retires 1 instruction/cycle at full
             // occupancy; the rank barrier only needs a deterministic count.
@@ -1148,12 +1194,12 @@ fn run_sim_condition(
 }
 
 /// Simulator benchmark (`bench --sim`): (a) an interpreter microbenchmark
-/// per built-in kernel, fully checked path vs the verified dense fast path;
-/// (b) rank-level launches of an ISA workload, sequential vs the intra-rank
-/// worker pool, in all four mode x thread combinations. Writes
-/// `BENCH_sim.json`; fails unless every condition's outputs, instruction
-/// counts and barrier cycles are bit-identical to the sequential checked
-/// reference.
+/// per built-in kernel across all three tiers — fully checked path, the
+/// verified dense fast path, and the block-translating JIT; (b) rank-level
+/// launches of an ISA workload, sequential vs the intra-rank worker pool,
+/// in all six mode x thread combinations. Writes `BENCH_sim.json`; fails
+/// unless every condition's outputs, instruction counts and barrier cycles
+/// are bit-identical to the sequential checked reference.
 fn cmd_bench_sim(opts: &BenchOpts) -> Result<String, CliError> {
     use dpu_kernel::isa_loops::{self, InterpMode};
     use dpu_kernel::KernelVariant;
@@ -1165,7 +1211,7 @@ fn cmd_bench_sim(opts: &BenchOpts) -> Result<String, CliError> {
     let (interp_iters, launches, passes, reps) = if opts.smoke {
         (24u32, 2usize, 2u32, 1usize)
     } else {
-        (1200, 8, 24, 3)
+        (1200, 8, 24, 5)
     };
     let dpus = (opts.ranks.max(1) * opts.dpus.max(1)).max(2);
     let threads = resolve_sim_threads(opts.sim_threads);
@@ -1189,38 +1235,52 @@ fn cmd_bench_sim(opts: &BenchOpts) -> Result<String, CliError> {
                 if with_bt { "traceback" } else { "score_only" }
             );
             let prep = isa_loops::prepared(variant, with_bt);
+            let jit = isa_loops::jitted(variant, with_bt);
             let run_mode = |mode: InterpMode| -> Result<(u64, u64, f64), CliError> {
                 let mut instr = 0u64;
                 let mut digest = 0u64;
                 let t0 = std::time::Instant::now();
                 for i in 0..interp_iters {
-                    let (stats, wram) = isa_loops::bench_cells(variant, with_bt, i, cells, mode)
-                        .map_err(|e| CliError::Align(e.to_string()))?;
+                    let (stats, folded) =
+                        isa_loops::bench_cells_digest(variant, with_bt, i, cells, mode, digest)
+                            .map_err(|e| CliError::Align(e.to_string()))?;
                     instr += stats.instructions;
-                    digest = isa_loops::output_digest(&wram, cells, digest);
+                    digest = folded;
                 }
                 Ok((instr, digest, t0.elapsed().as_secs_f64()))
             };
-            let best_of = |mode: InterpMode| -> Result<(u64, u64, f64), CliError> {
-                let mut best: Option<(u64, u64, f64)> = None;
-                for _ in 0..reps {
+            // Repetitions are interleaved across the tiers (round-robin
+            // rather than back-to-back) so slow drift in host load biases
+            // no tier; each tier keeps its best repetition.
+            let mut best: [Option<(u64, u64, f64)>; 3] = [None, None, None];
+            for _ in 0..reps {
+                for (slot, mode) in [
+                    (0usize, InterpMode::Checked),
+                    (1, InterpMode::Fast),
+                    (2, InterpMode::Jit),
+                ] {
                     let r = run_mode(mode)?;
-                    if best.is_none_or(|b| r.2 < b.2) {
-                        best = Some(r);
+                    if best[slot].is_none_or(|b| r.2 < b.2) {
+                        best[slot] = Some(r);
                     }
                 }
-                Ok(best.expect("reps >= 1"))
-            };
-            let (ci, cd, ct) = best_of(InterpMode::Checked)?;
-            let (fi, fd, ft) = best_of(InterpMode::Fast)?;
-            let same = ci == fi && cd == fd;
+            }
+            let (ci, cd, ct) = best[0].expect("reps >= 1");
+            let (fi, fd, ft) = best[1].expect("reps >= 1");
+            let (ji, jd, jt) = best[2].expect("reps >= 1");
+            let same = ci == fi && cd == fd && ci == ji && cd == jd;
             identical &= same;
             let checked_ips = ci as f64 / ct.max(1e-12);
             let fast_ips = fi as f64 / ft.max(1e-12);
+            let jit_ips = ji as f64 / jt.max(1e-12);
             let speedup = fast_ips / checked_ips.max(1e-12);
+            let jit_speedup = jit_ips / checked_ips.max(1e-12);
+            let jit_speedup_vs_fast = jit_ips / fast_ips.max(1e-12);
             // Static-vs-dynamic soundness: the retired instructions of one
             // pass must never exceed the symbolic WCET bound evaluated at
-            // this cell count.
+            // this cell count. The JIT tier's exact retired-instruction
+            // accounting keeps it under the same bound (its count is
+            // bit-identical to the checked tier's, checked above).
             let static_instr = isa_loops::kernel_wcet(variant, with_bt)
                 .eval(
                     &pim_sim::isa::KernelParams::new()
@@ -1228,34 +1288,50 @@ fn cmd_bench_sim(opts: &BenchOpts) -> Result<String, CliError> {
                 )
                 .unwrap_or(0);
             let dynamic_instr = ci / u64::from(interp_iters.max(1));
+            let jit_dynamic_instr = ji / u64::from(interp_iters.max(1));
             let ratio = dynamic_instr as f64 / (static_instr.max(1)) as f64;
-            wcet_sound &= static_instr > 0 && dynamic_instr <= static_instr;
+            let jit_ratio = jit_dynamic_instr as f64 / (static_instr.max(1)) as f64;
+            wcet_sound &= static_instr > 0
+                && dynamic_instr <= static_instr
+                && jit_dynamic_instr <= static_instr;
             let _ = writeln!(
                 out,
-                "  {name}: checked {:.2} Minstr/s, fast {:.2} Minstr/s -> {:.2}x \
-                 ({} fused windows, {} -> {} ops, dynamic/static {ratio:.2})",
+                "  {name}: checked {:.2} / fast {:.2} / jit {:.2} Minstr/s \
+                 -> fast {:.2}x, jit {:.2}x ({} fused windows, {} blocks, \
+                 {} -> {} ops, dynamic/static {ratio:.2})",
                 checked_ips / 1e6,
                 fast_ips / 1e6,
+                jit_ips / 1e6,
                 speedup,
+                jit_speedup,
                 prep.fused_windows(),
+                jit.block_count(),
                 prep.program().len(),
                 prep.dense_len(),
             );
             interp_json.push(format!(
                 "{{\"kernel\": \"{name}\", \"program_len\": {}, \"dense_len\": {}, \
-                 \"fused_windows\": {}, \"fast_eligible\": {}, \"instructions\": {ci}, \
+                 \"fused_windows\": {}, \"fast_eligible\": {}, \"jit_eligible\": {}, \
+                 \"jit_blocks\": {}, \"instructions\": {ci}, \
                  \"checked_instr_per_sec\": {}, \"fast_instr_per_sec\": {}, \
-                 \"speedup\": {}, \"bit_identical\": {same}, \
+                 \"jit_instr_per_sec\": {}, \"speedup\": {}, \"jit_speedup\": {}, \
+                 \"jit_speedup_vs_fast\": {}, \"bit_identical\": {same}, \
                  \"wcet_instructions\": {static_instr}, \"dynamic_static_ratio\": {}, \
-                 \"race_free\": {}}}",
+                 \"jit_dynamic_static_ratio\": {}, \"race_free\": {}}}",
                 prep.program().len(),
                 prep.dense_len(),
                 prep.fused_windows(),
                 prep.fast_eligible(),
+                jit.jit_eligible(),
+                jit.block_count(),
                 jf(checked_ips),
                 jf(fast_ips),
+                jf(jit_ips),
                 jf(speedup),
+                jf(jit_speedup),
+                jf(jit_speedup_vs_fast),
                 jf(ratio),
+                jf(jit_ratio),
                 prep.statically_race_free(),
             ));
         }
@@ -1271,35 +1347,51 @@ fn cmd_bench_sim(opts: &BenchOpts) -> Result<String, CliError> {
         cells,
     };
     // Each repetition is a full fresh run (rank state, launch counters,
-    // digests all restart), so repeating only tightens the timing.
-    let best_cond = |mode: InterpMode, threads: usize| -> Result<SimCondRun, CliError> {
-        let mut best: Option<SimCondRun> = None;
-        for _ in 0..reps {
-            let r = run_sim_condition(&kernel(mode), dpus, launches, threads, opts.seed)?;
-            if best
+    // digests all restart), so repeating only tightens the timing; the
+    // repetitions cycle through all six conditions round-robin so slow
+    // drift in host load biases no condition, and each condition keeps
+    // its best repetition.
+    let conds = [
+        (InterpMode::Checked, 1usize),
+        (InterpMode::Fast, 1),
+        (InterpMode::Jit, 1),
+        (InterpMode::Checked, threads),
+        (InterpMode::Fast, threads),
+        (InterpMode::Jit, threads),
+    ];
+    let mut best: [Option<SimCondRun>; 6] = [None, None, None, None, None, None];
+    for _ in 0..reps {
+        for (slot, &(mode, th)) in conds.iter().enumerate() {
+            let r = run_sim_condition(&kernel(mode), dpus, launches, th, opts.seed)?;
+            if best[slot]
                 .as_ref()
                 .is_none_or(|b| r.wall_seconds < b.wall_seconds)
             {
-                best = Some(r);
+                best[slot] = Some(r);
             }
         }
-        Ok(best.expect("reps >= 1"))
-    };
-    let seq_checked = best_cond(InterpMode::Checked, 1)?;
-    let seq_fast = best_cond(InterpMode::Fast, 1)?;
-    let par_checked = best_cond(InterpMode::Checked, threads)?;
-    let par_fast = best_cond(InterpMode::Fast, threads)?;
-    for c in [&seq_fast, &par_checked, &par_fast] {
+    }
+    let [seq_checked, seq_fast, seq_jit, par_checked, par_fast, par_jit] =
+        best.map(|b| b.expect("reps >= 1"));
+    for c in [&seq_fast, &seq_jit, &par_checked, &par_fast, &par_jit] {
         identical &= c.digests == seq_checked.digests
             && c.instructions == seq_checked.instructions
             && c.barrier_cycles == seq_checked.barrier_cycles;
     }
     let speedup_dpus = par_fast.dpus_per_sec / seq_checked.dpus_per_sec.max(1e-12);
+    // The JIT acceptance comparisons: the compiled tier against the
+    // sequential checked baseline (same thread count, pure tier effect)
+    // and against the fast interpreter at both thread counts.
+    let jit_speedup_vs_checked = seq_jit.dpus_per_sec / seq_checked.dpus_per_sec.max(1e-12);
+    let jit_speedup_vs_fast = seq_jit.dpus_per_sec / seq_fast.dpus_per_sec.max(1e-12);
+    let speedup_jit_dpus = par_jit.dpus_per_sec / seq_checked.dpus_per_sec.max(1e-12);
     for (label, c) in [
         ("sequential+checked", &seq_checked),
         ("sequential+fast", &seq_fast),
+        ("sequential+jit", &seq_jit),
         ("parallel+checked", &par_checked),
         ("parallel+fast", &par_fast),
+        ("parallel+jit", &par_jit),
     ] {
         let _ = writeln!(
             out,
@@ -1311,6 +1403,12 @@ fn cmd_bench_sim(opts: &BenchOpts) -> Result<String, CliError> {
     let _ = writeln!(
         out,
         "  parallel+fast over sequential+checked: {speedup_dpus:.2}x"
+    );
+    let _ = writeln!(
+        out,
+        "  jit over checked (sequential): {jit_speedup_vs_checked:.2}x, \
+         jit over fast (sequential): {jit_speedup_vs_fast:.2}x, \
+         parallel+jit over sequential+checked: {speedup_jit_dpus:.2}x"
     );
 
     let cond_json = |c: &SimCondRun| {
@@ -1330,15 +1428,23 @@ fn cmd_bench_sim(opts: &BenchOpts) -> Result<String, CliError> {
          \"dpus\": {dpus},\n  \"launches\": {launches},\n  \"passes_per_launch\": {passes},\n  \
          \"sim_threads\": {threads},\n  \"seed\": {},\n  \"interp\": [\n    {}\n  ],\n  \
          \"rank\": {{\n    \"sequential_checked\": {},\n    \"sequential_fast\": {},\n    \
-         \"parallel_checked\": {},\n    \"parallel_fast\": {}\n  }},\n  \
-         \"speedup_dpus_per_sec\": {},\n  \"bit_identical\": {identical}\n}}\n",
+         \"sequential_jit\": {},\n    \"parallel_checked\": {},\n    \"parallel_fast\": {},\n    \
+         \"parallel_jit\": {}\n  }},\n  \
+         \"speedup_dpus_per_sec\": {},\n  \"jit_speedup_vs_checked\": {},\n  \
+         \"jit_speedup_vs_fast\": {},\n  \"speedup_jit_dpus_per_sec\": {},\n  \
+         \"bit_identical\": {identical}\n}}\n",
         opts.seed,
         interp_json.join(",\n    "),
         cond_json(&seq_checked),
         cond_json(&seq_fast),
+        cond_json(&seq_jit),
         cond_json(&par_checked),
         cond_json(&par_fast),
+        cond_json(&par_jit),
         jf(speedup_dpus),
+        jf(jit_speedup_vs_checked),
+        jf(jit_speedup_vs_fast),
+        jf(speedup_jit_dpus),
     );
     let path = opts
         .json_path
@@ -1408,7 +1514,19 @@ mod tests {
             Algo::Exact,
             Algo::Pim,
         ] {
-            let tsv = cmd_align(&a, &b, algo, 16, 1, 2, false, 0, false).unwrap();
+            let tsv = cmd_align(
+                &a,
+                &b,
+                algo,
+                16,
+                1,
+                2,
+                false,
+                0,
+                false,
+                InterpMode::default(),
+            )
+            .unwrap();
             let lines: Vec<&str> = tsv.lines().skip(1).collect();
             assert_eq!(lines.len(), 2, "{algo:?}");
             let score: i32 = lines[0].split('\t').nth(2).unwrap().parse().unwrap();
@@ -1426,7 +1544,18 @@ mod tests {
         let a = write_temp("c.fa", ">r0\nACGT\n");
         let b = write_temp("d.fa", ">s0\nACGT\n>s1\nACGT\n");
         assert!(matches!(
-            cmd_align(&a, &b, Algo::Exact, 16, 1, 2, false, 0, false),
+            cmd_align(
+                &a,
+                &b,
+                Algo::Exact,
+                16,
+                1,
+                2,
+                false,
+                0,
+                false,
+                InterpMode::default()
+            ),
             Err(CliError::Usage(_))
         ));
         std::fs::remove_file(a).ok();

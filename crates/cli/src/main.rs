@@ -4,6 +4,7 @@
 //! upmem-nw align  --a reads_a.fa --b reads_b.fa [--algo adaptive|static|wfa|exact|pim]
 //!                 [--band 128] [--ranks 4] [--fifo-depth 2] [--sync-dispatch true]
 //!                 [--sim-threads 0] [--audit true] [--out results.tsv]
+//!                 [--interp-mode checked|fast|jit|auto]
 //! upmem-nw matrix --in seqs.fa [--band 128] [--ranks 4] [--out matrix.tsv]
 //! upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N
 //!                 [--seed S] [--out data.fa]
@@ -12,15 +13,19 @@
 //!                 [--hang-faults 0.1] [--corrupt-cigars 0.1]
 //!                 [--watchdog-cycles auto|0|N] [--deadline 10] [--audit false]
 //!                 [--retries 3] [--quarantine 2] [--fifo-depth 2] [--sync-dispatch true]
-//!                 [--sim-threads 0]
+//!                 [--sim-threads 0] [--interp-mode checked|fast|jit|auto]
 //!
 //! `--watchdog-cycles auto` (the default) derives the per-launch cycle
 //! budget from the kernels' symbolic WCET bounds; `0` turns the watchdog
-//! off; any other number is an explicit budget.
+//! off; any other number is an explicit budget. `--interp-mode` picks the
+//! simulator interpreter tier (checked oracle, verified dense fast path,
+//! or the block-translating JIT; `auto` takes jit when the verifier gate
+//! holds, checked otherwise).
 //! upmem-nw bench  [--pairs 48] [--ranks 4] [--dpus 4] [--rounds 6] [--band 64]
 //!                 [--fifo-depth 2] [--seed 42] [--straggler-hold-ms 35]
 //!                 [--smoke true] [--sim true] [--serve true] [--sim-threads 0]
 //!                 [--pairs-per-request 4] [--requests 48]
+//!                 [--interp-mode checked|fast|jit|auto]
 //!                 [--json BENCH_dispatch.json|BENCH_sim.json|BENCH_serve.json]
 //! upmem-nw serve  [--socket /tmp/upmem-nw.sock] [--ranks 2] [--dpus 8]
 //!                 [--band 64] [--fifo-depth 2] [--sim-threads 0] [--retries 3]
@@ -29,6 +34,7 @@
 //!                 [--queue-pairs 4096] [--max-open 8] [--max-request-pairs 1024]
 //!                 [--default-deadline-ms MS] [--seed 42] [--dpu-fault-rate 0]
 //!                 [--hang-faults 0] [--corrupt-cigars 0] [--json report.json]
+//!                 [--interp-mode checked|fast|jit|auto]
 //! upmem-nw info   [--ranks 40]
 //! upmem-nw lint   [--verbose true] [--json true]
 //! ```
@@ -37,13 +43,14 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use upmem_nw_cli::{
     cmd_align, cmd_bench, cmd_bench_serve, cmd_chaos, cmd_generate, cmd_info, cmd_lint, cmd_matrix,
-    cmd_serve, install_interrupt_handler, Algo, BenchOpts, BenchServeOpts, ChaosOpts, CliError,
+    cmd_serve, install_interrupt_handler, parse_interp_mode, Algo, BenchOpts, BenchServeOpts,
+    ChaosOpts, CliError,
 };
 use upmem_nw_service::ServeOptions;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--audit true] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw chaos [--seed S] [--pairs N] [--ranks N] [--dpus N] [--band N] [--dpu-fault-rate P] [--corrupt-rate P] [--hang-faults P] [--corrupt-cigars P] [--watchdog-cycles auto|0|N] [--deadline SECS] [--audit false] [--disabled N] [--retries N] [--quarantine N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N]\n  upmem-nw bench [--pairs N] [--ranks N] [--dpus N] [--rounds N] [--band N] [--fifo-depth N] [--seed S] [--straggler-hold-ms MS] [--smoke true] [--sim true] [--serve true] [--pairs-per-request N] [--requests N] [--sim-threads N] [--json file]\n  upmem-nw serve [--socket path] [--ranks N] [--dpus N] [--band N] [--fifo-depth N] [--sim-threads N] [--retries N] [--quarantine N] [--audit false] [--stall-deadline SECS] [--watchdog-cycles N] [--queue-requests N] [--queue-pairs N] [--max-open N] [--max-request-pairs N] [--default-deadline-ms MS] [--seed S] [--dpu-fault-rate P] [--hang-faults P] [--corrupt-cigars P] [--json file]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true] [--json true]"
+        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--audit true] [--interp-mode checked|fast|jit|auto] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw chaos [--seed S] [--pairs N] [--ranks N] [--dpus N] [--band N] [--dpu-fault-rate P] [--corrupt-rate P] [--hang-faults P] [--corrupt-cigars P] [--watchdog-cycles auto|0|N] [--deadline SECS] [--audit false] [--disabled N] [--retries N] [--quarantine N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--interp-mode checked|fast|jit|auto]\n  upmem-nw bench [--pairs N] [--ranks N] [--dpus N] [--rounds N] [--band N] [--fifo-depth N] [--seed S] [--straggler-hold-ms MS] [--smoke true] [--sim true] [--serve true] [--pairs-per-request N] [--requests N] [--sim-threads N] [--interp-mode checked|fast|jit|auto] [--json file]\n  upmem-nw serve [--socket path] [--ranks N] [--dpus N] [--band N] [--fifo-depth N] [--sim-threads N] [--retries N] [--quarantine N] [--audit false] [--stall-deadline SECS] [--watchdog-cycles N] [--queue-requests N] [--queue-pairs N] [--max-open N] [--max-request-pairs N] [--default-deadline-ms MS] [--seed S] [--dpu-fault-rate P] [--hang-faults P] [--corrupt-cigars P] [--interp-mode checked|fast|jit|auto] [--json file]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true] [--json true]"
     );
     std::process::exit(2)
 }
@@ -90,6 +97,12 @@ fn run() -> Result<String, CliError> {
     let sim_threads: usize = get("sim-threads")
         .map(|v| v.parse().unwrap_or_else(|_| usage()))
         .unwrap_or(0);
+    // Shared across align/chaos/bench/serve: which simulator interpreter
+    // tier runs the kernels (checked oracle, verified fast path, or the
+    // block-translating JIT; `auto` picks jit when the verifier gate holds).
+    let interp_mode = get("interp-mode")
+        .map(|v| parse_interp_mode(&v).unwrap_or_else(|| usage()))
+        .unwrap_or_default();
 
     let output = match command.as_str() {
         "align" => {
@@ -108,6 +121,7 @@ fn run() -> Result<String, CliError> {
                 sync_dispatch,
                 sim_threads,
                 get("audit").is_some_and(|v| v == "true"),
+                interp_mode,
             )?
         }
         "matrix" => {
@@ -160,6 +174,7 @@ fn run() -> Result<String, CliError> {
                 fifo_depth: uint("fifo-depth", defaults.fifo_depth),
                 sync_dispatch: sync_dispatch || defaults.sync_dispatch,
                 sim_threads,
+                interp_mode,
             };
             cmd_chaos(&opts)?
         }
@@ -230,6 +245,7 @@ fn run() -> Result<String, CliError> {
                 default_deadline_ms: get("default-deadline-ms")
                     .map(|v| v.parse().unwrap_or_else(|_| usage())),
                 fault,
+                interp_mode,
             };
             cmd_serve(&opts, get("json").as_deref())?
         }
@@ -257,6 +273,7 @@ fn run() -> Result<String, CliError> {
                 json_path: get("json"),
                 sim_threads,
                 sim: get("sim").is_some_and(|v| v == "true"),
+                interp_mode,
             };
             cmd_bench(&opts)?
         }

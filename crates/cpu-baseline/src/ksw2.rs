@@ -11,7 +11,16 @@
 //!   §5.1;
 //! * flat rolling arrays indexed by diagonal, with the row's in-band span
 //!   hoisted out of the loop;
-//! * a score-only fast path with no `BT` writes at all.
+//! * a score-only fast path with no `BT` writes at all;
+//! * a **two-pass row sweep**: the insertion gap and the diagonal
+//!   candidate have no dependency carried along the row, so pass 1
+//!   computes them elementwise — with `std::simd` lanes when the
+//!   `portable-simd` feature is on (nightly), the stand-in for KSW2's SSE
+//!   vectorization — while pass 2 runs the sequential deletion carry and
+//!   the cell select. Both first-pass kernels perform the identical
+//!   integer operations per element, so results are bit-exact across
+//!   them; the scalar kernel stays compiled in as the oracle
+//!   ([`Ksw2Aligner::scalar_kernel`]).
 
 use nw_core::banded::BandGeometry;
 use nw_core::error::AlignError;
@@ -24,6 +33,9 @@ use nw_core::{Alignment, Score, ScoringScheme, NEG_INF};
 pub struct Ksw2Aligner {
     scheme: ScoringScheme,
     band: usize,
+    /// Force the scalar first pass even when the lane kernel is compiled
+    /// in (see [`Ksw2Aligner::scalar_kernel`]).
+    force_scalar: bool,
 }
 
 /// Per-reference query profile: `profile[c * (n + 1) + j]` is
@@ -45,7 +57,44 @@ impl Ksw2Aligner {
     /// Build an aligner with band width `band` (>= 2).
     pub fn new(scheme: ScoringScheme, band: usize) -> Self {
         assert!(band >= 2, "band width must be at least 2");
-        Self { scheme, band }
+        Self {
+            scheme,
+            band,
+            force_scalar: false,
+        }
+    }
+
+    /// Force the scalar first-pass kernel even when the `portable-simd`
+    /// lane kernel is compiled in. This is the bit-exactness oracle: the
+    /// equivalence suite aligns with both kernels and requires identical
+    /// scores and CIGARs.
+    pub fn scalar_kernel(mut self) -> Self {
+        self.force_scalar = true;
+        self
+    }
+
+    /// Which first-pass kernel [`Ksw2Aligner::score`]/[`Ksw2Aligner::align`]
+    /// dispatch to: `"simd"` only when the `portable-simd` feature is
+    /// compiled in and the scalar oracle was not forced.
+    pub fn kernel_name(&self) -> &'static str {
+        if !self.force_scalar && cfg!(feature = "portable-simd") {
+            "simd"
+        } else {
+            "scalar"
+        }
+    }
+
+    /// Lane count of the compiled-in SIMD kernel (0 without
+    /// `portable-simd`).
+    pub fn simd_lanes() -> usize {
+        #[cfg(feature = "portable-simd")]
+        {
+            lanes::LANES
+        }
+        #[cfg(not(feature = "portable-simd"))]
+        {
+            0
+        }
     }
 
     /// Band width.
@@ -106,6 +155,11 @@ impl Ksw2Aligner {
         let mut i_prev = vec![NEG_INF; width];
         let mut h_cur = vec![NEG_INF; width];
         let mut i_cur = vec![NEG_INF; width];
+        // Row scratch for pass 1 (insertion gap / extend flag / diagonal
+        // candidate), indexed by position within the row's in-band span.
+        let mut ins_row = vec![NEG_INF; width];
+        let mut diag_row = vec![NEG_INF; width];
+        let mut iext_row = vec![false; width];
         let mut bt: Vec<BtRow> = if WANT_BT {
             (0..=m).map(|_| BtRow::new(width)).collect()
         } else {
@@ -135,32 +189,48 @@ impl Ksw2Aligner {
                 i_cur[k] = h_cur[k];
                 j = 1;
             }
+            if j > j_hi {
+                std::mem::swap(&mut h_prev, &mut h_cur);
+                std::mem::swap(&mut i_prev, &mut i_cur);
+                continue;
+            }
             let k0 = geom.index(i, j).expect("in band");
-            let mut k = k0;
-            while j <= j_hi {
+            let len = j_hi - j + 1;
+
+            // Pass 1: the insertion gap (competition between opening from
+            // `H` above and extending `I` above) and the diagonal
+            // candidate read only the previous row, so they are
+            // elementwise in `k` — no carried dependency — and vectorize.
+            // Only the span's last cell can sit on the band edge
+            // (`k + 1 == width`), where "above" reads -inf.
+            let up_len = len.min(width - k0 - 1);
+            self.pass1(
+                &h_prev[k0..k0 + len],
+                &h_prev[k0 + 1..k0 + 1 + up_len],
+                &i_prev[k0 + 1..k0 + 1 + up_len],
+                &prof[j..j + len],
+                &mut ins_row[..len],
+                &mut diag_row[..len],
+                &mut iext_row[..len],
+            );
+
+            // Pass 2: the deletion gap carries along the row through the
+            // just-written `H`, so it stays sequential; everything else
+            // was precomputed.
+            for (t, k) in (k0..k0 + len).enumerate() {
                 let h_left = if k > 0 { h_cur[k - 1] } else { NEG_INF };
                 let open_d = h_left - go - ge;
                 let ext_d = d - ge;
                 let d_extend = ext_d >= open_d;
                 d = if d_extend { ext_d } else { open_d };
-                let (h_up, i_up) = if k + 1 < width {
-                    (h_prev[k + 1], i_prev[k + 1])
-                } else {
-                    (NEG_INF, NEG_INF)
-                };
-                let open_i = h_up - go - ge;
-                let ext_i = i_up - ge;
-                let i_extend = ext_i >= open_i;
-                let ins = if i_extend { ext_i } else { open_i };
+                let ins = ins_row[t];
                 i_cur[k] = ins;
-                let sub = prof[j];
-                let diag_h = h_prev[k];
-                let diag = diag_h.saturating_add(sub).max(NEG_INF);
+                let diag = diag_row[t];
                 let best = diag.max(d).max(ins);
                 h_cur[k] = best;
                 if WANT_BT {
-                    let origin = if best == diag && diag_h > NEG_INF / 2 {
-                        if sub > 0 {
+                    let origin = if best == diag && h_prev[k] > NEG_INF / 2 {
+                        if prof[j + t] > 0 {
                             Origin::DiagMatch
                         } else {
                             Origin::DiagMismatch
@@ -170,10 +240,8 @@ impl Ksw2Aligner {
                     } else {
                         Origin::Del
                     };
-                    bt[i].set(k, BtCell::new(origin, i_extend, d_extend));
+                    bt[i].set(k, BtCell::new(origin, iext_row[t], d_extend));
                 }
-                j += 1;
-                k += 1;
             }
             std::mem::swap(&mut h_prev, &mut h_cur);
             std::mem::swap(&mut i_prev, &mut i_cur);
@@ -193,6 +261,148 @@ impl Ksw2Aligner {
             });
         }
         Ok((score, WANT_BT.then_some(bt)))
+    }
+
+    /// Pass 1 of the row sweep: per cell, the insertion gap (open from `H`
+    /// above vs extend `I` above), its extend flag, and the diagonal
+    /// candidate. `h_up`/`i_up` may be one element shorter than the span
+    /// when its last cell sits on the band edge; that tail reads -inf
+    /// above. Dispatches to the `std::simd` lane kernel when compiled in.
+    #[allow(clippy::too_many_arguments)]
+    fn pass1(
+        &self,
+        h_diag: &[Score],
+        h_up: &[Score],
+        i_up: &[Score],
+        prof: &[Score],
+        ins: &mut [Score],
+        diag: &mut [Score],
+        iext: &mut [bool],
+    ) {
+        let (go, ge) = (self.scheme.gap_open, self.scheme.gap_extend);
+        #[cfg(feature = "portable-simd")]
+        if !self.force_scalar {
+            lanes::pass1(go, ge, h_diag, h_up, i_up, prof, ins, diag, iext);
+            return;
+        }
+        let up_len = h_up.len();
+        ins_span(go, ge, h_up, i_up, &mut ins[..up_len], &mut iext[..up_len]);
+        ins_edge(go, ge, &mut ins[up_len..], &mut iext[up_len..]);
+        diag_span(h_diag, prof, diag);
+    }
+}
+
+/// Elementwise insertion-gap kernel over equal-length spans: the exact
+/// per-cell operations both first-pass kernels must perform.
+fn ins_span(
+    go: Score,
+    ge: Score,
+    h_up: &[Score],
+    i_up: &[Score],
+    ins: &mut [Score],
+    iext: &mut [bool],
+) {
+    for (((&h, &iu), slot), flag) in h_up
+        .iter()
+        .zip(i_up)
+        .zip(ins.iter_mut())
+        .zip(iext.iter_mut())
+    {
+        let open_i = h - go - ge;
+        let ext_i = iu - ge;
+        let e = ext_i >= open_i;
+        *slot = if e { ext_i } else { open_i };
+        *flag = e;
+    }
+}
+
+/// Band-edge cells read -inf above; run them through the same operations so
+/// the extend flag (and thus the traceback) matches the fused loop exactly.
+fn ins_edge(go: Score, ge: Score, ins: &mut [Score], iext: &mut [bool]) {
+    let open_i = NEG_INF - go - ge;
+    let ext_i = NEG_INF - ge;
+    let e = ext_i >= open_i;
+    for (slot, flag) in ins.iter_mut().zip(iext.iter_mut()) {
+        *slot = if e { ext_i } else { open_i };
+        *flag = e;
+    }
+}
+
+/// Elementwise diagonal-candidate kernel: `H[i-1][j-1] + sub`, saturating,
+/// clamped at -inf.
+fn diag_span(h_diag: &[Score], prof: &[Score], diag: &mut [Score]) {
+    for ((&h, &s), slot) in h_diag.iter().zip(prof).zip(diag.iter_mut()) {
+        *slot = h.saturating_add(s).max(NEG_INF);
+    }
+}
+
+/// `std::simd` first-pass kernel (`portable-simd` feature, nightly). Each
+/// lane performs the identical subtract/compare/select and saturating-add
+/// operations as [`ins_span`]/[`diag_span`], so results are bit-exact;
+/// span remainders shorter than a register fall through to those scalar
+/// helpers.
+#[cfg(feature = "portable-simd")]
+mod lanes {
+    use super::{diag_span, ins_edge, ins_span, Score, NEG_INF};
+    use std::simd::cmp::{SimdOrd, SimdPartialOrd};
+    use std::simd::num::SimdInt;
+    use std::simd::{Select, Simd};
+
+    /// 8 x i32 = 256 bits: one AVX2 register, two SSE ops, or whatever the
+    /// backend legalizes it to.
+    pub const LANES: usize = 8;
+    type V = Simd<Score, LANES>;
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn pass1(
+        go: Score,
+        ge: Score,
+        h_diag: &[Score],
+        h_up: &[Score],
+        i_up: &[Score],
+        prof: &[Score],
+        ins: &mut [Score],
+        diag: &mut [Score],
+        iext: &mut [bool],
+    ) {
+        let up_len = h_up.len();
+        let len = h_diag.len();
+        let gov = V::splat(go);
+        let gev = V::splat(ge);
+        let neg_inf = V::splat(NEG_INF);
+
+        let mut t = 0;
+        while t + LANES <= up_len {
+            let h = V::from_slice(&h_up[t..]);
+            let iu = V::from_slice(&i_up[t..]);
+            let open_i = h - gov - gev;
+            let ext_i = iu - gev;
+            let e = ext_i.simd_ge(open_i);
+            e.select(ext_i, open_i)
+                .copy_to_slice(&mut ins[t..t + LANES]);
+            iext[t..t + LANES].copy_from_slice(&e.to_array());
+            t += LANES;
+        }
+        ins_span(
+            go,
+            ge,
+            &h_up[t..],
+            &i_up[t..],
+            &mut ins[t..up_len],
+            &mut iext[t..up_len],
+        );
+        ins_edge(go, ge, &mut ins[up_len..len], &mut iext[up_len..len]);
+
+        let mut t = 0;
+        while t + LANES <= len {
+            let h = V::from_slice(&h_diag[t..]);
+            let s = V::from_slice(&prof[t..]);
+            h.saturating_add(s)
+                .simd_max(neg_inf)
+                .copy_to_slice(&mut diag[t..t + LANES]);
+            t += LANES;
+        }
+        diag_span(&h_diag[t..], &prof[t..len], &mut diag[t..len]);
     }
 }
 

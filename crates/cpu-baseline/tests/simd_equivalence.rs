@@ -1,0 +1,139 @@
+//! The `std::simd` first-pass kernel must be bit-identical to the scalar
+//! oracle: same scores, same CIGARs, same errors, on random sequence
+//! pairs across band widths. Without the `portable-simd` feature both
+//! aligners dispatch to the scalar kernel and the suite degenerates to a
+//! self-check (plus the reference cross-check), so it runs on stable too.
+//!
+//! Randomness comes from a hand-rolled splitmix-style LCG so the tests
+//! stay deterministic and dependency-free. `SIMD_SMOKE_TRIALS` lets CI
+//! run the property test at smoke scale.
+
+use cpu_baseline::Ksw2Aligner;
+use nw_core::banded::BandedAligner;
+use nw_core::seq::DnaSeq;
+use nw_core::ScoringScheme;
+
+/// Deterministic 64-bit mixer (splitmix64 step).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn trials() -> usize {
+    std::env::var("SIMD_SMOKE_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150)
+}
+
+fn random_seq(rng: &mut Lcg, len: usize) -> DnaSeq {
+    let bases = b"ACGT";
+    let text: Vec<u8> = (0..len).map(|_| bases[(rng.next() & 3) as usize]).collect();
+    DnaSeq::from_ascii(&text).expect("valid bases")
+}
+
+/// Mutate `a` into a related sequence so alignments exercise all three
+/// origins (substitutions, insertions, deletions) instead of pure noise.
+fn mutate(rng: &mut Lcg, a: &DnaSeq, rate_pct: u64) -> DnaSeq {
+    let bases = b"ACGT";
+    let mut text = Vec::with_capacity(a.len() + 8);
+    for i in 0..a.len() {
+        let roll = rng.next() % 100;
+        if roll < rate_pct {
+            match rng.next() % 3 {
+                0 => text.push(bases[(rng.next() & 3) as usize]), // substitute
+                1 => {
+                    // insert
+                    text.push(bases[(rng.next() & 3) as usize]);
+                    text.push(a.get(i).to_ascii());
+                }
+                _ => {} // delete
+            }
+        } else {
+            text.push(a.get(i).to_ascii());
+        }
+    }
+    DnaSeq::from_ascii(&text).expect("valid bases")
+}
+
+#[test]
+fn simd_and_scalar_kernels_are_bit_identical() {
+    let mut rng = Lcg(0x51D_CAFE);
+    let scheme = ScoringScheme::default();
+    let mut aligned = 0usize;
+    for trial in 0..trials() {
+        let len = 1 + (rng.next() as usize % 300);
+        let a = random_seq(&mut rng, len);
+        let rate = 2 + rng.next() % 18;
+        let b = mutate(&mut rng, &a, rate);
+        let band = 2 + (rng.next() as usize % 64);
+        let simd = Ksw2Aligner::new(scheme, band);
+        let scalar = simd.clone().scalar_kernel();
+        match (simd.align(&a, &b), scalar.align(&a, &b)) {
+            (Ok(s), Ok(c)) => {
+                assert_eq!(s.score, c.score, "trial {trial}: score diverged");
+                assert_eq!(s.cigar, c.cigar, "trial {trial}: CIGAR diverged");
+                assert_eq!(
+                    simd.score(&a, &b).expect("score-only"),
+                    s.score,
+                    "trial {trial}: score-only path diverged"
+                );
+                aligned += 1;
+            }
+            (Err(se), Err(ce)) => assert_eq!(se, ce, "trial {trial}: errors diverged"),
+            (s, c) => panic!("trial {trial}: kernel divergence: {s:?} vs {c:?}"),
+        }
+    }
+    // The band draw keeps most pairs alignable; make sure the test is not
+    // vacuously passing on OutOfBand everywhere.
+    assert!(aligned * 2 > trials(), "only {aligned} pairs aligned");
+}
+
+/// Both kernels must also match the naive reference aligner — a guard
+/// against the scalar oracle itself drifting.
+#[test]
+fn both_kernels_match_the_reference_aligner() {
+    let mut rng = Lcg(0xBAD_5EED);
+    let scheme = ScoringScheme::default();
+    for trial in 0..trials().min(40) {
+        let len = 1 + (rng.next() as usize % 120);
+        let a = random_seq(&mut rng, len);
+        let rate = 2 + rng.next() % 10;
+        let b = mutate(&mut rng, &a, rate);
+        let band = 8 + (rng.next() as usize % 32);
+        let simd = Ksw2Aligner::new(scheme, band);
+        let reference = BandedAligner::new(scheme, band);
+        match (simd.align(&a, &b), reference.align(&a, &b)) {
+            (Ok(s), Ok(r)) => {
+                assert_eq!(s.score, r.score, "trial {trial}");
+                assert_eq!(s.cigar, r.cigar, "trial {trial}");
+            }
+            (Err(se), Err(re)) => assert_eq!(se, re, "trial {trial}"),
+            (s, r) => panic!("trial {trial}: reference divergence: {s:?} vs {r:?}"),
+        }
+    }
+}
+
+#[test]
+fn kernel_name_reports_the_dispatch() {
+    let aligner = Ksw2Aligner::new(ScoringScheme::default(), 8);
+    let expected = if cfg!(feature = "portable-simd") {
+        "simd"
+    } else {
+        "scalar"
+    };
+    assert_eq!(aligner.kernel_name(), expected);
+    assert_eq!(aligner.scalar_kernel().kernel_name(), "scalar");
+    if cfg!(feature = "portable-simd") {
+        assert!(Ksw2Aligner::simd_lanes() > 0);
+    } else {
+        assert_eq!(Ksw2Aligner::simd_lanes(), 0);
+    }
+}

@@ -6,7 +6,7 @@
 //! into a per-launch watchdog cycle budget, replacing the old one-size
 //! 100 M-cycle constant with a bound that scales with the actual batch.
 
-use pim_sim::isa::{KernelParams, Reg};
+use pim_sim::isa::{InterpMode, KernelParams, Reg};
 use std::sync::OnceLock;
 
 /// Which kernel build is running (Table 7).
@@ -76,17 +76,33 @@ impl CellCosts {
     /// Measured costs for a kernel variant (cached; interpreting the loops
     /// takes microseconds but the kernel asks per anti-diagonal).
     pub fn for_variant(variant: KernelVariant) -> &'static CellCosts {
-        static PURE_C: OnceLock<CellCosts> = OnceLock::new();
-        static ASM: OnceLock<CellCosts> = OnceLock::new();
-        let cell = match variant {
-            KernelVariant::PureC => &PURE_C,
-            KernelVariant::Asm => &ASM,
+        Self::for_variant_mode(variant, InterpMode::default())
+    }
+
+    /// [`CellCosts::for_variant`] measured through an explicit interpreter
+    /// tier. The numbers are bit-identical across tiers (the equivalence
+    /// contract), so this only picks *how* the one-time measurement runs;
+    /// each (variant, tier) cell is cached independently so a divergence
+    /// would surface as a cost mismatch rather than hide in a shared cache.
+    pub fn for_variant_mode(variant: KernelVariant, mode: InterpMode) -> &'static CellCosts {
+        static CELLS: [[OnceLock<CellCosts>; 3]; 2] = [
+            [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+            [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+        ];
+        let v = match variant {
+            KernelVariant::PureC => 0,
+            KernelVariant::Asm => 1,
         };
-        cell.get_or_init(|| {
-            // The gated path: sanitizer-free fast path only for kernels with
-            // a static race-freedom proof, checked+sanitized otherwise.
-            let bt = crate::isa_loops::measure_gated(variant, true);
-            let so = crate::isa_loops::measure_gated(variant, false);
+        let m = match mode {
+            InterpMode::Checked => 0,
+            InterpMode::Fast => 1,
+            InterpMode::Jit => 2,
+        };
+        CELLS[v][m].get_or_init(|| {
+            // The gated path: translated tiers only for kernels that pass
+            // the verifier gate, checked(+sanitized) otherwise.
+            let bt = crate::isa_loops::measure_gated_mode(variant, true, mode);
+            let so = crate::isa_loops::measure_gated_mode(variant, false, mode);
             match variant {
                 KernelVariant::PureC => CellCosts {
                     cell_with_bt: bt.instr_per_cell,

@@ -1,0 +1,363 @@
+//! Differential equivalence of the three interpreter tiers: the fully
+//! checked oracle, the verified dense fast path, and the block-translating
+//! JIT must retire bit-identical results — registers, WRAM, halt pc,
+//! instruction/mem-op/jump counts — and report identical faults at the
+//! same machine state, on the built-in kernels and on adversarial
+//! hand-written programs, including under watchdog budgets and seeded
+//! fault plans.
+//!
+//! Randomness comes from the same hand-rolled splitmix-style LCG as the
+//! WCET suite so the tests stay deterministic and dependency-free.
+//! `JIT_SMOKE_TRIALS` lets CI run the property tests at smoke scale.
+
+use dpu_kernel::isa_loops::{self, InterpMode};
+use dpu_kernel::KernelVariant;
+use pim_sim::dpu::Kernel;
+use pim_sim::isa::{assemble, IsaError, Jit, Machine, Prepared, Reg, RunStats, VerifySpec};
+use pim_sim::{Dpu, DpuConfig, FaultPlan, Rank, SimError};
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn trials() -> usize {
+    std::env::var("JIT_SMOKE_TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120)
+}
+
+fn random_shape(rng: &mut Lcg) -> (KernelVariant, bool, usize, u32) {
+    let variant = if rng.next() & 1 == 0 {
+        KernelVariant::PureC
+    } else {
+        KernelVariant::Asm
+    };
+    let with_bt = rng.next() & 1 == 0;
+    let mut cells = 4 + (rng.next() as usize % 253); // 4..=256
+    if variant == KernelVariant::Asm {
+        cells &= !3;
+    }
+    let perturb = rng.next() as u32;
+    (variant, with_bt, cells, perturb)
+}
+
+/// Property: for random built-in kernel shapes and band contents, all
+/// three tiers retire the same full [`RunStats`] (not just instruction
+/// counts: memory ops and taken jumps too) and bit-identical WRAM, and
+/// the chained output digests agree.
+#[test]
+fn three_tiers_retire_bit_identical_results() {
+    let mut rng = Lcg(0x71E2_5EED);
+    let mut digests = [0u64; 3];
+    for trial in 0..trials() {
+        let (variant, with_bt, cells, perturb) = random_shape(&mut rng);
+        let (checked, wram_checked) =
+            isa_loops::bench_cells(variant, with_bt, perturb, cells, InterpMode::Checked)
+                .expect("checked pass");
+        for mode in [InterpMode::Fast, InterpMode::Jit] {
+            let (stats, wram) =
+                isa_loops::bench_cells(variant, with_bt, perturb, cells, mode).expect("tier pass");
+            assert_eq!(
+                checked, stats,
+                "trial {trial}: {variant:?} bt={with_bt} cells={cells} \
+                 {mode:?} RunStats diverged"
+            );
+            assert_eq!(
+                wram_checked, wram,
+                "trial {trial}: {variant:?} bt={with_bt} cells={cells} \
+                 {mode:?} WRAM diverged"
+            );
+        }
+        for (slot, mode) in [
+            (0usize, InterpMode::Checked),
+            (1, InterpMode::Fast),
+            (2, InterpMode::Jit),
+        ] {
+            let (_, d) = isa_loops::bench_cells_digest(
+                variant,
+                with_bt,
+                perturb,
+                cells,
+                mode,
+                digests[slot],
+            )
+            .expect("digest pass");
+            digests[slot] = d;
+        }
+        assert_eq!(digests[0], digests[1], "trial {trial}: fast digest chain");
+        assert_eq!(digests[0], digests[2], "trial {trial}: jit digest chain");
+    }
+}
+
+/// How one tier ended: the run result plus the final machine state, so
+/// faulting runs can be compared at the exact architectural state they
+/// stopped in.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    result: Result<RunStats, IsaError>,
+    regs: Vec<u32>,
+    pc: usize,
+    wram: Vec<u8>,
+}
+
+/// Run `program` on the given tier from the same entry state. The fast
+/// and JIT tiers must actually engage (their eligibility and entry gates
+/// are asserted), so a divergence cannot hide behind a silent fallback to
+/// the checked interpreter.
+fn run_tier(
+    tier: usize,
+    program: &[pim_sim::isa::Inst],
+    spec: &VerifySpec,
+    init: &[(u8, u32)],
+    wram_len: usize,
+    max_steps: u64,
+) -> Outcome {
+    let mut m = Machine::new();
+    for &(r, v) in init {
+        m.set_reg(Reg::new(r).expect("register index in range"), v);
+    }
+    let mut wram = vec![0u8; wram_len];
+    let result = match tier {
+        0 => m.run(program, &mut wram, max_steps),
+        1 => {
+            let prep = Prepared::new(program.to_vec(), spec);
+            assert!(prep.fast_eligible(), "fast tier must engage");
+            assert!(prep.fast_path_active(&m, wram.len()));
+            m.run_prepared(&prep, &mut wram, max_steps)
+        }
+        _ => {
+            let jit = Jit::new(program.to_vec(), spec);
+            assert!(jit.jit_eligible(), "jit tier must engage");
+            assert!(jit.jit_active(&m, wram.len()));
+            m.run_jit(&jit, &mut wram, max_steps)
+        }
+    };
+    Outcome {
+        result,
+        regs: m.regs.to_vec(),
+        pc: m.pc,
+        wram,
+    }
+}
+
+fn assert_tiers_agree(
+    label: &str,
+    program: &[pim_sim::isa::Inst],
+    spec: &VerifySpec,
+    init: &[(u8, u32)],
+    wram_len: usize,
+    max_steps: u64,
+) -> Outcome {
+    let checked = run_tier(0, program, spec, init, wram_len, max_steps);
+    for (tier, name) in [(1usize, "fast"), (2, "jit")] {
+        let other = run_tier(tier, program, spec, init, wram_len, max_steps);
+        assert_eq!(checked, other, "{label}: {name} tier diverged");
+    }
+    checked
+}
+
+/// A store/load walker whose addresses come from entry registers the
+/// verifier cannot bound: every WRAM access is only backstop-checked at
+/// runtime, which is exactly the path whose faults must match the oracle.
+/// `r1` = word count, `r2` = byte address cursor, `r3` = value seed.
+const WALKER: &str = "
+loop:
+  sw   r3, r2, 0
+  lw   r4, r2, 0
+  add  r4, r4, r3
+  sb   r4, r2, 1
+  lbu  r3, r2, 2
+  add  r3, r3, 17
+  add  r2, r2, 4
+  sub  r1, r1, 1, jnz loop
+  halt
+";
+
+fn walker_spec(frame: usize) -> VerifySpec {
+    let r = |i: u8| Reg::new(i).expect("register index in range");
+    VerifySpec::new()
+        .frame(frame)
+        .input(r(1))
+        .input(r(2))
+        .input(r(3))
+}
+
+/// Faulting programs stop all three tiers at the same instruction with
+/// the same [`IsaError`], the same registers, pc, and WRAM — word and
+/// byte accesses, in-bounds, out-of-bounds, misaligned, and
+/// address-wrapped cases alike.
+#[test]
+fn three_tiers_report_identical_faults() {
+    let program = assemble(WALKER).expect("walker assembles");
+    let spec = walker_spec(64);
+    let max = 1 << 20;
+    let cases: &[(&str, &[(u8, u32)])] = &[
+        // 8 iterations fill bytes 0..32 of the 64-byte frame: success.
+        ("clean run", &[(1, 8), (2, 0), (3, 7)]),
+        // The 17th word store lands at byte 64: out of frame.
+        ("oob store", &[(1, 32), (2, 0), (3, 7)]),
+        // Word access at byte 2: misaligned before anything else.
+        ("misaligned store", &[(1, 4), (2, 2), (3, 7)]),
+        // Address 61: the word fits nowhere, bounds fire before alignment.
+        ("tail oob", &[(1, 4), (2, 61), (3, 7)]),
+        // A huge cursor: base + offset wraps through i64 arithmetic and
+        // must fault identically, not wrap differently per tier.
+        ("wrapped address", &[(1, 4), (2, u32::MAX - 2), (3, 7)]),
+    ];
+    for (label, init) in cases {
+        let outcome = assert_tiers_agree(label, &program, &spec, init, 64, max);
+        if *label == "clean run" {
+            assert!(outcome.result.is_ok(), "clean run must halt normally");
+        } else {
+            assert!(outcome.result.is_err(), "{label} must fault");
+        }
+    }
+}
+
+/// Property: random entry states spray the walker across success, OOB,
+/// misalignment, and wrap faults; every one must agree across the tiers.
+#[test]
+fn random_walker_states_agree_across_tiers() {
+    let program = assemble(WALKER).expect("walker assembles");
+    let spec = walker_spec(96);
+    let mut rng = Lcg(0xFAC7_5EED);
+    for trial in 0..trials() {
+        let words = 1 + (rng.next() as u32 % 40);
+        let addr = match rng.next() % 4 {
+            0 => rng.next() as u32 % 96,        // mostly in frame
+            1 => (rng.next() as u32 % 96) & !3, // aligned in frame
+            2 => 90 + (rng.next() as u32 % 16), // straddling the edge
+            _ => u32::MAX - (rng.next() as u32 % 8),
+        };
+        let seedv = rng.next() as u32;
+        assert_tiers_agree(
+            &format!("trial {trial} (words={words} addr={addr})"),
+            &program,
+            &spec,
+            &[(1, words), (2, addr), (3, seedv)],
+            96,
+            1 << 20,
+        );
+    }
+}
+
+/// Exhausted step budgets surface the same [`IsaError::MaxSteps`] on all
+/// tiers. The budget check granularity is documented to differ (per
+/// instruction / per window / per block), so only the error — not the
+/// partial machine state — is compared here.
+#[test]
+fn step_budgets_exhaust_with_the_same_error() {
+    let program = assemble(WALKER).expect("walker assembles");
+    let spec = walker_spec(4096);
+    let init: &[(u8, u32)] = &[(1, 1000), (2, 0), (3, 1)];
+    for limit in [1u64, 7, 100, 1001] {
+        let mut errs = Vec::new();
+        for tier in 0..3 {
+            let out = run_tier(tier, &program, &spec, init, 4096, limit);
+            errs.push(out.result.expect_err("budget must exhaust"));
+        }
+        assert_eq!(errs[0], IsaError::MaxSteps { limit });
+        assert_eq!(errs[0], errs[1], "fast tier budget error");
+        assert_eq!(errs[0], errs[2], "jit tier budget error");
+    }
+}
+
+/// A rank kernel running the built-in inner loop in one interpreter tier,
+/// folding the per-pass digest into MRAM (same shape as the benchmark
+/// kernel).
+struct TierKernel {
+    mode: InterpMode,
+    passes: u32,
+}
+
+impl Kernel for TierKernel {
+    fn run(&self, dpu: &mut Dpu) -> Result<(), SimError> {
+        let tag = u32::from_le_bytes(dpu.mram.host_read(0, 4)?.try_into().expect("4 bytes"));
+        let mut digest = u64::from_le_bytes(dpu.mram.host_read(8, 8)?.try_into().expect("8 bytes"));
+        for pass in 0..self.passes {
+            let (stats, folded) = isa_loops::bench_cells_digest(
+                KernelVariant::Asm,
+                true,
+                tag.wrapping_add(pass),
+                isa_loops::PROOF_CELLS,
+                self.mode,
+                digest,
+            )?;
+            digest = folded;
+            dpu.stats.instructions += stats.instructions;
+            dpu.stats.cycles += stats.instructions;
+        }
+        dpu.mram.host_write(8, &digest.to_le_bytes())?;
+        Ok(())
+    }
+}
+
+/// Under a seeded chaos fault plan (launch faults, injected hangs reaped
+/// by the watchdog, corruption arming), every observable rank outcome —
+/// errors, watchdog expiries, barrier cycles, surviving digests — is
+/// identical whichever tier executes the kernels: the fault draws are
+/// pure per-DPU functions of the plan, and the tiers are bit-identical
+/// underneath them.
+#[test]
+fn fault_plans_and_watchdogs_are_tier_blind() {
+    const DPUS: usize = 8;
+    const LAUNCHES: usize = 4;
+    let plan = FaultPlan {
+        seed: 0x00C0_FFEE,
+        dpu_fault_rate: 0.2,
+        hang_rate: 0.25,
+        silent_corrupt_rate: 0.2,
+        disabled_dpus: vec![(0, 3)],
+        ..Default::default()
+    };
+    let cfg = DpuConfig {
+        // Finite budget so injected hangs resolve deterministically.
+        watchdog_cycles: 2_000_000,
+        ..Default::default()
+    };
+    let run = |mode: InterpMode| {
+        let mut rank = Rank::with_faults(cfg, DPUS, plan.rank_state(0, DPUS));
+        for d in 0..DPUS {
+            if !rank.dpu_enabled(d) {
+                continue;
+            }
+            let tag = 0x5EED_u32 ^ (d as u32).wrapping_mul(0x9E37);
+            let dpu = rank.dpu_mut(d).expect("dpu exists");
+            dpu.mram.host_write(0, &tag.to_le_bytes()).expect("tag");
+            dpu.mram.host_write(8, &[0u8; 8]).expect("digest");
+        }
+        let kernel = TierKernel { mode, passes: 2 };
+        let mut log = Vec::new();
+        for _ in 0..LAUNCHES {
+            let r = rank.launch_threads(&kernel, 2).expect("launch");
+            log.push((
+                r.errors,
+                r.faulted,
+                r.barrier_cycles,
+                r.stats.watchdog_expired,
+                r.stats.total,
+            ));
+        }
+        let digests: Vec<Vec<u8>> = (0..DPUS)
+            .filter(|&d| rank.dpu_enabled(d))
+            .map(|d| {
+                rank.dpu(d)
+                    .and_then(|dpu| dpu.mram.host_read(8, 8))
+                    .expect("digest readback")
+            })
+            .collect();
+        (log, digests)
+    };
+    let checked = run(InterpMode::Checked);
+    assert_eq!(checked, run(InterpMode::Fast), "fast tier under faults");
+    assert_eq!(checked, run(InterpMode::Jit), "jit tier under faults");
+}

@@ -1,7 +1,7 @@
 //! WCET soundness: the symbolic bounds from `pim-sim`'s analyzer must
 //! dominate every concrete execution of the built-in kernels, and a
 //! watchdog budget derived from those bounds must never reap a healthy
-//! kernel on either interpreter path.
+//! kernel on any interpreter tier.
 //!
 //! Randomness comes from a hand-rolled splitmix-style LCG so the tests
 //! stay deterministic and dependency-free. `WCET_SMOKE_TRIALS` lets CI
@@ -61,7 +61,7 @@ fn trials() -> usize {
 
 /// Property: for random kernel shapes, cell counts, and band contents,
 /// the retired instruction count never exceeds the symbolic bound, and
-/// the checked and fast interpreters retire bit-identical results.
+/// all three interpreter tiers retire bit-identical results.
 #[test]
 fn retired_instructions_never_exceed_static_bound() {
     let mut rng = Lcg(0xD0A_5EED);
@@ -77,11 +77,18 @@ fn retired_instructions_never_exceed_static_bound() {
              {} > static bound {bound}",
             checked.instructions
         );
-        let (fast, wram_fast) =
-            isa_loops::bench_cells(variant, with_bt, perturb, cells, InterpMode::Fast)
-                .expect("fast pass");
-        assert_eq!(checked.instructions, fast.instructions, "trial {trial}");
-        assert_eq!(wram_checked, wram_fast, "trial {trial}: WRAM diverged");
+        for mode in [InterpMode::Fast, InterpMode::Jit] {
+            let (other, wram_other) =
+                isa_loops::bench_cells(variant, with_bt, perturb, cells, mode).expect("tier pass");
+            assert_eq!(
+                checked.instructions, other.instructions,
+                "trial {trial}: {mode:?}"
+            );
+            assert_eq!(
+                wram_checked, wram_other,
+                "trial {trial}: {mode:?} WRAM diverged"
+            );
+        }
     }
 }
 
@@ -112,7 +119,7 @@ impl Kernel for LoopKernel {
 
 /// A watchdog budget derived from the static bound (passes x per-pass
 /// WCET at one cycle per instruction) must never reap a healthy kernel,
-/// and both interpreter paths must agree bit-for-bit underneath it.
+/// and all three interpreter tiers must agree bit-for-bit underneath it.
 #[test]
 fn interpreters_agree_under_the_derived_watchdog_budget() {
     const PASSES: u32 = 3;
@@ -125,7 +132,7 @@ fn interpreters_agree_under_the_derived_watchdog_budget() {
                 ..Default::default()
             };
             let mut digests = Vec::new();
-            for mode in [InterpMode::Checked, InterpMode::Fast] {
+            for mode in [InterpMode::Checked, InterpMode::Fast, InterpMode::Jit] {
                 let kernel = LoopKernel {
                     variant,
                     with_bt,
@@ -146,7 +153,11 @@ fn interpreters_agree_under_the_derived_watchdog_budget() {
             }
             assert_eq!(
                 digests[0], digests[1],
-                "{variant:?} bt={with_bt}: interpreter paths diverged"
+                "{variant:?} bt={with_bt}: fast path diverged"
+            );
+            assert_eq!(
+                digests[0], digests[2],
+                "{variant:?} bt={with_bt}: jit path diverged"
             );
         }
     }

@@ -52,19 +52,19 @@ use super::verify::{error_count, verify, VerifySpec};
 
 /// A pre-decoded load: destination, base register, byte offset.
 #[derive(Debug, Clone, Copy)]
-struct LoadSpec {
-    rd: u8,
-    base: u8,
-    off: i32,
+pub(super) struct LoadSpec {
+    pub(super) rd: u8,
+    pub(super) base: u8,
+    pub(super) off: i32,
 }
 
 /// A pre-decoded ALU operation (fuse handled by the enclosing op).
 #[derive(Debug, Clone, Copy)]
-struct AluSpec {
-    op: AluOp,
-    rd: u8,
-    ra: u8,
-    b: Operand,
+pub(super) struct AluSpec {
+    pub(super) op: AluOp,
+    pub(super) rd: u8,
+    pub(super) ra: u8,
+    pub(super) b: Operand,
 }
 
 /// Fully-flattened micro-operation discriminant: the ALU opcode and the
@@ -76,7 +76,7 @@ struct AluSpec {
 /// span covers — which lets windows run straight through the
 /// max()/flag-select chains and if/else diamonds of the band inner loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MicroKind {
+pub(super) enum MicroKind {
     AddRI,
     AddRR,
     SubRI,
@@ -237,12 +237,12 @@ fn pair_window(w: &mut [Micro]) {
 /// instructions skipped; skip (RR) — `ra`/`rb` operands, `imm` packs
 /// `skip | weight << 16`; `JmpFwd`/`Fuse*` — `rb` skip, `rd` weight.
 #[derive(Debug, Clone, Copy)]
-struct Micro {
-    kind: MicroKind,
-    rd: u8,
-    ra: u8,
-    rb: u8,
-    imm: i32,
+pub(super) struct Micro {
+    pub(super) kind: MicroKind,
+    pub(super) rd: u8,
+    pub(super) ra: u8,
+    pub(super) rb: u8,
+    pub(super) imm: i32,
 }
 
 fn alu_micro(op: AluOp, rd: u8, ra: u8, b: Operand) -> Micro {
@@ -362,7 +362,7 @@ fn local_ok(program: &[Inst], s: usize, t: usize, forced: &[bool]) -> bool {
 
 /// How a fused straight-line window ends.
 #[derive(Debug, Clone, Copy)]
-enum SeqTerm {
+pub(super) enum SeqTerm {
     /// Fall through to the next window.
     Fall,
     /// The window's last micro-op is an ALU carrying a fused branch on its
@@ -381,7 +381,7 @@ enum SeqTerm {
 /// superinstruction window. Jump targets are dense indices (remapped after
 /// windowing).
 #[derive(Debug, Clone, Copy)]
-enum DenseOp {
+pub(super) enum DenseOp {
     Alu {
         a: AluSpec,
         fuse: Option<(FuseCond, u32)>,
@@ -485,6 +485,7 @@ fn window(
     boundary: &[bool],
     forced: &[bool],
     micro: &mut Vec<Micro>,
+    pair: bool,
 ) -> Result<(DenseOp, usize), usize> {
     // Maximal run: ALU / load / store / skip micro-ops, stopped by an
     // interior boundary, outward control flow, or the window cap. An ALU's
@@ -640,7 +641,9 @@ fn window(
         }
     }
     if covered >= 2 {
-        pair_window(&mut micro[start..]);
+        if pair {
+            pair_window(&mut micro[start..]);
+        }
         return Ok((
             DenseOp::Seq {
                 start: start as u32,
@@ -701,9 +704,17 @@ fn window(
 
 /// Pre-decode the whole program. Returns `(dense ops, original pc of each
 /// window start, micro-op pool, fused-window count)`, or `None` when the
-/// program has an out-of-range jump target.
+/// program has an out-of-range jump target. `pair` rewrites windows with
+/// the pair/triple superinstruction tables (the fast path wants them; the
+/// jit translator consumes raw micro-op kinds and derives the same window
+/// layout with `pair = false`, which keeps its block boundaries — and so
+/// its fault pcs and `max_steps` check points — identical to the fast
+/// path's).
 #[allow(clippy::type_complexity)]
-fn predecode(program: &[Inst]) -> Option<(Vec<DenseOp>, Vec<u32>, Vec<Micro>, usize)> {
+pub(super) fn predecode(
+    program: &[Inst],
+    pair: bool,
+) -> Option<(Vec<DenseOp>, Vec<u32>, Vec<Micro>, usize)> {
     if !targets_in_range(program) {
         return None;
     }
@@ -733,7 +744,7 @@ fn predecode(program: &[Inst]) -> Option<(Vec<DenseOp>, Vec<u32>, Vec<Micro>, us
         let mut pc = 0usize;
         while pc < len {
             map[pc] = dense.len() as u32;
-            match window(program, pc, &boundary, &forced, &mut micro) {
+            match window(program, pc, &boundary, &forced, &mut micro, pair) {
                 Ok((op, w)) => {
                     if w > 1 {
                         fused += 1;
@@ -816,7 +827,7 @@ impl Prepared {
             race_free: false,
         };
         if verified && frame.is_some() {
-            if let Some((dense, orig_pc, micro, fused)) = predecode(&p.program) {
+            if let Some((dense, orig_pc, micro, fused)) = predecode(&p.program, true) {
                 p.dense = dense;
                 p.orig_pc = orig_pc;
                 p.micro = micro;
@@ -847,6 +858,22 @@ impl Prepared {
             && self.entry.iter().all(|&(r, v)| m.regs[r as usize] == v)
     }
 
+    /// Evaluate the launch-entry check once and cache the verdict. The
+    /// program image — and with it the declared WRAM frame and the entry
+    /// constants the verifier assumed — is immutable per rank plan, so a
+    /// dispatcher that launches the same kernel with the same entry state
+    /// (pc 0, the spec's known input registers, a WRAM buffer of at least
+    /// `wram_len` bytes) need not re-scan the entry constants on every
+    /// launch: compute the gate at prepare time and pass it to
+    /// [`Machine::run_prepared_gated`]. The gate is only valid for launches
+    /// whose entry state matches the one it was computed from (debug builds
+    /// assert this).
+    pub fn entry_gate(&self, m: &Machine, wram_len: usize) -> EntryGate {
+        EntryGate {
+            fast: self.fast_path_active(m, wram_len),
+        }
+    }
+
     /// Record that [`crate::isa::wcet::prove_partition`] succeeded for the
     /// tasklet layout this kernel ships with: its WRAM accesses are
     /// statically race-free, so production launches may run without the
@@ -874,6 +901,24 @@ impl Prepared {
         } else {
             self.program.len()
         }
+    }
+}
+
+/// A cached launch-entry verdict from [`Prepared::entry_gate`] or
+/// [`crate::isa::Jit::entry_gate`]: whether launches with the entry state
+/// it was computed from may take the dense/translated path. Hoisting the
+/// per-launch entry-constant scan to prepare time is safe because the
+/// program image is immutable per rank plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryGate {
+    pub(super) fast: bool,
+}
+
+impl EntryGate {
+    /// Does the gated launch take the dense/translated path (vs the
+    /// checked fallback)?
+    pub fn fast(self) -> bool {
+        self.fast
     }
 }
 
@@ -1006,6 +1051,29 @@ impl Machine {
         max_steps: u64,
     ) -> Result<RunStats, IsaError> {
         if prep.fast_path_active(self, wram.len()) {
+            self.run_dense(prep, wram, max_steps)
+        } else {
+            self.run(&prep.program, wram, max_steps)
+        }
+    }
+
+    /// [`Machine::run_prepared`] with the entry check hoisted: `gate` is a
+    /// verdict cached by [`Prepared::entry_gate`] for this launch's entry
+    /// state. The caller attests the state matches (same pc 0, entry
+    /// registers, and a WRAM buffer no smaller than the gate was computed
+    /// for); debug builds re-verify.
+    pub fn run_prepared_gated(
+        &mut self,
+        prep: &Prepared,
+        gate: EntryGate,
+        wram: &mut [u8],
+        max_steps: u64,
+    ) -> Result<RunStats, IsaError> {
+        if gate.fast {
+            debug_assert!(
+                prep.fast_path_active(self, wram.len()),
+                "stale EntryGate: launch entry state no longer matches"
+            );
             self.run_dense(prep, wram, max_steps)
         } else {
             self.run(&prep.program, wram, max_steps)
@@ -1523,7 +1591,8 @@ mod tests {
     /// Force the dense path regardless of verification, for pattern-level
     /// equivalence tests on arbitrary snippets.
     fn prepared_forced(program: Vec<Inst>) -> Prepared {
-        let (dense, orig_pc, micro, fused) = predecode(&program).expect("program pre-decodes");
+        let (dense, orig_pc, micro, fused) =
+            predecode(&program, true).expect("program pre-decodes");
         Prepared {
             program,
             dense,

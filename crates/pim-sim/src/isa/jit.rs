@@ -1,0 +1,1702 @@
+//! The block-translating JIT tier: verifier-clean programs lowered
+//! block-by-block into native executor calls over pre-resolved operands.
+//!
+//! This is the third interpreter tier, above [`super::interp`] (the checked
+//! oracle) and [`super::fastpath`] (the fused micro-op fast path). Where
+//! the fast path still *interprets* — one jump-table dispatch per micro-op,
+//! a `last`-result side channel for fused branches, packed skip spans — the
+//! jit *translates* at prepare time:
+//!
+//! * **Blocks, not micro-ops, are the unit of dispatch.** Each basic block
+//!   (the same extended-basic-block windows the fast path derives — the
+//!   jit re-runs [`super::fastpath::predecode`] with superinstruction
+//!   pairing disabled, so block boundaries, fault pcs and `max_steps`
+//!   check points are identical) is lowered once into a flat array of
+//!   [`JitOp`]s and executed by a native block function; the top-level
+//!   loop is a computed dispatch over block indices.
+//! * **Fused branches are compiled into their ALU op.** The checked
+//!   interpreter's ALU-with-fused-jump becomes a single `F*` op that
+//!   computes, writes the destination slot, and branches on the result it
+//!   just produced — no pseudo-op, no `last` tracking.
+//! * **Operands are pre-resolved.** Register numbers are direct slot
+//!   indices into a 32-slot working file (masked, so the compiler drops
+//!   every bounds check); the register-vs-immediate shape is folded into
+//!   the op kind; skip spans and retired-instruction weights are plain
+//!   `u16` fields instead of bit-packed immediates.
+//! * **WRAM accesses are base+offset loads against the pre-validated
+//!   frame** with exactly one backstop bounds check per access (bounds
+//!   first, then alignment — the same order, and therefore the same
+//!   [`IsaError`] at the same original pc, as the checked interpreter).
+//!   After the check passes the access itself is direct.
+//! * **Self-loop blocks run their iterations natively.** A block ending in
+//!   a fused back-edge to itself — the shape of every band inner loop —
+//!   re-enters its block function without returning to the dispatch loop,
+//!   re-checking the step budget once per iteration exactly where the fast
+//!   path re-checks it per window.
+//!
+//! The gate is the same as the fast path's: zero verifier errors, a
+//! declared WRAM frame, and matching entry state. Programs that fail it
+//! fall back to the checked interpreter. Completed runs are bit-identical
+//! to the checked tier — registers, WRAM, halt pc and [`RunStats`] — and
+//! the retired-instruction accounting is exact, so the WCET
+//! `dynamic_static_ratio <= 1.0` gate holds unchanged. The documented
+//! divergence is shared with the fast path: `max_steps` is re-checked per
+//! block, so a runaway program may retire up to one block's worth of extra
+//! ops before the same [`IsaError::MaxSteps`] fires.
+
+use super::fastpath::{
+    predecode, AluSpec, DenseOp, EntryGate, LoadSpec, Micro, MicroKind, SeqTerm,
+};
+use super::inst::{alu_eval, AluOp, FuseCond, Inst, JumpCond, Operand, NUM_REGS};
+use super::interp::{watchdog_steps, IsaError, Machine, RunStats};
+use super::verify::{error_count, verify, VerifySpec};
+
+/// Translated-op discriminant: the ALU opcode, the register-vs-immediate
+/// operand shape, and (for `F*` kinds) the presence of a fused in-block
+/// branch are all folded into one tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JitKind {
+    AddRI,
+    AddRR,
+    SubRI,
+    SubRR,
+    AndRI,
+    AndRR,
+    OrRI,
+    OrRR,
+    XorRI,
+    XorRR,
+    LslRI,
+    LslRR,
+    LsrRI,
+    LsrRR,
+    AsrRI,
+    AsrRR,
+    MaxRI,
+    MaxRR,
+    Cmpb4RI,
+    Cmpb4RR,
+    MoveRI,
+    MoveRR,
+    /// ALU with a fused in-block branch on its own result (`aux` holds the
+    /// [`FuseCond`] code, `skip`/`weight` the span).
+    FAddRI,
+    FAddRR,
+    FSubRI,
+    FSubRR,
+    FAndRI,
+    FAndRR,
+    FOrRI,
+    FOrRR,
+    FXorRI,
+    FXorRR,
+    FLslRI,
+    FLslRR,
+    FLsrRI,
+    FLsrRR,
+    FAsrRI,
+    FAsrRR,
+    FMaxRI,
+    FMaxRR,
+    FCmpb4RI,
+    FCmpb4RR,
+    FMoveRI,
+    FMoveRR,
+    /// Memory ops: `rd` data slot, `ra` base slot, `imm` offset, `aux` the
+    /// instruction's offset from the block start (the fault pc).
+    Lw,
+    Sw,
+    Lbu,
+    Sb,
+    /// Unconditional short forward hop inside the block.
+    JmpF,
+    /// In-block conditional skips (`ra` vs `imm` or `ra` vs `rb`).
+    SkipEqRI,
+    SkipEqRR,
+    SkipNeRI,
+    SkipNeRR,
+    SkipLtRI,
+    SkipLtRR,
+    SkipLeRI,
+    SkipLeRR,
+    SkipGtRI,
+    SkipGtRR,
+    SkipGeRI,
+    SkipGeRR,
+    /// Multi-op templates ([`template_window`]): the head slot's kind is
+    /// rewritten, member slots keep their original single-op kinds (so a
+    /// skip landing mid-template executes the members standalone), and the
+    /// executor reads member operands from the neighbouring slots. The
+    /// `TSel`/`TDia`/`TMask` forms compile the ISA's compare-and-select
+    /// idiom — a fused branch over a move diamond — into straight-line
+    /// conditional moves: no dispatch per member, no data-dependent branch.
+    ///
+    /// `[FSubRR(c, skip=1), MoveRR]` — two-way select.
+    TSelSubRR,
+    /// `[FSubRR(c, skip=2), MoveRR, MoveRI]` — select plus flag constant.
+    TSel2SubRR,
+    /// `[FSubRR(c, skip=1), JmpF(skip=1), MoveRR]` — if/else diamond.
+    TDia1SubRR,
+    /// `[FSubRR(c, skip=2), OrRI, JmpF(skip=1), MoveRR]` — diamond whose
+    /// else-arm also accumulates a flag bit.
+    TDia2SubRR,
+    /// `[FAndRI(c, skip=3), MoveRI, MoveRI, JmpF(skip=2), MoveRI, MoveRI]`
+    /// with matching destinations — the mask-test diamond that selects two
+    /// constants (the `cmpb4`-consumer idiom).
+    TMaskAndRI,
+    /// Adjacent-op pairs (one dispatch, two ops).
+    TLwLw,
+    TLwAddRI,
+    TSwLw,
+    TLbuLbu,
+    TOrRRSb,
+    TAddRIAddRI,
+    TAddRIMoveRI,
+    /// Level-2 triples over the level-1 stream (loop headers and tails):
+    /// three loads, `cmpb4` plus two pointer bumps, two bumps plus the
+    /// counter decrement.
+    T3Lw,
+    TCmp4Add2,
+    TAdd2Sub,
+    /// Whole-cell superop: the banded-NW compare-and-select cell idiom
+    /// (mask-test score select, D/I gap selects with flag bits, H max
+    /// select, three stores and a traceback byte — 34 slots). Matched
+    /// against the level-1 template stream by [`match_cell`], which pins
+    /// the complete register dataflow so the executor can keep D/I/H and
+    /// the flag byte in locals while committing every architectural write
+    /// eagerly (faults observe exact intermediate state).
+    TCellNw,
+}
+
+/// One translated operation. 16 bytes, stored contiguously per block.
+/// Every operand is pre-resolved: register numbers are direct slot
+/// indices, spans/weights are unpacked fields.
+#[derive(Debug, Clone, Copy)]
+struct JitOp {
+    kind: JitKind,
+    rd: u8,
+    ra: u8,
+    rb: u8,
+    imm: i32,
+    /// Ops to skip when a fused branch / skip is taken.
+    skip: u16,
+    /// Retired-instruction weight of the skipped span.
+    weight: u16,
+    /// Fuse condition code (`F*` kinds) or fault-pc offset (memory kinds).
+    aux: u8,
+}
+
+/// How a translated block hands control back to the dispatch loop.
+#[derive(Debug, Clone, Copy)]
+enum JTerm {
+    /// Fall through to the next block.
+    Fall,
+    /// The program halts (charges the halt's issue slot).
+    Halt,
+    /// Unconditional jump (a single-`Jmp` block).
+    Jmp { target: u32 },
+    /// The block's final op is an ALU whose fused branch leaves the block;
+    /// `rr` is that ALU's destination slot — the result to branch on.
+    Fuse { cond: FuseCond, rr: u8, target: u32 },
+    /// One trailing compare-and-branch (charged as its own issue slot).
+    Jcc {
+        cond: JumpCond,
+        ra: u8,
+        b: Operand,
+        target: u32,
+    },
+}
+
+/// Exit status of one block execution.
+enum BlockExit {
+    /// Ran to the terminator; `skipped` retired-instruction weight was
+    /// jumped over by taken in-block branches.
+    Done { skipped: u64 },
+    /// A memory op faulted `woff` instructions into the block.
+    Fault { woff: usize, err: IsaError },
+}
+
+/// One translated basic block: a slice of the shared op pool plus its bulk
+/// accounting and terminator.
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    start: u32,
+    len: u16,
+    /// Original instructions covered (bulk-charged minus skipped weight).
+    ilen: u16,
+    /// Memory ops (bulk-charged; skips never span memory ops).
+    mem: u16,
+    term: JTerm,
+}
+
+/// Working register file: 32 slots indexed with `reg & 31` so every access
+/// compiles without a bounds check (real registers are `< NUM_REGS = 24`).
+type JitRegs = [u32; 32];
+
+#[inline(always)]
+fn rget(regs: &JitRegs, r: u8) -> u32 {
+    regs[(r & 31) as usize]
+}
+
+#[inline(always)]
+fn opval(regs: &JitRegs, b: Operand) -> u32 {
+    match b {
+        Operand::Reg(r) => rget(regs, r.0),
+        Operand::Imm(i) => i as u32,
+    }
+}
+
+#[inline(always)]
+fn fuse_holds(code: u8, v: u32) -> bool {
+    match code {
+        0 => v == 0,
+        1 => v != 0,
+        2 => (v as i32) < 0,
+        3 => (v as i32) >= 0,
+        4 => v.is_multiple_of(2),
+        _ => v % 2 == 1,
+    }
+}
+
+/// Load a word with the single backstop bounds check (bounds first, then
+/// alignment — the checked interpreter's error order). After the check the
+/// access is direct.
+#[inline(always)]
+fn lw_at(wram: &[u8], base: u32, off: i32) -> Result<u32, IsaError> {
+    let size = wram.len();
+    let addr = (i64::from(base) + i64::from(off)) as usize;
+    if size < 4 || addr > size - 4 {
+        return Err(IsaError::MemOutOfBounds { addr, len: 4, size });
+    }
+    if !addr.is_multiple_of(4) {
+        return Err(IsaError::Misaligned { addr });
+    }
+    // SAFETY: `addr + 4 <= size` established by the backstop check above.
+    let v = unsafe { wram.as_ptr().add(addr).cast::<[u8; 4]>().read() };
+    Ok(u32::from_le_bytes(v))
+}
+
+#[inline(always)]
+fn sw_at(wram: &mut [u8], base: u32, off: i32, v: u32) -> Result<(), IsaError> {
+    let size = wram.len();
+    let addr = (i64::from(base) + i64::from(off)) as usize;
+    if size < 4 || addr > size - 4 {
+        return Err(IsaError::MemOutOfBounds { addr, len: 4, size });
+    }
+    if !addr.is_multiple_of(4) {
+        return Err(IsaError::Misaligned { addr });
+    }
+    // SAFETY: `addr + 4 <= size` established by the backstop check above.
+    unsafe {
+        wram.as_mut_ptr()
+            .add(addr)
+            .cast::<[u8; 4]>()
+            .write(v.to_le_bytes());
+    }
+    Ok(())
+}
+
+#[inline(always)]
+fn lbu_at(wram: &[u8], base: u32, off: i32) -> Result<u32, IsaError> {
+    let size = wram.len();
+    let addr = (i64::from(base) + i64::from(off)) as usize;
+    if addr >= size {
+        return Err(IsaError::MemOutOfBounds { addr, len: 1, size });
+    }
+    // SAFETY: `addr < size` established by the backstop check above.
+    Ok(u32::from(unsafe { *wram.get_unchecked(addr) }))
+}
+
+#[inline(always)]
+fn sb_at(wram: &mut [u8], base: u32, off: i32, v: u32) -> Result<(), IsaError> {
+    let size = wram.len();
+    let addr = (i64::from(base) + i64::from(off)) as usize;
+    if addr >= size {
+        return Err(IsaError::MemOutOfBounds { addr, len: 1, size });
+    }
+    // SAFETY: `addr < size` established by the backstop check above.
+    unsafe {
+        *wram.get_unchecked_mut(addr) = v as u8;
+    }
+    Ok(())
+}
+
+#[inline(always)]
+fn j_lw(regs: &mut JitRegs, wram: &[u8], o: JitOp) -> Result<(), IsaError> {
+    let v = lw_at(wram, rget(regs, o.ra), o.imm)?;
+    regs[(o.rd & 31) as usize] = v;
+    Ok(())
+}
+
+#[inline(always)]
+fn j_sw(regs: &JitRegs, wram: &mut [u8], o: JitOp) -> Result<(), IsaError> {
+    sw_at(wram, rget(regs, o.ra), o.imm, rget(regs, o.rd))
+}
+
+#[inline(always)]
+fn j_lbu(regs: &mut JitRegs, wram: &[u8], o: JitOp) -> Result<(), IsaError> {
+    let v = lbu_at(wram, rget(regs, o.ra), o.imm)?;
+    regs[(o.rd & 31) as usize] = v;
+    Ok(())
+}
+
+#[inline(always)]
+fn j_sb(regs: &JitRegs, wram: &mut [u8], o: JitOp) -> Result<(), IsaError> {
+    sb_at(wram, rget(regs, o.ra), o.imm, rget(regs, o.rd))
+}
+
+/// Pre-extracted operands of one [`JitKind::TCellNw`] superop: everything
+/// the executor needs, unpacked from the 34 member slots at translation
+/// time into two cache lines. The head slot's `imm` indexes into the
+/// [`Jit`]'s `CellOp` table. `woff_*` fields are the member instructions'
+/// fault-pc offsets from the block start.
+#[derive(Debug, Clone, Copy)]
+struct CellOp {
+    // Mask diamond: z = mr & mask, then score/traceback constants.
+    mask: i32,
+    mcond: u8,
+    z: u8,
+    sc_rd: u8,
+    bt_rd: u8,
+    sc_mis: i32,
+    sc_mat: i32,
+    bt_mis: i32,
+    bt_mat: i32,
+    // D: load + gap-extend bump vs. gap-open rival, flag select.
+    x: u8,
+    woff_d: u8,
+    off_d: i32,
+    d_rd: u8,
+    ge: i32,
+    h_src: u8,
+    t_rd: u8,
+    goge: i32,
+    fl_rd: u8,
+    f_ext: i32,
+    c_d: u8,
+    f_open: i32,
+    woff_dc: u8,
+    off_dc: i32,
+    // I: loads, bumps, diamond with flag accumulation.
+    woff_i: u8,
+    off_i: i32,
+    i_rd: u8,
+    woff_hn: u8,
+    off_hn: i32,
+    hn_rd: u8,
+    ge2: i32,
+    t2_rd: u8,
+    goge2: i32,
+    c_i: u8,
+    f_iext: i32,
+    woff_ic: u8,
+    off_ic: i32,
+    // H: diag + score, two selects with traceback codes.
+    woff_h2: u8,
+    off_h2: i32,
+    g_rd: u8,
+    c_h1: u8,
+    bt_d: i32,
+    c_h2: u8,
+    bt_i: i32,
+    woff_hc: u8,
+    off_hc: i32,
+    // Traceback byte store.
+    p: u8,
+    off_p: i32,
+    woff_p: u8,
+}
+
+/// The general block executor. Per op: one jump-table dispatch over fully
+/// pre-resolved fields; fused branches and conditional skips advance the
+/// op index directly with precomputed spans.
+fn exec_general(
+    ops: &[JitOp],
+    cells: &[CellOp],
+    regs: &mut JitRegs,
+    wram: &mut [u8],
+    stats: &mut RunStats,
+) -> BlockExit {
+    use JitKind as K;
+    // Branch outcomes accumulate in locals and fold into `stats` once per
+    // block — no per-op memory traffic on the counters.
+    let mut skipped = 0u64;
+    let mut jumps = 0u64;
+    let mut i = 0usize;
+    while i < ops.len() {
+        let o = ops[i];
+        // Plain ALU: compute and store.
+        macro_rules! alu {
+            ($v:expr) => {{
+                regs[(o.rd & 31) as usize] = $v;
+            }};
+        }
+        // ALU with compiled-in fused branch: compute, store, branch on the
+        // result just produced (no `last` side channel).
+        macro_rules! falu {
+            ($v:expr) => {{
+                let r = $v;
+                regs[(o.rd & 31) as usize] = r;
+                if fuse_holds(o.aux, r) {
+                    jumps += 1;
+                    skipped += u64::from(o.weight);
+                    i += usize::from(o.skip);
+                }
+            }};
+        }
+        macro_rules! skip {
+            ($cond:expr) => {{
+                if $cond {
+                    jumps += 1;
+                    skipped += u64::from(o.weight);
+                    i += usize::from(o.skip);
+                }
+            }};
+        }
+        macro_rules! mem {
+            ($op:expr, $res:expr) => {
+                if let Err(err) = $res {
+                    stats.taken_jumps += jumps;
+                    return BlockExit::Fault {
+                        woff: usize::from($op.aux),
+                        err,
+                    };
+                }
+            };
+        }
+        // Member slot of a multi-op template. SAFETY: the template matcher
+        // only rewrites a head slot when all its members fit the window.
+        macro_rules! member {
+            ($k:expr) => {
+                unsafe { *ops.get_unchecked(i + $k) }
+            };
+        }
+        let a = rget(regs, o.ra);
+        match o.kind {
+            K::AddRI => alu!(a.wrapping_add(o.imm as u32)),
+            K::AddRR => alu!(a.wrapping_add(rget(regs, o.rb))),
+            K::SubRI => alu!(a.wrapping_sub(o.imm as u32)),
+            K::SubRR => alu!(a.wrapping_sub(rget(regs, o.rb))),
+            K::AndRI => alu!(a & o.imm as u32),
+            K::AndRR => alu!(a & rget(regs, o.rb)),
+            K::OrRI => alu!(a | o.imm as u32),
+            K::OrRR => alu!(a | rget(regs, o.rb)),
+            K::XorRI => alu!(a ^ o.imm as u32),
+            K::XorRR => alu!(a ^ rget(regs, o.rb)),
+            K::LslRI => alu!(a.wrapping_shl(o.imm as u32 & 31)),
+            K::LslRR => alu!(a.wrapping_shl(rget(regs, o.rb) & 31)),
+            K::LsrRI => alu!(a.wrapping_shr(o.imm as u32 & 31)),
+            K::LsrRR => alu!(a.wrapping_shr(rget(regs, o.rb) & 31)),
+            K::AsrRI => alu!((a as i32).wrapping_shr(o.imm as u32 & 31) as u32),
+            K::AsrRR => alu!((a as i32).wrapping_shr(rget(regs, o.rb) & 31) as u32),
+            K::MaxRI => alu!((a as i32).max(o.imm) as u32),
+            K::MaxRR => alu!((a as i32).max(rget(regs, o.rb) as i32) as u32),
+            K::Cmpb4RI => alu!(alu_eval(AluOp::Cmpb4, a, o.imm as u32)),
+            K::Cmpb4RR => alu!(alu_eval(AluOp::Cmpb4, a, rget(regs, o.rb))),
+            K::MoveRI => alu!(o.imm as u32),
+            K::MoveRR => alu!(rget(regs, o.rb)),
+            K::FAddRI => falu!(a.wrapping_add(o.imm as u32)),
+            K::FAddRR => falu!(a.wrapping_add(rget(regs, o.rb))),
+            K::FSubRI => falu!(a.wrapping_sub(o.imm as u32)),
+            K::FSubRR => falu!(a.wrapping_sub(rget(regs, o.rb))),
+            K::FAndRI => falu!(a & o.imm as u32),
+            K::FAndRR => falu!(a & rget(regs, o.rb)),
+            K::FOrRI => falu!(a | o.imm as u32),
+            K::FOrRR => falu!(a | rget(regs, o.rb)),
+            K::FXorRI => falu!(a ^ o.imm as u32),
+            K::FXorRR => falu!(a ^ rget(regs, o.rb)),
+            K::FLslRI => falu!(a.wrapping_shl(o.imm as u32 & 31)),
+            K::FLslRR => falu!(a.wrapping_shl(rget(regs, o.rb) & 31)),
+            K::FLsrRI => falu!(a.wrapping_shr(o.imm as u32 & 31)),
+            K::FLsrRR => falu!(a.wrapping_shr(rget(regs, o.rb) & 31)),
+            K::FAsrRI => falu!((a as i32).wrapping_shr(o.imm as u32 & 31) as u32),
+            K::FAsrRR => falu!((a as i32).wrapping_shr(rget(regs, o.rb) & 31) as u32),
+            K::FMaxRI => falu!((a as i32).max(o.imm) as u32),
+            K::FMaxRR => falu!((a as i32).max(rget(regs, o.rb) as i32) as u32),
+            K::FCmpb4RI => falu!(alu_eval(AluOp::Cmpb4, a, o.imm as u32)),
+            K::FCmpb4RR => falu!(alu_eval(AluOp::Cmpb4, a, rget(regs, o.rb))),
+            K::FMoveRI => falu!(o.imm as u32),
+            K::FMoveRR => falu!(rget(regs, o.rb)),
+            K::Lw => mem!(o, j_lw(regs, wram, o)),
+            K::Sw => mem!(o, j_sw(regs, wram, o)),
+            K::Lbu => mem!(o, j_lbu(regs, wram, o)),
+            K::Sb => mem!(o, j_sb(regs, wram, o)),
+            K::JmpF => {
+                jumps += 1;
+                skipped += u64::from(o.weight);
+                i += usize::from(o.skip);
+            }
+            K::SkipEqRI => skip!((a as i32) == o.imm),
+            K::SkipEqRR => skip!((a as i32) == rget(regs, o.rb) as i32),
+            K::SkipNeRI => skip!((a as i32) != o.imm),
+            K::SkipNeRR => skip!((a as i32) != rget(regs, o.rb) as i32),
+            K::SkipLtRI => skip!((a as i32) < o.imm),
+            K::SkipLtRR => skip!((a as i32) < rget(regs, o.rb) as i32),
+            K::SkipLeRI => skip!((a as i32) <= o.imm),
+            K::SkipLeRR => skip!((a as i32) <= rget(regs, o.rb) as i32),
+            K::SkipGtRI => skip!((a as i32) > o.imm),
+            K::SkipGtRR => skip!((a as i32) > rget(regs, o.rb) as i32),
+            K::SkipGeRI => skip!((a as i32) >= o.imm),
+            K::SkipGeRR => skip!((a as i32) >= rget(regs, o.rb) as i32),
+            K::TSelSubRR => {
+                // [FSubRR cond, MoveRR x,y]: taken fuse skips the move.
+                let r = a.wrapping_sub(rget(regs, o.rb));
+                regs[(o.rd & 31) as usize] = r;
+                let m = member!(1);
+                let t = fuse_holds(o.aux, r);
+                jumps += u64::from(t);
+                skipped += u64::from(t) * u64::from(o.weight);
+                regs[(m.rd & 31) as usize] = if t {
+                    rget(regs, m.rd)
+                } else {
+                    rget(regs, m.rb)
+                };
+                i += 1;
+            }
+            K::TSel2SubRR => {
+                // [FSubRR cond, MoveRR x,y, MoveRI z,k]: taken skips both.
+                let r = a.wrapping_sub(rget(regs, o.rb));
+                regs[(o.rd & 31) as usize] = r;
+                let m1 = member!(1);
+                let m2 = member!(2);
+                let t = fuse_holds(o.aux, r);
+                jumps += u64::from(t);
+                skipped += u64::from(t) * u64::from(o.weight);
+                regs[(m1.rd & 31) as usize] = if t {
+                    rget(regs, m1.rd)
+                } else {
+                    rget(regs, m1.rb)
+                };
+                regs[(m2.rd & 31) as usize] = if t { rget(regs, m2.rd) } else { m2.imm as u32 };
+                i += 2;
+            }
+            K::TDia1SubRR => {
+                // [FSubRR cond, JmpF, MoveRR x,y]: one arm executes the
+                // move, the other the forward hop — a jump either way.
+                let r = a.wrapping_sub(rget(regs, o.rb));
+                regs[(o.rd & 31) as usize] = r;
+                let j = member!(1);
+                let m = member!(2);
+                let t = fuse_holds(o.aux, r);
+                jumps += 1;
+                skipped += u64::from(if t { o.weight } else { j.weight });
+                regs[(m.rd & 31) as usize] = if t {
+                    rget(regs, m.rb)
+                } else {
+                    rget(regs, m.rd)
+                };
+                i += 2;
+            }
+            K::TDia2SubRR => {
+                // [FSubRR cond, OrRI f, JmpF, MoveRR x,y]: the else-arm
+                // accumulates a flag bit before hopping over the move.
+                let r = a.wrapping_sub(rget(regs, o.rb));
+                regs[(o.rd & 31) as usize] = r;
+                let f = member!(1);
+                let j = member!(2);
+                let m = member!(3);
+                let t = fuse_holds(o.aux, r);
+                jumps += 1;
+                skipped += u64::from(if t { o.weight } else { j.weight });
+                regs[(f.rd & 31) as usize] = if t {
+                    rget(regs, f.rd)
+                } else {
+                    rget(regs, f.ra) | f.imm as u32
+                };
+                regs[(m.rd & 31) as usize] = if t {
+                    rget(regs, m.rb)
+                } else {
+                    rget(regs, m.rd)
+                };
+                i += 3;
+            }
+            K::TMaskAndRI => {
+                // [FAndRI cond, MoveRI d1,k1, MoveRI d2,k2, JmpF,
+                //  MoveRI d1,k3, MoveRI d2,k4]: two constants selected by
+                // the mask test (matcher checked the destinations line up).
+                let r = a & o.imm as u32;
+                regs[(o.rd & 31) as usize] = r;
+                let m1 = member!(1);
+                let m2 = member!(2);
+                let j = member!(3);
+                let m4 = member!(4);
+                let m5 = member!(5);
+                let t = fuse_holds(o.aux, r);
+                jumps += 1;
+                skipped += u64::from(if t { o.weight } else { j.weight });
+                regs[(m1.rd & 31) as usize] = (if t { m4.imm } else { m1.imm }) as u32;
+                regs[(m2.rd & 31) as usize] = (if t { m5.imm } else { m2.imm }) as u32;
+                i += 5;
+            }
+            K::TLwLw => {
+                mem!(o, j_lw(regs, wram, o));
+                let m = member!(1);
+                mem!(m, j_lw(regs, wram, m));
+                i += 1;
+            }
+            K::TLwAddRI => {
+                mem!(o, j_lw(regs, wram, o));
+                let m = member!(1);
+                let v = rget(regs, m.ra).wrapping_add(m.imm as u32);
+                regs[(m.rd & 31) as usize] = v;
+                i += 1;
+            }
+            K::TSwLw => {
+                mem!(o, j_sw(regs, wram, o));
+                let m = member!(1);
+                mem!(m, j_lw(regs, wram, m));
+                i += 1;
+            }
+            K::TLbuLbu => {
+                mem!(o, j_lbu(regs, wram, o));
+                let m = member!(1);
+                mem!(m, j_lbu(regs, wram, m));
+                i += 1;
+            }
+            K::TOrRRSb => {
+                regs[(o.rd & 31) as usize] = a | rget(regs, o.rb);
+                let m = member!(1);
+                mem!(m, j_sb(regs, wram, m));
+                i += 1;
+            }
+            K::TAddRIAddRI => {
+                regs[(o.rd & 31) as usize] = a.wrapping_add(o.imm as u32);
+                let m = member!(1);
+                let v = rget(regs, m.ra).wrapping_add(m.imm as u32);
+                regs[(m.rd & 31) as usize] = v;
+                i += 1;
+            }
+            K::TAddRIMoveRI => {
+                regs[(o.rd & 31) as usize] = a.wrapping_add(o.imm as u32);
+                let m = member!(1);
+                regs[(m.rd & 31) as usize] = m.imm as u32;
+                i += 1;
+            }
+            K::T3Lw => {
+                mem!(o, j_lw(regs, wram, o));
+                let m1 = member!(1);
+                mem!(m1, j_lw(regs, wram, m1));
+                let m2 = member!(2);
+                mem!(m2, j_lw(regs, wram, m2));
+                i += 2;
+            }
+            K::TCmp4Add2 => {
+                regs[(o.rd & 31) as usize] = alu_eval(AluOp::Cmpb4, a, rget(regs, o.rb));
+                let m1 = member!(1);
+                regs[(m1.rd & 31) as usize] = rget(regs, m1.ra).wrapping_add(m1.imm as u32);
+                let m2 = member!(2);
+                regs[(m2.rd & 31) as usize] = rget(regs, m2.ra).wrapping_add(m2.imm as u32);
+                i += 2;
+            }
+            K::TAdd2Sub => {
+                regs[(o.rd & 31) as usize] = a.wrapping_add(o.imm as u32);
+                let m1 = member!(1);
+                regs[(m1.rd & 31) as usize] = rget(regs, m1.ra).wrapping_add(m1.imm as u32);
+                let m2 = member!(2);
+                regs[(m2.rd & 31) as usize] = rget(regs, m2.ra).wrapping_sub(m2.imm as u32);
+                i += 2;
+            }
+            K::TCellNw => {
+                // One banded-NW cell (34 slots, see `match_cell`). All
+                // operands come pre-extracted from the side table — no
+                // member-slot reads on the hot path. D/I/H, the score and
+                // the flag/traceback bytes live in locals; `regs` commits
+                // are batched at the fault boundaries (the stores), in
+                // program write order, so a faulting access observes
+                // exactly the checked interpreter's intermediate state.
+                // The branch weights (3/2/2/2/1/2/2) are pinned by the
+                // level-1 matchers, so the accounting uses them directly.
+                // SAFETY: `imm` was set to the table index at match time.
+                let c = unsafe { cells.get_unchecked(o.imm as usize) };
+                macro_rules! cmem {
+                    ($woff:expr, $res:expr) => {
+                        match $res {
+                            Ok(v) => v,
+                            Err(err) => {
+                                stats.taken_jumps += jumps;
+                                return BlockExit::Fault {
+                                    woff: usize::from($woff),
+                                    err,
+                                };
+                            }
+                        }
+                    };
+                }
+                // Mask diamond: select substitution score + traceback seed.
+                let r = a & c.mask as u32;
+                let t0 = fuse_holds(c.mcond, r);
+                jumps += 1;
+                skipped += if t0 { 3 } else { 2 };
+                let sc = (if t0 { c.sc_mat } else { c.sc_mis }) as u32;
+                let mut bt = (if t0 { c.bt_mat } else { c.bt_mis }) as u32;
+                regs[(c.z & 31) as usize] = r;
+                regs[(c.sc_rd & 31) as usize] = sc;
+                regs[(c.bt_rd & 31) as usize] = bt;
+                // The shared row base is pinned never-written inside the
+                // cell, so one read serves every access.
+                let xv = rget(regs, c.x);
+                // D candidate: gap-extend load + bump, gap-open rival.
+                let mut d = cmem!(c.woff_d, lw_at(wram, xv, c.off_d)).wrapping_add(c.ge as u32);
+                // Commit the pre-select D before the rival reads its
+                // source — the carrier may alias it.
+                regs[(c.d_rd & 31) as usize] = d;
+                let t = rget(regs, c.h_src).wrapping_add(c.goge as u32);
+                let z1 = d.wrapping_sub(t);
+                let t1 = fuse_holds(c.c_d, z1);
+                jumps += u64::from(t1);
+                skipped += u64::from(t1) * 2;
+                let mut fl = (if t1 { c.f_ext } else { c.f_open }) as u32;
+                if !t1 {
+                    d = t;
+                }
+                regs[(c.d_rd & 31) as usize] = d;
+                regs[(c.t_rd & 31) as usize] = t;
+                regs[(c.fl_rd & 31) as usize] = fl;
+                regs[(c.z & 31) as usize] = z1;
+                // Store D, load I row and next H-prev carrier.
+                cmem!(c.woff_dc, sw_at(wram, xv, c.off_dc, d));
+                let iraw = cmem!(c.woff_i, lw_at(wram, xv, c.off_i));
+                // A fault at the very next load observes the raw I value.
+                regs[(c.i_rd & 31) as usize] = iraw;
+                let hn = cmem!(c.woff_hn, lw_at(wram, xv, c.off_hn));
+                let mut iv = iraw.wrapping_add(c.ge2 as u32);
+                let t2 = hn.wrapping_add(c.goge2 as u32);
+                // I diamond: rival wins or the flag accumulates a bit.
+                let z2 = iv.wrapping_sub(t2);
+                let tc = fuse_holds(c.c_i, z2);
+                jumps += 1;
+                skipped += if tc { 2 } else { 1 };
+                if tc {
+                    iv = t2;
+                } else {
+                    fl |= c.f_iext as u32;
+                }
+                regs[(c.hn_rd & 31) as usize] = hn;
+                regs[(c.i_rd & 31) as usize] = iv;
+                regs[(c.t2_rd & 31) as usize] = t2;
+                regs[(c.fl_rd & 31) as usize] = fl;
+                regs[(c.z & 31) as usize] = z2;
+                // Store I, then H = max(diag + score, D, I) with traceback.
+                cmem!(c.woff_ic, sw_at(wram, xv, c.off_ic, iv));
+                let mut g = cmem!(c.woff_h2, lw_at(wram, xv, c.off_h2)).wrapping_add(sc);
+                let z3 = g.wrapping_sub(d);
+                let t3 = fuse_holds(c.c_h1, z3);
+                jumps += u64::from(t3);
+                skipped += u64::from(t3) * 2;
+                if !t3 {
+                    g = d;
+                    bt = c.bt_d as u32;
+                }
+                let z4 = g.wrapping_sub(iv);
+                let t4 = fuse_holds(c.c_h2, z4);
+                jumps += u64::from(t4);
+                skipped += u64::from(t4) * 2;
+                if !t4 {
+                    g = iv;
+                    bt = c.bt_i as u32;
+                }
+                regs[(c.g_rd & 31) as usize] = g;
+                regs[(c.bt_rd & 31) as usize] = bt;
+                regs[(c.z & 31) as usize] = z4;
+                cmem!(c.woff_hc, sw_at(wram, xv, c.off_hc, g));
+                bt |= fl;
+                regs[(c.bt_rd & 31) as usize] = bt;
+                cmem!(c.woff_p, sb_at(wram, rget(regs, c.p), c.off_p, bt));
+                i += 33;
+            }
+        }
+        i += 1;
+    }
+    stats.taken_jumps += jumps;
+    BlockExit::Done { skipped }
+}
+
+/// Lower one micro-op (unpaired) to its translated form. Spans are patched
+/// by the caller once the slot mapping is final.
+fn base_op(m: Micro) -> JitOp {
+    use JitKind as J;
+    use MicroKind as K;
+    let kind = match m.kind {
+        K::AddRI => J::AddRI,
+        K::AddRR => J::AddRR,
+        K::SubRI => J::SubRI,
+        K::SubRR => J::SubRR,
+        K::AndRI => J::AndRI,
+        K::AndRR => J::AndRR,
+        K::OrRI => J::OrRI,
+        K::OrRR => J::OrRR,
+        K::XorRI => J::XorRI,
+        K::XorRR => J::XorRR,
+        K::LslRI => J::LslRI,
+        K::LslRR => J::LslRR,
+        K::LsrRI => J::LsrRI,
+        K::LsrRR => J::LsrRR,
+        K::AsrRI => J::AsrRI,
+        K::AsrRR => J::AsrRR,
+        K::MaxRI => J::MaxRI,
+        K::MaxRR => J::MaxRR,
+        K::Cmpb4RI => J::Cmpb4RI,
+        K::Cmpb4RR => J::Cmpb4RR,
+        K::MoveRI => J::MoveRI,
+        K::MoveRR => J::MoveRR,
+        K::Lw => J::Lw,
+        K::Sw => J::Sw,
+        K::Lbu => J::Lbu,
+        K::Sb => J::Sb,
+        K::JmpFwd => J::JmpF,
+        K::SkipEqRI => J::SkipEqRI,
+        K::SkipEqRR => J::SkipEqRR,
+        K::SkipNeRI => J::SkipNeRI,
+        K::SkipNeRR => J::SkipNeRR,
+        K::SkipLtRI => J::SkipLtRI,
+        K::SkipLtRR => J::SkipLtRR,
+        K::SkipLeRI => J::SkipLeRI,
+        K::SkipLeRR => J::SkipLeRR,
+        K::SkipGtRI => J::SkipGtRI,
+        K::SkipGtRR => J::SkipGtRR,
+        K::SkipGeRI => J::SkipGeRI,
+        K::SkipGeRR => J::SkipGeRR,
+        // Fuse pseudo-ops are merged into their ALU; pair/triple kinds
+        // never appear (pairing is disabled for the jit's predecode).
+        _ => unreachable!("unexpected micro kind in jit translation: {:?}", m.kind),
+    };
+    let (rd, ra, rb, imm, aux) = match m.kind {
+        // Memory micro-ops carry the fault-pc offset in `rb`.
+        K::Lw | K::Sw | K::Lbu | K::Sb => (m.rd, m.ra, 0, m.imm, m.rb),
+        _ => (m.rd, m.ra, m.rb, m.imm, 0),
+    };
+    JitOp {
+        kind,
+        rd,
+        ra,
+        rb,
+        imm,
+        skip: 0,
+        weight: 0,
+        aux,
+    }
+}
+
+/// Translate one fused window's micro-ops (unpaired) into the op pool.
+/// Fuse pseudo-ops are merged into their preceding ALU; skip spans are
+/// re-expressed in translated-slot units via the slot map.
+fn translate_window(w: &[Micro], pool: &mut Vec<JitOp>, cells: &mut Vec<CellOp>) {
+    use MicroKind as K;
+    let start = pool.len();
+    // Micro slot -> translated slot (merged fuses map to their ALU).
+    let mut jmap = vec![0u32; w.len() + 1];
+    for (s, &m) in w.iter().enumerate() {
+        match m.kind {
+            K::FuseZ | K::FuseNz | K::FuseLtz | K::FuseGez | K::FuseEven | K::FuseOdd => {
+                let j = pool.len() - 1 - start;
+                jmap[s] = j as u32;
+                let cond = match m.kind {
+                    K::FuseZ => 0,
+                    K::FuseNz => 1,
+                    K::FuseLtz => 2,
+                    K::FuseGez => 3,
+                    K::FuseEven => 4,
+                    _ => 5,
+                };
+                let prev = &mut pool[start + j];
+                prev.kind = fuse_kind(prev.kind);
+                prev.aux = cond;
+            }
+            _ => {
+                jmap[s] = (pool.len() - start) as u32;
+                pool.push(base_op(m));
+            }
+        }
+    }
+    jmap[w.len()] = (pool.len() - start) as u32;
+    // Patch spans: a skip at micro slot `s` jumping over `span` micro slots
+    // lands at micro slot `s + 1 + span`; in translated units the distance
+    // runs from the op *after* the branch-carrying op to the landing slot.
+    for (s, &m) in w.iter().enumerate() {
+        let (span, weight) = match m.kind {
+            K::JmpFwd
+            | K::FuseZ
+            | K::FuseNz
+            | K::FuseLtz
+            | K::FuseGez
+            | K::FuseEven
+            | K::FuseOdd
+            | K::SkipEqRI
+            | K::SkipNeRI
+            | K::SkipLtRI
+            | K::SkipLeRI
+            | K::SkipGtRI
+            | K::SkipGeRI => (usize::from(m.rb), u32::from(m.rd)),
+            K::SkipEqRR | K::SkipNeRR | K::SkipLtRR | K::SkipLeRR | K::SkipGtRR | K::SkipGeRR => {
+                let packed = m.imm as u32;
+                ((packed & 0xFFFF) as usize, packed >> 16)
+            }
+            _ => continue,
+        };
+        let land = jmap[s + 1 + span] as usize;
+        let at = jmap[s] as usize;
+        let op = &mut pool[start + at];
+        op.skip = (land - (at + 1)) as u16;
+        op.weight = weight as u16;
+    }
+    template_window(&mut pool[start..], cells);
+}
+
+/// Greedy left-to-right template formation over a translated window. Pure
+/// kind rewriting at the head slot — members keep their single-op kinds
+/// and operands, so skip spans, fault offsets and mid-template entry all
+/// stay valid; the head's executor arm reads the member slots directly.
+fn template_window(w: &mut [JitOp], cells: &mut Vec<CellOp>) {
+    use JitKind as K;
+    let mut i = 0;
+    while i < w.len() {
+        let o = w[i];
+        let k1 = w.get(i + 1).map(|m| m.kind);
+        let adv = match o.kind {
+            K::FSubRR if o.skip == 1 && o.weight == 1 => match k1 {
+                Some(K::MoveRR) => {
+                    w[i].kind = K::TSelSubRR;
+                    2
+                }
+                Some(K::JmpF)
+                    if w[i + 1].skip == 1
+                        && w[i + 1].weight == 1
+                        && w.get(i + 2).map(|m| m.kind) == Some(K::MoveRR) =>
+                {
+                    w[i].kind = K::TDia1SubRR;
+                    3
+                }
+                _ => 1,
+            },
+            K::FSubRR if o.skip == 2 && o.weight == 2 => {
+                if k1 == Some(K::MoveRR) && w.get(i + 2).map(|m| m.kind) == Some(K::MoveRI) {
+                    w[i].kind = K::TSel2SubRR;
+                    3
+                } else if k1 == Some(K::OrRI)
+                    && w.get(i + 2)
+                        .is_some_and(|m| m.kind == K::JmpF && m.skip == 1 && m.weight == 1)
+                    && w.get(i + 3).map(|m| m.kind) == Some(K::MoveRR)
+                {
+                    w[i].kind = K::TDia2SubRR;
+                    4
+                } else {
+                    1
+                }
+            }
+            K::FAndRI if o.skip == 3 && o.weight == 3 => {
+                let shape = k1 == Some(K::MoveRI)
+                    && w.get(i + 2).map(|m| m.kind) == Some(K::MoveRI)
+                    && w.get(i + 3).is_some_and(|m| {
+                        m.kind == K::JmpF && m.skip == 2 && m.weight == 2
+                    })
+                    && w.get(i + 4).map(|m| m.kind) == Some(K::MoveRI)
+                    && w.get(i + 5).map(|m| m.kind) == Some(K::MoveRI)
+                    // The branchless form needs both arms to target the
+                    // same destination pair.
+                    && w[i + 1].rd == w[i + 4].rd
+                    && w[i + 2].rd == w[i + 5].rd;
+                if shape {
+                    w[i].kind = K::TMaskAndRI;
+                    6
+                } else {
+                    1
+                }
+            }
+            K::Lw => match k1 {
+                Some(K::Lw) => {
+                    w[i].kind = K::TLwLw;
+                    2
+                }
+                Some(K::AddRI) => {
+                    w[i].kind = K::TLwAddRI;
+                    2
+                }
+                _ => 1,
+            },
+            K::Sw if k1 == Some(K::Lw) => {
+                w[i].kind = K::TSwLw;
+                2
+            }
+            K::Lbu if k1 == Some(K::Lbu) => {
+                w[i].kind = K::TLbuLbu;
+                2
+            }
+            K::OrRR if k1 == Some(K::Sb) => {
+                w[i].kind = K::TOrRRSb;
+                2
+            }
+            K::AddRI => match k1 {
+                Some(K::AddRI) => {
+                    w[i].kind = K::TAddRIAddRI;
+                    2
+                }
+                Some(K::MoveRI) => {
+                    w[i].kind = K::TAddRIMoveRI;
+                    2
+                }
+                _ => 1,
+            },
+            _ => 1,
+        };
+        i += adv;
+    }
+    // Second pass over the level-1 heads: collapse whole compare-and-select
+    // cells, then the shorter header/tail runs around them.
+    let mut i = 0;
+    while i < w.len() {
+        let adv = match w[i].kind {
+            K::TMaskAndRI if i + 34 <= w.len() && match_cell(w, i) => {
+                // The head's `imm` becomes the side-table index; its other
+                // fields are dead once the kind is `TCellNw`.
+                let c = extract_cell(w, i);
+                w[i].kind = K::TCellNw;
+                w[i].imm = cells.len() as i32;
+                cells.push(c);
+                34
+            }
+            K::TLwLw if w.get(i + 2).map(|m| m.kind) == Some(K::Lw) => {
+                w[i].kind = K::T3Lw;
+                3
+            }
+            K::Cmpb4RR if w.get(i + 1).map(|m| m.kind) == Some(K::TAddRIAddRI) => {
+                w[i].kind = K::TCmp4Add2;
+                3
+            }
+            K::TAddRIAddRI if w.get(i + 2).map(|m| m.kind) == Some(K::SubRI) => {
+                w[i].kind = K::TAdd2Sub;
+                3
+            }
+            _ => 1,
+        };
+        i += adv;
+    }
+}
+
+/// Does a banded-NW cell start at `w[i]`? Checks the level-1 head-kind
+/// sequence, then pins the register dataflow the [`JitKind::TCellNw`]
+/// executor relies on: every chained operand field equality, plus
+/// disjointness of each cached local's register from everything written
+/// inside its live range (roles with disjoint ranges may share a
+/// register — the scratch slot legitimately serves as three different
+/// temporaries). Any mismatch just leaves the level-1 templates in place.
+fn match_cell(w: &[JitOp], i: usize) -> bool {
+    use JitKind as K;
+    let k = |o: usize| w[i + o];
+    let kinds = k(6).kind == K::TLwAddRI
+        && k(8).kind == K::TAddRIMoveRI
+        && k(10).kind == K::TSel2SubRR
+        && k(13).kind == K::TSwLw
+        && k(15).kind == K::TLwAddRI
+        && k(17).kind == K::AddRI
+        && k(18).kind == K::TDia2SubRR
+        && k(22).kind == K::TSwLw
+        && k(24).kind == K::AddRR
+        && k(25).kind == K::TSel2SubRR
+        && k(28).kind == K::TSel2SubRR
+        && k(31).kind == K::Sw
+        && k(32).kind == K::TOrRRSb;
+    if !kinds {
+        return false;
+    }
+    let (sc, bt) = (k(1).rd, k(2).rd);
+    let d = k(6).rd;
+    let t = k(8).rd;
+    let fl = k(9).rd;
+    let iv = k(14).rd;
+    let hn = k(15).rd;
+    let t2 = k(17).rd;
+    let g = k(23).rd;
+    let x = k(6).ra;
+    // Chained-operand pins: each local substitutes for exactly these reads.
+    let pins = k(7).ra == d
+        && k(7).rd == d
+        && k(10).ra == d
+        && k(10).rb == t
+        && k(11).rd == d
+        && k(11).rb == t
+        && k(12).rd == fl
+        && k(13).rd == d
+        && k(16).ra == iv
+        && k(16).rd == iv
+        && k(17).ra == hn
+        && k(18).ra == iv
+        && k(18).rb == t2
+        && k(19).ra == fl
+        && k(19).rd == fl
+        && k(21).rd == iv
+        && k(21).rb == t2
+        && k(22).rd == iv
+        && k(24).ra == g
+        && k(24).rd == g
+        && k(24).rb == sc
+        && k(25).ra == g
+        && k(25).rb == d
+        && k(26).rd == g
+        && k(26).rb == d
+        && k(27).rd == bt
+        && k(28).ra == g
+        && k(28).rb == iv
+        && k(29).rd == g
+        && k(29).rb == iv
+        && k(30).rd == bt
+        && k(31).rd == g
+        && k(32).ra == bt
+        && k(32).rd == bt
+        && k(32).rb == fl
+        && k(33).rd == bt
+        // Every row access goes through the same base register, read once.
+        && k(13).ra == x
+        && k(14).ra == x
+        && k(15).ra == x
+        && k(22).ra == x
+        && k(23).ra == x
+        && k(31).ra == x
+        // The compare scratch serves every diamond, so one commit per
+        // fault boundary covers all of them.
+        && k(10).rd == k(0).rd
+        && k(18).rd == k(0).rd
+        && k(25).rd == k(0).rd
+        && k(28).rd == k(0).rd;
+    if !pins {
+        return false;
+    }
+    // Live-range disjointness: a cached local is valid only if nothing in
+    // its range writes its register through another role. The row base
+    // must survive the whole cell untouched.
+    let distinct = |r: u8, others: &[u8]| others.iter().all(|&o| o != r);
+    let z = k(0).rd;
+    distinct(z, &[sc, bt, d, t, fl, iv, hn, t2, g])
+        && distinct(x, &[z, sc, bt, d, t, fl, iv, hn, t2, g])
+        && distinct(d, &[sc, bt, t, fl, iv, hn, t2, g])
+        && distinct(sc, &[bt, t, fl, iv, hn, t2, g])
+        && distinct(bt, &[t, fl, iv, hn, t2, g])
+        && distinct(fl, &[t, iv, hn, t2, g])
+        && distinct(iv, &[hn, t2, g])
+}
+
+/// Unpack the member slots of a matched cell into its [`CellOp`]. Runs
+/// once at translation time, only on spans [`match_cell`] accepted.
+fn extract_cell(w: &[JitOp], i: usize) -> CellOp {
+    let k = |o: usize| w[i + o];
+    CellOp {
+        mask: k(0).imm,
+        mcond: k(0).aux,
+        z: k(0).rd,
+        sc_rd: k(1).rd,
+        bt_rd: k(2).rd,
+        sc_mis: k(1).imm,
+        sc_mat: k(4).imm,
+        bt_mis: k(2).imm,
+        bt_mat: k(5).imm,
+        x: k(6).ra,
+        woff_d: k(6).aux,
+        off_d: k(6).imm,
+        d_rd: k(6).rd,
+        ge: k(7).imm,
+        h_src: k(8).ra,
+        t_rd: k(8).rd,
+        goge: k(8).imm,
+        fl_rd: k(9).rd,
+        f_ext: k(9).imm,
+        c_d: k(10).aux,
+        f_open: k(12).imm,
+        woff_dc: k(13).aux,
+        off_dc: k(13).imm,
+        woff_i: k(14).aux,
+        off_i: k(14).imm,
+        i_rd: k(14).rd,
+        woff_hn: k(15).aux,
+        off_hn: k(15).imm,
+        hn_rd: k(15).rd,
+        ge2: k(16).imm,
+        t2_rd: k(17).rd,
+        goge2: k(17).imm,
+        c_i: k(18).aux,
+        f_iext: k(19).imm,
+        woff_ic: k(22).aux,
+        off_ic: k(22).imm,
+        woff_h2: k(23).aux,
+        off_h2: k(23).imm,
+        g_rd: k(23).rd,
+        c_h1: k(25).aux,
+        bt_d: k(27).imm,
+        c_h2: k(28).aux,
+        bt_i: k(30).imm,
+        woff_hc: k(31).aux,
+        off_hc: k(31).imm,
+        p: k(33).ra,
+        off_p: k(33).imm,
+        woff_p: k(33).aux,
+    }
+}
+
+/// An ALU kind's fused-branch counterpart.
+fn fuse_kind(k: JitKind) -> JitKind {
+    use JitKind as J;
+    match k {
+        J::AddRI => J::FAddRI,
+        J::AddRR => J::FAddRR,
+        J::SubRI => J::FSubRI,
+        J::SubRR => J::FSubRR,
+        J::AndRI => J::FAndRI,
+        J::AndRR => J::FAndRR,
+        J::OrRI => J::FOrRI,
+        J::OrRR => J::FOrRR,
+        J::XorRI => J::FXorRI,
+        J::XorRR => J::FXorRR,
+        J::LslRI => J::FLslRI,
+        J::LslRR => J::FLslRR,
+        J::LsrRI => J::FLsrRI,
+        J::LsrRR => J::FLsrRR,
+        J::AsrRI => J::FAsrRI,
+        J::AsrRR => J::FAsrRR,
+        J::MaxRI => J::FMaxRI,
+        J::MaxRR => J::FMaxRR,
+        J::Cmpb4RI => J::FCmpb4RI,
+        J::Cmpb4RR => J::FCmpb4RR,
+        J::MoveRI => J::FMoveRI,
+        J::MoveRR => J::FMoveRR,
+        _ => unreachable!("fuse pseudo-op must follow an ALU micro-op"),
+    }
+}
+
+fn alu_single(a: AluSpec) -> JitOp {
+    let m = match a.b {
+        Operand::Imm(v) => Micro {
+            kind: ri_kind(a.op),
+            rd: a.rd,
+            ra: a.ra,
+            rb: 0,
+            imm: v,
+        },
+        Operand::Reg(r) => Micro {
+            kind: rr_kind(a.op),
+            rd: a.rd,
+            ra: a.ra,
+            rb: r.0,
+            imm: 0,
+        },
+    };
+    base_op(m)
+}
+
+fn ri_kind(op: AluOp) -> MicroKind {
+    use MicroKind as K;
+    match op {
+        AluOp::Add => K::AddRI,
+        AluOp::Sub => K::SubRI,
+        AluOp::And => K::AndRI,
+        AluOp::Or => K::OrRI,
+        AluOp::Xor => K::XorRI,
+        AluOp::Lsl => K::LslRI,
+        AluOp::Lsr => K::LsrRI,
+        AluOp::Asr => K::AsrRI,
+        AluOp::Max => K::MaxRI,
+        AluOp::Cmpb4 => K::Cmpb4RI,
+        AluOp::Move => K::MoveRI,
+    }
+}
+
+fn rr_kind(op: AluOp) -> MicroKind {
+    use MicroKind as K;
+    match op {
+        AluOp::Add => K::AddRR,
+        AluOp::Sub => K::SubRR,
+        AluOp::And => K::AndRR,
+        AluOp::Or => K::OrRR,
+        AluOp::Xor => K::XorRR,
+        AluOp::Lsl => K::LslRR,
+        AluOp::Lsr => K::LsrRR,
+        AluOp::Asr => K::AsrRR,
+        AluOp::Max => K::MaxRR,
+        AluOp::Cmpb4 => K::Cmpb4RR,
+        AluOp::Move => K::MoveRR,
+    }
+}
+
+fn mem_single(kind: JitKind, r: u8, base: u8, off: i32) -> JitOp {
+    JitOp {
+        kind,
+        rd: r,
+        ra: base,
+        rb: 0,
+        imm: off,
+        skip: 0,
+        weight: 0,
+        aux: 0,
+    }
+}
+
+/// Translate the whole program: re-derive the fast path's window layout
+/// (pairing off) and lower each dense op to a block.
+#[allow(clippy::type_complexity)]
+fn translate(program: &[Inst]) -> Option<(Vec<Block>, Vec<JitOp>, Vec<CellOp>, Vec<u32>)> {
+    use JitKind as J;
+    let (dense, orig_pc, micro, _fused) = predecode(program, false)?;
+    let mut pool: Vec<JitOp> = Vec::with_capacity(micro.len());
+    let mut cells: Vec<CellOp> = Vec::new();
+    let mut blocks: Vec<Block> = Vec::with_capacity(dense.len());
+    for d in &dense {
+        let start = pool.len() as u32;
+        let (ilen, mem, term) = match *d {
+            DenseOp::Alu { a, fuse } => {
+                pool.push(alu_single(a));
+                let term = match fuse {
+                    None => JTerm::Fall,
+                    Some((cond, target)) => JTerm::Fuse {
+                        cond,
+                        rr: a.rd,
+                        target,
+                    },
+                };
+                (1u16, 0u16, term)
+            }
+            DenseOp::Lw(LoadSpec { rd, base, off }) => {
+                pool.push(mem_single(J::Lw, rd, base, off));
+                (1, 1, JTerm::Fall)
+            }
+            DenseOp::Sw { rs, base, off } => {
+                pool.push(mem_single(J::Sw, rs, base, off));
+                (1, 1, JTerm::Fall)
+            }
+            DenseOp::Lbu(LoadSpec { rd, base, off }) => {
+                pool.push(mem_single(J::Lbu, rd, base, off));
+                (1, 1, JTerm::Fall)
+            }
+            DenseOp::Sb { rs, base, off } => {
+                pool.push(mem_single(J::Sb, rs, base, off));
+                (1, 1, JTerm::Fall)
+            }
+            DenseOp::Jmp { target } => (0, 0, JTerm::Jmp { target }),
+            DenseOp::Jcc {
+                cond,
+                ra,
+                b,
+                target,
+            } => (
+                0,
+                0,
+                JTerm::Jcc {
+                    cond,
+                    ra,
+                    b,
+                    target,
+                },
+            ),
+            DenseOp::Halt => (0, 0, JTerm::Halt),
+            DenseOp::Seq {
+                start: mstart,
+                len,
+                ilen,
+                mem,
+                term,
+            } => {
+                let w = &micro[mstart as usize..mstart as usize + usize::from(len)];
+                translate_window(w, &mut pool, &mut cells);
+                let term = match term {
+                    SeqTerm::Fall => JTerm::Fall,
+                    SeqTerm::Fuse { cond, target } => JTerm::Fuse {
+                        cond,
+                        // The window's final micro-op is the fused ALU; its
+                        // destination slot holds the result to branch on.
+                        rr: w.last().expect("fused window is non-empty").rd,
+                        target,
+                    },
+                    SeqTerm::Jcc {
+                        cond,
+                        ra,
+                        b,
+                        target,
+                    } => JTerm::Jcc {
+                        cond,
+                        ra,
+                        b,
+                        target,
+                    },
+                };
+                (ilen, mem, term)
+            }
+        };
+        blocks.push(Block {
+            start,
+            len: (pool.len() - start as usize) as u16,
+            ilen,
+            mem,
+            term,
+        });
+    }
+    Some((blocks, pool, cells, orig_pc))
+}
+
+/// A program translated for the jit tier. Construction runs the static
+/// verifier once — build a `Jit` per kernel and reuse it across launches
+/// (see `dpu-kernel::isa_loops::jitted`), not per launch.
+#[derive(Debug, Clone)]
+pub struct Jit {
+    program: Vec<Inst>,
+    blocks: Vec<Block>,
+    ops: Vec<JitOp>,
+    cells: Vec<CellOp>,
+    orig_pc: Vec<u32>,
+    ready: bool,
+    frame: usize,
+    entry: Vec<(u8, u32)>,
+}
+
+impl Jit {
+    /// Verify `program` against `spec` and, on a clean verdict with a
+    /// declared WRAM frame, translate it block-by-block. A rejected
+    /// program still yields a usable `Jit` — it just always runs the
+    /// checked interpreter.
+    pub fn new(program: Vec<Inst>, spec: &VerifySpec) -> Self {
+        let verified = error_count(&verify(&program, spec)) == 0;
+        let frame = spec.wram_frame();
+        let entry: Vec<(u8, u32)> = spec
+            .known_inputs()
+            .into_iter()
+            .map(|(r, v)| (r.0, v))
+            .collect();
+        let mut j = Self {
+            program,
+            blocks: Vec::new(),
+            ops: Vec::new(),
+            cells: Vec::new(),
+            orig_pc: Vec::new(),
+            ready: false,
+            frame: frame.unwrap_or(0),
+            entry,
+        };
+        if verified && frame.is_some() {
+            if let Some((blocks, ops, cells, orig_pc)) = translate(&j.program) {
+                j.blocks = blocks;
+                j.ops = ops;
+                j.cells = cells;
+                j.orig_pc = orig_pc;
+                j.ready = true;
+            }
+        }
+        j
+    }
+
+    /// The original program (what the checked fallback executes).
+    pub fn program(&self) -> &[Inst] {
+        &self.program
+    }
+
+    /// Did the program pass the verifier gate (with a WRAM frame) and
+    /// translate — i.e. is the jit tier available at all?
+    pub fn jit_eligible(&self) -> bool {
+        self.ready
+    }
+
+    /// Would [`Machine::run_jit`] take the translated path from this
+    /// machine state and WRAM size? Same gate as the fast path's.
+    pub fn jit_active(&self, m: &Machine, wram_len: usize) -> bool {
+        self.ready
+            && m.pc == 0
+            && wram_len >= self.frame
+            && self.entry.iter().all(|&(r, v)| m.regs[r as usize] == v)
+    }
+
+    /// Evaluate the launch-entry check once and cache the verdict — the
+    /// jit counterpart of [`super::fastpath::Prepared::entry_gate`].
+    pub fn entry_gate(&self, m: &Machine, wram_len: usize) -> EntryGate {
+        EntryGate {
+            fast: self.jit_active(m, wram_len),
+        }
+    }
+
+    /// Debug dump of the translated stream: one line per block with the
+    /// op-kind sequence and terminator. For diagnosing template coverage.
+    #[doc(hidden)]
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (i, b) in self.blocks.iter().enumerate() {
+            let ops = &self.ops[b.start as usize..b.start as usize + b.len as usize];
+            let _ = writeln!(s, "block {i}: ilen={} term={:?}", b.ilen, b.term);
+            for (k, o) in ops.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "  [{k:3}] {:<12?} rd={} ra={} rb={} imm={:#x} skip={} w={} aux={}",
+                    o.kind, o.rd, o.ra, o.rb, o.imm, o.skip, o.weight, o.aux
+                );
+            }
+        }
+        s
+    }
+
+    /// Number of translated blocks (`program().len()` dispatches collapse
+    /// to this many block calls when the jit path is active).
+    pub fn block_count(&self) -> usize {
+        if self.ready {
+            self.blocks.len()
+        } else {
+            self.program.len()
+        }
+    }
+}
+
+impl Machine {
+    /// Run a [`Jit`]-translated program: the translated path when
+    /// [`Jit::jit_active`] holds, the checked interpreter otherwise.
+    /// Completed runs are bit-identical on both paths — registers, WRAM,
+    /// halt pc and [`RunStats`].
+    pub fn run_jit(
+        &mut self,
+        jit: &Jit,
+        wram: &mut [u8],
+        max_steps: u64,
+    ) -> Result<RunStats, IsaError> {
+        if jit.jit_active(self, wram.len()) {
+            self.run_blocks(jit, wram, max_steps)
+        } else {
+            self.run(&jit.program, wram, max_steps)
+        }
+    }
+
+    /// [`Machine::run_jit`] under a DPU watchdog budget (`0` falls back to
+    /// the [`super::interp::DEFAULT_MAX_STEPS`] backstop). The budget is
+    /// re-checked per translated block — the same documented divergence
+    /// granularity as the fast path's per-window check.
+    pub fn run_jit_budgeted(
+        &mut self,
+        jit: &Jit,
+        wram: &mut [u8],
+        watchdog_cycles: u64,
+    ) -> Result<RunStats, IsaError> {
+        self.run_jit(jit, wram, watchdog_steps(watchdog_cycles))
+    }
+
+    /// [`Machine::run_jit`] with the entry check hoisted to prepare time
+    /// (see [`Jit::entry_gate`]); debug builds re-verify the gate.
+    pub fn run_jit_gated(
+        &mut self,
+        jit: &Jit,
+        gate: EntryGate,
+        wram: &mut [u8],
+        max_steps: u64,
+    ) -> Result<RunStats, IsaError> {
+        if gate.fast {
+            debug_assert!(
+                jit.jit_active(self, wram.len()),
+                "stale EntryGate: launch entry state no longer matches"
+            );
+            self.run_blocks(jit, wram, max_steps)
+        } else {
+            self.run(&jit.program, wram, max_steps)
+        }
+    }
+
+    /// The computed-dispatch loop over translated blocks.
+    fn run_blocks(
+        &mut self,
+        jit: &Jit,
+        wram: &mut [u8],
+        max_steps: u64,
+    ) -> Result<RunStats, IsaError> {
+        let blocks = jit.blocks.as_slice();
+        let pool = jit.ops.as_slice();
+        let cells = jit.cells.as_slice();
+        let orig = jit.orig_pc.as_slice();
+        let plen = jit.program.len();
+        let mut regs: JitRegs = [0; 32];
+        regs[..NUM_REGS].copy_from_slice(&self.regs);
+        let mut stats = RunStats::default();
+        let mut pc = 0usize;
+        // Every exit — halt, fault, exhausted budget — syncs the working
+        // register file back to the machine. On a fault inside a block the
+        // restored pc is the *original* pc of the faulting instruction.
+        macro_rules! leave {
+            ($off:expr, $ret:expr) => {{
+                self.regs.copy_from_slice(&regs[..NUM_REGS]);
+                self.pc = orig[pc] as usize + $off;
+                return $ret;
+            }};
+        }
+        loop {
+            let Some(b) = blocks.get(pc) else {
+                // Fell off the end: the original pc is the program length.
+                self.regs.copy_from_slice(&regs[..NUM_REGS]);
+                self.pc = plen;
+                return Err(IsaError::BadTarget {
+                    target: plen,
+                    len: plen,
+                });
+            };
+            if stats.instructions >= max_steps {
+                leave!(0, Err(IsaError::MaxSteps { limit: max_steps }));
+            }
+            let ops = &pool[b.start as usize..b.start as usize + usize::from(b.len)];
+            if let JTerm::Fuse { cond, rr, target } = b.term {
+                if target as usize == pc {
+                    // Hot self-loop: the band inner loops' shape. Iterate
+                    // natively, re-checking the step budget once per
+                    // iteration (the same points the per-block check hits).
+                    loop {
+                        match exec_general(ops, cells, &mut regs, wram, &mut stats) {
+                            BlockExit::Fault { woff, err } => leave!(woff, Err(err)),
+                            BlockExit::Done { skipped } => {
+                                stats.instructions += u64::from(b.ilen) - skipped;
+                                stats.mem_ops += u64::from(b.mem);
+                            }
+                        }
+                        if cond.holds(rget(&regs, rr)) {
+                            stats.taken_jumps += 1;
+                            if stats.instructions >= max_steps {
+                                leave!(0, Err(IsaError::MaxSteps { limit: max_steps }));
+                            }
+                        } else {
+                            pc += 1;
+                            break;
+                        }
+                    }
+                    continue;
+                }
+            }
+            match exec_general(ops, cells, &mut regs, wram, &mut stats) {
+                BlockExit::Fault { woff, err } => leave!(woff, Err(err)),
+                BlockExit::Done { skipped } => {
+                    stats.instructions += u64::from(b.ilen) - skipped;
+                    stats.mem_ops += u64::from(b.mem);
+                }
+            }
+            match b.term {
+                JTerm::Fall => pc += 1,
+                JTerm::Halt => {
+                    stats.instructions += 1;
+                    leave!(0, Ok(stats));
+                }
+                JTerm::Jmp { target } => {
+                    stats.instructions += 1;
+                    stats.taken_jumps += 1;
+                    pc = target as usize;
+                }
+                JTerm::Fuse { cond, rr, target } => {
+                    if cond.holds(rget(&regs, rr)) {
+                        stats.taken_jumps += 1;
+                        pc = target as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                JTerm::Jcc {
+                    cond,
+                    ra,
+                    b: bop,
+                    target,
+                } => {
+                    stats.instructions += 1;
+                    let av = rget(&regs, ra) as i32;
+                    let bv = opval(&regs, bop) as i32;
+                    if cond.holds(av, bv) {
+                        stats.taken_jumps += 1;
+                        pc = target as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -42,6 +42,7 @@ use dpu_kernel::NwKernel;
 use nw_core::cigar::Cigar;
 use nw_core::ScoringScheme;
 use pim_host::{with_persistent_engine, DeadlinePolicy, EngineCtl, RecoveryConfig, TicketDone};
+use pim_sim::isa::InterpMode;
 use pim_sim::{FaultPlan, PimServer, ServerConfig};
 use std::collections::HashMap;
 use std::fmt;
@@ -94,6 +95,9 @@ pub struct ServeOptions {
     pub default_deadline_ms: Option<u64>,
     /// Fault injection for the simulated server (chaos serving).
     pub fault: FaultPlan,
+    /// Interpreter tier for the kernel's cost measurement
+    /// (checked/fast/jit; bit-identical results by contract).
+    pub interp_mode: InterpMode,
 }
 
 impl Default for ServeOptions {
@@ -116,6 +120,7 @@ impl Default for ServeOptions {
             max_pairs_per_request: 1024,
             default_deadline_ms: None,
             fault: FaultPlan::default(),
+            interp_mode: InterpMode::default(),
         }
     }
 }
@@ -174,7 +179,7 @@ pub fn run_serve(opts: &ServeOptions) -> Result<ServiceReport, ServeError> {
         scheme: ScoringScheme::default(),
         score_only: false,
     };
-    let kernel = NwKernel::paper_default();
+    let kernel = NwKernel::paper_default().with_interp_mode(opts.interp_mode);
     let rcfg = RecoveryConfig {
         max_attempts: opts.retries.max(1),
         quarantine_after: opts.quarantine.max(1),
