@@ -67,26 +67,29 @@ pub fn engine_from_flags(fifo_depth: usize, sync_dispatch: bool) -> Engine {
 }
 
 /// Parse the shared `--interp-mode` flag: which simulator interpreter tier
-/// executes the built-in kernels. `auto` resolves to the JIT tier when the
-/// built-in kernels pass the verifier gate (zero lint errors and a declared
-/// WRAM frame), falling back to the fully checked interpreter otherwise;
-/// the JIT additionally re-checks entry state at run time and falls back
-/// per launch, so `auto` is always safe.
+/// executes the built-in kernels. `auto` runs a one-time timed calibration
+/// probe ([`dpu_kernel::isa_loops::auto_mode`]) on the paper-default kernel
+/// (asm, traceback) and picks whichever eligible tier is actually fastest
+/// on this host — eligibility gates (verifier-clean fast path, JIT entry
+/// checks) still apply, so `auto` is always safe; the old behavior of
+/// blindly preferring the JIT lost to the fast interpreter on some kernels.
 pub fn parse_interp_mode(text: &str) -> Option<InterpMode> {
     Some(match text {
         "checked" => InterpMode::Checked,
         "fast" => InterpMode::Fast,
         "jit" => InterpMode::Jit,
-        "auto" => {
-            let jit = dpu_kernel::isa_loops::jitted(dpu_kernel::KernelVariant::Asm, true);
-            if jit.jit_eligible() {
-                InterpMode::Jit
-            } else {
-                InterpMode::Checked
-            }
-        }
+        "auto" => dpu_kernel::isa_loops::auto_mode(dpu_kernel::KernelVariant::Asm, true),
         _ => return None,
     })
+}
+
+/// Human name of an interpreter tier (for reports).
+pub fn interp_mode_str(mode: InterpMode) -> &'static str {
+    match mode {
+        InterpMode::Checked => "checked",
+        InterpMode::Fast => "fast",
+        InterpMode::Jit => "jit",
+    }
 }
 
 /// Which aligner the `align` command uses.
@@ -113,6 +116,34 @@ impl Algo {
             "wfa" => Algo::Wfa,
             "exact" => Algo::Exact,
             "pim" => Algo::Pim,
+            _ => return None,
+        })
+    }
+}
+
+/// Which execution backend `align --backend` routes through. All choices
+/// produce bit-identical results (the backend contract); they differ only
+/// in where the work runs and how it is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// The simulated PiM server only.
+    Pim,
+    /// The CPU thread pool only (kernel-identical adaptive aligner).
+    Cpu,
+    /// The dynamic cost-model router over both backends.
+    Router,
+    /// The static up-front split (the hetero ablation baseline).
+    Split,
+}
+
+impl BackendChoice {
+    /// Parse a command-line name.
+    pub fn parse(text: &str) -> Option<BackendChoice> {
+        Some(match text {
+            "pim" => BackendChoice::Pim,
+            "cpu" => BackendChoice::Cpu,
+            "router" => BackendChoice::Router,
+            "split" => BackendChoice::Split,
             _ => return None,
         })
     }
@@ -165,6 +196,11 @@ pub fn read_fasta(path: &str) -> Result<Vec<Record>, CliError> {
 
 /// Align records of `a_path` with same-index records of `b_path`; returns
 /// TSV lines `name_a name_b score cigar identity`.
+///
+/// `backend` routes the whole batch through the backend layer (PiM only,
+/// CPU pool only, the dynamic router, or the static split) instead of the
+/// `algo` path; `cache_capacity > 0` puts a content-addressed result cache
+/// in front of it, so repeated pairs are served without recomputation.
 #[allow(clippy::too_many_arguments)]
 pub fn cmd_align(
     a_path: &str,
@@ -177,6 +213,8 @@ pub fn cmd_align(
     sim_threads: usize,
     audit: bool,
     interp_mode: InterpMode,
+    backend: Option<BackendChoice>,
+    cache_capacity: usize,
 ) -> Result<String, CliError> {
     let a_recs = read_fasta(a_path)?;
     let b_recs = read_fasta(b_path)?;
@@ -201,6 +239,92 @@ pub fn cmd_align(
             aln.identity()
         );
     };
+    if let Some(choice) = backend {
+        let pairs: Vec<(DnaSeq, DnaSeq)> = a_recs
+            .iter()
+            .zip(&b_recs)
+            .map(|(x, y)| (x.seq.clone(), y.seq.clone()))
+            .collect();
+        let band16 = band.next_multiple_of(16).max(16);
+        let mut cache_store = pim_host::ResultCache::new(cache_capacity);
+        let cache = (cache_capacity > 0).then_some(&mut cache_store);
+        let rcfg = RecoveryConfig {
+            audit,
+            ..RecoveryConfig::default()
+        };
+        let params = KernelParams {
+            band: band16,
+            scheme,
+            score_only: false,
+        };
+        let mut dcfg = DispatchConfig::new(
+            NwKernel::paper_default().with_interp_mode(interp_mode),
+            params,
+        );
+        dcfg.engine = engine_from_flags(fifo_depth, sync_dispatch);
+        dcfg.sim_threads = sim_threads;
+        dcfg.audit = audit;
+        let mut server = PimServer::new(ServerConfig::with_ranks(ranks.max(1)));
+        let (results, note) = match choice {
+            BackendChoice::Split => {
+                let hcfg = pim_host::HeteroConfig {
+                    dispatch: dcfg,
+                    cpu_threads: rcfg.cpu_threads,
+                    cpu_band: band16,
+                    pim_workload_per_second: 0.0,
+                    cpu_workload_per_second: 0.0,
+                };
+                let h = pim_host::align_pairs_hetero_cached(&mut server, &hcfg, &pairs, cache)
+                    .map_err(|e| CliError::Align(e.to_string()))?;
+                (
+                    h.results,
+                    format!(
+                        "# backend split: pim {} pairs, cpu {} pairs, {:.4}s",
+                        h.pim_pairs, h.cpu_pairs, h.host_seconds
+                    ),
+                )
+            }
+            _ => {
+                let mut pim = None;
+                let mut cpu = None;
+                if matches!(choice, BackendChoice::Pim | BackendChoice::Router) {
+                    pim = Some(pim_host::SimPimBackend::new(
+                        &mut server,
+                        dcfg.clone(),
+                        rcfg.clone(),
+                    ));
+                }
+                if matches!(choice, BackendChoice::Cpu | BackendChoice::Router) {
+                    cpu = Some(pim_host::CpuPoolBackend::new(
+                        scheme,
+                        band16,
+                        false,
+                        rcfg.cpu_threads,
+                    ));
+                }
+                let mut lanes: Vec<&mut dyn pim_host::Backend> = Vec::new();
+                if let Some(p) = pim.as_mut() {
+                    lanes.push(p);
+                }
+                if let Some(c) = cpu.as_mut() {
+                    lanes.push(c);
+                }
+                let rcap = pim_host::RouterConfig::new(band16, scheme, false);
+                let r = pim_host::route_pairs(&mut lanes, &rcap, &pairs, cache)
+                    .map_err(|e| CliError::Align(e.to_string()))?;
+                (r.results, format!("# {}", r.report.summary()))
+            }
+        };
+        for ((ra, rb), r) in a_recs.iter().zip(&b_recs).zip(results) {
+            let aln = Alignment {
+                score: r.score,
+                cigar: r.cigar,
+            };
+            emit(ra, rb, &aln);
+        }
+        let _ = writeln!(out, "{note}");
+        return Ok(out);
+    }
     match algo {
         Algo::Pim => {
             let pairs: Vec<(DnaSeq, DnaSeq)> = a_recs
@@ -793,6 +917,9 @@ pub struct BenchOpts {
     /// Run the simulator benchmark (interpreter fast path + intra-rank
     /// parallelism) instead of the dispatch benchmark.
     pub sim: bool,
+    /// Run the backend-router benchmark (dynamic router vs single backends
+    /// vs static split, plus the result-cache phases) instead.
+    pub backend: bool,
     /// Interpreter tier executing the simulated kernels (`--interp-mode`).
     pub interp_mode: InterpMode,
 }
@@ -815,6 +942,7 @@ impl Default for BenchOpts {
             json_path: None,
             sim_threads: 0,
             sim: false,
+            backend: false,
             interp_mode: InterpMode::default(),
         }
     }
@@ -942,6 +1070,9 @@ fn bit_identical(a: &BenchRun, b: &BenchRun) -> bool {
 /// ranks' work. Results must stay bit-identical across engines in both
 /// conditions — the benchmark fails otherwise.
 pub fn cmd_bench(opts: &BenchOpts) -> Result<String, CliError> {
+    if opts.backend {
+        return cmd_bench_backend(opts);
+    }
     if opts.sim {
         return cmd_bench_sim(opts);
     }
@@ -1468,6 +1599,397 @@ fn cmd_bench_sim(opts: &BenchOpts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Which backends one routed benchmark condition runs with.
+#[derive(Clone, Copy)]
+enum LaneSel {
+    Pim,
+    Cpu,
+    Both,
+}
+
+/// Run one routed condition on a fresh server: build the selected
+/// backends, route the whole workload, return the outcome.
+fn backend_route(
+    opts: &BenchOpts,
+    band: usize,
+    sel: LaneSel,
+    pairs: &[(DnaSeq, DnaSeq)],
+    cache: Option<&mut pim_host::ResultCache>,
+) -> Result<pim_host::RouterOutcome, CliError> {
+    if pim_host::interrupt::requested() {
+        return Err(CliError::Align("interrupted — benchmark aborted".into()));
+    }
+    let scheme = ScoringScheme::default();
+    let params = KernelParams {
+        band,
+        scheme,
+        score_only: false,
+    };
+    let mut dcfg = DispatchConfig::new(
+        NwKernel::paper_default().with_interp_mode(opts.interp_mode),
+        params,
+    );
+    dcfg.engine = Engine::Pipelined {
+        fifo_depth: opts.fifo_depth.max(1),
+    };
+    dcfg.sim_threads = opts.sim_threads;
+    let rcfg = RecoveryConfig::default();
+    let mut server_cfg = ServerConfig::with_ranks(opts.ranks.max(1));
+    server_cfg.dpus_per_rank = opts.dpus.max(1);
+    let mut server = PimServer::new(server_cfg);
+    let mut pim = None;
+    let mut cpu = None;
+    if matches!(sel, LaneSel::Pim | LaneSel::Both) {
+        pim = Some(pim_host::SimPimBackend::new(
+            &mut server,
+            dcfg,
+            rcfg.clone(),
+        ));
+    }
+    if matches!(sel, LaneSel::Cpu | LaneSel::Both) {
+        cpu = Some(pim_host::CpuPoolBackend::new(
+            scheme,
+            band,
+            false,
+            rcfg.cpu_threads,
+        ));
+    }
+    let mut lanes: Vec<&mut dyn pim_host::Backend> = Vec::new();
+    if let Some(p) = pim.as_mut() {
+        lanes.push(p);
+    }
+    if let Some(c) = cpu.as_mut() {
+        lanes.push(c);
+    }
+    let mut rcap = pim_host::RouterConfig::new(band, scheme, false);
+    // Keep at least ~8 batches in play even at smoke scale so the routing
+    // decision is exercised (one giant batch would make every condition
+    // degenerate to a single assignment).
+    rcap.batch_size = rcap.batch_size.min((pairs.len() / 8).max(1));
+    pim_host::route_pairs(&mut lanes, &rcap, pairs, cache)
+        .map_err(|e| CliError::Align(e.to_string()))
+}
+
+/// A workload of `base.len()` pairs where `dup_frac` of the entries are
+/// deterministic repeats of earlier ones (the cache phases).
+fn dup_workload(base: &[(DnaSeq, DnaSeq)], dup_frac: f64) -> Vec<(DnaSeq, DnaSeq)> {
+    let n = base.len();
+    let dups = ((n as f64) * dup_frac).round() as usize;
+    let uniques = n.saturating_sub(dups).max(1);
+    (0..n)
+        .map(|i| {
+            base[if i < uniques {
+                i
+            } else {
+                (i - uniques) % uniques
+            }]
+            .clone()
+        })
+        .collect()
+}
+
+/// One cache phase's measurements.
+struct CachePhase {
+    dup_frac: f64,
+    uncached_seconds: f64,
+    cold_seconds: f64,
+    warm_seconds: f64,
+    cold: pim_host::CacheStats,
+    warm: pim_host::CacheStats,
+    identical: bool,
+}
+
+/// Backend benchmark (`bench --backend`): (a) the dynamic cost-model
+/// router against each single backend and the static up-front split on the
+/// same mixed workload — all four must return bit-identical results; (b)
+/// the content-addressed result cache at 0%/30%/90% repeated pairs, cold
+/// and warm, against an uncached reference — cached results must stay
+/// bit-identical and the hit/miss counters must conserve. Also records the
+/// tier the `--interp-mode auto` calibration probe picks per kernel.
+/// Writes `BENCH_backend.json`; fails on any identity or conservation
+/// violation.
+pub fn cmd_bench_backend(opts: &BenchOpts) -> Result<String, CliError> {
+    use dpu_kernel::isa_loops::auto_mode;
+    use dpu_kernel::KernelVariant;
+
+    let mut opts = opts.clone();
+    if opts.smoke {
+        opts.pairs = opts.pairs.min(16);
+        opts.ranks = opts.ranks.min(2);
+        opts.dpus = opts.dpus.min(4);
+    }
+    opts.pairs = opts.pairs.max(4);
+    let band = opts.band.next_multiple_of(16).max(16);
+    let pairs = SyntheticParams::preset(SyntheticPreset::S1000, opts.seed).generate(opts.pairs);
+    let cpu_threads = RecoveryConfig::default().cpu_threads;
+
+    // The `--interp-mode auto` calibration: which tier the one-time timed
+    // probe picks per kernel (recorded so reports show the decision).
+    let autos: Vec<(String, InterpMode)> = [
+        (KernelVariant::PureC, "pure_c"),
+        (KernelVariant::Asm, "asm"),
+    ]
+    .into_iter()
+    .flat_map(|(v, name)| {
+        [false, true].map(|bt| {
+            (
+                format!("{name}/{}", if bt { "traceback" } else { "score_only" }),
+                auto_mode(v, bt),
+            )
+        })
+    })
+    .collect();
+
+    // (a) Routing: dynamic router vs each single backend vs static split,
+    // all on the same mixed (all-unique) workload. Best of N timed runs
+    // per condition so one noisy launch cannot flake the comparison.
+    let reps = if opts.smoke { 2 } else { 3 };
+    let best_of = |sel: LaneSel| -> Result<pim_host::RouterOutcome, CliError> {
+        let mut best: Option<pim_host::RouterOutcome> = None;
+        for _ in 0..reps {
+            let run = backend_route(&opts, band, sel, &pairs, None)?;
+            if best.as_ref().is_none_or(|b| run.seconds < b.seconds) {
+                best = Some(run);
+            }
+        }
+        Ok(best.expect("at least one rep"))
+    };
+    let router = best_of(LaneSel::Both)?;
+    let pim_only = best_of(LaneSel::Pim)?;
+    let cpu_only = best_of(LaneSel::Cpu)?;
+    let split = {
+        let mut best: Option<pim_host::HeteroOutcome> = None;
+        for _ in 0..reps {
+            let params = KernelParams {
+                band,
+                scheme: ScoringScheme::default(),
+                score_only: false,
+            };
+            let mut dcfg = DispatchConfig::new(
+                NwKernel::paper_default().with_interp_mode(opts.interp_mode),
+                params,
+            );
+            dcfg.engine = Engine::Pipelined {
+                fifo_depth: opts.fifo_depth.max(1),
+            };
+            dcfg.sim_threads = opts.sim_threads;
+            let mut server_cfg = ServerConfig::with_ranks(opts.ranks.max(1));
+            server_cfg.dpus_per_rank = opts.dpus.max(1);
+            let mut server = PimServer::new(server_cfg);
+            let hcfg = pim_host::HeteroConfig {
+                dispatch: dcfg,
+                cpu_threads,
+                cpu_band: band,
+                pim_workload_per_second: 0.0,
+                cpu_workload_per_second: 0.0,
+            };
+            let run = pim_host::align_pairs_hetero(&mut server, &hcfg, &pairs)
+                .map_err(|e| CliError::Align(e.to_string()))?;
+            if best
+                .as_ref()
+                .is_none_or(|b| run.host_seconds < b.host_seconds)
+            {
+                best = Some(run);
+            }
+        }
+        best.expect("at least one rep")
+    };
+    let routing_identical = router.results == pim_only.results
+        && router.results == cpu_only.results
+        && router.results == split.results;
+    let best_single = pim_only.seconds.min(cpu_only.seconds);
+    let router_vs_best_single = router.seconds / best_single.max(1e-12);
+    let router_vs_split = router.seconds / split.host_seconds.max(1e-12);
+
+    // (b) Cache phases: 0% / 30% / 90% repeated pairs; uncached reference,
+    // then a cold run (fresh cache, within-run dedup active) and a warm
+    // run (same cache again) through the router.
+    let mut phases = Vec::new();
+    for dup_frac in [0.0, 0.3, 0.9] {
+        let wl = dup_workload(&pairs, dup_frac);
+        let uncached = backend_route(&opts, band, LaneSel::Both, &wl, None)?;
+        let mut cache = pim_host::ResultCache::new(4096);
+        let cold = backend_route(&opts, band, LaneSel::Both, &wl, Some(&mut cache))?;
+        let warm = backend_route(&opts, band, LaneSel::Both, &wl, Some(&mut cache))?;
+        phases.push(CachePhase {
+            dup_frac,
+            uncached_seconds: uncached.seconds,
+            cold_seconds: cold.seconds,
+            warm_seconds: warm.seconds,
+            cold: cold.report.cache,
+            warm: warm.report.cache,
+            identical: cold.results == uncached.results && warm.results == uncached.results,
+        });
+    }
+    let conserved = phases
+        .iter()
+        .all(|p| p.cold.conserved() && p.warm.conserved());
+    let phases_identical = phases.iter().all(|p| p.identical);
+    let identical = routing_identical && phases_identical;
+    let dup90 = phases.last().expect("three phases");
+    let dup90_cold_speedup = dup90.uncached_seconds / dup90.cold_seconds.max(1e-12);
+    let dup90_warm_speedup = dup90.uncached_seconds / dup90.warm_seconds.max(1e-12);
+
+    let lane_json = |l: &pim_host::router::LaneReport| {
+        format!(
+            "{{\"name\": \"{}\", \"batches\": {}, \"pairs\": {}, \"units\": {}, \
+             \"busy_seconds\": {}, \"rate\": {}, \"utilization\": {}}}",
+            l.name,
+            l.batches,
+            l.pairs,
+            jf(l.units),
+            jf(l.busy_seconds),
+            jf(l.rate),
+            jf(l.utilization),
+        )
+    };
+    let outcome_json = |o: &pim_host::RouterOutcome| {
+        let lanes: Vec<String> = o.report.lanes.iter().map(lane_json).collect();
+        format!(
+            "{{\"wall_seconds\": {}, \"pairs_per_second\": {}, \"lanes\": [{}]}}",
+            jf(o.seconds),
+            jf(opts.pairs as f64 / o.seconds.max(1e-12)),
+            lanes.join(", "),
+        )
+    };
+    let cache_json = |c: &pim_host::CacheStats| {
+        format!(
+            "{{\"lookups\": {}, \"hits\": {}, \"misses\": {}, \"inserts\": {}, \
+             \"evictions\": {}, \"rejected_inserts\": {}, \"hit_rate\": {}}}",
+            c.lookups,
+            c.hits,
+            c.misses,
+            c.inserts,
+            c.evictions,
+            c.rejected_inserts,
+            jf(c.hit_rate()),
+        )
+    };
+    let phase_json: Vec<String> = phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"dup_fraction\": {}, \"uncached_seconds\": {}, \"cold_seconds\": {}, \
+                 \"warm_seconds\": {}, \"cold_speedup\": {}, \"warm_speedup\": {}, \
+                 \"cold_cache\": {}, \"warm_cache\": {}, \"conserved\": {}, \
+                 \"bit_identical\": {}}}",
+                jf(p.dup_frac),
+                jf(p.uncached_seconds),
+                jf(p.cold_seconds),
+                jf(p.warm_seconds),
+                jf(p.uncached_seconds / p.cold_seconds.max(1e-12)),
+                jf(p.uncached_seconds / p.warm_seconds.max(1e-12)),
+                cache_json(&p.cold),
+                cache_json(&p.warm),
+                p.cold.conserved() && p.warm.conserved(),
+                p.identical,
+            )
+        })
+        .collect();
+    let auto_json: Vec<String> = autos
+        .iter()
+        .map(|(name, mode)| format!("{}: \"{}\"", jstr(name), interp_mode_str(*mode)))
+        .collect();
+    let schema_version = upmem_nw_service::SCHEMA_VERSION;
+    let json = format!(
+        "{{\n  \"bench\": \"backend\",\n  \"schema_version\": {schema_version},\n  \
+         \"pairs\": {},\n  \"ranks\": {},\n  \"dpus_per_rank\": {},\n  \"band\": {band},\n  \
+         \"cpu_threads\": {cpu_threads},\n  \"seed\": {},\n  \
+         \"auto_modes\": {{{}}},\n  \
+         \"routing\": {{\n    \"router\": {},\n    \"pim_only\": {},\n    \"cpu_only\": {},\n    \
+         \"static_split\": {{\"wall_seconds\": {}, \"pim_pairs\": {}, \"cpu_pairs\": {}, \
+         \"pairs_per_second\": {}}},\n    \
+         \"router_vs_best_single\": {},\n    \"router_vs_split\": {},\n    \
+         \"bit_identical\": {}\n  }},\n  \
+         \"cache_phases\": [\n    {}\n  ],\n  \
+         \"dup90_cold_speedup\": {},\n  \"dup90_warm_speedup\": {},\n  \
+         \"conserved\": {conserved},\n  \"bit_identical\": {identical}\n}}\n",
+        opts.pairs,
+        opts.ranks.max(1),
+        opts.dpus.max(1),
+        opts.seed,
+        auto_json.join(", "),
+        outcome_json(&router),
+        outcome_json(&pim_only),
+        outcome_json(&cpu_only),
+        jf(split.host_seconds),
+        split.pim_pairs,
+        split.cpu_pairs,
+        jf(opts.pairs as f64 / split.host_seconds.max(1e-12)),
+        jf(router_vs_best_single),
+        jf(router_vs_split),
+        routing_identical,
+        phase_json.join(",\n    "),
+        jf(dup90_cold_speedup),
+        jf(dup90_warm_speedup),
+    );
+    let path = opts
+        .json_path
+        .clone()
+        .unwrap_or_else(|| "BENCH_backend.json".to_string());
+    std::fs::write(&path, &json)?;
+
+    let mut out = format!(
+        "bench backend: {} pairs, {} ranks x {} DPUs, band {band}, {} cpu threads\n",
+        opts.pairs,
+        opts.ranks.max(1),
+        opts.dpus.max(1),
+        cpu_threads,
+    );
+    for (name, mode) in &autos {
+        let _ = writeln!(out, "  auto tier {name}: {}", interp_mode_str(*mode));
+    }
+    let _ = writeln!(
+        out,
+        "routing (mixed workload):\n\
+         \x20 router    {:.4}s ({})\n\
+         \x20 pim-only  {:.4}s\n\
+         \x20 cpu-only  {:.4}s\n\
+         \x20 split     {:.4}s (pim {} / cpu {} pairs)\n\
+         \x20 router vs best single {:.2}x, vs split {:.2}x (lower is better)",
+        router.seconds,
+        router.report.summary(),
+        pim_only.seconds,
+        cpu_only.seconds,
+        split.host_seconds,
+        split.pim_pairs,
+        split.cpu_pairs,
+        router_vs_best_single,
+        router_vs_split,
+    );
+    for p in &phases {
+        let _ = writeln!(
+            out,
+            "cache {}% dup: uncached {:.4}s, cold {:.4}s ({:.2}x, {} hits/{} lookups), \
+             warm {:.4}s ({:.2}x, {} hits/{} lookups)",
+            (p.dup_frac * 100.0).round(),
+            p.uncached_seconds,
+            p.cold_seconds,
+            p.uncached_seconds / p.cold_seconds.max(1e-12),
+            p.cold.hits,
+            p.cold.lookups,
+            p.warm_seconds,
+            p.uncached_seconds / p.warm_seconds.max(1e-12),
+            p.warm.hits,
+            p.warm.lookups,
+        );
+    }
+    let _ = writeln!(out, "wrote {path}");
+    if !conserved {
+        return Err(CliError::Align(format!(
+            "cache counters do not conserve (hits + misses != lookups)\n{out}"
+        )));
+    }
+    if !identical {
+        return Err(CliError::Align(format!(
+            "backends disagree: routed/cached results are not bit-identical \
+             to the single-backend reference\n{out}"
+        )));
+    }
+    let _ = writeln!(out, "all backends and cache phases bit-identical");
+    Ok(out)
+}
+
 /// Server topology description.
 pub fn cmd_info(ranks: usize) -> String {
     let server = PimServer::new(ServerConfig::with_ranks(ranks.max(1)));
@@ -1525,6 +2047,8 @@ mod tests {
                 0,
                 false,
                 InterpMode::default(),
+                None,
+                0,
             )
             .unwrap();
             let lines: Vec<&str> = tsv.lines().skip(1).collect();
@@ -1554,10 +2078,79 @@ mod tests {
                 false,
                 0,
                 false,
-                InterpMode::default()
+                InterpMode::default(),
+                None,
+                0
             ),
             Err(CliError::Usage(_))
         ));
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
+    }
+
+    #[test]
+    fn align_backend_paths_match_the_adaptive_reference() {
+        // r2/s2 repeats r0/s0 so a cache-enabled run exercises the
+        // within-run duplicate path too.
+        let a = write_temp(
+            "ba.fa",
+            ">r0\nACGTACGTACGTACGT\n>r1\nGATTACAGATTACA\n>r2\nACGTACGTACGTACGT\n",
+        );
+        let b = write_temp(
+            "bb.fa",
+            ">s0\nACGTACGGACGTACGT\n>s1\nGATTACAGATTACA\n>s2\nACGTACGGACGTACGT\n",
+        );
+        let rows = |tsv: &str| -> Vec<String> {
+            tsv.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(str::to_owned)
+                .collect()
+        };
+        let reference = rows(
+            &cmd_align(
+                &a,
+                &b,
+                Algo::Adaptive,
+                16,
+                1,
+                2,
+                false,
+                0,
+                false,
+                InterpMode::default(),
+                None,
+                0,
+            )
+            .unwrap(),
+        );
+        assert_eq!(reference.len(), 3);
+        for choice in [
+            BackendChoice::Pim,
+            BackendChoice::Cpu,
+            BackendChoice::Router,
+            BackendChoice::Split,
+        ] {
+            for cache in [0usize, 64] {
+                let tsv = cmd_align(
+                    &a,
+                    &b,
+                    Algo::Adaptive,
+                    16,
+                    1,
+                    2,
+                    false,
+                    0,
+                    false,
+                    InterpMode::default(),
+                    Some(choice),
+                    cache,
+                )
+                .unwrap();
+                // The backend path appends a telemetry note line.
+                assert!(tsv.lines().last().unwrap().starts_with('#'), "{tsv}");
+                assert_eq!(rows(&tsv), reference, "{choice:?} cache={cache}");
+            }
+        }
         std::fs::remove_file(a).ok();
         std::fs::remove_file(b).ok();
     }
@@ -1776,6 +2369,47 @@ mod tests {
             "\"stall\"",
             "\"host_wall_seconds\"",
             "\"pairs_per_second\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bench_backend_smoke_writes_valid_json() {
+        let path = std::env::temp_dir().join(format!(
+            "upmem-nw-cli-test-{}-BENCH_backend.json",
+            std::process::id()
+        ));
+        let opts = BenchOpts {
+            pairs: 6,
+            ranks: 1,
+            dpus: 2,
+            smoke: true,
+            backend: true,
+            json_path: Some(path.to_string_lossy().into_owned()),
+            ..BenchOpts::default()
+        };
+        let out = cmd_bench(&opts).expect("backend bench must run and stay bit-identical");
+        assert!(
+            out.contains("all backends and cache phases bit-identical"),
+            "{out}"
+        );
+        let json = std::fs::read_to_string(&path).unwrap();
+        for key in [
+            "\"bench\": \"backend\"",
+            "\"schema_version\"",
+            "\"auto_modes\"",
+            "\"router\"",
+            "\"pim_only\"",
+            "\"cpu_only\"",
+            "\"static_split\"",
+            "\"router_vs_best_single\"",
+            "\"cache_phases\"",
+            "\"dup90_cold_speedup\"",
+            "\"dup90_warm_speedup\"",
+            "\"conserved\": true",
+            "\"bit_identical\": true",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

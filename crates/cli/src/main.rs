@@ -5,6 +5,7 @@
 //!                 [--band 128] [--ranks 4] [--fifo-depth 2] [--sync-dispatch true]
 //!                 [--sim-threads 0] [--audit true] [--out results.tsv]
 //!                 [--interp-mode checked|fast|jit|auto]
+//!                 [--backend pim|cpu|router|split] [--cache N]
 //! upmem-nw matrix --in seqs.fa [--band 128] [--ranks 4] [--out matrix.tsv]
 //! upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N
 //!                 [--seed S] [--out data.fa]
@@ -19,14 +20,21 @@
 //! budget from the kernels' symbolic WCET bounds; `0` turns the watchdog
 //! off; any other number is an explicit budget. `--interp-mode` picks the
 //! simulator interpreter tier (checked oracle, verified dense fast path,
-//! or the block-translating JIT; `auto` takes jit when the verifier gate
-//! holds, checked otherwise).
+//! or the block-translating JIT; `auto` runs a one-time timed calibration
+//! probe and keeps the faster verified tier, falling back to checked when
+//! the verifier gate fails). `align --backend` routes pairs through the
+//! heterogeneous backend layer (PiM, the CPU pool, the dynamic cost-model
+//! router, or the static split); `--cache N` puts a content-addressed
+//! result cache of capacity N in front (implies `--backend router`).
+//! `serve --cache N` sizes the daemon's persistent result cache
+//! (default 4096; 0 disables). `bench --backend true` benchmarks the
+//! router against single backends and the cache at 0/30/90% duplicates.
 //! upmem-nw bench  [--pairs 48] [--ranks 4] [--dpus 4] [--rounds 6] [--band 64]
 //!                 [--fifo-depth 2] [--seed 42] [--straggler-hold-ms 35]
-//!                 [--smoke true] [--sim true] [--serve true] [--sim-threads 0]
-//!                 [--pairs-per-request 4] [--requests 48]
+//!                 [--smoke true] [--sim true] [--serve true] [--backend true]
+//!                 [--sim-threads 0] [--pairs-per-request 4] [--requests 48]
 //!                 [--interp-mode checked|fast|jit|auto]
-//!                 [--json BENCH_dispatch.json|BENCH_sim.json|BENCH_serve.json]
+//!                 [--json BENCH_dispatch.json|BENCH_sim.json|BENCH_serve.json|BENCH_backend.json]
 //! upmem-nw serve  [--socket /tmp/upmem-nw.sock] [--ranks 2] [--dpus 8]
 //!                 [--band 64] [--fifo-depth 2] [--sim-threads 0] [--retries 3]
 //!                 [--quarantine 3] [--audit false] [--stall-deadline 5]
@@ -34,7 +42,7 @@
 //!                 [--queue-pairs 4096] [--max-open 8] [--max-request-pairs 1024]
 //!                 [--default-deadline-ms MS] [--seed 42] [--dpu-fault-rate 0]
 //!                 [--hang-faults 0] [--corrupt-cigars 0] [--json report.json]
-//!                 [--interp-mode checked|fast|jit|auto]
+//!                 [--interp-mode checked|fast|jit|auto] [--cache 4096]
 //! upmem-nw info   [--ranks 40]
 //! upmem-nw lint   [--verbose true] [--json true]
 //! ```
@@ -43,14 +51,14 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use upmem_nw_cli::{
     cmd_align, cmd_bench, cmd_bench_serve, cmd_chaos, cmd_generate, cmd_info, cmd_lint, cmd_matrix,
-    cmd_serve, install_interrupt_handler, parse_interp_mode, Algo, BenchOpts, BenchServeOpts,
-    ChaosOpts, CliError,
+    cmd_serve, install_interrupt_handler, parse_interp_mode, Algo, BackendChoice, BenchOpts,
+    BenchServeOpts, ChaosOpts, CliError,
 };
 use upmem_nw_service::ServeOptions;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--audit true] [--interp-mode checked|fast|jit|auto] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw chaos [--seed S] [--pairs N] [--ranks N] [--dpus N] [--band N] [--dpu-fault-rate P] [--corrupt-rate P] [--hang-faults P] [--corrupt-cigars P] [--watchdog-cycles auto|0|N] [--deadline SECS] [--audit false] [--disabled N] [--retries N] [--quarantine N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--interp-mode checked|fast|jit|auto]\n  upmem-nw bench [--pairs N] [--ranks N] [--dpus N] [--rounds N] [--band N] [--fifo-depth N] [--seed S] [--straggler-hold-ms MS] [--smoke true] [--sim true] [--serve true] [--pairs-per-request N] [--requests N] [--sim-threads N] [--interp-mode checked|fast|jit|auto] [--json file]\n  upmem-nw serve [--socket path] [--ranks N] [--dpus N] [--band N] [--fifo-depth N] [--sim-threads N] [--retries N] [--quarantine N] [--audit false] [--stall-deadline SECS] [--watchdog-cycles N] [--queue-requests N] [--queue-pairs N] [--max-open N] [--max-request-pairs N] [--default-deadline-ms MS] [--seed S] [--dpu-fault-rate P] [--hang-faults P] [--corrupt-cigars P] [--interp-mode checked|fast|jit|auto] [--json file]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true] [--json true]"
+        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--audit true] [--interp-mode checked|fast|jit|auto] [--backend pim|cpu|router|split] [--cache N] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw chaos [--seed S] [--pairs N] [--ranks N] [--dpus N] [--band N] [--dpu-fault-rate P] [--corrupt-rate P] [--hang-faults P] [--corrupt-cigars P] [--watchdog-cycles auto|0|N] [--deadline SECS] [--audit false] [--disabled N] [--retries N] [--quarantine N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--interp-mode checked|fast|jit|auto]\n  upmem-nw bench [--pairs N] [--ranks N] [--dpus N] [--rounds N] [--band N] [--fifo-depth N] [--seed S] [--straggler-hold-ms MS] [--smoke true] [--sim true] [--serve true] [--backend true] [--pairs-per-request N] [--requests N] [--sim-threads N] [--interp-mode checked|fast|jit|auto] [--json file]\n  upmem-nw serve [--socket path] [--ranks N] [--dpus N] [--band N] [--fifo-depth N] [--sim-threads N] [--retries N] [--quarantine N] [--audit false] [--stall-deadline SECS] [--watchdog-cycles N] [--queue-requests N] [--queue-pairs N] [--max-open N] [--max-request-pairs N] [--default-deadline-ms MS] [--seed S] [--dpu-fault-rate P] [--hang-faults P] [--corrupt-cigars P] [--interp-mode checked|fast|jit|auto] [--cache N] [--json file]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true] [--json true]"
     );
     std::process::exit(2)
 }
@@ -111,6 +119,14 @@ fn run() -> Result<String, CliError> {
             let algo = get("algo")
                 .map(|v| Algo::parse(&v).unwrap_or_else(|| usage()))
                 .unwrap_or(Algo::Adaptive);
+            let cache_capacity: usize = get("cache")
+                .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or(0);
+            // --cache without --backend implies the router (the cache sits
+            // in front of the routed path only).
+            let backend = get("backend")
+                .map(|v| BackendChoice::parse(&v).unwrap_or_else(|| usage()))
+                .or((cache_capacity > 0).then_some(BackendChoice::Router));
             cmd_align(
                 &a,
                 &b,
@@ -122,6 +138,8 @@ fn run() -> Result<String, CliError> {
                 sim_threads,
                 get("audit").is_some_and(|v| v == "true"),
                 interp_mode,
+                backend,
+                cache_capacity,
             )?
         }
         "matrix" => {
@@ -246,6 +264,7 @@ fn run() -> Result<String, CliError> {
                     .map(|v| v.parse().unwrap_or_else(|_| usage())),
                 fault,
                 interp_mode,
+                cache_capacity: uint("cache", defaults.cache_capacity),
             };
             cmd_serve(&opts, get("json").as_deref())?
         }
@@ -273,6 +292,7 @@ fn run() -> Result<String, CliError> {
                 json_path: get("json"),
                 sim_threads,
                 sim: get("sim").is_some_and(|v| v == "true"),
+                backend: get("backend").is_some_and(|v| v == "true"),
                 interp_mode,
             };
             cmd_bench(&opts)?

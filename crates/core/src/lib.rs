@@ -18,6 +18,9 @@
 //!   (`N`) substitution policy.
 //! * [`traceback`] / [`cigar`] — the 4-bit `BT` encoding (§4.2.2) and CIGAR
 //!   production/validation.
+//! * [`jobkey`] — the canonical content hash of one alignment job
+//!   (sequences + scoring + band + mode): the result-cache identity shared
+//!   by every backend.
 //! * [`accuracy`] — the paper's accuracy metric: fraction of pairs whose
 //!   banded score equals the full-DP optimum (§5.1).
 //! * [`pretty`] — Figure-1 style rendering of an alignment.
@@ -42,6 +45,7 @@ pub mod banded;
 pub mod cigar;
 pub mod error;
 pub mod full;
+pub mod jobkey;
 pub mod pretty;
 pub mod rng;
 pub mod scoring;
@@ -54,6 +58,7 @@ pub use banded::BandedAligner;
 pub use cigar::{Cigar, CigarOp};
 pub use error::AlignError;
 pub use full::{FullAligner, GapModel};
+pub use jobkey::{job_key, job_key_seqs, JobKey};
 pub use scoring::ScoringScheme;
 pub use seq::{Base, DnaSeq, PackedSeq};
 

@@ -24,6 +24,7 @@ use pim_sim::isa::{
 };
 use pim_sim::sanitizer::WramShadow;
 use std::sync::OnceLock;
+use std::time::Instant;
 
 pub use pim_sim::isa::InterpMode;
 
@@ -615,6 +616,99 @@ pub fn core_bench(
         total += stats.instructions;
     }
     total
+}
+
+/// Passes per timed calibration sample: long enough that `Instant`
+/// granularity is noise, short enough that the one-time probe stays in the
+/// low milliseconds per tier.
+const PROBE_PASSES: u32 = 24;
+/// Best-of repetitions per tier; round-robin so scheduler drift hits every
+/// tier equally.
+const PROBE_REPS: usize = 3;
+
+fn cache_index(variant: KernelVariant, with_bt: bool) -> usize {
+    let base = match variant {
+        KernelVariant::PureC => 0,
+        KernelVariant::Asm => 2,
+    };
+    base + usize::from(with_bt)
+}
+
+/// The interpreter tier `--interp-mode auto` should pick for this kernel,
+/// decided once per process from a timed calibration probe.
+///
+/// Eligibility gates come first: a kernel that fails fast-path
+/// verification runs [`InterpMode::Checked`], one the block translator
+/// cannot cover runs [`InterpMode::Fast`]. When both accelerated tiers are
+/// available the *measured* faster one wins — `BENCH_sim.json` shows the
+/// JIT is slower than the fast tier for the `pure_c` kernels (blocks too
+/// short for the cell matcher), so "eligible" must not mean "chosen". The
+/// probe runs [`core_bench`] round-robin, best-of-[`PROBE_REPS`], on the
+/// exact prepared/jitted artifacts production launches use.
+pub fn auto_mode(variant: KernelVariant, with_bt: bool) -> InterpMode {
+    static CACHE: [OnceLock<InterpMode>; 4] = [const { OnceLock::new() }; 4];
+    *CACHE[cache_index(variant, with_bt)].get_or_init(|| {
+        if !prepared(variant, with_bt).fast_eligible() {
+            return InterpMode::Checked;
+        }
+        if !jitted(variant, with_bt).jit_eligible() {
+            return InterpMode::Fast;
+        }
+        let mut best = [f64::INFINITY; 2];
+        let tiers = [InterpMode::Fast, InterpMode::Jit];
+        // Warm both code paths (lazy translation, icache) off the clock.
+        for mode in tiers {
+            core_bench(variant, with_bt, PROOF_CELLS, 1, mode);
+        }
+        for _ in 0..PROBE_REPS {
+            for (slot, mode) in best.iter_mut().zip(tiers) {
+                let t = Instant::now();
+                core_bench(variant, with_bt, PROOF_CELLS, PROBE_PASSES, mode);
+                *slot = slot.min(t.elapsed().as_secs_f64());
+            }
+        }
+        if best[1] < best[0] {
+            InterpMode::Jit
+        } else {
+            InterpMode::Fast
+        }
+    })
+}
+
+/// Measured host-side interpreter throughput in simulated instructions per
+/// second for one kernel/tier, memoized per process. The WCET bounds price
+/// a job in *simulated* cycles; this converts them to host seconds on the
+/// machine actually running the simulator, which is what the backend
+/// router's first-batch PiM estimate needs before any feedback exists.
+pub fn host_instr_rate(variant: KernelVariant, with_bt: bool, mode: InterpMode) -> f64 {
+    static CACHE: [OnceLock<f64>; 12] = [const { OnceLock::new() }; 12];
+    let midx = match mode {
+        InterpMode::Checked => 0,
+        InterpMode::Fast => 1,
+        InterpMode::Jit => 2,
+    };
+    *CACHE[cache_index(variant, with_bt) * 3 + midx].get_or_init(|| {
+        // Fall back to an always-legal tier if the requested one is gated.
+        let mode = if mode == InterpMode::Jit && !jitted(variant, with_bt).jit_eligible() {
+            InterpMode::Fast
+        } else {
+            mode
+        };
+        let mode = if mode == InterpMode::Fast && !prepared(variant, with_bt).fast_eligible() {
+            InterpMode::Checked
+        } else {
+            mode
+        };
+        core_bench(variant, with_bt, PROOF_CELLS, 1, mode);
+        let mut best = f64::INFINITY;
+        let mut instrs = 0u64;
+        for _ in 0..PROBE_REPS {
+            let t = Instant::now();
+            instrs = core_bench(variant, with_bt, PROOF_CELLS, PROBE_PASSES, mode);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        (instrs as f64 / best.max(1e-9)).max(1.0)
+    })
 }
 
 /// Order-sensitive digest of a pass's outputs — the current H/D/I rows and

@@ -1,0 +1,390 @@
+//! Content-addressed result cache: [`nw_core::JobKey`] → `(score, CIGAR)`.
+//!
+//! At "millions of users" scale repeated pairs dominate the request
+//! stream, and under the bit-identity contract every backend returns the
+//! same result for the same job — so a hit can skip the DPU pipeline and
+//! the CPU pool entirely. The cache sits *in front of* the backend router
+//! ([`crate::router`]) and inside the serve daemon (one cache for the
+//! daemon lifetime, persisting across tickets).
+//!
+//! **Eviction** is two-generation segmented LRU: entries live in a `hot`
+//! and a `cold` map. Lookups promote cold hits to hot; inserts go to hot;
+//! when hot reaches half the capacity, the surviving cold generation is
+//! dropped (those entries were neither looked up nor re-inserted for a
+//! whole generation) and hot rotates down to cold. Every operation is
+//! O(1), total residency never exceeds `capacity`, and recently-used
+//! entries survive at least one rotation — LRU-ish without per-entry
+//! timestamps or list links.
+//!
+//! **Safety invariant** (the PR 5 audit gate): a result enters the cache
+//! only through [`ResultCache::insert_audited`], which re-validates the
+//! CIGAR against the original sequences and re-scores it
+//! ([`crate::recovery::audit_ok`]). A corrupted result — even a *silently*
+//! corrupted one whose checksum was recomputed by the fault — can
+//! therefore never be served twice. Non-`Ok` results are never cached
+//! (failures must be recomputed, not replayed).
+
+use crate::recovery::audit_ok;
+use dpu_kernel::layout::{JobResult, JobStatus};
+use nw_core::seq::{DnaSeq, PackedSeq};
+use nw_core::{job_key_seqs, JobKey, ScoringScheme};
+use std::collections::HashMap;
+
+/// Cache counters; `hits + misses == lookups` is the conservation law the
+/// bench validator asserts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookup calls.
+    pub lookups: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a backend.
+    pub misses: u64,
+    /// Results stored.
+    pub inserts: u64,
+    /// Entries dropped by generation rotation.
+    pub evictions: u64,
+    /// Insert attempts refused by the audit gate (failed results, audit
+    /// mismatches, or a disabled cache).
+    pub rejected_inserts: u64,
+}
+
+impl CacheStats {
+    /// Hits per lookup (0.0 with no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.lookups as f64
+    }
+
+    /// The conservation law: every lookup is a hit or a miss.
+    pub fn conserved(&self) -> bool {
+        self.hits + self.misses == self.lookups
+    }
+
+    /// Fold another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.inserts += other.inserts;
+        self.evictions += other.evictions;
+        self.rejected_inserts += other.rejected_inserts;
+    }
+}
+
+/// Bounded content-addressed result cache with segmented-LRU eviction.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    hot: HashMap<JobKey, JobResult>,
+    cold: HashMap<JobKey, JobResult>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results; 0 disables caching
+    /// (every lookup misses, every insert is refused).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            hot: HashMap::new(),
+            cold: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.hot.len() + self.cold.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Look one job up; a cold-generation hit is promoted to hot.
+    pub fn lookup(&mut self, key: &JobKey) -> Option<JobResult> {
+        self.stats.lookups += 1;
+        if let Some(r) = self.hot.get(key) {
+            self.stats.hits += 1;
+            return Some(r.clone());
+        }
+        if let Some(r) = self.cold.remove(key) {
+            self.stats.hits += 1;
+            let out = r.clone();
+            self.store_hot(*key, r);
+            return Some(out);
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Insert through the audit gate: only a status-`Ok` result whose
+    /// CIGAR validates against `pair` and re-scores to its claimed score
+    /// is stored. Returns whether the result was accepted.
+    pub fn insert_audited(
+        &mut self,
+        key: JobKey,
+        pair: &(PackedSeq, PackedSeq),
+        res: &JobResult,
+        scheme: &ScoringScheme,
+    ) -> bool {
+        if self.capacity == 0
+            || res.status != JobStatus::Ok
+            || res.cigar.runs().is_empty()
+            || !audit_ok(pair, res, scheme)
+        {
+            self.stats.rejected_inserts += 1;
+            return false;
+        }
+        self.stats.inserts += 1;
+        self.cold.remove(&key);
+        self.store_hot(key, res.clone());
+        true
+    }
+
+    /// Place an entry in the hot generation, rotating when it fills.
+    fn store_hot(&mut self, key: JobKey, res: JobResult) {
+        self.hot.insert(key, res);
+        let hot_cap = self.capacity.div_ceil(2).max(1);
+        if self.hot.len() >= hot_cap && self.capacity > 0 {
+            self.stats.evictions += self.cold.len() as u64;
+            self.cold = std::mem::take(&mut self.hot);
+        }
+    }
+}
+
+/// Outcome of a cache pre-pass over a pair list ([`serve_hits`]).
+#[derive(Debug)]
+pub struct CachePrepass {
+    /// One slot per input pair; hits are already filled.
+    pub slots: Vec<Option<JobResult>>,
+    /// The key of each pair (`None` when no cache was supplied).
+    pub keys: Vec<Option<JobKey>>,
+    /// Indices that must be computed, in input order.
+    pub work: Vec<usize>,
+    /// Within-run duplicates `(index, first_index)`: deferred, served by
+    /// [`resolve`] once the first occurrence's result is cached.
+    pub aliases: Vec<(usize, usize)>,
+}
+
+/// Cache pre-pass shared by the router, the hetero path, and the daemon:
+/// hits fill their slots, misses form the worklist, and duplicates within
+/// the run are deduplicated (only the first occurrence of a key is
+/// computed — the rest are served from the cache post-compute, each as
+/// one counted lookup).
+pub fn serve_hits(
+    mut cache: Option<&mut ResultCache>,
+    pairs: &[(DnaSeq, DnaSeq)],
+    scheme: &ScoringScheme,
+    band: usize,
+    score_only: bool,
+) -> CachePrepass {
+    let mut slots: Vec<Option<JobResult>> = (0..pairs.len()).map(|_| None).collect();
+    let mut keys: Vec<Option<JobKey>> = vec![None; pairs.len()];
+    let mut work: Vec<usize> = Vec::with_capacity(pairs.len());
+    let mut aliases: Vec<(usize, usize)> = Vec::new();
+    let mut first_of: HashMap<JobKey, usize> = HashMap::new();
+    for (i, (a, b)) in pairs.iter().enumerate() {
+        if let Some(c) = cache.as_mut() {
+            let key = job_key_seqs(a, b, scheme, band, score_only);
+            keys[i] = Some(key);
+            if let Some(&first) = first_of.get(&key) {
+                aliases.push((i, first));
+                continue;
+            }
+            first_of.insert(key, i);
+            if let Some(hit) = c.lookup(&key) {
+                slots[i] = Some(hit);
+                continue;
+            }
+        }
+        work.push(i);
+    }
+    CachePrepass {
+        slots,
+        keys,
+        work,
+        aliases,
+    }
+}
+
+/// Cache post-pass: insert every computed result (the `work` indices,
+/// whose slots the caller has filled) behind the audit gate, then serve
+/// the deferred duplicates — from the cache when the insert was accepted
+/// (one counted hit each), by copying the computed twin when it was
+/// audit-rejected. Returns the fully resolved result list in input order.
+pub fn resolve(
+    mut cache: Option<&mut ResultCache>,
+    pairs: &[(DnaSeq, DnaSeq)],
+    scheme: &ScoringScheme,
+    mut slots: Vec<Option<JobResult>>,
+    keys: &[Option<JobKey>],
+    work: &[usize],
+    aliases: &[(usize, usize)],
+) -> Vec<JobResult> {
+    if let Some(c) = cache.as_mut() {
+        for &i in work {
+            if let (Some(key), Some(res)) = (keys[i], slots[i].as_ref()) {
+                let packed = (pairs[i].0.pack(), pairs[i].1.pack());
+                c.insert_audited(key, &packed, res, scheme);
+            }
+        }
+    }
+    for &(i, first) in aliases {
+        let served = match (cache.as_mut(), keys[i].as_ref()) {
+            (Some(c), Some(key)) => c.lookup(key),
+            _ => None,
+        };
+        slots[i] = Some(match served {
+            Some(hit) => hit,
+            None => slots[first].clone().expect("first occurrence resolved"),
+        });
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("pair {i} unresolved")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nw_core::cigar::Cigar;
+    use nw_core::seq::DnaSeq;
+    use nw_core::{job_key_seqs, AdaptiveAligner};
+
+    fn seq(text: &str) -> DnaSeq {
+        DnaSeq::from_ascii(text.as_bytes()).unwrap()
+    }
+
+    fn aligned_pair(k: usize) -> (DnaSeq, DnaSeq, JobResult) {
+        let a = seq(&"ACGTGGTCAT".repeat(3 + k % 3));
+        let mut b_text = a.to_ascii();
+        b_text.insert(2 + k % 5, b'T');
+        let b = DnaSeq::from_ascii(&b_text).unwrap();
+        let aln = AdaptiveAligner::new(ScoringScheme::default(), 32)
+            .align(&a, &b)
+            .unwrap();
+        (
+            a,
+            b,
+            JobResult {
+                status: JobStatus::Ok,
+                score: aln.score,
+                cigar: aln.cigar,
+            },
+        )
+    }
+
+    fn key_of(a: &DnaSeq, b: &DnaSeq) -> JobKey {
+        job_key_seqs(a, b, &ScoringScheme::default(), 32, false)
+    }
+
+    #[test]
+    fn hit_after_audited_insert_returns_the_same_result() {
+        let mut c = ResultCache::new(64);
+        let (a, b, res) = aligned_pair(0);
+        let key = key_of(&a, &b);
+        assert!(c.lookup(&key).is_none());
+        assert!(c.insert_audited(key, &(a.pack(), b.pack()), &res, &ScoringScheme::default()));
+        assert_eq!(c.lookup(&key), Some(res));
+        let s = c.stats();
+        assert_eq!((s.lookups, s.hits, s.misses, s.inserts), (2, 1, 1, 1));
+        assert!(s.conserved());
+    }
+
+    #[test]
+    fn audit_gate_refuses_corrupt_and_failed_results() {
+        let mut c = ResultCache::new(64);
+        let scheme = ScoringScheme::default();
+        let (a, b, good) = aligned_pair(1);
+        let key = key_of(&a, &b);
+        let pair = (a.pack(), b.pack());
+        // Silent corruption: score off by one (checksum-style integrity
+        // would pass; only the audit catches it).
+        let mut bad_score = good.clone();
+        bad_score.score += 1;
+        assert!(!c.insert_audited(key, &pair, &bad_score, &scheme));
+        // Corrupt CIGAR that no longer matches the sequences.
+        let mut bad_cigar = good.clone();
+        bad_cigar.cigar = Cigar::new();
+        bad_cigar.cigar.push_run(3, nw_core::CigarOp::Match);
+        assert!(!c.insert_audited(key, &pair, &bad_cigar, &scheme));
+        // Failed results never cache.
+        let failed = JobResult {
+            status: JobStatus::OutOfBand,
+            score: 0,
+            cigar: Cigar::new(),
+        };
+        assert!(!c.insert_audited(key, &pair, &failed, &scheme));
+        assert!(c.is_empty());
+        assert_eq!(c.stats().rejected_inserts, 3);
+        // The good result still gets in.
+        assert!(c.insert_audited(key, &pair, &good, &scheme));
+        assert_eq!(c.lookup(&key), Some(good));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        let (a, b, res) = aligned_pair(2);
+        let key = key_of(&a, &b);
+        assert!(!c.insert_audited(key, &(a.pack(), b.pack()), &res, &ScoringScheme::default()));
+        assert!(c.lookup(&key).is_none());
+        assert!(c.stats().conserved());
+    }
+
+    #[test]
+    fn eviction_is_bounded_and_favors_recent_entries() {
+        let scheme = ScoringScheme::default();
+        let mut c = ResultCache::new(8);
+        let mut keys = Vec::new();
+        for k in 0..40 {
+            let (a, b, res) = aligned_pair(k);
+            // Vary the band so every k gets a distinct key even when the
+            // generator cycles sequences.
+            let key = job_key_seqs(&a, &b, &scheme, 16 * (k + 1), false);
+            c.insert_audited(key, &(a.pack(), b.pack()), &res, &scheme);
+            keys.push(key);
+            assert!(c.len() <= 8, "capacity bound violated: {}", c.len());
+        }
+        assert!(c.stats().evictions > 0, "rotation must have evicted");
+        // The most recent insert is always resident.
+        assert!(c.lookup(keys.last().unwrap()).is_some());
+        // The oldest entries have been rotated out.
+        assert!(c.lookup(&keys[0]).is_none());
+        assert!(c.stats().conserved());
+    }
+
+    #[test]
+    fn cold_hits_promote_and_survive_rotation() {
+        let scheme = ScoringScheme::default();
+        let mut c = ResultCache::new(4); // hot capacity 2
+        let (a, b, res) = aligned_pair(0);
+        let favored = job_key_seqs(&a, &b, &scheme, 16, false);
+        let pair = (a.pack(), b.pack());
+        c.insert_audited(favored, &pair, &res, &scheme);
+        // Keep touching `favored` while churning other keys through; the
+        // promotions must keep it resident.
+        for k in 1..20 {
+            let key = job_key_seqs(&a, &b, &scheme, 16 * (k + 1), false);
+            c.insert_audited(key, &pair, &res, &scheme);
+            assert!(c.lookup(&favored).is_some(), "churn round {k}");
+        }
+    }
+}

@@ -32,8 +32,16 @@
 //! * [`persistent`] — the non-draining engine the serve daemon drives:
 //!   the same rank workers kept alive across requests, with per-ticket
 //!   recovery, cancellation, and CPU fallback.
+//! * [`backend`] — the [`backend::Backend`] trait: PiM and the CPU pool as
+//!   first-class peers, each self-reporting measured eq.-6 units/second.
+//! * [`router`] — the cost-model router: every batch goes to whichever
+//!   backend clears it soonest given queue depth and the measured rates.
+//! * [`cache`] — the content-addressed result cache in front of the
+//!   router, keyed by [`nw_core::JobKey`], audit-gated on insert.
 
+pub mod backend;
 pub mod balance;
+pub mod cache;
 pub mod deadline;
 pub mod dispatch;
 pub mod encode;
@@ -44,11 +52,14 @@ pub mod persistent;
 pub mod pipeline;
 pub mod recovery;
 pub mod report;
+pub mod router;
 
+pub use backend::{Backend, BackendBatch, CpuPoolBackend, SimPimBackend};
 pub use balance::{lpt_assign, pair_workloads, round_robin_assign};
+pub use cache::{CacheStats, ResultCache};
 pub use deadline::DeadlinePolicy;
 pub use dispatch::{DispatchConfig, Engine};
-pub use hetero::{align_pairs_hetero, HeteroConfig, HeteroOutcome};
+pub use hetero::{align_pairs_hetero, align_pairs_hetero_cached, HeteroConfig, HeteroOutcome};
 pub use modes::{align_pairs, align_sets, all_vs_all};
 pub use persistent::{with_persistent_engine, EngineCtl, EngineStats, TicketDone};
 pub use pipeline::{
@@ -59,3 +70,4 @@ pub use recovery::{
     FaultReport, HealthTracker, RecoveryConfig,
 };
 pub use report::ExecutionReport;
+pub use router::{route_pairs, RouterConfig, RouterOutcome, RouterReport};

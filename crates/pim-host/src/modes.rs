@@ -375,6 +375,7 @@ pub(crate) fn make_report(
         mean_rank_imbalance: outcome.mean_rank_imbalance,
         fault: outcome.fault,
         pipeline: outcome.pipeline,
+        router: None,
     }
 }
 

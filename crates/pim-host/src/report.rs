@@ -39,6 +39,9 @@ pub struct ExecutionReport {
     pub fault: FaultReport,
     /// Host pipeline measurements (`None` under the lockstep engine).
     pub pipeline: Option<PipelineMetrics>,
+    /// Backend-router and cache telemetry (`None` unless the run went
+    /// through [`crate::router::route_pairs`]).
+    pub router: Option<crate::router::RouterReport>,
 }
 
 impl ExecutionReport {
@@ -104,6 +107,11 @@ impl ExecutionReport {
         self.workload += other.workload;
         self.fault.merge(&other.fault);
         self.pipeline = None;
+        match (self.router.as_mut(), other.router.as_ref()) {
+            (Some(mine), Some(theirs)) => mine.merge(theirs),
+            (None, Some(theirs)) => self.router = Some(theirs.clone()),
+            _ => {}
+        }
     }
 
     /// A one-line summary for harness logs.
@@ -125,6 +133,10 @@ impl ExecutionReport {
                 ", audited {} ({} failed)",
                 self.fault.audit_checked, self.fault.audit_failures
             ));
+        }
+        if let Some(router) = &self.router {
+            s.push_str("; ");
+            s.push_str(&router.summary());
         }
         s
     }

@@ -33,15 +33,26 @@
 //!   or a `{"op":"drain"}` request: stop accepting connections, reject new
 //!   requests, finish (or deadline-out) everything accepted, answer every
 //!   client, then return the final [`ServiceReport`].
+//! * **Result caching** — a content-addressed [`ResultCache`] persists
+//!   across tickets: at dispatch each request is pre-passed against the
+//!   cache, an all-hit request is answered without an engine ticket, and a
+//!   partial hit submits only the misses. Computed results enter the cache
+//!   behind the audit gate (never an unverified or failed result).
+//! * **Live telemetry** — `{"op":"stats"}` answers inline with queue
+//!   depth, cache hit rate, and per-backend pair counts, without draining.
 
-use crate::proto::{self, AlignRequest, ClientLine};
+use crate::proto::{self, AlignRequest, ClientLine, StatsSnapshot};
 use crate::queue::{Admission, AdmissionQueue, Queued};
 use crate::report::{LatencyRecorder, ServiceReport};
 use dpu_kernel::layout::{JobResult, JobStatus, KernelParams};
 use dpu_kernel::NwKernel;
 use nw_core::cigar::Cigar;
+use nw_core::seq::DnaSeq;
 use nw_core::ScoringScheme;
-use pim_host::{with_persistent_engine, DeadlinePolicy, EngineCtl, RecoveryConfig, TicketDone};
+use pim_host::cache::{self as result_cache, CachePrepass};
+use pim_host::{
+    with_persistent_engine, DeadlinePolicy, EngineCtl, RecoveryConfig, ResultCache, TicketDone,
+};
 use pim_sim::isa::InterpMode;
 use pim_sim::{FaultPlan, PimServer, ServerConfig};
 use std::collections::HashMap;
@@ -98,6 +109,10 @@ pub struct ServeOptions {
     /// Interpreter tier for the kernel's cost measurement
     /// (checked/fast/jit; bit-identical results by contract).
     pub interp_mode: InterpMode,
+    /// Content-addressed result cache capacity, in results (0 disables).
+    /// The cache persists across tickets for the daemon's lifetime:
+    /// repeated pairs are answered without touching the engine.
+    pub cache_capacity: usize,
 }
 
 impl Default for ServeOptions {
@@ -121,6 +136,7 @@ impl Default for ServeOptions {
             default_deadline_ms: None,
             fault: FaultPlan::default(),
             interp_mode: InterpMode::default(),
+            cache_capacity: 4096,
         }
     }
 }
@@ -247,7 +263,9 @@ fn accept_loop(listener: UnixListener, stop: Arc<AtomicBool>, tx: Sender<Event>)
     }
 }
 
-/// One dispatched request, keyed by its engine ticket.
+/// One dispatched request, keyed by its engine ticket. Only the cache
+/// misses were submitted; `pre` carries the hit-filled slots, the keys for
+/// post-compute inserts, and the in-request duplicates to serve at finish.
 struct Active {
     conn: u64,
     id: String,
@@ -255,6 +273,8 @@ struct Active {
     deadline: Option<Instant>,
     pairs: usize,
     cancel_sent: bool,
+    req_pairs: Vec<(DnaSeq, DnaSeq)>,
+    pre: CachePrepass,
 }
 
 struct Driver<'a> {
@@ -267,6 +287,16 @@ struct Driver<'a> {
     /// EWMA of completed-request latency, the basis of retry-after hints.
     ewma_ms: f64,
     draining: bool,
+    /// Persistent result cache; outlives every ticket.
+    cache: ResultCache,
+    /// Key ingredients — must match the engine's `KernelParams` exactly or
+    /// cached results would not be bit-identical to computed ones.
+    scheme: ScoringScheme,
+    band: usize,
+    /// Engine busy-time accounting for the `stats` utilization figure.
+    started: Instant,
+    busy_seconds: f64,
+    busy_since: Option<Instant>,
 }
 
 fn drive(
@@ -284,6 +314,12 @@ fn drive(
         lat: LatencyRecorder::default(),
         ewma_ms: 0.0,
         draining: false,
+        cache: ResultCache::new(opts.cache_capacity),
+        scheme: ScoringScheme::default(),
+        band: opts.band.next_multiple_of(16).max(16),
+        started: Instant::now(),
+        busy_seconds: 0.0,
+        busy_since: None,
     };
     loop {
         while let Ok(ev) = ev_rx.try_recv() {
@@ -323,6 +359,8 @@ fn drive(
     d.rep.latency_p99_ms = d.lat.percentile(99.0);
     d.rep.latency_mean_ms = d.lat.mean();
     d.rep.drained = true;
+    d.rep.cache = d.cache.stats();
+    d.rep.pim_utilization = d.utilization();
     d.rep
 }
 
@@ -378,7 +416,55 @@ impl Driver<'_> {
                 let l = proto::drain_ack_line();
                 self.respond(conn, &l);
             }
+            Ok(ClientLine::Stats) => {
+                let l = proto::stats_line(&self.stats_snapshot());
+                self.respond(conn, &l);
+            }
             Ok(ClientLine::Align(req)) => self.admit(conn, req),
+        }
+    }
+
+    /// Live telemetry for the `stats` op; pure read, never drains.
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            draining: self.draining,
+            queue_depth: self.queue.len(),
+            queued_pairs: self.queue.queued_pairs(),
+            active_tickets: self.active.len(),
+            received: self.rep.received,
+            completed: self.rep.completed,
+            pairs_completed: self.rep.pairs_completed,
+            pairs_from_cache: self.rep.pairs_from_cache,
+            cpu_fallback_jobs: self.rep.fault.cpu_fallbacks,
+            pim_utilization: self.utilization(),
+            ewma_service_ms: self.ewma_ms,
+            cache_len: self.cache.len(),
+            cache_capacity: self.cache.capacity(),
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// Fraction of service wall time with engine work in flight.
+    fn utilization(&self) -> f64 {
+        let busy = self.busy_seconds + self.busy_since.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        let wall = self.started.elapsed().as_secs_f64();
+        if wall <= 0.0 {
+            0.0
+        } else {
+            (busy / wall).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Track empty↔nonempty transitions of the in-flight set; call after
+    /// any change to `active`.
+    fn note_busy_state(&mut self) {
+        match (self.active.is_empty(), self.busy_since) {
+            (false, None) => self.busy_since = Some(Instant::now()),
+            (true, Some(t0)) => {
+                self.busy_seconds += t0.elapsed().as_secs_f64();
+                self.busy_since = None;
+            }
+            _ => {}
         }
     }
 
@@ -463,11 +549,33 @@ impl Driver<'_> {
                 self.miss_queued(q);
                 continue;
             }
-            let jobs = q
-                .req
-                .pairs
+            let pre = result_cache::serve_hits(
+                Some(&mut self.cache),
+                &q.req.pairs,
+                &self.scheme,
+                self.band,
+                false,
+            );
+            if pre.work.is_empty() {
+                // Every pair was a cache hit or an in-request duplicate:
+                // answer immediately without spending an engine ticket.
+                let cached = q.req.pairs.len();
+                let results = result_cache::resolve(
+                    Some(&mut self.cache),
+                    &q.req.pairs,
+                    &self.scheme,
+                    pre.slots,
+                    &pre.keys,
+                    &pre.work,
+                    &pre.aliases,
+                );
+                self.complete(q.conn, &q.req.id, q.arrival, cached, cached, &results);
+                continue;
+            }
+            let jobs = pre
+                .work
                 .iter()
-                .map(|(a, b)| (a.pack(), b.pack()))
+                .map(|&i| (q.req.pairs[i].0.pack(), q.req.pairs[i].1.pack()))
                 .collect();
             let ticket = ctl.submit(jobs);
             self.active.insert(
@@ -479,9 +587,12 @@ impl Driver<'_> {
                     deadline: q.deadline,
                     pairs: q.req.pairs.len(),
                     cancel_sent: false,
+                    req_pairs: q.req.pairs,
+                    pre,
                 },
             );
         }
+        self.note_busy_state();
         let now = Instant::now();
         for (t, a) in self.active.iter_mut() {
             if !a.cancel_sent && a.deadline.is_some_and(|dl| dl <= now) {
@@ -491,30 +602,75 @@ impl Driver<'_> {
         }
     }
 
+    /// Account and answer one completed (not deadline-missed) request.
+    fn complete(
+        &mut self,
+        conn: u64,
+        id: &str,
+        arrival: Instant,
+        pairs: usize,
+        cached_pairs: usize,
+        results: &[JobResult],
+    ) {
+        let ms = arrival.elapsed().as_secs_f64() * 1e3;
+        self.rep.completed += 1;
+        self.rep.pairs_completed += pairs;
+        self.rep.pairs_from_cache += cached_pairs;
+        self.lat.push(ms);
+        self.ewma_ms = if self.lat.len() == 1 {
+            ms
+        } else {
+            0.8 * self.ewma_ms + 0.2 * ms
+        };
+        let l = proto::result_line(id, false, results, ms);
+        self.respond(conn, &l);
+    }
+
     fn finish_ticket(&mut self, td: TicketDone) {
         let Some(a) = self.active.remove(&td.ticket) else {
             return;
         };
         self.rep.fault.merge(&td.fault);
-        let ms = a.arrival.elapsed().as_secs_f64() * 1e3;
+        // Merge the engine's results (one per submitted miss) back into the
+        // hit-filled slots, insert the fresh ones behind the audit gate, and
+        // serve in-request duplicates from the cache.
+        let CachePrepass {
+            mut slots,
+            keys,
+            work,
+            aliases,
+        } = a.pre;
+        for (&slot, r) in work.iter().zip(td.results.iter()) {
+            slots[slot] = Some(r.clone());
+        }
+        let results = result_cache::resolve(
+            Some(&mut self.cache),
+            &a.req_pairs,
+            &self.scheme,
+            slots,
+            &keys,
+            &work,
+            &aliases,
+        );
         if td.cancelled {
+            let ms = a.arrival.elapsed().as_secs_f64() * 1e3;
             self.rep.deadline_missed += 1;
-            self.rep.jobs_cancelled += td
-                .results
+            self.rep.jobs_cancelled += results
                 .iter()
                 .filter(|r| r.status == JobStatus::Cancelled)
                 .count();
+            let l = proto::result_line(&a.id, true, &results, ms);
+            self.respond(a.conn, &l);
         } else {
-            self.rep.completed += 1;
-            self.rep.pairs_completed += a.pairs;
-            self.lat.push(ms);
-            self.ewma_ms = if self.lat.len() == 1 {
-                ms
-            } else {
-                0.8 * self.ewma_ms + 0.2 * ms
-            };
+            self.complete(
+                a.conn,
+                &a.id,
+                a.arrival,
+                a.pairs,
+                a.pairs - work.len(),
+                &results,
+            );
         }
-        let l = proto::result_line(&a.id, td.cancelled, &td.results, ms);
-        self.respond(a.conn, &l);
+        self.note_busy_state();
     }
 }

@@ -5,6 +5,7 @@
 //! ```json
 //! {"op":"align","id":"r1","priority":"interactive","deadline_ms":500,
 //!  "pairs":[["ACGT","ACGA"],["GGGC","GGC"]]}
+//! {"op":"stats"}
 //! {"op":"drain"}
 //! ```
 //!
@@ -22,6 +23,8 @@
 //!   higher-priority arrival under overload; it carries `retry_after_ms`.
 //! * `error` — the line could not be parsed.
 //! * `draining` — a drain request was acknowledged.
+//! * `stats` — a live snapshot (queue depth, cache hit rate, per-backend
+//!   pair counts) answered inline without draining or blocking service.
 //!
 //! Every accepted request gets exactly one terminal `result` or `shed`
 //! line — the conservation law [`crate::report::ServiceReport::consistent`]
@@ -30,6 +33,7 @@
 use crate::json::{escape, Json};
 use dpu_kernel::layout::{JobResult, JobStatus};
 use nw_core::seq::DnaSeq;
+use pim_host::CacheStats;
 use std::fmt::Write as _;
 
 /// Longest accepted request id; bounds response sizes.
@@ -99,6 +103,8 @@ pub struct AlignRequest {
 pub enum ClientLine {
     /// An alignment request.
     Align(AlignRequest),
+    /// A live telemetry snapshot; answered inline, never queued.
+    Stats,
     /// Begin a graceful drain: stop admitting, finish everything accepted,
     /// then exit.
     Drain,
@@ -109,6 +115,7 @@ pub fn parse_line(line: &str) -> Result<ClientLine, String> {
     let v = Json::parse(line)?;
     match v.get("op").and_then(Json::as_str) {
         Some("drain") => return Ok(ClientLine::Drain),
+        Some("stats") => return Ok(ClientLine::Stats),
         Some("align") | None => {}
         Some(op) => return Err(format!("unknown op {op:?}")),
     }
@@ -201,6 +208,79 @@ pub fn error_line(msg: &str) -> String {
 /// Build the `draining` acknowledgement line.
 pub fn drain_ack_line() -> String {
     "{\"type\":\"draining\"}".to_string()
+}
+
+/// A live point-in-time view of the daemon, answered to `{"op":"stats"}`
+/// without draining or blocking service.
+#[derive(Debug, Clone, Default)]
+pub struct StatsSnapshot {
+    /// True once a drain began (new requests are rejected).
+    pub draining: bool,
+    /// Requests waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Pairs across queued requests.
+    pub queued_pairs: usize,
+    /// Requests dispatched into the engine and not yet answered.
+    pub active_tickets: usize,
+    /// Well-formed align requests received so far.
+    pub received: usize,
+    /// Requests answered in full so far.
+    pub completed: usize,
+    /// Pairs across completed requests.
+    pub pairs_completed: usize,
+    /// Pairs answered from the result cache (hits + in-request duplicates).
+    pub pairs_from_cache: usize,
+    /// Jobs the recovery ladder completed on the CPU fallback aligner.
+    pub cpu_fallback_jobs: usize,
+    /// Fraction of service wall time the engine had work in flight.
+    pub pim_utilization: f64,
+    /// EWMA of completed-request latency, milliseconds.
+    pub ewma_service_ms: f64,
+    /// Results currently resident in the cache.
+    pub cache_len: usize,
+    /// Cache capacity (0 = caching disabled).
+    pub cache_capacity: usize,
+    /// Lifetime cache counters.
+    pub cache: CacheStats,
+}
+
+/// Build a `stats` response line.
+pub fn stats_line(s: &StatsSnapshot) -> String {
+    let c = &s.cache;
+    let pim_pairs = s
+        .pairs_completed
+        .saturating_sub(s.pairs_from_cache)
+        .saturating_sub(s.cpu_fallback_jobs);
+    format!(
+        "{{\"type\":\"stats\",\"draining\":{},\"queue_depth\":{},\"queued_pairs\":{},\
+         \"active_tickets\":{},\"received\":{},\"completed\":{},\"pairs_completed\":{},\
+         \"ewma_service_ms\":{:.3},\
+         \"cache\":{{\"len\":{},\"capacity\":{},\"lookups\":{},\"hits\":{},\"misses\":{},\
+         \"inserts\":{},\"evictions\":{},\"rejected_inserts\":{},\"hit_rate\":{:.4}}},\
+         \"backends\":[{{\"name\":\"pim\",\"pairs\":{pim_pairs},\"utilization\":{:.4}}},\
+         {{\"name\":\"cpu-fallback\",\"pairs\":{}}},\
+         {{\"name\":\"cache\",\"pairs\":{}}}]}}",
+        s.draining,
+        s.queue_depth,
+        s.queued_pairs,
+        s.active_tickets,
+        s.received,
+        s.completed,
+        s.pairs_completed,
+        s.ewma_service_ms,
+        s.cache_len,
+        s.cache_capacity,
+        c.lookups,
+        c.hits,
+        c.misses,
+        c.inserts,
+        c.evictions,
+        c.rejected_inserts,
+        c.hit_rate(),
+        s.pim_utilization,
+        s.cpu_fallback_jobs,
+        s.pairs_from_cache,
+    )
 }
 
 /// Build a terminal `result` response line. `deadline_missed` selects the
@@ -300,6 +380,51 @@ mod tests {
             parse_line(r#"{"op":"drain"}"#).unwrap(),
             ClientLine::Drain
         ));
+        assert!(matches!(
+            parse_line(r#"{"op":"stats"}"#).unwrap(),
+            ClientLine::Stats
+        ));
+    }
+
+    #[test]
+    fn stats_line_is_valid_json_and_splits_backends() {
+        use crate::json::Json;
+        let snap = StatsSnapshot {
+            queue_depth: 2,
+            queued_pairs: 9,
+            active_tickets: 1,
+            received: 20,
+            completed: 15,
+            pairs_completed: 100,
+            pairs_from_cache: 40,
+            cpu_fallback_jobs: 5,
+            pim_utilization: 0.5,
+            ewma_service_ms: 12.0,
+            cache_len: 30,
+            cache_capacity: 64,
+            cache: CacheStats {
+                lookups: 100,
+                hits: 40,
+                misses: 60,
+                inserts: 55,
+                evictions: 10,
+                rejected_inserts: 5,
+            },
+            ..StatsSnapshot::default()
+        };
+        let v = Json::parse(&stats_line(&snap)).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("stats"));
+        assert_eq!(v.get("queue_depth").unwrap().as_u64(), Some(2));
+        let cache = v.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(40));
+        assert_eq!(cache.get("hit_rate").unwrap().as_f64(), Some(0.4));
+        let backends = v.get("backends").unwrap().as_arr().unwrap();
+        assert_eq!(backends.len(), 3);
+        // pim pairs = completed - cached - cpu-fallback.
+        assert_eq!(backends[0].get("name").unwrap().as_str(), Some("pim"));
+        assert_eq!(backends[0].get("pairs").unwrap().as_u64(), Some(55));
+        assert_eq!(backends[1].get("pairs").unwrap().as_u64(), Some(5));
+        assert_eq!(backends[2].get("pairs").unwrap().as_u64(), Some(40));
     }
 
     #[test]

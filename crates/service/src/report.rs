@@ -3,7 +3,7 @@
 //! accepted request is answered exactly once — completed, deadline-missed,
 //! or shed. Nothing is silently dropped.
 
-use pim_host::FaultReport;
+use pim_host::{CacheStats, FaultReport};
 use std::fmt::Write as _;
 
 /// Schema version stamped into every JSON document this workspace's tools
@@ -80,6 +80,12 @@ pub struct ServiceReport {
     pub jobs_cancelled: usize,
     /// High-water mark of the admission queue depth.
     pub max_queue_depth: usize,
+    /// Pairs answered from the result cache (hits + in-request duplicates).
+    pub pairs_from_cache: usize,
+    /// Fraction of service wall time the engine had work in flight.
+    pub pim_utilization: f64,
+    /// Lifetime result-cache counters (the cache persists across tickets).
+    pub cache: CacheStats,
     /// Everything the recovery ladder did, summed over all tickets.
     pub fault: FaultReport,
     /// p50 latency over completed requests, milliseconds.
@@ -120,7 +126,8 @@ impl ServiceReport {
              \"rejected\": {},\n  \"shed\": {},\n  \"completed\": {},\n  \
              \"deadline_missed\": {},\n  \"pairs_accepted\": {},\n  \
              \"pairs_completed\": {},\n  \"jobs_cancelled\": {},\n  \
-             \"max_queue_depth\": {},\n  \"latency_p50_ms\": {:.3},\n  \
+             \"max_queue_depth\": {},\n  \"pairs_from_cache\": {},\n  \
+             \"pim_utilization\": {:.4},\n  \"latency_p50_ms\": {:.3},\n  \
              \"latency_p99_ms\": {:.3},\n  \"latency_mean_ms\": {:.3},\n  \
              \"wall_seconds\": {:.3},\n  \"pairs_per_sec\": {:.3},\n  \
              \"drained\": {},\n  \"consistent\": {},\n",
@@ -135,6 +142,8 @@ impl ServiceReport {
             self.pairs_completed,
             self.jobs_cancelled,
             self.max_queue_depth,
+            self.pairs_from_cache,
+            self.pim_utilization,
             self.latency_p50_ms,
             self.latency_p99_ms,
             self.latency_mean_ms,
@@ -142,6 +151,21 @@ impl ServiceReport {
             self.pairs_per_second(),
             self.drained,
             self.consistent(),
+        );
+        let c = &self.cache;
+        let _ = writeln!(
+            s,
+            "  \"cache\": {{\"lookups\": {}, \"hits\": {}, \"misses\": {}, \
+             \"inserts\": {}, \"evictions\": {}, \"rejected_inserts\": {}, \
+             \"hit_rate\": {:.4}, \"conserved\": {}}},",
+            c.lookups,
+            c.hits,
+            c.misses,
+            c.inserts,
+            c.evictions,
+            c.rejected_inserts,
+            c.hit_rate(),
+            c.conserved(),
         );
         let f = &self.fault;
         let _ = write!(
@@ -174,7 +198,7 @@ impl ServiceReport {
 
     /// One-line summary for logs.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "serve: {} received, {} accepted ({} rejected, {} shed), \
              {} completed, {} deadline-missed in {:.1}s \
              [p50 {:.1}ms, p99 {:.1}ms, {:.1} pairs/s], queue peak {}{}",
@@ -194,7 +218,17 @@ impl ServiceReport {
             } else {
                 ""
             },
-        )
+        );
+        if self.cache.lookups > 0 {
+            let _ = write!(
+                s,
+                ", cache {}/{} hits ({:.0}%)",
+                self.cache.hits,
+                self.cache.lookups,
+                100.0 * self.cache.hit_rate(),
+            );
+        }
+        s
     }
 }
 
@@ -246,7 +280,21 @@ mod tests {
             ..Default::default()
         };
         r.fault.cpu_fallbacks = 1;
+        r.pairs_from_cache = 4;
+        r.cache = CacheStats {
+            lookups: 12,
+            hits: 4,
+            misses: 8,
+            inserts: 8,
+            evictions: 0,
+            rejected_inserts: 0,
+        };
         let v = Json::parse(&r.to_json()).unwrap();
+        assert_eq!(v.get("pairs_from_cache").unwrap().as_u64(), Some(4));
+        let c = v.get("cache").unwrap();
+        assert_eq!(c.get("hits").unwrap().as_u64(), Some(4));
+        assert_eq!(c.get("conserved").unwrap().as_bool(), Some(true));
+        assert!(r.summary().contains("cache 4/12 hits"));
         assert_eq!(
             v.get("schema_version").unwrap().as_u64(),
             Some(SCHEMA_VERSION as u64)

@@ -1,0 +1,259 @@
+//! Backend-layer integration properties. Two contracts make the
+//! heterogeneous router and the result cache safe to put in front of
+//! everything:
+//!
+//! * **Router equivalence** — routing is purely a scheduling choice: the
+//!   dynamic router must return results bit-identical (score AND cigar) to
+//!   a pim-only run and a cpu-only run of the same workload.
+//! * **Cache safety** — a cached result is indistinguishable from a fresh
+//!   computation even when the backend underneath is running a seeded
+//!   fault plan, and a result the audit would reject can never enter the
+//!   cache (so it can never be served twice).
+
+use datasets::mutate::{mutate, ErrorModel};
+use datasets::{random_seq, rng};
+use dpu_kernel::layout::{JobResult, JobStatus};
+use dpu_kernel::{KernelParams, NwKernel};
+use nw_core::adaptive::AdaptiveAligner;
+use nw_core::cigar::Cigar;
+use nw_core::seq::DnaSeq;
+use nw_core::{job_key_seqs, ScoringScheme};
+use pim_host::cache::{resolve, serve_hits};
+use pim_host::dispatch::DispatchConfig;
+use pim_host::{
+    route_pairs, Backend, CpuPoolBackend, RecoveryConfig, ResultCache, RouterConfig, RouterOutcome,
+    SimPimBackend,
+};
+use pim_sim::{FaultPlan, PimServer, ServerConfig};
+
+const BAND: usize = 64;
+
+fn noisy_pairs(n: usize, len: usize, seed: u64) -> Vec<(DnaSeq, DnaSeq)> {
+    let mut r = rng(seed);
+    let model = ErrorModel::uniform(0.05);
+    (0..n)
+        .map(|_| {
+            let a = random_seq(&mut r, len);
+            let (b, _) = mutate(&a, &model, &mut r);
+            (a, b)
+        })
+        .collect()
+}
+
+fn dispatch() -> DispatchConfig {
+    let params = KernelParams {
+        band: BAND,
+        scheme: ScoringScheme::default(),
+        score_only: false,
+    };
+    DispatchConfig::new(NwKernel::paper_default(), params)
+}
+
+fn server(plan: FaultPlan) -> PimServer {
+    let mut cfg = ServerConfig::with_ranks(2);
+    cfg.dpus_per_rank = 4;
+    cfg.fault = plan;
+    // Finite cycle budget so injected livelocks are reaped in simulated
+    // time rather than stalling the test.
+    cfg.dpu.watchdog_cycles = 50_000_000;
+    PimServer::new(cfg)
+}
+
+fn recovery() -> RecoveryConfig {
+    RecoveryConfig {
+        max_attempts: 3,
+        quarantine_after: 2,
+        cpu_threads: 2,
+        audit: true,
+        ..Default::default()
+    }
+}
+
+/// Which lanes to give the router for one run.
+enum Lanes {
+    Pim,
+    Cpu,
+    Both,
+}
+
+fn route(
+    plan: FaultPlan,
+    sel: Lanes,
+    pairs: &[(DnaSeq, DnaSeq)],
+    cache: Option<&mut ResultCache>,
+) -> RouterOutcome {
+    let mut srv = server(plan);
+    let mut pim = None;
+    let mut cpu = None;
+    if matches!(sel, Lanes::Pim | Lanes::Both) {
+        pim = Some(SimPimBackend::new(&mut srv, dispatch(), recovery()));
+    }
+    if matches!(sel, Lanes::Cpu | Lanes::Both) {
+        cpu = Some(CpuPoolBackend::new(
+            ScoringScheme::default(),
+            BAND,
+            false,
+            2,
+        ));
+    }
+    let mut lanes: Vec<&mut dyn Backend> = Vec::new();
+    if let Some(p) = pim.as_mut() {
+        lanes.push(p);
+    }
+    if let Some(c) = cpu.as_mut() {
+        lanes.push(c);
+    }
+    let rcfg = RouterConfig::new(BAND, ScoringScheme::default(), false);
+    route_pairs(&mut lanes, &rcfg, pairs, cache).expect("routed run completes")
+}
+
+/// The router is a pure scheduling choice: identical results (score AND
+/// cigar) whether the work ran on PiM only, the CPU pool only, or was
+/// dynamically split across both — and all of them match the host-side
+/// adaptive aligner the kernels are contracted to reproduce.
+#[test]
+fn router_is_bit_identical_to_every_single_backend() {
+    let pairs = noisy_pairs(24, 400, 11);
+    let both = route(FaultPlan::default(), Lanes::Both, &pairs, None);
+    let pim = route(FaultPlan::default(), Lanes::Pim, &pairs, None);
+    let cpu = route(FaultPlan::default(), Lanes::Cpu, &pairs, None);
+    assert_eq!(both.results.len(), pairs.len());
+    assert_eq!(both.results, pim.results, "router vs pim-only");
+    assert_eq!(both.results, cpu.results, "router vs cpu-only");
+
+    let aligner = AdaptiveAligner::new(ScoringScheme::default(), BAND);
+    for ((a, b), r) in pairs.iter().zip(&both.results) {
+        let want = aligner.align(a, b).expect("reference aligns");
+        assert_eq!(r.status, JobStatus::Ok);
+        assert_eq!(r.score, want.score);
+        assert_eq!(r.cigar, want.cigar);
+    }
+    // Both lanes actually participated (the workload is large enough that
+    // starving one lane means the cost model broke).
+    for lane in &both.report.lanes {
+        assert!(lane.pairs > 0, "lane {} starved: {:?}", lane.name, lane);
+    }
+}
+
+/// Cache-safety property under seeded fault plans: whatever the chaos plan
+/// does underneath, a cached result is bit-identical to a fresh fault-free
+/// computation — on the cold run (within-run duplicates), on the warm run
+/// (cross-run hits), and for every entry resident in the cache afterwards.
+#[test]
+fn cached_results_match_fresh_computation_under_fault_plans() {
+    for seed in [3u64, 17, 99] {
+        let base = noisy_pairs(10, 350, seed);
+        // 30 requests over 10 unique pairs: each unique appears 3x, so the
+        // cold run already exercises the duplicate path.
+        let pairs: Vec<(DnaSeq, DnaSeq)> = (0..30).map(|i| base[i % base.len()].clone()).collect();
+
+        let reference = route(FaultPlan::default(), Lanes::Both, &pairs, None);
+
+        let plan = || FaultPlan::chaos(seed, 2, 4, 1, 0.15, 0.1, 0.05, 0.1);
+        let mut cache = ResultCache::new(256);
+        let cold = route(plan(), Lanes::Both, &pairs, Some(&mut cache));
+        let warm = route(plan(), Lanes::Both, &pairs, Some(&mut cache));
+
+        assert_eq!(
+            cold.results, reference.results,
+            "seed {seed}: cold cached run diverged"
+        );
+        assert_eq!(
+            warm.results, reference.results,
+            "seed {seed}: warm cached run diverged"
+        );
+        assert!(cold.report.cache.conserved(), "seed {seed}");
+        assert!(warm.report.cache.conserved(), "seed {seed}");
+        // The cold run computes each unique once and serves the 20
+        // duplicates through the cache; the warm run hits on everything.
+        assert!(
+            cold.report.cache.hits >= 20,
+            "seed {seed}: {:?}",
+            cold.report.cache
+        );
+        assert_eq!(
+            warm.report.cache.hits, 30,
+            "seed {seed}: {:?}",
+            warm.report.cache
+        );
+
+        // Every resident entry equals the fault-free reference.
+        let scheme = ScoringScheme::default();
+        for ((a, b), want) in base.iter().zip(&reference.results) {
+            let key = job_key_seqs(a, b, &scheme, BAND, false);
+            let got = cache.lookup(&key).expect("unique pair stays resident");
+            assert_eq!(&got, want, "seed {seed}: cache holds a divergent result");
+        }
+    }
+}
+
+/// The audit gate on insert: corrupted or failed results are returned to
+/// the caller that computed them (recovery's problem) but can never enter
+/// the cache, so they can never be served again.
+#[test]
+fn audit_rejected_results_never_enter_the_cache() {
+    let scheme = ScoringScheme::default();
+    let base = noisy_pairs(3, 200, 5);
+    // Index 3 duplicates index 0 so the alias path runs too.
+    let pairs = vec![
+        base[0].clone(),
+        base[1].clone(),
+        base[2].clone(),
+        base[0].clone(),
+    ];
+    let aligner = AdaptiveAligner::new(scheme, BAND);
+    let good: Vec<JobResult> = base
+        .iter()
+        .map(|(a, b)| {
+            let aln = aligner.align(a, b).unwrap();
+            JobResult {
+                status: JobStatus::Ok,
+                score: aln.score,
+                cigar: aln.cigar,
+            }
+        })
+        .collect();
+
+    let mut cache = ResultCache::new(64);
+    let pre = serve_hits(Some(&mut cache), &pairs, &scheme, BAND, false);
+    assert_eq!(pre.work, vec![0, 1, 2]);
+    assert_eq!(pre.aliases, vec![(3, 0)]);
+
+    // Pair 0 computes cleanly; pair 1 comes back silently corrupted
+    // (score off by one — a checksum would still pass); pair 2 failed.
+    let mut slots = pre.slots;
+    slots[0] = Some(good[0].clone());
+    let mut corrupt = good[1].clone();
+    corrupt.score += 1;
+    slots[1] = Some(corrupt.clone());
+    slots[2] = Some(JobResult {
+        status: JobStatus::OutOfBand,
+        score: 0,
+        cigar: Cigar::new(),
+    });
+    let results = resolve(
+        Some(&mut cache),
+        &pairs,
+        &scheme,
+        slots,
+        &pre.keys,
+        &pre.work,
+        &pre.aliases,
+    );
+
+    // The caller gets back exactly what was computed (the corrupt result
+    // is recovery's problem, not the cache's to rewrite) …
+    assert_eq!(results[1], corrupt);
+    // … and the alias of the clean pair was served.
+    assert_eq!(results[3], good[0]);
+
+    // But only the audited-clean result is resident.
+    let key = |i: usize| job_key_seqs(&base[i].0, &base[i].1, &scheme, BAND, false);
+    assert!(cache.lookup(&key(0)).is_some());
+    assert!(cache.lookup(&key(1)).is_none(), "corrupt result was cached");
+    assert!(cache.lookup(&key(2)).is_none(), "failed result was cached");
+    let s = cache.stats();
+    assert_eq!(s.rejected_inserts, 2, "{s:?}");
+    assert_eq!(s.inserts, 1, "{s:?}");
+    assert!(s.conserved(), "{s:?}");
+}

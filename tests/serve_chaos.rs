@@ -133,3 +133,106 @@ fn chaos_serve_audits_every_result_under_live_traffic() {
         pairs[0].0.to_ascii()
     );
 }
+
+/// The daemon's persistent result cache and the live `stats` op: repeated
+/// requests for the same pairs are answered from the cache (bit-identical
+/// to the engine-computed first answer), and `{"op":"stats"}` reports live
+/// cache and per-backend telemetry without draining anything.
+#[test]
+fn serve_caches_repeats_and_reports_live_stats() {
+    let band = 64usize;
+    let opts = ServeOptions {
+        socket: std::env::temp_dir().join(format!(
+            "upmem-nw-test-{}-serve-stats.sock",
+            std::process::id()
+        )),
+        ranks: 1,
+        dpus: 4,
+        band,
+        ..ServeOptions::default()
+    };
+    let daemon = {
+        let opts = opts.clone();
+        std::thread::spawn(move || run_serve(&opts).expect("daemon starts"))
+    };
+    let mut c =
+        Client::connect_retry(&opts.socket, Duration::from_secs(10)).expect("daemon socket");
+
+    let pairs = SyntheticParams::preset(SyntheticPreset::S1000, 7).generate(4);
+    let ascii: Vec<(String, String)> = pairs
+        .iter()
+        .map(|(a, b)| {
+            (
+                String::from_utf8(a.to_ascii()).unwrap(),
+                String::from_utf8(b.to_ascii()).unwrap(),
+            )
+        })
+        .collect();
+
+    // Same pairs three times: the first request computes, the rest are
+    // all-hit and must be answered without opening an engine ticket.
+    let mut answers = Vec::new();
+    for k in 0..3 {
+        c.send(&proto::align_line(
+            &format!("rep-{k}"),
+            Priority::Normal,
+            None,
+            &ascii,
+        ))
+        .unwrap();
+        let v = c.recv().unwrap().expect("result line");
+        assert_eq!(v.get("type").unwrap().as_str(), Some("result"));
+        assert_eq!(v.get("disposition").unwrap().as_str(), Some("ok"));
+        let results = v.get("results").unwrap().as_arr().unwrap();
+        let shape: Vec<(String, String)> = results
+            .iter()
+            .map(|r| {
+                (
+                    r.get("score").unwrap().as_f64().unwrap().to_string(),
+                    r.get("cigar").unwrap().as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        answers.push(shape);
+    }
+    assert_eq!(answers[0], answers[1], "cached answer diverged");
+    assert_eq!(answers[0], answers[2], "cached answer diverged");
+
+    // Live stats, no drain: the cache block shows the repeat hits and the
+    // per-backend split accounts for every completed pair.
+    c.send("{\"op\":\"stats\"}").unwrap();
+    let v = c.recv().unwrap().expect("stats line");
+    assert_eq!(v.get("type").unwrap().as_str(), Some("stats"));
+    assert_eq!(v.get("draining").unwrap().as_bool(), Some(false));
+    assert_eq!(v.get("completed").unwrap().as_u64(), Some(3));
+    assert_eq!(
+        v.get("pairs_completed").unwrap().as_u64(),
+        Some(3 * pairs.len() as u64)
+    );
+    let cache = v.get("cache").unwrap();
+    assert_eq!(
+        cache.get("hits").unwrap().as_u64(),
+        Some(2 * pairs.len() as u64)
+    );
+    assert_eq!(cache.get("len").unwrap().as_u64(), Some(pairs.len() as u64));
+    let backends = v.get("backends").unwrap().as_arr().unwrap();
+    let pair_count = |name: &str| {
+        backends
+            .iter()
+            .find(|b| b.get("name").unwrap().as_str() == Some(name))
+            .and_then(|b| b.get("pairs").unwrap().as_u64())
+            .unwrap()
+    };
+    assert_eq!(pair_count("pim"), pairs.len() as u64);
+    assert_eq!(pair_count("cache"), 2 * pairs.len() as u64);
+    assert_eq!(pair_count("cpu-fallback"), 0);
+
+    c.send("{\"op\":\"drain\"}").unwrap();
+    while c.recv().unwrap().is_some() {}
+    let rep = daemon.join().unwrap();
+    assert!(rep.consistent(), "conservation law: {rep:?}");
+    assert_eq!(rep.completed, 3);
+    assert_eq!(rep.pairs_from_cache, 2 * pairs.len());
+    assert!(rep.cache.conserved(), "{:?}", rep.cache);
+    assert!(rep.pim_utilization >= 0.0 && rep.pim_utilization <= 1.0);
+}
