@@ -341,6 +341,21 @@ print(f"BENCH_serve.json OK: capacity "
       f"books balance in all {len(bench['phases'])} phases")
 EOF
 
+# Crash-injection smoke: spawn the real daemon as a child against a
+# durable state directory, SIGKILL it at seeded points mid-flight, restart
+# it against the same state, and let the harness's internal contract
+# checks gate the run — every answer bit-identical to a fault-free
+# reference, the conservation law balanced across process lifetimes,
+# recovery audit-gated (cold run: zero hits; final restart: recovered
+# entries and warm hits), and the journaled-but-unanswered admission
+# replayed. The second drill flips a byte in the persisted cache state and
+# requires the recovery scan to skip the damaged record rather than serve
+# or refuse it.
+echo "==> upmem-nw chaos --crash true (kill injection, 3 seeded kill points)"
+./target/release/upmem-nw chaos --crash true --seed 42 --kills 3
+echo "==> upmem-nw chaos --crash true --corrupt-wal true (damaged-record drill)"
+./target/release/upmem-nw chaos --crash true --seed 7 --kills 3 --corrupt-wal true
+
 # Backend-router + result-cache properties: the dynamic router must be
 # bit-identical to every single backend; cached results must be
 # bit-identical to fresh computation under seeded fault plans; results the

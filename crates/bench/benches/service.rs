@@ -50,6 +50,7 @@ fn main() {
                 conn: 0,
                 arrival: now,
                 deadline: None,
+                seq: None,
             };
             match q.admit(queued) {
                 Admission::Admitted => {}

@@ -1,0 +1,541 @@
+//! `chaos --crash`: the kill-injection harness for the durability layer.
+//!
+//! Where `chaos` injects simulated hardware faults *inside* one process,
+//! this harness injects the fault the simulator cannot model: the daemon
+//! process dying mid-flight. It spawns the real `upmem-nw serve` binary as
+//! a child against a durable state directory, drives seeded traffic over
+//! the socket, SIGKILLs the child at seeded points, restarts it against
+//! the same directory, and asserts the durability contract end to end:
+//!
+//! * **No wrong result is ever served** — every `ok` result observed in
+//!   any phase (including partial answers received just before a kill) is
+//!   bit-identical to a fault-free reference run on a fresh state dir.
+//! * **The books balance across the crash** — the final lifetime's report
+//!   satisfies the conservation law with the replayed tickets counted in.
+//! * **Recovery is audit-gated and warm** — the final restart re-admits
+//!   cache entries (`cache_recovered > 0`) and serves the workload from
+//!   them (`hits > 0`), while the cold control run has zero of both.
+//! * **A guaranteed-unanswered admission replays** — each kill phase
+//!   journals one fresh (uncached, so slow) request and kills immediately
+//!   after a `stats` barrier confirms admission; the next lifetime must
+//!   recover it.
+//!
+//! `--corrupt-wal true` additionally flips a byte in the persisted cache
+//! state between the last kill and the final restart, asserting the
+//! recovery scan skips the damaged record instead of refusing or serving
+//! garbage.
+
+use crate::CliError;
+use datasets::synthetic::{SyntheticParams, SyntheticPreset};
+use pim_sim::fault::mix64;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+use upmem_nw_service::json::Json;
+use upmem_nw_service::{proto, Client, Priority};
+
+/// Knobs for the `chaos --crash` kill-injection harness.
+#[derive(Debug, Clone)]
+pub struct CrashOpts {
+    /// Seed for the workload and the kill points.
+    pub seed: u64,
+    /// Kill-restart cycles between the anchor run and the final verify.
+    pub kills: usize,
+    /// Workload requests re-sent in every phase.
+    pub requests: usize,
+    /// Pairs per workload request.
+    pub pairs_per_request: usize,
+    /// Simulated ranks of the spawned daemon.
+    pub ranks: usize,
+    /// DPUs per rank.
+    pub dpus: usize,
+    /// Band width.
+    pub band: usize,
+    /// Read length of the synthetic pairs (long enough that a fresh pair
+    /// cannot finish between a `stats` barrier and the SIGKILL).
+    pub read_len: usize,
+    /// Scratch root for sockets, state dirs, and per-phase reports
+    /// (default: a per-process directory under the system temp dir,
+    /// removed and recreated at start).
+    pub state_root: Option<PathBuf>,
+    /// Flip one byte of the persisted cache state before the final
+    /// restart and assert the recovery scan skips the damaged record.
+    pub corrupt_wal: bool,
+    /// The `upmem-nw` binary to spawn (default: the running executable).
+    pub bin: Option<PathBuf>,
+}
+
+impl Default for CrashOpts {
+    fn default() -> Self {
+        CrashOpts {
+            seed: 42,
+            kills: 3,
+            requests: 5,
+            pairs_per_request: 2,
+            ranks: 2,
+            dpus: 4,
+            band: 64,
+            read_len: 600,
+            state_root: None,
+            corrupt_wal: false,
+            bin: None,
+        }
+    }
+}
+
+/// One slot of an `ok` result, the unit of bit-identity comparison.
+type Slot = (String, i64, String);
+
+/// Everything observed from one daemon lifetime.
+struct PhaseOut {
+    /// `id -> slots` for every `disposition: ok` result received.
+    answers: HashMap<String, Vec<Slot>>,
+    /// Terminal answers that were not ok results (rejects, sheds,
+    /// deadline-misses, errors) — expected to be zero in every phase.
+    other: usize,
+    /// The parsed report JSON (graceful phases only; a killed lifetime
+    /// never writes one).
+    report: Option<Json>,
+}
+
+/// How a phase ends: gracefully drained, or SIGKILLed after `after`
+/// workload sends + one fresh request + a `stats` admission barrier +
+/// `jitter_ms` of extra runtime.
+enum PhaseEnd {
+    Drain,
+    Kill { after: usize, jitter_ms: u64 },
+}
+
+fn field<'a>(v: &'a Json, path: &[&str]) -> Option<&'a Json> {
+    let mut cur = v;
+    for k in path {
+        cur = cur.get(k)?;
+    }
+    Some(cur)
+}
+
+fn num(v: &Json, path: &[&str]) -> u64 {
+    field(v, path).and_then(Json::as_u64).unwrap_or(u64::MAX)
+}
+
+fn decode_result(v: &Json) -> Option<(String, Vec<Slot>)> {
+    let id = v.get("id")?.as_str()?.to_string();
+    if v.get("disposition")?.as_str()? != "ok" {
+        return None;
+    }
+    let mut slots = Vec::new();
+    for r in v.get("results")?.as_arr()? {
+        let status = r.get("status")?.as_str()?.to_string();
+        let score = r.get("score").and_then(Json::as_f64).unwrap_or(0.0) as i64;
+        let cigar = r
+            .get("cigar")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        slots.push((status, score, cigar));
+    }
+    Some((id, slots))
+}
+
+fn spawn_daemon(
+    bin: &Path,
+    opts: &CrashOpts,
+    state_dir: &Path,
+    socket: &Path,
+    report: &Path,
+) -> Result<Child, CliError> {
+    Command::new(bin)
+        .arg("serve")
+        .arg("--socket")
+        .arg(socket)
+        .arg("--state-dir")
+        .arg(state_dir)
+        .arg("--ranks")
+        .arg(opts.ranks.max(1).to_string())
+        .arg("--dpus")
+        .arg(opts.dpus.max(1).to_string())
+        .arg("--band")
+        .arg(opts.band.to_string())
+        .arg("--json")
+        .arg(report)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(CliError::Io)
+}
+
+/// Run one daemon lifetime: spawn, replay the workload, end per `end`,
+/// and collect everything the client heard back.
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    bin: &Path,
+    opts: &CrashOpts,
+    state_dir: &Path,
+    socket: &Path,
+    report_path: &Path,
+    workload: &[(String, Vec<(String, String)>)],
+    fresh: Option<&(String, Vec<(String, String)>)>,
+    end: PhaseEnd,
+) -> Result<PhaseOut, CliError> {
+    let _ = std::fs::remove_file(report_path);
+    let mut child = spawn_daemon(bin, opts, state_dir, socket, report_path)?;
+    let mut c = match Client::connect_retry(socket, Duration::from_secs(20)) {
+        Ok(c) => c,
+        Err(e) => {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(CliError::Align(format!("daemon never listened: {e}")));
+        }
+    };
+    let reader = c.try_split().map_err(CliError::Io)?;
+    let (tx, rx) = mpsc::channel::<Json>();
+    let reader = thread::spawn(move || {
+        let mut reader = reader;
+        while let Ok(Some(v)) = reader.recv() {
+            if tx.send(v).is_err() {
+                break;
+            }
+        }
+    });
+
+    // Answers that arrive while the kill barrier waits for its stats line
+    // are kept here and merged into the phase's collection below.
+    let mut early: Vec<Json> = Vec::new();
+    let sends = match end {
+        PhaseEnd::Drain => workload.len(),
+        PhaseEnd::Kill { after, .. } => after.min(workload.len()),
+    };
+    for (id, pairs) in &workload[..sends] {
+        c.send(&proto::align_line(id, Priority::Normal, None, pairs))
+            .map_err(CliError::Io)?;
+    }
+
+    match end {
+        PhaseEnd::Drain => {
+            c.send("{\"op\":\"drain\"}").map_err(CliError::Io)?;
+        }
+        PhaseEnd::Kill { jitter_ms, .. } => {
+            // Seeded jitter first, so the kill lands at a varied point of
+            // the workload's processing. THEN journal one fresh
+            // (cache-cold, so slow) request and use a `stats` round trip
+            // as the admission barrier: lines on one connection are
+            // processed in order, so the stats answer proves the fresh
+            // request was admitted — and journaled — before the kill,
+            // while its alignment (milliseconds of simulated DP) cannot
+            // have finished in the microseconds before the SIGKILL lands.
+            thread::sleep(Duration::from_millis(jitter_ms));
+            if let Some((id, pairs)) = fresh {
+                c.send(&proto::align_line(id, Priority::Normal, None, pairs))
+                    .map_err(CliError::Io)?;
+                c.send("{\"op\":\"stats\"}").map_err(CliError::Io)?;
+                let deadline = std::time::Instant::now() + Duration::from_secs(20);
+                loop {
+                    let left = deadline.saturating_duration_since(std::time::Instant::now());
+                    match rx.recv_timeout(left) {
+                        Ok(v) if v.get("type").and_then(Json::as_str) == Some("stats") => break,
+                        Ok(v) => early.push(v),
+                        Err(_) => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            return Err(CliError::Align(
+                                "no stats answer before the kill barrier timed out".into(),
+                            ));
+                        }
+                    }
+                }
+            }
+            let _ = child.kill();
+        }
+    }
+
+    // Reader exits at EOF: the drain closing the socket, or the kill.
+    let _ = reader.join();
+    let status = child.wait().map_err(CliError::Io)?;
+    if matches!(end, PhaseEnd::Drain) && !status.success() {
+        return Err(CliError::Align(format!(
+            "daemon exited with {status} on a graceful drain"
+        )));
+    }
+
+    let mut out = PhaseOut {
+        answers: HashMap::new(),
+        other: 0,
+        report: None,
+    };
+    for v in early.into_iter().chain(rx.try_iter()) {
+        match v.get("type").and_then(Json::as_str) {
+            Some("result") => match decode_result(&v) {
+                Some((id, slots)) => {
+                    out.answers.insert(id, slots);
+                }
+                None => out.other += 1,
+            },
+            Some("reject") | Some("shed") | Some("error") => out.other += 1,
+            _ => {}
+        }
+    }
+    if matches!(end, PhaseEnd::Drain) {
+        let text = std::fs::read_to_string(report_path)?;
+        let v = Json::parse(&text)
+            .map_err(|e| CliError::Align(format!("unparseable report JSON: {e}")))?;
+        out.report = Some(v);
+    }
+    Ok(out)
+}
+
+/// Every `ok` answer must be bit-identical to the reference; an id the
+/// reference never saw, or any differing slot, is a served wrong result.
+fn check_answers(
+    phase: &str,
+    got: &HashMap<String, Vec<Slot>>,
+    reference: &HashMap<String, Vec<Slot>>,
+) -> Result<(), CliError> {
+    for (id, slots) in got {
+        // Fresh kill-bait requests are not part of the reference workload.
+        if id.starts_with("fresh-") {
+            continue;
+        }
+        match reference.get(id) {
+            Some(want) if want == slots => {}
+            Some(_) => {
+                return Err(CliError::Align(format!(
+                    "{phase}: request {id} answered with a result that differs \
+                     from the fault-free reference"
+                )));
+            }
+            None => {
+                return Err(CliError::Align(format!(
+                    "{phase}: request {id} answered but absent from the reference"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn require(cond: bool, msg: &str) -> Result<(), CliError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(CliError::Align(format!("crash harness: {msg}")))
+    }
+}
+
+/// The `chaos --crash` harness. Returns a human-readable summary; errors
+/// if any phase violates the durability contract.
+pub fn cmd_chaos_crash(opts: &CrashOpts) -> Result<String, CliError> {
+    let bin = match &opts.bin {
+        Some(p) => p.clone(),
+        None => std::env::current_exe()?,
+    };
+    let root = opts.state_root.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("upmem-nw-crash-{}", std::process::id()))
+    });
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root)?;
+    let state = root.join("state");
+    let control_state = root.join("control-state");
+
+    // Seeded workload: distinct pairs per request, plus one fresh pair
+    // per kill phase (the guaranteed-unanswered admission).
+    let n = opts.requests.max(1);
+    let ppr = opts.pairs_per_request.max(1);
+    let kills = opts.kills.max(1);
+    let mut params = SyntheticParams::preset(SyntheticPreset::S1000, opts.seed);
+    params.read_len = opts.read_len.max(64);
+    let ascii = |pairs: Vec<(nw_core::seq::DnaSeq, nw_core::seq::DnaSeq)>| {
+        pairs
+            .into_iter()
+            .map(|(a, b)| {
+                (
+                    String::from_utf8(a.to_ascii()).unwrap(),
+                    String::from_utf8(b.to_ascii()).unwrap(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let all = ascii(params.generate(n * ppr));
+    // Kill-bait pairs are an order of magnitude longer than the workload:
+    // their alignment takes tens of milliseconds of simulated DP, so the
+    // SIGKILL that follows the admission barrier by microseconds cannot
+    // lose the race against their completion.
+    let mut fresh_params = params;
+    fresh_params.seed = opts.seed ^ 0xF00D;
+    fresh_params.read_len = (params.read_len * 16).max(9_600);
+    let fresh_pool = ascii(fresh_params.generate(kills));
+    let workload: Vec<(String, Vec<(String, String)>)> = all
+        .chunks(ppr)
+        .enumerate()
+        .map(|(i, chunk)| (format!("w-{i}"), chunk.to_vec()))
+        .collect();
+
+    // Phase 0 — cold fault-free control on its own state dir: the
+    // bit-identity reference, and the "cold start has zero hits" side of
+    // the warm-restart assertion.
+    let control = run_phase(
+        &bin,
+        opts,
+        &control_state,
+        &root.join("control.sock"),
+        &root.join("control.json"),
+        &workload,
+        None,
+        PhaseEnd::Drain,
+    )?;
+    let crep = control.report.as_ref().expect("drained phase has a report");
+    require(
+        field(crep, &["consistent"]).and_then(Json::as_bool) == Some(true),
+        "control run violated the conservation law",
+    )?;
+    require(
+        num(crep, &["cache", "hits"]) == 0 && num(crep, &["durability", "cache_recovered"]) == 0,
+        "control run was not cold (nonzero hits or recovered entries)",
+    )?;
+    require(
+        control.answers.len() == workload.len() && control.other == 0,
+        "control run did not answer the full workload ok",
+    )?;
+    let reference = control.answers;
+
+    // Phase 1 — anchor: populate the durable state dir, drain cleanly.
+    let anchor = run_phase(
+        &bin,
+        opts,
+        &state,
+        &root.join("anchor.sock"),
+        &root.join("anchor.json"),
+        &workload,
+        None,
+        PhaseEnd::Drain,
+    )?;
+    check_answers("anchor", &anchor.answers, &reference)?;
+    require(
+        anchor.answers.len() == workload.len(),
+        "anchor run did not answer the full workload",
+    )?;
+
+    // Kill phases: seeded kill points, one guaranteed-unanswered fresh
+    // admission each.
+    let mut partial_answers = 0usize;
+    for k in 0..kills {
+        let r = mix64(opts.seed ^ (0xC0FF_EE00 + k as u64));
+        let after = (r as usize) % (workload.len() + 1);
+        let jitter_ms = (r >> 33) % 40;
+        let fresh = (
+            format!("fresh-{k}"),
+            vec![fresh_pool[k % fresh_pool.len()].clone()],
+        );
+        let out = run_phase(
+            &bin,
+            opts,
+            &state,
+            &root.join(format!("kill-{k}.sock")),
+            &root.join(format!("kill-{k}.json")),
+            &workload,
+            Some(&fresh),
+            PhaseEnd::Kill { after, jitter_ms },
+        )?;
+        check_answers(&format!("kill phase {k}"), &out.answers, &reference)?;
+        partial_answers += out.answers.len();
+    }
+
+    // Optional on-disk damage between the last kill and the restart.
+    let mut corrupted = false;
+    if opts.corrupt_wal {
+        for name in ["cache.wal", "cache.snap"] {
+            let p = state.join(name);
+            if let Ok(mut bytes) = std::fs::read(&p) {
+                // Header is 12 bytes, record framing starts after it;
+                // byte 18 lands inside the first record's payload.
+                if bytes.len() > 24 {
+                    bytes[18] ^= 0xFF;
+                    std::fs::write(&p, &bytes)?;
+                    corrupted = true;
+                    break;
+                }
+            }
+        }
+        require(
+            corrupted,
+            "--corrupt-wal found no persisted record to damage",
+        )?;
+    }
+
+    // Final phase — restart against the crashed state, re-serve the
+    // workload, drain, and audit the books.
+    let fin = run_phase(
+        &bin,
+        opts,
+        &state,
+        &root.join("final.sock"),
+        &root.join("final.json"),
+        &workload,
+        None,
+        PhaseEnd::Drain,
+    )?;
+    check_answers("final phase", &fin.answers, &reference)?;
+    require(
+        fin.answers.len() == workload.len() && fin.other == 0,
+        "final phase did not answer the full workload ok",
+    )?;
+    let frep = fin.report.as_ref().expect("drained phase has a report");
+    require(
+        field(frep, &["consistent"]).and_then(Json::as_bool) == Some(true),
+        "final lifetime violated the conservation law across the crash",
+    )?;
+    require(
+        field(frep, &["durability", "enabled"]).and_then(Json::as_bool) == Some(true),
+        "final lifetime ran without durability",
+    )?;
+    let recovered_entries = num(frep, &["durability", "cache_recovered"]);
+    let warm_hits = num(frep, &["cache", "hits"]);
+    let recovered_requests = num(frep, &["durability", "recovered_requests"]);
+    require(
+        recovered_entries > 0 && recovered_entries != u64::MAX,
+        "final restart recovered no cache entries through the audit gate",
+    )?;
+    require(
+        warm_hits > 0 && warm_hits != u64::MAX,
+        "warm restart served zero cache hits",
+    )?;
+    require(
+        recovered_requests >= 1 && recovered_requests != u64::MAX,
+        "the journaled-but-unanswered request did not replay",
+    )?;
+    let skipped = num(frep, &["durability", "corrupt_records_skipped"]);
+    if corrupted {
+        require(
+            skipped >= 1 && skipped != u64::MAX,
+            "corrupted record was neither skipped nor refused",
+        )?;
+    }
+
+    let mut out = format!(
+        "chaos crash: seed {}, {} kill cycles over {} requests x {} pairs\n\
+         reference run: {} requests answered, all cold\n\
+         kill phases: {} partial answers observed, every one bit-identical\n\
+         final restart: {} cache entries recovered (audit-gated), {} warm hits, \
+         {} journaled requests replayed, books balanced\n",
+        opts.seed,
+        kills,
+        n,
+        ppr,
+        reference.len(),
+        partial_answers,
+        recovered_entries,
+        warm_hits,
+        recovered_requests,
+    );
+    if corrupted {
+        let _ = writeln!(
+            out,
+            "corruption drill: {skipped} damaged record(s) skipped at recovery"
+        );
+    }
+    let _ = writeln!(out, "state root: {}", root.display());
+    Ok(out)
+}

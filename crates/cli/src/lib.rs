@@ -41,7 +41,9 @@ use pim_sim::isa::InterpMode;
 use pim_sim::{FaultPlan, PimServer, ServerConfig};
 use std::fmt::Write as _;
 
+pub mod crash;
 pub mod serve;
+pub use crash::{cmd_chaos_crash, CrashOpts};
 pub use serve::{cmd_bench_serve, cmd_serve, BenchServeOpts};
 
 /// Install the Ctrl-C / SIGTERM handler for the one-shot subcommands:

@@ -15,6 +15,9 @@
 //!                 [--watchdog-cycles auto|0|N] [--deadline 10] [--audit false]
 //!                 [--retries 3] [--quarantine 2] [--fifo-depth 2] [--sync-dispatch true]
 //!                 [--sim-threads 0] [--interp-mode checked|fast|jit|auto]
+//! upmem-nw chaos --crash true [--seed 42] [--kills 3] [--requests 5]
+//!                 [--pairs-per-request 2] [--ranks 2] [--dpus 4] [--band 64]
+//!                 [--read-len 600] [--corrupt-wal true] [--state-root dir]
 //!
 //! `--watchdog-cycles auto` (the default) derives the per-launch cycle
 //! budget from the kernels' symbolic WCET bounds; `0` turns the watchdog
@@ -27,7 +30,16 @@
 //! router, or the static split); `--cache N` puts a content-addressed
 //! result cache of capacity N in front (implies `--backend router`).
 //! `serve --cache N` sizes the daemon's persistent result cache
-//! (default 4096; 0 disables). `bench --backend true` benchmarks the
+//! (default 4096; 0 disables). `serve --state-dir DIR` turns on crash-safe
+//! durability: the result cache persists through a checksummed WAL +
+//! snapshot and admitted requests are journaled, so a killed daemon
+//! restarted against the same directory recovers its cache and replays
+//! unanswered requests (`--cache-path`, `--compact-every`, `--fsync`
+//! tune it; `--max-line-bytes` bounds per-connection request buffering).
+//! `chaos --crash true` runs the kill-injection harness: it spawns the
+//! daemon as a child against a durable state dir, SIGKILLs it at seeded
+//! points, and asserts recovery serves bit-identical results with
+//! balanced books. `bench --backend true` benchmarks the
 //! router against single backends and the cache at 0/30/90% duplicates.
 //! upmem-nw bench  [--pairs 48] [--ranks 4] [--dpus 4] [--rounds 6] [--band 64]
 //!                 [--fifo-depth 2] [--seed 42] [--straggler-hold-ms 35]
@@ -50,15 +62,15 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 use upmem_nw_cli::{
-    cmd_align, cmd_bench, cmd_bench_serve, cmd_chaos, cmd_generate, cmd_info, cmd_lint, cmd_matrix,
-    cmd_serve, install_interrupt_handler, parse_interp_mode, Algo, BackendChoice, BenchOpts,
-    BenchServeOpts, ChaosOpts, CliError,
+    cmd_align, cmd_bench, cmd_bench_serve, cmd_chaos, cmd_chaos_crash, cmd_generate, cmd_info,
+    cmd_lint, cmd_matrix, cmd_serve, install_interrupt_handler, parse_interp_mode, Algo,
+    BackendChoice, BenchOpts, BenchServeOpts, ChaosOpts, CliError, CrashOpts,
 };
 use upmem_nw_service::ServeOptions;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--audit true] [--interp-mode checked|fast|jit|auto] [--backend pim|cpu|router|split] [--cache N] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw chaos [--seed S] [--pairs N] [--ranks N] [--dpus N] [--band N] [--dpu-fault-rate P] [--corrupt-rate P] [--hang-faults P] [--corrupt-cigars P] [--watchdog-cycles auto|0|N] [--deadline SECS] [--audit false] [--disabled N] [--retries N] [--quarantine N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--interp-mode checked|fast|jit|auto]\n  upmem-nw bench [--pairs N] [--ranks N] [--dpus N] [--rounds N] [--band N] [--fifo-depth N] [--seed S] [--straggler-hold-ms MS] [--smoke true] [--sim true] [--serve true] [--backend true] [--pairs-per-request N] [--requests N] [--sim-threads N] [--interp-mode checked|fast|jit|auto] [--json file]\n  upmem-nw serve [--socket path] [--ranks N] [--dpus N] [--band N] [--fifo-depth N] [--sim-threads N] [--retries N] [--quarantine N] [--audit false] [--stall-deadline SECS] [--watchdog-cycles N] [--queue-requests N] [--queue-pairs N] [--max-open N] [--max-request-pairs N] [--default-deadline-ms MS] [--seed S] [--dpu-fault-rate P] [--hang-faults P] [--corrupt-cigars P] [--interp-mode checked|fast|jit|auto] [--cache N] [--json file]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true] [--json true]"
+        "usage:\n  upmem-nw align --a <fasta> --b <fasta> [--algo adaptive|static|wfa|exact|pim] [--band N] [--ranks N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--audit true] [--interp-mode checked|fast|jit|auto] [--backend pim|cpu|router|split] [--cache N] [--out file]\n  upmem-nw matrix --in <fasta> [--band N] [--ranks N] [--out file]\n  upmem-nw generate --kind s1000|s10000|s30000|16s|pacbio --count N [--seed S] [--out file]\n  upmem-nw chaos [--seed S] [--pairs N] [--ranks N] [--dpus N] [--band N] [--dpu-fault-rate P] [--corrupt-rate P] [--hang-faults P] [--corrupt-cigars P] [--watchdog-cycles auto|0|N] [--deadline SECS] [--audit false] [--disabled N] [--retries N] [--quarantine N] [--fifo-depth N] [--sync-dispatch true] [--sim-threads N] [--interp-mode checked|fast|jit|auto]\n  upmem-nw chaos --crash true [--seed S] [--kills N] [--requests N] [--pairs-per-request N] [--ranks N] [--dpus N] [--band N] [--read-len N] [--corrupt-wal true] [--state-root dir]\n  upmem-nw bench [--pairs N] [--ranks N] [--dpus N] [--rounds N] [--band N] [--fifo-depth N] [--seed S] [--straggler-hold-ms MS] [--smoke true] [--sim true] [--serve true] [--backend true] [--pairs-per-request N] [--requests N] [--sim-threads N] [--interp-mode checked|fast|jit|auto] [--json file]\n  upmem-nw serve [--socket path] [--ranks N] [--dpus N] [--band N] [--fifo-depth N] [--sim-threads N] [--retries N] [--quarantine N] [--audit false] [--stall-deadline SECS] [--watchdog-cycles N] [--queue-requests N] [--queue-pairs N] [--max-open N] [--max-request-pairs N] [--default-deadline-ms MS] [--seed S] [--dpu-fault-rate P] [--hang-faults P] [--corrupt-cigars P] [--interp-mode checked|fast|jit|auto] [--cache N] [--state-dir dir] [--cache-path dir] [--compact-every N] [--fsync true] [--max-line-bytes N] [--json file]\n  upmem-nw info [--ranks N]\n  upmem-nw lint [--verbose true] [--json true]"
     );
     std::process::exit(2)
 }
@@ -155,6 +167,30 @@ fn run() -> Result<String, CliError> {
                 .map(|v| v.parse().unwrap_or_else(|_| usage()))
                 .unwrap_or(42);
             cmd_generate(&kind, count, seed)?
+        }
+        "chaos" if get("crash").is_some_and(|v| v == "true") => {
+            let defaults = CrashOpts::default();
+            let uint = |k: &str, d: usize| {
+                get(k)
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(d)
+            };
+            let opts = CrashOpts {
+                seed: get("seed")
+                    .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                    .unwrap_or(defaults.seed),
+                kills: uint("kills", defaults.kills),
+                requests: uint("requests", defaults.requests),
+                pairs_per_request: uint("pairs-per-request", defaults.pairs_per_request),
+                ranks: uint("ranks", defaults.ranks),
+                dpus: uint("dpus", defaults.dpus),
+                band: uint("band", defaults.band),
+                read_len: uint("read-len", defaults.read_len),
+                state_root: get("state-root").map(std::path::PathBuf::from),
+                corrupt_wal: get("corrupt-wal").is_some_and(|v| v == "true"),
+                bin: None,
+            };
+            cmd_chaos_crash(&opts)?
         }
         "chaos" => {
             let defaults = ChaosOpts::default();
@@ -265,6 +301,11 @@ fn run() -> Result<String, CliError> {
                 fault,
                 interp_mode,
                 cache_capacity: uint("cache", defaults.cache_capacity),
+                state_dir: get("state-dir").map(std::path::PathBuf::from),
+                cache_path: get("cache-path").map(std::path::PathBuf::from),
+                compact_every: uint("compact-every", defaults.compact_every),
+                fsync: get("fsync").is_some_and(|v| v == "true"),
+                max_line_bytes: uint("max-line-bytes", defaults.max_line_bytes),
             };
             cmd_serve(&opts, get("json").as_deref())?
         }

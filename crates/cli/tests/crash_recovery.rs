@@ -1,0 +1,50 @@
+//! Kill-injection integration test: drives the real `upmem-nw` binary
+//! through the `chaos --crash` harness. The harness itself enforces the
+//! durability contract (bit-identical results, conservation across the
+//! crash, audit-gated recovery, warm restart) and errors on any
+//! violation, so these tests mostly assert that it runs to completion
+//! with a fixed seed — plus spot-checks on the summary it prints.
+
+use std::path::PathBuf;
+use upmem_nw_cli::{cmd_chaos_crash, CrashOpts};
+
+fn opts(name: &str, seed: u64) -> CrashOpts {
+    CrashOpts {
+        seed,
+        kills: 3,
+        bin: Some(PathBuf::from(env!("CARGO_BIN_EXE_upmem-nw"))),
+        state_root: Some(
+            std::env::temp_dir().join(format!("upmem-nw-crash-test-{}-{name}", std::process::id())),
+        ),
+        ..CrashOpts::default()
+    }
+}
+
+#[test]
+fn kill_injection_recovers_bit_identical_results() {
+    let opts = opts("clean", 0xD1CE);
+    let summary = cmd_chaos_crash(&opts).expect("durability contract holds across 3 kills");
+    assert!(
+        summary.contains("books balanced"),
+        "summary missing conservation line: {summary}"
+    );
+    assert!(
+        summary.contains("every one bit-identical"),
+        "summary missing bit-identity line: {summary}"
+    );
+    let _ = std::fs::remove_dir_all(opts.state_root.unwrap());
+}
+
+#[test]
+fn corrupted_cache_record_is_skipped_not_served() {
+    let opts = CrashOpts {
+        corrupt_wal: true,
+        ..opts("corrupt", 0xBAD5EED)
+    };
+    let summary = cmd_chaos_crash(&opts).expect("recovery skips the damaged record");
+    assert!(
+        summary.contains("damaged record(s) skipped at recovery"),
+        "summary missing corruption-drill line: {summary}"
+    );
+    let _ = std::fs::remove_dir_all(opts.state_root.unwrap());
+}

@@ -25,6 +25,7 @@
 //! (failures must be recomputed, not replayed).
 
 use crate::recovery::audit_ok;
+use crate::wal::{CacheRecord, CacheRecovery, CacheStore, PersistStats};
 use dpu_kernel::layout::{JobResult, JobStatus};
 use nw_core::seq::{DnaSeq, PackedSeq};
 use nw_core::{job_key_seqs, JobKey, ScoringScheme};
@@ -74,13 +75,15 @@ impl CacheStats {
     }
 }
 
-/// Bounded content-addressed result cache with segmented-LRU eviction.
+/// Bounded content-addressed result cache with segmented-LRU eviction and
+/// an optional crash-safe persistence backend ([`crate::wal`]).
 #[derive(Debug)]
 pub struct ResultCache {
     capacity: usize,
     hot: HashMap<JobKey, JobResult>,
     cold: HashMap<JobKey, JobResult>,
     stats: CacheStats,
+    store: Option<CacheStore>,
 }
 
 impl ResultCache {
@@ -92,7 +95,52 @@ impl ResultCache {
             hot: HashMap::new(),
             cold: HashMap::new(),
             stats: CacheStats::default(),
+            store: None,
         }
+    }
+
+    /// A cache backed by `store`: replay everything on disk through the
+    /// audit gate (so a corrupted-on-disk entry can never be served),
+    /// attach the store for write-ahead logging of future inserts, then
+    /// compact once so torn tails, rejected records, and stale WAL growth
+    /// are folded away before serving starts.
+    pub fn with_store(capacity: usize, store: CacheStore) -> (Self, CacheRecovery) {
+        let mut cache = ResultCache::new(capacity);
+        let mut recovery = CacheRecovery::default();
+        let records = store.load_records(&mut recovery);
+        // Replay before attaching: recovered inserts must not be
+        // re-appended to the WAL they just came from.
+        let replay_base = cache.stats;
+        for r in &records {
+            let pair = (r.a.clone(), r.b.clone());
+            if cache.insert_audited(r.key(), &pair, &r.result, &r.scheme, r.band, r.score_only) {
+                recovery.recovered += 1;
+            } else {
+                recovery.rejected += 1;
+            }
+        }
+        // Replay is bookkeeping, not traffic: don't let it pollute the
+        // serving-time insert/rejection counters.
+        cache.stats = replay_base;
+        cache.store = Some(store);
+        cache.compact_now();
+        (cache, recovery)
+    }
+
+    /// Persistence counters, when a store is attached.
+    pub fn persist_stats(&self) -> Option<PersistStats> {
+        self.store.as_ref().map(|s| s.stats())
+    }
+
+    /// Force a compaction now (snapshot + WAL truncate); no-op without a
+    /// store. Called at recovery and at graceful drain.
+    pub fn compact_now(&mut self) {
+        let Some(mut store) = self.store.take() else {
+            return;
+        };
+        let resident = |key: &JobKey| self.hot.contains_key(key) || self.cold.contains_key(key);
+        store.compact(&resident);
+        self.store = Some(store);
     }
 
     /// Configured capacity bound.
@@ -134,13 +182,18 @@ impl ResultCache {
 
     /// Insert through the audit gate: only a status-`Ok` result whose
     /// CIGAR validates against `pair` and re-scores to its claimed score
-    /// is stored. Returns whether the result was accepted.
+    /// is stored. `band` and `score_only` are the job parameters the key
+    /// was derived under — with a persistent store attached they make the
+    /// WAL record self-contained, so recovery can recompute (never trust)
+    /// the key. Returns whether the result was accepted.
     pub fn insert_audited(
         &mut self,
         key: JobKey,
         pair: &(PackedSeq, PackedSeq),
         res: &JobResult,
         scheme: &ScoringScheme,
+        band: usize,
+        score_only: bool,
     ) -> bool {
         if self.capacity == 0
             || res.status != JobStatus::Ok
@@ -153,6 +206,21 @@ impl ResultCache {
         self.stats.inserts += 1;
         self.cold.remove(&key);
         self.store_hot(key, res.clone());
+        if self.store.is_some() {
+            let record = CacheRecord {
+                a: pair.0.clone(),
+                b: pair.1.clone(),
+                scheme: *scheme,
+                band,
+                score_only,
+                result: res.clone(),
+            };
+            let store = self.store.as_mut().expect("store checked above");
+            store.append(&record);
+            if store.should_compact() {
+                self.compact_now();
+            }
+        }
         true
     }
 
@@ -227,10 +295,13 @@ pub fn serve_hits(
 /// the deferred duplicates — from the cache when the insert was accepted
 /// (one counted hit each), by copying the computed twin when it was
 /// audit-rejected. Returns the fully resolved result list in input order.
+#[allow(clippy::too_many_arguments)]
 pub fn resolve(
     mut cache: Option<&mut ResultCache>,
     pairs: &[(DnaSeq, DnaSeq)],
     scheme: &ScoringScheme,
+    band: usize,
+    score_only: bool,
     mut slots: Vec<Option<JobResult>>,
     keys: &[Option<JobKey>],
     work: &[usize],
@@ -240,7 +311,7 @@ pub fn resolve(
         for &i in work {
             if let (Some(key), Some(res)) = (keys[i], slots[i].as_ref()) {
                 let packed = (pairs[i].0.pack(), pairs[i].1.pack());
-                c.insert_audited(key, &packed, res, scheme);
+                c.insert_audited(key, &packed, res, scheme, band, score_only);
             }
         }
     }
@@ -301,7 +372,14 @@ mod tests {
         let (a, b, res) = aligned_pair(0);
         let key = key_of(&a, &b);
         assert!(c.lookup(&key).is_none());
-        assert!(c.insert_audited(key, &(a.pack(), b.pack()), &res, &ScoringScheme::default()));
+        assert!(c.insert_audited(
+            key,
+            &(a.pack(), b.pack()),
+            &res,
+            &ScoringScheme::default(),
+            32,
+            false
+        ));
         assert_eq!(c.lookup(&key), Some(res));
         let s = c.stats();
         assert_eq!((s.lookups, s.hits, s.misses, s.inserts), (2, 1, 1, 1));
@@ -319,23 +397,23 @@ mod tests {
         // would pass; only the audit catches it).
         let mut bad_score = good.clone();
         bad_score.score += 1;
-        assert!(!c.insert_audited(key, &pair, &bad_score, &scheme));
+        assert!(!c.insert_audited(key, &pair, &bad_score, &scheme, 32, false));
         // Corrupt CIGAR that no longer matches the sequences.
         let mut bad_cigar = good.clone();
         bad_cigar.cigar = Cigar::new();
         bad_cigar.cigar.push_run(3, nw_core::CigarOp::Match);
-        assert!(!c.insert_audited(key, &pair, &bad_cigar, &scheme));
+        assert!(!c.insert_audited(key, &pair, &bad_cigar, &scheme, 32, false));
         // Failed results never cache.
         let failed = JobResult {
             status: JobStatus::OutOfBand,
             score: 0,
             cigar: Cigar::new(),
         };
-        assert!(!c.insert_audited(key, &pair, &failed, &scheme));
+        assert!(!c.insert_audited(key, &pair, &failed, &scheme, 32, false));
         assert!(c.is_empty());
         assert_eq!(c.stats().rejected_inserts, 3);
         // The good result still gets in.
-        assert!(c.insert_audited(key, &pair, &good, &scheme));
+        assert!(c.insert_audited(key, &pair, &good, &scheme, 32, false));
         assert_eq!(c.lookup(&key), Some(good));
     }
 
@@ -344,7 +422,14 @@ mod tests {
         let mut c = ResultCache::new(0);
         let (a, b, res) = aligned_pair(2);
         let key = key_of(&a, &b);
-        assert!(!c.insert_audited(key, &(a.pack(), b.pack()), &res, &ScoringScheme::default()));
+        assert!(!c.insert_audited(
+            key,
+            &(a.pack(), b.pack()),
+            &res,
+            &ScoringScheme::default(),
+            32,
+            false
+        ));
         assert!(c.lookup(&key).is_none());
         assert!(c.stats().conserved());
     }
@@ -359,7 +444,14 @@ mod tests {
             // Vary the band so every k gets a distinct key even when the
             // generator cycles sequences.
             let key = job_key_seqs(&a, &b, &scheme, 16 * (k + 1), false);
-            c.insert_audited(key, &(a.pack(), b.pack()), &res, &scheme);
+            c.insert_audited(
+                key,
+                &(a.pack(), b.pack()),
+                &res,
+                &scheme,
+                16 * (k + 1),
+                false,
+            );
             keys.push(key);
             assert!(c.len() <= 8, "capacity bound violated: {}", c.len());
         }
@@ -378,13 +470,113 @@ mod tests {
         let (a, b, res) = aligned_pair(0);
         let favored = job_key_seqs(&a, &b, &scheme, 16, false);
         let pair = (a.pack(), b.pack());
-        c.insert_audited(favored, &pair, &res, &scheme);
+        c.insert_audited(favored, &pair, &res, &scheme, 16, false);
         // Keep touching `favored` while churning other keys through; the
         // promotions must keep it resident.
         for k in 1..20 {
             let key = job_key_seqs(&a, &b, &scheme, 16 * (k + 1), false);
-            c.insert_audited(key, &pair, &res, &scheme);
+            c.insert_audited(key, &pair, &res, &scheme, 16 * (k + 1), false);
             assert!(c.lookup(&favored).is_some(), "churn round {k}");
         }
+    }
+
+    #[test]
+    fn capacity_one_keeps_exactly_the_latest_insert() {
+        let scheme = ScoringScheme::default();
+        let mut c = ResultCache::new(1);
+        let (a, b, res) = aligned_pair(0);
+        let pair = (a.pack(), b.pack());
+        let k1 = job_key_seqs(&a, &b, &scheme, 16, false);
+        let k2 = job_key_seqs(&a, &b, &scheme, 32, false);
+        assert!(c.insert_audited(k1, &pair, &res, &scheme, 16, false));
+        assert!(c.len() <= 1);
+        assert!(c.insert_audited(k2, &pair, &res, &scheme, 32, false));
+        assert!(c.len() <= 1, "capacity-1 bound violated: {}", c.len());
+        // hot capacity is 1, so every insert rotates: the newest key is
+        // in cold and still serveable; the older one is gone.
+        assert!(c.lookup(&k2).is_some());
+        assert!(c.lookup(&k1).is_none());
+        assert!(c.stats().conserved());
+    }
+
+    #[test]
+    fn reinsert_after_rejection_is_accepted_cleanly() {
+        let scheme = ScoringScheme::default();
+        let mut c = ResultCache::new(8);
+        let (a, b, good) = aligned_pair(3);
+        let key = key_of(&a, &b);
+        let pair = (a.pack(), b.pack());
+        let mut bad = good.clone();
+        bad.score -= 3;
+        assert!(!c.insert_audited(key, &pair, &bad, &scheme, 32, false));
+        assert!(c.lookup(&key).is_none(), "rejected insert must not serve");
+        assert!(c.insert_audited(key, &pair, &good, &scheme, 32, false));
+        assert_eq!(c.lookup(&key), Some(good));
+        let s = c.stats();
+        assert_eq!((s.rejected_inserts, s.inserts), (1, 1));
+        assert!(s.conserved());
+    }
+
+    #[test]
+    fn alias_duplicates_in_one_batch_count_as_hits() {
+        let scheme = ScoringScheme::default();
+        let (a, b, res) = aligned_pair(4);
+        // One unique pair appearing three times in a batch: one miss,
+        // then two alias lookups served post-insert as counted hits.
+        let pairs = vec![(a.clone(), b.clone()), (a.clone(), b.clone()), (a, b)];
+        let mut c = ResultCache::new(8);
+        let pre = serve_hits(Some(&mut c), &pairs, &scheme, 32, false);
+        assert_eq!(pre.work, vec![0]);
+        assert_eq!(pre.aliases, vec![(1, 0), (2, 0)]);
+        let mut slots = pre.slots;
+        slots[0] = Some(res.clone());
+        let out = resolve(
+            Some(&mut c),
+            &pairs,
+            &scheme,
+            32,
+            false,
+            slots,
+            &pre.keys,
+            &pre.work,
+            &pre.aliases,
+        );
+        assert!(out.iter().all(|r| *r == res));
+        let s = c.stats();
+        assert_eq!((s.lookups, s.hits, s.misses), (3, 2, 1));
+        assert!(s.conserved());
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alias_falls_back_to_twin_when_insert_rejected() {
+        let scheme = ScoringScheme::default();
+        let (a, b, good) = aligned_pair(5);
+        let mut corrupt = good.clone();
+        corrupt.score += 1; // computed result fails the audit gate
+        let pairs = vec![(a.clone(), b.clone()), (a, b)];
+        let mut c = ResultCache::new(8);
+        let pre = serve_hits(Some(&mut c), &pairs, &scheme, 32, false);
+        let mut slots = pre.slots;
+        slots[0] = Some(corrupt.clone());
+        let out = resolve(
+            Some(&mut c),
+            &pairs,
+            &scheme,
+            32,
+            false,
+            slots,
+            &pre.keys,
+            &pre.work,
+            &pre.aliases,
+        );
+        // The alias is still answered (copied from its computed twin) and
+        // the accounting stays conserved: the post-insert alias lookup
+        // missed because the insert was refused.
+        assert_eq!(out[1], corrupt);
+        let s = c.stats();
+        assert_eq!(s.rejected_inserts, 1);
+        assert_eq!((s.lookups, s.hits, s.misses), (2, 0, 2));
+        assert!(s.conserved());
     }
 }

@@ -177,6 +177,8 @@ pub fn align_pairs_hetero_cached(
         cache,
         pairs,
         &scheme,
+        band,
+        score_only,
         slots,
         &cached.keys,
         &cached.work,

@@ -38,6 +38,10 @@
 //!   backend clears it soonest given queue depth and the measured rates.
 //! * [`cache`] — the content-addressed result cache in front of the
 //!   router, keyed by [`nw_core::JobKey`], audit-gated on insert.
+//! * [`wal`] — crash-safe persistence for the cache: checksummed
+//!   write-ahead log plus compacted snapshots, with a recovery path that
+//!   tolerates torn tails and flipped bits and re-admits every entry
+//!   through the audit gate.
 
 pub mod backend;
 pub mod balance;
@@ -53,6 +57,7 @@ pub mod pipeline;
 pub mod recovery;
 pub mod report;
 pub mod router;
+pub mod wal;
 
 pub use backend::{Backend, BackendBatch, CpuPoolBackend, SimPimBackend};
 pub use balance::{lpt_assign, pair_workloads, round_robin_assign};
@@ -71,3 +76,4 @@ pub use recovery::{
 };
 pub use report::ExecutionReport;
 pub use router::{route_pairs, RouterConfig, RouterOutcome, RouterReport};
+pub use wal::{CacheRecovery, CacheStore, PersistStats, StoreOptions, WAL_SCHEMA_VERSION};

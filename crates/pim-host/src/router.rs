@@ -367,6 +367,8 @@ pub fn route_pairs(
         cache.as_deref_mut(),
         pairs,
         &cfg.scheme,
+        cfg.band,
+        cfg.score_only,
         slots,
         &cached.keys,
         &work,

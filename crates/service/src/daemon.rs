@@ -40,7 +40,14 @@
 //!   behind the audit gate (never an unverified or failed result).
 //! * **Live telemetry** — `{"op":"stats"}` answers inline with queue
 //!   depth, cache hit rate, and per-backend pair counts, without draining.
+//! * **Crash-safe durability** (opt-in via `state_dir`) — the result cache
+//!   persists through a checksummed WAL + snapshot ([`pim_host::wal`]),
+//!   and every admitted request is journaled before any acknowledgment
+//!   ([`crate::journal`]): after a `kill -9`, restart recovers the cache
+//!   through the audit gate and replays unanswered tickets, so the
+//!   conservation law balances across process lifetimes.
 
+use crate::journal::{unix_ms_now, DoneKind, JournalScan, RecoveredTicket, RequestJournal};
 use crate::proto::{self, AlignRequest, ClientLine, StatsSnapshot};
 use crate::queue::{Admission, AdmissionQueue, Queued};
 use crate::report::{LatencyRecorder, ServiceReport};
@@ -51,7 +58,8 @@ use nw_core::seq::DnaSeq;
 use nw_core::ScoringScheme;
 use pim_host::cache::{self as result_cache, CachePrepass};
 use pim_host::{
-    with_persistent_engine, DeadlinePolicy, EngineCtl, RecoveryConfig, ResultCache, TicketDone,
+    with_persistent_engine, CacheRecovery, CacheStore, DeadlinePolicy, EngineCtl, RecoveryConfig,
+    ResultCache, StoreOptions, TicketDone,
 };
 use pim_sim::isa::InterpMode;
 use pim_sim::{FaultPlan, PimServer, ServerConfig};
@@ -113,6 +121,24 @@ pub struct ServeOptions {
     /// The cache persists across tickets for the daemon's lifetime:
     /// repeated pairs are answered without touching the engine.
     pub cache_capacity: usize,
+    /// Durability state directory (`None` = durability off). Holds the
+    /// request journal and — unless `cache_path` overrides — the result
+    /// cache's WAL and snapshot. Restarting against the same directory
+    /// recovers the cache and replays unanswered requests.
+    pub state_dir: Option<PathBuf>,
+    /// Separate directory for the persistent result cache; defaults to
+    /// `state_dir`.
+    pub cache_path: Option<PathBuf>,
+    /// Cache-WAL appends between snapshot compactions.
+    pub compact_every: usize,
+    /// `fdatasync` every WAL/journal append. Process-crash (`kill -9`)
+    /// durability needs no fsync — written pages survive in the OS cache;
+    /// this buys host-crash durability at a large per-append cost.
+    pub fsync: bool,
+    /// Largest accepted request line, in bytes. Longer lines are discarded
+    /// in bounded chunks — never buffered whole — and answered with an
+    /// error, so a single connection cannot balloon daemon memory.
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServeOptions {
@@ -137,6 +163,11 @@ impl Default for ServeOptions {
             fault: FaultPlan::default(),
             interp_mode: InterpMode::default(),
             cache_capacity: 4096,
+            state_dir: None,
+            cache_path: None,
+            compact_every: 256,
+            fsync: false,
+            max_line_bytes: 16 << 20,
         }
     }
 }
@@ -167,13 +198,74 @@ impl From<io::Error> for ServeError {
 enum Event {
     Conn(u64, UnixStream),
     Line(u64, String),
+    Oversized(u64),
     Gone(u64),
+}
+
+/// The `conn` id of replayed (crash-recovered) requests: their original
+/// connection died with the previous process, so responses go to no one.
+/// `respond` on an unknown conn is already a no-op; this id is never
+/// handed out by the acceptor.
+const NO_CONN: u64 = u64::MAX;
+
+/// Durability state opened before the engine starts, moved into the
+/// driver: the (possibly persistent) cache plus what recovery found.
+struct DurabilityInit {
+    cache: ResultCache,
+    cache_recovery: CacheRecovery,
+    journal: Option<RequestJournal>,
+    recovered: Vec<RecoveredTicket>,
+    scan: JournalScan,
+    enabled: bool,
+}
+
+fn open_durability(opts: &ServeOptions) -> io::Result<DurabilityInit> {
+    let mut enabled = false;
+    let cache_dir = opts.cache_path.as_ref().or(opts.state_dir.as_ref());
+    let (cache, cache_recovery) = match cache_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            let store = CacheStore::open(
+                dir,
+                StoreOptions {
+                    compact_every: opts.compact_every.max(1),
+                    sync_data: opts.fsync,
+                },
+            )?;
+            enabled = true;
+            ResultCache::with_store(opts.cache_capacity, store)
+        }
+        None => (
+            ResultCache::new(opts.cache_capacity),
+            CacheRecovery::default(),
+        ),
+    };
+    let (journal, recovered, scan) = match &opts.state_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir)?;
+            let (j, t, s) = RequestJournal::open(&dir.join("requests.journal"), opts.fsync)?;
+            enabled = true;
+            (Some(j), t, s)
+        }
+        None => (None, Vec::new(), JournalScan::default()),
+    };
+    Ok(DurabilityInit {
+        cache,
+        cache_recovery,
+        journal,
+        recovered,
+        scan,
+        enabled,
+    })
 }
 
 /// Run the daemon until drained (SIGTERM/SIGINT or a `drain` request).
 /// Returns the service-lifetime report; every accepted request has been
 /// answered when this returns.
 pub fn run_serve(opts: &ServeOptions) -> Result<ServiceReport, ServeError> {
+    // Recover durable state *before* binding the socket: replayed tickets
+    // are queued before any new connection can race them.
+    let durability = open_durability(opts)?;
     let _ = std::fs::remove_file(&opts.socket);
     let listener = UnixListener::bind(&opts.socket)?;
     listener.set_nonblocking(true)?;
@@ -181,7 +273,8 @@ pub fn run_serve(opts: &ServeOptions) -> Result<ServiceReport, ServeError> {
     let (ev_tx, ev_rx) = channel::<Event>();
     let acceptor = {
         let stop = stop_accept.clone();
-        thread::spawn(move || accept_loop(listener, stop, ev_tx))
+        let max_line = opts.max_line_bytes.max(1024);
+        thread::spawn(move || accept_loop(listener, stop, ev_tx, max_line))
     };
 
     let ranks = opts.ranks.max(1);
@@ -212,7 +305,7 @@ pub fn run_serve(opts: &ServeOptions) -> Result<ServiceReport, ServeError> {
         &rcfg,
         opts.fifo_depth.max(1),
         opts.sim_threads,
-        |ctl| drive(ctl, opts, &ev_rx, &stop_accept),
+        |ctl| drive(ctl, opts, &ev_rx, &stop_accept, durability),
     );
     stop_accept.store(true, Ordering::SeqCst);
     let _ = acceptor.join();
@@ -221,7 +314,7 @@ pub fn run_serve(opts: &ServeOptions) -> Result<ServiceReport, ServeError> {
     Ok(report)
 }
 
-fn accept_loop(listener: UnixListener, stop: Arc<AtomicBool>, tx: Sender<Event>) {
+fn accept_loop(listener: UnixListener, stop: Arc<AtomicBool>, tx: Sender<Event>, max_line: usize) {
     let mut next_conn = 0u64;
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -237,16 +330,19 @@ fn accept_loop(listener: UnixListener, stop: Arc<AtomicBool>, tx: Sender<Event>)
                 let tx = tx.clone();
                 thread::spawn(move || {
                     let mut reader = BufReader::new(stream);
-                    let mut line = String::new();
+                    let mut buf = Vec::new();
                     loop {
-                        line.clear();
-                        match reader.read_line(&mut line) {
-                            Ok(0) | Err(_) => break,
-                            Ok(_) => {
-                                if tx
-                                    .send(Event::Line(conn, std::mem::take(&mut line)))
-                                    .is_err()
-                                {
+                        buf.clear();
+                        match read_bounded_line(&mut reader, &mut buf, max_line) {
+                            Ok(LineRead::Eof) | Err(_) => break,
+                            Ok(LineRead::Line) => {
+                                let line = String::from_utf8_lossy(&buf).into_owned();
+                                if tx.send(Event::Line(conn, line)).is_err() {
+                                    return;
+                                }
+                            }
+                            Ok(LineRead::Oversized) => {
+                                if tx.send(Event::Oversized(conn)).is_err() {
                                     return;
                                 }
                             }
@@ -263,6 +359,47 @@ fn accept_loop(listener: UnixListener, stop: Arc<AtomicBool>, tx: Sender<Event>)
     }
 }
 
+enum LineRead {
+    Eof,
+    Line,
+    Oversized,
+}
+
+/// Read one `\n`-terminated line into `buf`, buffering at most `limit`
+/// bytes: the tail of an oversized line is discarded chunk by chunk
+/// through the reader's fixed buffer, so peak memory per connection stays
+/// `limit`-bounded no matter what arrives on the wire.
+fn read_bounded_line<R: BufRead>(
+    r: &mut R,
+    buf: &mut Vec<u8>,
+    limit: usize,
+) -> io::Result<LineRead> {
+    let n = io::Read::take(&mut *r, limit as u64 + 1).read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    if buf.last() == Some(&b'\n') || n <= limit {
+        return Ok(LineRead::Line);
+    }
+    buf.clear();
+    loop {
+        let chunk = r.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(LineRead::Oversized);
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                r.consume(i + 1);
+                return Ok(LineRead::Oversized);
+            }
+            None => {
+                let len = chunk.len();
+                r.consume(len);
+            }
+        }
+    }
+}
+
 /// One dispatched request, keyed by its engine ticket. Only the cache
 /// misses were submitted; `pre` carries the hit-filled slots, the keys for
 /// post-compute inserts, and the in-request duplicates to serve at finish.
@@ -275,6 +412,7 @@ struct Active {
     cancel_sent: bool,
     req_pairs: Vec<(DnaSeq, DnaSeq)>,
     pre: CachePrepass,
+    seq: Option<u64>,
 }
 
 struct Driver<'a> {
@@ -287,8 +425,11 @@ struct Driver<'a> {
     /// EWMA of completed-request latency, the basis of retry-after hints.
     ewma_ms: f64,
     draining: bool,
-    /// Persistent result cache; outlives every ticket.
+    /// Persistent result cache; outlives every ticket (and, with a store
+    /// attached, every process lifetime).
     cache: ResultCache,
+    /// Request journal, when durability is on.
+    journal: Option<RequestJournal>,
     /// Key ingredients — must match the engine's `KernelParams` exactly or
     /// cached results would not be bit-identical to computed ones.
     scheme: ScoringScheme,
@@ -304,7 +445,16 @@ fn drive(
     opts: &ServeOptions,
     ev_rx: &Receiver<Event>,
     stop_accept: &AtomicBool,
+    durability: DurabilityInit,
 ) -> ServiceReport {
+    let DurabilityInit {
+        cache,
+        cache_recovery,
+        journal,
+        recovered,
+        scan,
+        enabled,
+    } = durability;
     let mut d = Driver {
         opts,
         writers: HashMap::new(),
@@ -314,13 +464,22 @@ fn drive(
         lat: LatencyRecorder::default(),
         ewma_ms: 0.0,
         draining: false,
-        cache: ResultCache::new(opts.cache_capacity),
+        cache,
+        journal,
         scheme: ScoringScheme::default(),
         band: opts.band.next_multiple_of(16).max(16),
         started: Instant::now(),
         busy_seconds: 0.0,
         busy_since: None,
     };
+    d.rep.durability.enabled = enabled;
+    d.rep.durability.recovered_duplicates = scan.duplicates;
+    d.rep.durability.cache_recovered = cache_recovery.recovered;
+    d.rep.durability.cache_recovery_rejected = cache_recovery.rejected;
+    d.rep.durability.corrupt_records_skipped =
+        cache_recovery.corrupt_skipped + scan.corrupt_skipped;
+    d.rep.durability.torn_tail_bytes = cache_recovery.torn_tail_bytes + scan.torn_tail_bytes;
+    d.replay_recovered(recovered);
     loop {
         while let Ok(ev) = ev_rx.try_recv() {
             d.handle_event(ev);
@@ -355,6 +514,18 @@ fn drive(
     for w in d.writers.values() {
         let _ = w.shutdown(std::net::Shutdown::Both);
     }
+    // Compact the persistent cache at drain so the next start recovers
+    // from a dense snapshot instead of replaying the whole WAL.
+    d.cache.compact_now();
+    if let Some(ps) = d.cache.persist_stats() {
+        d.rep.durability.wal_appends = ps.appended;
+        d.rep.durability.wal_compactions = ps.compactions;
+        d.rep.durability.io_errors += ps.io_errors;
+    }
+    if let Some(j) = &d.journal {
+        d.rep.durability.journal_appends = j.appends();
+        d.rep.durability.io_errors += j.io_errors();
+    }
     d.rep.latency_p50_ms = d.lat.percentile(50.0);
     d.rep.latency_p99_ms = d.lat.percentile(99.0);
     d.rep.latency_mean_ms = d.lat.mean();
@@ -373,8 +544,60 @@ impl Driver<'_> {
             Event::Gone(conn) => {
                 self.writers.remove(&conn);
             }
+            Event::Oversized(conn) => {
+                self.rep.invalid += 1;
+                let l = proto::error_line(&format!(
+                    "line exceeds {} bytes",
+                    self.opts.max_line_bytes.max(1024)
+                ));
+                self.respond(conn, &l);
+            }
             Event::Line(conn, line) => self.handle_line(conn, line.trim()),
         }
+    }
+
+    /// Journal the terminal answer of a journaled ticket (no-op without
+    /// durability). Called *after* the reply was written: a crash between
+    /// reply and journal re-answers at most one request to a dead
+    /// connection, never loses one.
+    fn close_seq(&mut self, seq: Option<u64>, kind: DoneKind) {
+        if let (Some(seq), Some(j)) = (seq, self.journal.as_mut()) {
+            j.done(seq, kind);
+        }
+    }
+
+    /// Re-admit journal-recovered tickets from the previous process
+    /// lifetime. They count into `received`/`accepted` of this lifetime;
+    /// ones whose absolute deadline passed while the daemon was down are
+    /// answered `deadline-missed` immediately, the rest queue for normal
+    /// dispatch (their results go nowhere, but warm the cache and close
+    /// their journal seqs).
+    fn replay_recovered(&mut self, tickets: Vec<RecoveredTicket>) {
+        let now = Instant::now();
+        let now_unix = unix_ms_now();
+        for t in tickets {
+            self.rep.received += 1;
+            self.rep.accepted += 1;
+            self.rep.pairs_accepted += t.req.pairs.len();
+            self.rep.durability.recovered_requests += 1;
+            let expired = t.deadline_unix_ms.is_some_and(|dl| dl <= now_unix);
+            let q = Queued {
+                req: t.req,
+                conn: NO_CONN,
+                arrival: now,
+                deadline: t
+                    .deadline_unix_ms
+                    .map(|dl| now + Duration::from_millis(dl.saturating_sub(now_unix))),
+                seq: Some(t.seq),
+            };
+            if expired {
+                self.rep.durability.recovered_expired += 1;
+                self.miss_queued(q);
+            } else {
+                self.queue.push_recovered(q);
+            }
+        }
+        self.rep.max_queue_depth = self.rep.max_queue_depth.max(self.queue.len());
     }
 
     fn respond(&mut self, conn: u64, line: &str) {
@@ -434,6 +657,7 @@ impl Driver<'_> {
             received: self.rep.received,
             completed: self.rep.completed,
             pairs_completed: self.rep.pairs_completed,
+            recovered_requests: self.rep.durability.recovered_requests,
             pairs_from_cache: self.rep.pairs_from_cache,
             cpu_fallback_jobs: self.rep.fault.cpu_fallbacks,
             pim_utilization: self.utilization(),
@@ -483,16 +707,22 @@ impl Driver<'_> {
             return;
         }
         let now = Instant::now();
-        let deadline = req
-            .deadline_ms
-            .or(self.opts.default_deadline_ms)
-            .map(|ms| now + Duration::from_millis(ms));
+        let deadline_ms = req.deadline_ms.or(self.opts.default_deadline_ms);
+        let deadline = deadline_ms.map(|ms| now + Duration::from_millis(ms));
+        // Journal the admission *before* the queue decides (and before any
+        // acknowledgment): a crash from here on replays this request. A
+        // rejection below closes the tentative seq so it never replays.
+        let seq = self
+            .journal
+            .as_mut()
+            .map(|j| j.admit(&req, deadline_ms.map(|ms| unix_ms_now() + ms)));
         let pairs = req.pairs.len();
         match self.queue.admit(Queued {
             req,
             conn,
             arrival: now,
             deadline,
+            seq,
         }) {
             Admission::Admitted => {
                 self.rep.accepted += 1;
@@ -504,11 +734,13 @@ impl Driver<'_> {
                 self.rep.shed += 1;
                 let l = proto::shed_line(&victim.req.id, self.retry_after_ms());
                 self.respond(victim.conn, &l);
+                self.close_seq(victim.seq, DoneKind::Shed);
             }
             Admission::Rejected(back) => {
                 self.rep.rejected += 1;
                 let l = proto::reject_line(&back.req.id, "queue-full", Some(self.retry_after_ms()));
                 self.respond(back.conn, &l);
+                self.close_seq(back.seq, DoneKind::Rejected);
             }
         }
         self.rep.max_queue_depth = self.rep.max_queue_depth.max(self.queue.len());
@@ -532,6 +764,7 @@ impl Driver<'_> {
         let ms = q.arrival.elapsed().as_secs_f64() * 1e3;
         let l = proto::result_line(&q.req.id, true, &results, ms);
         self.respond(q.conn, &l);
+        self.close_seq(q.seq, DoneKind::DeadlineMissed);
     }
 
     /// Reap expired queued requests, top the engine up from the queue, and
@@ -564,12 +797,15 @@ impl Driver<'_> {
                     Some(&mut self.cache),
                     &q.req.pairs,
                     &self.scheme,
+                    self.band,
+                    false,
                     pre.slots,
                     &pre.keys,
                     &pre.work,
                     &pre.aliases,
                 );
                 self.complete(q.conn, &q.req.id, q.arrival, cached, cached, &results);
+                self.close_seq(q.seq, DoneKind::Completed);
                 continue;
             }
             let jobs = pre
@@ -589,6 +825,7 @@ impl Driver<'_> {
                     cancel_sent: false,
                     req_pairs: q.req.pairs,
                     pre,
+                    seq: q.seq,
                 },
             );
         }
@@ -647,6 +884,8 @@ impl Driver<'_> {
             Some(&mut self.cache),
             &a.req_pairs,
             &self.scheme,
+            self.band,
+            false,
             slots,
             &keys,
             &work,
@@ -661,6 +900,7 @@ impl Driver<'_> {
                 .count();
             let l = proto::result_line(&a.id, true, &results, ms);
             self.respond(a.conn, &l);
+            self.close_seq(a.seq, DoneKind::DeadlineMissed);
         } else {
             self.complete(
                 a.conn,
@@ -670,6 +910,7 @@ impl Driver<'_> {
                 a.pairs - work.len(),
                 &results,
             );
+            self.close_seq(a.seq, DoneKind::Completed);
         }
         self.note_busy_state();
     }

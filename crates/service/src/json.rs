@@ -34,6 +34,7 @@ impl Json {
         let mut p = Parser {
             b: text.as_bytes(),
             i: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -153,12 +154,27 @@ impl fmt::Display for Json {
     }
 }
 
+/// Deepest container nesting the parser accepts. The parser is recursive
+/// descent, so unbounded nesting is unbounded stack: a hostile
+/// `[[[[[…` line must come back as an `Err`, never a stack overflow
+/// (which aborts the process — not even catchable). 128 is far beyond
+/// anything the wire protocol produces (≤ 4 levels).
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     b: &'a [u8],
     i: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        Ok(())
+    }
     fn skip_ws(&mut self) {
         while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.i += 1;
@@ -284,11 +300,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
+        self.descend()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.b.get(self.i) == Some(&b']') {
             self.i += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -299,6 +317,7 @@ impl Parser<'_> {
                 Some(b',') => self.i += 1,
                 Some(b']') => {
                     self.i += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
@@ -307,11 +326,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
+        self.descend()?;
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.b.get(self.i) == Some(&b'}') {
             self.i += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -327,6 +348,7 @@ impl Parser<'_> {
                 Some(b',') => self.i += 1,
                 Some(b'}') => {
                     self.i += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
@@ -397,6 +419,21 @@ mod tests {
             Json::Obj(vec![("k".into(), Json::Arr(vec![Json::Num(1.0)]))]).to_string(),
             r#"{"k":[1]}"#
         );
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Far past MAX_DEPTH: a recursive parser without the depth gate
+        // would blow the stack (an uncatchable abort) here.
+        let deep = "[".repeat(200_000);
+        assert!(Json::parse(&deep).is_err());
+        let deep_obj = "{\"k\":".repeat(200_000);
+        assert!(Json::parse(&deep_obj).is_err());
+        // Shallow nesting is untouched.
+        let fine = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&fine).is_ok());
+        let over = format!("{}1{}", "[".repeat(129), "]".repeat(129));
+        assert!(Json::parse(&over).is_err());
     }
 
     #[test]

@@ -18,19 +18,24 @@
 //!   drain.
 //! * [`report`] — service-lifetime accounting and its conservation law:
 //!   `accepted == completed + deadline_missed + shed`.
+//! * [`journal`] — the crash-safe request journal: admitted-but-unanswered
+//!   requests replay after a `kill -9`, so the conservation law balances
+//!   across process lifetimes.
 //! * [`client`] — a blocking client used by tests, the ci smoke, and
 //!   `bench --serve`.
 //! * [`json`] — the dependency-free JSON parser/emitter underneath it all.
 
 pub mod client;
 pub mod daemon;
+pub mod journal;
 pub mod json;
 pub mod proto;
 pub mod queue;
 pub mod report;
 
-pub use client::Client;
+pub use client::{Client, RetryOutcome, RetryPolicy};
 pub use daemon::{run_serve, ServeError, ServeOptions};
+pub use journal::{DoneKind, RecoveredTicket, RequestJournal};
 pub use proto::{AlignRequest, ClientLine, Priority};
 pub use queue::{Admission, AdmissionQueue, Queued};
 pub use report::{LatencyRecorder, ServiceReport, SCHEMA_VERSION};

@@ -242,6 +242,9 @@ pub struct StatsSnapshot {
     pub cache_capacity: usize,
     /// Lifetime cache counters.
     pub cache: CacheStats,
+    /// Crash-recovered tickets replayed into the queue at startup (0
+    /// when serving without a state directory).
+    pub recovered_requests: usize,
 }
 
 /// Build a `stats` response line.
@@ -254,6 +257,7 @@ pub fn stats_line(s: &StatsSnapshot) -> String {
     format!(
         "{{\"type\":\"stats\",\"draining\":{},\"queue_depth\":{},\"queued_pairs\":{},\
          \"active_tickets\":{},\"received\":{},\"completed\":{},\"pairs_completed\":{},\
+         \"recovered_requests\":{},\
          \"ewma_service_ms\":{:.3},\
          \"cache\":{{\"len\":{},\"capacity\":{},\"lookups\":{},\"hits\":{},\"misses\":{},\
          \"inserts\":{},\"evictions\":{},\"rejected_inserts\":{},\"hit_rate\":{:.4}}},\
@@ -267,6 +271,7 @@ pub fn stats_line(s: &StatsSnapshot) -> String {
         s.received,
         s.completed,
         s.pairs_completed,
+        s.recovered_requests,
         s.ewma_service_ms,
         s.cache_len,
         s.cache_capacity,

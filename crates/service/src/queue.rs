@@ -24,6 +24,9 @@ pub struct Queued {
     pub arrival: Instant,
     /// Absolute deadline (arrival + `deadline_ms`), if any.
     pub deadline: Option<Instant>,
+    /// Request-journal sequence number, when durability is on; terminal
+    /// answers close it so a crash replays only unanswered tickets.
+    pub seq: Option<u64>,
 }
 
 /// The outcome of an admission attempt.
@@ -111,6 +114,16 @@ impl AdmissionQueue {
         self.classes[q.req.priority.index()].push_back(q);
     }
 
+    /// Enqueue a crash-recovered ticket, bypassing the admission bounds:
+    /// it was already admitted (and journaled) by a previous process
+    /// lifetime, so bouncing it now would break the conservation law the
+    /// journal exists to preserve. Recovery happens before the socket
+    /// accepts traffic, so the transient over-bound is limited to the
+    /// replayed backlog and drains normally.
+    pub fn push_recovered(&mut self, q: Queued) {
+        self.push(q);
+    }
+
     /// Pop the next request to dispatch: highest class first, FIFO within
     /// a class.
     pub fn pop_next(&mut self) -> Option<Queued> {
@@ -162,6 +175,7 @@ mod tests {
             conn: 0,
             arrival: Instant::now(),
             deadline: None,
+            seq: None,
         }
     }
 

@@ -6,6 +6,41 @@
 use pim_host::{CacheStats, FaultReport};
 use std::fmt::Write as _;
 
+/// What the durability layer (cache WAL + request journal) did this
+/// lifetime — zeroed and `enabled: false` when serving without a state
+/// directory.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurabilityReport {
+    /// True when a persistent cache store and/or request journal was
+    /// attached.
+    pub enabled: bool,
+    /// Unanswered tickets replayed into the admission queue at startup.
+    pub recovered_requests: usize,
+    /// Recovered tickets whose deadline expired during the downtime,
+    /// reaped straight into `deadline_missed`.
+    pub recovered_expired: usize,
+    /// Older same-id admissions collapsed by replay idempotency.
+    pub recovered_duplicates: usize,
+    /// Cache entries re-admitted through the audit gate at startup.
+    pub cache_recovered: usize,
+    /// Decoded cache entries the audit gate refused (corrupt on disk).
+    pub cache_recovery_rejected: usize,
+    /// Unreadable records skipped across both files (checksum mismatch,
+    /// undecodable payload) plus torn-tail truncations as byte counts.
+    pub corrupt_records_skipped: usize,
+    /// Bytes truncated off torn tails across cache WAL and journal.
+    pub torn_tail_bytes: usize,
+    /// Cache WAL records appended this lifetime.
+    pub wal_appends: u64,
+    /// Snapshot compactions this lifetime.
+    pub wal_compactions: u64,
+    /// Request-journal records appended this lifetime.
+    pub journal_appends: u64,
+    /// Durability I/O errors swallowed (persistence degrades, serving
+    /// never stops).
+    pub io_errors: u64,
+}
+
 /// Schema version stamped into every JSON document this workspace's tools
 /// emit (`ServiceReport::to_json` and the `BENCH_*.json` bench emitters).
 /// Bump on any incompatible shape change so downstream parsers can refuse
@@ -98,6 +133,8 @@ pub struct ServiceReport {
     pub wall_seconds: f64,
     /// True when the service exited through the graceful drain path.
     pub drained: bool,
+    /// Crash-safety accounting (cache WAL + request journal).
+    pub durability: DurabilityReport,
 }
 
 impl ServiceReport {
@@ -166,6 +203,28 @@ impl ServiceReport {
             c.rejected_inserts,
             c.hit_rate(),
             c.conserved(),
+        );
+        let d = &self.durability;
+        let _ = writeln!(
+            s,
+            "  \"durability\": {{\"enabled\": {}, \"recovered_requests\": {}, \
+             \"recovered_expired\": {}, \"recovered_duplicates\": {}, \
+             \"cache_recovered\": {}, \"cache_recovery_rejected\": {}, \
+             \"corrupt_records_skipped\": {}, \"torn_tail_bytes\": {}, \
+             \"wal_appends\": {}, \"wal_compactions\": {}, \
+             \"journal_appends\": {}, \"io_errors\": {}}},",
+            d.enabled,
+            d.recovered_requests,
+            d.recovered_expired,
+            d.recovered_duplicates,
+            d.cache_recovered,
+            d.cache_recovery_rejected,
+            d.corrupt_records_skipped,
+            d.torn_tail_bytes,
+            d.wal_appends,
+            d.wal_compactions,
+            d.journal_appends,
+            d.io_errors,
         );
         let f = &self.fault;
         let _ = write!(
@@ -281,6 +340,8 @@ mod tests {
         };
         r.fault.cpu_fallbacks = 1;
         r.pairs_from_cache = 4;
+        r.durability.enabled = true;
+        r.durability.recovered_requests = 2;
         r.cache = CacheStats {
             lookups: 12,
             hits: 4,
@@ -300,6 +361,9 @@ mod tests {
             Some(SCHEMA_VERSION as u64)
         );
         assert_eq!(v.get("completed").unwrap().as_u64(), Some(3));
+        let d = v.get("durability").unwrap();
+        assert_eq!(d.get("enabled").unwrap().as_bool(), Some(true));
+        assert_eq!(d.get("recovered_requests").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("consistent").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("pairs_per_sec").unwrap().as_f64(), Some(6.0));
         assert_eq!(

@@ -10,7 +10,9 @@ use std::path::PathBuf;
 use std::thread;
 use std::time::Duration;
 use upmem_nw_service::json::Json;
-use upmem_nw_service::{proto, run_serve, Client, Priority, ServeOptions, ServiceReport};
+use upmem_nw_service::{
+    proto, run_serve, Client, Priority, RetryPolicy, ServeOptions, ServiceReport,
+};
 
 fn sock(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
@@ -269,4 +271,93 @@ fn full_queue_rejects_sheds_and_deadlines_account_exactly() {
     assert_eq!(rep.deadline_missed, 2);
     assert_eq!(rep.completed, 0);
     assert_eq!(rep.max_queue_depth, 2);
+}
+
+#[test]
+fn client_retry_honors_backoff_hint_and_attempt_budget() {
+    // Admission-only daemon with a one-slot queue: b1 occupies the slot
+    // until its deadline, so every attempt of r2 bounces with a
+    // `retry_after_ms` hint and the retry budget runs dry deterministically.
+    let mut opts = test_opts("retry");
+    opts.max_open_tickets = 0;
+    opts.queue_requests = 1;
+    let daemon = spawn_daemon(&opts);
+    let mut c = connect(&opts);
+
+    let pairs = ascii_pairs(1, 41);
+    c.send(&proto::align_line("b1", Priority::Batch, Some(600), &pairs))
+        .unwrap();
+
+    let policy = RetryPolicy {
+        attempts: 2,
+        max_wait: Duration::from_millis(20),
+    };
+    let line = proto::align_line("r2", Priority::Batch, Some(600), &pairs);
+    let out = c
+        .request_with_retry(&line, &policy)
+        .unwrap()
+        .expect("terminal answer, not EOF");
+    assert_eq!(out.retried, policy.attempts, "budget fully spent");
+    assert_eq!(
+        out.response.get("type").unwrap().as_str(),
+        Some("reject"),
+        "still full after the last retry: {:?}",
+        out.response
+    );
+    assert_eq!(out.response.get("id").unwrap().as_str(), Some("r2"));
+    assert!(
+        out.response
+            .get("retry_after_ms")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1
+    );
+
+    c.send("{\"op\":\"drain\"}").unwrap();
+    let (by_id, _) = collect_until_eof(&mut c);
+    assert_eq!(
+        by_id["b1"].get("disposition").unwrap().as_str(),
+        Some("deadline-missed")
+    );
+
+    let rep = daemon.join().unwrap();
+    assert!(rep.consistent(), "conservation law: {rep:?}");
+    // b1 once, r2 three times (initial send + 2 retries).
+    assert_eq!(rep.received, 4);
+    assert_eq!(rep.rejected, 3);
+    assert_eq!(rep.deadline_missed, 1);
+}
+
+#[test]
+fn oversized_line_is_refused_and_the_connection_survives() {
+    let mut opts = test_opts("oversized");
+    opts.max_line_bytes = 4096;
+    let daemon = spawn_daemon(&opts);
+    let mut c = connect(&opts);
+
+    // One line far past the bound: refused with an error, not buffered.
+    let mut huge = String::from("{\"op\":\"align\",\"id\":\"huge\",\"pairs\":[[\"");
+    huge.push_str(&"A".repeat(32 * 1024));
+    huge.push_str("\",\"AC\"]]}");
+    c.send(&huge).unwrap();
+    let resp = c.recv().unwrap().expect("error answer");
+    assert_eq!(resp.get("type").unwrap().as_str(), Some("error"));
+    let msg = resp.get("error").unwrap().as_str().unwrap();
+    assert!(msg.contains("exceeds"), "unexpected error: {msg}");
+
+    // The same connection still serves a normal request afterwards.
+    let pairs = ascii_pairs(1, 43);
+    c.send(&proto::align_line("ok", Priority::Normal, None, &pairs))
+        .unwrap();
+    let resp = c.recv().unwrap().expect("result line");
+    assert_eq!(resp.get("type").unwrap().as_str(), Some("result"));
+    assert_eq!(resp.get("disposition").unwrap().as_str(), Some("ok"));
+
+    c.send("{\"op\":\"drain\"}").unwrap();
+    let _ = collect_until_eof(&mut c);
+    let rep = daemon.join().unwrap();
+    assert!(rep.consistent(), "conservation law: {rep:?}");
+    assert_eq!(rep.invalid, 1);
+    assert_eq!(rep.completed, 1);
 }

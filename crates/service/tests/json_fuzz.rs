@@ -1,0 +1,112 @@
+//! Hostile-input tests for the hand-rolled JSON parser and the protocol
+//! layer: truncations of valid documents, seeded byte garbage,
+//! pathological nesting, and multi-megabyte lines must all come back as
+//! `Err` or a parsed value — never a panic, a stack overflow, or a hang.
+
+use pim_sim::fault::mix64;
+use std::time::Instant;
+use upmem_nw_service::json::Json;
+use upmem_nw_service::proto;
+
+/// Feed one line to both parser entry points the daemon uses.
+fn no_panic(line: &str) {
+    let _ = Json::parse(line);
+    let _ = proto::parse_line(line);
+}
+
+#[test]
+fn every_truncation_of_a_valid_request_is_handled() {
+    let doc = concat!(
+        r#"{"op":"align","id":"fuzz-1","priority":"interactive","deadline_ms":1500,"#,
+        r#""pairs":[["ACGTACGTAC","ACGAACGTAC"],["TTTTGGGGCC","TTTTGGGGCC"]],"#,
+        r#""meta":{"nested":{"deep":[1,2,3,true,false,null,-0.5e3]},"s":"é\n\"\\"}}"#
+    );
+    for cut in 0..=doc.len() {
+        if doc.is_char_boundary(cut) {
+            no_panic(&doc[..cut]);
+        }
+    }
+    // The full document itself must parse.
+    assert!(Json::parse(doc).is_ok());
+    assert!(proto::parse_line(doc).is_ok());
+}
+
+#[test]
+fn seeded_raw_byte_garbage_never_panics() {
+    for round in 0..512u64 {
+        let mut bytes = Vec::new();
+        let len = 1 + (mix64(round ^ 0x5EED) % 96) as usize;
+        let mut x = mix64(round.wrapping_mul(0x9E37_79B9));
+        for _ in 0..len {
+            x = mix64(x);
+            bytes.push((x & 0xFF) as u8);
+        }
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        no_panic(&line);
+    }
+}
+
+#[test]
+fn seeded_json_shaped_garbage_never_panics() {
+    // Garbage drawn from JSON's own alphabet reaches much deeper into the
+    // parser than raw bytes do.
+    const ALPHABET: &[u8] = br#"{}[]",:0123456789.eE+-truefalsn ul"#;
+    for round in 0..2048u64 {
+        let mut line = String::new();
+        let len = 1 + (mix64(round ^ 0xA11CE) % 256) as usize;
+        let mut x = mix64(round | 1 << 40);
+        for _ in 0..len {
+            x = mix64(x);
+            line.push(ALPHABET[(x as usize) % ALPHABET.len()] as char);
+        }
+        no_panic(&line);
+    }
+}
+
+#[test]
+fn pathological_nesting_is_rejected_without_blowing_the_stack() {
+    let start = Instant::now();
+    for unit in ["[", "{\"k\":[", "[[{\"a\":", "[0,"] {
+        let line = unit.repeat(1_000_000 / unit.len());
+        assert!(
+            Json::parse(&line).is_err(),
+            "unterminated deep nesting must not parse: {unit:?}"
+        );
+        let closed = format!("{}0{}", "[".repeat(500_000), "]".repeat(500_000));
+        assert!(
+            Json::parse(&closed).is_err(),
+            "nesting beyond the depth gate must be refused"
+        );
+    }
+    assert!(
+        start.elapsed().as_secs() < 30,
+        "deep-nesting rejection took pathologically long"
+    );
+}
+
+#[test]
+fn multi_megabyte_lines_parse_or_fail_quickly() {
+    // A syntactically valid multi-MB request: one giant pair list.
+    let mut doc = String::with_capacity(6 << 20);
+    doc.push_str(r#"{"op":"align","id":"big","pairs":["#);
+    for i in 0..20_000 {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(r#"["ACGTACGTACGTACGTACGTACGTACGTACGT","TGCATGCATGCATGCATGCATGCATGCATGCA"]"#);
+    }
+    doc.push_str("]}");
+    assert!(doc.len() > 1 << 20);
+    let start = Instant::now();
+    let parsed = proto::parse_line(&doc);
+    assert!(parsed.is_ok(), "valid multi-MB request must parse");
+    // And multi-MB non-JSON garbage fails instead of hanging.
+    let garbage = "A".repeat(4 << 20);
+    no_panic(&garbage);
+    let quoted = format!("\"{}", "x".repeat(4 << 20));
+    no_panic(&quoted);
+    assert!(
+        start.elapsed().as_secs() < 30,
+        "multi-megabyte parsing took pathologically long"
+    );
+}

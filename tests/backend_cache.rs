@@ -235,6 +235,8 @@ fn audit_rejected_results_never_enter_the_cache() {
         Some(&mut cache),
         &pairs,
         &scheme,
+        BAND,
+        false,
         slots,
         &pre.keys,
         &pre.work,
